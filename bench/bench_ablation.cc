@@ -1,0 +1,291 @@
+// A1-A4 — Ablations of the library's own design choices (not from the
+// paper): the knobs a downstream user would tune.
+//   A1  PathCentricModel max sub-path length: accuracy vs memory/query cost
+//   A2  Histogram bin count: calibration of on-time probabilities vs cost
+//   A3  Anomaly ensemble size: AUC and its variance across seeds
+//   A4  SpatioTemporalImputer spatial blend weight: imputation error
+//   A5  Contrastive curriculum: when to switch to hard negatives
+
+#include <cmath>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/analytics/anomaly/detector.h"
+#include "src/analytics/represent/contrastive.h"
+#include "src/analytics/anomaly/evaluation.h"
+#include "src/analytics/forecast/metrics.h"
+#include "src/common/stats.h"
+#include "src/governance/imputation/st_imputer.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/sim/inject.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+#include "src/sim/traj_sim.h"
+#include "src/sim/ts_gen.h"
+#include "src/spatial/shortest_path.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::FmtInt;
+using tsdm_bench::Stopwatch;
+using tsdm_bench::Table;
+
+void AblateSubpathLength() {
+  Rng rng(3100);
+  GridNetworkSpec gspec;
+  gspec.rows = 6;
+  gspec.cols = 6;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  TrafficSpec tspec;
+  tspec.shared_fraction = 0.7;
+  TrafficSimulator sim(&net, tspec);
+
+  // One long query path plus fleet trips that cover it.
+  // Corner-to-corner shortest path gives a long, reproducible query.
+  Result<Path> diag = ShortestPath(
+      net, 0, static_cast<int>(net.NumNodes()) - 1, FreeFlowTimeCost(net));
+  if (!diag.ok()) return;
+  std::vector<int> query = diag->edges;
+  std::vector<TripObservation> trips;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<int> p =
+        i % 3 == 0 ? query : RandomPath(net, 4, 20, &rng);
+    if (p.empty()) continue;
+    TripObservation trip;
+    trip.edge_path = p;
+    trip.depart_seconds = 8 * 3600;
+    trip.edge_times = sim.SamplePathEdgeTimes(p, trip.depart_seconds, &rng);
+    trips.push_back(std::move(trip));
+  }
+  std::vector<double> truth;
+  for (int i = 0; i < 3000; ++i) {
+    truth.push_back(sim.SamplePathTime(query, 8 * 3600, &rng));
+  }
+  double true_sd = Stdev(truth);
+
+  Table table("A1 path-centric max sub-path length (true path sd = " +
+                  Fmt(true_sd, 1) + ")",
+              {"max_len", "est_sd", "pieces", "subpaths", "query[us]"});
+  for (int max_len : {1, 2, 4, 8}) {
+    PathCentricModel model(24, max_len);
+    for (const auto& trip : trips) model.AddTrip(trip);
+    if (!model.Build(32, 20).ok()) continue;
+    Result<Histogram> dist = model.PathCostDistribution(query, 8 * 3600);
+    if (!dist.ok()) continue;
+    Stopwatch watch;
+    const int kQueries = 200;
+    for (int q = 0; q < kQueries; ++q) {
+      auto r = model.PathCostDistribution(query, 8 * 3600);
+      (void)r;
+    }
+    double us = 1000.0 * watch.Millis() / kQueries;
+    table.Row({FmtInt(max_len), Fmt(dist->Stdev(), 1),
+               FmtInt(model.CoverSize(query)),
+               FmtInt(static_cast<long>(model.NumLearnedSubpaths())),
+               Fmt(us, 1)});
+  }
+  std::printf("note: max_len=1 is exactly the edge-centric model; longer "
+              "sub-paths capture more correlation (est_sd -> true sd) at "
+              "more memory.\n");
+}
+
+void AblateHistogramBins() {
+  Rng rng(3200);
+  GridNetworkSpec gspec;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  TrafficSimulator sim(&net, TrafficSpec{});
+  std::vector<int> path = RandomPath(net, 8, 100, &rng);
+
+  Table table("A2 histogram bin count: on-time calibration",
+              {"bins", "cal_err", "build[ms]"});
+  for (int bins : {4, 8, 16, 32, 64, 128}) {
+    EdgeCentricModel model(static_cast<int>(net.NumEdges()), 24);
+    for (int i = 0; i < 700; ++i) {
+      std::vector<int> p = RandomPath(net, 3, 20, &rng);
+      if (p.empty()) continue;
+      TripObservation trip;
+      trip.edge_path = p;
+      trip.depart_seconds = 8 * 3600;
+      trip.edge_times =
+          sim.SamplePathEdgeTimes(p, trip.depart_seconds, &rng);
+      model.AddTrip(trip);
+    }
+    Stopwatch watch;
+    if (!model.Build(bins).ok()) continue;
+    double build_ms = watch.Millis();
+    Result<Histogram> dist = model.PathCostDistribution(path, 8 * 3600);
+    if (!dist.ok()) continue;
+    // Calibration over several probability levels.
+    double err = 0.0;
+    int levels = 0;
+    for (double q : {0.25, 0.5, 0.75, 0.9}) {
+      double deadline = dist->Quantile(q);
+      int hits = 0;
+      const int kTrials = 1200;
+      for (int t = 0; t < kTrials; ++t) {
+        if (sim.SamplePathTime(path, 8 * 3600, &rng) <= deadline) ++hits;
+      }
+      err += std::fabs(static_cast<double>(hits) / kTrials - q);
+      ++levels;
+    }
+    table.Row({FmtInt(bins), Fmt(err / levels), Fmt(build_ms, 1)});
+  }
+  std::printf("note: calibration error is dominated by model error, not "
+              "binning, from ~8 bins on; build cost grows linearly with "
+              "bins — 16-32 is the sweet spot.\n");
+}
+
+void AblateEnsembleSize() {
+  Table table("A3 anomaly ensemble size (AUC over 5 seeds)",
+              {"members", "mean_auc", "min_auc"});
+  for (int members : {1, 2, 4, 8, 16}) {
+    double mean_auc = 0.0, min_auc = 1.0;
+    const int kSeeds = 5;
+    for (int s = 0; s < kSeeds; ++s) {
+      Rng rng(3300 + s);
+      SeriesSpec spec = TrafficLikeSpec(24);
+      std::vector<double> train = GenerateSeries(spec, 700, &rng);
+      TimeSeries ts = TimeSeries::Regular(0, 1, 700, 1);
+      ts.SetChannel(0, GenerateSeries(spec, 700, &rng));
+      auto injected =
+          InjectAnomalies(&ts, AnomalyKind::kLevelShift, 12, 3.0, &rng);
+      std::vector<int> labels = AnomalyLabels(injected, 0, 700);
+      ReconstructionEnsembleDetector::Options opts;
+      opts.num_members = members;
+      opts.seed = 77 + s;
+      ReconstructionEnsembleDetector ensemble(opts);
+      if (!ensemble.Fit(train).ok()) continue;
+      auto scores = ensemble.Score(ts.Channel(0));
+      if (!scores.ok()) continue;
+      double auc = RocAuc(*scores, labels);
+      mean_auc += auc / kSeeds;
+      min_auc = std::min(min_auc, auc);
+    }
+    table.Row({FmtInt(members), Fmt(mean_auc), Fmt(min_auc)});
+  }
+  std::printf("note: the min over seeds stabilizes with size — ensembles "
+              "buy reliability more than mean accuracy.\n");
+}
+
+void AblateSpatialWeight() {
+  Table table("A4 spatio-temporal imputer blend weight",
+              {"spatial_w", "MAE_mcar", "MAE_blocks"});
+  Rng truth_rng(3400);
+  CorrelatedFieldSpec spec;
+  spec.grid_rows = 5;
+  spec.grid_cols = 5;
+  spec.spatial_strength = 0.45;  // sizable local component
+  spec.base = TrafficLikeSpec(48);
+  CorrelatedTimeSeries truth = GenerateCorrelatedField(spec, 400, &truth_rng);
+
+  auto error_for = [&](double w, bool blocks) {
+    Rng rng(3401 + (blocks ? 7 : 0));
+    CorrelatedTimeSeries corrupted = truth;
+    if (blocks) {
+      InjectMissingBlocks(&corrupted.series(), 0.35, 24, &rng);
+    } else {
+      InjectMissingMcar(&corrupted.series(), 0.35, &rng);
+    }
+    SpatioTemporalImputer::Options opts;
+    opts.spatial_weight = w;
+    SpatioTemporalImputer imputer(opts);
+    CorrelatedTimeSeries repaired = corrupted;
+    if (!imputer.Impute(&repaired).ok()) return -1.0;
+    std::vector<double> t, p;
+    for (size_t i = 0; i < truth.NumSteps(); ++i) {
+      for (size_t s = 0; s < truth.NumSensors(); ++s) {
+        if (corrupted.series().IsMissing(i, s)) {
+          t.push_back(truth.At(i, s));
+          p.push_back(repaired.At(i, s));
+        }
+      }
+    }
+    return MeanAbsoluteError(t, p);
+  };
+
+  for (double w : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    table.Row({Fmt(w, 2), Fmt(error_for(w, false)),
+               Fmt(error_for(w, true))});
+  }
+  std::printf("note: the optimal blend depends on the missingness pattern — "
+              "scattered gaps favour the temporal pass (interpolation is "
+              "near-exact), long outages favour the spatial pass (nothing "
+              "to interpolate). The weight is the dial between the two; "
+              "the default 0.5 is a compromise.\n");
+}
+
+void AblateCurriculum() {
+  // Unlabeled two-class corpus; quality = 1-NN label recovery in the
+  // learned embedding (labels only used for evaluation).
+  Table table("A5 contrastive curriculum start (1-NN label recovery)",
+              {"curriculum", "accuracy"});
+  auto corpus_fn = [](std::vector<int>* labels, int seed) {
+    Rng rng(seed);
+    std::vector<std::vector<double>> corpus;
+    for (int i = 0; i < 25; ++i) {
+      SeriesSpec flat;
+      flat.noise_stddev = 1.0;
+      corpus.push_back(GenerateSeries(flat, 64, &rng));
+      labels->push_back(0);
+      SeriesSpec seasonal;
+      seasonal.seasonal = {{8, 2.5, 0.0}};
+      seasonal.noise_stddev = 0.5;
+      corpus.push_back(GenerateSeries(seasonal, 64, &rng));
+      labels->push_back(1);
+    }
+    return corpus;
+  };
+  for (double start : {0.0, 0.4, 0.8, 1.01}) {
+    double acc = 0.0;
+    const int kSeeds = 3;
+    for (int s = 0; s < kSeeds; ++s) {
+      std::vector<int> labels;
+      auto corpus = corpus_fn(&labels, 3500 + s);
+      ContrastiveEncoder::Options opts;
+      opts.curriculum_start = start;
+      opts.seed = 61 + s;
+      ContrastiveEncoder enc(opts);
+      if (!enc.Fit(corpus).ok()) continue;
+      std::vector<std::vector<double>> z;
+      for (const auto& series : corpus) {
+        auto e = enc.Encode(series);
+        if (!e.ok()) break;
+        z.push_back(*e);
+      }
+      if (z.size() != corpus.size()) continue;
+      int hits = 0;
+      for (size_t i = 0; i < z.size(); ++i) {
+        double best = 1e300;
+        size_t nn = i;
+        for (size_t j = 0; j < z.size(); ++j) {
+          if (i == j) continue;
+          double d = ContrastiveEncoder::EmbeddingDistance(z[i], z[j]);
+          if (d < best) {
+            best = d;
+            nn = j;
+          }
+        }
+        if (labels[nn] == labels[i]) ++hits;
+      }
+      acc += static_cast<double>(hits) / z.size() / kSeeds;
+    }
+    std::string label = start > 1.0 ? "never-hard" : Fmt(start, 1);
+    table.Row({label, Fmt(acc)});
+  }
+  std::printf("note: hard negatives from the start (0.0) destabilize early "
+              "training; never switching (never-hard) underfits the "
+              "boundary — the curriculum's middle ground wins ([30],[31]).\n");
+}
+
+}  // namespace
+
+int main() {
+  AblateSubpathLength();
+  AblateHistogramBins();
+  AblateEnsembleSize();
+  AblateSpatialWeight();
+  AblateCurriculum();
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E22 — Weakly guided adaptation for imbalanced domains ([36]).
+// A data-poor target domain borrows from a large source domain. Sweeps
+// (a) the target history length at a fixed moderate domain gap, and
+// (b) the domain gap at a fixed tiny target. Expected shape: the adapted
+// model beats target-only when the target is small, beats source-only
+// when domains differ, and its annealed source weight falls as the gap
+// grows — never doing worse than the better of the two extremes.
+
+#include "bench/bench_util.h"
+#include "src/analytics/forecast/metrics.h"
+#include "src/analytics/robust/adaptation.h"
+#include "src/common/rng.h"
+#include "src/sim/ts_gen.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::FmtInt;
+using tsdm_bench::Table;
+
+/// AR(2)-with-season generator; `gap` interpolates dynamics and level
+/// between the source (gap 0) and a far domain (gap 1).
+std::vector<double> DomainSeries(double gap, int n, int seed) {
+  Rng rng(seed);
+  SeriesSpec spec;
+  spec.level = 20.0 + 5.0 * gap;  // mild level shift (handled by centering)
+  // The gap morphs the *dynamics*: memory flips from strongly persistent
+  // (phi 0.9) to oscillatory (phi -0.5) as gap goes 0 -> 1.
+  spec.ar_coefficients = {0.9 - 1.4 * gap};
+  spec.ar_innovation_stddev = 1.0;
+  spec.noise_stddev = 0.2;
+  return GenerateSeries(spec, n, &rng);
+}
+
+struct Cell {
+  double adapted = 0.0;
+  double target_only = 0.0;
+  double source_only = 0.0;
+  double weight = 0.0;
+};
+
+Cell Evaluate(double gap, int target_len, int seed) {
+  Cell cell;
+  const int kSeeds = 10;
+  for (int s = 0; s < kSeeds; ++s) {
+    std::vector<double> source = DomainSeries(0.0, 3000, seed + s);
+    std::vector<double> target = DomainSeries(gap, target_len, 100 + seed + s);
+    std::vector<double> probe = DomainSeries(gap, 400, 200 + seed + s);
+    std::vector<double> context(probe.begin(), probe.end() - 12);
+    std::vector<double> actual(probe.end() - 12, probe.end());
+
+    AdaptationOptions opts;
+    opts.order = 4;
+    auto eval = [&](const std::vector<double>& src,
+                    const std::vector<double>& tgt) {
+      Result<AdaptedArModel> model = FitAdaptedAr(src, tgt, opts);
+      if (!model.ok()) return 1e9;
+      auto fc = model->ForecastFrom(context, 12);
+      return fc.ok() ? MeanAbsoluteError(actual, *fc) : 1e9;
+    };
+    Result<AdaptedArModel> adapted = FitAdaptedAr(source, target, opts);
+    if (adapted.ok()) {
+      auto fc = adapted->ForecastFrom(context, 12);
+      if (fc.ok()) cell.adapted += MeanAbsoluteError(actual, *fc) / kSeeds;
+      cell.weight += adapted->source_weight / kSeeds;
+    }
+    cell.target_only += eval({}, target) / kSeeds;
+    // Source-only: fit on source, forecast target context.
+    AdaptationOptions source_opts = opts;
+    Result<AdaptedArModel> src_model =
+        FitAdaptedAr({}, source, source_opts);
+    if (src_model.ok()) {
+      auto fc = src_model->ForecastFrom(context, 12);
+      if (fc.ok()) {
+        cell.source_only += MeanAbsoluteError(actual, *fc) / kSeeds;
+      }
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  Table len_table("E22 MAE vs target history length (domain gap 0.1)",
+                  {"target_len", "adapted", "target-only", "source-only",
+                   "src_weight"});
+  for (int len : {20, 40, 80, 320}) {
+    Cell c = Evaluate(0.1, len, 2200);
+    len_table.Row({FmtInt(len), Fmt(c.adapted), Fmt(c.target_only),
+                   Fmt(c.source_only), Fmt(c.weight, 2)});
+  }
+
+  Table gap_table("E22 MAE vs domain gap (target length 40)",
+                  {"gap", "adapted", "target-only", "source-only",
+                   "src_weight"});
+  for (double gap : {0.0, 0.3, 0.6, 1.0}) {
+    Cell c = Evaluate(gap, 40, 2300 + static_cast<int>(gap * 10));
+    gap_table.Row({Fmt(gap, 1), Fmt(c.adapted), Fmt(c.target_only),
+                   Fmt(c.source_only), Fmt(c.weight, 2)});
+  }
+  std::printf("\nexpected shape: the annealed source weight decreases as "
+              "the domain gap grows and as the target history grows; the "
+              "adapted error tracks the better of the two extremes (it "
+              "avoids the source-only blow-up at large gaps and the "
+              "target-only penalty on tiny histories).\n");
+  return 0;
+}

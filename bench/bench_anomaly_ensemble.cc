@@ -1,0 +1,100 @@
+// E7 — Diversity-driven outlier ensembles ([41], [42]).
+// Sweeps anomaly magnitude and kind; reports the AUC of each single
+// detector, the ensemble, and the spread (min/max) across ensemble
+// members. Expected shape: the ensemble's AUC sits at or above the best
+// single member on average and far above the worst, with much smaller
+// variance across datasets — the reliability argument for ensembles.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/analytics/anomaly/detector.h"
+#include "src/analytics/anomaly/evaluation.h"
+#include "src/sim/inject.h"
+#include "src/sim/ts_gen.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Table;
+
+struct Fixture {
+  std::vector<double> train;
+  std::vector<double> test;
+  std::vector<int> labels;
+};
+
+Fixture MakeFixture(AnomalyKind kind, double magnitude, int seed) {
+  Rng rng(seed);
+  SeriesSpec spec = TrafficLikeSpec(24);
+  Fixture fx;
+  fx.train = GenerateSeries(spec, 800, &rng);
+  TimeSeries ts = TimeSeries::Regular(0, 1, 800, 1);
+  ts.SetChannel(0, GenerateSeries(spec, 800, &rng));
+  auto injected = InjectAnomalies(&ts, kind, 16, magnitude, &rng);
+  fx.test = ts.Channel(0);
+  fx.labels = AnomalyLabels(injected, 0, 800);
+  return fx;
+}
+
+const char* KindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kSpike:
+      return "spike";
+    case AnomalyKind::kLevelShift:
+      return "level-shift";
+    case AnomalyKind::kNoiseBurst:
+      return "noise-burst";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  for (AnomalyKind kind :
+       {AnomalyKind::kSpike, AnomalyKind::kLevelShift,
+        AnomalyKind::kNoiseBurst}) {
+    Table table(std::string("E7 detector AUC, anomaly=") + KindName(kind),
+                {"magnitude", "zscore", "pca", "ens_worst", "ens_best",
+                 "ensemble"});
+    for (double magnitude : {2.0, 4.0, 8.0}) {
+      // Average over seeds for stability.
+      const int kSeeds = 3;
+      double auc_z = 0.0, auc_pca = 0.0, auc_ens = 0.0;
+      double worst = 0.0, best = 0.0;
+      for (int s = 0; s < kSeeds; ++s) {
+        Fixture fx = MakeFixture(kind, magnitude, 700 + s);
+        ZScoreDetector z;
+        PcaReconstructionDetector pca(16, 3);
+        ReconstructionEnsembleDetector ens;
+        if (z.Fit(fx.train).ok()) {
+          auc_z += RocAuc(*z.Score(fx.test), fx.labels) / kSeeds;
+        }
+        if (pca.Fit(fx.train).ok()) {
+          auc_pca += RocAuc(*pca.Score(fx.test), fx.labels) / kSeeds;
+        }
+        if (ens.Fit(fx.train).ok()) {
+          auc_ens += RocAuc(*ens.Score(fx.test), fx.labels) / kSeeds;
+          double w = 1.0, b = 0.0;
+          for (size_t m = 0; m < ens.NumMembers(); ++m) {
+            auto ms = ens.MemberScore(m, fx.test);
+            if (!ms.ok()) continue;
+            double a = RocAuc(*ms, fx.labels);
+            w = std::min(w, a);
+            b = std::max(b, a);
+          }
+          worst += w / kSeeds;
+          best += b / kSeeds;
+        }
+      }
+      table.Row({Fmt(magnitude, 0), Fmt(auc_z), Fmt(auc_pca), Fmt(worst),
+                 Fmt(best), Fmt(auc_ens)});
+    }
+  }
+  std::printf("\nexpected shape: ensemble ~= ens_best and >> ens_worst on "
+              "every anomaly kind; single detectors are erratic across "
+              "kinds (zscore misses noise-bursts, etc.).\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// E5 — Automated forecasting (AutoCTS family [24]-[28]).
+// Compares fixed default configurations against random search and
+// successive halving at several evaluation budgets, on several datasets.
+// Expected shape: searched configurations beat any fixed default on
+// average; successive halving reaches the exhaustive-search quality with a
+// fraction of the evaluations (the AutoCTS+ efficiency claim).
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/analytics/automl/search.h"
+#include "src/sim/cloud_gen.h"
+#include "src/sim/ts_gen.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::FmtInt;
+using tsdm_bench::Table;
+
+}  // namespace
+
+int main() {
+  const int kHorizon = 12;
+  const int kMaxFolds = 4;
+
+  // Three datasets with different winning families.
+  std::vector<std::pair<std::string, std::vector<double>>> datasets;
+  {
+    Rng rng(1);
+    datasets.push_back(
+        {"traffic", GenerateSeries(TrafficLikeSpec(24), 24 * 15, &rng)});
+  }
+  {
+    Rng rng(2);
+    SeriesSpec trending;
+    trending.trend_per_step = 0.05;
+    trending.ar_coefficients = {0.7};
+    trending.ar_innovation_stddev = 1.0;
+    datasets.push_back({"trending-ar", GenerateSeries(trending, 400, &rng)});
+  }
+  {
+    Rng rng(3);
+    CloudDemandSpec spec;
+    spec.steps_per_day = 48;
+    datasets.push_back(
+        {"cloud", GenerateCloudDemand(spec, 48 * 14, &rng)});
+  }
+
+  for (const auto& [name, series] : datasets) {
+    auto space = DefaultSearchSpace(name == "cloud" ? 48 : 24);
+    Table table("E5 automated search on " + name,
+                {"strategy", "evals", "val_MAE", "config"});
+
+    // Fixed defaults a practitioner might hard-code.
+    ForecastConfig fixed_ar;
+    fixed_ar.family = ForecastConfig::Family::kAr;
+    fixed_ar.ar_order = 4;
+    ForecastConfig fixed_naive;
+    fixed_naive.family = ForecastConfig::Family::kNaive;
+    for (const auto& [label, cfg] :
+         std::vector<std::pair<std::string, ForecastConfig>>{
+             {"fixed ar(4)", fixed_ar}, {"fixed naive", fixed_naive}}) {
+      double score = RollingOriginScore(cfg, series, kHorizon, kMaxFolds);
+      table.Row({label, FmtInt(kMaxFolds), Fmt(score), cfg.ToString()});
+    }
+
+    // Random search at growing budgets.
+    for (int budget : {8, 24, 72}) {
+      Rng rng(42);
+      SearchOutcome out =
+          RandomSearch(space, series, kHorizon, budget, kMaxFolds, &rng);
+      table.Row({"random(b=" + std::to_string(budget) + ")",
+                 FmtInt(out.evaluations), Fmt(out.best_score),
+                 out.best.ToString()});
+    }
+
+    // Successive halving and the exhaustive reference.
+    SearchOutcome halving =
+        SuccessiveHalving(space, series, kHorizon, kMaxFolds);
+    table.Row({"succ-halving", FmtInt(halving.evaluations),
+               Fmt(halving.best_score), halving.best.ToString()});
+    double best_full = 1e300;
+    ForecastConfig best_cfg;
+    int full_evals = 0;
+    for (const auto& cfg : space) {
+      double s = RollingOriginScore(cfg, series, kHorizon, kMaxFolds);
+      full_evals += kMaxFolds;
+      if (s < best_full) {
+        best_full = s;
+        best_cfg = cfg;
+      }
+    }
+    table.Row({"exhaustive", FmtInt(full_evals), Fmt(best_full),
+               best_cfg.ToString()});
+  }
+
+  std::printf("\nexpected shape: search beats fixed defaults on every "
+              "dataset; succ-halving matches exhaustive quality at a "
+              "fraction of the evaluations; the winning family differs per "
+              "dataset (why automation matters).\n");
+  return 0;
+}

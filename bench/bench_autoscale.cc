@@ -1,0 +1,67 @@
+// E17 — Uncertainty-aware predictive autoscaling (MagicScaler scenario
+// [6]). Replays reactive and predictive policies over synthetic demand
+// with seasonality and surges, sweeping the surge intensity and the
+// predictive service-level target. Expected shape: the predictive policy
+// Pareto-dominates the reactive baseline in (violation rate, mean
+// capacity) space — fewer violations at comparable capacity — and raising
+// the quantile trades capacity for reliability along a smooth frontier.
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/decision/scaling/autoscaler.h"
+#include "src/sim/cloud_gen.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Table;
+
+}  // namespace
+
+int main() {
+  for (double surges : {0.0, 0.8, 2.0}) {
+    Rng rng(1700 + static_cast<int>(surges * 10));
+    CloudDemandSpec spec;
+    spec.daily_amplitude = 55.0;
+    spec.surges_per_day = surges;
+    int n = spec.steps_per_day * 28;
+    std::vector<double> demand = GenerateCloudDemand(spec, n, &rng);
+    int warmup = spec.steps_per_day * 7;
+    int review = 12;
+
+    Table table("E17 autoscaling, surges/day=" + Fmt(surges, 1),
+                {"policy", "violations[%]", "mean_capacity",
+                 "overprovision", "scalings"});
+    for (double headroom : {0.10, 0.20, 0.35}) {
+      ReactivePolicy reactive(headroom, 6);
+      Result<AutoscaleOutcome> out =
+          SimulateAutoscaling(demand, &reactive, review, warmup);
+      if (!out.ok()) continue;
+      table.Row({"reactive(+" + Fmt(100 * headroom, 0) + "%)",
+                 Fmt(100.0 * out->violation_rate, 2),
+                 Fmt(out->mean_capacity, 1),
+                 Fmt(out->mean_overprovision, 1),
+                 std::to_string(out->scale_events)});
+    }
+    for (double quantile : {0.80, 0.90, 0.95, 0.99}) {
+      PredictivePolicy::Options opts;
+      opts.season = spec.steps_per_day;
+      opts.quantile = quantile;
+      PredictivePolicy predictive(opts);
+      Result<AutoscaleOutcome> out =
+          SimulateAutoscaling(demand, &predictive, review, warmup);
+      if (!out.ok()) continue;
+      table.Row({"predictive(q=" + Fmt(quantile, 2) + ")",
+                 Fmt(100.0 * out->violation_rate, 2),
+                 Fmt(out->mean_capacity, 1),
+                 Fmt(out->mean_overprovision, 1),
+                 std::to_string(out->scale_events)});
+    }
+  }
+  std::printf("\nexpected shape: at matched mean capacity the predictive "
+              "rows show fewer violations than the reactive rows; the "
+              "advantage grows with surge intensity; the quantile knob "
+              "traces a smooth reliability/cost frontier.\n");
+  return 0;
+}

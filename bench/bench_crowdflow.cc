@@ -1,0 +1,58 @@
+// E23 — Citywide crowd-flow prediction ([18],[19]; Definition 4 image
+// sequences). A shared-weight grid model with (closeness, period, spatial
+// context) feature groups — the linear analogue of ST-ResNet's input
+// design — is ablated against period-persistence and naive baselines at
+// several noise levels. Expected shape: every feature group contributes;
+// the full model beats persistence everywhere; the period group matters
+// most because the flows are strongly diurnal.
+
+#include "bench/bench_util.h"
+#include "src/analytics/forecast/grid_forecast.h"
+#include "src/common/rng.h"
+#include "src/sim/crowd_gen.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Table;
+
+}  // namespace
+
+int main() {
+  CrowdFlowSpec spec;
+  const int kDays = 10;
+  const int kTestFrames = 2 * spec.intervals_per_day;
+
+  Table table("E23 crowd-flow MAE by feature-group ablation",
+              {"noise", "persistence", "closeness", "close+period",
+               "full(+spatial)"});
+  for (double noise : {0.5, 1.5, 3.0}) {
+    Rng rng(2300 + static_cast<int>(noise * 10));
+    CrowdFlowSpec gen = spec;
+    gen.noise_stddev = noise;
+    GridSequence flows =
+        GenerateCrowdFlow(gen, kDays * spec.intervals_per_day, &rng);
+
+    double persistence =
+        PeriodPersistenceMae(flows, spec.intervals_per_day, kTestFrames);
+
+    auto evaluate = [&](int period_days, bool spatial) {
+      GridFlowForecaster::Options opts;
+      opts.period_days = period_days;
+      opts.spatial_context = spatial;
+      GridFlowForecaster model(opts);
+      if (!model.Fit(flows).ok()) return -1.0;
+      Result<double> mae = model.EvaluateMae(flows, kTestFrames);
+      return mae.ok() ? *mae : -1.0;
+    };
+    table.Row({Fmt(noise, 1), Fmt(persistence),
+               Fmt(evaluate(0, false)), Fmt(evaluate(2, false)),
+               Fmt(evaluate(2, true))});
+  }
+  std::printf("\nexpected shape: full <= close+period <= closeness-only; "
+              "all model variants beat period-persistence; the margin of "
+              "the period group grows as noise shrinks (the diurnal signal "
+              "dominates).\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// E19 — Departure planning with arrival windows ([53]) and eco-routing
+// ([15], [54] extended with an emission criterion).
+// (a) Arrival windows: probability of hitting a delivery window when the
+//     departure time is optimized jointly with the route, vs naive
+//     "leave at window start minus expected time" planning, across window
+//     widths. (b) Eco-routing: the (time, distance, emissions) skyline and
+//     the time/emission trade-off of its extreme members. Expected shape:
+//     optimized departure beats the naive rule, most at narrow windows;
+//     eco-routes cut emissions for a modest time sacrifice.
+
+#include <cmath>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/decision/multiobj/emissions.h"
+#include "src/decision/multiobj/pareto.h"
+#include "src/decision/routing/departure_planner.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+#include "src/sim/traj_sim.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Table;
+
+}  // namespace
+
+int main() {
+  Rng rng(1900);
+  GridNetworkSpec gspec;
+  gspec.rows = 6;
+  gspec.cols = 6;
+  gspec.diagonal_probability = 0.2;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  TrafficSimulator traffic(&net, TrafficSpec{});
+
+  EdgeCentricModel model(static_cast<int>(net.NumEdges()), 24);
+  for (int i = 0; i < 1200; ++i) {
+    std::vector<int> p = RandomPath(net, 3, 20, &rng);
+    if (p.empty()) continue;
+    TripObservation trip;
+    trip.edge_path = p;
+    trip.depart_seconds = rng.Uniform(0.0, 86400.0);
+    trip.edge_times =
+        traffic.SamplePathEdgeTimes(p, trip.depart_seconds, &rng);
+    model.AddTrip(trip);
+  }
+  if (!model.Build(32).ok()) return 1;
+  PathCostModel cost_model = [&model](const std::vector<int>& edges,
+                                      double depart) {
+    return model.PathCostDistribution(edges, depart);
+  };
+
+  // ---- (a) arrival windows ---------------------------------------------
+  int source = 0, target = static_cast<int>(net.NumNodes()) - 1;
+  Table window_table("E19a P(arrive in window) vs window width "
+                     "(window centered 09:30, realized by Monte Carlo)",
+                     {"width[min]", "optimized", "naive-rule"});
+  for (double width_min : {5.0, 10.0, 20.0, 40.0}) {
+    double center = 9.5 * 3600.0;
+    double w_lo = center - width_min * 30.0;  // half-width in seconds
+    double w_hi = center + width_min * 30.0;
+    DeparturePlanner::Options opts;
+    opts.earliest_departure = 6.0 * 3600.0;
+    opts.latest_departure = 10.0 * 3600.0;
+    opts.departure_step = 300.0;
+    DeparturePlanner planner(&net, cost_model, opts);
+    Result<DeparturePlanner::Plan> plan =
+        planner.BestPlan(source, target, w_lo, w_hi);
+    if (!plan.ok()) continue;
+    // Naive: fastest route, leave (window start - expected travel time).
+    Result<Path> fastest =
+        ShortestPath(net, source, target, FreeFlowTimeCost(net));
+    if (!fastest.ok()) continue;
+    Result<Histogram> naive_cost = cost_model(fastest->edges, w_lo);
+    if (!naive_cost.ok()) continue;
+    double naive_depart = w_lo - naive_cost->Mean();
+
+    // Realized probabilities under the ground-truth simulator.
+    auto realized = [&](const std::vector<int>& edges, double depart) {
+      int hits = 0;
+      const int kTrials = 1500;
+      for (int t = 0; t < kTrials; ++t) {
+        double arrival = depart + traffic.SamplePathTime(edges, depart, &rng);
+        if (arrival >= w_lo && arrival <= w_hi) ++hits;
+      }
+      return static_cast<double>(hits) / kTrials;
+    };
+    window_table.Row(
+        {Fmt(width_min, 0), Fmt(realized(plan->route.edges,
+                                         plan->depart_seconds)),
+         Fmt(realized(fastest->edges, naive_depart))});
+  }
+
+  // ---- (b) eco-routing skyline ------------------------------------------
+  EmissionModel emissions;
+  Result<std::vector<SkylinePath>> skyline = SkylineRoutes(
+      net, source, target,
+      {FreeFlowTimeCost(net), LengthCost(net), EmissionCost(net, emissions)},
+      24);
+  if (skyline.ok()) {
+    Table eco_table("E19b eco-routing skyline (time, distance, CO2)",
+                    {"time[s]", "dist[m]", "co2[g]"});
+    for (const auto& sp : *skyline) {
+      eco_table.Row({Fmt(sp.costs[0], 0), Fmt(sp.costs[1], 0),
+                     Fmt(sp.costs[2], 0)});
+    }
+    // Extremes: fastest vs greenest.
+    size_t fastest_i = 0, greenest_i = 0;
+    for (size_t i = 0; i < skyline->size(); ++i) {
+      if ((*skyline)[i].costs[0] < (*skyline)[fastest_i].costs[0]) {
+        fastest_i = i;
+      }
+      if ((*skyline)[i].costs[2] < (*skyline)[greenest_i].costs[2]) {
+        greenest_i = i;
+      }
+    }
+    const auto& fast = (*skyline)[fastest_i].costs;
+    const auto& green = (*skyline)[greenest_i].costs;
+    if (fast[2] > 0.0 && fast[0] > 0.0) {
+      std::printf("\ngreenest route saves %.0f%% CO2 for +%.0f%% time vs "
+                  "fastest\n",
+                  100.0 * (1.0 - green[2] / fast[2]),
+                  100.0 * (green[0] / fast[0] - 1.0));
+    }
+  }
+  std::printf("\nexpected shape: optimized departure dominates the naive "
+              "rule with the gap largest for narrow windows (where timing "
+              "the congestion matters); the eco skyline exposes a smooth "
+              "CO2/time trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// E14 — Stochastic-dominance pruning for risk-aware routing ([51]-[53]).
+// Sweeps the candidate-set size; reports the fraction pruned by
+// first-order stochastic dominance, verifies zero regret (for every risk
+// profile the post-pruning optimum equals the full-set optimum), and
+// microbenchmarks decision time with vs without pruning across a bank of
+// utility functions. Expected shape: a large fraction pruned with zero
+// regret; the pruned pipeline answers multi-utility queries faster once
+// the candidate set is non-trivial.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/decision/uncertain/dominance.h"
+#include "src/decision/uncertain/utility.h"
+#include "src/governance/uncertainty/histogram.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::FmtInt;
+using tsdm_bench::Table;
+
+/// Candidate travel-time distributions: a few genuinely competitive routes
+/// (mean/variance trade-offs) plus many dominated stragglers — the typical
+/// output of a K-shortest-path enumeration.
+std::vector<Histogram> MakeCandidates(int count, int seed) {
+  Rng rng(seed);
+  std::vector<Histogram> out;
+  for (int i = 0; i < count; ++i) {
+    bool competitive = i < std::max(2, count / 8);
+    double mean =
+        competitive ? rng.Uniform(580.0, 640.0) : rng.Uniform(620.0, 1100.0);
+    double sd = competitive ? rng.Uniform(10.0, 120.0)
+                            : rng.Uniform(15.0, 90.0);
+    std::vector<double> samples;
+    for (int s = 0; s < 3000; ++s) {
+      samples.push_back(mean + rng.Normal(0.0, sd) +
+                        rng.Gamma(1.5, sd / 3.0));  // right-skewed tails
+    }
+    out.push_back(*Histogram::FromSamples(samples, 48));
+  }
+  return out;
+}
+
+/// The bank of risk profiles a personalized service must answer for: one
+/// utility per user. Pruning pays off because it runs once while the
+/// expected-utility evaluation runs per user ([51]-[53]).
+std::vector<std::unique_ptr<UtilityFunction>> UtilityBank(int users = 200) {
+  std::vector<std::unique_ptr<UtilityFunction>> bank;
+  bank.push_back(std::make_unique<RiskNeutralUtility>());
+  Rng rng(555);
+  while (static_cast<int>(bank.size()) < users) {
+    double pick = rng.Uniform();
+    if (pick < 0.45) {
+      bank.push_back(std::make_unique<ExponentialUtility>(
+          rng.Uniform(0.2, 5.0), 600.0));
+    } else if (pick < 0.9) {
+      bank.push_back(std::make_unique<ExponentialUtility>(
+          rng.Uniform(-5.0, -0.2), 600.0));
+    } else {
+      bank.push_back(
+          std::make_unique<DeadlineUtility>(rng.Uniform(600.0, 900.0)));
+    }
+  }
+  return bank;
+}
+
+std::vector<Histogram> g_candidates;
+std::vector<int> g_survivor_indices;
+
+void BM_DecideAllUtilitiesFullSet(benchmark::State& state) {
+  auto bank = UtilityBank();
+  for (auto _ : state) {
+    for (const auto& u : bank) {
+      benchmark::DoNotOptimize(BestByExpectedUtility(g_candidates, *u));
+    }
+  }
+}
+BENCHMARK(BM_DecideAllUtilitiesFullSet);
+
+void BM_DecideAllUtilitiesPruned(benchmark::State& state) {
+  auto bank = UtilityBank();
+  for (auto _ : state) {
+    // Pruning runs once, then every utility is evaluated on survivors.
+    std::vector<int> survivors = FsdNonDominated(g_candidates);
+    std::vector<Histogram> pruned;
+    for (int s : survivors) pruned.push_back(g_candidates[s]);
+    for (const auto& u : bank) {
+      benchmark::DoNotOptimize(BestByExpectedUtility(pruned, *u));
+    }
+  }
+}
+BENCHMARK(BM_DecideAllUtilitiesPruned);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Table table("E14 FSD pruning: candidates -> survivors, regret check",
+              {"candidates", "survivors", "pruned[%]", "regret_cases"});
+  for (int count : {8, 16, 32, 64, 128}) {
+    std::vector<Histogram> candidates = MakeCandidates(count, 1400 + count);
+    std::vector<int> survivors = FsdNonDominated(candidates);
+    // Regret: a utility whose best achievable expected utility among the
+    // survivors is strictly worse than over the full set (ties between a
+    // pruned candidate and an equally good survivor are not regret).
+    int regret = 0;
+    for (const auto& u : UtilityBank(60)) {
+      int best_full = BestByExpectedUtility(candidates, *u);
+      double eu_full = ExpectedUtility(candidates[best_full], *u);
+      double eu_surv = -1e300;
+      for (int s : survivors) {
+        eu_surv = std::max(eu_surv, ExpectedUtility(candidates[s], *u));
+      }
+      if (eu_surv < eu_full - 1e-9 * std::fabs(eu_full) - 1e-12) ++regret;
+    }
+    table.Row({FmtInt(count), FmtInt(static_cast<long>(survivors.size())),
+               Fmt(100.0 * (1.0 - static_cast<double>(survivors.size()) /
+                                      count),
+                   1),
+               FmtInt(regret)});
+  }
+  std::printf("\nexpected shape: pruned fraction grows with the candidate "
+              "count (toward ~90%%); regret_cases = 0 always — the "
+              "correctness guarantee of FSD pruning for monotone "
+              "utilities.\n");
+
+  g_candidates = MakeCandidates(64, 1464);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

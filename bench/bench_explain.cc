@@ -1,0 +1,92 @@
+// E9 — Explainability of anomaly detections ([35], [43]-[45]).
+// (a) Attribution quality: how often the detector's top-attributed time
+//     steps coincide with the injected anomalies, against the random
+//     baseline, as detector quality varies.
+// (b) Temporal associations: recovery of planted lead-lag structure among
+//     sensors by the lagged-correlation association graph.
+// Expected shape: attribution hit-rate is many times the random baseline
+// and tracks detector AUC; planted lead-lag pairs surface as the top
+// associations with the correct lags.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/analytics/anomaly/detector.h"
+#include "src/analytics/anomaly/evaluation.h"
+#include "src/analytics/explain/explain.h"
+#include "src/sim/inject.h"
+#include "src/sim/ts_gen.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::FmtInt;
+using tsdm_bench::Table;
+
+}  // namespace
+
+int main() {
+  // ---- (a) attribution quality ---------------------------------------
+  Table table("E9a attribution hit-rate (top-k vs injected anomalies)",
+              {"detector", "AUC", "hit@16", "hit@32", "random"});
+  Rng rng(900);
+  SeriesSpec spec = TrafficLikeSpec(24);
+  std::vector<double> train = GenerateSeries(spec, 900, &rng);
+  TimeSeries ts = TimeSeries::Regular(0, 1, 900, 1);
+  ts.SetChannel(0, GenerateSeries(spec, 900, &rng));
+  auto injected = InjectAnomalies(&ts, AnomalyKind::kSpike, 16, 7.0, &rng);
+  std::vector<double> test = ts.Channel(0);
+  std::vector<int> labels = AnomalyLabels(injected, 0, 900);
+
+  ZScoreDetector z;
+  PcaReconstructionDetector pca(16, 3);
+  ReconstructionEnsembleDetector ens;
+  std::vector<std::pair<std::string, AnomalyDetector*>> detectors = {
+      {"zscore", &z}, {"pca-recon", &pca}, {"ensemble", &ens}};
+  for (auto& [name, det] : detectors) {
+    if (!det->Fit(train).ok()) continue;
+    auto scores = det->Score(test);
+    if (!scores.ok()) continue;
+    AttributionEval e16 = EvaluatePointAttribution(*scores, labels, 16);
+    AttributionEval e32 = EvaluatePointAttribution(*scores, labels, 32);
+    table.Row({name, Fmt(RocAuc(*scores, labels)), Fmt(e16.hit_rate),
+               Fmt(e32.hit_rate), Fmt(e16.random_baseline)});
+  }
+
+  // ---- (b) temporal association recovery ------------------------------
+  // Plant a chain: sensor 0 leads 1 by 2 steps, 1 leads 2 by 3 steps.
+  int n = 600;
+  std::vector<double> base;
+  Rng rng2(901);
+  for (int i = 0; i < n; ++i) {
+    base.push_back(std::sin(i * 0.13) + std::sin(i * 0.041) +
+                   rng2.Normal(0.0, 0.05));
+  }
+  SensorGraph g;
+  for (int i = 0; i < 4; ++i) g.AddSensor(i, 0);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  TimeSeries sts = TimeSeries::Regular(0, 1, n, 4);
+  for (int t = 0; t < n; ++t) {
+    sts.Set(t, 0, base[t]);
+    sts.Set(t, 1, t >= 2 ? base[t - 2] : 0.0);
+    sts.Set(t, 2, t >= 5 ? base[t - 5] : 0.0);
+    sts.Set(t, 3, rng2.Normal(0.0, 1.0));  // unrelated sensor
+  }
+  CorrelatedTimeSeries cts(g, sts);
+  AssociationGraph assoc = BuildAssociationGraph(cts, 8);
+  Table table2("E9b recovered temporal associations (planted: 0->1 lag 2, "
+               "1->2 lag 3, 0->2 lag 5)",
+               {"leader", "follower", "weight", "lag"});
+  for (const Association& a : TopAssociations(assoc, 6)) {
+    table2.Row({FmtInt(a.leader), FmtInt(a.follower), Fmt(a.weight),
+                FmtInt(a.lag)});
+  }
+  std::printf("\nexpected shape: hit-rates are an order of magnitude above "
+              "random and rise with detector AUC; the planted lead-lag "
+              "pairs top the association list with correct lags, and the "
+              "unrelated sensor 3 appears with near-zero weight.\n");
+  return 0;
+}

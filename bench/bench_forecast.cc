@@ -1,0 +1,84 @@
+// E4 — Forecasting accuracy across models and horizons (§II-C).
+// Rolling-origin evaluation of every forecaster family on a traffic-like
+// seasonal series and on surging cloud demand. Expected shape:
+// seasonal-aware models beat naive; error grows with horizon; no single
+// model wins everywhere (the motivation for automation, E5).
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/analytics/automl/search.h"
+#include "src/analytics/forecast/metrics.h"
+#include "src/analytics/robust/continual.h"
+#include "src/sim/cloud_gen.h"
+#include "src/sim/ts_gen.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Table;
+
+/// Rolling-origin MAE of a fresh clone of `proto` at one horizon.
+double Evaluate(const Forecaster& proto, const std::vector<double>& series,
+                int horizon, int folds = 4) {
+  double total = 0.0;
+  int used = 0;
+  int n = static_cast<int>(series.size());
+  for (int f = 0; f < folds; ++f) {
+    int cut = n - (folds - f) * horizon;
+    if (cut < n / 2) continue;
+    std::unique_ptr<Forecaster> model = proto.CloneUnfitted();
+    std::vector<double> train(series.begin(), series.begin() + cut);
+    std::vector<double> actual(series.begin() + cut,
+                               series.begin() + std::min(n, cut + horizon));
+    if (!model->Fit(train).ok()) return -1.0;
+    Result<std::vector<double>> fc =
+        model->Forecast(static_cast<int>(actual.size()));
+    if (!fc.ok()) return -1.0;
+    total += MeanAbsoluteError(actual, *fc);
+    ++used;
+  }
+  return used > 0 ? total / used : -1.0;
+}
+
+void RunOn(const char* name, const std::vector<double>& series, int season) {
+  Table table(std::string("E4 forecast MAE on ") + name,
+              {"model", "h=1", "h=6", "h=12", "h=24"});
+  std::vector<std::unique_ptr<Forecaster>> models;
+  models.push_back(std::make_unique<NaiveForecaster>());
+  models.push_back(std::make_unique<SeasonalNaiveForecaster>(season));
+  models.push_back(std::make_unique<ArForecaster>(8));
+  models.push_back(std::make_unique<HoltWintersForecaster>(season));
+  models.push_back(std::make_unique<RidgeDirectForecaster>(2 * season, 24));
+  models.push_back(std::make_unique<MultiScaleForecaster>(
+      std::vector<int>{1, 2, 4}, 8));
+  for (const auto& model : models) {
+    std::vector<std::string> row = {model->Name()};
+    for (int h : {1, 6, 12, 24}) {
+      double mae = Evaluate(*model, series, h);
+      row.push_back(mae < 0 ? "n/a" : Fmt(mae));
+    }
+    table.Row(row);
+  }
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(404);
+  std::vector<double> traffic =
+      GenerateSeries(TrafficLikeSpec(24), 24 * 20, &rng);
+  RunOn("traffic-like series (period 24)", traffic, 24);
+
+  CloudDemandSpec cloud_spec;
+  cloud_spec.surges_per_day = 0.5;
+  std::vector<double> cloud =
+      GenerateCloudDemand(cloud_spec, cloud_spec.steps_per_day * 14, &rng);
+  RunOn("cloud demand (period 144, surges)", cloud, 144);
+
+  std::printf("\nexpected shape: seasonal models dominate naive; MAE grows "
+              "with horizon; rankings differ across datasets, motivating "
+              "automated model selection (E5).\n");
+  return 0;
+}

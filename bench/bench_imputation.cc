@@ -1,0 +1,88 @@
+// E1 — Missing-value imputation (§II-B; [11]-[14]).
+// Sweeps missing rate and missingness pattern (random vs block outages)
+// over a correlated sensor field and reports the imputation MAE of each
+// method. Expected shape: error grows with the missing rate; graph-aware
+// spatio-temporal imputation wins at high rates and under block outages,
+// where temporal-only methods have nothing to interpolate from.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/analytics/forecast/metrics.h"
+#include "src/governance/imputation/imputer.h"
+#include "src/governance/imputation/st_imputer.h"
+#include "src/sim/inject.h"
+#include "src/sim/ts_gen.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Table;
+
+double ErrorOnMissing(const TimeSeries& truth, const TimeSeries& corrupted,
+                      const TimeSeries& imputed) {
+  std::vector<double> t, p;
+  for (size_t i = 0; i < truth.NumSteps(); ++i) {
+    for (size_t c = 0; c < truth.NumChannels(); ++c) {
+      if (corrupted.IsMissing(i, c) && !imputed.IsMissing(i, c)) {
+        t.push_back(truth.At(i, c));
+        p.push_back(imputed.At(i, c));
+      }
+    }
+  }
+  return MeanAbsoluteError(t, p);
+}
+
+void RunSweep(bool blocks) {
+  Table table(std::string("E1 imputation MAE, pattern=") +
+                  (blocks ? "block-outage" : "random"),
+              {"miss_rate", "mean", "locf", "linear", "ar-backcast",
+               "st-graph"});
+  // One fixed ground truth per pattern so the sweep isolates the rate.
+  Rng truth_rng(blocks ? 77 : 33);
+  CorrelatedFieldSpec spec;
+  spec.grid_rows = 5;
+  spec.grid_cols = 5;
+  spec.spatial_strength = 0.7;
+  spec.base = TrafficLikeSpec(48);  // daily structure worth interpolating
+  CorrelatedTimeSeries truth = GenerateCorrelatedField(spec, 480, &truth_rng);
+
+  for (double rate : {0.1, 0.3, 0.5, 0.7}) {
+    Rng rng(1000 + static_cast<int>(rate * 100) + (blocks ? 7 : 0));
+    CorrelatedTimeSeries corrupted = truth;
+    if (blocks) {
+      InjectMissingBlocks(&corrupted.series(), rate, 24, &rng);
+    } else {
+      InjectMissingMcar(&corrupted.series(), rate, &rng);
+    }
+
+    std::vector<std::string> row = {Fmt(rate, 1)};
+    std::vector<std::unique_ptr<Imputer>> temporal;
+    temporal.push_back(std::make_unique<MeanImputer>());
+    temporal.push_back(std::make_unique<LocfImputer>());
+    temporal.push_back(std::make_unique<LinearInterpolationImputer>());
+    temporal.push_back(std::make_unique<ArBackcastImputer>(6));
+    for (const auto& imputer : temporal) {
+      TimeSeries repaired = corrupted.series();
+      imputer->Impute(&repaired);
+      row.push_back(Fmt(ErrorOnMissing(truth.series(), corrupted.series(),
+                                       repaired)));
+    }
+    CorrelatedTimeSeries st = corrupted;
+    SpatioTemporalImputer().Impute(&st);
+    row.push_back(Fmt(ErrorOnMissing(truth.series(), corrupted.series(),
+                                     st.series())));
+    table.Row(row);
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunSweep(/*blocks=*/false);
+  RunSweep(/*blocks=*/true);
+  std::printf("\nexpected shape: MAE rises with missing rate; st-graph "
+              "degrades most gracefully, especially under block outages.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E18 — Predictive maintenance (§II-D decision scenarios).
+// Replays maintenance policies on a fleet of degrading machines and
+// sweeps the cost ratio of unplanned failure vs planned service.
+// Expected shape: run-to-failure dominates only when failures are cheap;
+// eager scheduling wastes remaining useful life; the predictive
+// (uncertainty-aware) policy achieves the lowest cost over a wide range
+// of cost ratios by servicing late but rarely failing.
+
+#include "bench/bench_util.h"
+#include "src/decision/maintenance/maintenance.h"
+#include "src/sim/degradation.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::FmtInt;
+using tsdm_bench::Table;
+
+}  // namespace
+
+int main() {
+  DegradationSpec spec;
+  const int kMachines = 10;
+  const int kSteps = 4000;
+  const int kReview = 24;
+
+  // Per-policy raw outcomes (failures/services are cost-independent).
+  struct Row {
+    std::string name;
+    MaintenanceOutcome outcome;
+  };
+  std::vector<Row> rows;
+  {
+    RunToFailurePolicy policy;
+    rows.push_back({policy.Name(),
+                    SimulateMaintenance(spec, &policy, kMachines, kSteps,
+                                        kReview)});
+  }
+  for (int interval : {150, 250, 350}) {
+    ScheduledPolicy policy(interval);
+    rows.push_back({policy.Name(),
+                    SimulateMaintenance(spec, &policy, kMachines, kSteps,
+                                        kReview)});
+  }
+  {
+    ConditionThresholdPolicy policy(35.0);
+    rows.push_back({policy.Name(),
+                    SimulateMaintenance(spec, &policy, kMachines, kSteps,
+                                        kReview)});
+  }
+  for (double risk : {0.05, 0.15}) {
+    PredictiveMaintenancePolicy::Options opts;
+    opts.failure_threshold = spec.failure_threshold;
+    opts.horizon = kReview;
+    opts.risk_tolerance = risk;
+    PredictiveMaintenancePolicy policy(opts);
+    rows.push_back({policy.Name(),
+                    SimulateMaintenance(spec, &policy, kMachines, kSteps,
+                                        kReview)});
+  }
+
+  Table base_table("E18 maintenance outcomes (10 machines, 4000 steps)",
+                   {"policy", "failures", "services", "life_used"});
+  for (const Row& r : rows) {
+    base_table.Row({r.name, FmtInt(r.outcome.failures),
+                    FmtInt(r.outcome.maintenances),
+                    Fmt(r.outcome.mean_life_used)});
+  }
+
+  Table cost_table("E18 total cost vs failure/service cost ratio",
+                   {"policy", "ratio=2", "ratio=5", "ratio=10", "ratio=30"});
+  const double kServiceCost = 10.0;
+  for (const Row& r : rows) {
+    std::vector<std::string> cells = {r.name};
+    for (double ratio : {2.0, 5.0, 10.0, 30.0}) {
+      double cost = r.outcome.failures * ratio * kServiceCost +
+                    r.outcome.maintenances * kServiceCost;
+      cells.push_back(Fmt(cost, 0));
+    }
+    cost_table.Row(cells);
+  }
+  std::printf("\nexpected shape: run-to-failure wins only at ratio~2; "
+              "predictive policies achieve the lowest cost at realistic "
+              "ratios (>=5) by combining few failures with high life "
+              "utilization.\n");
+  return 0;
+}

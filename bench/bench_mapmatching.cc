@@ -1,0 +1,111 @@
+// E3 — HMM map matching vs nearest-edge snapping ([17]).
+// Sweeps GPS noise and sampling period; reports per-point matching
+// accuracy averaged over simulated drives. Expected shape: the HMM
+// degrades gracefully with noise and sparse sampling; independent
+// nearest-edge snapping collapses once noise approaches half the street
+// spacing.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/governance/fusion/map_matcher.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+#include "src/sim/traj_sim.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Table;
+
+double MatchAccuracy(const MapMatchResult& result,
+                     const std::vector<int>& truth) {
+  if (result.matched_edges.size() != truth.size() || truth.empty()) {
+    return 0.0;
+  }
+  size_t hits = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (result.matched_edges[i] == truth[i]) ++hits;
+  }
+  return static_cast<double>(hits) / truth.size();
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(303);
+  GridNetworkSpec gspec;
+  gspec.rows = 7;
+  gspec.cols = 7;
+  gspec.spacing = 400.0;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  TrafficSimulator traffic(&net, TrafficSpec{});
+  const int kDrives = 12;
+
+  Table noise_table("E3 map matching accuracy vs GPS noise (10s sampling)",
+                    {"noise[m]", "hmm", "nearest-edge"});
+  for (double noise : {5.0, 15.0, 30.0, 60.0, 100.0}) {
+    double acc_hmm = 0.0, acc_near = 0.0;
+    int scored = 0;
+    for (int d = 0; d < kDrives; ++d) {
+      std::vector<int> path = RandomPath(net, 8, 100, &rng);
+      if (path.empty()) continue;
+      GpsSpec gps;
+      gps.noise_stddev = noise;
+      gps.dropout_probability = 0.02;
+      SimulatedDrive drive =
+          SimulateDrive(net, traffic, path, 9 * 3600, gps, &rng);
+      if (drive.gps.NumPoints() < 3) continue;
+      HmmMapMatcher::Options opts;
+      opts.gps_stddev = noise;
+      opts.search_radius = std::max(60.0, 2.5 * noise);
+      HmmMapMatcher matcher(&net, opts);
+      Result<MapMatchResult> hmm = matcher.Match(drive.gps);
+      Result<MapMatchResult> nearest =
+          NearestEdgeMatch(net, drive.gps, std::max(150.0, 3.0 * noise));
+      if (!hmm.ok() || !nearest.ok()) continue;
+      acc_hmm += MatchAccuracy(*hmm, drive.gps_true_edges);
+      acc_near += MatchAccuracy(*nearest, drive.gps_true_edges);
+      ++scored;
+    }
+    if (scored == 0) continue;
+    noise_table.Row({Fmt(noise, 0), Fmt(acc_hmm / scored),
+                     Fmt(acc_near / scored)});
+  }
+
+  Table period_table(
+      "E3 map matching accuracy vs sampling period (30m noise)",
+      {"period[s]", "hmm", "nearest-edge"});
+  for (double period : {5.0, 15.0, 30.0, 60.0}) {
+    double acc_hmm = 0.0, acc_near = 0.0;
+    int scored = 0;
+    for (int d = 0; d < kDrives; ++d) {
+      std::vector<int> path = RandomPath(net, 8, 100, &rng);
+      if (path.empty()) continue;
+      GpsSpec gps;
+      gps.noise_stddev = 30.0;
+      gps.sample_period = period;
+      SimulatedDrive drive =
+          SimulateDrive(net, traffic, path, 9 * 3600, gps, &rng);
+      if (drive.gps.NumPoints() < 3) continue;
+      HmmMapMatcher::Options opts;
+      opts.gps_stddev = 30.0;
+      opts.search_radius = 100.0;
+      HmmMapMatcher matcher(&net, opts);
+      Result<MapMatchResult> hmm = matcher.Match(drive.gps);
+      Result<MapMatchResult> nearest = NearestEdgeMatch(net, drive.gps, 200.0);
+      if (!hmm.ok() || !nearest.ok()) continue;
+      acc_hmm += MatchAccuracy(*hmm, drive.gps_true_edges);
+      acc_near += MatchAccuracy(*nearest, drive.gps_true_edges);
+      ++scored;
+    }
+    if (scored == 0) continue;
+    period_table.Row({Fmt(period, 0), Fmt(acc_hmm / scored),
+                      Fmt(acc_near / scored)});
+  }
+  std::printf("\nexpected shape: hmm >= nearest everywhere; the gap widens "
+              "with noise, since the HMM exploits route continuity that "
+              "independent snapping ignores.\n");
+  return 0;
+}

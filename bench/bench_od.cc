@@ -1,0 +1,105 @@
+// E24 — Stochastic OD-matrix completion ([14]).
+// Origin-destination matrices built from taxi trips lose entries when
+// fleets under-sample region pairs. Sweeps the unobserved fraction (with
+// fleet-style pair-dependent sparsity) and compares the blended
+// gravity+temporal completion against its two components. Expected shape:
+// temporal interpolation is sharp at low sparsity but degrades steeply as
+// rare pairs disappear for long runs; the gravity (structural) estimate is
+// coarse but nearly rate-insensitive; the blend is never the worst
+// component and degrades far more slowly than temporal — the
+// combined-structure argument of [14].
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/data/od_matrix.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Table;
+
+/// Gravity ground truth with a diurnal profile and region attractions.
+OdMatrixSequence MakeTruth(int regions, int intervals, int seed) {
+  Rng rng(seed);
+  std::vector<double> attraction(regions);
+  for (double& a : attraction) a = rng.Uniform(0.5, 3.0);
+  OdMatrixSequence truth(regions, intervals, 3600.0);
+  for (int t = 0; t < intervals; ++t) {
+    double level = 20.0 + 12.0 * std::sin(2.0 * M_PI * t / 24.0);
+    for (int o = 0; o < regions; ++o) {
+      for (int d = 0; d < regions; ++d) {
+        truth.SetCount(t, o, d,
+                       level * attraction[o] * attraction[d] / 10.0 +
+                           rng.Normal(0.0, 0.5));
+      }
+    }
+  }
+  return truth;
+}
+
+double CompletionError(const OdMatrixSequence& truth,
+                       const OdMatrixSequence& observed, double weight) {
+  OdMatrixSequence repaired = observed;
+  OdCompletion::Options opts;
+  opts.structural_weight = weight;
+  if (!OdCompletion(opts).Complete(&repaired).ok()) return -1.0;
+  double err = 0.0;
+  int count = 0;
+  for (size_t t = 0; t < truth.NumIntervals(); ++t) {
+    for (int o = 0; o < truth.NumRegions(); ++o) {
+      for (int d = 0; d < truth.NumRegions(); ++d) {
+        if (std::isfinite(observed.Count(t, o, d))) continue;
+        err += std::fabs(repaired.Count(t, o, d) - truth.Count(t, o, d));
+        ++count;
+      }
+    }
+  }
+  return count > 0 ? err / count : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  const int kRegions = 6;
+  const int kIntervals = 24 * 5;
+  Table table("E24 OD completion MAE vs unobserved fraction",
+              {"missing", "temporal-only", "gravity-only", "blend(0.5)"});
+  for (double missing : {0.1, 0.3, 0.5, 0.7}) {
+    const int kSeeds = 3;
+    double temporal = 0.0, gravity = 0.0, blend = 0.0;
+    for (int s = 0; s < kSeeds; ++s) {
+      OdMatrixSequence truth = MakeTruth(kRegions, kIntervals, 2400 + s);
+      OdMatrixSequence observed = truth;
+      Rng rng(2500 + s);
+      // Fleet-style sparsity: each pair has its own observation rate
+      // (popular pairs are seen every interval, rare pairs blink out for
+      // long runs), averaging to the requested missing fraction.
+      for (int o = 0; o < kRegions; ++o) {
+        for (int d = 0; d < kRegions; ++d) {
+          double pair_missing =
+              std::min(0.97, rng.Uniform(0.0, 2.0 * missing));
+          for (size_t t = 0; t < truth.NumIntervals(); ++t) {
+            if (rng.Bernoulli(pair_missing)) {
+              observed.SetCount(
+                  t, o, d, std::numeric_limits<double>::quiet_NaN());
+            }
+          }
+        }
+      }
+      temporal += CompletionError(truth, observed, 0.0) / kSeeds;
+      gravity += CompletionError(truth, observed, 1.0) / kSeeds;
+      blend += CompletionError(truth, observed, 0.5) / kSeeds;
+    }
+    table.Row({Fmt(missing, 1), Fmt(temporal), Fmt(gravity), Fmt(blend)});
+  }
+  std::printf("\nexpected shape: temporal error grows steeply with "
+              "sparsity (rare pairs lose their temporal neighbors) while "
+              "gravity stays nearly flat; the blend is never the worst "
+              "component and degrades far more slowly than temporal.\n");
+  return 0;
+}

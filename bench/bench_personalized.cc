@@ -1,0 +1,133 @@
+// E16 — Personalized and learning-based decision making ([29],[55],[56]).
+// (a) Context-aware preference learning: synthetic commuters whose
+//     criterion weights depend on time-of-day/weekend context; contextual
+//     model vs a single global preference model, across context contrast.
+// (b) Route imitation: learn edge preferences from expert trajectories and
+//     measure route overlap with held-out expert choices vs the plain
+//     shortest-path baseline. Expected shape: the contextual model's
+//     choice agreement exceeds the global model's, with the gap growing in
+//     context contrast; imitation overlap >> shortest-path overlap.
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/decision/imitation/route_imitation.h"
+#include "src/decision/personal/context_preference.h"
+#include "src/sim/road_gen.h"
+#include "src/spatial/shortest_path.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Table;
+
+/// Generates observations for a commuter whose weekday weight on time is
+/// 0.5 + contrast/2 and weekend weight is 0.5 - contrast/2.
+double AgreementGap(double contrast, int seed, double* contextual_out,
+                    double* global_out) {
+  Rng rng(seed);
+  std::vector<ChoiceObservation> observations;
+  for (int i = 0; i < 400; ++i) {
+    ChoiceObservation obs;
+    bool weekend = rng.Bernoulli(0.5);
+    obs.context =
+        DecisionContext::FromTime(weekend ? 13 * 3600 : 8 * 3600, weekend);
+    for (int c = 0; c < 5; ++c) {
+      obs.candidate_costs.push_back(
+          {rng.Uniform(10, 100), rng.Uniform(10, 100)});
+    }
+    double wt = weekend ? 0.5 - contrast / 2.0 : 0.5 + contrast / 2.0;
+    std::vector<double> w = {wt, 1.0 - wt};
+    double best = 1e300;
+    for (size_t c = 0; c < obs.candidate_costs.size(); ++c) {
+      double v = w[0] * obs.candidate_costs[c][0] +
+                 w[1] * obs.candidate_costs[c][1];
+      if (v < best) {
+        best = v;
+        obs.chosen = static_cast<int>(c);
+      }
+    }
+    observations.push_back(obs);
+  }
+  ContextualPreferenceModel::Options copts;
+  copts.num_criteria = 2;
+  ContextualPreferenceModel contextual(copts);
+  ContextualPreferenceModel::Options gopts;
+  gopts.num_criteria = 2;
+  gopts.contextual = false;
+  ContextualPreferenceModel global(gopts);
+  for (const auto& obs : observations) {
+    contextual.AddObservation(obs);
+    global.AddObservation(obs);
+  }
+  contextual.Train();
+  global.Train();
+  *contextual_out = contextual.TrainingAgreement();
+  *global_out = global.TrainingAgreement();
+  return *contextual_out - *global_out;
+}
+
+}  // namespace
+
+int main() {
+  Table pref_table("E16a contextual vs global preference agreement",
+                   {"contrast", "contextual", "global", "gap"});
+  for (double contrast : {0.0, 0.2, 0.5, 0.8}) {
+    double ctx = 0.0, glob = 0.0;
+    AgreementGap(contrast, 1600 + static_cast<int>(contrast * 10), &ctx,
+                 &glob);
+    pref_table.Row({Fmt(contrast, 1), Fmt(ctx), Fmt(glob),
+                    Fmt(ctx - glob)});
+  }
+
+  // ---- (b) imitation of expert routing --------------------------------
+  Rng rng(1616);
+  GridNetworkSpec gspec;
+  gspec.rows = 7;
+  gspec.cols = 7;
+  gspec.diagonal_probability = 0.25;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  // Experts internally prefer fast arterials beyond their time advantage.
+  auto expert_cost = [&net](int eid) {
+    double t = net.FreeFlowTime(eid);
+    return net.edge(eid).free_flow_speed > 12.0 ? 0.45 * t : 1.6 * t;
+  };
+  Table imit_table("E16b route imitation: overlap with expert routes",
+                   {"expert_trips", "imitation", "shortest-path"});
+  for (int trips : {10, 50, 200, 800}) {
+    RouteImitator imitator(&net);
+    for (int i = 0; i < trips; ++i) {
+      int s = rng.Index(static_cast<int>(net.NumNodes()));
+      int t = rng.Index(static_cast<int>(net.NumNodes()));
+      if (s == t) continue;
+      Result<Path> p = ShortestPath(net, s, t, expert_cost);
+      if (p.ok() && p->edges.size() >= 3) imitator.AddExpertPath(p->edges);
+    }
+    if (!imitator.Train().ok()) continue;
+    double overlap_learned = 0.0, overlap_baseline = 0.0;
+    int scored = 0;
+    Rng eval_rng(99);
+    for (int i = 0; i < 60; ++i) {
+      int s = eval_rng.Index(static_cast<int>(net.NumNodes()));
+      int t = eval_rng.Index(static_cast<int>(net.NumNodes()));
+      if (s == t) continue;
+      Result<Path> expert = ShortestPath(net, s, t, expert_cost);
+      Result<Path> learned = imitator.Route(s, t);
+      Result<Path> baseline = ShortestPath(net, s, t, FreeFlowTimeCost(net));
+      if (!expert.ok() || !learned.ok() || !baseline.ok()) continue;
+      overlap_learned +=
+          RouteImitator::PathJaccard(learned->edges, expert->edges);
+      overlap_baseline +=
+          RouteImitator::PathJaccard(baseline->edges, expert->edges);
+      ++scored;
+    }
+    if (scored == 0) continue;
+    imit_table.Row({std::to_string(trips), Fmt(overlap_learned / scored),
+                    Fmt(overlap_baseline / scored)});
+  }
+  std::printf("\nexpected shape: contextual-global gap grows with context "
+              "contrast (both equal at contrast 0); imitation overlap "
+              "rises with the number of expert trips and exceeds the "
+              "shortest-path baseline.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// E8 — Robust anomaly detection with polluted training data ([34], [35]).
+// Sweeps the pollution rate of the training set. AUC alone hides the
+// failure mode (score *ranking* is scale-invariant), so this bench
+// evaluates the operational setting: each detector alarms when a score
+// exceeds mean + 3*stdev of its own *training* scores. Pollution inflates
+// naive detectors' scale estimate, silently raising the alarm threshold
+// until real anomalies are missed. Expected shape: naive recall collapses
+// as pollution grows; robust-trained variants hold recall and F1.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/analytics/anomaly/detector.h"
+#include "src/common/stats.h"
+#include "src/sim/inject.h"
+#include "src/sim/ts_gen.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Table;
+
+struct Detection {
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Alarms at calibration-score mean + 3 stdev; scores `test` and compares
+/// with labels. Naive detectors calibrate on the (polluted) training set;
+/// the robust wrapper calibrates on the subset that survived trimming —
+/// that is exactly the operational benefit robust training buys.
+Detection Evaluate(AnomalyDetector* detector,
+                   const std::vector<double>& train,
+                   const std::vector<double>& test,
+                   const std::vector<int>& labels) {
+  Detection out;
+  if (!detector->Fit(train).ok()) return out;
+  const std::vector<double>* calibration = &train;
+  if (auto* robust = dynamic_cast<RobustTrainingWrapper*>(detector)) {
+    calibration = &robust->cleaned_training_data();
+  }
+  auto train_scores = detector->Score(*calibration);
+  auto test_scores = detector->Score(test);
+  if (!train_scores.ok() || !test_scores.ok()) return out;
+  double threshold = Mean(*train_scores) + 3.0 * Stdev(*train_scores);
+  double tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < test_scores->size(); ++i) {
+    bool alarm = (*test_scores)[i] > threshold;
+    if (alarm && labels[i] == 1) ++tp;
+    if (alarm && labels[i] == 0) ++fp;
+    if (!alarm && labels[i] == 1) ++fn;
+  }
+  out.recall = tp + fn > 0 ? tp / (tp + fn) : 0.0;
+  double precision = tp + fp > 0 ? tp / (tp + fp) : 0.0;
+  out.f1 = precision + out.recall > 0
+               ? 2.0 * precision * out.recall / (precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::vector<std::string>> recall_rows, f1_rows;
+  for (double pollution : {0.0, 0.05, 0.10, 0.20}) {
+    const int kSeeds = 3;
+    Detection acc[5];
+    for (int s = 0; s < kSeeds; ++s) {
+      Rng rng(800 + s);
+      SeriesSpec spec = TrafficLikeSpec(24);
+      std::vector<double> train = GenerateSeries(spec, 800, &rng);
+      for (auto& v : train) {
+        if (rng.Bernoulli(pollution)) {
+          v += rng.Bernoulli(0.5) ? 60.0 : -60.0;
+        }
+      }
+      TimeSeries ts = TimeSeries::Regular(0, 1, 800, 1);
+      ts.SetChannel(0, GenerateSeries(spec, 800, &rng));
+      auto injected =
+          InjectAnomalies(&ts, AnomalyKind::kSpike, 16, 6.0, &rng);
+      std::vector<double> test = ts.Channel(0);
+      std::vector<int> labels = AnomalyLabels(injected, 0, 800);
+
+      std::unique_ptr<AnomalyDetector> detectors[5];
+      detectors[0] = std::make_unique<ZScoreDetector>();
+      detectors[1] = std::make_unique<RobustTrainingWrapper>(
+          std::make_unique<ZScoreDetector>(), 3.0, 6);
+      detectors[2] = std::make_unique<MadDetector>();
+      detectors[3] = std::make_unique<PcaReconstructionDetector>(16, 3);
+      detectors[4] = std::make_unique<RobustTrainingWrapper>(
+          std::make_unique<PcaReconstructionDetector>(16, 3), 3.0, 6);
+      for (int d = 0; d < 5; ++d) {
+        Detection det = Evaluate(detectors[d].get(), train, test, labels);
+        acc[d].recall += det.recall / kSeeds;
+        acc[d].f1 += det.f1 / kSeeds;
+      }
+    }
+    recall_rows.push_back({Fmt(pollution, 2), Fmt(acc[0].recall),
+                           Fmt(acc[1].recall), Fmt(acc[2].recall),
+                           Fmt(acc[3].recall), Fmt(acc[4].recall)});
+    f1_rows.push_back({Fmt(pollution, 2), Fmt(acc[0].f1), Fmt(acc[1].f1),
+                       Fmt(acc[2].f1), Fmt(acc[3].f1), Fmt(acc[4].f1)});
+  }
+  {
+    Table recall_table("E8 recall at the mean+3sd calibration threshold",
+                       {"pollution", "zscore", "robust[zscore]", "mad",
+                        "pca", "robust[pca]"});
+    for (const auto& r : recall_rows) recall_table.Row(r);
+  }
+  {
+    Table f1_table("E8 F1 at the mean+3sd calibration threshold",
+                   {"pollution", "zscore", "robust[zscore]", "mad", "pca",
+                    "robust[pca]"});
+    for (const auto& r : f1_rows) f1_table.Row(r);
+  }
+  std::printf("\nexpected shape: naive zscore/pca recall collapses as "
+              "pollution inflates their training-score scale; "
+              "robust-trained variants keep recall and F1 roughly flat.\n");
+  return 0;
+}

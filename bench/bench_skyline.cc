@@ -1,0 +1,104 @@
+// E15 — Multi-objective skyline routing and scalarization ([15], [54]).
+// Sweeps network size; reports skyline cardinality vs the number of
+// enumerated paths, search time, and verifies that every scalarized
+// (preference-weighted) optimum lies on the skyline. Expected shape: the
+// skyline is small relative to the path space and grows slowly with
+// network size; scalarized choices always sit on the skyline; different
+// preference weights select different skyline routes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/decision/multiobj/pareto.h"
+#include "src/sim/road_gen.h"
+#include "src/spatial/shortest_path.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::FmtInt;
+using tsdm_bench::Table;
+
+RoadNetwork MakeNetwork(int side, int seed) {
+  Rng rng(seed);
+  GridNetworkSpec spec;
+  spec.rows = side;
+  spec.cols = side;
+  spec.diagonal_probability = 0.2;
+  return GenerateGridNetwork(spec, &rng);
+}
+
+RoadNetwork g_bench_net = MakeNetwork(8, 1500);
+
+void BM_SkylineSearch(benchmark::State& state) {
+  int target = static_cast<int>(g_bench_net.NumNodes()) - 1;
+  std::vector<EdgeCostFn> criteria = {FreeFlowTimeCost(g_bench_net),
+                                      LengthCost(g_bench_net)};
+  for (auto _ : state) {
+    auto r = SkylineRoutes(g_bench_net, 0, target, criteria,
+                           static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SkylineSearch)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Table table("E15 skyline routing across network sizes (time, distance)",
+              {"grid", "nodes", "skyline", "ksp16_front", "time[ms]",
+               "regret_cases"});
+  for (int side : {4, 6, 8, 10}) {
+    RoadNetwork net = MakeNetwork(side, 1500 + side);
+    int target = static_cast<int>(net.NumNodes()) - 1;
+    std::vector<EdgeCostFn> criteria = {FreeFlowTimeCost(net),
+                                        LengthCost(net)};
+    tsdm_bench::Stopwatch watch;
+    Result<std::vector<SkylinePath>> skyline =
+        SkylineRoutes(net, 0, target, criteria, 32);
+    double ms = watch.Millis();
+    if (!skyline.ok()) continue;
+
+    // Baseline: Pareto-filtering the 16 shortest (by time) paths — the
+    // enumerate-then-filter approach the label-correcting search replaces.
+    Result<std::vector<Path>> ksp =
+        KShortestPaths(net, 0, target, 16, FreeFlowTimeCost(net));
+    size_t ksp_front = 0;
+    if (ksp.ok()) {
+      std::vector<std::vector<double>> costs;
+      for (const Path& p : *ksp) {
+        costs.push_back({p.cost, net.PathLength(p.edges)});
+      }
+      ksp_front = ParetoFront(costs).size();
+    }
+
+    // Scalarization membership check over a sweep of preferences.
+    std::vector<std::vector<double>> sk_costs;
+    for (const auto& sp : *skyline) sk_costs.push_back(sp.costs);
+    int regret = 0;
+    for (double w = 0.02; w < 1.0; w += 0.07) {
+      // Normalize criteria scales so both matter.
+      int best = ScalarizedBest(sk_costs, {w, (1.0 - w) / 10.0});
+      std::vector<size_t> front = ParetoFront(sk_costs);
+      bool on_front = false;
+      for (size_t f : front) on_front = on_front || static_cast<int>(f) == best;
+      if (!on_front) ++regret;
+    }
+    table.Row({FmtInt(side) + "x" + std::to_string(side),
+               FmtInt(static_cast<long>(net.NumNodes())),
+               FmtInt(static_cast<long>(skyline->size())),
+               FmtInt(static_cast<long>(ksp_front)), Fmt(ms, 1),
+               FmtInt(regret)});
+  }
+  std::printf("\nexpected shape: skyline stays small (single digits to low "
+              "tens) while the path space explodes; it contains at least "
+              "as many non-dominated options as filtering 16 shortest "
+              "paths; scalarized optima always lie on the front "
+              "(regret 0).\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

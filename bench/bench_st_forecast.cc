@@ -1,0 +1,133 @@
+// E6 — Spatio-temporal vs per-sensor forecasting ([44]-[46]).
+// Sweeps the spatial coupling strength of a correlated sensor field and
+// compares graph-regularized AR against independent per-sensor AR and
+// dense VAR, averaged over several seeds. Expected shape: graph-ar is at
+// least as accurate as per-sensor AR, with the advantage growing in the
+// coupling; it matches dense VAR's accuracy with a fraction of the
+// parameters (the sparsity argument of spatio-temporal models).
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/analytics/forecast/association_enhanced.h"
+#include "src/analytics/forecast/forecaster.h"
+#include "src/analytics/forecast/metrics.h"
+#include "src/analytics/forecast/var.h"
+#include "src/sim/ts_gen.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Table;
+
+constexpr int kHorizon = 12;
+constexpr int kOwnLags = 6;
+constexpr int kNeighborLags = 3;
+constexpr int kVarOrder = 3;
+
+struct Errors {
+  double per_sensor = 0.0;
+  double graph = 0.0;
+  double assoc = 0.0;
+  double var = 0.0;
+};
+
+Errors RunOnce(double strength, int seed) {
+  Rng rng(seed);
+  CorrelatedFieldSpec spec;
+  spec.grid_rows = 4;
+  spec.grid_cols = 4;
+  spec.spatial_strength = strength;
+  spec.propagation_delay = 1;  // congestion wave: neighbors lead each other
+  spec.base = TrafficLikeSpec(48);
+  CorrelatedTimeSeries cts = GenerateCorrelatedField(spec, 600, &rng);
+  size_t n = cts.NumSteps();
+  CorrelatedTimeSeries train(cts.graph(),
+                             cts.series().Slice(0, n - kHorizon));
+  std::vector<std::vector<double>> actual(cts.NumSensors());
+  for (size_t s = 0; s < cts.NumSensors(); ++s) {
+    for (size_t t = n - kHorizon; t < n; ++t) {
+      actual[s].push_back(cts.At(t, s));
+    }
+  }
+  Errors e;
+  for (size_t s = 0; s < cts.NumSensors(); ++s) {
+    ArForecaster ar(kOwnLags);
+    if (!ar.Fit(train.SensorSeries(s)).ok()) continue;
+    auto fc = ar.Forecast(kHorizon);
+    if (fc.ok()) e.per_sensor += MeanAbsoluteError(actual[s], *fc);
+  }
+  GraphRegularizedAr graph_ar(kOwnLags, kNeighborLags);
+  if (graph_ar.Fit(train).ok()) {
+    auto fc = graph_ar.Forecast(kHorizon);
+    if (fc.ok()) {
+      for (size_t s = 0; s < cts.NumSensors(); ++s) {
+        e.graph += MeanAbsoluteError(actual[s], (*fc)[s]);
+      }
+    }
+  }
+  AssociationEnhancedForecaster assoc;
+  if (assoc.Fit(train).ok()) {
+    auto fc = assoc.Forecast(kHorizon);
+    if (fc.ok()) {
+      for (size_t s = 0; s < cts.NumSensors(); ++s) {
+        e.assoc += MeanAbsoluteError(actual[s], (*fc)[s]);
+      }
+    }
+  }
+  std::vector<std::vector<double>> channels(cts.NumSensors());
+  for (size_t s = 0; s < cts.NumSensors(); ++s) {
+    channels[s] = train.SensorSeries(s);
+  }
+  VarForecaster var(kVarOrder);
+  if (var.Fit(channels).ok()) {
+    auto fc = var.Forecast(kHorizon);
+    if (fc.ok()) {
+      for (size_t s = 0; s < cts.NumSensors(); ++s) {
+        e.var += MeanAbsoluteError(actual[s], (*fc)[s]);
+      }
+    }
+  }
+  double sensors = static_cast<double>(cts.NumSensors());
+  e.per_sensor /= sensors;
+  e.graph /= sensors;
+  e.assoc /= sensors;
+  e.var /= sensors;
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  const int kSensors = 16;
+  int params_ar = 1 + kOwnLags;
+  int params_graph = 1 + kOwnLags + kNeighborLags;
+  int params_var = 1 + kSensors * kVarOrder;
+
+  Table table("E6 spatio-temporal forecasting MAE vs spatial coupling "
+              "(mean of 5 seeds)",
+              {"coupling", "per-sensor-ar", "graph-ar", "assoc-ar", "dense-var"});
+  for (double strength : {0.0, 0.3, 0.6, 0.9}) {
+    Errors acc;
+    const int kSeeds = 5;
+    for (int s = 0; s < kSeeds; ++s) {
+      Errors e = RunOnce(strength, 600 + s);
+      acc.per_sensor += e.per_sensor / kSeeds;
+      acc.graph += e.graph / kSeeds;
+      acc.assoc += e.assoc / kSeeds;
+      acc.var += e.var / kSeeds;
+    }
+    table.Row({Fmt(strength, 1), Fmt(acc.per_sensor), Fmt(acc.graph),
+               Fmt(acc.assoc), Fmt(acc.var)});
+  }
+  std::printf("\nparameters per sensor equation: per-sensor-ar=%d, "
+              "graph-ar=%d, dense-var=%d\n",
+              params_ar, params_graph, params_var);
+  std::printf("expected shape: graph-ar <= per-sensor-ar with the gap "
+              "growing in coupling; assoc-ar (EnhanceNet-style discovered "
+              "associations) competitive without a given graph; both "
+              "approach dense-var accuracy with ~%dx fewer parameters.\n",
+              params_var / params_graph);
+  return 0;
+}

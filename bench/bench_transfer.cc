@@ -1,0 +1,79 @@
+// E20 — Generality via pre-trained representations (§II-C Generality; the
+// zero-/few-shot adaptability of [20]-[22], [30]-[33]).
+// A frozen task-agnostic encoder + source-domain head is moved to a target
+// domain with a distribution gap. Sweeps the number of labeled target
+// examples. Expected shape: zero-shot transfer already beats chance;
+// few-shot (head-only refit on the frozen representation) dominates
+// training from scratch at low label counts; the curves converge as
+// labels become plentiful.
+
+#include "bench/bench_util.h"
+#include "src/analytics/represent/transfer.h"
+#include "src/sim/ts_gen.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::FmtInt;
+using tsdm_bench::Table;
+
+/// Three-class task; `noise`/`period` shift defines the domain gap.
+std::vector<LabeledSeries> Domain(int per_class, int seed, double noise,
+                                  int period) {
+  Rng rng(seed);
+  std::vector<LabeledSeries> out;
+  for (int i = 0; i < per_class; ++i) {
+    SeriesSpec flat;
+    flat.level = 5.0;
+    flat.noise_stddev = noise;
+    out.push_back({GenerateSeries(flat, 64, &rng), 0});
+    SeriesSpec seasonal = flat;
+    seasonal.seasonal = {{period, 2.5, 0.0}};
+    out.push_back({GenerateSeries(seasonal, 64, &rng), 1});
+    SeriesSpec trending = flat;
+    trending.trend_per_step = 0.1;
+    out.push_back({GenerateSeries(trending, 64, &rng), 2});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // Source: clean, period-8 world. Target: noisier, period-12 world.
+  auto source = Domain(40, 1, 0.6, 8);
+  auto target_test = Domain(30, 2, 1.4, 12);
+
+  TransferEvaluator evaluator;
+  if (!evaluator.FitSource(source).ok()) return 1;
+  Result<double> zero = evaluator.ZeroShotAccuracy(target_test);
+
+  Table table("E20 target-domain accuracy vs labeled target examples "
+              "(zero-shot = " +
+                  (zero.ok() ? Fmt(*zero) : std::string("n/a")) + ")",
+              {"labels", "few-shot(frozen enc)", "scratch"});
+  for (int per_class : {1, 2, 4, 8, 16}) {
+    const int kSeeds = 3;
+    double few = 0.0, scratch = 0.0;
+    int used = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      auto target_few = Domain(per_class, 100 + 10 * per_class + s, 1.4, 12);
+      Result<double> f = evaluator.FewShotAccuracy(target_few, target_test);
+      Result<double> g =
+          TransferEvaluator::ScratchAccuracy(target_few, target_test);
+      if (!f.ok() || !g.ok()) continue;
+      few += *f;
+      scratch += *g;
+      ++used;
+    }
+    if (used == 0) continue;
+    table.Row({FmtInt(3 * per_class), Fmt(few / used),
+               Fmt(scratch / used)});
+  }
+  std::printf("\nexpected shape: few-shot >= scratch at every label count, "
+              "with the largest gap at 3-12 labels; both converge as "
+              "labels grow — the label-efficiency argument for general "
+              "pre-trained representations.\n");
+  return 0;
+}

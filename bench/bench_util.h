@@ -1,0 +1,64 @@
+#ifndef TSDM_BENCH_BENCH_UTIL_H_
+#define TSDM_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tsdm_bench {
+
+/// Minimal fixed-width table printer so every bench emits the same shape
+/// of output: a header block naming the experiment, column headers, then
+/// one row per configuration — mirroring how the reproduced papers report
+/// their tables.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns,
+        int column_width = 14)
+      : columns_(std::move(columns)), width_(column_width) {
+    std::printf("\n==== %s ====\n", title.c_str());
+    for (const auto& c : columns_) std::printf("%-*s", width_, c.c_str());
+    std::printf("\n");
+    for (size_t i = 0; i < columns_.size() * width_; ++i) std::printf("-");
+    std::printf("\n");
+  }
+
+  /// Prints one row; each cell is preformatted.
+  void Row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) std::printf("%-*s", width_, c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(long v) { return std::to_string(v); }
+
+/// Wall-clock helper for coarse harness timings (google-benchmark is used
+/// where microbenchmark precision matters).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double Millis() const { return 1000.0 * Seconds(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tsdm_bench
+
+#endif  // TSDM_BENCH_BENCH_UTIL_H_

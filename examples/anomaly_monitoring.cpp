@@ -1,0 +1,87 @@
+// Anomaly monitoring example: robust analytics on sensor data (§II-C).
+// A monitoring service must detect anomalies in streaming sensor data
+// even though (a) its training data is itself polluted and (b) the data
+// distribution drifts over time. Demonstrates robust training ([34,35]),
+// diversity-driven ensembles ([41,42]), posthoc explanation of detections
+// ([35]), and drift detection feeding continual adaptation ([37]).
+
+#include <cstdio>
+
+#include "src/analytics/anomaly/detector.h"
+#include "src/analytics/anomaly/evaluation.h"
+#include "src/analytics/explain/explain.h"
+#include "src/analytics/robust/drift.h"
+#include "src/sim/inject.h"
+#include "src/sim/ts_gen.h"
+
+int main() {
+  using namespace tsdm;
+  Rng rng(17);
+  SeriesSpec spec = TrafficLikeSpec(48);
+
+  // Training data with 8% pollution (undetected historical anomalies).
+  std::vector<double> train = GenerateSeries(spec, 1200, &rng);
+  for (size_t i = 0; i < train.size(); i += 12) {
+    train[i] += rng.Bernoulli(0.5) ? 40.0 : -40.0;
+  }
+
+  // Test stream with labeled injected anomalies.
+  TimeSeries test_ts = TimeSeries::Regular(0, 300, 1200, 1);
+  test_ts.SetChannel(0, GenerateSeries(spec, 1200, &rng));
+  auto injected =
+      InjectAnomalies(&test_ts, AnomalyKind::kSpike, 25, 7.0, &rng);
+  std::vector<double> test = test_ts.Channel(0);
+  std::vector<int> labels = AnomalyLabels(injected, 0, test.size());
+
+  std::printf("%-28s %-8s %-8s %-8s\n", "detector", "AUC", "AP", "bestF1");
+  auto report = [&](AnomalyDetector* d) {
+    if (!d->Fit(train).ok()) return;
+    Result<std::vector<double>> s = d->Score(test);
+    if (!s.ok()) return;
+    std::printf("%-28s %-8.3f %-8.3f %-8.3f\n", d->Name().c_str(),
+                RocAuc(*s, labels), AveragePrecision(*s, labels),
+                BestF1(*s, labels));
+  };
+  ZScoreDetector zscore;
+  MadDetector mad;
+  PcaReconstructionDetector pca(16, 3);
+  ReconstructionEnsembleDetector ensemble;
+  RobustTrainingWrapper robust(std::make_unique<ZScoreDetector>(), 3.0, 5);
+  report(&zscore);
+  report(&mad);
+  report(&pca);
+  report(&ensemble);
+  report(&robust);
+
+  // Explain the ensemble's detections: do its top-ranked steps coincide
+  // with the injected ground truth?
+  if (ensemble.Fit(train).ok()) {
+    Result<std::vector<double>> s = ensemble.Score(test);
+    if (s.ok()) {
+      AttributionEval eval = EvaluatePointAttribution(*s, labels, 25);
+      std::printf(
+          "\nexplainability: top-25 attributed steps hit real anomalies "
+          "%.0f%% of the time (random would hit %.1f%%)\n",
+          100.0 * eval.hit_rate, 100.0 * eval.random_baseline);
+    }
+  }
+
+  // Drift monitoring: a regime change is flagged within a bounded delay.
+  // delta/threshold are sized to tolerate the seasonal swing (amplitude
+  // ~12) while catching the +25 level shift quickly.
+  PageHinkleyDetector drift(4.0, 120.0);
+  std::vector<double> stream = GenerateSeries(spec, 600, &rng);
+  SeriesSpec shifted = spec;
+  shifted.level += 25.0;  // the physical world changed
+  std::vector<double> after = GenerateSeries(shifted, 600, &rng);
+  stream.insert(stream.end(), after.begin(), after.end());
+  for (size_t t = 0; t < stream.size(); ++t) {
+    if (drift.Update(stream[t])) {
+      std::printf("drift detected at step %zu (true change point: 600) -> "
+                  "trigger continual-learning update\n",
+                  t);
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Cloud autoscaling example: the MagicScaler scenario ([6], §I of the
+// paper). Demand with diurnal/weekly seasonality and sudden surges is
+// forecast probabilistically; capacity decisions trade SLA violations
+// against provisioning cost. Compares a reactive baseline against the
+// uncertainty-aware predictive policy at several service levels.
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/decision/scaling/autoscaler.h"
+#include "src/sim/cloud_gen.h"
+
+int main() {
+  using namespace tsdm;
+  Rng rng(13);
+
+  CloudDemandSpec spec;
+  spec.daily_amplitude = 55.0;
+  spec.surges_per_day = 0.8;
+  int days = 28;
+  std::vector<double> demand =
+      GenerateCloudDemand(spec, days * spec.steps_per_day, &rng);
+  int warmup = 7 * spec.steps_per_day;
+  int review = 12;  // re-decide every 2 hours
+
+  std::printf("demand trace: %d days at 10-minute resolution, "
+              "%.1f surges/day expected\n\n",
+              days, spec.surges_per_day);
+  std::printf("%-22s %-14s %-14s %-16s %-8s\n", "policy", "violations[%]",
+              "mean capacity", "overprovision", "scalings");
+
+  auto print = [&](const char* name, const AutoscaleOutcome& o) {
+    std::printf("%-22s %-14.2f %-14.1f %-16.1f %-8d\n", name,
+                100.0 * o.violation_rate, o.mean_capacity,
+                o.mean_overprovision, o.scale_events);
+  };
+
+  for (double headroom : {0.10, 0.25}) {
+    ReactivePolicy reactive(headroom, 6);
+    Result<AutoscaleOutcome> out =
+        SimulateAutoscaling(demand, &reactive, review, warmup);
+    if (out.ok()) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "reactive(+%.0f%%)",
+                    100.0 * headroom);
+      print(name, *out);
+    }
+  }
+  for (double quantile : {0.80, 0.90, 0.95}) {
+    PredictivePolicy::Options opts;
+    opts.season = spec.steps_per_day;
+    opts.quantile = quantile;
+    PredictivePolicy predictive(opts);
+    Result<AutoscaleOutcome> out =
+        SimulateAutoscaling(demand, &predictive, review, warmup);
+    if (out.ok()) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "predictive(q=%.2f)", quantile);
+      print(name, *out);
+    }
+  }
+
+  std::printf(
+      "\nreading: the predictive policy anticipates the morning ramp and\n"
+      "remembers surges, cutting violations at comparable capacity — the\n"
+      "uncertainty-aware decision-making pattern of the paper's paradigm.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Predictive maintenance example (§II-D): a fleet of machines degrades
+// stochastically; the operator reviews sensor health daily and must decide
+// when to service each unit. Compares run-to-failure, calendar-based,
+// condition-threshold, and uncertainty-aware predictive policies — the
+// same "decision making under uncertainty" pattern as routing and
+// autoscaling, applied to equipment.
+
+#include <cstdio>
+
+#include "src/decision/maintenance/maintenance.h"
+#include "src/sim/degradation.h"
+
+int main() {
+  using namespace tsdm;
+  DegradationSpec spec;
+  const int kMachines = 12;
+  const int kSteps = 5000;
+  const int kReview = 24;  // daily reviews at hourly readings
+  const double kFailureCost = 120.0;
+  const double kServiceCost = 10.0;
+
+  std::printf("fleet: %d machines, %d hours, failure costs %.0fx a planned "
+              "service\n\n",
+              kMachines, kSteps, kFailureCost / kServiceCost);
+  std::printf("%-24s %-10s %-10s %-11s %-10s\n", "policy", "failures",
+              "services", "life_used", "cost");
+
+  auto report = [&](MaintenancePolicy* policy) {
+    MaintenanceOutcome outcome =
+        SimulateMaintenance(spec, policy, kMachines, kSteps, kReview,
+                            kFailureCost, kServiceCost);
+    std::printf("%-24s %-10d %-10d %-11.2f %-10.0f\n",
+                policy->Name().c_str(), outcome.failures,
+                outcome.maintenances, outcome.mean_life_used, outcome.cost);
+  };
+
+  RunToFailurePolicy run_to_failure;
+  ScheduledPolicy scheduled(200);
+  ConditionThresholdPolicy threshold(35.0);
+  PredictiveMaintenancePolicy::Options popts;
+  popts.failure_threshold = spec.failure_threshold;
+  popts.horizon = kReview;
+  popts.risk_tolerance = 0.08;
+  PredictiveMaintenancePolicy predictive(popts);
+
+  report(&run_to_failure);
+  report(&scheduled);
+  report(&threshold);
+  report(&predictive);
+
+  std::printf(
+      "\nreading: the predictive policy forecasts each unit's health "
+      "distribution over the next review period and services only when "
+      "the failure risk exceeds its tolerance — fewer breakdowns than "
+      "run-to-failure, better life utilization than the calendar.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: the "Data-Governance-Analytics-Decision" paradigm (Fig. 1 of
+// the paper) in ~80 lines.
+//
+//  1. Data       — a correlated sensor field with missing values
+//  2. Governance — quality assessment, cleaning, spatio-temporal imputation
+//  3. Analytics  — per-sensor forecasting
+//  4. Decision   — a simple capacity decision from the forecast quantiles
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/analytics/forecast/forecaster.h"
+#include "src/common/rng.h"
+#include "src/core/pipeline.h"
+#include "src/sim/inject.h"
+#include "src/sim/ts_gen.h"
+
+int main() {
+  using namespace tsdm;
+  Rng rng(7);
+
+  // --- 1. Data: 4x4 sensor grid, 2 days of 5-minute observations --------
+  CorrelatedFieldSpec field;
+  field.grid_rows = 4;
+  field.grid_cols = 4;
+  field.base = TrafficLikeSpec(288);  // daily season at 5-min resolution
+  PipelineContext ctx;
+  ctx.data = GenerateCorrelatedField(field, 2 * 288, &rng);
+
+  // Sensors drop 20% of readings (outages + network loss).
+  size_t removed = InjectMissingMcar(&ctx.data.series(), 0.20, &rng);
+  std::printf("raw data: %zu sensors x %zu steps, %zu readings lost\n",
+              ctx.data.NumSensors(), ctx.data.NumSteps(), removed);
+
+  // --- 2+3. Governance and analytics as a declarative pipeline ----------
+  RangeRule plausible{-100.0, 300.0};
+  Pipeline pipeline;
+  pipeline.AddStage(std::make_unique<AssessQualityStage>(plausible))
+      .AddStage(std::make_unique<CleanStage>(plausible))
+      .AddStage(std::make_unique<ImputeStage>())
+      .AddStage(std::make_unique<ForecastStage>(/*ar_order=*/8,
+                                                /*horizon=*/12));
+  PipelineReport report = pipeline.Run(&ctx);
+  std::printf("%s", report.ToString().c_str());
+  if (!report.ok) return 1;
+
+  std::printf("missing rate before governance: %.1f%%  after: %.1f%%\n",
+              100.0 * ctx.metrics["quality_missing_rate"],
+              100.0 * ctx.data.series().MissingRate());
+
+  // --- 4. Decision: provision for the forecast peak of sensor 0 ---------
+  const std::vector<double>& forecast = ctx.artifacts["forecast/0"];
+  std::vector<double> history = ctx.data.SensorSeries(0);
+  ArForecaster model(8);
+  if (model.Fit(history).ok()) {
+    Result<std::vector<Histogram>> dist =
+        BootstrapForecastDistribution(model, history, 12, 200, &rng);
+    if (dist.ok()) {
+      double peak_q90 = 0.0;
+      for (const Histogram& h : *dist) {
+        peak_q90 = std::max(peak_q90, h.Quantile(0.9));
+      }
+      std::printf(
+          "decision: next-hour point forecast peaks at %.1f; provision for "
+          "the 90%% quantile peak %.1f\n",
+          *std::max_element(forecast.begin(), forecast.end()), peak_q90);
+    }
+  }
+  std::printf("quickstart completed.\n");
+  return 0;
+}

@@ -1,0 +1,262 @@
+#include "src/analytics/anomaly/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/matrix.h"
+#include "src/common/stats.h"
+#include "src/data/window.h"
+
+namespace tsdm {
+
+Status ZScoreDetector::Fit(const std::vector<double>& train) {
+  if (train.size() < 2) {
+    return Status::InvalidArgument("zscore: need >= 2 points");
+  }
+  mean_ = Mean(train);
+  stddev_ = std::max(1e-9, Stdev(train));
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> ZScoreDetector::Score(
+    const std::vector<double>& data) const {
+  if (!fitted_) return Status::FailedPrecondition("zscore: not fitted");
+  std::vector<double> out(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    out[i] = std::fabs(data[i] - mean_) / stddev_;
+  }
+  return out;
+}
+
+Status MadDetector::Fit(const std::vector<double>& train) {
+  if (train.size() < 2) {
+    return Status::InvalidArgument("mad: need >= 2 points");
+  }
+  median_ = Median(train);
+  scale_ = std::max(1e-9, 1.4826 * Mad(train));
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> MadDetector::Score(
+    const std::vector<double>& data) const {
+  if (!fitted_) return Status::FailedPrecondition("mad: not fitted");
+  std::vector<double> out(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    out[i] = std::fabs(data[i] - median_) / scale_;
+  }
+  return out;
+}
+
+std::string PcaReconstructionDetector::Name() const {
+  return "pca-recon(w=" + std::to_string(window_) +
+         ",k=" + std::to_string(components_) + ")";
+}
+
+Status PcaReconstructionDetector::Fit(const std::vector<double>& train) {
+  auto windows = SlidingSubsequences(train, window_, 1);
+  if (windows.size() < static_cast<size_t>(2 * window_)) {
+    return Status::InvalidArgument("pca-recon: training series too short");
+  }
+  size_t n = windows.size();
+  mean_.assign(window_, 0.0);
+  for (const auto& w : windows) {
+    for (int j = 0; j < window_; ++j) mean_[j] += w[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+
+  // Covariance of centered windows.
+  Matrix cov(window_, window_, 0.0);
+  for (const auto& w : windows) {
+    for (int a = 0; a < window_; ++a) {
+      double da = w[a] - mean_[a];
+      for (int b = a; b < window_; ++b) {
+        cov(a, b) += da * (w[b] - mean_[b]);
+      }
+    }
+  }
+  for (int a = 0; a < window_; ++a) {
+    for (int b = a; b < window_; ++b) {
+      double v = cov(a, b) / static_cast<double>(n - 1);
+      cov(a, b) = v;
+      cov(b, a) = v;
+    }
+  }
+  Result<EigenDecomposition> eig = SymmetricEigen(cov);
+  if (!eig.ok()) return eig.status();
+  int k = std::min(components_, window_);
+  basis_.assign(k, std::vector<double>(window_));
+  for (int c = 0; c < k; ++c) {
+    for (int j = 0; j < window_; ++j) {
+      basis_[c][j] = eig->eigenvectors(j, c);
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> PcaReconstructionDetector::ReconstructWindow(
+    const std::vector<double>& w) const {
+  std::vector<double> centered(window_);
+  for (int j = 0; j < window_; ++j) centered[j] = w[j] - mean_[j];
+  std::vector<double> recon(window_, 0.0);
+  for (const auto& pc : basis_) {
+    double coeff = Dot(pc, centered);
+    for (int j = 0; j < window_; ++j) recon[j] += coeff * pc[j];
+  }
+  for (int j = 0; j < window_; ++j) recon[j] += mean_[j];
+  return recon;
+}
+
+Result<std::vector<double>> PcaReconstructionDetector::WindowErrorProfile(
+    const std::vector<double>& window) const {
+  if (!fitted_) return Status::FailedPrecondition("pca-recon: not fitted");
+  if (static_cast<int>(window.size()) != window_) {
+    return Status::InvalidArgument("pca-recon: wrong window length");
+  }
+  std::vector<double> recon = ReconstructWindow(window);
+  std::vector<double> err(window_);
+  for (int j = 0; j < window_; ++j) {
+    double d = window[j] - recon[j];
+    err[j] = d * d;
+  }
+  return err;
+}
+
+Result<std::vector<double>> PcaReconstructionDetector::Score(
+    const std::vector<double>& data) const {
+  if (!fitted_) return Status::FailedPrecondition("pca-recon: not fitted");
+  size_t n = data.size();
+  std::vector<double> acc(n, 0.0);
+  std::vector<double> counts(n, 0.0);
+  if (n < static_cast<size_t>(window_)) {
+    return Status::InvalidArgument("pca-recon: series shorter than window");
+  }
+  for (size_t start = 0; start + window_ <= n; ++start) {
+    std::vector<double> w(data.begin() + start,
+                          data.begin() + start + window_);
+    std::vector<double> recon = ReconstructWindow(w);
+    for (int j = 0; j < window_; ++j) {
+      double d = w[j] - recon[j];
+      acc[start + j] += d * d;
+      counts[start + j] += 1.0;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    acc[i] = counts[i] > 0.0 ? std::sqrt(acc[i] / counts[i]) : 0.0;
+  }
+  return acc;
+}
+
+Status ReconstructionEnsembleDetector::Fit(const std::vector<double>& train) {
+  members_.clear();
+  Rng rng(options_.seed);
+  for (int m = 0; m < options_.num_members; ++m) {
+    int w = options_.windows[rng.Index(
+        static_cast<int>(options_.windows.size()))];
+    int k = options_.components[rng.Index(
+        static_cast<int>(options_.components.size()))];
+    // Bootstrap a contiguous block resample to preserve local structure.
+    std::vector<double> boot;
+    boot.reserve(train.size());
+    int block = std::max(8, static_cast<int>(train.size()) / 10);
+    while (boot.size() < train.size()) {
+      int start = rng.Index(std::max(
+          1, static_cast<int>(train.size()) - block));
+      for (int i = start;
+           i < start + block && boot.size() < train.size(); ++i) {
+        boot.push_back(train[i]);
+      }
+    }
+    auto member = std::make_unique<PcaReconstructionDetector>(w, k);
+    Status st = member->Fit(boot);
+    if (!st.ok()) continue;  // skip degenerate members, keep the rest
+    members_.push_back(std::move(member));
+  }
+  if (members_.empty()) {
+    return Status::FailedPrecondition("recon-ensemble: no member fit");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> ReconstructionEnsembleDetector::Score(
+    const std::vector<double>& data) const {
+  if (members_.empty()) {
+    return Status::FailedPrecondition("recon-ensemble: not fitted");
+  }
+  std::vector<double> acc(data.size(), 0.0);
+  int used = 0;
+  for (const auto& member : members_) {
+    Result<std::vector<double>> s = member->Score(data);
+    if (!s.ok()) continue;
+    std::vector<double> normalized = RankNormalize(*s);
+    for (size_t i = 0; i < data.size(); ++i) acc[i] += normalized[i];
+    ++used;
+  }
+  if (used == 0) {
+    return Status::Internal("recon-ensemble: no member could score");
+  }
+  for (double& v : acc) v /= used;
+  return acc;
+}
+
+Result<std::vector<double>> ReconstructionEnsembleDetector::MemberScore(
+    size_t member, const std::vector<double>& data) const {
+  if (member >= members_.size()) {
+    return Status::OutOfRange("recon-ensemble: bad member index");
+  }
+  return members_[member]->Score(data);
+}
+
+std::string RobustTrainingWrapper::Name() const {
+  return "robust[" + inner_->Name() + "]";
+}
+
+Status RobustTrainingWrapper::Fit(const std::vector<double>& train) {
+  std::vector<double> current = train;
+  TSDM_RETURN_IF_ERROR(inner_->Fit(current));
+  for (int it = 0; it < iterations_; ++it) {
+    Result<std::vector<double>> scores = inner_->Score(current);
+    if (!scores.ok()) return scores.status();
+    // Median/MAD statistics: a mean+sigma bound lets heavy contamination
+    // mask itself by inflating the score stdev.
+    double threshold = Median(*scores) +
+                       sigma_threshold_ * 1.4826 * Mad(*scores);
+    std::vector<double> next;
+    next.reserve(current.size());
+    for (size_t i = 0; i < current.size(); ++i) {
+      if ((*scores)[i] <= threshold) next.push_back(current[i]);
+    }
+    // Converged (nothing clipped) or degenerate (everything clipped).
+    if (next.size() == current.size() || next.size() < current.size() / 2) {
+      break;
+    }
+    current = std::move(next);
+    TSDM_RETURN_IF_ERROR(inner_->Fit(current));
+  }
+  cleaned_ = std::move(current);
+  return Status::OK();
+}
+
+Result<std::vector<double>> RobustTrainingWrapper::Score(
+    const std::vector<double>& data) const {
+  return inner_->Score(data);
+}
+
+std::vector<double> RankNormalize(const std::vector<double>& scores) {
+  size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> out(n, 0.0);
+  if (n <= 1) return out;
+  for (size_t rank = 0; rank < n; ++rank) {
+    out[order[rank]] = static_cast<double>(rank) / static_cast<double>(n - 1);
+  }
+  return out;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,170 @@
+#ifndef TSDM_ANALYTICS_ANOMALY_DETECTOR_H_
+#define TSDM_ANALYTICS_ANOMALY_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// Interface for unsupervised point-anomaly scorers over a univariate
+/// series: Fit on (possibly polluted) training data, then Score assigns
+/// every step of a series a non-negative anomaly score (higher = more
+/// anomalous).
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+  virtual std::string Name() const = 0;
+  virtual Status Fit(const std::vector<double>& train) = 0;
+  virtual Result<std::vector<double>> Score(
+      const std::vector<double>& data) const = 0;
+  virtual std::unique_ptr<AnomalyDetector> CloneUnfitted() const = 0;
+};
+
+/// |x - mean| / stddev of the training data. The classical baseline that
+/// breaks when the training data itself contains anomalies.
+class ZScoreDetector : public AnomalyDetector {
+ public:
+  std::string Name() const override { return "zscore"; }
+  Status Fit(const std::vector<double>& train) override;
+  Result<std::vector<double>> Score(
+      const std::vector<double>& data) const override;
+  std::unique_ptr<AnomalyDetector> CloneUnfitted() const override {
+    return std::make_unique<ZScoreDetector>();
+  }
+
+ private:
+  double mean_ = 0.0;
+  double stddev_ = 1.0;
+  bool fitted_ = false;
+};
+
+/// Robust location/scale variant: |x - median| / (1.4826 * MAD). Resists
+/// training pollution by construction.
+class MadDetector : public AnomalyDetector {
+ public:
+  std::string Name() const override { return "mad"; }
+  Status Fit(const std::vector<double>& train) override;
+  Result<std::vector<double>> Score(
+      const std::vector<double>& data) const override;
+  std::unique_ptr<AnomalyDetector> CloneUnfitted() const override {
+    return std::make_unique<MadDetector>();
+  }
+
+ private:
+  double median_ = 0.0;
+  double scale_ = 1.0;
+  bool fitted_ = false;
+};
+
+/// Autoencoder-analog ([34], [35]): slides a window over the series,
+/// learns the top-k principal subspace of training windows, and scores a
+/// point by the reconstruction error of the windows covering it. Anomalies
+/// do not fit the learned subspace and reconstruct poorly.
+class PcaReconstructionDetector : public AnomalyDetector {
+ public:
+  PcaReconstructionDetector(int window = 16, int components = 3)
+      : window_(window), components_(components) {}
+  std::string Name() const override;
+  Status Fit(const std::vector<double>& train) override;
+  Result<std::vector<double>> Score(
+      const std::vector<double>& data) const override;
+  std::unique_ptr<AnomalyDetector> CloneUnfitted() const override {
+    return std::make_unique<PcaReconstructionDetector>(window_, components_);
+  }
+
+  /// Per-dimension squared reconstruction error of one window (used by the
+  /// explainability metric in analytics/explain).
+  Result<std::vector<double>> WindowErrorProfile(
+      const std::vector<double>& window) const;
+
+ private:
+  std::vector<double> ReconstructWindow(const std::vector<double>& w) const;
+
+  int window_;
+  int components_;
+  std::vector<double> mean_;                  // per window position
+  std::vector<std::vector<double>> basis_;    // components x window
+  bool fitted_ = false;
+};
+
+/// Diversity-driven ensemble ([41], [42]): members are reconstruction
+/// detectors with *different* window lengths and component counts, fitted
+/// on bootstrap resamples. Scores are rank-normalized per member and
+/// averaged, so no single member's scale dominates.
+class ReconstructionEnsembleDetector : public AnomalyDetector {
+ public:
+  struct Options {
+    int num_members = 8;
+    std::vector<int> windows = {8, 16, 32};
+    std::vector<int> components = {2, 3, 5};
+    uint64_t seed = 7;
+  };
+
+  ReconstructionEnsembleDetector() = default;
+  explicit ReconstructionEnsembleDetector(Options options)
+      : options_(options) {}
+
+  std::string Name() const override { return "recon-ensemble"; }
+  Status Fit(const std::vector<double>& train) override;
+  Result<std::vector<double>> Score(
+      const std::vector<double>& data) const override;
+  std::unique_ptr<AnomalyDetector> CloneUnfitted() const override {
+    return std::make_unique<ReconstructionEnsembleDetector>(options_);
+  }
+
+  size_t NumMembers() const { return members_.size(); }
+  /// Scores of a single member (diagnostic; valid member index required).
+  Result<std::vector<double>> MemberScore(
+      size_t member, const std::vector<double>& data) const;
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<AnomalyDetector>> members_;
+};
+
+/// Robust training wrapper ([34], [35]): iterative sigma-clipping. Fits
+/// the inner detector, removes training points whose score exceeds
+/// mean + `sigma_threshold` * stdev of the current scores (suspected
+/// pollution), and refits — stopping when no point exceeds the bound, so
+/// clean data is barely trimmed while heavy pollution is fully removed.
+class RobustTrainingWrapper : public AnomalyDetector {
+ public:
+  RobustTrainingWrapper(std::unique_ptr<AnomalyDetector> inner,
+                        double sigma_threshold = 3.0, int iterations = 5)
+      : inner_(std::move(inner)),
+        sigma_threshold_(sigma_threshold),
+        iterations_(iterations) {}
+
+  std::string Name() const override;
+  Status Fit(const std::vector<double>& train) override;
+  Result<std::vector<double>> Score(
+      const std::vector<double>& data) const override;
+  std::unique_ptr<AnomalyDetector> CloneUnfitted() const override {
+    return std::make_unique<RobustTrainingWrapper>(inner_->CloneUnfitted(),
+                                                   sigma_threshold_,
+                                                   iterations_);
+  }
+
+  /// The training subset that survived trimming (valid after Fit) — use it
+  /// to calibrate alarm thresholds on clean data.
+  const std::vector<double>& cleaned_training_data() const {
+    return cleaned_;
+  }
+
+ private:
+  std::unique_ptr<AnomalyDetector> inner_;
+  double sigma_threshold_;
+  int iterations_;
+  std::vector<double> cleaned_;
+};
+
+/// Rank-normalizes scores to [0,1] (ties share the average rank).
+std::vector<double> RankNormalize(const std::vector<double>& scores);
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_ANOMALY_DETECTOR_H_

@@ -1,0 +1,105 @@
+#include "src/analytics/anomaly/evaluation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tsdm {
+
+namespace {
+
+/// Indices sorted by descending score.
+std::vector<size_t> DescendingOrder(const std::vector<double>& scores) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  return order;
+}
+
+}  // namespace
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  size_t n = std::min(scores.size(), labels.size());
+  double positives = 0.0, negatives = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] == 1) {
+      ++positives;
+    } else {
+      ++negatives;
+    }
+  }
+  if (positives == 0.0 || negatives == 0.0) return 0.5;
+  // Rank-sum (Mann-Whitney) formulation with average ranks for ties.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                      1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double rank_sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] == 1) rank_sum += ranks[k];
+  }
+  return (rank_sum - positives * (positives + 1.0) / 2.0) /
+         (positives * negatives);
+}
+
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels) {
+  size_t n = std::min(scores.size(), labels.size());
+  auto order = DescendingOrder(scores);
+  double positives = 0.0;
+  for (size_t k = 0; k < n; ++k) positives += labels[k] == 1 ? 1.0 : 0.0;
+  if (positives == 0.0) return 0.0;
+  double hits = 0.0, ap = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[order[k]] == 1) {
+      hits += 1.0;
+      ap += hits / static_cast<double>(k + 1);
+    }
+  }
+  return ap / positives;
+}
+
+double PrecisionAtK(const std::vector<double>& scores,
+                    const std::vector<int>& labels, int k) {
+  size_t n = std::min(scores.size(), labels.size());
+  if (n == 0 || k <= 0) return 0.0;
+  auto order = DescendingOrder(scores);
+  size_t top = std::min<size_t>(k, n);
+  double hits = 0.0;
+  for (size_t i = 0; i < top; ++i) {
+    if (labels[order[i]] == 1) hits += 1.0;
+  }
+  return hits / static_cast<double>(top);
+}
+
+double BestF1(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  size_t n = std::min(scores.size(), labels.size());
+  auto order = DescendingOrder(scores);
+  double positives = 0.0;
+  for (size_t i = 0; i < n; ++i) positives += labels[i] == 1 ? 1.0 : 0.0;
+  if (positives == 0.0) return 0.0;
+  double hits = 0.0, best = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[order[i]] == 1) hits += 1.0;
+    double precision = hits / static_cast<double>(i + 1);
+    double recall = hits / positives;
+    if (precision + recall > 0.0) {
+      best = std::max(best, 2.0 * precision * recall / (precision + recall));
+    }
+  }
+  return best;
+}
+
+}  // namespace tsdm

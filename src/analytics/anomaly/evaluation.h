@@ -1,0 +1,27 @@
+#ifndef TSDM_ANALYTICS_ANOMALY_EVALUATION_H_
+#define TSDM_ANALYTICS_ANOMALY_EVALUATION_H_
+
+#include <vector>
+
+namespace tsdm {
+
+/// ROC AUC of anomaly scores against binary labels (1 = anomaly).
+/// Returns 0.5 when a class is empty.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+/// Average precision (area under the precision-recall curve).
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<int>& labels);
+
+/// Precision among the k highest-scoring points.
+double PrecisionAtK(const std::vector<double>& scores,
+                    const std::vector<int>& labels, int k);
+
+/// Best F1 over all score thresholds.
+double BestF1(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_ANOMALY_EVALUATION_H_

@@ -1,0 +1,182 @@
+#include "src/analytics/automl/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/analytics/forecast/decompose.h"
+#include "src/analytics/forecast/metrics.h"
+
+namespace tsdm {
+
+std::string ForecastConfig::ToString() const {
+  switch (family) {
+    case Family::kNaive:
+      return "naive";
+    case Family::kSeasonalNaive:
+      return "seasonal-naive(p=" + std::to_string(season) + ")";
+    case Family::kAr:
+      return "ar(p=" + std::to_string(ar_order) +
+             ",lambda=" + std::to_string(ridge_lambda) + ")";
+    case Family::kHoltWinters:
+      return "holt-winters(p=" + std::to_string(season) + ")";
+    case Family::kRidgeDirect:
+      return "ridge-direct(l=" + std::to_string(lags) +
+             ",lambda=" + std::to_string(ridge_lambda) + ")";
+    case Family::kDecomposed:
+      return "decomposed(p=" + std::to_string(season) + ")";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Forecaster> MakeForecaster(const ForecastConfig& config,
+                                           int max_horizon) {
+  switch (config.family) {
+    case ForecastConfig::Family::kNaive:
+      return std::make_unique<NaiveForecaster>();
+    case ForecastConfig::Family::kSeasonalNaive:
+      return std::make_unique<SeasonalNaiveForecaster>(config.season);
+    case ForecastConfig::Family::kAr:
+      return std::make_unique<ArForecaster>(config.ar_order,
+                                            config.ridge_lambda);
+    case ForecastConfig::Family::kHoltWinters:
+      return std::make_unique<HoltWintersForecaster>(config.season);
+    case ForecastConfig::Family::kRidgeDirect:
+      return std::make_unique<RidgeDirectForecaster>(config.lags, max_horizon,
+                                                     config.ridge_lambda);
+    case ForecastConfig::Family::kDecomposed:
+      return std::make_unique<DecomposedForecaster>(config.season,
+                                                    config.ar_order);
+  }
+  return std::make_unique<NaiveForecaster>();
+}
+
+std::vector<ForecastConfig> DefaultSearchSpace(int season_hint) {
+  std::vector<ForecastConfig> space;
+  ForecastConfig c;
+  c.family = ForecastConfig::Family::kNaive;
+  space.push_back(c);
+
+  for (int s : {season_hint, season_hint / 2}) {
+    if (s < 2) continue;
+    c = ForecastConfig();
+    c.family = ForecastConfig::Family::kSeasonalNaive;
+    c.season = s;
+    space.push_back(c);
+    c.family = ForecastConfig::Family::kHoltWinters;
+    space.push_back(c);
+    c.family = ForecastConfig::Family::kDecomposed;
+    c.ar_order = 4;
+    space.push_back(c);
+  }
+  for (int p : {2, 4, 8, 16, 24}) {
+    for (double lambda : {1e-3, 1e-1}) {
+      c = ForecastConfig();
+      c.family = ForecastConfig::Family::kAr;
+      c.ar_order = p;
+      c.ridge_lambda = lambda;
+      space.push_back(c);
+    }
+  }
+  for (int lags : {8, 16, 32}) {
+    for (double lambda : {1e-2, 1.0}) {
+      c = ForecastConfig();
+      c.family = ForecastConfig::Family::kRidgeDirect;
+      c.lags = lags;
+      c.ridge_lambda = lambda;
+      space.push_back(c);
+    }
+  }
+  return space;
+}
+
+double RollingOriginScore(const ForecastConfig& config,
+                          const std::vector<double>& series, int horizon,
+                          int folds) {
+  int n = static_cast<int>(series.size());
+  double total = 0.0;
+  int used = 0;
+  for (int f = 0; f < folds; ++f) {
+    int cut = n - (folds - f) * horizon;
+    if (cut < n / 3) continue;
+    std::vector<double> train(series.begin(), series.begin() + cut);
+    std::vector<double> actual(series.begin() + cut,
+                               series.begin() + std::min(n, cut + horizon));
+    std::unique_ptr<Forecaster> model = MakeForecaster(config, horizon);
+    if (!model->Fit(train).ok()) continue;
+    Result<std::vector<double>> fc =
+        model->Forecast(static_cast<int>(actual.size()));
+    if (!fc.ok()) continue;
+    total += MeanAbsoluteError(actual, *fc);
+    ++used;
+  }
+  if (used == 0) return std::numeric_limits<double>::infinity();
+  return total / used;
+}
+
+SearchOutcome RandomSearch(const std::vector<ForecastConfig>& space,
+                           const std::vector<double>& series, int horizon,
+                           int budget_evaluations, int folds, Rng* rng) {
+  SearchOutcome out;
+  out.best_score = std::numeric_limits<double>::infinity();
+  int configs_to_try = std::max(1, budget_evaluations / std::max(1, folds));
+  for (int i = 0; i < configs_to_try; ++i) {
+    const ForecastConfig& config =
+        space[rng->Index(static_cast<int>(space.size()))];
+    double score = RollingOriginScore(config, series, horizon, folds);
+    out.evaluations += folds;
+    if (score < out.best_score) {
+      out.best_score = score;
+      out.best = config;
+    }
+  }
+  return out;
+}
+
+SearchOutcome SuccessiveHalving(const std::vector<ForecastConfig>& space,
+                                const std::vector<double>& series,
+                                int horizon, int max_folds) {
+  SearchOutcome out;
+  out.best_score = std::numeric_limits<double>::infinity();
+  std::vector<std::pair<double, size_t>> alive;  // (score, config index)
+  for (size_t i = 0; i < space.size(); ++i) alive.push_back({0.0, i});
+
+  int folds = 1;
+  while (true) {
+    for (auto& [score, idx] : alive) {
+      score = RollingOriginScore(space[idx], series, horizon, folds);
+      out.evaluations += folds;
+    }
+    std::sort(alive.begin(), alive.end());
+    if (alive.size() <= 1 || folds >= max_folds) break;
+    alive.resize(std::max<size_t>(1, alive.size() / 2));
+    folds = std::min(max_folds, folds * 2);
+  }
+  out.best = space[alive.front().second];
+  out.best_score = alive.front().first;
+  return out;
+}
+
+std::string AutoForecaster::Name() const {
+  return model_ ? "auto[" + chosen_.ToString() + "]" : "auto";
+}
+
+Status AutoForecaster::Fit(const std::vector<double>& history) {
+  std::vector<ForecastConfig> space = DefaultSearchSpace(options_.season_hint);
+  SearchOutcome outcome =
+      SuccessiveHalving(space, history, options_.horizon, options_.max_folds);
+  if (std::isinf(outcome.best_score)) {
+    return Status::FailedPrecondition(
+        "auto: no configuration could be evaluated on this history");
+  }
+  chosen_ = outcome.best;
+  model_ = MakeForecaster(chosen_, options_.horizon);
+  return model_->Fit(history);
+}
+
+Result<std::vector<double>> AutoForecaster::Forecast(int horizon) const {
+  if (!model_) return Status::FailedPrecondition("auto: not fitted");
+  return model_->Forecast(horizon);
+}
+
+}  // namespace tsdm

@@ -1,0 +1,103 @@
+#ifndef TSDM_ANALYTICS_AUTOML_SEARCH_H_
+#define TSDM_ANALYTICS_AUTOML_SEARCH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analytics/forecast/forecaster.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// A point in the automated-forecasting search space (AutoCTS-style
+/// [24]–[28]): a model family plus its hyperparameters. The space is
+/// deliberately heterogeneous — automation must pick both architecture and
+/// hyperparameters (§II-C Automation).
+struct ForecastConfig {
+  enum class Family {
+    kNaive,
+    kSeasonalNaive,
+    kAr,
+    kHoltWinters,
+    kRidgeDirect,
+    kDecomposed,
+  };
+
+  Family family = Family::kNaive;
+  int ar_order = 4;
+  int season = 24;
+  int lags = 16;
+  double ridge_lambda = 1e-2;
+
+  std::string ToString() const;
+};
+
+/// Instantiates an unfitted forecaster for a config. `max_horizon` bounds
+/// direct models.
+std::unique_ptr<Forecaster> MakeForecaster(const ForecastConfig& config,
+                                           int max_horizon);
+
+/// The default discrete search space given a seasonality hint.
+std::vector<ForecastConfig> DefaultSearchSpace(int season_hint);
+
+/// Rolling-origin evaluation: average MAE of `folds` refits, each
+/// forecasting `horizon` steps from successively earlier origins.
+/// Returns infinity when the model cannot be fitted.
+double RollingOriginScore(const ForecastConfig& config,
+                          const std::vector<double>& series, int horizon,
+                          int folds);
+
+/// Outcome of a search: the chosen config, its validation score, and how
+/// many (config, fold) evaluations were spent.
+struct SearchOutcome {
+  ForecastConfig best;
+  double best_score = 0.0;
+  int evaluations = 0;
+};
+
+/// Uniform random search over the space with a fixed evaluation budget
+/// (each sampled config is scored with `folds` rolling-origin folds).
+SearchOutcome RandomSearch(const std::vector<ForecastConfig>& space,
+                           const std::vector<double>& series, int horizon,
+                           int budget_evaluations, int folds, Rng* rng);
+
+/// Successive halving: all configs start at 1 fold; each round keeps the
+/// best half and doubles the folds, concentrating budget on promising
+/// configs (the efficiency claim of AutoCTS+ [25]).
+SearchOutcome SuccessiveHalving(const std::vector<ForecastConfig>& space,
+                                const std::vector<double>& series,
+                                int horizon, int max_folds);
+
+/// Facade: searches, then refits the winner on the full history.
+class AutoForecaster : public Forecaster {
+ public:
+  struct Options {
+    int season_hint = 24;
+    int horizon = 12;
+    int max_folds = 4;
+  };
+
+  AutoForecaster() = default;
+  explicit AutoForecaster(Options options) : options_(options) {}
+
+  std::string Name() const override;
+  Status Fit(const std::vector<double>& history) override;
+  Result<std::vector<double>> Forecast(int horizon) const override;
+  std::unique_ptr<Forecaster> CloneUnfitted() const override {
+    return std::make_unique<AutoForecaster>(options_);
+  }
+
+  /// The chosen configuration (valid after Fit).
+  const ForecastConfig& chosen() const { return chosen_; }
+
+ private:
+  Options options_;
+  ForecastConfig chosen_;
+  std::unique_ptr<Forecaster> model_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_AUTOML_SEARCH_H_

@@ -1,0 +1,170 @@
+#include "src/analytics/benchmarking/leaderboard.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/analytics/automl/search.h"
+#include "src/analytics/forecast/decompose.h"
+#include "src/analytics/forecast/metrics.h"
+#include "src/analytics/robust/continual.h"
+#include "src/sim/cloud_gen.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+
+std::vector<BenchmarkDataset> StandardDatasets(uint64_t seed) {
+  std::vector<BenchmarkDataset> out;
+  {
+    Rng rng(seed);
+    out.push_back(
+        {"traffic", GenerateSeries(TrafficLikeSpec(24), 24 * 20, &rng), 24});
+  }
+  {
+    Rng rng(seed + 1);
+    CloudDemandSpec spec;
+    spec.steps_per_day = 48;
+    spec.surges_per_day = 0.6;
+    out.push_back({"cloud", GenerateCloudDemand(spec, 48 * 15, &rng), 48});
+  }
+  {
+    Rng rng(seed + 2);
+    SeriesSpec trending;
+    trending.trend_per_step = 0.04;
+    trending.ar_coefficients = {0.6, 0.2};
+    trending.ar_innovation_stddev = 1.0;
+    out.push_back({"trending-ar", GenerateSeries(trending, 500, &rng), 24});
+  }
+  {
+    Rng rng(seed + 3);
+    SeriesSpec noise;
+    noise.level = 10.0;
+    noise.noise_stddev = 2.0;
+    out.push_back({"white-noise", GenerateSeries(noise, 500, &rng), 24});
+  }
+  {
+    Rng rng(seed + 4);
+    SeriesSpec a = TrafficLikeSpec(24);
+    SeriesSpec b = a;
+    b.level = 85.0;
+    std::vector<double> series = GenerateSeries(a, 300, &rng);
+    std::vector<double> tail = GenerateSeries(b, 200, &rng);
+    series.insert(series.end(), tail.begin(), tail.end());
+    out.push_back({"regime-switch", std::move(series), 24});
+  }
+  return out;
+}
+
+void ForecastLeaderboard::AddModel(const std::string& name,
+                                   ModelFactory factory) {
+  models_.push_back({name, std::move(factory)});
+}
+
+Result<std::vector<LeaderboardEntry>> ForecastLeaderboard::Run(
+    const std::vector<BenchmarkDataset>& datasets,
+    const std::vector<int>& horizons, int folds) const {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("leaderboard: no models registered");
+  }
+  if (datasets.empty() || horizons.empty() || folds < 1) {
+    return Status::InvalidArgument("leaderboard: bad run configuration");
+  }
+  std::vector<LeaderboardEntry> entries;
+  for (const auto& dataset : datasets) {
+    for (int horizon : horizons) {
+      for (const auto& [name, factory] : models_) {
+        double mae_total = 0.0, smape_total = 0.0;
+        int used = 0;
+        int n = static_cast<int>(dataset.series.size());
+        for (int f = 0; f < folds; ++f) {
+          int cut = n - (folds - f) * horizon;
+          if (cut < n / 2) continue;
+          std::unique_ptr<Forecaster> model = factory(dataset, horizon);
+          if (model == nullptr) continue;
+          std::vector<double> train(dataset.series.begin(),
+                                    dataset.series.begin() + cut);
+          std::vector<double> actual(
+              dataset.series.begin() + cut,
+              dataset.series.begin() + std::min(n, cut + horizon));
+          if (!model->Fit(train).ok()) continue;
+          Result<std::vector<double>> fc =
+              model->Forecast(static_cast<int>(actual.size()));
+          if (!fc.ok()) continue;
+          mae_total += MeanAbsoluteError(actual, *fc);
+          smape_total += SymmetricMape(actual, *fc);
+          ++used;
+        }
+        if (used == 0) continue;
+        entries.push_back({name, dataset.name, horizon, mae_total / used,
+                           smape_total / used});
+      }
+    }
+  }
+  return entries;
+}
+
+std::vector<std::pair<std::string, double>> ForecastLeaderboard::AverageRanks(
+    const std::vector<LeaderboardEntry>& entries) {
+  // Group by (dataset, horizon) cell, rank by MAE within each cell.
+  std::map<std::pair<std::string, int>, std::vector<const LeaderboardEntry*>>
+      cells;
+  for (const auto& e : entries) {
+    cells[{e.dataset, e.horizon}].push_back(&e);
+  }
+  std::map<std::string, std::pair<double, int>> rank_acc;  // sum, count
+  for (auto& [cell, list] : cells) {
+    std::sort(list.begin(), list.end(),
+              [](const LeaderboardEntry* a, const LeaderboardEntry* b) {
+                return a->mae < b->mae;
+              });
+    for (size_t r = 0; r < list.size(); ++r) {
+      auto& [sum, count] = rank_acc[list[r]->model];
+      sum += static_cast<double>(r + 1);
+      count += 1;
+    }
+  }
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [model, acc] : rank_acc) {
+    out.push_back({model, acc.first / acc.second});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return out;
+}
+
+void RegisterDefaultModels(ForecastLeaderboard* leaderboard) {
+  leaderboard->AddModel("naive", [](const BenchmarkDataset&, int) {
+    return std::make_unique<NaiveForecaster>();
+  });
+  leaderboard->AddModel("seasonal-naive",
+                        [](const BenchmarkDataset& d, int) {
+                          return std::make_unique<SeasonalNaiveForecaster>(
+                              d.season);
+                        });
+  leaderboard->AddModel("ar(8)", [](const BenchmarkDataset&, int) {
+    return std::make_unique<ArForecaster>(8);
+  });
+  leaderboard->AddModel("holt-winters", [](const BenchmarkDataset& d, int) {
+    return std::make_unique<HoltWintersForecaster>(d.season);
+  });
+  leaderboard->AddModel("ridge-direct",
+                        [](const BenchmarkDataset& d, int max_horizon) {
+                          return std::make_unique<RidgeDirectForecaster>(
+                              2 * d.season, max_horizon);
+                        });
+  leaderboard->AddModel("multi-scale", [](const BenchmarkDataset&, int) {
+    return std::make_unique<MultiScaleForecaster>(std::vector<int>{1, 2, 4},
+                                                  8);
+  });
+  leaderboard->AddModel("decomposed", [](const BenchmarkDataset& d, int) {
+    return std::make_unique<DecomposedForecaster>(d.season);
+  });
+  leaderboard->AddModel("auto", [](const BenchmarkDataset& d,
+                                   int max_horizon) {
+    AutoForecaster::Options opts;
+    opts.season_hint = d.season;
+    opts.horizon = max_horizon;
+    return std::make_unique<AutoForecaster>(opts);
+  });
+}
+
+}  // namespace tsdm

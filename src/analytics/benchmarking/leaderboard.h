@@ -1,0 +1,70 @@
+#ifndef TSDM_ANALYTICS_BENCHMARKING_LEADERBOARD_H_
+#define TSDM_ANALYTICS_BENCHMARKING_LEADERBOARD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analytics/forecast/forecaster.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// A registered benchmark dataset: a named series plus its seasonality.
+struct BenchmarkDataset {
+  std::string name;
+  std::vector<double> series;
+  int season = 24;
+};
+
+/// The standard synthetic suite: five series with different structure
+/// (seasonal traffic, surging cloud demand, trending AR, white noise,
+/// regime switch) so no single model family can win everywhere.
+std::vector<BenchmarkDataset> StandardDatasets(uint64_t seed = 2025);
+
+/// One (model, dataset, horizon) measurement.
+struct LeaderboardEntry {
+  std::string model;
+  std::string dataset;
+  int horizon = 0;
+  double mae = 0.0;
+  double smape = 0.0;
+};
+
+/// Comprehensive, fair forecaster comparison (§II-C benchmarking; FoundTS
+/// [50] / the end-to-end benchmarking of [6]): every registered model is
+/// evaluated on every dataset and horizon under the same rolling-origin
+/// protocol, then summarized by average rank — the comparison the tutorial
+/// argues the field needs.
+class ForecastLeaderboard {
+ public:
+  using ModelFactory = std::function<std::unique_ptr<Forecaster>(
+      const BenchmarkDataset& dataset, int max_horizon)>;
+
+  /// Registers a model family. The factory may use dataset.season.
+  void AddModel(const std::string& name, ModelFactory factory);
+  size_t NumModels() const { return models_.size(); }
+
+  /// Runs the full cross product; `folds` rolling origins per cell.
+  /// Models that cannot fit a dataset receive no entry there.
+  Result<std::vector<LeaderboardEntry>> Run(
+      const std::vector<BenchmarkDataset>& datasets,
+      const std::vector<int>& horizons, int folds = 3) const;
+
+  /// Mean rank (1 = best) of each model across all (dataset, horizon)
+  /// cells it appears in, ascending. Pairs of (model, mean rank).
+  static std::vector<std::pair<std::string, double>> AverageRanks(
+      const std::vector<LeaderboardEntry>& entries);
+
+ private:
+  std::vector<std::pair<std::string, ModelFactory>> models_;
+};
+
+/// Registers the default model zoo (naive, seasonal-naive, AR, ETS,
+/// ridge-direct, multi-scale, auto) on a leaderboard.
+void RegisterDefaultModels(ForecastLeaderboard* leaderboard);
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_BENCHMARKING_LEADERBOARD_H_

@@ -1,0 +1,358 @@
+#include "src/analytics/classify/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/stats.h"
+
+namespace tsdm {
+
+Result<std::vector<double>> SeriesClassifier::PredictProba(
+    const std::vector<double>& series) const {
+  Result<int> label = Predict(series);
+  if (!label.ok()) return label.status();
+  std::vector<double> proba(NumClasses(), 0.0);
+  if (*label >= 0 && static_cast<size_t>(*label) < proba.size()) {
+    proba[*label] = 1.0;
+  }
+  return proba;
+}
+
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   int band) {
+  size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return std::numeric_limits<double>::infinity();
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m + 1, inf), cur(m + 1, inf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), inf);
+    size_t j_lo = 1, j_hi = m;
+    if (band >= 0) {
+      // Sakoe-Chiba band around the (scaled) diagonal.
+      double center = static_cast<double>(i) * m / n;
+      j_lo = static_cast<size_t>(std::max(1.0, center - band));
+      j_hi = static_cast<size_t>(
+          std::min(static_cast<double>(m), center + band));
+    }
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      double d = a[i - 1] - b[j - 1];
+      double best = std::min({prev[j], prev[j - 1], cur[j - 1]});
+      cur[j] = d * d + best;
+    }
+    std::swap(prev, cur);
+  }
+  return std::sqrt(prev[m]);
+}
+
+Status OneNnDtwClassifier::Fit(const std::vector<LabeledSeries>& train) {
+  if (train.empty()) return Status::InvalidArgument("1nn-dtw: empty train");
+  train_ = train;
+  int max_label = 0;
+  for (const auto& ex : train) max_label = std::max(max_label, ex.label);
+  num_classes_ = static_cast<size_t>(max_label) + 1;
+  return Status::OK();
+}
+
+Result<int> OneNnDtwClassifier::Predict(
+    const std::vector<double>& series) const {
+  if (train_.empty()) return Status::FailedPrecondition("1nn-dtw: not fitted");
+  double best = std::numeric_limits<double>::infinity();
+  int label = train_[0].label;
+  for (const auto& ex : train_) {
+    double d = DtwDistance(series, ex.values, band_);
+    if (d < best) {
+      best = d;
+      label = ex.label;
+    }
+  }
+  return label;
+}
+
+std::vector<double> ExtractStatFeatures(const std::vector<double>& series) {
+  std::vector<double> f;
+  f.reserve(StatFeatureCount());
+  if (series.empty()) {
+    f.assign(StatFeatureCount(), 0.0);
+    return f;
+  }
+  double mean = Mean(series);
+  double sd = Stdev(series);
+  f.push_back(mean);
+  f.push_back(sd);
+  f.push_back(Median(series));
+  f.push_back(Mad(series));
+  f.push_back(*std::min_element(series.begin(), series.end()));
+  f.push_back(*std::max_element(series.begin(), series.end()));
+  // Skewness and kurtosis.
+  double skew = 0.0, kurt = 0.0;
+  if (sd > 0.0 && series.size() > 2) {
+    for (double x : series) {
+      double z = (x - mean) / sd;
+      skew += z * z * z;
+      kurt += z * z * z * z;
+    }
+    skew /= series.size();
+    kurt = kurt / series.size() - 3.0;
+  }
+  f.push_back(skew);
+  f.push_back(kurt);
+  // Autocorrelations.
+  for (int lag : {1, 2, 4, 8}) f.push_back(Autocorrelation(series, lag));
+  // Trend slope (least squares vs. index).
+  double n = static_cast<double>(series.size());
+  double sx = (n - 1.0) * n / 2.0;
+  double sxx = (n - 1.0) * n * (2.0 * n - 1.0) / 6.0;
+  double sy = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    sy += series[i];
+    sxy += static_cast<double>(i) * series[i];
+  }
+  double denom = n * sxx - sx * sx;
+  f.push_back(denom != 0.0 ? (n * sxy - sx * sy) / denom : 0.0);
+  // Mean absolute first difference ("roughness").
+  double rough = 0.0;
+  for (size_t i = 1; i < series.size(); ++i) {
+    rough += std::fabs(series[i] - series[i - 1]);
+  }
+  f.push_back(series.size() > 1 ? rough / (series.size() - 1) : 0.0);
+  // Mean-crossing rate.
+  double crossings = 0.0;
+  for (size_t i = 1; i < series.size(); ++i) {
+    if ((series[i] - mean) * (series[i - 1] - mean) < 0.0) crossings += 1.0;
+  }
+  f.push_back(series.size() > 1 ? crossings / (series.size() - 1) : 0.0);
+  // Energy in the upper half of a coarse "spectrum": variance of diffs.
+  std::vector<double> diffs;
+  diffs.reserve(series.size());
+  for (size_t i = 1; i < series.size(); ++i) {
+    diffs.push_back(series[i] - series[i - 1]);
+  }
+  f.push_back(Variance(diffs));
+  return f;
+}
+
+size_t StatFeatureCount() { return 16; }
+
+std::vector<double> LogisticClassifier::Standardize(
+    const std::vector<double>& f) const {
+  std::vector<double> out(f.size());
+  for (size_t j = 0; j < f.size(); ++j) {
+    double sd = j < feat_std_.size() ? feat_std_[j] : 1.0;
+    double mu = j < feat_mean_.size() ? feat_mean_[j] : 0.0;
+    out[j] = sd > 0.0 ? (f[j] - mu) / sd : 0.0;
+  }
+  return out;
+}
+
+Status LogisticClassifier::FitImpl(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<std::vector<double>>& targets) {
+  if (features.empty() || features.size() != targets.size()) {
+    return Status::InvalidArgument("logistic: bad training data");
+  }
+  size_t n = features.size(), d = features[0].size();
+  size_t classes = targets[0].size();
+  // Standardization statistics.
+  feat_mean_.assign(d, 0.0);
+  feat_std_.assign(d, 0.0);
+  for (const auto& f : features) {
+    for (size_t j = 0; j < d; ++j) feat_mean_[j] += f[j];
+  }
+  for (double& m : feat_mean_) m /= static_cast<double>(n);
+  for (const auto& f : features) {
+    for (size_t j = 0; j < d; ++j) {
+      double dd = f[j] - feat_mean_[j];
+      feat_std_[j] += dd * dd;
+    }
+  }
+  for (double& s : feat_std_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s <= 0.0) s = 1.0;
+  }
+
+  std::vector<std::vector<double>> x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = Standardize(features[i]);
+
+  weights_.assign(classes, std::vector<double>(d + 1, 0.0));
+  Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<int> shuffled(order.begin(), order.end());
+    rng.Shuffle(&shuffled);
+    double lr = options_.learning_rate / (1.0 + 0.01 * epoch);
+    for (int idx : shuffled) {
+      const auto& f = x[idx];
+      // Softmax over class logits.
+      std::vector<double> logits(classes);
+      double max_logit = -1e300;
+      for (size_t c = 0; c < classes; ++c) {
+        double z = weights_[c][0];
+        for (size_t j = 0; j < d; ++j) z += weights_[c][j + 1] * f[j];
+        logits[c] = z;
+        max_logit = std::max(max_logit, z);
+      }
+      double denom = 0.0;
+      for (size_t c = 0; c < classes; ++c) {
+        logits[c] = std::exp(logits[c] - max_logit);
+        denom += logits[c];
+      }
+      for (size_t c = 0; c < classes; ++c) {
+        double p = logits[c] / denom;
+        double grad = p - targets[idx][c];
+        weights_[c][0] -= lr * grad;
+        for (size_t j = 0; j < d; ++j) {
+          weights_[c][j + 1] -=
+              lr * (grad * f[j] + options_.l2 * weights_[c][j + 1]);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status LogisticClassifier::Fit(const std::vector<LabeledSeries>& train) {
+  if (train.empty()) return Status::InvalidArgument("logistic: empty train");
+  int max_label = 0;
+  for (const auto& ex : train) max_label = std::max(max_label, ex.label);
+  size_t classes = static_cast<size_t>(max_label) + 1;
+  std::vector<std::vector<double>> features;
+  std::vector<std::vector<double>> targets;
+  features.reserve(train.size());
+  for (const auto& ex : train) {
+    features.push_back(ExtractStatFeatures(ex.values));
+    std::vector<double> t(classes, 0.0);
+    t[ex.label] = 1.0;
+    targets.push_back(std::move(t));
+  }
+  return FitImpl(features, targets);
+}
+
+Status LogisticClassifier::FitSoft(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<std::vector<double>>& soft_targets) {
+  return FitImpl(features, soft_targets);
+}
+
+Result<std::vector<double>> LogisticClassifier::ProbaFromFeatures(
+    const std::vector<double>& features) const {
+  if (weights_.empty()) {
+    return Status::FailedPrecondition("logistic: not fitted");
+  }
+  std::vector<double> f = Standardize(features);
+  size_t classes = weights_.size();
+  std::vector<double> logits(classes);
+  double max_logit = -1e300;
+  for (size_t c = 0; c < classes; ++c) {
+    double z = weights_[c][0];
+    for (size_t j = 0; j < f.size() && j + 1 < weights_[c].size(); ++j) {
+      z += weights_[c][j + 1] * f[j];
+    }
+    logits[c] = z;
+    max_logit = std::max(max_logit, z);
+  }
+  double denom = 0.0;
+  for (size_t c = 0; c < classes; ++c) {
+    logits[c] = std::exp(logits[c] - max_logit);
+    denom += logits[c];
+  }
+  for (double& p : logits) p /= denom;
+  return logits;
+}
+
+Result<std::vector<double>> LogisticClassifier::PredictProba(
+    const std::vector<double>& series) const {
+  return ProbaFromFeatures(ExtractStatFeatures(series));
+}
+
+Result<int> LogisticClassifier::Predict(
+    const std::vector<double>& series) const {
+  Result<std::vector<double>> proba = PredictProba(series);
+  if (!proba.ok()) return proba.status();
+  return static_cast<int>(std::max_element(proba->begin(), proba->end()) -
+                          proba->begin());
+}
+
+size_t LogisticClassifier::NumParameters() const {
+  size_t total = 0;
+  for (const auto& w : weights_) total += w.size();
+  return total;
+}
+
+Status BaggedEnsembleClassifier::Fit(const std::vector<LabeledSeries>& train) {
+  if (train.empty()) return Status::InvalidArgument("ensemble: empty train");
+  int max_label = 0;
+  for (const auto& ex : train) max_label = std::max(max_label, ex.label);
+  num_classes_ = static_cast<size_t>(max_label) + 1;
+
+  members_.clear();
+  Rng rng(options_.seed);
+  size_t bag = std::max<size_t>(
+      2, static_cast<size_t>(options_.bag_fraction * train.size()));
+  for (int m = 0; m < options_.num_members; ++m) {
+    std::vector<LabeledSeries> sample;
+    sample.reserve(bag);
+    for (size_t i = 0; i < bag; ++i) {
+      sample.push_back(train[rng.Index(static_cast<int>(train.size()))]);
+    }
+    LogisticClassifier::Options opts;
+    opts.seed = options_.seed + 1000 + m;
+    LogisticClassifier member(opts);
+    if (!member.Fit(sample).ok()) continue;
+    members_.push_back(std::move(member));
+  }
+  if (members_.empty()) {
+    return Status::FailedPrecondition("ensemble: no member fit");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> BaggedEnsembleClassifier::PredictProba(
+    const std::vector<double>& series) const {
+  if (members_.empty()) {
+    return Status::FailedPrecondition("ensemble: not fitted");
+  }
+  std::vector<double> acc(num_classes_, 0.0);
+  int used = 0;
+  for (const auto& member : members_) {
+    Result<std::vector<double>> p = member.PredictProba(series);
+    if (!p.ok()) continue;
+    for (size_t c = 0; c < acc.size() && c < p->size(); ++c) {
+      acc[c] += (*p)[c];
+    }
+    ++used;
+  }
+  if (used == 0) return Status::Internal("ensemble: no member predicted");
+  for (double& v : acc) v /= used;
+  return acc;
+}
+
+Result<int> BaggedEnsembleClassifier::Predict(
+    const std::vector<double>& series) const {
+  Result<std::vector<double>> proba = PredictProba(series);
+  if (!proba.ok()) return proba.status();
+  return static_cast<int>(std::max_element(proba->begin(), proba->end()) -
+                          proba->begin());
+}
+
+size_t BaggedEnsembleClassifier::NumParameters() const {
+  size_t total = 0;
+  for (const auto& m : members_) total += m.NumParameters();
+  return total;
+}
+
+double Accuracy(const SeriesClassifier& model,
+                const std::vector<LabeledSeries>& test) {
+  if (test.empty()) return 0.0;
+  size_t hits = 0;
+  for (const auto& ex : test) {
+    Result<int> pred = model.Predict(ex.values);
+    if (pred.ok() && *pred == ex.label) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+}  // namespace tsdm

@@ -1,0 +1,147 @@
+#ifndef TSDM_ANALYTICS_CLASSIFY_CLASSIFIER_H_
+#define TSDM_ANALYTICS_CLASSIFY_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// A labeled univariate series example.
+struct LabeledSeries {
+  std::vector<double> values;
+  int label = 0;
+};
+
+/// Interface for time-series classifiers.
+class SeriesClassifier {
+ public:
+  virtual ~SeriesClassifier() = default;
+  virtual std::string Name() const = 0;
+  virtual Status Fit(const std::vector<LabeledSeries>& train) = 0;
+  virtual Result<int> Predict(const std::vector<double>& series) const = 0;
+  /// Class probabilities (indexed by label id). Default: one-hot Predict.
+  virtual Result<std::vector<double>> PredictProba(
+      const std::vector<double>& series) const;
+  virtual size_t NumClasses() const = 0;
+};
+
+/// Dynamic time warping distance with a Sakoe-Chiba band (band < 0 means
+/// unconstrained).
+double DtwDistance(const std::vector<double>& a, const std::vector<double>& b,
+                   int band = -1);
+
+/// 1-nearest-neighbor under DTW — the classical strong baseline.
+class OneNnDtwClassifier : public SeriesClassifier {
+ public:
+  explicit OneNnDtwClassifier(int band = 8) : band_(band) {}
+  std::string Name() const override { return "1nn-dtw"; }
+  Status Fit(const std::vector<LabeledSeries>& train) override;
+  Result<int> Predict(const std::vector<double>& series) const override;
+  size_t NumClasses() const override { return num_classes_; }
+
+ private:
+  int band_;
+  std::vector<LabeledSeries> train_;
+  size_t num_classes_ = 0;
+};
+
+/// Interpretable statistical features of a series (mean, spread, shape,
+/// autocorrelation, trend, ...). Always the same dimension.
+std::vector<double> ExtractStatFeatures(const std::vector<double>& series);
+/// Number of features ExtractStatFeatures returns.
+size_t StatFeatureCount();
+
+/// Multiclass (one-vs-rest) L2-regularized logistic regression on a fixed
+/// feature vector, trained by mini-batch SGD. Used directly and as the
+/// distillation student.
+class LogisticClassifier : public SeriesClassifier {
+ public:
+  struct Options {
+    double learning_rate = 0.1;
+    double l2 = 1e-3;
+    int epochs = 200;
+    uint64_t seed = 5;
+  };
+
+  LogisticClassifier() = default;
+  explicit LogisticClassifier(Options options) : options_(options) {}
+
+  std::string Name() const override { return "logistic-stat"; }
+  Status Fit(const std::vector<LabeledSeries>& train) override;
+  Result<int> Predict(const std::vector<double>& series) const override;
+  Result<std::vector<double>> PredictProba(
+      const std::vector<double>& series) const override;
+  size_t NumClasses() const override { return weights_.size(); }
+
+  /// Fits on pre-extracted features with *soft* targets (per-class
+  /// probabilities) — the distillation path.
+  Status FitSoft(const std::vector<std::vector<double>>& features,
+                 const std::vector<std::vector<double>>& soft_targets);
+
+  /// Probabilities from a raw feature vector.
+  Result<std::vector<double>> ProbaFromFeatures(
+      const std::vector<double>& features) const;
+
+  const std::vector<std::vector<double>>& weights() const { return weights_; }
+  std::vector<std::vector<double>>* mutable_weights() { return &weights_; }
+  /// Number of parameters (for model-size accounting).
+  size_t NumParameters() const;
+
+  /// Feature standardization statistics (exposed so quantized/calibrated
+  /// variants in analytics/efficient can adjust them under drift).
+  const std::vector<double>& feature_mean() const { return feat_mean_; }
+  const std::vector<double>& feature_std() const { return feat_std_; }
+  void SetFeatureStats(std::vector<double> mean, std::vector<double> std) {
+    feat_mean_ = std::move(mean);
+    feat_std_ = std::move(std);
+  }
+
+ private:
+  Status FitImpl(const std::vector<std::vector<double>>& features,
+                 const std::vector<std::vector<double>>& targets);
+  /// Standardizes a feature vector with the training statistics.
+  std::vector<double> Standardize(const std::vector<double>& f) const;
+
+  Options options_;
+  std::vector<double> feat_mean_, feat_std_;
+  std::vector<std::vector<double>> weights_;  // per class; bias first
+};
+
+/// Bagged ensemble of logistic classifiers on stat features — the LightTS
+/// "teacher" ([47]): strong but num_members times the size.
+class BaggedEnsembleClassifier : public SeriesClassifier {
+ public:
+  struct Options {
+    int num_members = 10;
+    double bag_fraction = 0.8;
+    uint64_t seed = 13;
+  };
+
+  BaggedEnsembleClassifier() = default;
+  explicit BaggedEnsembleClassifier(Options options) : options_(options) {}
+
+  std::string Name() const override { return "bagged-ensemble"; }
+  Status Fit(const std::vector<LabeledSeries>& train) override;
+  Result<int> Predict(const std::vector<double>& series) const override;
+  Result<std::vector<double>> PredictProba(
+      const std::vector<double>& series) const override;
+  size_t NumClasses() const override { return num_classes_; }
+  size_t NumParameters() const;
+
+ private:
+  Options options_;
+  std::vector<LogisticClassifier> members_;
+  size_t num_classes_ = 0;
+};
+
+/// Classification accuracy on a test set.
+double Accuracy(const SeriesClassifier& model,
+                const std::vector<LabeledSeries>& test);
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_CLASSIFY_CLASSIFIER_H_

@@ -1,0 +1,72 @@
+#include "src/analytics/classify/distill.h"
+
+namespace tsdm {
+
+std::string DistilledClassifier::Name() const {
+  return "distilled(m=" + std::to_string(options_.teacher_members) +
+         ",b=" + std::to_string(options_.quant_bits) + ")";
+}
+
+Status DistilledClassifier::Fit(const std::vector<LabeledSeries>& train) {
+  BaggedEnsembleClassifier::Options teacher_opts;
+  teacher_opts.num_members = options_.teacher_members;
+  teacher_opts.seed = options_.seed;
+  teacher_ = BaggedEnsembleClassifier(teacher_opts);
+  TSDM_RETURN_IF_ERROR(teacher_.Fit(train));
+
+  // Soft targets: teacher probabilities blended with the true labels.
+  size_t classes = teacher_.NumClasses();
+  std::vector<std::vector<double>> features;
+  std::vector<std::vector<double>> soft;
+  features.reserve(train.size());
+  soft.reserve(train.size());
+  for (const auto& ex : train) {
+    Result<std::vector<double>> p = teacher_.PredictProba(ex.values);
+    if (!p.ok()) return p.status();
+    std::vector<double> target(classes, 0.0);
+    double hw = options_.hard_label_weight;
+    for (size_t c = 0; c < classes; ++c) {
+      target[c] = (1.0 - hw) * (*p)[c];
+    }
+    target[ex.label] += hw;
+    features.push_back(ExtractStatFeatures(ex.values));
+    soft.push_back(std::move(target));
+  }
+
+  LogisticClassifier::Options student_opts;
+  student_opts.seed = options_.seed + 1;
+  LogisticClassifier dense(student_opts);
+  TSDM_RETURN_IF_ERROR(dense.FitSoft(features, soft));
+
+  Result<QuantizedLogisticClassifier> quantized =
+      QuantizedLogisticClassifier::FromDense(dense, options_.quant_bits);
+  if (!quantized.ok()) return quantized.status();
+  student_ = std::make_unique<QuantizedLogisticClassifier>(*quantized);
+  return Status::OK();
+}
+
+Result<int> DistilledClassifier::Predict(
+    const std::vector<double>& series) const {
+  if (!student_) return Status::FailedPrecondition("distilled: not fitted");
+  return student_->Predict(series);
+}
+
+Result<std::vector<double>> DistilledClassifier::PredictProba(
+    const std::vector<double>& series) const {
+  if (!student_) return Status::FailedPrecondition("distilled: not fitted");
+  return student_->PredictProba(series);
+}
+
+size_t DistilledClassifier::NumClasses() const {
+  return student_ ? student_->NumClasses() : 0;
+}
+
+size_t DistilledClassifier::StudentSizeBits() const {
+  return student_ ? student_->SizeBits() : 0;
+}
+
+size_t DistilledClassifier::TeacherSizeBits() const {
+  return teacher_.NumParameters() * 64;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,52 @@
+#ifndef TSDM_ANALYTICS_CLASSIFY_DISTILL_H_
+#define TSDM_ANALYTICS_CLASSIFY_DISTILL_H_
+
+#include <memory>
+
+#include "src/analytics/classify/classifier.h"
+#include "src/analytics/efficient/quantize.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// LightTS-style adaptive ensemble distillation ([47]): a large bagged
+/// ensemble (the teacher) is distilled into a single logistic student
+/// trained on the teacher's soft probabilities, then the student's weights
+/// are quantized to the requested bit width — an edge-deployable model a
+/// fraction of the teacher's size.
+class DistilledClassifier : public SeriesClassifier {
+ public:
+  struct Options {
+    int teacher_members = 10;
+    int quant_bits = 8;
+    /// Weight of the hard (true) labels mixed into the soft targets.
+    double hard_label_weight = 0.3;
+    uint64_t seed = 17;
+  };
+
+  DistilledClassifier() = default;
+  explicit DistilledClassifier(Options options) : options_(options) {}
+
+  std::string Name() const override;
+  Status Fit(const std::vector<LabeledSeries>& train) override;
+  Result<int> Predict(const std::vector<double>& series) const override;
+  Result<std::vector<double>> PredictProba(
+      const std::vector<double>& series) const override;
+  size_t NumClasses() const override;
+
+  /// Deployed (quantized student) size in bits.
+  size_t StudentSizeBits() const;
+  /// Teacher size in bits assuming 64-bit dense parameters.
+  size_t TeacherSizeBits() const;
+  /// The teacher, for accuracy comparisons (valid after Fit).
+  const BaggedEnsembleClassifier& teacher() const { return teacher_; }
+
+ private:
+  Options options_;
+  BaggedEnsembleClassifier teacher_;
+  std::unique_ptr<QuantizedLogisticClassifier> student_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_CLASSIFY_DISTILL_H_

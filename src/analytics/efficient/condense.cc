@@ -1,0 +1,160 @@
+#include "src/analytics/efficient/condense.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace tsdm {
+
+namespace {
+
+/// Z-scores each feature dimension over the pool so no single dimension's
+/// scale dominates the similarity.
+std::vector<std::vector<double>> Standardize(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<size_t>& pool) {
+  if (pool.empty()) return {};
+  size_t d = features[pool[0]].size();
+  std::vector<double> mean(d, 0.0), var(d, 0.0);
+  for (size_t idx : pool) {
+    for (size_t j = 0; j < d; ++j) mean[j] += features[idx][j];
+  }
+  for (double& m : mean) m /= static_cast<double>(pool.size());
+  for (size_t idx : pool) {
+    for (size_t j = 0; j < d; ++j) {
+      double dd = features[idx][j] - mean[j];
+      var[j] += dd * dd;
+    }
+  }
+  for (double& v : var) {
+    v = std::sqrt(v / static_cast<double>(pool.size()));
+    if (v <= 0.0) v = 1.0;
+  }
+  std::vector<std::vector<double>> out(pool.size(),
+                                       std::vector<double>(d));
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      out[i][j] = (features[pool[i]][j] - mean[j]) / var[j];
+    }
+  }
+  return out;
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t j = 0; j < a.size() && j < b.size(); ++j) {
+    double d = a[j] - b[j];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<size_t> DatasetCondenser::HerdPool(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<size_t>& pool, size_t target) const {
+  if (pool.empty() || target == 0) return {};
+  target = std::min(target, pool.size());
+  std::vector<std::vector<double>> z = Standardize(features, pool);
+  size_t n = pool.size();
+
+  // Greedy facility location with an RBF similarity: each added prototype
+  // maximizes the total best-similarity of all pool points to the selected
+  // set — yielding representative yet diverse exemplars, the behaviour
+  // dataset condensation needs.
+  double bandwidth = 0.0;
+  {
+    // Median heuristic on a subsample of pairs.
+    std::vector<double> dists;
+    size_t stride = std::max<size_t>(1, n / 32);
+    for (size_t i = 0; i < n; i += stride) {
+      for (size_t j = i + stride; j < n; j += stride) {
+        dists.push_back(SquaredDistance(z[i], z[j]));
+      }
+    }
+    std::sort(dists.begin(), dists.end());
+    bandwidth = dists.empty() ? 1.0
+                              : std::max(1e-6, dists[dists.size() / 2]);
+  }
+
+  std::vector<double> best_sim(n, 0.0);
+  std::vector<bool> taken(n, false);
+  std::vector<size_t> selected;
+  while (selected.size() < target) {
+    double best_gain = -1.0;
+    size_t best_i = 0;
+    for (size_t cand = 0; cand < n; ++cand) {
+      if (taken[cand]) continue;
+      double gain = 0.0;
+      for (size_t p = 0; p < n; ++p) {
+        double sim = std::exp(-SquaredDistance(z[cand], z[p]) / bandwidth);
+        if (sim > best_sim[p]) gain += sim - best_sim[p];
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_i = cand;
+      }
+    }
+    taken[best_i] = true;
+    selected.push_back(pool[best_i]);
+    for (size_t p = 0; p < n; ++p) {
+      double sim = std::exp(-SquaredDistance(z[best_i], z[p]) / bandwidth);
+      best_sim[p] = std::max(best_sim[p], sim);
+    }
+  }
+  return selected;
+}
+
+Result<std::vector<size_t>> DatasetCondenser::Select(
+    const std::vector<std::vector<double>>& features, size_t target,
+    const std::vector<int>* labels) const {
+  if (features.empty()) {
+    return Status::InvalidArgument("DatasetCondenser: no features");
+  }
+  if (target == 0 || target > features.size()) {
+    return Status::InvalidArgument("DatasetCondenser: bad target size");
+  }
+  if (labels == nullptr || !options_.class_balanced) {
+    std::vector<size_t> pool(features.size());
+    for (size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+    return HerdPool(features, pool, target);
+  }
+  if (labels->size() != features.size()) {
+    return Status::InvalidArgument("DatasetCondenser: label size mismatch");
+  }
+  // Pools per class; proportional quotas with at least one per class.
+  std::map<int, std::vector<size_t>> pools;
+  for (size_t i = 0; i < features.size(); ++i) {
+    pools[(*labels)[i]].push_back(i);
+  }
+  std::vector<size_t> selected;
+  size_t assigned = 0;
+  size_t class_index = 0;
+  for (const auto& [label, pool] : pools) {
+    size_t quota;
+    if (class_index + 1 == pools.size()) {
+      quota = target - assigned;  // remainder to the last class
+    } else {
+      quota = std::max<size_t>(
+          1, target * pool.size() / features.size());
+      quota = std::min(quota, target - assigned);
+    }
+    auto picks = HerdPool(features, pool, quota);
+    selected.insert(selected.end(), picks.begin(), picks.end());
+    assigned += picks.size();
+    ++class_index;
+    if (assigned >= target) break;
+  }
+  return selected;
+}
+
+std::vector<size_t> RandomSubset(size_t n, size_t target, Rng* rng) {
+  std::vector<int> idx =
+      rng->SampleWithoutReplacement(static_cast<int>(n),
+                                    static_cast<int>(std::min(n, target)));
+  return std::vector<size_t>(idx.begin(), idx.end());
+}
+
+}  // namespace tsdm

@@ -1,0 +1,48 @@
+#ifndef TSDM_ANALYTICS_EFFICIENT_CONDENSE_H_
+#define TSDM_ANALYTICS_EFFICIENT_CONDENSE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// TimeDC-style dataset condensation ([49]): selects a small subset of
+/// training examples that represents the full set, so a model trained on
+/// the subset behaves like one trained on everything. Implemented as
+/// greedy facility location (k-medoids-style) with an RBF similarity on
+/// standardized features: each pick maximizes the total best-similarity of
+/// all examples to the selected prototypes — representative yet diverse.
+class DatasetCondenser {
+ public:
+  struct Options {
+    /// Select per-class quotas proportional to class frequency.
+    bool class_balanced = true;
+  };
+
+  DatasetCondenser() = default;
+  explicit DatasetCondenser(Options options) : options_(options) {}
+
+  /// Selects `target` indices from the feature rows. When labels are given
+  /// (same length) and class balancing is on, the per-class quota is
+  /// proportional to class frequency (at least one each).
+  Result<std::vector<size_t>> Select(
+      const std::vector<std::vector<double>>& features, size_t target,
+      const std::vector<int>* labels = nullptr) const;
+
+ private:
+  /// Herding over one index pool.
+  std::vector<size_t> HerdPool(const std::vector<std::vector<double>>& features,
+                               const std::vector<size_t>& pool,
+                               size_t target) const;
+
+  Options options_;
+};
+
+/// Baseline: uniformly random subset of the same size.
+std::vector<size_t> RandomSubset(size_t n, size_t target, Rng* rng);
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_EFFICIENT_CONDENSE_H_

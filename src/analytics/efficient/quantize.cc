@@ -1,0 +1,150 @@
+#include "src/analytics/efficient/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsdm {
+
+Result<QuantizedVector> QuantizeVector(const std::vector<double>& values,
+                                       int bits) {
+  if (bits < 1 || bits > 16) {
+    return Status::InvalidArgument("QuantizeVector: bits must be in [1,16]");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("QuantizeVector: empty input");
+  }
+  double lo = *std::min_element(values.begin(), values.end());
+  double hi = *std::max_element(values.begin(), values.end());
+  QuantizedVector q;
+  q.bits = bits;
+  int levels = (1 << bits) - 1;
+  if (hi == lo) {
+    q.scale = 1.0;
+    q.offset = lo;
+    q.codes.assign(values.size(), 0);
+    return q;
+  }
+  q.scale = (hi - lo) / levels;
+  q.offset = lo;
+  q.codes.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    int code = static_cast<int>(std::lround((values[i] - lo) / q.scale));
+    q.codes[i] = std::clamp(code, 0, levels);
+  }
+  return q;
+}
+
+std::vector<double> DequantizeVector(const QuantizedVector& q) {
+  std::vector<double> out(q.codes.size());
+  for (size_t i = 0; i < q.codes.size(); ++i) out[i] = q.Value(i);
+  return out;
+}
+
+Result<QuantizedLogisticClassifier> QuantizedLogisticClassifier::FromDense(
+    const LogisticClassifier& dense, int bits) {
+  if (dense.weights().empty()) {
+    return Status::FailedPrecondition("FromDense: dense model not fitted");
+  }
+  QuantizedLogisticClassifier out;
+  out.bits_ = bits;
+  out.feat_mean_ = dense.feature_mean();
+  out.feat_std_ = dense.feature_std();
+  for (const auto& w : dense.weights()) {
+    Result<QuantizedVector> q = QuantizeVector(w, bits);
+    if (!q.ok()) return q.status();
+    out.weights_.push_back(*q);
+  }
+  return out;
+}
+
+std::string QuantizedLogisticClassifier::Name() const {
+  return "quantized-logistic(b=" + std::to_string(bits_) + ")";
+}
+
+Status QuantizedLogisticClassifier::Fit(
+    const std::vector<LabeledSeries>& train) {
+  (void)train;
+  return Status::Unimplemented(
+      "QuantizedLogisticClassifier: train a dense model and use FromDense");
+}
+
+Result<std::vector<double>> QuantizedLogisticClassifier::PredictProba(
+    const std::vector<double>& series) const {
+  if (weights_.empty()) {
+    return Status::FailedPrecondition("quantized-logistic: not built");
+  }
+  std::vector<double> raw = ExtractStatFeatures(series);
+  std::vector<double> f(raw.size());
+  for (size_t j = 0; j < raw.size(); ++j) {
+    double sd = j < feat_std_.size() ? feat_std_[j] : 1.0;
+    double mu = j < feat_mean_.size() ? feat_mean_[j] : 0.0;
+    f[j] = sd > 0.0 ? (raw[j] - mu) / sd : 0.0;
+  }
+  size_t classes = weights_.size();
+  std::vector<double> logits(classes);
+  double max_logit = -1e300;
+  for (size_t c = 0; c < classes; ++c) {
+    double z = weights_[c].Value(0);
+    for (size_t j = 0; j < f.size() && j + 1 < weights_[c].codes.size();
+         ++j) {
+      z += weights_[c].Value(j + 1) * f[j];
+    }
+    logits[c] = z;
+    max_logit = std::max(max_logit, z);
+  }
+  double denom = 0.0;
+  for (size_t c = 0; c < classes; ++c) {
+    logits[c] = std::exp(logits[c] - max_logit);
+    denom += logits[c];
+  }
+  for (double& p : logits) p /= denom;
+  return logits;
+}
+
+Result<int> QuantizedLogisticClassifier::Predict(
+    const std::vector<double>& series) const {
+  Result<std::vector<double>> proba = PredictProba(series);
+  if (!proba.ok()) return proba.status();
+  return static_cast<int>(std::max_element(proba->begin(), proba->end()) -
+                          proba->begin());
+}
+
+size_t QuantizedLogisticClassifier::SizeBits() const {
+  size_t total = 0;
+  for (const auto& q : weights_) total += q.SizeBits();
+  return total;
+}
+
+void QuantizedLogisticClassifier::Calibrate(
+    const std::vector<std::vector<double>>& recent_series, double rate) {
+  if (recent_series.empty()) return;
+  // Recent feature statistics.
+  std::vector<std::vector<double>> feats;
+  feats.reserve(recent_series.size());
+  for (const auto& s : recent_series) {
+    feats.push_back(ExtractStatFeatures(s));
+  }
+  size_t d = feats[0].size();
+  std::vector<double> mean(d, 0.0), var(d, 0.0);
+  for (const auto& f : feats) {
+    for (size_t j = 0; j < d; ++j) mean[j] += f[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(feats.size());
+  for (const auto& f : feats) {
+    for (size_t j = 0; j < d; ++j) {
+      double dd = f[j] - mean[j];
+      var[j] += dd * dd;
+    }
+  }
+  for (double& v : var) v /= static_cast<double>(feats.size());
+
+  if (feat_mean_.size() < d) feat_mean_.resize(d, 0.0);
+  if (feat_std_.size() < d) feat_std_.resize(d, 1.0);
+  for (size_t j = 0; j < d; ++j) {
+    feat_mean_[j] = (1.0 - rate) * feat_mean_[j] + rate * mean[j];
+    double sd = std::sqrt(std::max(var[j], 1e-12));
+    feat_std_[j] = (1.0 - rate) * feat_std_[j] + rate * sd;
+  }
+}
+
+}  // namespace tsdm

@@ -1,0 +1,68 @@
+#ifndef TSDM_ANALYTICS_EFFICIENT_QUANTIZE_H_
+#define TSDM_ANALYTICS_EFFICIENT_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analytics/classify/classifier.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// Affine b-bit quantization of a double vector: codes in
+/// [0, 2^bits - 1] with value = scale * code + offset. The storage unit of
+/// the LightTS/QCore resource-efficiency components ([47], [48]).
+struct QuantizedVector {
+  std::vector<int32_t> codes;
+  double scale = 1.0;
+  double offset = 0.0;
+  int bits = 8;
+
+  /// Reconstructed value of entry i.
+  double Value(size_t i) const { return scale * codes[i] + offset; }
+  /// Model size in bits (codes only; scale/offset are constant overhead).
+  size_t SizeBits() const { return codes.size() * static_cast<size_t>(bits); }
+};
+
+/// Quantizes `values` to `bits` bits (1..16).
+Result<QuantizedVector> QuantizeVector(const std::vector<double>& values,
+                                       int bits);
+/// Reconstructs the doubles.
+std::vector<double> DequantizeVector(const QuantizedVector& q);
+
+/// A logistic classifier whose weights are stored quantized (the deployed
+/// edge model) and whose input standardization can be *continually
+/// calibrated* on recent unlabeled data — the QCore mechanism [48] that
+/// keeps quantized models healthy under distribution shift.
+class QuantizedLogisticClassifier : public SeriesClassifier {
+ public:
+  /// Quantizes the weights of a fitted dense model.
+  static Result<QuantizedLogisticClassifier> FromDense(
+      const LogisticClassifier& dense, int bits);
+
+  std::string Name() const override;
+  /// Not supported: build via FromDense.
+  Status Fit(const std::vector<LabeledSeries>& train) override;
+  Result<int> Predict(const std::vector<double>& series) const override;
+  Result<std::vector<double>> PredictProba(
+      const std::vector<double>& series) const override;
+  size_t NumClasses() const override { return weights_.size(); }
+
+  /// Total quantized weight size in bits.
+  size_t SizeBits() const;
+
+  /// QCore-style continual calibration: updates the input standardization
+  /// statistics from a window of recent (unlabeled) series with an
+  /// exponential moving average. `rate` in (0,1] is the adaptation speed.
+  void Calibrate(const std::vector<std::vector<double>>& recent_series,
+                 double rate = 0.2);
+
+ private:
+  std::vector<QuantizedVector> weights_;  // per class; bias first
+  std::vector<double> feat_mean_, feat_std_;
+  int bits_ = 8;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_EFFICIENT_QUANTIZE_H_

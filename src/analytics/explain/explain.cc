@@ -1,0 +1,124 @@
+#include "src/analytics/explain/explain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/stats.h"
+
+namespace tsdm {
+
+AttributionEval EvaluatePointAttribution(const std::vector<double>& scores,
+                                         const std::vector<int>& labels,
+                                         int top_k) {
+  AttributionEval eval;
+  size_t n = std::min(scores.size(), labels.size());
+  if (n == 0 || top_k <= 0) return eval;
+  double positives = 0.0;
+  for (size_t i = 0; i < n; ++i) positives += labels[i] == 1 ? 1.0 : 0.0;
+  eval.random_baseline = positives / static_cast<double>(n);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  size_t top = std::min<size_t>(top_k, n);
+  double hits = 0.0;
+  for (size_t i = 0; i < top; ++i) {
+    if (labels[order[i]] == 1) hits += 1.0;
+  }
+  eval.hit_rate = hits / static_cast<double>(top);
+  return eval;
+}
+
+std::vector<double> PermutationImportance(
+    const Matrix& features, const std::vector<double>& targets,
+    const std::function<double(const std::vector<double>&)>& predict,
+    const std::function<double(double, double)>& loss, Rng* rng,
+    int repeats) {
+  size_t n = features.rows(), d = features.cols();
+  std::vector<double> importance(d, 0.0);
+  if (n == 0 || d == 0) return importance;
+
+  // Baseline loss.
+  double base = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    base += loss(predict(features.Row(i)), targets[i]);
+  }
+  base /= static_cast<double>(n);
+
+  for (size_t j = 0; j < d; ++j) {
+    double acc = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      // Shuffle column j.
+      std::vector<double> column = features.Col(j);
+      std::vector<double> shuffled = column;
+      rng->Shuffle(&shuffled);
+      double permuted_loss = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<double> row = features.Row(i);
+        row[j] = shuffled[i];
+        permuted_loss += loss(predict(row), targets[i]);
+      }
+      acc += permuted_loss / static_cast<double>(n) - base;
+    }
+    importance[j] = acc / repeats;
+  }
+  return importance;
+}
+
+AssociationGraph BuildAssociationGraph(const CorrelatedTimeSeries& cts,
+                                       int max_lag) {
+  size_t n = cts.NumSensors();
+  AssociationGraph graph;
+  graph.weight = Matrix(n, n, 0.0);
+  graph.lag = Matrix(n, n, 0.0);
+  std::vector<std::vector<double>> series(n);
+  for (size_t s = 0; s < n; ++s) series[s] = cts.SensorSeries(s);
+
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double best = 0.0;
+      int best_lag = 0;
+      for (int lag = 0; lag <= max_lag; ++lag) {
+        // corr(x_i(t - lag), x_j(t)).
+        size_t len = series[i].size();
+        if (static_cast<size_t>(lag) >= len) break;
+        std::vector<double> lead(series[i].begin(),
+                                 series[i].end() - lag);
+        std::vector<double> follow(series[j].begin() + lag,
+                                   series[j].end());
+        double c = std::fabs(PearsonCorrelation(lead, follow));
+        if (c > best) {
+          best = c;
+          best_lag = lag;
+        }
+      }
+      graph.weight(i, j) = best;
+      graph.lag(i, j) = best_lag;
+    }
+  }
+  return graph;
+}
+
+std::vector<Association> TopAssociations(const AssociationGraph& graph,
+                                         int count) {
+  std::vector<Association> all;
+  for (size_t i = 0; i < graph.weight.rows(); ++i) {
+    for (size_t j = 0; j < graph.weight.cols(); ++j) {
+      if (i == j) continue;
+      all.push_back({static_cast<int>(i), static_cast<int>(j),
+                     graph.weight(i, j),
+                     static_cast<int>(graph.lag(i, j))});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Association& a, const Association& b) {
+              return a.weight > b.weight;
+            });
+  if (static_cast<int>(all.size()) > count) all.resize(count);
+  return all;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,65 @@
+#ifndef TSDM_ANALYTICS_EXPLAIN_EXPLAIN_H_
+#define TSDM_ANALYTICS_EXPLAIN_EXPLAIN_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/analytics/anomaly/detector.h"
+#include "src/common/matrix.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/data/correlated_time_series.h"
+
+namespace tsdm {
+
+/// Posthoc explainability of reconstruction-based detectors ([35]): given a
+/// detector and a scored series, attribute each detection to the time steps
+/// with the largest reconstruction error, and measure whether the
+/// attributed steps are the truly anomalous ones.
+struct AttributionEval {
+  /// Fraction of the top-k attributed steps that are labeled anomalous.
+  double hit_rate = 0.0;
+  /// Expected hit rate of random attribution (= anomaly prevalence).
+  double random_baseline = 0.0;
+};
+
+/// Evaluates point attribution quality: the detector's per-step scores are
+/// treated as attributions; the top `top_k` steps are compared with labels.
+AttributionEval EvaluatePointAttribution(const std::vector<double>& scores,
+                                         const std::vector<int>& labels,
+                                         int top_k);
+
+/// Model-agnostic permutation importance ([43]-style interpretable layer):
+/// feature j's importance is the increase of `loss` when column j is
+/// shuffled. `predict` maps one feature row to a prediction; `loss`
+/// compares prediction vs target (e.g. absolute error).
+std::vector<double> PermutationImportance(
+    const Matrix& features, const std::vector<double>& targets,
+    const std::function<double(const std::vector<double>&)>& predict,
+    const std::function<double(double prediction, double target)>& loss,
+    Rng* rng, int repeats = 3);
+
+/// Temporal-association graph ([44], [45]): for every sensor pair, the
+/// maximal |cross-correlation| over lags 0..max_lag and its argmax lag.
+/// High-weight directed pairs explain "which sensor leads which".
+struct AssociationGraph {
+  Matrix weight;  ///< [i][j] = max |corr(x_i(t - lag), x_j(t))|
+  Matrix lag;     ///< [i][j] = argmax lag (i leads j by this many steps)
+};
+AssociationGraph BuildAssociationGraph(const CorrelatedTimeSeries& cts,
+                                       int max_lag);
+
+/// Top `count` strongest associations (i leads j), excluding self-pairs,
+/// as (i, j, weight, lag) rows sorted by weight descending.
+struct Association {
+  int leader;
+  int follower;
+  double weight;
+  int lag;
+};
+std::vector<Association> TopAssociations(const AssociationGraph& graph,
+                                         int count);
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_EXPLAIN_EXPLAIN_H_

@@ -1,0 +1,100 @@
+#include "src/analytics/forecast/association_enhanced.h"
+
+#include <algorithm>
+
+#include "src/common/matrix.h"
+
+namespace tsdm {
+
+Status AssociationEnhancedForecaster::Fit(const CorrelatedTimeSeries& cts) {
+  TSDM_RETURN_IF_ERROR(cts.Validate());
+  sensors_ = cts.NumSensors();
+  size_t n = cts.NumSteps();
+  int max_lag = std::max(options_.own_lags, options_.max_lag);
+  if (n < static_cast<size_t>(3 * max_lag) + 4) {
+    return Status::InvalidArgument("association-ar: history too short");
+  }
+  history_.assign(n, std::vector<double>(sensors_));
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t s = 0; s < sensors_; ++s) history_[t][s] = cts.At(t, s);
+  }
+
+  // Discover the association structure from the data itself.
+  AssociationGraph graph = BuildAssociationGraph(cts, options_.max_lag);
+  leaders_.assign(sensors_, {});
+  for (size_t s = 0; s < sensors_; ++s) {
+    std::vector<Leader> candidates;
+    for (size_t o = 0; o < sensors_; ++o) {
+      if (o == s) continue;
+      double w = graph.weight(o, s);
+      int lag = static_cast<int>(graph.lag(o, s));
+      // A lag-0 association carries no *predictive* lead; require lag >= 1.
+      if (w >= options_.min_weight && lag >= 1) {
+        candidates.push_back({static_cast<int>(o), lag, w});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Leader& a, const Leader& b) {
+                return a.weight > b.weight;
+              });
+    if (static_cast<int>(candidates.size()) > options_.max_leaders) {
+      candidates.resize(options_.max_leaders);
+    }
+    leaders_[s] = std::move(candidates);
+  }
+
+  // Per-sensor ridge fit: own lags + each leader at its discovered lag.
+  weights_.assign(sensors_, {});
+  size_t rows = n - max_lag;
+  for (size_t s = 0; s < sensors_; ++s) {
+    size_t feat = 1 + options_.own_lags + leaders_[s].size();
+    Matrix x(rows, feat);
+    std::vector<double> y(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      size_t t = r + max_lag;
+      size_t col = 0;
+      x(r, col++) = 1.0;
+      for (int lag = 1; lag <= options_.own_lags; ++lag) {
+        x(r, col++) = history_[t - lag][s];
+      }
+      for (const Leader& leader : leaders_[s]) {
+        x(r, col++) = history_[t - leader.lag][leader.sensor];
+      }
+      y[r] = history_[t][s];
+    }
+    Result<std::vector<double>> w = RidgeSolve(x, y, options_.ridge_lambda);
+    if (!w.ok()) return w.status();
+    weights_[s] = *w;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<double>>>
+AssociationEnhancedForecaster::Forecast(int horizon) const {
+  if (weights_.empty()) {
+    return Status::FailedPrecondition("association-ar: not fitted");
+  }
+  std::vector<std::vector<double>> state = history_;
+  std::vector<std::vector<double>> out(sensors_);
+  for (int h = 0; h < horizon; ++h) {
+    size_t t = state.size();
+    std::vector<double> next(sensors_);
+    for (size_t s = 0; s < sensors_; ++s) {
+      const auto& w = weights_[s];
+      size_t col = 0;
+      double y = w[col++];
+      for (int lag = 1; lag <= options_.own_lags; ++lag) {
+        y += w[col++] * state[t - lag][s];
+      }
+      for (const Leader& leader : leaders_[s]) {
+        y += w[col++] * state[t - leader.lag][leader.sensor];
+      }
+      next[s] = y;
+      out[s].push_back(y);
+    }
+    state.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,55 @@
+#ifndef TSDM_ANALYTICS_FORECAST_ASSOCIATION_ENHANCED_H_
+#define TSDM_ANALYTICS_FORECAST_ASSOCIATION_ENHANCED_H_
+
+#include <vector>
+
+#include "src/analytics/explain/explain.h"
+#include "src/common/status.h"
+#include "src/data/correlated_time_series.h"
+
+namespace tsdm {
+
+/// EnhanceNet-style plug-in forecasting ([44], [45]): instead of a fixed
+/// sensor graph, the spatial structure is *discovered* from the data — the
+/// lagged-correlation association graph (analytics/explain) selects, per
+/// sensor, the few leader sensors whose past best predicts it, and each
+/// sensor's AR model is augmented with those leaders at their discovered
+/// lags. The discovered associations double as the model's explanation.
+class AssociationEnhancedForecaster {
+ public:
+  struct Options {
+    int own_lags = 6;
+    int max_leaders = 2;       ///< leaders plugged into each sensor model
+    int max_lag = 6;           ///< association search depth
+    double min_weight = 0.3;   ///< ignore associations weaker than this
+    double ridge_lambda = 1e-2;
+  };
+
+  AssociationEnhancedForecaster() = default;
+  explicit AssociationEnhancedForecaster(Options options)
+      : options_(options) {}
+
+  Status Fit(const CorrelatedTimeSeries& cts);
+
+  /// Forecasts all sensors `horizon` steps ahead (iterated one-step).
+  Result<std::vector<std::vector<double>>> Forecast(int horizon) const;
+
+  /// The leaders discovered for a sensor: (leader id, lag, weight).
+  struct Leader {
+    int sensor;
+    int lag;
+    double weight;
+  };
+  const std::vector<std::vector<Leader>>& leaders() const { return leaders_; }
+
+ private:
+  Options options_;
+  size_t sensors_ = 0;
+  std::vector<std::vector<Leader>> leaders_;    // per sensor
+  std::vector<std::vector<double>> weights_;    // per sensor; intercept first
+  std::vector<std::vector<double>> history_;    // [t][s]
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_FORECAST_ASSOCIATION_ENHANCED_H_

@@ -1,0 +1,124 @@
+#include "src/analytics/forecast/decompose.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/stats.h"
+
+namespace tsdm {
+
+Result<SeasonalDecomposition> DecomposeAdditive(
+    const std::vector<double>& series, int period) {
+  if (period < 2) {
+    return Status::InvalidArgument("DecomposeAdditive: period must be >= 2");
+  }
+  int n = static_cast<int>(series.size());
+  if (n < 2 * period) {
+    return Status::InvalidArgument(
+        "DecomposeAdditive: need at least two full periods");
+  }
+  SeasonalDecomposition out;
+  // Centered moving average of width `period` (split weights when even).
+  out.trend.assign(n, 0.0);
+  int half = period / 2;
+  for (int t = 0; t < n; ++t) {
+    double acc = 0.0, weight = 0.0;
+    for (int k = -half; k <= half; ++k) {
+      int idx = std::clamp(t + k, 0, n - 1);
+      double w = 1.0;
+      if (period % 2 == 0 && (k == -half || k == half)) w = 0.5;
+      acc += w * series[idx];
+      weight += w;
+    }
+    out.trend[t] = acc / weight;
+  }
+  // Seasonal means of the detrended series, normalized to zero sum.
+  out.seasonal_profile.assign(period, 0.0);
+  std::vector<int> counts(period, 0);
+  for (int t = 0; t < n; ++t) {
+    out.seasonal_profile[t % period] += series[t] - out.trend[t];
+    counts[t % period] += 1;
+  }
+  double mean_effect = 0.0;
+  for (int p = 0; p < period; ++p) {
+    if (counts[p] > 0) out.seasonal_profile[p] /= counts[p];
+    mean_effect += out.seasonal_profile[p] / period;
+  }
+  for (double& s : out.seasonal_profile) s -= mean_effect;
+
+  out.seasonal.resize(n);
+  out.remainder.resize(n);
+  for (int t = 0; t < n; ++t) {
+    out.seasonal[t] = out.seasonal_profile[t % period];
+    out.remainder[t] = series[t] - out.trend[t] - out.seasonal[t];
+  }
+  return out;
+}
+
+Result<std::vector<double>> Deseasonalize(const std::vector<double>& series,
+                                          int period) {
+  Result<SeasonalDecomposition> d = DecomposeAdditive(series, period);
+  if (!d.ok()) return d.status();
+  std::vector<double> out(series.size());
+  for (size_t t = 0; t < series.size(); ++t) {
+    out[t] = series[t] - d->seasonal[t];
+  }
+  return out;
+}
+
+std::string DecomposedForecaster::Name() const {
+  return "decomposed(p=" + std::to_string(period_) + ")";
+}
+
+Status DecomposedForecaster::Fit(const std::vector<double>& history) {
+  Result<SeasonalDecomposition> d = DecomposeAdditive(history, period_);
+  if (!d.ok()) return d.status();
+  seasonal_profile_ = d->seasonal_profile;
+  phase_offset_ = static_cast<int>(history.size()) % period_;
+  // The centered moving average is edge-biased in the last half-period, so
+  // anchor the level/slope on interior trend points and extrapolate.
+  int n = static_cast<int>(history.size());
+  int half = period_ / 2;
+  int anchor = std::max(0, n - 1 - half);
+  int span = std::min(2 * period_, anchor);
+  trend_slope_ =
+      span > 0 ? (d->trend[anchor] - d->trend[anchor - span]) / span : 0.0;
+  last_trend_ = d->trend[anchor] + trend_slope_ * (n - 1 - anchor);
+
+  remainder_model_ = std::make_unique<ArForecaster>(ar_order_);
+  remainder_fitted_ = remainder_model_->Fit(d->remainder).ok();
+  return Status::OK();
+}
+
+Result<DecomposedForecaster::ComponentForecast>
+DecomposedForecaster::ForecastComponents(int horizon) const {
+  if (seasonal_profile_.empty()) {
+    return Status::FailedPrecondition("decomposed: not fitted");
+  }
+  ComponentForecast out;
+  out.trend.resize(horizon);
+  out.seasonal.resize(horizon);
+  out.remainder.assign(horizon, 0.0);
+  for (int h = 0; h < horizon; ++h) {
+    out.trend[h] = last_trend_ + (h + 1) * trend_slope_;
+    out.seasonal[h] = seasonal_profile_[(phase_offset_ + h) % period_];
+  }
+  if (remainder_fitted_) {
+    Result<std::vector<double>> r = remainder_model_->Forecast(horizon);
+    if (r.ok()) out.remainder = *r;
+  }
+  return out;
+}
+
+Result<std::vector<double>> DecomposedForecaster::Forecast(
+    int horizon) const {
+  Result<ComponentForecast> parts = ForecastComponents(horizon);
+  if (!parts.ok()) return parts.status();
+  std::vector<double> out(horizon);
+  for (int h = 0; h < horizon; ++h) {
+    out[h] = parts->trend[h] + parts->seasonal[h] + parts->remainder[h];
+  }
+  return out;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,70 @@
+#ifndef TSDM_ANALYTICS_FORECAST_DECOMPOSE_H_
+#define TSDM_ANALYTICS_FORECAST_DECOMPOSE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/analytics/forecast/forecaster.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// Classical additive decomposition y_t = trend + seasonal + remainder:
+/// centered moving-average trend, per-phase seasonal means (normalized to
+/// sum zero), remainder as what is left. The workhorse preprocessing for
+/// interpretable analytics (§II-C Explainability: each component can be
+/// inspected and attributed separately).
+struct SeasonalDecomposition {
+  std::vector<double> trend;
+  std::vector<double> seasonal;   ///< periodic, phase-aligned with input
+  std::vector<double> remainder;
+  std::vector<double> seasonal_profile;  ///< one period, phase 0..period-1
+};
+
+/// Requires period >= 2 and at least two full periods of data.
+Result<SeasonalDecomposition> DecomposeAdditive(
+    const std::vector<double>& series, int period);
+
+/// series - seasonal (same length).
+Result<std::vector<double>> Deseasonalize(const std::vector<double>& series,
+                                          int period);
+
+/// Decomposition-based forecaster: extrapolates the trend linearly from
+/// its recent slope, repeats the seasonal profile, and forecasts the
+/// remainder with a small AR model. Each component of the forecast is
+/// individually explainable.
+class DecomposedForecaster : public Forecaster {
+ public:
+  DecomposedForecaster(int period, int remainder_ar_order = 4)
+      : period_(period), ar_order_(remainder_ar_order) {}
+
+  std::string Name() const override;
+  Status Fit(const std::vector<double>& history) override;
+  Result<std::vector<double>> Forecast(int horizon) const override;
+  std::unique_ptr<Forecaster> CloneUnfitted() const override {
+    return std::make_unique<DecomposedForecaster>(period_, ar_order_);
+  }
+
+  /// Component forecasts for explanation (valid after Forecast-able Fit):
+  /// (trend, seasonal, remainder) contributions for steps 1..horizon.
+  struct ComponentForecast {
+    std::vector<double> trend;
+    std::vector<double> seasonal;
+    std::vector<double> remainder;
+  };
+  Result<ComponentForecast> ForecastComponents(int horizon) const;
+
+ private:
+  int period_;
+  int ar_order_;
+  double last_trend_ = 0.0;
+  double trend_slope_ = 0.0;
+  std::vector<double> seasonal_profile_;
+  int phase_offset_ = 0;  ///< phase of the first forecast step
+  std::unique_ptr<ArForecaster> remainder_model_;
+  bool remainder_fitted_ = false;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_FORECAST_DECOMPOSE_H_

@@ -1,0 +1,277 @@
+#include "src/analytics/forecast/forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/matrix.h"
+#include "src/data/window.h"
+
+namespace tsdm {
+
+Status NaiveForecaster::Fit(const std::vector<double>& history) {
+  if (history.empty()) {
+    return Status::InvalidArgument("naive: empty history");
+  }
+  last_ = history.back();
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> NaiveForecaster::Forecast(int horizon) const {
+  if (!fitted_) return Status::FailedPrecondition("naive: not fitted");
+  return std::vector<double>(horizon, last_);
+}
+
+std::string SeasonalNaiveForecaster::Name() const {
+  return "seasonal-naive(p=" + std::to_string(period_) + ")";
+}
+
+Status SeasonalNaiveForecaster::Fit(const std::vector<double>& history) {
+  if (period_ < 1) {
+    return Status::InvalidArgument("seasonal-naive: period must be >= 1");
+  }
+  if (static_cast<int>(history.size()) < period_) {
+    return Status::InvalidArgument("seasonal-naive: history shorter than period");
+  }
+  last_season_.assign(history.end() - period_, history.end());
+  return Status::OK();
+}
+
+Result<std::vector<double>> SeasonalNaiveForecaster::Forecast(
+    int horizon) const {
+  if (last_season_.empty()) {
+    return Status::FailedPrecondition("seasonal-naive: not fitted");
+  }
+  std::vector<double> out(horizon);
+  for (int h = 0; h < horizon; ++h) out[h] = last_season_[h % period_];
+  return out;
+}
+
+std::string ArForecaster::Name() const {
+  return "ar(p=" + std::to_string(order_) + ")";
+}
+
+Status ArForecaster::Fit(const std::vector<double>& history) {
+  if (order_ < 1) return Status::InvalidArgument("ar: order must be >= 1");
+  Result<SupervisedWindows> sw = MakeSupervised(history, order_, 1);
+  if (!sw.ok()) return sw.status();
+  // Prepend an intercept column.
+  Matrix x(sw->features.rows(), sw->features.cols() + 1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    x(r, 0) = 1.0;
+    for (size_t c = 0; c < sw->features.cols(); ++c) {
+      x(r, c + 1) = sw->features(r, c);
+    }
+  }
+  Result<std::vector<double>> w = RidgeSolve(x, sw->targets, lambda_);
+  if (!w.ok()) return w.status();
+  coeffs_ = *w;
+  tail_.assign(history.end() - order_, history.end());
+  return Status::OK();
+}
+
+Result<std::vector<double>> ArForecaster::Forecast(int horizon) const {
+  if (coeffs_.empty()) return Status::FailedPrecondition("ar: not fitted");
+  std::vector<double> state = tail_;  // oldest first
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (int h = 0; h < horizon; ++h) {
+    double y = coeffs_[0];
+    // coeffs_[j] multiplies the value `order_-j+1` steps back, matching the
+    // training layout (oldest lag first).
+    for (int j = 1; j <= order_; ++j) {
+      y += coeffs_[j] * state[state.size() - order_ + j - 1];
+    }
+    out.push_back(y);
+    state.push_back(y);
+  }
+  return out;
+}
+
+std::string HoltWintersForecaster::Name() const {
+  return "holt-winters(p=" + std::to_string(period_) + ")";
+}
+
+double HoltWintersForecaster::RunSmoothing(const std::vector<double>& y,
+                                           double alpha, double beta,
+                                           double gamma, double* level,
+                                           double* trend,
+                                           std::vector<double>* season) const {
+  int p = period_;
+  int n = static_cast<int>(y.size());
+  // Initialize from the first two seasons.
+  double mean1 = 0.0, mean2 = 0.0;
+  for (int i = 0; i < p; ++i) mean1 += y[i];
+  mean1 /= p;
+  for (int i = p; i < 2 * p && i < n; ++i) mean2 += y[i];
+  mean2 /= p;
+  double l = mean1;
+  double b = (mean2 - mean1) / p;
+  std::vector<double> s(p);
+  for (int i = 0; i < p; ++i) s[i] = y[i] - mean1;
+
+  double sse = 0.0;
+  int count = 0;
+  for (int t = 0; t < n; ++t) {
+    double predicted = l + b + s[t % p];
+    double err = y[t] - predicted;
+    if (t >= 2 * p) {  // skip the warm-up period in the error measure
+      sse += err * err;
+      ++count;
+    }
+    double l_prev = l;
+    l = alpha * (y[t] - s[t % p]) + (1.0 - alpha) * (l + b);
+    b = beta * (l - l_prev) + (1.0 - beta) * b;
+    s[t % p] = gamma * (y[t] - l) + (1.0 - gamma) * s[t % p];
+  }
+  *level = l;
+  *trend = b;
+  *season = s;
+  return count > 0 ? sse / count : sse;
+}
+
+Status HoltWintersForecaster::Fit(const std::vector<double>& history) {
+  if (period_ < 2) {
+    return Status::InvalidArgument("holt-winters: period must be >= 2");
+  }
+  if (static_cast<int>(history.size()) < 3 * period_) {
+    return Status::InvalidArgument(
+        "holt-winters: need at least 3 full seasons");
+  }
+  const std::vector<double> alphas = {0.1, 0.3, 0.5, 0.8};
+  const std::vector<double> betas = {0.01, 0.05, 0.2};
+  const std::vector<double> gammas = {0.05, 0.1, 0.3};
+  auto candidates_a = alpha_ >= 0.0 ? std::vector<double>{alpha_} : alphas;
+  auto candidates_b = beta_ >= 0.0 ? std::vector<double>{beta_} : betas;
+  auto candidates_g = gamma_ >= 0.0 ? std::vector<double>{gamma_} : gammas;
+
+  double best_sse = -1.0;
+  for (double a : candidates_a) {
+    for (double b : candidates_b) {
+      for (double g : candidates_g) {
+        double level, trend;
+        std::vector<double> season;
+        double sse = RunSmoothing(history, a, b, g, &level, &trend, &season);
+        if (best_sse < 0.0 || sse < best_sse) {
+          best_sse = sse;
+          fitted_alpha_ = a;
+          fitted_beta_ = b;
+          fitted_gamma_ = g;
+          level_ = level;
+          trend_ = trend;
+          season_ = season;
+        }
+      }
+    }
+  }
+  // The seasonal index of the next step: history length mod period.
+  season_offset_ = static_cast<int>(history.size()) % period_;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> HoltWintersForecaster::Forecast(
+    int horizon) const {
+  if (!fitted_) return Status::FailedPrecondition("holt-winters: not fitted");
+  std::vector<double> out(horizon);
+  for (int h = 0; h < horizon; ++h) {
+    out[h] = level_ + (h + 1) * trend_ +
+             season_[(season_offset_ + h) % period_];
+  }
+  return out;
+}
+
+std::string RidgeDirectForecaster::Name() const {
+  return "ridge-direct(l=" + std::to_string(lags_) + ")";
+}
+
+Status RidgeDirectForecaster::Fit(const std::vector<double>& history) {
+  if (lags_ < 1 || max_horizon_ < 1) {
+    return Status::InvalidArgument("ridge-direct: bad lags/horizon");
+  }
+  models_.assign(max_horizon_, {});
+  for (int h = 1; h <= max_horizon_; ++h) {
+    Result<SupervisedWindows> sw = MakeSupervised(history, lags_, h);
+    if (!sw.ok()) return sw.status();
+    Matrix x(sw->features.rows(), sw->features.cols() + 1);
+    for (size_t r = 0; r < x.rows(); ++r) {
+      x(r, 0) = 1.0;
+      for (size_t c = 0; c < sw->features.cols(); ++c) {
+        x(r, c + 1) = sw->features(r, c);
+      }
+    }
+    Result<std::vector<double>> w = RidgeSolve(x, sw->targets, lambda_);
+    if (!w.ok()) return w.status();
+    models_[h - 1] = *w;
+  }
+  tail_.assign(history.end() - lags_, history.end());
+  return Status::OK();
+}
+
+Result<std::vector<double>> RidgeDirectForecaster::Forecast(
+    int horizon) const {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("ridge-direct: not fitted");
+  }
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (int h = 1; h <= horizon; ++h) {
+    // Horizons beyond the trained maximum reuse the last trained model.
+    const std::vector<double>& w =
+        models_[std::min(h, max_horizon_) - 1];
+    double y = w[0];
+    for (int j = 0; j < lags_; ++j) y += w[j + 1] * tail_[j];
+    out.push_back(y);
+  }
+  return out;
+}
+
+Result<std::vector<Histogram>> BootstrapForecastDistribution(
+    const Forecaster& fitted, const std::vector<double>& history, int horizon,
+    int num_samples, Rng* rng, int bins) {
+  // In-sample one-step residuals from a rolling refit would be expensive;
+  // approximate with the residuals of refitting a clone on a prefix and
+  // scoring the suffix, repeated over a few origins.
+  std::vector<double> residuals;
+  const int kOrigins = 4;
+  int n = static_cast<int>(history.size());
+  for (int o = 1; o <= kOrigins; ++o) {
+    int cut = n - o * std::max(1, horizon);
+    if (cut < n / 2) break;
+    std::unique_ptr<Forecaster> clone = fitted.CloneUnfitted();
+    std::vector<double> prefix(history.begin(), history.begin() + cut);
+    if (!clone->Fit(prefix).ok()) continue;
+    Result<std::vector<double>> fc = clone->Forecast(
+        std::min(horizon, n - cut));
+    if (!fc.ok()) continue;
+    for (size_t h = 0; h < fc->size(); ++h) {
+      residuals.push_back(history[cut + h] - (*fc)[h]);
+    }
+  }
+  if (residuals.empty()) {
+    return Status::FailedPrecondition(
+        "BootstrapForecastDistribution: could not collect residuals");
+  }
+  Result<std::vector<double>> point = fitted.Forecast(horizon);
+  if (!point.ok()) return point.status();
+
+  std::vector<std::vector<double>> samples(horizon);
+  for (int s = 0; s < num_samples; ++s) {
+    for (int h = 0; h < horizon; ++h) {
+      // The residual pool already spans lead times 1..horizon (collected
+      // from multi-step backtests), so no extra horizon scaling is applied.
+      double r = residuals[rng->Index(static_cast<int>(residuals.size()))];
+      samples[h].push_back((*point)[h] + r);
+    }
+  }
+  std::vector<Histogram> out;
+  out.reserve(horizon);
+  for (int h = 0; h < horizon; ++h) {
+    Result<Histogram> hist = Histogram::FromSamples(samples[h], bins);
+    if (!hist.ok()) return hist.status();
+    out.push_back(*hist);
+  }
+  return out;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,150 @@
+#ifndef TSDM_ANALYTICS_FORECAST_FORECASTER_H_
+#define TSDM_ANALYTICS_FORECAST_FORECASTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/governance/uncertainty/histogram.h"
+
+namespace tsdm {
+
+/// Interface for univariate point forecasters. Fit consumes the full
+/// history; Forecast extends it `horizon` steps beyond the last observed
+/// point.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Fits on a fully observed history (impute first — that is what the
+  /// governance stage is for). Fails on insufficient data.
+  virtual Status Fit(const std::vector<double>& history) = 0;
+
+  /// Point forecast for steps 1..horizon after the end of the history.
+  /// Requires a successful Fit.
+  virtual Result<std::vector<double>> Forecast(int horizon) const = 0;
+
+  /// Clones the unfitted configuration (used by AutoML to refit candidates
+  /// on different folds).
+  virtual std::unique_ptr<Forecaster> CloneUnfitted() const = 0;
+};
+
+/// Repeats the last observed value.
+class NaiveForecaster : public Forecaster {
+ public:
+  std::string Name() const override { return "naive"; }
+  Status Fit(const std::vector<double>& history) override;
+  Result<std::vector<double>> Forecast(int horizon) const override;
+  std::unique_ptr<Forecaster> CloneUnfitted() const override {
+    return std::make_unique<NaiveForecaster>();
+  }
+
+ private:
+  double last_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Repeats the last full season.
+class SeasonalNaiveForecaster : public Forecaster {
+ public:
+  explicit SeasonalNaiveForecaster(int period) : period_(period) {}
+  std::string Name() const override;
+  Status Fit(const std::vector<double>& history) override;
+  Result<std::vector<double>> Forecast(int horizon) const override;
+  std::unique_ptr<Forecaster> CloneUnfitted() const override {
+    return std::make_unique<SeasonalNaiveForecaster>(period_);
+  }
+
+ private:
+  int period_;
+  std::vector<double> last_season_;
+};
+
+/// AR(p) with intercept, fitted by ridge least squares; multi-step
+/// forecasts are produced by iterating the one-step model.
+class ArForecaster : public Forecaster {
+ public:
+  explicit ArForecaster(int order, double ridge_lambda = 1e-3)
+      : order_(order), lambda_(ridge_lambda) {}
+  std::string Name() const override;
+  Status Fit(const std::vector<double>& history) override;
+  Result<std::vector<double>> Forecast(int horizon) const override;
+  std::unique_ptr<Forecaster> CloneUnfitted() const override {
+    return std::make_unique<ArForecaster>(order_, lambda_);
+  }
+
+  const std::vector<double>& coefficients() const { return coeffs_; }
+
+ private:
+  int order_;
+  double lambda_;
+  std::vector<double> coeffs_;   // intercept first
+  std::vector<double> tail_;     // last `order_` observations
+};
+
+/// Additive Holt-Winters (level/trend/seasonality) exponential smoothing.
+/// Negative smoothing parameters request a small internal grid search.
+class HoltWintersForecaster : public Forecaster {
+ public:
+  HoltWintersForecaster(int period, double alpha = -1.0, double beta = -1.0,
+                        double gamma = -1.0)
+      : period_(period), alpha_(alpha), beta_(beta), gamma_(gamma) {}
+  std::string Name() const override;
+  Status Fit(const std::vector<double>& history) override;
+  Result<std::vector<double>> Forecast(int horizon) const override;
+  std::unique_ptr<Forecaster> CloneUnfitted() const override {
+    return std::make_unique<HoltWintersForecaster>(period_, alpha_, beta_,
+                                                   gamma_);
+  }
+
+ private:
+  /// Runs the smoothing recursion; returns one-step-ahead SSE.
+  double RunSmoothing(const std::vector<double>& y, double alpha, double beta,
+                      double gamma, double* level, double* trend,
+                      std::vector<double>* season) const;
+
+  int period_;
+  double alpha_, beta_, gamma_;
+  double fitted_alpha_ = 0.3, fitted_beta_ = 0.05, fitted_gamma_ = 0.1;
+  double level_ = 0.0, trend_ = 0.0;
+  std::vector<double> season_;
+  int season_offset_ = 0;
+  bool fitted_ = false;
+};
+
+/// Direct multi-horizon ridge regression on lagged features: one linear
+/// model per forecast step, avoiding iterated-error accumulation.
+class RidgeDirectForecaster : public Forecaster {
+ public:
+  RidgeDirectForecaster(int lags, int max_horizon, double ridge_lambda = 1e-2)
+      : lags_(lags), max_horizon_(max_horizon), lambda_(ridge_lambda) {}
+  std::string Name() const override;
+  Status Fit(const std::vector<double>& history) override;
+  Result<std::vector<double>> Forecast(int horizon) const override;
+  std::unique_ptr<Forecaster> CloneUnfitted() const override {
+    return std::make_unique<RidgeDirectForecaster>(lags_, max_horizon_,
+                                                   lambda_);
+  }
+
+ private:
+  int lags_;
+  int max_horizon_;
+  double lambda_;
+  std::vector<std::vector<double>> models_;  // per-horizon, intercept first
+  std::vector<double> tail_;
+};
+
+/// Probabilistic wrapper: turns any fitted point forecaster into per-step
+/// predictive distributions via residual bootstrap — in-sample one-step
+/// residuals are resampled onto the point forecast path.
+Result<std::vector<Histogram>> BootstrapForecastDistribution(
+    const Forecaster& fitted, const std::vector<double>& history, int horizon,
+    int num_samples, Rng* rng, int bins = 32);
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_FORECAST_FORECASTER_H_

@@ -1,0 +1,64 @@
+#ifndef TSDM_ANALYTICS_FORECAST_GRID_FORECAST_H_
+#define TSDM_ANALYTICS_FORECAST_GRID_FORECAST_H_
+
+#include <vector>
+
+#include "src/common/matrix.h"
+#include "src/common/status.h"
+#include "src/data/grid_sequence.h"
+
+namespace tsdm {
+
+/// Citywide grid-flow forecasting in the ST-ResNet/DeepST style ([18],
+/// [19]): each cell's next value is predicted from three temporal feature
+/// groups — *closeness* (the last few frames), *period* (the same time on
+/// previous days), and a local *spatial* context (the 3x3 neighborhood of
+/// the last frame) — with one ridge model whose weights are shared across
+/// all cells, the linear analogue of a convolutional architecture.
+class GridFlowForecaster {
+ public:
+  struct Options {
+    int closeness = 3;          ///< last `closeness` frames
+    int period_days = 2;        ///< same interval on previous days
+    int intervals_per_day = 48;
+    bool spatial_context = true;  ///< include the 3x3 neighbor mean
+    double ridge_lambda = 1e-2;
+  };
+
+  GridFlowForecaster() = default;
+  explicit GridFlowForecaster(Options options) : options_(options) {}
+
+  /// Fits shared weights on all (cell, time) training pairs of channel 0.
+  Status Fit(const GridSequence& flows);
+
+  /// Predicts the next frame after the end of `flows` (which must supply
+  /// enough history: period_days full days).
+  Result<Matrix> PredictNext(const GridSequence& flows) const;
+
+  /// Convenience: rolling evaluation — predicts each frame of the last
+  /// `test_frames` from the data before it and returns the MAE.
+  Result<double> EvaluateMae(const GridSequence& flows,
+                             int test_frames) const;
+
+  /// The fitted feature weights (intercept first) — interpretable:
+  /// closeness, period, spatial-context contributions are separate groups.
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  /// Builds the feature vector for (frame t, cell r, c); false if `t` has
+  /// insufficient history.
+  bool FeaturesAt(const GridSequence& flows, int t, int r, int c,
+                  std::vector<double>* features) const;
+  int MinHistory() const;
+
+  Options options_;
+  std::vector<double> weights_;  // intercept first
+};
+
+/// Baseline: tomorrow-same-time persistence (the standard DeepST baseline).
+double PeriodPersistenceMae(const GridSequence& flows, int intervals_per_day,
+                            int test_frames);
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_FORECAST_GRID_FORECAST_H_

@@ -1,0 +1,90 @@
+#include "src/analytics/forecast/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsdm {
+
+namespace {
+size_t CommonSize(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::min(a.size(), b.size());
+}
+}  // namespace
+
+double MeanAbsoluteError(const std::vector<double>& actual,
+                         const std::vector<double>& predicted) {
+  size_t n = CommonSize(actual, predicted);
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += std::fabs(actual[i] - predicted[i]);
+  return acc / static_cast<double>(n);
+}
+
+double RootMeanSquaredError(const std::vector<double>& actual,
+                            const std::vector<double>& predicted) {
+  size_t n = CommonSize(actual, predicted);
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = actual[i] - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+double SymmetricMape(const std::vector<double>& actual,
+                     const std::vector<double>& predicted) {
+  size_t n = CommonSize(actual, predicted);
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double denom = (std::fabs(actual[i]) + std::fabs(predicted[i])) / 2.0;
+    if (denom > 0.0) acc += std::fabs(actual[i] - predicted[i]) / denom;
+  }
+  return 100.0 * acc / static_cast<double>(n);
+}
+
+double PinballLoss(const std::vector<double>& actual,
+                   const std::vector<double>& quantile_predictions,
+                   double q) {
+  size_t n = CommonSize(actual, quantile_predictions);
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = actual[i] - quantile_predictions[i];
+    acc += d >= 0.0 ? q * d : (q - 1.0) * d;
+  }
+  return acc / static_cast<double>(n);
+}
+
+double Crps(const Histogram& forecast, double actual) {
+  // CRPS = integral (F(x) - 1{x >= actual})^2 dx over the support.
+  double lo = std::min(forecast.lo(), actual) - forecast.BinWidth();
+  double hi = std::max(forecast.hi(), actual) + forecast.BinWidth();
+  const int kSteps = 256;
+  double dx = (hi - lo) / kSteps;
+  double acc = 0.0;
+  for (int i = 0; i < kSteps; ++i) {
+    double x = lo + (i + 0.5) * dx;
+    double f = forecast.Cdf(x);
+    double ind = x >= actual ? 1.0 : 0.0;
+    acc += (f - ind) * (f - ind) * dx;
+  }
+  return acc;
+}
+
+double IntervalCoverage(const std::vector<Histogram>& forecasts,
+                        const std::vector<double>& actual, double lo_q,
+                        double hi_q) {
+  size_t n = std::min(forecasts.size(), actual.size());
+  if (n == 0) return 0.0;
+  size_t inside = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double lo = forecasts[i].Quantile(lo_q);
+    double hi = forecasts[i].Quantile(hi_q);
+    if (actual[i] >= lo && actual[i] <= hi) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(n);
+}
+
+}  // namespace tsdm

@@ -1,0 +1,35 @@
+#ifndef TSDM_ANALYTICS_FORECAST_METRICS_H_
+#define TSDM_ANALYTICS_FORECAST_METRICS_H_
+
+#include <vector>
+
+#include "src/governance/uncertainty/histogram.h"
+
+namespace tsdm {
+
+/// Point-forecast accuracy metrics. All return 0 for empty/mismatched input.
+double MeanAbsoluteError(const std::vector<double>& actual,
+                         const std::vector<double>& predicted);
+double RootMeanSquaredError(const std::vector<double>& actual,
+                            const std::vector<double>& predicted);
+/// Symmetric MAPE in percent (0..200).
+double SymmetricMape(const std::vector<double>& actual,
+                     const std::vector<double>& predicted);
+
+/// Pinball (quantile) loss at level q for a vector of quantile predictions.
+double PinballLoss(const std::vector<double>& actual,
+                   const std::vector<double>& quantile_predictions, double q);
+
+/// CRPS of a histogram forecast against one outcome, computed from the
+/// histogram CDF by numerical integration.
+double Crps(const Histogram& forecast, double actual);
+
+/// Fraction of actuals inside the [lo_q, hi_q] interval of each forecast
+/// distribution (empirical coverage of the predictive intervals).
+double IntervalCoverage(const std::vector<Histogram>& forecasts,
+                        const std::vector<double>& actual, double lo_q,
+                        double hi_q);
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_FORECAST_METRICS_H_

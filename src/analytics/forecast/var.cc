@@ -1,0 +1,152 @@
+#include "src/analytics/forecast/var.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/matrix.h"
+
+namespace tsdm {
+
+Status VarForecaster::Fit(const std::vector<std::vector<double>>& history) {
+  if (history.empty()) return Status::InvalidArgument("var: no channels");
+  channels_ = history.size();
+  size_t n = history[0].size();
+  for (const auto& h : history) {
+    if (h.size() != n) return Status::InvalidArgument("var: ragged history");
+  }
+  if (n < static_cast<size_t>(order_) + 2) {
+    return Status::InvalidArgument("var: history too short");
+  }
+  size_t rows = n - order_;
+  size_t feat = 1 + channels_ * order_;
+  Matrix x(rows, feat);
+  for (size_t r = 0; r < rows; ++r) {
+    x(r, 0) = 1.0;
+    size_t col = 1;
+    for (int lag = 1; lag <= order_; ++lag) {
+      for (size_t c = 0; c < channels_; ++c) {
+        x(r, col++) = history[c][r + order_ - lag];
+      }
+    }
+  }
+  weights_.assign(channels_, {});
+  for (size_t c = 0; c < channels_; ++c) {
+    std::vector<double> y(rows);
+    for (size_t r = 0; r < rows; ++r) y[r] = history[c][r + order_];
+    Result<std::vector<double>> w = RidgeSolve(x, y, lambda_);
+    if (!w.ok()) return w.status();
+    weights_[c] = *w;
+  }
+  tail_.assign(order_, std::vector<double>(channels_));
+  for (int lag = 0; lag < order_; ++lag) {
+    for (size_t c = 0; c < channels_; ++c) {
+      tail_[lag][c] = history[c][n - order_ + lag];  // oldest first
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<double>>> VarForecaster::Forecast(
+    int horizon) const {
+  if (weights_.empty()) return Status::FailedPrecondition("var: not fitted");
+  std::vector<std::vector<double>> state = tail_;  // oldest first
+  std::vector<std::vector<double>> out(channels_);
+  for (int h = 0; h < horizon; ++h) {
+    std::vector<double> next(channels_);
+    for (size_t c = 0; c < channels_; ++c) {
+      const auto& w = weights_[c];
+      double y = w[0];
+      size_t col = 1;
+      for (int lag = 1; lag <= order_; ++lag) {
+        const auto& past = state[state.size() - lag];
+        for (size_t cc = 0; cc < channels_; ++cc) {
+          y += w[col++] * past[cc];
+        }
+      }
+      next[c] = y;
+      out[c].push_back(y);
+    }
+    state.push_back(next);
+  }
+  return out;
+}
+
+double GraphRegularizedAr::NeighborAggregate(
+    const std::vector<std::vector<double>>& values, size_t t,
+    size_t s) const {
+  double acc = 0.0, wsum = 0.0;
+  for (const auto& nb : graph_copy_.Neighbors(static_cast<int>(s))) {
+    acc += nb.weight * values[t][nb.id];
+    wsum += nb.weight;
+  }
+  return wsum > 0.0 ? acc / wsum : 0.0;
+}
+
+Status GraphRegularizedAr::Fit(const CorrelatedTimeSeries& cts) {
+  TSDM_RETURN_IF_ERROR(cts.Validate());
+  sensors_ = cts.NumSensors();
+  size_t n = cts.NumSteps();
+  int max_lag = std::max(own_lags_, neighbor_lags_);
+  if (n < static_cast<size_t>(max_lag) + 2) {
+    return Status::InvalidArgument("graph-ar: history too short");
+  }
+  graph_copy_ = cts.graph();
+  history_.assign(n, std::vector<double>(sensors_));
+  for (size_t t = 0; t < n; ++t) {
+    for (size_t s = 0; s < sensors_; ++s) history_[t][s] = cts.At(t, s);
+  }
+
+  size_t rows = n - max_lag;
+  size_t feat = 1 + own_lags_ + neighbor_lags_;
+  weights_.assign(sensors_, {});
+  for (size_t s = 0; s < sensors_; ++s) {
+    Matrix x(rows, feat);
+    std::vector<double> y(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      size_t t = r + max_lag;
+      x(r, 0) = 1.0;
+      size_t col = 1;
+      for (int lag = 1; lag <= own_lags_; ++lag) {
+        x(r, col++) = history_[t - lag][s];
+      }
+      for (int lag = 1; lag <= neighbor_lags_; ++lag) {
+        x(r, col++) = NeighborAggregate(history_, t - lag, s);
+      }
+      y[r] = history_[t][s];
+    }
+    Result<std::vector<double>> w = RidgeSolve(x, y, lambda_);
+    if (!w.ok()) return w.status();
+    weights_[s] = *w;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<double>>> GraphRegularizedAr::Forecast(
+    int horizon) const {
+  if (weights_.empty()) {
+    return Status::FailedPrecondition("graph-ar: not fitted");
+  }
+  std::vector<std::vector<double>> state = history_;
+  std::vector<std::vector<double>> out(sensors_);
+  for (int h = 0; h < horizon; ++h) {
+    size_t t = state.size();
+    std::vector<double> next(sensors_);
+    for (size_t s = 0; s < sensors_; ++s) {
+      const auto& w = weights_[s];
+      double y = w[0];
+      size_t col = 1;
+      for (int lag = 1; lag <= own_lags_; ++lag) {
+        y += w[col++] * state[t - lag][s];
+      }
+      for (int lag = 1; lag <= neighbor_lags_; ++lag) {
+        y += w[col++] * NeighborAggregate(state, t - lag, s);
+      }
+      next[s] = y;
+      out[s].push_back(y);
+    }
+    state.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace tsdm

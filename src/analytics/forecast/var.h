@@ -1,0 +1,67 @@
+#ifndef TSDM_ANALYTICS_FORECAST_VAR_H_
+#define TSDM_ANALYTICS_FORECAST_VAR_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/correlated_time_series.h"
+
+namespace tsdm {
+
+/// Vector autoregression: every channel is regressed on `order` lags of
+/// *all* channels (per-equation ridge least squares). The dense
+/// cross-channel alternative to GraphRegularizedAr below.
+class VarForecaster {
+ public:
+  explicit VarForecaster(int order, double ridge_lambda = 1e-2)
+      : order_(order), lambda_(ridge_lambda) {}
+
+  /// `history[c]` is the series of channel c; all must share one length.
+  Status Fit(const std::vector<std::vector<double>>& history);
+
+  /// Forecasts all channels `horizon` steps ahead (iterated one-step).
+  Result<std::vector<std::vector<double>>> Forecast(int horizon) const;
+
+ private:
+  int order_;
+  double lambda_;
+  size_t channels_ = 0;
+  std::vector<std::vector<double>> weights_;  // per channel; intercept first
+  std::vector<std::vector<double>> tail_;     // last `order_` observations
+};
+
+/// Graph-regularized spatio-temporal AR ([44]–[46] analog): each sensor is
+/// regressed on its own lags plus the *graph-aggregated* lags of its
+/// neighbors (weighted by edge weight). Captures spatial propagation with
+/// far fewer parameters than dense VAR — the ST forecasting experiment
+/// (E6) contrasts it with per-sensor AR.
+class GraphRegularizedAr {
+ public:
+  GraphRegularizedAr(int own_lags, int neighbor_lags,
+                     double ridge_lambda = 1e-2)
+      : own_lags_(own_lags),
+        neighbor_lags_(neighbor_lags),
+        lambda_(ridge_lambda) {}
+
+  Status Fit(const CorrelatedTimeSeries& cts);
+
+  /// Forecasts all sensors `horizon` steps ahead.
+  Result<std::vector<std::vector<double>>> Forecast(int horizon) const;
+
+ private:
+  /// Neighbor-aggregated value of sensor s at a row of `values`.
+  double NeighborAggregate(const std::vector<std::vector<double>>& values,
+                           size_t t, size_t s) const;
+
+  int own_lags_;
+  int neighbor_lags_;
+  double lambda_;
+  SensorGraph graph_copy_;
+  size_t sensors_ = 0;
+  std::vector<std::vector<double>> weights_;  // per sensor; intercept first
+  std::vector<std::vector<double>> history_;  // [t][s], needed for the tail
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_FORECAST_VAR_H_

@@ -1,0 +1,159 @@
+#include "src/analytics/represent/contrastive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/stats.h"
+
+namespace tsdm {
+
+std::vector<double> ContrastiveEncoder::Prepare(
+    const std::vector<double>& series) const {
+  std::vector<double> out(options_.input_length, 0.0);
+  size_t n = std::min(series.size(), options_.input_length);
+  for (size_t i = 0; i < n; ++i) out[i] = series[i];
+  // Standardize so augment scales are comparable across series.
+  double mean = Mean(out);
+  double sd = std::max(1e-9, Stdev(out));
+  for (double& v : out) v = (v - mean) / sd;
+  return out;
+}
+
+std::vector<double> ContrastiveEncoder::Augment(
+    const std::vector<double>& prepared, Rng* rng) const {
+  std::vector<double> view = prepared;
+  // Amplitude scaling.
+  double scale = 1.0 + rng->Uniform(-options_.scale_range,
+                                    options_.scale_range);
+  // Random crop: drop a prefix and shift (wraps with zeros).
+  int shift = rng->Index(static_cast<int>(options_.input_length) / 8 + 1);
+  for (size_t i = 0; i < view.size(); ++i) {
+    size_t src = i + shift;
+    double v = src < prepared.size() ? prepared[src] : 0.0;
+    view[i] = scale * v + rng->Normal(0.0, options_.jitter);
+  }
+  return view;
+}
+
+std::vector<double> ContrastiveEncoder::Project(
+    const std::vector<double>& prepared) const {
+  std::vector<double> out(options_.embedding_dim, 0.0);
+  for (size_t d = 0; d < options_.embedding_dim; ++d) {
+    const std::vector<double>& row = projection_[d];
+    double acc = 0.0;
+    for (size_t i = 0; i < prepared.size() && i < row.size(); ++i) {
+      acc += row[i] * prepared[i];
+    }
+    out[d] = acc;
+  }
+  return out;
+}
+
+double ContrastiveEncoder::EmbeddingDistance(const std::vector<double>& a,
+                                             const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+Status ContrastiveEncoder::Fit(
+    const std::vector<std::vector<double>>& series) {
+  if (series.size() < 4) {
+    return Status::InvalidArgument("contrastive: need >= 4 series");
+  }
+  Rng rng(options_.seed);
+  // Random init, scaled down so early gradients do not explode.
+  projection_.assign(options_.embedding_dim,
+                     std::vector<double>(options_.input_length));
+  for (auto& row : projection_) {
+    for (double& w : row) {
+      w = rng.Normal(0.0, 1.0 / std::sqrt(options_.input_length));
+    }
+  }
+  std::vector<std::vector<double>> prepared;
+  prepared.reserve(series.size());
+  for (const auto& s : series) prepared.push_back(Prepare(s));
+
+  int n = static_cast<int>(prepared.size());
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    double progress = static_cast<double>(epoch) / options_.epochs;
+    bool hard_negatives = progress >= options_.curriculum_start;
+    double lr = options_.learning_rate / (1.0 + 2.0 * progress);
+
+    std::vector<int> order(n);
+    for (int i = 0; i < n; ++i) order[i] = i;
+    rng.Shuffle(&order);
+    for (int anchor_idx : order) {
+      std::vector<double> anchor_in = Augment(prepared[anchor_idx], &rng);
+      std::vector<double> positive_in = Augment(prepared[anchor_idx], &rng);
+      // Negative selection: random early (easy), hardest-of-8 later.
+      int negative_idx = anchor_idx;
+      if (hard_negatives) {
+        double best = -1.0;
+        for (int c = 0; c < 8; ++c) {
+          int cand = rng.Index(n);
+          if (cand == anchor_idx) continue;
+          double d = EmbeddingDistance(Project(prepared[cand]),
+                                       Project(anchor_in));
+          // Hardest = embeds closest to the anchor.
+          if (negative_idx == anchor_idx || d < best || best < 0) {
+            best = d;
+            negative_idx = cand;
+          }
+        }
+      } else {
+        while (negative_idx == anchor_idx) negative_idx = rng.Index(n);
+      }
+      if (negative_idx == anchor_idx) continue;
+      std::vector<double> negative_in = Augment(prepared[negative_idx], &rng);
+
+      // Triplet hinge: L = max(0, m + |za - zp|^2 - |za - zn|^2).
+      std::vector<double> za = Project(anchor_in);
+      std::vector<double> zp = Project(positive_in);
+      std::vector<double> zn = Project(negative_in);
+      double loss = options_.margin + EmbeddingDistance(za, zp) -
+                    EmbeddingDistance(za, zn);
+      if (loss <= 0.0) continue;
+      // dL/dza = 2(zn - zp); dL/dzp = 2(zp - za); dL/dzn = 2(za - zn).
+      for (size_t d = 0; d < options_.embedding_dim; ++d) {
+        double ga = std::clamp(2.0 * (zn[d] - zp[d]), -4.0, 4.0);
+        double gp = std::clamp(2.0 * (zp[d] - za[d]), -4.0, 4.0);
+        double gn = std::clamp(2.0 * (za[d] - zn[d]), -4.0, 4.0);
+        auto& row = projection_[d];
+        for (size_t i = 0; i < options_.input_length; ++i) {
+          row[i] -= lr * (ga * anchor_in[i] + gp * positive_in[i] +
+                          gn * negative_in[i]);
+        }
+      }
+    }
+    // Clamp each projection row to unit norm: prevents both runaway growth
+    // (the hinge pushes negatives apart without bound) and the trivial
+    // collapse to zero.
+    for (auto& row : projection_) {
+      double norm = 0.0;
+      for (double w : row) norm += w * w;
+      norm = std::sqrt(norm);
+      if (norm > 1.0) {
+        for (double& w : row) w /= norm;
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> ContrastiveEncoder::Encode(
+    const std::vector<double>& series) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("contrastive: not fitted");
+  }
+  if (series.empty()) {
+    return Status::InvalidArgument("contrastive: empty series");
+  }
+  return Project(Prepare(series));
+}
+
+}  // namespace tsdm

@@ -1,0 +1,68 @@
+#ifndef TSDM_ANALYTICS_REPRESENT_CONTRASTIVE_H_
+#define TSDM_ANALYTICS_REPRESENT_CONTRASTIVE_H_
+
+#include <vector>
+
+#include "src/analytics/represent/encoder.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// Unsupervised contrastive representation learning with curriculum
+/// negative sampling ([30], [31]): a linear projection is trained so that
+/// two augmented *views* of the same series (jitter, scaling, cropping)
+/// embed close together while views of different series embed apart, with
+/// the negatives hardening over training epochs (easy random negatives
+/// first, hardest in-batch negatives later — the curriculum). No labels
+/// are used; the learned embedding transfers to downstream tasks.
+class ContrastiveEncoder : public SeriesEncoder {
+ public:
+  struct Options {
+    size_t input_length = 64;   ///< series are cropped/padded to this
+    size_t embedding_dim = 16;
+    int epochs = 60;
+    double learning_rate = 0.02;
+    double margin = 1.0;        ///< triplet hinge margin
+    double jitter = 0.1;        ///< augmentation noise (fraction of stdev)
+    double scale_range = 0.2;   ///< augmentation amplitude scaling
+    /// Fraction of training after which negatives switch from random to
+    /// hardest-in-batch (the curriculum).
+    double curriculum_start = 0.4;
+    uint64_t seed = 61;
+  };
+
+  ContrastiveEncoder() = default;
+  explicit ContrastiveEncoder(Options options) : options_(options) {}
+
+  std::string Name() const override { return "contrastive"; }
+
+  /// Unsupervised training on a corpus of series (labels never seen).
+  /// Requires >= 4 series.
+  Status Fit(const std::vector<std::vector<double>>& series) override;
+
+  Result<std::vector<double>> Encode(
+      const std::vector<double>& series) const override;
+  size_t Dimension() const override { return options_.embedding_dim; }
+
+  /// Squared Euclidean distance between two embeddings.
+  static double EmbeddingDistance(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+ private:
+  /// Crops/pads + standardizes a series to the input length.
+  std::vector<double> Prepare(const std::vector<double>& series) const;
+  /// Random augmentation (view) of a prepared series.
+  std::vector<double> Augment(const std::vector<double>& prepared,
+                              Rng* rng) const;
+  /// Projects a prepared series through the learned matrix.
+  std::vector<double> Project(const std::vector<double>& prepared) const;
+
+  Options options_;
+  std::vector<std::vector<double>> projection_;  // embedding_dim x input_len
+  bool fitted_ = false;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_REPRESENT_CONTRASTIVE_H_

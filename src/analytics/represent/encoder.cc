@@ -1,0 +1,135 @@
+#include "src/analytics/represent/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/matrix.h"
+
+namespace tsdm {
+
+void RandomKernelEncoder::Initialize() {
+  Rng rng(options_.seed);
+  kernels_.clear();
+  kernels_.reserve(options_.num_kernels);
+  for (int k = 0; k < options_.num_kernels; ++k) {
+    Kernel kernel;
+    int len = options_.lengths[rng.Index(
+        static_cast<int>(options_.lengths.size()))];
+    kernel.weights.resize(len);
+    double mean = 0.0;
+    for (double& w : kernel.weights) {
+      w = rng.Normal(0.0, 1.0);
+      mean += w;
+    }
+    mean /= len;
+    for (double& w : kernel.weights) w -= mean;  // zero-sum kernels
+    kernel.dilation = 1 << rng.Index(4);         // 1, 2, 4, or 8
+    kernel.bias = rng.Normal(0.0, 1.0);
+    kernels_.push_back(std::move(kernel));
+  }
+}
+
+Status RandomKernelEncoder::Fit(
+    const std::vector<std::vector<double>>& series) {
+  (void)series;  // kernels are random: nothing to learn
+  return Status::OK();
+}
+
+Result<std::vector<double>> RandomKernelEncoder::Encode(
+    const std::vector<double>& series) const {
+  if (series.empty()) {
+    return Status::InvalidArgument("random-kernel: empty series");
+  }
+  std::vector<double> features;
+  features.reserve(Dimension());
+  int n = static_cast<int>(series.size());
+  for (const auto& kernel : kernels_) {
+    int len = static_cast<int>(kernel.weights.size());
+    int span = (len - 1) * kernel.dilation + 1;
+    double max_act = -1e300;
+    double positive = 0.0;
+    int count = 0;
+    if (span > n) {
+      // Series too short for this kernel: contribute neutral features.
+      features.push_back(0.0);
+      features.push_back(0.0);
+      continue;
+    }
+    for (int start = 0; start + span <= n; ++start) {
+      double act = kernel.bias;
+      for (int j = 0; j < len; ++j) {
+        act += kernel.weights[j] * series[start + j * kernel.dilation];
+      }
+      max_act = std::max(max_act, act);
+      if (act > 0.0) positive += 1.0;
+      ++count;
+    }
+    features.push_back(max_act);
+    features.push_back(count > 0 ? positive / count : 0.0);
+  }
+  return features;
+}
+
+Status PcaEncoder::Fit(const std::vector<std::vector<double>>& series) {
+  if (series.size() < 2) {
+    return Status::InvalidArgument("pca-encoder: need >= 2 series");
+  }
+  input_length_ = series[0].size();
+  for (const auto& s : series) {
+    if (s.size() != input_length_) {
+      return Status::InvalidArgument("pca-encoder: ragged inputs");
+    }
+  }
+  size_t n = series.size(), d = input_length_;
+  mean_.assign(d, 0.0);
+  for (const auto& s : series) {
+    for (size_t j = 0; j < d; ++j) mean_[j] += s[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+
+  Matrix cov(d, d, 0.0);
+  for (const auto& s : series) {
+    for (size_t a = 0; a < d; ++a) {
+      double da = s[a] - mean_[a];
+      for (size_t b = a; b < d; ++b) {
+        cov(a, b) += da * (s[b] - mean_[b]);
+      }
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      double v = cov(a, b) / static_cast<double>(n - 1);
+      cov(a, b) = v;
+      cov(b, a) = v;
+    }
+  }
+  Result<EigenDecomposition> eig = SymmetricEigen(cov);
+  if (!eig.ok()) return eig.status();
+  int k = std::min<int>(components_, static_cast<int>(d));
+  basis_.assign(k, std::vector<double>(d));
+  for (int c = 0; c < k; ++c) {
+    for (size_t j = 0; j < d; ++j) basis_[c][j] = eig->eigenvectors(j, c);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> PcaEncoder::Encode(
+    const std::vector<double>& series) const {
+  if (basis_.empty()) {
+    return Status::FailedPrecondition("pca-encoder: not fitted");
+  }
+  if (series.size() != input_length_) {
+    return Status::InvalidArgument("pca-encoder: wrong input length");
+  }
+  std::vector<double> centered(input_length_);
+  for (size_t j = 0; j < input_length_; ++j) {
+    centered[j] = series[j] - mean_[j];
+  }
+  std::vector<double> out(basis_.size());
+  for (size_t c = 0; c < basis_.size(); ++c) {
+    out[c] = Dot(basis_[c], centered);
+  }
+  return out;
+}
+
+}  // namespace tsdm

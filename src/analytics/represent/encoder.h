@@ -1,0 +1,85 @@
+#ifndef TSDM_ANALYTICS_REPRESENT_ENCODER_H_
+#define TSDM_ANALYTICS_REPRESENT_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// Interface for series -> fixed-length vector encoders: the "general
+/// representation" building block (§II-C Generality). Encoders are trained
+/// without labels and reused across downstream tasks.
+class SeriesEncoder {
+ public:
+  virtual ~SeriesEncoder() = default;
+  virtual std::string Name() const = 0;
+  /// Unsupervised fit (may be a no-op for randomized encoders).
+  virtual Status Fit(const std::vector<std::vector<double>>& series) = 0;
+  virtual Result<std::vector<double>> Encode(
+      const std::vector<double>& series) const = 0;
+  virtual size_t Dimension() const = 0;
+};
+
+/// ROCKET-style random convolution kernels ([30]–[32] analog): K random
+/// kernels with random length/dilation/bias; each contributes two features
+/// (max activation, fraction of positive activations). Needs no training
+/// data at all — generality by construction.
+class RandomKernelEncoder : public SeriesEncoder {
+ public:
+  struct Options {
+    int num_kernels = 128;
+    std::vector<int> lengths = {7, 9, 11};
+    uint64_t seed = 11;
+  };
+
+  RandomKernelEncoder() { Initialize(); }
+  explicit RandomKernelEncoder(Options options) : options_(options) {
+    Initialize();
+  }
+
+  std::string Name() const override { return "random-kernel"; }
+  Status Fit(const std::vector<std::vector<double>>& series) override;
+  Result<std::vector<double>> Encode(
+      const std::vector<double>& series) const override;
+  size_t Dimension() const override {
+    return 2 * static_cast<size_t>(options_.num_kernels);
+  }
+
+ private:
+  struct Kernel {
+    std::vector<double> weights;
+    int dilation = 1;
+    double bias = 0.0;
+  };
+  void Initialize();
+
+  Options options_;
+  std::vector<Kernel> kernels_;
+};
+
+/// PCA encoder: projects fixed-length series onto the top-k principal
+/// components of the training set.
+class PcaEncoder : public SeriesEncoder {
+ public:
+  explicit PcaEncoder(int components) : components_(components) {}
+
+  std::string Name() const override { return "pca"; }
+  /// All training series must share one length.
+  Status Fit(const std::vector<std::vector<double>>& series) override;
+  Result<std::vector<double>> Encode(
+      const std::vector<double>& series) const override;
+  size_t Dimension() const override { return basis_.size(); }
+
+ private:
+  int components_;
+  size_t input_length_ = 0;
+  std::vector<double> mean_;
+  std::vector<std::vector<double>> basis_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_REPRESENT_ENCODER_H_

@@ -1,0 +1,99 @@
+#include "src/analytics/represent/transfer.h"
+
+#include <algorithm>
+
+namespace tsdm {
+
+void TransferEvaluator::Init() {
+  RandomKernelEncoder::Options eopts;
+  eopts.num_kernels = options_.encoder_kernels;
+  eopts.seed = options_.seed;
+  encoder_ = std::make_unique<RandomKernelEncoder>(eopts);
+}
+
+Result<std::vector<std::vector<double>>> TransferEvaluator::EncodeAll(
+    const std::vector<LabeledSeries>& data) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(data.size());
+  for (const auto& ex : data) {
+    Result<std::vector<double>> e = encoder_->Encode(ex.values);
+    if (!e.ok()) return e.status();
+    out.push_back(*e);
+  }
+  return out;
+}
+
+Result<LogisticClassifier> TransferEvaluator::FitHead(
+    const std::vector<LabeledSeries>& data) const {
+  Result<std::vector<std::vector<double>>> features = EncodeAll(data);
+  if (!features.ok()) return features.status();
+  int max_label = 0;
+  for (const auto& ex : data) max_label = std::max(max_label, ex.label);
+  std::vector<std::vector<double>> targets;
+  targets.reserve(data.size());
+  for (const auto& ex : data) {
+    std::vector<double> t(max_label + 1, 0.0);
+    t[ex.label] = 1.0;
+    targets.push_back(std::move(t));
+  }
+  LogisticClassifier::Options hopts;
+  hopts.seed = options_.seed + 1;
+  LogisticClassifier head(hopts);
+  TSDM_RETURN_IF_ERROR(head.FitSoft(*features, targets));
+  return head;
+}
+
+Result<double> TransferEvaluator::HeadAccuracy(
+    const LogisticClassifier& head,
+    const std::vector<LabeledSeries>& test) const {
+  if (test.empty()) return Status::InvalidArgument("empty test set");
+  size_t hits = 0;
+  for (const auto& ex : test) {
+    Result<std::vector<double>> e = encoder_->Encode(ex.values);
+    if (!e.ok()) return e.status();
+    Result<std::vector<double>> p = head.ProbaFromFeatures(*e);
+    if (!p.ok()) return p.status();
+    int pred = static_cast<int>(
+        std::max_element(p->begin(), p->end()) - p->begin());
+    if (pred == ex.label) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+Status TransferEvaluator::FitSource(
+    const std::vector<LabeledSeries>& source_train) {
+  Result<LogisticClassifier> head = FitHead(source_train);
+  if (!head.ok()) return head.status();
+  source_head_ = *head;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> TransferEvaluator::ZeroShotAccuracy(
+    const std::vector<LabeledSeries>& target_test) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("TransferEvaluator: FitSource first");
+  }
+  return HeadAccuracy(source_head_, target_test);
+}
+
+Result<double> TransferEvaluator::FewShotAccuracy(
+    const std::vector<LabeledSeries>& target_few,
+    const std::vector<LabeledSeries>& target_test) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("TransferEvaluator: FitSource first");
+  }
+  Result<LogisticClassifier> head = FitHead(target_few);
+  if (!head.ok()) return head.status();
+  return HeadAccuracy(*head, target_test);
+}
+
+Result<double> TransferEvaluator::ScratchAccuracy(
+    const std::vector<LabeledSeries>& target_few,
+    const std::vector<LabeledSeries>& target_test) {
+  LogisticClassifier scratch;
+  TSDM_RETURN_IF_ERROR(scratch.Fit(target_few));
+  return Accuracy(scratch, target_test);
+}
+
+}  // namespace tsdm

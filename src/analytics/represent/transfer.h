@@ -1,0 +1,72 @@
+#ifndef TSDM_ANALYTICS_REPRESENT_TRANSFER_H_
+#define TSDM_ANALYTICS_REPRESENT_TRANSFER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analytics/classify/classifier.h"
+#include "src/analytics/represent/encoder.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// Cross-domain transfer evaluation (§II-C Generality; the zero-/few-shot
+/// adaptability the tutorial attributes to pre-trained and LLM-based
+/// models [20]-[22], [33]): a frozen, task-agnostic encoder plus a linear
+/// head trained on a *source* domain is applied to a *target* domain
+/// (a) zero-shot (unchanged), (b) few-shot (head refit on k labeled
+/// target examples), and compared with (c) training from scratch on the
+/// same k examples. The pre-trained representation should make few-shot
+/// adaptation much more label-efficient than scratch training.
+class TransferEvaluator {
+ public:
+  struct Options {
+    int encoder_kernels = 96;
+    uint64_t seed = 41;
+  };
+
+  TransferEvaluator() { Init(); }
+  explicit TransferEvaluator(Options options) : options_(options) { Init(); }
+
+  /// Trains the source head. Must be called before the evaluations.
+  Status FitSource(const std::vector<LabeledSeries>& source_train);
+
+  /// Accuracy of the source head applied unchanged to the target domain.
+  Result<double> ZeroShotAccuracy(
+      const std::vector<LabeledSeries>& target_test);
+
+  /// Accuracy after refitting only the head on `few` labeled target
+  /// examples (encoder stays frozen).
+  Result<double> FewShotAccuracy(
+      const std::vector<LabeledSeries>& target_few,
+      const std::vector<LabeledSeries>& target_test);
+
+  /// Baseline: a fresh stat-feature classifier trained from scratch on the
+  /// same few examples.
+  static Result<double> ScratchAccuracy(
+      const std::vector<LabeledSeries>& target_few,
+      const std::vector<LabeledSeries>& target_test);
+
+ private:
+  void Init();
+  /// Encodes a batch; empty result on failure.
+  Result<std::vector<std::vector<double>>> EncodeAll(
+      const std::vector<LabeledSeries>& data) const;
+  /// Fits a softmax head on encoded features.
+  Result<LogisticClassifier> FitHead(
+      const std::vector<LabeledSeries>& data) const;
+  /// Accuracy of a head (operating on encoded features) on a test set.
+  Result<double> HeadAccuracy(
+      const LogisticClassifier& head,
+      const std::vector<LabeledSeries>& test) const;
+
+  Options options_;
+  std::unique_ptr<RandomKernelEncoder> encoder_;
+  LogisticClassifier source_head_;
+  bool fitted_ = false;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_REPRESENT_TRANSFER_H_

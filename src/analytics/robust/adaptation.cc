@@ -1,0 +1,168 @@
+#include "src/analytics/robust/adaptation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analytics/forecast/metrics.h"
+#include "src/common/matrix.h"
+#include "src/data/window.h"
+
+namespace tsdm {
+
+namespace {
+
+/// Builds weighted normal-equation rows for an AR(p) fit: rows scaled by
+/// sqrt(weight) implement weighted least squares.
+void AppendWeighted(const std::vector<double>& series, int order,
+                    double weight, std::vector<std::vector<double>>* rows,
+                    std::vector<double>* targets) {
+  if (weight <= 0.0) return;
+  double scale = std::sqrt(weight);
+  int n = static_cast<int>(series.size());
+  for (int t = order; t < n; ++t) {
+    std::vector<double> row(order + 1);
+    row[0] = scale;
+    for (int j = 1; j <= order; ++j) row[j] = scale * series[t - j];
+    rows->push_back(std::move(row));
+    targets->push_back(scale * series[t]);
+  }
+}
+
+/// Fits AR coefficients on weighted source + unit-weight target rows.
+Result<std::vector<double>> FitWeighted(const std::vector<double>& source,
+                                        const std::vector<double>& target,
+                                        int order, double source_weight,
+                                        double lambda) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  AppendWeighted(source, order, source_weight, &rows, &targets);
+  AppendWeighted(target, order, 1.0, &rows, &targets);
+  if (rows.size() < static_cast<size_t>(order) + 1) {
+    return Status::InvalidArgument("FitAdaptedAr: not enough data");
+  }
+  Matrix x = Matrix::FromRows(rows);
+  return RidgeSolve(x, targets, lambda);
+}
+
+Result<std::vector<double>> Roll(const std::vector<double>& coeffs, int order,
+                                 const std::vector<double>& context,
+                                 int horizon) {
+  if (static_cast<int>(context.size()) < order) {
+    return Status::InvalidArgument("ForecastFrom: context shorter than order");
+  }
+  std::vector<double> state(context.end() - order, context.end());
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (int h = 0; h < horizon; ++h) {
+    double y = coeffs[0];
+    for (int j = 1; j <= order; ++j) {
+      y += coeffs[j] * state[state.size() - j];
+    }
+    out.push_back(y);
+    state.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<double>> AdaptedArModel::ForecastFrom(
+    const std::vector<double>& context, int horizon) const {
+  if (coefficients.empty()) {
+    return Status::FailedPrecondition("AdaptedArModel: not fitted");
+  }
+  // The model was fitted on mean-centered data (dynamics only); anchor the
+  // level on the context itself so domain level shifts are harmless.
+  double level = 0.0;
+  for (double v : context) level += v;
+  level /= static_cast<double>(context.size());
+  std::vector<double> centered(context.size());
+  for (size_t i = 0; i < context.size(); ++i) centered[i] = context[i] - level;
+  Result<std::vector<double>> fc = Roll(coefficients, order, centered, horizon);
+  if (!fc.ok()) return fc;
+  for (double& v : *fc) v += level;
+  return fc;
+}
+
+namespace {
+
+/// Subtracts the series mean (domain level) so only dynamics are shared.
+std::vector<double> Centered(const std::vector<double>& v) {
+  if (v.empty()) return v;
+  double mean = 0.0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] - mean;
+  return out;
+}
+
+}  // namespace
+
+Result<AdaptedArModel> FitAdaptedAr(const std::vector<double>& raw_source,
+                                    const std::vector<double>& raw_target,
+                                    const AdaptationOptions& options) {
+  int order = options.order;
+  if (static_cast<int>(raw_target.size()) < 2 * (order + 1)) {
+    return Status::InvalidArgument(
+        "FitAdaptedAr: target too short for the requested order");
+  }
+  std::vector<double> source = Centered(raw_source);
+  std::vector<double> target = Centered(raw_target);
+  // Held-out target split to anneal the source weight.
+  size_t cut = target.size() -
+               std::max<size_t>(order + 2,
+                                static_cast<size_t>(
+                                    options.validation_fraction *
+                                    target.size()));
+  std::vector<double> target_fit(target.begin(), target.begin() + cut);
+  std::vector<double> target_val(target.begin() + cut, target.end());
+  int val_horizon = static_cast<int>(target_val.size());
+
+  // Teacher-forced one-step validation: every validation point is
+  // predicted from the *true* preceding values, so the score reflects the
+  // fitted dynamics rather than rollout drift.
+  (void)val_horizon;
+  auto one_step_error = [&](const std::vector<double>& coeffs) {
+    double acc = 0.0;
+    int count = 0;
+    for (size_t t = std::max(cut, static_cast<size_t>(order));
+         t < target.size(); ++t) {
+      double y = coeffs[0];
+      for (int j = 1; j <= order; ++j) y += coeffs[j] * target[t - j];
+      acc += std::fabs(target[t] - y);
+      ++count;
+    }
+    return count > 0 ? acc / count : 1e300;
+  };
+
+  double best_weight = 0.0;
+  double best_error = 1e300;
+  std::vector<double> best_coeffs;
+  for (double w : options.weight_grid) {
+    Result<std::vector<double>> coeffs =
+        FitWeighted(source, target_fit, order, w, options.ridge_lambda);
+    if (!coeffs.ok()) continue;
+    double err = one_step_error(*coeffs);
+    if (err < best_error) {
+      best_error = err;
+      best_weight = w;
+      best_coeffs = *coeffs;
+    }
+  }
+  if (best_coeffs.empty()) {
+    return Status::FailedPrecondition("FitAdaptedAr: no candidate fit");
+  }
+  // Refit with the chosen weight on the full target.
+  Result<std::vector<double>> final_coeffs = FitWeighted(
+      source, target, order, best_weight, options.ridge_lambda);
+  if (!final_coeffs.ok()) return final_coeffs.status();
+
+  AdaptedArModel model;
+  model.coefficients = *final_coeffs;
+  model.source_weight = best_weight;
+  model.order = order;
+  return model;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,46 @@
+#ifndef TSDM_ANALYTICS_ROBUST_ADAPTATION_H_
+#define TSDM_ANALYTICS_ROBUST_ADAPTATION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// Weakly guided adaptation for imbalanced domains ([36]): a *target*
+/// domain has too little history to fit a good forecaster, while a large
+/// related *source* domain (another city, another cluster) is plentiful
+/// but distribution-shifted. The adapted model fits a single AR(p) by
+/// weighted least squares over both domains, with the source weight
+/// annealed by how well source dynamics explain the target (estimated via
+/// a held-out target split) — recovering target-only behaviour when the
+/// domains disagree and source-rich behaviour when they match.
+struct AdaptedArModel {
+  std::vector<double> coefficients;  ///< intercept first
+  double source_weight = 0.0;        ///< chosen per-sample source weight
+  int order = 0;
+
+  /// Iterated multi-step forecast continuing `context`
+  /// (context.size() >= order).
+  Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& context, int horizon) const;
+};
+
+struct AdaptationOptions {
+  int order = 8;
+  double ridge_lambda = 1e-3;
+  /// Candidate per-sample source weights tried during annealing.
+  std::vector<double> weight_grid = {0.0, 0.05, 0.2, 0.5, 1.0};
+  /// Fraction of the target history held out to pick the weight.
+  double validation_fraction = 0.3;
+};
+
+/// Fits the adapted model. Requires the target to contain at least
+/// 2*(order+1) points; the source may be empty (degrades to target-only).
+Result<AdaptedArModel> FitAdaptedAr(const std::vector<double>& source,
+                                    const std::vector<double>& target,
+                                    const AdaptationOptions& options);
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_ROBUST_ADAPTATION_H_

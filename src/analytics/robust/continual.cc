@@ -1,0 +1,225 @@
+#include "src/analytics/robust/continual.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analytics/forecast/metrics.h"
+
+namespace tsdm {
+
+namespace {
+
+/// Fits an AR model on `data`; returns nullptr when the data is too short.
+std::unique_ptr<ArForecaster> FitAr(const std::vector<double>& data,
+                                    int order) {
+  auto model = std::make_unique<ArForecaster>(order);
+  if (!model->Fit(data).ok()) return nullptr;
+  return model;
+}
+
+/// Forecast from an explicit context by refitting cheap AR coefficients on
+/// the stored training data but rolling the recursion from `context`.
+Result<std::vector<double>> RollFromContext(const ArForecaster& fitted,
+                                            int order,
+                                            const std::vector<double>& context,
+                                            int horizon) {
+  if (static_cast<int>(context.size()) < order) {
+    return Status::InvalidArgument("ForecastFrom: context shorter than order");
+  }
+  const std::vector<double>& coeffs = fitted.coefficients();
+  if (coeffs.empty()) {
+    return Status::FailedPrecondition("ForecastFrom: model not fitted");
+  }
+  std::vector<double> state(context.end() - order, context.end());
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (int h = 0; h < horizon; ++h) {
+    double y = coeffs[0];
+    for (int j = 1; j <= order; ++j) {
+      y += coeffs[j] * state[state.size() - order + j - 1];
+    }
+    out.push_back(y);
+    state.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status FineTuneForecaster::ObserveChunk(const std::vector<double>& chunk) {
+  recent_.insert(recent_.end(), chunk.begin(), chunk.end());
+  if (recent_.size() > recent_window_) {
+    recent_.erase(recent_.begin(),
+                  recent_.end() - static_cast<long>(recent_window_));
+  }
+  auto model = FitAr(recent_, order_);
+  if (model == nullptr) {
+    return Status::FailedPrecondition("finetune: window too short to fit");
+  }
+  model_ = std::move(model);
+  return Status::OK();
+}
+
+Result<std::vector<double>> FineTuneForecaster::Forecast(int horizon) const {
+  if (!model_) return Status::FailedPrecondition("finetune: not fitted");
+  return model_->Forecast(horizon);
+}
+
+Result<std::vector<double>> FineTuneForecaster::ForecastFrom(
+    const std::vector<double>& context, int horizon) const {
+  if (!model_) return Status::FailedPrecondition("finetune: not fitted");
+  return RollFromContext(*model_, order_, context, horizon);
+}
+
+Status ReplayForecaster::ObserveChunk(const std::vector<double>& chunk) {
+  // Reservoir-sample individual points into the replay buffer. Order within
+  // the buffer is irrelevant for AR fitting only through windows, so we
+  // store contiguous mini-blocks to preserve local dynamics.
+  const size_t kBlock = 16;
+  for (size_t start = 0; start + kBlock <= chunk.size(); start += kBlock) {
+    seen_ += 1;
+    if (reservoir_.size() + kBlock <= options_.replay_capacity) {
+      reservoir_.insert(reservoir_.end(), chunk.begin() + start,
+                        chunk.begin() + start + kBlock);
+    } else {
+      // Replace a random existing block with probability capacity/seen.
+      size_t blocks = reservoir_.size() / kBlock;
+      if (blocks > 0 &&
+          rng_.Uniform() < static_cast<double>(blocks) /
+                               static_cast<double>(seen_)) {
+        size_t victim = static_cast<size_t>(
+            rng_.Index(static_cast<int>(blocks)));
+        std::copy(chunk.begin() + start, chunk.begin() + start + kBlock,
+                  reservoir_.begin() + victim * kBlock);
+      }
+    }
+  }
+  recent_.insert(recent_.end(), chunk.begin(), chunk.end());
+  if (recent_.size() > options_.recent_window) {
+    recent_.erase(recent_.begin(),
+                  recent_.end() - static_cast<long>(options_.recent_window));
+  }
+  // Train on replay + recent (recent last so the AR tail is current).
+  std::vector<double> train = reservoir_;
+  train.insert(train.end(), recent_.begin(), recent_.end());
+  auto model = FitAr(train, options_.ar_order);
+  if (model == nullptr) {
+    return Status::FailedPrecondition("replay: not enough data to fit");
+  }
+  model_ = std::move(model);
+  return Status::OK();
+}
+
+Result<std::vector<double>> ReplayForecaster::Forecast(int horizon) const {
+  if (!model_) return Status::FailedPrecondition("replay: not fitted");
+  return RollFromContext(*model_, options_.ar_order, recent_, horizon);
+}
+
+Result<std::vector<double>> ReplayForecaster::ForecastFrom(
+    const std::vector<double>& context, int horizon) const {
+  if (!model_) return Status::FailedPrecondition("replay: not fitted");
+  return RollFromContext(*model_, options_.ar_order, context, horizon);
+}
+
+Status MultiScaleForecaster::Fit(const std::vector<double>& history) {
+  if (scales_.empty()) {
+    return Status::InvalidArgument("multi-scale: no scales");
+  }
+  models_.clear();
+  weights_.clear();
+  // Hold out a validation tail to weight the pathways.
+  size_t val_len = std::max<size_t>(8, history.size() / 10);
+  if (history.size() <= 2 * val_len) {
+    return Status::InvalidArgument("multi-scale: history too short");
+  }
+  std::vector<double> train(history.begin(), history.end() - val_len);
+  std::vector<double> val(history.end() - val_len, history.end());
+
+  std::vector<double> errors;
+  for (int scale : scales_) {
+    // Downsample by averaging blocks of `scale`.
+    auto downsample = [scale](const std::vector<double>& x) {
+      std::vector<double> out;
+      for (size_t i = 0; i + scale <= x.size(); i += scale) {
+        double acc = 0.0;
+        for (int j = 0; j < scale; ++j) acc += x[i + j];
+        out.push_back(acc / scale);
+      }
+      return out;
+    };
+    std::vector<double> coarse = downsample(train);
+    auto model = std::make_unique<ArForecaster>(order_);
+    if (!model->Fit(coarse).ok()) {
+      errors.push_back(1e300);
+      models_.push_back(nullptr);
+      continue;
+    }
+    // Validate: forecast ceil(val_len/scale) coarse steps, upsample by
+    // repetition, score against the validation tail.
+    int coarse_h = static_cast<int>((val_len + scale - 1) / scale);
+    Result<std::vector<double>> fc = model->Forecast(coarse_h);
+    if (!fc.ok()) {
+      errors.push_back(1e300);
+      models_.push_back(nullptr);
+      continue;
+    }
+    std::vector<double> fine;
+    for (double v : *fc) {
+      for (int j = 0; j < scale && fine.size() < val_len; ++j) {
+        fine.push_back(v);
+      }
+    }
+    errors.push_back(MeanAbsoluteError(val, fine));
+    models_.push_back(std::move(model));
+  }
+  // Refit surviving scales on the full history and set inverse-error
+  // weights (the adaptive pathway).
+  double wsum = 0.0;
+  weights_.assign(scales_.size(), 0.0);
+  for (size_t s = 0; s < scales_.size(); ++s) {
+    if (models_[s] == nullptr) continue;
+    auto downsample = [&](const std::vector<double>& x) {
+      std::vector<double> out;
+      int scale = scales_[s];
+      for (size_t i = 0; i + scale <= x.size(); i += scale) {
+        double acc = 0.0;
+        for (int j = 0; j < scale; ++j) acc += x[i + j];
+        out.push_back(acc / scale);
+      }
+      return out;
+    };
+    models_[s] = std::make_unique<ArForecaster>(order_);
+    if (!models_[s]->Fit(downsample(history)).ok()) {
+      models_[s] = nullptr;
+      continue;
+    }
+    weights_[s] = 1.0 / (errors[s] + 1e-9);
+    wsum += weights_[s];
+  }
+  if (wsum <= 0.0) {
+    return Status::FailedPrecondition("multi-scale: no scale could fit");
+  }
+  for (double& w : weights_) w /= wsum;
+  return Status::OK();
+}
+
+Result<std::vector<double>> MultiScaleForecaster::Forecast(
+    int horizon) const {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("multi-scale: not fitted");
+  }
+  std::vector<double> out(horizon, 0.0);
+  for (size_t s = 0; s < scales_.size(); ++s) {
+    if (models_[s] == nullptr || weights_[s] <= 0.0) continue;
+    int scale = scales_[s];
+    int coarse_h = (horizon + scale - 1) / scale;
+    Result<std::vector<double>> fc = models_[s]->Forecast(coarse_h);
+    if (!fc.ok()) continue;
+    for (int h = 0; h < horizon; ++h) {
+      out[h] += weights_[s] * (*fc)[h / scale];
+    }
+  }
+  return out;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,110 @@
+#ifndef TSDM_ANALYTICS_ROBUST_CONTINUAL_H_
+#define TSDM_ANALYTICS_ROBUST_CONTINUAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analytics/forecast/forecaster.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// Streaming forecaster interface for continual-learning strategies
+/// ([37], [38]): data arrives in chunks; the model must stay accurate on
+/// the *current* regime without forgetting earlier ones.
+class ContinualForecaster {
+ public:
+  virtual ~ContinualForecaster() = default;
+  virtual std::string Name() const = 0;
+  /// Ingests the next chunk of the stream and updates the model.
+  virtual Status ObserveChunk(const std::vector<double>& chunk) = 0;
+  /// Forecast continuing the most recent chunk.
+  virtual Result<std::vector<double>> Forecast(int horizon) const = 0;
+  /// Forecast continuing an arbitrary context window (used to probe
+  /// performance on *old-regime* data, i.e. forgetting).
+  virtual Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& context, int horizon) const = 0;
+};
+
+/// Fine-tune-only baseline: refits on the most recent window, forgetting
+/// everything older — fast adaptation, catastrophic forgetting.
+class FineTuneForecaster : public ContinualForecaster {
+ public:
+  FineTuneForecaster(int ar_order = 8, size_t recent_window = 256)
+      : order_(ar_order), recent_window_(recent_window) {}
+  std::string Name() const override { return "finetune-only"; }
+  Status ObserveChunk(const std::vector<double>& chunk) override;
+  Result<std::vector<double>> Forecast(int horizon) const override;
+  Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& context, int horizon) const override;
+
+ private:
+  int order_;
+  size_t recent_window_;
+  std::vector<double> recent_;
+  std::unique_ptr<ArForecaster> model_;
+};
+
+/// Replay-based continual learner ([37]): keeps a reservoir of windows
+/// sampled across the whole stream and refits on recent + replayed data,
+/// trading a little adaptation speed for retention of old regimes.
+class ReplayForecaster : public ContinualForecaster {
+ public:
+  struct Options {
+    int ar_order = 8;
+    size_t recent_window = 256;
+    size_t replay_capacity = 512;  ///< reservoir size in points
+    uint64_t seed = 23;
+  };
+
+  ReplayForecaster() : rng_(options_.seed) {}
+  explicit ReplayForecaster(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  std::string Name() const override { return "replay"; }
+  Status ObserveChunk(const std::vector<double>& chunk) override;
+  Result<std::vector<double>> Forecast(int horizon) const override;
+  Result<std::vector<double>> ForecastFrom(
+      const std::vector<double>& context, int horizon) const override;
+
+ private:
+  Options options_;
+  Rng rng_;
+  size_t seen_ = 0;
+  std::vector<double> reservoir_;
+  std::vector<double> recent_;
+  std::unique_ptr<ArForecaster> model_;
+};
+
+/// Multi-scale adaptive-pathway forecaster (Pathformer analog [40]): fits
+/// AR models on the series at several temporal resolutions and combines
+/// their forecasts with weights proportional to each scale's recent
+/// validation accuracy — the "adaptive pathway" selection.
+class MultiScaleForecaster : public Forecaster {
+ public:
+  explicit MultiScaleForecaster(std::vector<int> scales = {1, 2, 4},
+                                int ar_order = 8)
+      : scales_(std::move(scales)), order_(ar_order) {}
+
+  std::string Name() const override { return "multi-scale"; }
+  Status Fit(const std::vector<double>& history) override;
+  Result<std::vector<double>> Forecast(int horizon) const override;
+  std::unique_ptr<Forecaster> CloneUnfitted() const override {
+    return std::make_unique<MultiScaleForecaster>(scales_, order_);
+  }
+
+  /// Pathway weights chosen at Fit time (diagnostic).
+  const std::vector<double>& pathway_weights() const { return weights_; }
+
+ private:
+  std::vector<int> scales_;
+  int order_;
+  std::vector<std::unique_ptr<ArForecaster>> models_;
+  std::vector<double> weights_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_ROBUST_CONTINUAL_H_

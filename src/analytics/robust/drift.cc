@@ -1,0 +1,60 @@
+#include "src/analytics/robust/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsdm {
+
+bool PageHinkleyDetector::Update(double value) {
+  ++count_;
+  mean_ += (value - mean_) / static_cast<double>(count_);
+  cumulative_ += value - mean_ - delta_;
+  min_cumulative_ = std::min(min_cumulative_, cumulative_);
+  if (cumulative_ - min_cumulative_ > threshold_) {
+    Reset();
+    return true;
+  }
+  return false;
+}
+
+void PageHinkleyDetector::Reset() {
+  mean_ = 0.0;
+  cumulative_ = 0.0;
+  min_cumulative_ = 0.0;
+  count_ = 0;
+}
+
+bool AdwinLiteDetector::Update(double value) {
+  window_.push_back(value);
+  if (static_cast<int>(window_.size()) > max_window_) window_.pop_front();
+  size_t n = window_.size();
+  if (n < 16) return false;
+
+  // Compare older half vs newer half.
+  size_t half = n / 2;
+  double mean_old = 0.0, mean_new = 0.0;
+  for (size_t i = 0; i < half; ++i) mean_old += window_[i];
+  for (size_t i = half; i < n; ++i) mean_new += window_[i];
+  mean_old /= static_cast<double>(half);
+  mean_new /= static_cast<double>(n - half);
+
+  // Variance over the whole window for the bound.
+  double mean = (mean_old * half + mean_new * (n - half)) / n;
+  double var = 0.0;
+  for (double v : window_) var += (v - mean) * (v - mean);
+  var /= std::max<size_t>(1, n - 1);
+
+  double m = 1.0 / (1.0 / half + 1.0 / (n - half));
+  double log_term = std::log(2.0 / delta_);
+  double epsilon = std::sqrt(2.0 * var * log_term / m) +
+                   2.0 * log_term / (3.0 * m);
+  if (std::fabs(mean_old - mean_new) > epsilon) {
+    Reset();
+    return true;
+  }
+  return false;
+}
+
+void AdwinLiteDetector::Reset() { window_.clear(); }
+
+}  // namespace tsdm

@@ -1,0 +1,58 @@
+#ifndef TSDM_ANALYTICS_ROBUST_DRIFT_H_
+#define TSDM_ANALYTICS_ROBUST_DRIFT_H_
+
+#include <deque>
+#include <string>
+
+namespace tsdm {
+
+/// Streaming drift detectors (§II-C Robustness, [37]–[39]): consume one
+/// value at a time and flag when the data distribution has shifted.
+class DriftDetector {
+ public:
+  virtual ~DriftDetector() = default;
+  virtual std::string Name() const = 0;
+  /// Feeds one observation; returns true when drift is declared (the
+  /// detector resets itself afterwards).
+  virtual bool Update(double value) = 0;
+  virtual void Reset() = 0;
+};
+
+/// Page-Hinkley test: cumulative deviation from the running mean; drift
+/// when the deviation exceeds `threshold` beyond its running minimum.
+class PageHinkleyDetector : public DriftDetector {
+ public:
+  PageHinkleyDetector(double delta = 0.5, double threshold = 20.0)
+      : delta_(delta), threshold_(threshold) {}
+  std::string Name() const override { return "page-hinkley"; }
+  bool Update(double value) override;
+  void Reset() override;
+
+ private:
+  double delta_;
+  double threshold_;
+  double mean_ = 0.0;
+  double cumulative_ = 0.0;
+  double min_cumulative_ = 0.0;
+  long count_ = 0;
+};
+
+/// ADWIN-lite: keeps a bounded window and declares drift when the means of
+/// the older and newer halves differ by more than a Hoeffding-style bound.
+class AdwinLiteDetector : public DriftDetector {
+ public:
+  AdwinLiteDetector(int max_window = 200, double confidence_delta = 0.002)
+      : max_window_(max_window), delta_(confidence_delta) {}
+  std::string Name() const override { return "adwin-lite"; }
+  bool Update(double value) override;
+  void Reset() override;
+
+ private:
+  int max_window_;
+  double delta_;
+  std::deque<double> window_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_ANALYTICS_ROBUST_DRIFT_H_

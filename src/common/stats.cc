@@ -1,0 +1,99 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsdm {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size() - 1);
+}
+
+double Stdev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }
+
+double Mad(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double med = Median(v);
+  std::vector<double> dev(v.size());
+  for (size_t i = 0; i < v.size(); ++i) dev[i] = std::fabs(v[i] - med);
+  return Median(std::move(dev));
+}
+
+double Covariance(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  double ma = Mean(a), mb = Mean(b);
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += (a[i] - ma) * (b[i] - mb);
+  return acc / static_cast<double>(a.size() - 1);
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  double sa = Stdev(a), sb = Stdev(b);
+  if (sa <= 0.0 || sb <= 0.0) return 0.0;
+  return Covariance(a, b) / (sa * sb);
+}
+
+double Autocorrelation(const std::vector<double>& v, int lag) {
+  if (lag < 0 || static_cast<size_t>(lag) >= v.size()) return 0.0;
+  size_t n = v.size() - static_cast<size_t>(lag);
+  std::vector<double> head(v.begin(), v.begin() + n);
+  std::vector<double> tail(v.begin() + lag, v.begin() + lag + n);
+  return PearsonCorrelation(head, tail);
+}
+
+std::vector<double> FiniteValues(const std::vector<double>& v) {
+  std::vector<double> out;
+  out.reserve(v.size());
+  for (double x : v) {
+    if (std::isfinite(x)) out.push_back(x);
+  }
+  return out;
+}
+
+void OnlineStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stdev() const { return std::sqrt(variance()); }
+
+}  // namespace tsdm

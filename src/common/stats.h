@@ -1,0 +1,65 @@
+#ifndef TSDM_COMMON_STATS_H_
+#define TSDM_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tsdm {
+
+/// Descriptive statistics over raw double sequences. All functions ignore no
+/// values: callers must strip NaNs first (see FiniteValues) unless noted.
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& v);
+
+/// Unbiased sample variance (n-1 denominator); 0 for inputs of size < 2.
+double Variance(const std::vector<double>& v);
+
+/// sqrt(Variance).
+double Stdev(const std::vector<double>& v);
+
+/// Linear-interpolated quantile, q in [0,1]; 0 for empty input.
+double Quantile(std::vector<double> v, double q);
+
+/// Quantile(v, 0.5).
+double Median(std::vector<double> v);
+
+/// Median absolute deviation (unscaled).
+double Mad(const std::vector<double>& v);
+
+/// Pearson correlation; 0 if either side is constant or sizes mismatch.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Sample covariance (n-1 denominator); 0 if sizes mismatch or size < 2.
+double Covariance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Autocorrelation of v at the given lag; 0 if lag >= v.size().
+double Autocorrelation(const std::vector<double>& v, int lag);
+
+/// Returns the finite (non-NaN, non-inf) subset of v, order preserved.
+std::vector<double> FiniteValues(const std::vector<double>& v);
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+class OnlineStats {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when count < 2.
+  double variance() const;
+  double stdev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_COMMON_STATS_H_

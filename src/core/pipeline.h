@@ -1,0 +1,115 @@
+#ifndef TSDM_CORE_PIPELINE_H_
+#define TSDM_CORE_PIPELINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/correlated_time_series.h"
+#include "src/governance/quality/quality.h"
+
+namespace tsdm {
+
+/// Shared blackboard flowing through a pipeline run — the "Data" box of
+/// Fig. 1. Stages read and write the working dataset, scalar metrics, and
+/// named series artifacts (e.g. per-sensor forecasts).
+struct PipelineContext {
+  CorrelatedTimeSeries data;
+  QualityReport quality;
+  std::map<std::string, double> metrics;
+  std::map<std::string, std::vector<double>> artifacts;
+  std::map<std::string, std::string> notes;
+};
+
+/// One box of the Data-Governance-Analytics-Decision paradigm.
+class PipelineStage {
+ public:
+  virtual ~PipelineStage() = default;
+  virtual std::string Name() const = 0;
+  virtual Status Run(PipelineContext* context) = 0;
+};
+
+/// Per-stage outcome of a pipeline run.
+struct StageReport {
+  std::string name;
+  Status status;
+  double seconds = 0.0;
+};
+
+/// Full run report.
+struct PipelineReport {
+  std::vector<StageReport> stages;
+  bool ok = true;
+
+  std::string ToString() const;
+};
+
+/// The paradigm of Fig. 1 as an executable object: an ordered list of
+/// stages (governance -> analytics -> decision) applied to a context.
+/// Execution stops at the first failing stage.
+class Pipeline {
+ public:
+  Pipeline& AddStage(std::unique_ptr<PipelineStage> stage);
+  size_t NumStages() const { return stages_.size(); }
+
+  PipelineReport Run(PipelineContext* context) const;
+
+ private:
+  std::vector<std::unique_ptr<PipelineStage>> stages_;
+};
+
+/// --- Reusable concrete stages -------------------------------------------
+
+/// Governance: computes the quality report (with a plausibility range) into
+/// context->quality and `quality_missing_rate` into metrics.
+class AssessQualityStage : public PipelineStage {
+ public:
+  explicit AssessQualityStage(RangeRule range) : range_(range) {}
+  std::string Name() const override { return "governance/assess-quality"; }
+  Status Run(PipelineContext* context) override;
+
+ private:
+  RangeRule range_;
+};
+
+/// Governance: clears implausible values (range + MAD rule); records
+/// `cleaned_entries`.
+class CleanStage : public PipelineStage {
+ public:
+  CleanStage(RangeRule range, double mad_threshold = 6.0)
+      : range_(range), mad_threshold_(mad_threshold) {}
+  std::string Name() const override { return "governance/clean"; }
+  Status Run(PipelineContext* context) override;
+
+ private:
+  RangeRule range_;
+  double mad_threshold_;
+};
+
+/// Governance: spatio-temporal imputation of all missing entries; records
+/// `imputed_entries`.
+class ImputeStage : public PipelineStage {
+ public:
+  std::string Name() const override { return "governance/impute"; }
+  Status Run(PipelineContext* context) override;
+};
+
+/// Analytics: per-sensor AR forecasts `horizon` steps ahead; stores
+/// artifact "forecast/<sensor>" and metric `forecast_sensors`.
+class ForecastStage : public PipelineStage {
+ public:
+  ForecastStage(int ar_order, int horizon)
+      : ar_order_(ar_order), horizon_(horizon) {}
+  std::string Name() const override { return "analytics/forecast"; }
+  Status Run(PipelineContext* context) override;
+
+ private:
+  int ar_order_;
+  int horizon_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_CORE_PIPELINE_H_

@@ -1,0 +1,48 @@
+#include "src/data/correlated_time_series.h"
+
+#include <cmath>
+
+#include "src/common/stats.h"
+
+namespace tsdm {
+
+Status CorrelatedTimeSeries::Validate() const {
+  if (series_.NumChannels() != graph_.NumSensors()) {
+    return Status::FailedPrecondition(
+        "CorrelatedTimeSeries: channel count != sensor count");
+  }
+  if (!series_.HasSortedTimestamps()) {
+    return Status::FailedPrecondition(
+        "CorrelatedTimeSeries: timestamps not strictly increasing");
+  }
+  return Status::OK();
+}
+
+double CorrelatedTimeSeries::SensorCorrelation(size_t a, size_t b) const {
+  std::vector<double> va, vb;
+  va.reserve(NumSteps());
+  vb.reserve(NumSteps());
+  for (size_t t = 0; t < NumSteps(); ++t) {
+    double x = At(t, a), y = At(t, b);
+    if (std::isfinite(x) && std::isfinite(y)) {
+      va.push_back(x);
+      vb.push_back(y);
+    }
+  }
+  return PearsonCorrelation(va, vb);
+}
+
+double CorrelatedTimeSeries::MeanEdgeCorrelation() const {
+  double total = 0.0;
+  size_t count = 0;
+  for (size_t a = 0; a < NumSensors(); ++a) {
+    for (const auto& nb : graph_.Neighbors(static_cast<int>(a))) {
+      if (nb.id <= static_cast<int>(a)) continue;  // each edge once
+      total += SensorCorrelation(a, nb.id);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+}  // namespace tsdm

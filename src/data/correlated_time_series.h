@@ -1,0 +1,55 @@
+#ifndef TSDM_DATA_CORRELATED_TIME_SERIES_H_
+#define TSDM_DATA_CORRELATED_TIME_SERIES_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/sensor_graph.h"
+#include "src/data/time_series.h"
+
+namespace tsdm {
+
+/// A correlated time series (Definition 2): N time-aligned univariate series,
+/// one per sensor, whose correlations are modeled by a sensor graph.
+/// Internally stored as a single TimeSeries with one channel per sensor.
+class CorrelatedTimeSeries {
+ public:
+  CorrelatedTimeSeries() = default;
+  CorrelatedTimeSeries(SensorGraph graph, TimeSeries series)
+      : graph_(std::move(graph)), series_(std::move(series)) {}
+
+  size_t NumSensors() const { return graph_.NumSensors(); }
+  size_t NumSteps() const { return series_.NumSteps(); }
+
+  const SensorGraph& graph() const { return graph_; }
+  SensorGraph& graph() { return graph_; }
+  const TimeSeries& series() const { return series_; }
+  TimeSeries& series() { return series_; }
+
+  /// Value of sensor s at step t (may be NaN if missing).
+  double At(size_t t, size_t s) const { return series_.At(t, s); }
+  void Set(size_t t, size_t s, double v) { series_.Set(t, s, v); }
+
+  /// The univariate series of one sensor.
+  std::vector<double> SensorSeries(size_t s) const {
+    return series_.Channel(s);
+  }
+
+  /// Validates that the series channel count matches the sensor count.
+  Status Validate() const;
+
+  /// Pearson correlation between the (finite overlap of) two sensor series.
+  double SensorCorrelation(size_t a, size_t b) const;
+
+  /// Mean pairwise correlation over all graph edges; a summary of how
+  /// strongly the spatial structure shows up in the data.
+  double MeanEdgeCorrelation() const;
+
+ private:
+  SensorGraph graph_;
+  TimeSeries series_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_DATA_CORRELATED_TIME_SERIES_H_

@@ -1,0 +1,73 @@
+#include "src/data/csv.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace tsdm {
+
+Status WriteTimeSeriesCsv(const TimeSeries& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open file for writing: " + path);
+  out << "timestamp";
+  for (size_t c = 0; c < series.NumChannels(); ++c) out << ",c" << c;
+  out << "\n";
+  out.precision(12);
+  for (size_t i = 0; i < series.NumSteps(); ++i) {
+    out << series.Timestamp(i);
+    for (size_t c = 0; c < series.NumChannels(); ++c) {
+      out << ",";
+      if (!series.IsMissing(i, c)) out << series.At(i, c);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::Internal("write failure: " + path);
+  return Status::OK();
+}
+
+Result<TimeSeries> ReadTimeSeriesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV: " + path);
+  }
+  // Channel count from the header (fields after "timestamp").
+  size_t channels = 0;
+  for (char ch : line) {
+    if (ch == ',') ++channels;
+  }
+  if (channels == 0) {
+    return Status::InvalidArgument("CSV has no value columns: " + path);
+  }
+
+  TimeSeries series;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string field;
+    if (!std::getline(ss, field, ',')) continue;
+    int64_t timestamp = 0;
+    try {
+      timestamp = std::stoll(field);
+    } catch (...) {
+      return Status::InvalidArgument("bad timestamp field: " + field);
+    }
+    std::vector<double> obs(channels, kMissingValue);
+    for (size_t c = 0; c < channels; ++c) {
+      if (!std::getline(ss, field, ',')) break;
+      if (field.empty()) continue;
+      try {
+        obs[c] = std::stod(field);
+      } catch (...) {
+        // Leave as missing.
+      }
+    }
+    Status st = series.Append(timestamp, obs);
+    if (!st.ok()) return st;
+  }
+  return series;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,22 @@
+#ifndef TSDM_DATA_CSV_H_
+#define TSDM_DATA_CSV_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/data/time_series.h"
+
+namespace tsdm {
+
+/// Writes a TimeSeries to CSV with a header row
+/// `timestamp,c0,c1,...`; missing values are written as empty fields.
+Status WriteTimeSeriesCsv(const TimeSeries& series, const std::string& path);
+
+/// Reads a TimeSeries previously written by WriteTimeSeriesCsv (or any CSV
+/// whose first column is an integer timestamp). Empty or non-numeric value
+/// fields become missing entries.
+Result<TimeSeries> ReadTimeSeriesCsv(const std::string& path);
+
+}  // namespace tsdm
+
+#endif  // TSDM_DATA_CSV_H_

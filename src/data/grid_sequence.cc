@@ -1,0 +1,30 @@
+#include "src/data/grid_sequence.h"
+
+namespace tsdm {
+
+double GridSequence::FrameSum(size_t t, size_t ch) const {
+  double total = 0.0;
+  for (size_t r = 0; r < height_; ++r) {
+    for (size_t c = 0; c < width_; ++c) total += At(t, r, c, ch);
+  }
+  return total;
+}
+
+std::vector<double> GridSequence::CellSeries(size_t r, size_t c,
+                                             size_t ch) const {
+  std::vector<double> out(frames_);
+  for (size_t t = 0; t < frames_; ++t) out[t] = At(t, r, c, ch);
+  return out;
+}
+
+std::vector<std::vector<double>> GridSequence::ToRows() const {
+  std::vector<std::vector<double>> rows(frames_);
+  size_t frame_size = height_ * width_ * channels_;
+  for (size_t t = 0; t < frames_; ++t) {
+    rows[t].assign(data_.begin() + t * frame_size,
+                   data_.begin() + (t + 1) * frame_size);
+  }
+  return rows;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,60 @@
+#ifndef TSDM_DATA_GRID_SEQUENCE_H_
+#define TSDM_DATA_GRID_SEQUENCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// An image sequence (Definition 4): T frames, each an H x W grid of C
+/// observed properties per cell — e.g. citywide crowd-flow heatmaps.
+class GridSequence {
+ public:
+  GridSequence() = default;
+  GridSequence(size_t num_frames, size_t height, size_t width,
+               size_t num_channels, double fill = 0.0)
+      : frames_(num_frames),
+        height_(height),
+        width_(width),
+        channels_(num_channels),
+        data_(num_frames * height * width * num_channels, fill) {}
+
+  size_t NumFrames() const { return frames_; }
+  size_t Height() const { return height_; }
+  size_t Width() const { return width_; }
+  size_t NumChannels() const { return channels_; }
+
+  double At(size_t t, size_t r, size_t c, size_t ch) const {
+    return data_[Index(t, r, c, ch)];
+  }
+  void Set(size_t t, size_t r, size_t c, size_t ch, double v) {
+    data_[Index(t, r, c, ch)] = v;
+  }
+
+  /// Sum of one channel over a full frame (e.g. total inflow at time t).
+  double FrameSum(size_t t, size_t ch) const;
+
+  /// The per-frame time series of one cell/channel, length NumFrames().
+  std::vector<double> CellSeries(size_t r, size_t c, size_t ch) const;
+
+  /// Flattens every frame into a row; the result has NumFrames rows and
+  /// H*W*C columns — convenient for matrix-based analytics.
+  std::vector<std::vector<double>> ToRows() const;
+
+ private:
+  size_t Index(size_t t, size_t r, size_t c, size_t ch) const {
+    return ((t * height_ + r) * width_ + c) * channels_ + ch;
+  }
+
+  size_t frames_ = 0;
+  size_t height_ = 0;
+  size_t width_ = 0;
+  size_t channels_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_DATA_GRID_SEQUENCE_H_

@@ -1,0 +1,103 @@
+#include "src/data/od_matrix.h"
+
+#include <cmath>
+
+#include "src/common/stats.h"
+#include "src/governance/imputation/imputer.h"
+
+namespace tsdm {
+
+int OdMatrixSequence::IntervalFor(double time_seconds) const {
+  if (interval_seconds_ <= 0.0) return -1;
+  double offset = time_seconds - start_time_;
+  if (offset < 0.0) return -1;
+  int t = static_cast<int>(offset / interval_seconds_);
+  if (t >= static_cast<int>(NumIntervals())) return -1;
+  return t;
+}
+
+double OdMatrixSequence::OutFlow(size_t t, int origin) const {
+  double total = 0.0;
+  for (int d = 0; d < regions_; ++d) {
+    double v = Count(t, origin, d);
+    if (std::isfinite(v)) total += v;
+  }
+  return total;
+}
+
+double OdMatrixSequence::InFlow(size_t t, int destination) const {
+  double total = 0.0;
+  for (int o = 0; o < regions_; ++o) {
+    double v = Count(t, o, destination);
+    if (std::isfinite(v)) total += v;
+  }
+  return total;
+}
+
+Status OdCompletion::Complete(OdMatrixSequence* matrix) const {
+  int regions = matrix->NumRegions();
+  size_t intervals = matrix->NumIntervals();
+  if (regions == 0 || intervals == 0) {
+    return Status::InvalidArgument("OdCompletion: empty matrix");
+  }
+
+  // Temporal estimate: linear interpolation of each pair's series.
+  // Reuse the TimeSeries imputer by flattening pairs into channels.
+  TimeSeries flat = TimeSeries::Regular(0, 1, intervals, regions * regions);
+  for (int o = 0; o < regions; ++o) {
+    for (int d = 0; d < regions; ++d) {
+      std::vector<double> series = matrix->PairSeries(o, d);
+      flat.SetChannel(o * regions + d, series);
+    }
+  }
+  TimeSeries temporal = flat;
+  TSDM_RETURN_IF_ERROR(LinearInterpolationImputer().Impute(&temporal));
+
+  // Structural estimate per interval: gravity-style rank-1 model
+  // est(o, d) = OutFlow(o) * InFlow(d) / total, computed from the observed
+  // entries of that interval.
+  for (size_t t = 0; t < intervals; ++t) {
+    double total = 0.0;
+    int observed = 0;
+    std::vector<double> out_flow(regions, 0.0), in_flow(regions, 0.0);
+    for (int o = 0; o < regions; ++o) {
+      for (int d = 0; d < regions; ++d) {
+        double v = matrix->Count(t, o, d);
+        if (std::isfinite(v)) {
+          total += v;
+          out_flow[o] += v;
+          in_flow[d] += v;
+          ++observed;
+        }
+      }
+    }
+    // Marginals computed over only the observed entries are biased low by
+    // the observed fraction p (under MCAR, row*col/total ~ p * true);
+    // rescale by 1/p to debias the gravity estimate.
+    double p = regions > 0 ? static_cast<double>(observed) /
+                                 (static_cast<double>(regions) * regions)
+                           : 0.0;
+    for (int o = 0; o < regions; ++o) {
+      for (int d = 0; d < regions; ++d) {
+        double v = matrix->Count(t, o, d);
+        if (std::isfinite(v)) continue;
+        double structural =
+            (total > 0.0 && p > 0.0)
+                ? out_flow[o] * in_flow[d] / (total * p)
+                : 0.0;
+        double temporal_v = temporal.At(t, o * regions + d);
+        double blended;
+        if (std::isfinite(temporal_v)) {
+          blended = options_.structural_weight * structural +
+                    (1.0 - options_.structural_weight) * temporal_v;
+        } else {
+          blended = structural;
+        }
+        matrix->SetCount(t, o, d, std::max(0.0, blended));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tsdm

@@ -1,0 +1,109 @@
+#ifndef TSDM_DATA_OD_MATRIX_H_
+#define TSDM_DATA_OD_MATRIX_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/grid_sequence.h"
+#include "src/data/trajectory.h"
+
+namespace tsdm {
+
+/// A sequence of Origin-Destination matrices over a gridded city ([14]):
+/// entry (o, d) of frame t counts trips departing region o for region d
+/// during interval t. Stored as a GridSequence with one frame per
+/// interval, height = width = number of regions, 1 channel.
+class OdMatrixSequence {
+ public:
+  OdMatrixSequence() = default;
+
+  /// `num_regions` city regions, `num_intervals` time slices of
+  /// `interval_seconds` starting at `start_time`.
+  OdMatrixSequence(int num_regions, int num_intervals,
+                   double interval_seconds, double start_time = 0.0)
+      : regions_(num_regions),
+        interval_seconds_(interval_seconds),
+        start_time_(start_time),
+        grid_(num_intervals, num_regions, num_regions, 1) {}
+
+  int NumRegions() const { return regions_; }
+  size_t NumIntervals() const { return grid_.NumFrames(); }
+
+  double Count(size_t t, int origin, int destination) const {
+    return grid_.At(t, origin, destination, 0);
+  }
+  void SetCount(size_t t, int origin, int destination, double count) {
+    grid_.Set(t, origin, destination, 0, count);
+  }
+  void AddTrip(size_t t, int origin, int destination, double weight = 1.0) {
+    grid_.Set(t, origin, destination, 0,
+              grid_.At(t, origin, destination, 0) + weight);
+  }
+
+  /// Interval index for an absolute time, or -1 outside the range.
+  int IntervalFor(double time_seconds) const;
+
+  /// Accumulates a trip into the matrix from a trajectory's first/last
+  /// fixes, given a region classifier (x, y) -> region id.
+  template <typename RegionFn>
+  Status AddTrajectory(const Trajectory& trajectory, RegionFn region_of) {
+    if (trajectory.NumPoints() < 2) {
+      return Status::InvalidArgument("AddTrajectory: need >= 2 fixes");
+    }
+    const TrajectoryPoint& first = trajectory.point(0);
+    const TrajectoryPoint& last =
+        trajectory.point(trajectory.NumPoints() - 1);
+    int t = IntervalFor(first.t);
+    if (t < 0) return Status::OutOfRange("AddTrajectory: time outside range");
+    int o = region_of(first.x, first.y);
+    int d = region_of(last.x, last.y);
+    if (o < 0 || d < 0 || o >= regions_ || d >= regions_) {
+      return Status::OutOfRange("AddTrajectory: region outside grid");
+    }
+    AddTrip(static_cast<size_t>(t), o, d);
+    return Status::OK();
+  }
+
+  /// The (o, d) series across intervals.
+  std::vector<double> PairSeries(int origin, int destination) const {
+    return grid_.CellSeries(origin, destination, 0);
+  }
+
+  /// Total trips departing `origin` in interval t (row marginal).
+  double OutFlow(size_t t, int origin) const;
+  /// Total trips arriving at `destination` in interval t (column marginal).
+  double InFlow(size_t t, int destination) const;
+
+  GridSequence& grid() { return grid_; }
+  const GridSequence& grid() const { return grid_; }
+
+ private:
+  int regions_ = 0;
+  double interval_seconds_ = 3600.0;
+  double start_time_ = 0.0;
+  GridSequence grid_;
+};
+
+/// Stochastic OD completion ([14]): repairs missing/unobserved OD entries
+/// (marked NaN) by combining a temporal estimate (per-pair interpolation
+/// across intervals) with a structural estimate (gravity-style rank-1
+/// reconstruction from the row/column marginals of observed entries).
+class OdCompletion {
+ public:
+  struct Options {
+    double structural_weight = 0.5;  ///< blend of structural vs temporal
+  };
+
+  OdCompletion() = default;
+  explicit OdCompletion(Options options) : options_(options) {}
+
+  /// Fills every NaN entry of `matrix` in place.
+  Status Complete(OdMatrixSequence* matrix) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_DATA_OD_MATRIX_H_

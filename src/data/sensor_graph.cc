@@ -1,0 +1,93 @@
+#include "src/data/sensor_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsdm {
+
+int SensorGraph::AddSensor(double x, double y) {
+  sensors_.push_back({x, y});
+  adj_.resize(sensors_.size());
+  return static_cast<int>(sensors_.size()) - 1;
+}
+
+Status SensorGraph::AddEdge(int a, int b, double weight) {
+  if (a < 0 || b < 0 || a >= static_cast<int>(sensors_.size()) ||
+      b >= static_cast<int>(sensors_.size())) {
+    return Status::OutOfRange("AddEdge: sensor id out of range");
+  }
+  if (a == b) return Status::InvalidArgument("AddEdge: self loop");
+  if (adj_.size() < sensors_.size()) adj_.resize(sensors_.size());
+  auto set_or_add = [&](int from, int to) {
+    for (auto& n : adj_[from]) {
+      if (n.id == to) {
+        n.weight = weight;
+        return true;
+      }
+    }
+    adj_[from].push_back({to, weight});
+    return false;
+  };
+  bool existed = set_or_add(a, b);
+  set_or_add(b, a);
+  if (!existed) ++edge_count_;
+  return Status::OK();
+}
+
+double SensorGraph::Weight(int a, int b) const {
+  if (a < 0 || a >= static_cast<int>(adj_.size())) return 0.0;
+  for (const auto& n : adj_[a]) {
+    if (n.id == b) return n.weight;
+  }
+  return 0.0;
+}
+
+Matrix SensorGraph::AdjacencyMatrix() const {
+  size_t n = NumSensors();
+  Matrix m(n, n, 0.0);
+  for (size_t a = 0; a < adj_.size(); ++a) {
+    for (const auto& nb : adj_[a]) {
+      m(a, nb.id) = nb.weight;
+    }
+  }
+  return m;
+}
+
+Matrix SensorGraph::TransitionMatrix() const {
+  Matrix m = AdjacencyMatrix();
+  for (size_t r = 0; r < m.rows(); ++r) {
+    double row_sum = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) row_sum += m(r, c);
+    if (row_sum > 0.0) {
+      for (size_t c = 0; c < m.cols(); ++c) m(r, c) /= row_sum;
+    }
+  }
+  return m;
+}
+
+SensorGraph SensorGraph::KNearest(const std::vector<Sensor>& positions, int k,
+                                  double sigma) {
+  SensorGraph g;
+  for (const auto& p : positions) g.AddSensor(p.x, p.y);
+  int n = static_cast<int>(positions.size());
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<double, int>> dist;
+    dist.reserve(n - 1);
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double dx = positions[i].x - positions[j].x;
+      double dy = positions[i].y - positions[j].y;
+      dist.push_back({std::sqrt(dx * dx + dy * dy), j});
+    }
+    std::sort(dist.begin(), dist.end());
+    int limit = std::min<int>(k, static_cast<int>(dist.size()));
+    for (int m = 0; m < limit; ++m) {
+      double w = std::exp(-dist[m].first * dist[m].first /
+                          (2.0 * sigma * sigma));
+      g.AddEdge(i, dist[m].second, w);
+    }
+  }
+  return g;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,66 @@
+#ifndef TSDM_DATA_SENSOR_GRAPH_H_
+#define TSDM_DATA_SENSOR_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/matrix.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// A weighted undirected graph over sensors, used to model the spatial
+/// correlations of a correlated time series (Definition 2). Sensors carry
+/// planar positions so distance-based weights can be derived.
+class SensorGraph {
+ public:
+  struct Sensor {
+    double x = 0.0;
+    double y = 0.0;
+  };
+
+  SensorGraph() = default;
+  explicit SensorGraph(size_t num_sensors) : sensors_(num_sensors) {}
+
+  size_t NumSensors() const { return sensors_.size(); }
+  size_t NumEdges() const { return edge_count_; }
+
+  /// Adds a sensor at (x, y); returns its id.
+  int AddSensor(double x, double y);
+  const Sensor& sensor(int id) const { return sensors_[id]; }
+
+  /// Adds (or overwrites) the undirected edge {a, b} with the given weight.
+  Status AddEdge(int a, int b, double weight);
+
+  /// Edge weight, or 0 if the edge does not exist.
+  double Weight(int a, int b) const;
+  bool HasEdge(int a, int b) const { return Weight(a, b) != 0.0; }
+
+  /// Neighbor ids of `a` together with edge weights.
+  struct Neighbor {
+    int id;
+    double weight;
+  };
+  const std::vector<Neighbor>& Neighbors(int a) const { return adj_[a]; }
+
+  /// Dense adjacency matrix (symmetric).
+  Matrix AdjacencyMatrix() const;
+
+  /// Row-normalized adjacency (random-walk transition matrix). Isolated
+  /// sensors get an all-zero row.
+  Matrix TransitionMatrix() const;
+
+  /// Builds a graph connecting each sensor to its k nearest neighbors with
+  /// Gaussian-kernel weights exp(-d^2 / (2 sigma^2)).
+  static SensorGraph KNearest(const std::vector<Sensor>& positions, int k,
+                              double sigma);
+
+ private:
+  std::vector<Sensor> sensors_;
+  std::vector<std::vector<Neighbor>> adj_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_DATA_SENSOR_GRAPH_H_

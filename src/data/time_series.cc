@@ -1,0 +1,94 @@
+#include "src/data/time_series.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace tsdm {
+
+TimeSeries::TimeSeries(std::vector<int64_t> timestamps, size_t num_channels,
+                       double fill)
+    : timestamps_(std::move(timestamps)),
+      num_channels_(num_channels),
+      values_(timestamps_.size() * num_channels, fill) {}
+
+TimeSeries TimeSeries::Regular(int64_t start_time, int64_t step_seconds,
+                               size_t num_steps, size_t num_channels) {
+  std::vector<int64_t> ts(num_steps);
+  for (size_t i = 0; i < num_steps; ++i) {
+    ts[i] = start_time + static_cast<int64_t>(i) * step_seconds;
+  }
+  return TimeSeries(std::move(ts), num_channels);
+}
+
+TimeSeries TimeSeries::FromValues(const std::vector<double>& values) {
+  TimeSeries ts = Regular(0, 1, values.size(), 1);
+  for (size_t i = 0; i < values.size(); ++i) ts.Set(i, 0, values[i]);
+  return ts;
+}
+
+bool TimeSeries::IsMissing(size_t step, size_t channel) const {
+  return !std::isfinite(At(step, channel));
+}
+
+size_t TimeSeries::CountMissing() const {
+  size_t count = 0;
+  for (double v : values_) {
+    if (!std::isfinite(v)) ++count;
+  }
+  return count;
+}
+
+double TimeSeries::MissingRate() const {
+  if (values_.empty()) return 0.0;
+  return static_cast<double>(CountMissing()) /
+         static_cast<double>(values_.size());
+}
+
+std::vector<double> TimeSeries::Channel(size_t c) const {
+  std::vector<double> out(NumSteps());
+  for (size_t i = 0; i < NumSteps(); ++i) out[i] = At(i, c);
+  return out;
+}
+
+Status TimeSeries::SetChannel(size_t c, const std::vector<double>& values) {
+  if (values.size() != NumSteps()) {
+    return Status::InvalidArgument("SetChannel: size mismatch");
+  }
+  for (size_t i = 0; i < NumSteps(); ++i) Set(i, c, values[i]);
+  return Status::OK();
+}
+
+std::vector<double> TimeSeries::Observation(size_t step) const {
+  std::vector<double> out(num_channels_);
+  for (size_t c = 0; c < num_channels_; ++c) out[c] = At(step, c);
+  return out;
+}
+
+TimeSeries TimeSeries::Slice(size_t begin, size_t end) const {
+  if (begin > end || end > NumSteps()) return TimeSeries();
+  TimeSeries out(std::vector<int64_t>(timestamps_.begin() + begin,
+                                      timestamps_.begin() + end),
+                 num_channels_);
+  std::copy(values_.begin() + begin * num_channels_,
+            values_.begin() + end * num_channels_, out.values_.begin());
+  return out;
+}
+
+Status TimeSeries::Append(int64_t timestamp, const std::vector<double>& obs) {
+  if (num_channels_ == 0) num_channels_ = obs.size();
+  if (obs.size() != num_channels_) {
+    return Status::InvalidArgument("Append: channel count mismatch");
+  }
+  timestamps_.push_back(timestamp);
+  values_.insert(values_.end(), obs.begin(), obs.end());
+  return Status::OK();
+}
+
+bool TimeSeries::HasSortedTimestamps() const {
+  for (size_t i = 1; i < timestamps_.size(); ++i) {
+    if (timestamps_[i] <= timestamps_[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,85 @@
+#ifndef TSDM_DATA_TIME_SERIES_H_
+#define TSDM_DATA_TIME_SERIES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// Sentinel for a missing observation. Stored as quiet NaN; use
+/// TimeSeries::IsMissing rather than comparing against this value.
+inline constexpr double kMissingValue =
+    std::numeric_limits<double>::quiet_NaN();
+
+/// A (possibly multivariate) time series: Definition 1 of the paper.
+/// M timestamps, each carrying a C-dimensional observation vector.
+/// Missing entries are represented as NaN.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Creates a series with the given timestamps and channel count, all
+  /// values initialized to `fill` (default 0).
+  TimeSeries(std::vector<int64_t> timestamps, size_t num_channels,
+             double fill = 0.0);
+
+  /// Creates a regularly sampled series: M steps starting at `start_time`
+  /// with spacing `step_seconds`, C channels initialized to 0.
+  static TimeSeries Regular(int64_t start_time, int64_t step_seconds,
+                            size_t num_steps, size_t num_channels);
+
+  /// Wraps a single channel of values with implicit timestamps 0,1,2,...
+  static TimeSeries FromValues(const std::vector<double>& values);
+
+  size_t NumSteps() const { return timestamps_.size(); }
+  size_t NumChannels() const { return num_channels_; }
+  bool empty() const { return timestamps_.empty(); }
+
+  int64_t Timestamp(size_t i) const { return timestamps_[i]; }
+  const std::vector<int64_t>& timestamps() const { return timestamps_; }
+
+  double At(size_t step, size_t channel) const {
+    return values_[step * num_channels_ + channel];
+  }
+  void Set(size_t step, size_t channel, double value) {
+    values_[step * num_channels_ + channel] = value;
+  }
+
+  /// True when the entry is missing (NaN or infinite).
+  bool IsMissing(size_t step, size_t channel) const;
+  /// Number of missing entries across all channels.
+  size_t CountMissing() const;
+  /// Fraction of missing entries in [0,1]; 0 for an empty series.
+  double MissingRate() const;
+
+  /// Copies channel c as a contiguous vector.
+  std::vector<double> Channel(size_t c) const;
+  /// Overwrites channel c; requires values.size() == NumSteps().
+  Status SetChannel(size_t c, const std::vector<double>& values);
+  /// Copies the observation vector at a step.
+  std::vector<double> Observation(size_t step) const;
+
+  /// Returns the sub-series covering steps [begin, end).
+  TimeSeries Slice(size_t begin, size_t end) const;
+
+  /// Appends one observation; requires obs.size() == NumChannels().
+  Status Append(int64_t timestamp, const std::vector<double>& obs);
+
+  /// Validates monotonically increasing timestamps.
+  bool HasSortedTimestamps() const;
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+ private:
+  std::vector<int64_t> timestamps_;
+  size_t num_channels_ = 0;
+  std::vector<double> values_;  // row-major: step * num_channels_ + channel
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_DATA_TIME_SERIES_H_

@@ -1,0 +1,58 @@
+#include "src/data/trajectory.h"
+
+#include <algorithm>
+
+namespace tsdm {
+
+double Trajectory::Duration() const {
+  if (points_.size() < 2) return 0.0;
+  return points_.back().t - points_.front().t;
+}
+
+double Trajectory::Length() const {
+  double total = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    total += EuclideanDistance(points_[i - 1].x, points_[i - 1].y,
+                               points_[i].x, points_[i].y);
+  }
+  return total;
+}
+
+double Trajectory::AverageSpeed() const {
+  double d = Duration();
+  return d > 0.0 ? Length() / d : 0.0;
+}
+
+TrajectoryPoint Trajectory::PositionAt(double t) const {
+  if (points_.empty()) return {};
+  if (t <= points_.front().t) return points_.front();
+  if (t >= points_.back().t) return points_.back();
+  // Binary search for the segment containing t.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), t,
+      [](const TrajectoryPoint& p, double value) { return p.t < value; });
+  const TrajectoryPoint& hi = *it;
+  const TrajectoryPoint& lo = *(it - 1);
+  double span = hi.t - lo.t;
+  double frac = span > 0.0 ? (t - lo.t) / span : 0.0;
+  return {t, lo.x + frac * (hi.x - lo.x), lo.y + frac * (hi.y - lo.y)};
+}
+
+Trajectory Trajectory::ResampleByTime(double period_seconds) const {
+  Trajectory out;
+  if (points_.empty() || period_seconds <= 0.0) return out;
+  for (double t = points_.front().t; t <= points_.back().t;
+       t += period_seconds) {
+    out.Append(PositionAt(t));
+  }
+  return out;
+}
+
+bool Trajectory::IsTimeOrdered() const {
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].t < points_[i - 1].t) return false;
+  }
+  return true;
+}
+
+}  // namespace tsdm

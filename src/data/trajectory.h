@@ -1,0 +1,59 @@
+#ifndef TSDM_DATA_TRAJECTORY_H_
+#define TSDM_DATA_TRAJECTORY_H_
+
+#include <cmath>
+#include <vector>
+
+namespace tsdm {
+
+/// One GPS fix: position at a time (Definition 3 element).
+struct TrajectoryPoint {
+  double t = 0.0;  ///< seconds since epoch (or trace start)
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A trajectory: a time-ordered sequence of (location, time) pairs capturing
+/// a moving object (Definition 3).
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<TrajectoryPoint> points)
+      : points_(std::move(points)) {}
+
+  size_t NumPoints() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  const TrajectoryPoint& point(size_t i) const { return points_[i]; }
+  const std::vector<TrajectoryPoint>& points() const { return points_; }
+
+  void Append(const TrajectoryPoint& p) { points_.push_back(p); }
+
+  /// Total elapsed time; 0 for fewer than 2 points.
+  double Duration() const;
+  /// Total Euclidean path length; 0 for fewer than 2 points.
+  double Length() const;
+  /// Average speed = Length / Duration; 0 when Duration is 0.
+  double AverageSpeed() const;
+
+  /// Linear-interpolated position at time t (clamped to the trace extent).
+  TrajectoryPoint PositionAt(double t) const;
+
+  /// Returns a copy resampled at a fixed period, starting at the first fix.
+  Trajectory ResampleByTime(double period_seconds) const;
+
+  /// True when point times are non-decreasing.
+  bool IsTimeOrdered() const;
+
+ private:
+  std::vector<TrajectoryPoint> points_;
+};
+
+inline double EuclideanDistance(double ax, double ay, double bx, double by) {
+  double dx = ax - bx, dy = ay - by;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace tsdm
+
+#endif  // TSDM_DATA_TRAJECTORY_H_

@@ -1,0 +1,50 @@
+#include "src/data/window.h"
+
+#include <algorithm>
+
+namespace tsdm {
+
+Result<SupervisedWindows> MakeSupervised(const std::vector<double>& values,
+                                         int lags, int horizon) {
+  if (lags < 1 || horizon < 1) {
+    return Status::InvalidArgument("MakeSupervised: lags/horizon must be >=1");
+  }
+  int n = static_cast<int>(values.size());
+  int num_rows = n - lags - horizon + 1;
+  if (num_rows <= 0) {
+    return Status::InvalidArgument("MakeSupervised: series too short");
+  }
+  SupervisedWindows out;
+  out.features = Matrix(num_rows, lags);
+  out.targets.resize(num_rows);
+  for (int i = 0; i < num_rows; ++i) {
+    for (int j = 0; j < lags; ++j) {
+      out.features(i, j) = values[i + j];
+    }
+    out.targets[i] = values[i + lags + horizon - 1];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> SlidingSubsequences(
+    const std::vector<double>& values, int window, int stride) {
+  std::vector<std::vector<double>> out;
+  if (window <= 0 || stride <= 0) return out;
+  int n = static_cast<int>(values.size());
+  for (int start = 0; start + window <= n; start += stride) {
+    out.emplace_back(values.begin() + start, values.begin() + start + window);
+  }
+  return out;
+}
+
+SeriesSplit TrainTestSplit(const std::vector<double>& values,
+                           double train_fraction) {
+  SeriesSplit split;
+  train_fraction = std::clamp(train_fraction, 0.0, 1.0);
+  size_t cut = static_cast<size_t>(values.size() * train_fraction);
+  split.train.assign(values.begin(), values.begin() + cut);
+  split.test.assign(values.begin() + cut, values.end());
+  return split;
+}
+
+}  // namespace tsdm

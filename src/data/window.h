@@ -1,0 +1,39 @@
+#ifndef TSDM_DATA_WINDOW_H_
+#define TSDM_DATA_WINDOW_H_
+
+#include <vector>
+
+#include "src/common/matrix.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// A supervised dataset carved from a series with sliding windows:
+/// row i of `features` holds the `lags` most recent values (oldest first) and
+/// `targets[i]` the value `horizon` steps ahead of the window end.
+struct SupervisedWindows {
+  Matrix features;
+  std::vector<double> targets;
+};
+
+/// Builds lagged-feature / future-target pairs from a univariate sequence.
+/// Requires lags >= 1, horizon >= 1 and a sequence long enough for at least
+/// one window; fails with InvalidArgument otherwise.
+Result<SupervisedWindows> MakeSupervised(const std::vector<double>& values,
+                                         int lags, int horizon);
+
+/// Extracts all length-`window` subsequences with the given stride.
+std::vector<std::vector<double>> SlidingSubsequences(
+    const std::vector<double>& values, int window, int stride);
+
+/// Splits a sequence at floor(n * train_fraction) into train/test halves.
+struct SeriesSplit {
+  std::vector<double> train;
+  std::vector<double> test;
+};
+SeriesSplit TrainTestSplit(const std::vector<double>& values,
+                           double train_fraction);
+
+}  // namespace tsdm
+
+#endif  // TSDM_DATA_WINDOW_H_

@@ -1,0 +1,64 @@
+#include "src/decision/imitation/route_imitation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace tsdm {
+
+void RouteImitator::AddExpertPath(const std::vector<int>& edge_path) {
+  for (int eid : edge_path) {
+    if (eid >= 0 && eid < static_cast<int>(usage_.size())) {
+      usage_[eid] += 1.0;
+    }
+  }
+  trained_ = false;
+}
+
+Status RouteImitator::Train() {
+  double total = 0.0;
+  for (double u : usage_) total += u;
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("RouteImitator: no expert paths");
+  }
+  max_log_usage_ = 0.0;
+  for (double u : usage_) {
+    max_log_usage_ = std::max(max_log_usage_, std::log1p(u));
+  }
+  if (max_log_usage_ <= 0.0) max_log_usage_ = 1.0;
+  trained_ = true;
+  return Status::OK();
+}
+
+EdgeCostFn RouteImitator::LearnedCost() const {
+  // Capture by value what we need; the network pointer stays borrowed.
+  const RoadNetwork* network = network_;
+  std::vector<double> usage = usage_;
+  double max_log = max_log_usage_;
+  double max_discount = options_.max_discount;
+  return [network, usage, max_log, max_discount](int eid) {
+    double base = network->FreeFlowTime(eid);
+    double normalized = std::log1p(usage[eid]) / max_log;  // in [0,1]
+    return base * (1.0 - max_discount * normalized);
+  };
+}
+
+Result<Path> RouteImitator::Route(int source, int target) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("RouteImitator: call Train() first");
+  }
+  return ShortestPath(*network_, source, target, LearnedCost());
+}
+
+double RouteImitator::PathJaccard(const std::vector<int>& a,
+                                  const std::vector<int>& b) {
+  std::set<int> sa(a.begin(), a.end());
+  std::set<int> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (int e : sa) inter += sb.count(e);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,57 @@
+#ifndef TSDM_DECISION_IMITATION_ROUTE_IMITATION_H_
+#define TSDM_DECISION_IMITATION_ROUTE_IMITATION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/spatial/road_network.h"
+#include "src/spatial/shortest_path.h"
+
+namespace tsdm {
+
+/// Learning-based decision making ([56]): learn to route like expert
+/// drivers from their (sparse) trajectories. Edges frequently used by
+/// experts get a cost discount proportional to log-usage, so the learned
+/// cost surface reproduces expert detours that pure shortest-path routing
+/// misses (e.g. avoiding chronically congested arterials).
+class RouteImitator {
+ public:
+  struct Options {
+    /// Maximal relative discount of a heavily used edge (0..1).
+    double max_discount = 0.6;
+  };
+
+  /// The network must outlive the imitator.
+  explicit RouteImitator(const RoadNetwork* network)
+      : network_(network), usage_(network->NumEdges(), 0.0) {}
+  RouteImitator(const RoadNetwork* network, Options options)
+      : network_(network), options_(options),
+        usage_(network->NumEdges(), 0.0) {}
+
+  /// Adds one expert edge path (e.g. from map matching).
+  void AddExpertPath(const std::vector<int>& edge_path);
+
+  /// Finalizes the learned cost surface; fails without any expert path.
+  Status Train();
+
+  /// The learned edge cost function (valid after Train()).
+  EdgeCostFn LearnedCost() const;
+
+  /// Routes with the learned costs.
+  Result<Path> Route(int source, int target) const;
+
+  /// Edge-set overlap |A ∩ B| / |A ∪ B| of two paths.
+  static double PathJaccard(const std::vector<int>& a,
+                            const std::vector<int>& b);
+
+ private:
+  const RoadNetwork* network_;
+  Options options_;
+  std::vector<double> usage_;
+  double max_log_usage_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_DECISION_IMITATION_ROUTE_IMITATION_H_

@@ -1,0 +1,116 @@
+#ifndef TSDM_DECISION_MAINTENANCE_MAINTENANCE_H_
+#define TSDM_DECISION_MAINTENANCE_MAINTENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/sim/degradation.h"
+
+namespace tsdm {
+
+/// Maintenance decision policies (§II-D predictive maintenance): each
+/// review, given the recent health readings, decide whether to schedule
+/// maintenance before the next review. Failures cost far more than
+/// planned maintenance (unplanned downtime), while maintaining too early
+/// wastes remaining useful life.
+class MaintenancePolicy {
+ public:
+  virtual ~MaintenancePolicy() = default;
+  virtual std::string Name() const = 0;
+  /// True = maintain now. `readings` is the full observed health history
+  /// since the last restoration.
+  virtual bool ShouldMaintain(const std::vector<double>& readings) = 0;
+};
+
+/// Run-to-failure: never maintains proactively (repairs on failure only).
+class RunToFailurePolicy : public MaintenancePolicy {
+ public:
+  std::string Name() const override { return "run-to-failure"; }
+  bool ShouldMaintain(const std::vector<double>&) override { return false; }
+};
+
+/// Fixed-interval preventive maintenance, regardless of condition.
+class ScheduledPolicy : public MaintenancePolicy {
+ public:
+  explicit ScheduledPolicy(int interval) : interval_(interval) {}
+  std::string Name() const override;
+  bool ShouldMaintain(const std::vector<double>& readings) override {
+    return static_cast<int>(readings.size()) >= interval_;
+  }
+
+ private:
+  int interval_;
+};
+
+/// Condition threshold: maintain when the smoothed reading drops below a
+/// fixed health level.
+class ConditionThresholdPolicy : public MaintenancePolicy {
+ public:
+  ConditionThresholdPolicy(double health_threshold, int smooth_window = 8)
+      : threshold_(health_threshold), window_(smooth_window) {}
+  std::string Name() const override;
+  bool ShouldMaintain(const std::vector<double>& readings) override;
+
+ private:
+  double threshold_;
+  int window_;
+};
+
+/// Predictive policy: fits a degradation trend to the recent readings,
+/// bootstraps the distribution of health at the next review, and
+/// maintains when P(health < failure_threshold before next review)
+/// exceeds `risk_tolerance` — decision making under uncertainty applied
+/// to maintenance.
+class PredictiveMaintenancePolicy : public MaintenancePolicy {
+ public:
+  struct Options {
+    double failure_threshold = 20.0;
+    double risk_tolerance = 0.10;  ///< act when failure risk exceeds this
+    int horizon = 24;              ///< steps until the next review
+    int fit_window = 96;           ///< recent readings used for the trend
+    int bootstrap_samples = 200;
+    uint64_t seed = 37;
+  };
+
+  PredictiveMaintenancePolicy() : rng_(options_.seed) {}
+  explicit PredictiveMaintenancePolicy(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  std::string Name() const override;
+  bool ShouldMaintain(const std::vector<double>& readings) override;
+
+  /// Estimated failure probability within the horizon given readings
+  /// (exposed for tests and calibration studies).
+  double FailureProbability(const std::vector<double>& readings);
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+/// Outcome of replaying a policy on a fleet of simulated machines.
+struct MaintenanceOutcome {
+  int failures = 0;           ///< unplanned breakdowns
+  int maintenances = 0;       ///< planned services
+  double mean_life_used = 0.0;  ///< mean fraction of usable life consumed
+                                ///< at service time (1 = serviced at the
+                                ///< brink, higher utilization is better)
+  double cost = 0.0;          ///< failures * failure_cost +
+                              ///< maintenances * service_cost
+};
+
+/// Replays `policy` on `machines` independent units for `steps` steps with
+/// a decision every `review_period` steps.
+MaintenanceOutcome SimulateMaintenance(const DegradationSpec& spec,
+                                       MaintenancePolicy* policy,
+                                       int machines, int steps,
+                                       int review_period,
+                                       double failure_cost = 100.0,
+                                       double service_cost = 10.0,
+                                       uint64_t seed = 99);
+
+}  // namespace tsdm
+
+#endif  // TSDM_DECISION_MAINTENANCE_MAINTENANCE_H_

@@ -1,0 +1,23 @@
+#include "src/decision/multiobj/emissions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsdm {
+
+double EmissionModel::EmissionsFor(double meters, double speed) const {
+  double s = std::max(0.5, speed);
+  double deviation = (s - optimal_speed) / optimal_speed;
+  double factor = 1.0 + curvature * deviation * deviation;
+  return base_grams_per_meter * factor * meters;
+}
+
+EdgeCostFn EmissionCost(const RoadNetwork& network,
+                        const EmissionModel& model) {
+  return [&network, model](int eid) {
+    const auto& e = network.edge(eid);
+    return model.EmissionsFor(e.length, e.free_flow_speed);
+  };
+}
+
+}  // namespace tsdm

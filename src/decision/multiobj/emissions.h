@@ -1,0 +1,31 @@
+#ifndef TSDM_DECISION_MULTIOBJ_EMISSIONS_H_
+#define TSDM_DECISION_MULTIOBJ_EMISSIONS_H_
+
+#include "src/spatial/road_network.h"
+#include "src/spatial/shortest_path.h"
+
+namespace tsdm {
+
+/// Eco-driving support (§II-D): a speed-dependent emission model so fuel /
+/// CO2 can join travel time and distance as skyline criteria. Uses the
+/// classic U-shaped emission-per-km curve: high at crawling speeds
+/// (idling) and at high speeds (drag), minimal around `optimal_speed`.
+struct EmissionModel {
+  double base_grams_per_meter = 0.12;   ///< at the optimal speed
+  double optimal_speed = 13.9;          ///< m/s (~50 km/h)
+  /// Curvature of the U: extra emissions grow quadratically with the
+  /// relative deviation from the optimal speed.
+  double curvature = 1.8;
+
+  /// Emissions in grams for traversing `meters` at `speed` (m/s).
+  double EmissionsFor(double meters, double speed) const;
+};
+
+/// Edge cost function: grams of CO2 when driving the edge at its free-flow
+/// speed — the third criterion for eco-routing skylines.
+EdgeCostFn EmissionCost(const RoadNetwork& network,
+                        const EmissionModel& model);
+
+}  // namespace tsdm
+
+#endif  // TSDM_DECISION_MULTIOBJ_EMISSIONS_H_

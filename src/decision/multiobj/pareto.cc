@@ -1,0 +1,172 @@
+#include "src/decision/multiobj/pareto.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace tsdm {
+
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) return false;
+  bool strict = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+std::vector<size_t> ParetoFront(
+    const std::vector<std::vector<double>>& costs) {
+  std::vector<size_t> front;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < costs.size() && !dominated; ++j) {
+      if (i != j && Dominates(costs[j], costs[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+int ScalarizedBest(const std::vector<std::vector<double>>& costs,
+                   const std::vector<double>& weights) {
+  int best = -1;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < costs.size(); ++i) {
+    double value = 0.0;
+    for (size_t j = 0; j < costs[i].size() && j < weights.size(); ++j) {
+      value += weights[j] * costs[i][j];
+    }
+    if (value < best_value) {
+      best_value = value;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+namespace {
+
+struct Label {
+  std::vector<double> costs;
+  std::vector<int> edges;
+  int node = -1;
+};
+
+/// Inserts `label` into `labels` unless dominated; removes labels it
+/// dominates. Returns true if inserted.
+bool InsertLabel(std::vector<Label>* labels, Label label, int max_labels) {
+  for (const Label& existing : *labels) {
+    if (Dominates(existing.costs, label.costs) ||
+        existing.costs == label.costs) {
+      return false;
+    }
+  }
+  labels->erase(std::remove_if(labels->begin(), labels->end(),
+                               [&](const Label& existing) {
+                                 return Dominates(label.costs,
+                                                  existing.costs);
+                               }),
+                labels->end());
+  if (static_cast<int>(labels->size()) >= max_labels) {
+    // Drop the label with the worst first-criterion value to stay bounded.
+    auto worst = std::max_element(
+        labels->begin(), labels->end(), [](const Label& a, const Label& b) {
+          return a.costs[0] < b.costs[0];
+        });
+    if (worst->costs[0] <= label.costs[0]) return false;
+    *worst = std::move(label);
+    return true;
+  }
+  labels->push_back(std::move(label));
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<SkylinePath>> SkylineRoutes(
+    const RoadNetwork& network, int source, int target,
+    const std::vector<EdgeCostFn>& criteria, int max_labels) {
+  if (criteria.empty()) {
+    return Status::InvalidArgument("SkylineRoutes: no criteria");
+  }
+  if (source < 0 || target < 0 ||
+      source >= static_cast<int>(network.NumNodes()) ||
+      target >= static_cast<int>(network.NumNodes())) {
+    return Status::OutOfRange("SkylineRoutes: node id out of range");
+  }
+  size_t m = criteria.size();
+  std::vector<std::vector<Label>> labels(network.NumNodes());
+  std::deque<Label> queue;
+  Label start;
+  start.costs.assign(m, 0.0);
+  start.node = source;
+  labels[source].push_back(start);
+  queue.push_back(start);
+
+  while (!queue.empty()) {
+    Label current = std::move(queue.front());
+    queue.pop_front();
+    // Stale check: the label may have been pruned at its node.
+    bool alive = false;
+    for (const Label& l : labels[current.node]) {
+      if (l.costs == current.costs && l.edges == current.edges) {
+        alive = true;
+        break;
+      }
+    }
+    if (!alive) continue;
+    if (current.node == target) continue;  // extend only non-terminal labels
+
+    for (int eid : network.OutEdges(current.node)) {
+      const auto& e = network.edge(eid);
+      Label next;
+      next.node = e.to;
+      next.edges = current.edges;
+      next.edges.push_back(eid);
+      next.costs.resize(m);
+      bool valid = true;
+      for (size_t c = 0; c < m; ++c) {
+        double delta = criteria[c](eid);
+        if (delta < 0.0) valid = false;
+        next.costs[c] = current.costs[c] + delta;
+      }
+      if (!valid) continue;
+      // Loop avoidance: skip if the edge's head already appears.
+      bool loops = false;
+      int node_walk = source;
+      for (int pe : current.edges) {
+        node_walk = network.edge(pe).to;
+        if (node_walk == e.to) {
+          loops = true;
+          break;
+        }
+      }
+      if (e.to == source) loops = true;
+      if (loops) continue;
+      if (InsertLabel(&labels[e.to], next, max_labels)) {
+        queue.push_back(std::move(next));
+      }
+    }
+  }
+
+  if (labels[target].empty()) {
+    return Status::NotFound("SkylineRoutes: target unreachable");
+  }
+  std::vector<SkylinePath> out;
+  for (const Label& l : labels[target]) {
+    SkylinePath sp;
+    sp.costs = l.costs;
+    sp.path.edges = l.edges;
+    sp.path.cost = l.costs[0];
+    sp.path.nodes.push_back(source);
+    for (int eid : l.edges) {
+      sp.path.nodes.push_back(network.edge(eid).to);
+    }
+    out.push_back(std::move(sp));
+  }
+  return out;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,44 @@
+#ifndef TSDM_DECISION_MULTIOBJ_PARETO_H_
+#define TSDM_DECISION_MULTIOBJ_PARETO_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/spatial/road_network.h"
+#include "src/spatial/shortest_path.h"
+
+namespace tsdm {
+
+/// Multi-objective decision making (§II-D): Pareto optimality over cost
+/// vectors (all criteria minimized) and preference-function scalarization.
+
+/// True when a dominates b: a <= b in every criterion and a < b somewhere.
+bool Dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Indices of the Pareto-optimal (non-dominated) cost vectors.
+std::vector<size_t> ParetoFront(
+    const std::vector<std::vector<double>>& costs);
+
+/// Index minimizing the weighted sum of criteria ([54]-style preference
+/// function); weights need not be normalized. Returns -1 for empty input.
+int ScalarizedBest(const std::vector<std::vector<double>>& costs,
+                   const std::vector<double>& weights);
+
+/// A path annotated with one cost per criterion.
+struct SkylinePath {
+  Path path;
+  std::vector<double> costs;
+};
+
+/// Stochastic-skyline-style route search ([15]): multi-criteria
+/// label-correcting search that keeps, per node, only labels not dominated
+/// by another label at that node. Returns the Pareto set of paths from
+/// source to target under the given edge-cost criteria. `max_labels` caps
+/// per-node label lists to bound the exponential worst case.
+Result<std::vector<SkylinePath>> SkylineRoutes(
+    const RoadNetwork& network, int source, int target,
+    const std::vector<EdgeCostFn>& criteria, int max_labels = 32);
+
+}  // namespace tsdm
+
+#endif  // TSDM_DECISION_MULTIOBJ_PARETO_H_

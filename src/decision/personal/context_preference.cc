@@ -1,0 +1,126 @@
+#include "src/decision/personal/context_preference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tsdm {
+
+DecisionContext DecisionContext::FromTime(double time_of_day_seconds,
+                                          bool weekend) {
+  DecisionContext ctx;
+  double hours = std::fmod(time_of_day_seconds / 3600.0, 24.0);
+  if (hours < 0.0) hours += 24.0;
+  ctx.hour_bucket = std::min(kHourBuckets - 1,
+                             static_cast<int>(hours / (24.0 / kHourBuckets)));
+  ctx.weekend = weekend;
+  return ctx;
+}
+
+void ContextualPreferenceModel::AddObservation(
+    ChoiceObservation observation) {
+  observations_.push_back(std::move(observation));
+  trained_ = false;
+}
+
+double ContextualPreferenceModel::Agreement(
+    const std::vector<double>& weights,
+    const std::vector<const ChoiceObservation*>& subset) const {
+  if (subset.empty()) return 0.0;
+  int hits = 0;
+  for (const ChoiceObservation* obs : subset) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_idx = -1;
+    for (size_t i = 0; i < obs->candidate_costs.size(); ++i) {
+      double value = 0.0;
+      for (size_t j = 0;
+           j < weights.size() && j < obs->candidate_costs[i].size(); ++j) {
+        value += weights[j] * obs->candidate_costs[i][j];
+      }
+      if (value < best) {
+        best = value;
+        best_idx = static_cast<int>(i);
+      }
+    }
+    if (best_idx == obs->chosen) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(subset.size());
+}
+
+Status ContextualPreferenceModel::Train() {
+  if (observations_.empty()) {
+    return Status::FailedPrecondition("preference model: no observations");
+  }
+  int num_groups = options_.contextual ? DecisionContext::kNumContexts : 1;
+  weights_.assign(num_groups,
+                  std::vector<double>(options_.num_criteria,
+                                      1.0 / options_.num_criteria));
+
+  // Group observations.
+  std::vector<std::vector<const ChoiceObservation*>> groups(num_groups);
+  for (const auto& obs : observations_) {
+    int g = options_.contextual ? obs.context.Index() : 0;
+    groups[g].push_back(&obs);
+  }
+
+  Rng rng(options_.seed);
+  for (int g = 0; g < num_groups; ++g) {
+    if (groups[g].empty()) continue;  // keep the uniform default
+    double best_agreement = Agreement(weights_[g], groups[g]);
+    for (int s = 0; s < options_.samples; ++s) {
+      // Random point on the simplex via exponential spacing.
+      std::vector<double> w(options_.num_criteria);
+      double total = 0.0;
+      for (double& x : w) {
+        x = rng.Exponential(1.0);
+        total += x;
+      }
+      for (double& x : w) x /= total;
+      double agreement = Agreement(w, groups[g]);
+      if (agreement > best_agreement) {
+        best_agreement = agreement;
+        weights_[g] = w;
+      }
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+const std::vector<double>& ContextualPreferenceModel::WeightsFor(
+    const DecisionContext& context) const {
+  int g = options_.contextual ? context.Index() : 0;
+  return weights_[g];
+}
+
+int ContextualPreferenceModel::Choose(
+    const DecisionContext& context,
+    const std::vector<std::vector<double>>& candidates) const {
+  if (candidates.empty() || !trained_) return -1;
+  const std::vector<double>& w = WeightsFor(context);
+  double best = std::numeric_limits<double>::infinity();
+  int best_idx = -1;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double value = 0.0;
+    for (size_t j = 0; j < w.size() && j < candidates[i].size(); ++j) {
+      value += w[j] * candidates[i][j];
+    }
+    if (value < best) {
+      best = value;
+      best_idx = static_cast<int>(i);
+    }
+  }
+  return best_idx;
+}
+
+double ContextualPreferenceModel::TrainingAgreement() const {
+  if (!trained_ || observations_.empty()) return 0.0;
+  int hits = 0;
+  for (const auto& obs : observations_) {
+    if (Choose(obs.context, obs.candidate_costs) == obs.chosen) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(observations_.size());
+}
+
+}  // namespace tsdm

@@ -1,0 +1,82 @@
+#ifndef TSDM_DECISION_PERSONAL_CONTEXT_PREFERENCE_H_
+#define TSDM_DECISION_PERSONAL_CONTEXT_PREFERENCE_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// A decision context ([29], [55]): time-of-day bucket x weekend flag.
+/// Preferences over criteria (time, distance, fuel, ...) depend on it —
+/// e.g. commuters weight time heavily on weekday mornings.
+struct DecisionContext {
+  int hour_bucket = 0;   ///< 0..num_hour_buckets-1
+  bool weekend = false;
+
+  static constexpr int kHourBuckets = 4;
+  /// Flat context index in [0, kNumContexts).
+  int Index() const { return hour_bucket * 2 + (weekend ? 1 : 0); }
+  static constexpr int kNumContexts = kHourBuckets * 2;
+
+  /// Buckets a time of day (seconds) and weekday flag.
+  static DecisionContext FromTime(double time_of_day_seconds, bool weekend);
+};
+
+/// One observed choice: in `context`, among candidate cost vectors, the
+/// decision maker picked `chosen`.
+struct ChoiceObservation {
+  DecisionContext context;
+  std::vector<std::vector<double>> candidate_costs;
+  int chosen = 0;
+};
+
+/// Learns per-context preference weights from observed choices by
+/// maximizing choice agreement over random simplex samples — simple,
+/// derivative-free, and adequate for low-dimensional preference vectors.
+/// A `global` variant (single shared weight vector) serves as the
+/// non-personalized baseline.
+class ContextualPreferenceModel {
+ public:
+  struct Options {
+    int num_criteria = 2;
+    int samples = 400;     ///< random simplex points tried per context
+    bool contextual = true;  ///< false = single global weight vector
+    uint64_t seed = 29;
+  };
+
+  ContextualPreferenceModel() = default;
+  explicit ContextualPreferenceModel(Options options) : options_(options) {}
+
+  void AddObservation(ChoiceObservation observation);
+
+  /// Fits weights; fails when no observations were added.
+  Status Train();
+
+  /// The learned weights for a context (global weights when contextual is
+  /// off). Valid after Train().
+  const std::vector<double>& WeightsFor(const DecisionContext& context) const;
+
+  /// Chooses among candidates with the learned preference (scalarized
+  /// argmin). Returns -1 for empty candidates.
+  int Choose(const DecisionContext& context,
+             const std::vector<std::vector<double>>& candidates) const;
+
+  /// Fraction of training observations whose choice the model reproduces.
+  double TrainingAgreement() const;
+
+ private:
+  /// Agreement of a weight vector on a subset of observations.
+  double Agreement(const std::vector<double>& weights,
+                   const std::vector<const ChoiceObservation*>& subset) const;
+
+  Options options_;
+  std::vector<ChoiceObservation> observations_;
+  std::vector<std::vector<double>> weights_;  // per context (or 1 global)
+  bool trained_ = false;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_DECISION_PERSONAL_CONTEXT_PREFERENCE_H_

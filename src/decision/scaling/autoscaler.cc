@@ -1,0 +1,93 @@
+#include "src/decision/scaling/autoscaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsdm {
+
+Result<ScalingDecision> ReactivePolicy::Decide(
+    const std::vector<double>& demand_history, int horizon) {
+  (void)horizon;
+  if (demand_history.empty()) {
+    return Status::InvalidArgument("reactive: empty history");
+  }
+  size_t lookback = std::min<size_t>(lookback_, demand_history.size());
+  double peak = 0.0;
+  for (size_t i = demand_history.size() - lookback;
+       i < demand_history.size(); ++i) {
+    peak = std::max(peak, demand_history[i]);
+  }
+  return ScalingDecision{peak * (1.0 + headroom_)};
+}
+
+std::string PredictivePolicy::Name() const {
+  return "predictive(q=" + std::to_string(options_.quantile) + ")";
+}
+
+Result<ScalingDecision> PredictivePolicy::Decide(
+    const std::vector<double>& demand_history, int horizon) {
+  if (static_cast<int>(demand_history.size()) < 3 * options_.season) {
+    // Not enough history for the seasonal model yet: reactive fallback.
+    ReactivePolicy fallback;
+    return fallback.Decide(demand_history, horizon);
+  }
+  HoltWintersForecaster model(options_.season);
+  Status st = model.Fit(demand_history);
+  if (!st.ok()) return st;
+  Result<std::vector<Histogram>> dist = BootstrapForecastDistribution(
+      model, demand_history, horizon, options_.bootstrap_samples, &rng_);
+  if (!dist.ok()) {
+    ReactivePolicy fallback;
+    return fallback.Decide(demand_history, horizon);
+  }
+  double capacity = 0.0;
+  for (const Histogram& h : *dist) {
+    capacity = std::max(capacity, h.Quantile(options_.quantile));
+  }
+  // Surge memory: never dip below the demand observed right now.
+  capacity = std::max(capacity, demand_history.back() * options_.recent_floor);
+  return ScalingDecision{std::max(0.0, capacity)};
+}
+
+Result<AutoscaleOutcome> SimulateAutoscaling(
+    const std::vector<double>& demand, AutoscalePolicy* policy,
+    int review_period, int warmup) {
+  int n = static_cast<int>(demand.size());
+  if (review_period < 1 || warmup < 1 || warmup >= n) {
+    return Status::InvalidArgument("SimulateAutoscaling: bad parameters");
+  }
+  AutoscaleOutcome outcome;
+  double capacity = -1.0;
+  int violations = 0, steps = 0;
+  double capacity_sum = 0.0, over_sum = 0.0;
+
+  for (int t = warmup; t < n; t += review_period) {
+    std::vector<double> history(demand.begin(), demand.begin() + t);
+    Result<ScalingDecision> decision =
+        policy->Decide(history, review_period);
+    if (!decision.ok()) return decision.status();
+    if (capacity < 0.0 || std::fabs(decision->capacity - capacity) >
+                              1e-9 * std::max(1.0, capacity)) {
+      ++outcome.scale_events;
+    }
+    capacity = decision->capacity;
+    for (int s = t; s < std::min(n, t + review_period); ++s) {
+      ++steps;
+      capacity_sum += capacity;
+      if (demand[s] > capacity) {
+        ++violations;
+      } else {
+        over_sum += capacity - demand[s];
+      }
+    }
+  }
+  if (steps == 0) {
+    return Status::FailedPrecondition("SimulateAutoscaling: no scored steps");
+  }
+  outcome.violation_rate = static_cast<double>(violations) / steps;
+  outcome.mean_capacity = capacity_sum / steps;
+  outcome.mean_overprovision = over_sum / steps;
+  return outcome;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,91 @@
+#ifndef TSDM_DECISION_SCALING_AUTOSCALER_H_
+#define TSDM_DECISION_SCALING_AUTOSCALER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analytics/forecast/forecaster.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// A capacity decision for the next review period.
+struct ScalingDecision {
+  double capacity = 0.0;
+};
+
+/// Interface for autoscaling policies (MagicScaler scenario [6]): given the
+/// demand history up to now, pick the capacity to provision for the next
+/// `horizon` steps.
+class AutoscalePolicy {
+ public:
+  virtual ~AutoscalePolicy() = default;
+  virtual std::string Name() const = 0;
+  virtual Result<ScalingDecision> Decide(
+      const std::vector<double>& demand_history, int horizon) = 0;
+};
+
+/// Reactive baseline: provisions the recent peak plus a fixed headroom —
+/// what most production autoscalers do, and what surges defeat.
+class ReactivePolicy : public AutoscalePolicy {
+ public:
+  ReactivePolicy(double headroom = 0.15, int lookback = 6)
+      : headroom_(headroom), lookback_(lookback) {}
+  std::string Name() const override { return "reactive"; }
+  Result<ScalingDecision> Decide(const std::vector<double>& demand_history,
+                                 int horizon) override;
+
+ private:
+  double headroom_;
+  int lookback_;
+};
+
+/// Predictive, uncertainty-aware policy (MagicScaler analog): forecasts the
+/// demand distribution over the horizon via residual bootstrap and
+/// provisions the per-step `quantile` of the maximum — meeting the target
+/// service level with minimal over-provisioning.
+class PredictivePolicy : public AutoscalePolicy {
+ public:
+  struct Options {
+    int season = 144;       ///< steps per day for the internal forecaster
+    double quantile = 0.95; ///< service-level target
+    int bootstrap_samples = 200;
+    /// Safety floor: never provision below the most recent demand times
+    /// this factor — keeps surge memory the pure forecast would drop.
+    double recent_floor = 1.05;
+    uint64_t seed = 31;
+  };
+
+  PredictivePolicy() : rng_(options_.seed) {}
+  explicit PredictivePolicy(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  std::string Name() const override;
+  Result<ScalingDecision> Decide(const std::vector<double>& demand_history,
+                                 int horizon) override;
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+/// Outcome of replaying a policy against a demand trace.
+struct AutoscaleOutcome {
+  double violation_rate = 0.0;   ///< fraction of steps with demand > capacity
+  double mean_capacity = 0.0;    ///< provisioning cost proxy
+  double mean_overprovision = 0.0;  ///< average (capacity - demand)+ per step
+  int scale_events = 0;          ///< capacity changes
+};
+
+/// Replays `policy` over the demand trace: every `review_period` steps the
+/// policy decides the capacity for the next period based on the history so
+/// far. The first `warmup` steps are history-only.
+Result<AutoscaleOutcome> SimulateAutoscaling(
+    const std::vector<double>& demand, AutoscalePolicy* policy,
+    int review_period, int warmup);
+
+}  // namespace tsdm
+
+#endif  // TSDM_DECISION_SCALING_AUTOSCALER_H_

@@ -1,0 +1,31 @@
+#include "src/decision/uncertain/dominance.h"
+
+namespace tsdm {
+
+std::vector<int> FsdNonDominated(const std::vector<Histogram>& candidates) {
+  std::vector<int> survivors;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < candidates.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (candidates[j].DominatesForMinimization(candidates[i])) {
+        dominated = true;
+      }
+    }
+    if (!dominated) survivors.push_back(static_cast<int>(i));
+  }
+  return survivors;
+}
+
+PruneStats FsdPruneStats(const std::vector<Histogram>& candidates) {
+  PruneStats stats;
+  stats.total = static_cast<int>(candidates.size());
+  stats.survivors = static_cast<int>(FsdNonDominated(candidates).size());
+  stats.pruned_fraction =
+      stats.total > 0
+          ? 1.0 - static_cast<double>(stats.survivors) / stats.total
+          : 0.0;
+  return stats;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,30 @@
+#ifndef TSDM_DECISION_UNCERTAIN_DOMINANCE_H_
+#define TSDM_DECISION_UNCERTAIN_DOMINANCE_H_
+
+#include <vector>
+
+#include "src/governance/uncertainty/histogram.h"
+
+namespace tsdm {
+
+/// First-order stochastic dominance pruning for cost minimization
+/// ([51]–[53]): candidate A dominates B when A's cost CDF lies (weakly)
+/// above B's everywhere — every expected-utility maximizer with a
+/// non-increasing utility then prefers A, so B can be discarded *before*
+/// the (expensive) per-utility evaluation.
+
+/// Indices of candidates not FSD-dominated by any other candidate,
+/// in their original order.
+std::vector<int> FsdNonDominated(const std::vector<Histogram>& candidates);
+
+/// Pruning statistics for reporting.
+struct PruneStats {
+  int total = 0;
+  int survivors = 0;
+  double pruned_fraction = 0.0;
+};
+PruneStats FsdPruneStats(const std::vector<Histogram>& candidates);
+
+}  // namespace tsdm
+
+#endif  // TSDM_DECISION_UNCERTAIN_DOMINANCE_H_

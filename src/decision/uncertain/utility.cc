@@ -1,0 +1,51 @@
+#include "src/decision/uncertain/utility.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tsdm {
+
+std::string ExponentialUtility::Name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s(a=%g)",
+                a_ > 0.0 ? "risk-averse" : "risk-loving", a_);
+  return buf;
+}
+
+double ExponentialUtility::operator()(double cost) const {
+  double c = cost / scale_;
+  if (std::fabs(a_) < 1e-12) return -c;
+  return (1.0 - std::exp(a_ * c)) / a_;
+}
+
+std::string DeadlineUtility::Name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "deadline(%g)", deadline_);
+  return buf;
+}
+
+double ExpectedUtility(const Histogram& cost,
+                       const UtilityFunction& utility) {
+  double acc = 0.0;
+  for (int b = 0; b < cost.NumBins(); ++b) {
+    double mass = cost.BinMass(b);
+    if (mass > 0.0) acc += mass * utility(cost.BinCenter(b));
+  }
+  return acc;
+}
+
+int BestByExpectedUtility(const std::vector<Histogram>& candidates,
+                          const UtilityFunction& utility) {
+  int best = -1;
+  double best_value = 0.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double value = ExpectedUtility(candidates[i], utility);
+    if (best < 0 || value > best_value) {
+      best = static_cast<int>(i);
+      best_value = value;
+    }
+  }
+  return best;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,111 @@
+#include "src/governance/fusion/aligner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsdm {
+
+Result<TimeSeries> TimeGridAligner::Resample(const TimeSeries& series,
+                                             int64_t start,
+                                             int64_t step_seconds,
+                                             size_t num_steps) const {
+  if (step_seconds <= 0) {
+    return Status::InvalidArgument("Resample: step must be positive");
+  }
+  if (!series.HasSortedTimestamps()) {
+    return Status::FailedPrecondition("Resample: unsorted timestamps");
+  }
+  TimeSeries out = TimeSeries::Regular(start, step_seconds, num_steps,
+                                       series.NumChannels());
+  const auto& ts = series.timestamps();
+  for (size_t g = 0; g < num_steps; ++g) {
+    int64_t t = start + static_cast<int64_t>(g) * step_seconds;
+    // Index of first timestamp >= t.
+    auto right = std::lower_bound(ts.begin(), ts.end(), t);
+    for (size_t c = 0; c < series.NumChannels(); ++c) {
+      double value = kMissingValue;
+      // Find the nearest observed values left/right of t in this channel.
+      double left_v = kMissingValue, right_v = kMissingValue;
+      int64_t left_t = 0, right_t = 0;
+      for (auto it = right; it != ts.end(); ++it) {
+        size_t i = static_cast<size_t>(it - ts.begin());
+        if (!series.IsMissing(i, c)) {
+          right_v = series.At(i, c);
+          right_t = *it;
+          break;
+        }
+      }
+      for (auto it = right; it != ts.begin();) {
+        --it;
+        size_t i = static_cast<size_t>(it - ts.begin());
+        if (!series.IsMissing(i, c)) {
+          left_v = series.At(i, c);
+          left_t = *it;
+          break;
+        }
+      }
+      bool has_left =
+          std::isfinite(left_v) && (t - left_t) <= options_.max_gap_seconds;
+      bool has_right =
+          std::isfinite(right_v) && (right_t - t) <= options_.max_gap_seconds;
+      if (has_left && has_right) {
+        if (right_t == left_t) {
+          value = left_v;
+        } else {
+          double frac = static_cast<double>(t - left_t) /
+                        static_cast<double>(right_t - left_t);
+          value = left_v + frac * (right_v - left_v);
+        }
+      } else if (has_left) {
+        value = left_v;
+      } else if (has_right) {
+        value = right_v;
+      }
+      out.Set(g, c, value);
+    }
+  }
+  return out;
+}
+
+Result<TimeSeries> TimeGridAligner::Fuse(const std::vector<TimeSeries>& inputs,
+                                         int64_t step_seconds) const {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("Fuse: no inputs");
+  }
+  int64_t start = inputs[0].timestamps().empty()
+                      ? 0
+                      : inputs[0].Timestamp(0);
+  int64_t end = inputs[0].timestamps().empty()
+                    ? 0
+                    : inputs[0].Timestamp(inputs[0].NumSteps() - 1);
+  for (const auto& in : inputs) {
+    if (in.empty()) return Status::InvalidArgument("Fuse: empty input");
+    start = std::max(start, in.Timestamp(0));
+    end = std::min(end, in.Timestamp(in.NumSteps() - 1));
+  }
+  if (end < start) {
+    return Status::FailedPrecondition("Fuse: input time ranges do not overlap");
+  }
+  size_t num_steps = static_cast<size_t>((end - start) / step_seconds) + 1;
+
+  size_t total_channels = 0;
+  for (const auto& in : inputs) total_channels += in.NumChannels();
+  TimeSeries fused =
+      TimeSeries::Regular(start, step_seconds, num_steps, total_channels);
+
+  size_t channel_offset = 0;
+  for (const auto& in : inputs) {
+    Result<TimeSeries> resampled =
+        Resample(in, start, step_seconds, num_steps);
+    if (!resampled.ok()) return resampled.status();
+    for (size_t g = 0; g < num_steps; ++g) {
+      for (size_t c = 0; c < in.NumChannels(); ++c) {
+        fused.Set(g, channel_offset + c, resampled->At(g, c));
+      }
+    }
+    channel_offset += in.NumChannels();
+  }
+  return fused;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,42 @@
+#ifndef TSDM_GOVERNANCE_FUSION_ALIGNER_H_
+#define TSDM_GOVERNANCE_FUSION_ALIGNER_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/time_series.h"
+
+namespace tsdm {
+
+/// Feature-based multi-modal fusion (§II-B): aligns heterogeneous series
+/// sampled at different rates/offsets onto one regular time grid, so e.g.
+/// traffic speed, weather, and point-of-interest activity become channels
+/// of a single feature series for forecasting ([18], [19]).
+class TimeGridAligner {
+ public:
+  struct Options {
+    /// Observations further than this from a grid point contribute nothing
+    /// (the cell stays missing).
+    int64_t max_gap_seconds = 3600;
+  };
+
+  TimeGridAligner() = default;
+  explicit TimeGridAligner(Options options) : options_(options) {}
+
+  /// Resamples one series onto the grid [start, start + step*num_steps) by
+  /// time-weighted linear interpolation between the enclosing observations.
+  Result<TimeSeries> Resample(const TimeSeries& series, int64_t start,
+                              int64_t step_seconds, size_t num_steps) const;
+
+  /// Resamples every input onto a common grid and concatenates channels.
+  /// The grid spans the intersection of the input time ranges.
+  Result<TimeSeries> Fuse(const std::vector<TimeSeries>& inputs,
+                          int64_t step_seconds) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_GOVERNANCE_FUSION_ALIGNER_H_

@@ -1,0 +1,191 @@
+#include "src/governance/fusion/map_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "src/spatial/geometry.h"
+#include "src/spatial/shortest_path.h"
+
+namespace tsdm {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+struct Candidate {
+  int edge_id = -1;
+  SegmentProjection projection;
+};
+
+/// Candidate edges for a point, nearest first, capped.
+std::vector<Candidate> CandidatesFor(const RoadNetwork& network,
+                                     const Point2D& p, double radius,
+                                     int max_candidates) {
+  std::vector<Candidate> out;
+  for (int eid : EdgesNear(network, p, radius)) {
+    Candidate c;
+    c.edge_id = eid;
+    c.projection = ProjectOntoEdge(network, eid, p);
+    out.push_back(c);
+    if (static_cast<int>(out.size()) >= max_candidates) break;
+  }
+  return out;
+}
+
+/// On-network route distance from a position on edge e1 (at `f1` of its
+/// length) to a position on edge e2 (at `f2`). `dist_from_to_node` is the
+/// shortest length-distance vector from e1's head node.
+double RouteDistance(const RoadNetwork& network, int e1, double f1, int e2,
+                     double f2, const std::vector<double>& dist_from_to_node) {
+  const auto& edge1 = network.edge(e1);
+  const auto& edge2 = network.edge(e2);
+  if (e1 == e2 && f2 >= f1) {
+    return (f2 - f1) * edge1.length;
+  }
+  // Leave e1, travel to e2's tail, enter e2.
+  double d = dist_from_to_node[edge2.from];
+  if (!std::isfinite(d)) return std::numeric_limits<double>::infinity();
+  return (1.0 - f1) * edge1.length + d + f2 * edge2.length;
+}
+
+}  // namespace
+
+Result<MapMatchResult> HmmMapMatcher::Match(const Trajectory& gps) const {
+  if (gps.empty()) {
+    return Status::InvalidArgument("Match: empty trajectory");
+  }
+  size_t n = gps.NumPoints();
+  std::vector<std::vector<Candidate>> candidates(n);
+  for (size_t i = 0; i < n; ++i) {
+    Point2D p{gps.point(i).x, gps.point(i).y};
+    candidates[i] = CandidatesFor(*network_, p, options_.search_radius,
+                                  options_.max_candidates);
+    if (candidates[i].empty()) {
+      // One retry with a doubled radius covers occasional large GPS errors.
+      candidates[i] = CandidatesFor(*network_, p, 2.0 * options_.search_radius,
+                                    options_.max_candidates);
+    }
+    if (candidates[i].empty()) {
+      return Status::NotFound("Match: point " + std::to_string(i) +
+                              " has no nearby edge");
+    }
+  }
+
+  auto emission_logp = [&](const Candidate& c) {
+    double z = c.projection.distance / options_.gps_stddev;
+    return -0.5 * z * z;  // constant terms cancel in Viterbi
+  };
+
+  // Viterbi.
+  std::vector<std::vector<double>> score(n);
+  std::vector<std::vector<int>> parent(n);
+  score[0].resize(candidates[0].size());
+  parent[0].assign(candidates[0].size(), -1);
+  for (size_t c = 0; c < candidates[0].size(); ++c) {
+    score[0][c] = emission_logp(candidates[0][c]);
+  }
+
+  // Cache of shortest-path trees keyed by source node, per step.
+  for (size_t i = 1; i < n; ++i) {
+    score[i].assign(candidates[i].size(), kNegInf);
+    parent[i].assign(candidates[i].size(), -1);
+    double gc = EuclideanDistance(gps.point(i - 1).x, gps.point(i - 1).y,
+                                  gps.point(i).x, gps.point(i).y);
+    std::map<int, std::vector<double>> tree_cache;
+    for (size_t a = 0; a < candidates[i - 1].size(); ++a) {
+      if (score[i - 1][a] == kNegInf) continue;
+      const Candidate& ca = candidates[i - 1][a];
+      int src = network_->edge(ca.edge_id).to;
+      auto it = tree_cache.find(src);
+      if (it == tree_cache.end()) {
+        it = tree_cache
+                 .emplace(src, ShortestPathTree(*network_, src,
+                                                LengthCost(*network_)))
+                 .first;
+      }
+      for (size_t b = 0; b < candidates[i].size(); ++b) {
+        const Candidate& cb = candidates[i][b];
+        double route = RouteDistance(*network_, ca.edge_id,
+                                     ca.projection.fraction, cb.edge_id,
+                                     cb.projection.fraction, it->second);
+        if (!std::isfinite(route)) continue;
+        double transition_logp =
+            -std::fabs(gc - route) / options_.transition_beta;
+        double s = score[i - 1][a] + transition_logp + emission_logp(cb);
+        if (s > score[i][b]) {
+          score[i][b] = s;
+          parent[i][b] = static_cast<int>(a);
+        }
+      }
+    }
+    // If every transition was infeasible (disconnected), restart the chain
+    // at this point rather than failing the whole trace.
+    bool any = false;
+    for (double s : score[i]) any = any || (s != kNegInf);
+    if (!any) {
+      for (size_t b = 0; b < candidates[i].size(); ++b) {
+        score[i][b] = emission_logp(candidates[i][b]);
+        parent[i][b] = -1;
+      }
+    }
+  }
+
+  // Backtrack.
+  MapMatchResult result;
+  result.matched_edges.resize(n);
+  size_t best_last = 0;
+  for (size_t b = 1; b < score[n - 1].size(); ++b) {
+    if (score[n - 1][b] > score[n - 1][best_last]) best_last = b;
+  }
+  result.log_likelihood = score[n - 1][best_last];
+  int cur = static_cast<int>(best_last);
+  for (size_t i = n; i-- > 0;) {
+    result.matched_edges[i] = candidates[i][cur].edge_id;
+    int prev = parent[i][cur];
+    if (prev < 0 && i > 0) {
+      // Chain restart: pick the best state of the previous step.
+      size_t best = 0;
+      for (size_t b = 1; b < score[i - 1].size(); ++b) {
+        if (score[i - 1][b] > score[i - 1][best]) best = b;
+      }
+      cur = static_cast<int>(best);
+    } else if (prev >= 0) {
+      cur = prev;
+    }
+  }
+  for (int eid : result.matched_edges) {
+    if (result.edge_path.empty() || result.edge_path.back() != eid) {
+      result.edge_path.push_back(eid);
+    }
+  }
+  return result;
+}
+
+Result<MapMatchResult> NearestEdgeMatch(const RoadNetwork& network,
+                                        const Trajectory& gps,
+                                        double search_radius) {
+  if (gps.empty()) {
+    return Status::InvalidArgument("NearestEdgeMatch: empty trajectory");
+  }
+  MapMatchResult result;
+  result.matched_edges.resize(gps.NumPoints());
+  for (size_t i = 0; i < gps.NumPoints(); ++i) {
+    Point2D p{gps.point(i).x, gps.point(i).y};
+    std::vector<int> near = EdgesNear(network, p, search_radius);
+    if (near.empty()) {
+      return Status::NotFound("NearestEdgeMatch: point " + std::to_string(i) +
+                              " has no nearby edge");
+    }
+    result.matched_edges[i] = near.front();
+  }
+  for (int eid : result.matched_edges) {
+    if (result.edge_path.empty() || result.edge_path.back() != eid) {
+      result.edge_path.push_back(eid);
+    }
+  }
+  return result;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,61 @@
+#ifndef TSDM_GOVERNANCE_FUSION_MAP_MATCHER_H_
+#define TSDM_GOVERNANCE_FUSION_MAP_MATCHER_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/trajectory.h"
+#include "src/spatial/road_network.h"
+
+namespace tsdm {
+
+/// Output of matching a GPS trace onto the road network.
+struct MapMatchResult {
+  /// Chosen edge id for each input GPS point.
+  std::vector<int> matched_edges;
+  /// The matched edge sequence with consecutive duplicates collapsed.
+  std::vector<int> edge_path;
+  /// Viterbi log-probability of the chosen assignment.
+  double log_likelihood = 0.0;
+};
+
+/// Alignment-based multi-modal fusion (§II-B): HMM map matching in the
+/// style of Newson & Krumm [17]. States are candidate edge projections,
+/// emissions are Gaussian in the projection distance, and transitions favor
+/// candidates whose on-network route distance matches the point-to-point
+/// great-circle distance.
+class HmmMapMatcher {
+ public:
+  struct Options {
+    double search_radius = 60.0;    ///< candidate radius, meters
+    double gps_stddev = 15.0;       ///< emission sigma, meters
+    double transition_beta = 25.0;  ///< transition exponential scale, meters
+    int max_candidates = 8;         ///< per-point candidate cap
+  };
+
+  /// The network must outlive the matcher.
+  explicit HmmMapMatcher(const RoadNetwork* network)
+      : network_(network) {}
+  HmmMapMatcher(const RoadNetwork* network, Options options)
+      : network_(network), options_(options) {}
+
+  /// Matches a GPS trace. Fails when some point has no candidate edge
+  /// within the search radius (after one radius doubling) or the trace is
+  /// empty.
+  Result<MapMatchResult> Match(const Trajectory& gps) const;
+
+ private:
+  const RoadNetwork* network_;
+  Options options_;
+};
+
+/// Baseline matcher: each point independently snaps to the nearest edge.
+/// Ignores continuity, so it degrades rapidly with GPS noise — the contrast
+/// the map-matching experiment (E3) demonstrates.
+Result<MapMatchResult> NearestEdgeMatch(const RoadNetwork& network,
+                                        const Trajectory& gps,
+                                        double search_radius = 120.0);
+
+}  // namespace tsdm
+
+#endif  // TSDM_GOVERNANCE_FUSION_MAP_MATCHER_H_

@@ -1,0 +1,76 @@
+#include "src/governance/imputation/graph_completion.h"
+
+#include <cmath>
+
+#include "src/common/stats.h"
+
+namespace tsdm {
+
+Status GraphCompletion::CompleteSnapshot(const SensorGraph& graph,
+                                         std::vector<double>* values) const {
+  size_t n = values->size();
+  if (n != graph.NumSensors()) {
+    return Status::InvalidArgument(
+        "CompleteSnapshot: value count != sensor count");
+  }
+  std::vector<bool> observed(n);
+  std::vector<double> finite;
+  for (size_t i = 0; i < n; ++i) {
+    observed[i] = std::isfinite((*values)[i]);
+    if (observed[i]) finite.push_back((*values)[i]);
+  }
+  if (finite.empty()) {
+    if (!options_.fallback_to_mean) {
+      return Status::FailedPrecondition(
+          "CompleteSnapshot: no observed sensors");
+    }
+    return Status::FailedPrecondition(
+        "CompleteSnapshot: snapshot entirely missing");
+  }
+  double global_mean = Mean(finite);
+
+  // Initialize unknowns at the global mean, then propagate.
+  std::vector<double> x = *values;
+  for (size_t i = 0; i < n; ++i) {
+    if (!observed[i]) x[i] = global_mean;
+  }
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    double max_delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (observed[i]) continue;
+      double acc = 0.0, wsum = 0.0;
+      for (const auto& nb : graph.Neighbors(static_cast<int>(i))) {
+        acc += nb.weight * x[nb.id];
+        wsum += nb.weight;
+      }
+      double next = wsum > 0.0 ? acc / wsum
+                               : (options_.fallback_to_mean ? global_mean
+                                                            : x[i]);
+      max_delta = std::max(max_delta, std::fabs(next - x[i]));
+      x[i] = next;
+    }
+    if (max_delta < options_.tolerance) break;
+  }
+  *values = std::move(x);
+  return Status::OK();
+}
+
+Status GraphCompletion::CompleteSeries(CorrelatedTimeSeries* cts) const {
+  TSDM_RETURN_IF_ERROR(cts->Validate());
+  size_t n = cts->NumSensors();
+  for (size_t t = 0; t < cts->NumSteps(); ++t) {
+    std::vector<double> snapshot(n);
+    bool any_missing = false;
+    for (size_t s = 0; s < n; ++s) {
+      snapshot[s] = cts->At(t, s);
+      any_missing = any_missing || !std::isfinite(snapshot[s]);
+    }
+    if (!any_missing) continue;
+    Status st = CompleteSnapshot(cts->graph(), &snapshot);
+    if (!st.ok()) continue;  // fully-missing step: leave for temporal pass
+    for (size_t s = 0; s < n; ++s) cts->Set(t, s, snapshot[s]);
+  }
+  return Status::OK();
+}
+
+}  // namespace tsdm

@@ -1,0 +1,45 @@
+#ifndef TSDM_GOVERNANCE_IMPUTATION_GRAPH_COMPLETION_H_
+#define TSDM_GOVERNANCE_IMPUTATION_GRAPH_COMPLETION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/correlated_time_series.h"
+#include "src/data/sensor_graph.h"
+
+namespace tsdm {
+
+/// Graph-based semi-supervised completion ([11], [12]): missing sensor
+/// values at a snapshot are inferred by harmonic label propagation on the
+/// weighted sensor graph — each unobserved sensor converges to the
+/// weighted average of its neighbors, with observed sensors clamped.
+class GraphCompletion {
+ public:
+  struct Options {
+    int max_iterations = 200;
+    double tolerance = 1e-8;
+    /// Blend toward the observed global mean for sensors in components with
+    /// no observed sensor at all (otherwise they would stay undefined).
+    bool fallback_to_mean = true;
+  };
+
+  GraphCompletion() = default;
+  explicit GraphCompletion(Options options) : options_(options) {}
+
+  /// Completes one snapshot: `values` has one entry per sensor, NaN where
+  /// unobserved; missing entries are replaced in place.
+  /// Fails when the snapshot has no observed value and no fallback.
+  Status CompleteSnapshot(const SensorGraph& graph,
+                          std::vector<double>* values) const;
+
+  /// Completes every time step of a correlated series independently
+  /// (spatial completion; see SpatioTemporalImputer for the combined mode).
+  Status CompleteSeries(CorrelatedTimeSeries* cts) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_GOVERNANCE_IMPUTATION_GRAPH_COMPLETION_H_

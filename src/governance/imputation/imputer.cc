@@ -1,0 +1,243 @@
+#include "src/governance/imputation/imputer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/matrix.h"
+#include "src/common/stats.h"
+
+namespace tsdm {
+
+namespace {
+
+/// Indices of observed entries of a channel vector.
+std::vector<size_t> ObservedIndices(const std::vector<double>& v) {
+  std::vector<size_t> idx;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (std::isfinite(v[i])) idx.push_back(i);
+  }
+  return idx;
+}
+
+/// Fits AR(p) coefficients (plus intercept) by ridge least squares over all
+/// observed runs of length > p. Returns empty on insufficient data.
+std::vector<double> FitArOnRuns(const std::vector<double>& v, int p) {
+  std::vector<std::vector<double>> feats;
+  std::vector<double> targets;
+  int n = static_cast<int>(v.size());
+  for (int t = p; t < n; ++t) {
+    bool complete = std::isfinite(v[t]);
+    for (int j = 1; j <= p && complete; ++j) {
+      complete = std::isfinite(v[t - j]);
+    }
+    if (!complete) continue;
+    std::vector<double> row(p + 1);
+    row[0] = 1.0;  // intercept
+    for (int j = 1; j <= p; ++j) row[j] = v[t - j];
+    feats.push_back(std::move(row));
+    targets.push_back(v[t]);
+  }
+  if (static_cast<int>(targets.size()) < 3 * p) return {};
+  Matrix x = Matrix::FromRows(feats);
+  Result<std::vector<double>> w = RidgeSolve(x, targets, 1e-3);
+  if (!w.ok()) return {};
+  return *w;
+}
+
+/// One-step AR prediction from `history` (most recent last) with
+/// coefficients (intercept first). history.size() must be >= order.
+double ArPredict(const std::vector<double>& coeffs,
+                 const std::vector<double>& history) {
+  int p = static_cast<int>(coeffs.size()) - 1;
+  double y = coeffs[0];
+  for (int j = 1; j <= p; ++j) {
+    y += coeffs[j] * history[history.size() - j];
+  }
+  return y;
+}
+
+}  // namespace
+
+Status MeanImputer::Impute(TimeSeries* series) const {
+  for (size_t c = 0; c < series->NumChannels(); ++c) {
+    std::vector<double> observed = FiniteValues(series->Channel(c));
+    if (observed.empty()) continue;
+    double m = Mean(observed);
+    for (size_t t = 0; t < series->NumSteps(); ++t) {
+      if (series->IsMissing(t, c)) series->Set(t, c, m);
+    }
+  }
+  return Status::OK();
+}
+
+Status LocfImputer::Impute(TimeSeries* series) const {
+  for (size_t c = 0; c < series->NumChannels(); ++c) {
+    std::vector<double> v = series->Channel(c);
+    auto obs = ObservedIndices(v);
+    if (obs.empty()) continue;
+    // Backfill the leading gap, then carry forward.
+    double last = v[obs.front()];
+    for (size_t t = 0; t < v.size(); ++t) {
+      if (std::isfinite(v[t])) {
+        last = v[t];
+      } else {
+        series->Set(t, c, last);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status LinearInterpolationImputer::Impute(TimeSeries* series) const {
+  for (size_t c = 0; c < series->NumChannels(); ++c) {
+    std::vector<double> v = series->Channel(c);
+    auto obs = ObservedIndices(v);
+    if (obs.empty()) continue;
+    for (size_t t = 0; t < v.size(); ++t) {
+      if (std::isfinite(v[t])) continue;
+      // Nearest observed neighbors around t.
+      auto right = std::lower_bound(obs.begin(), obs.end(), t);
+      if (right == obs.begin()) {
+        series->Set(t, c, v[obs.front()]);
+      } else if (right == obs.end()) {
+        series->Set(t, c, v[obs.back()]);
+      } else {
+        size_t hi = *right;
+        size_t lo = *(right - 1);
+        double frac = static_cast<double>(t - lo) /
+                      static_cast<double>(hi - lo);
+        series->Set(t, c, v[lo] + frac * (v[hi] - v[lo]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status KnnChannelImputer::Impute(TimeSeries* series) const {
+  size_t channels = series->NumChannels();
+  if (channels < 2) {
+    return LinearInterpolationImputer().Impute(series);
+  }
+  // Correlations and regression scale between channel pairs on overlap.
+  std::vector<std::vector<double>> chan(channels);
+  for (size_t c = 0; c < channels; ++c) chan[c] = series->Channel(c);
+
+  for (size_t c = 0; c < channels; ++c) {
+    // Rank other channels by |correlation| with c.
+    std::vector<std::pair<double, size_t>> ranked;
+    for (size_t o = 0; o < channels; ++o) {
+      if (o == c) continue;
+      std::vector<double> a, b;
+      for (size_t t = 0; t < series->NumSteps(); ++t) {
+        if (std::isfinite(chan[c][t]) && std::isfinite(chan[o][t])) {
+          a.push_back(chan[c][t]);
+          b.push_back(chan[o][t]);
+        }
+      }
+      double r = PearsonCorrelation(a, b);
+      ranked.push_back({-std::fabs(r), o});
+    }
+    std::sort(ranked.begin(), ranked.end());
+    size_t use = std::min<size_t>(k_, ranked.size());
+
+    double mean_c = Mean(FiniteValues(chan[c]));
+    double sd_c = Stdev(FiniteValues(chan[c]));
+    // Neighbor standardization statistics, computed once per channel pair.
+    std::vector<double> neighbor_mean(use), neighbor_sd(use);
+    for (size_t k = 0; k < use; ++k) {
+      std::vector<double> finite = FiniteValues(chan[ranked[k].second]);
+      neighbor_mean[k] = Mean(finite);
+      neighbor_sd[k] = Stdev(finite);
+    }
+    for (size_t t = 0; t < series->NumSteps(); ++t) {
+      if (!series->IsMissing(t, c)) continue;
+      double acc = 0.0, wsum = 0.0;
+      for (size_t k = 0; k < use; ++k) {
+        size_t o = ranked[k].second;
+        double w = -ranked[k].first;  // |correlation|
+        if (!std::isfinite(chan[o][t]) || w <= 0.0) continue;
+        // Standardize the neighbor's value into c's scale.
+        double z = neighbor_sd[k] > 0.0
+                       ? (chan[o][t] - neighbor_mean[k]) / neighbor_sd[k]
+                       : 0.0;
+        acc += w * (mean_c + z * sd_c);
+        wsum += w;
+      }
+      if (wsum > 0.0) series->Set(t, c, acc / wsum);
+    }
+  }
+  // Any cells no neighbor could explain fall back to interpolation.
+  return LinearInterpolationImputer().Impute(series);
+}
+
+Status ArBackcastImputer::Impute(TimeSeries* series) const {
+  for (size_t c = 0; c < series->NumChannels(); ++c) {
+    std::vector<double> v = series->Channel(c);
+    auto obs = ObservedIndices(v);
+    if (obs.size() < static_cast<size_t>(4 * order_)) continue;
+
+    std::vector<double> forward_coeffs = FitArOnRuns(v, order_);
+    std::vector<double> reversed(v.rbegin(), v.rend());
+    std::vector<double> backward_coeffs = FitArOnRuns(reversed, order_);
+    if (forward_coeffs.empty() || backward_coeffs.empty()) continue;
+
+    // Long-gap rollouts of an (possibly unstable) AR fit can diverge;
+    // clamp predictions to the observed value range as a governance guard.
+    std::vector<double> observed = FiniteValues(v);
+    double clamp_lo = *std::min_element(observed.begin(), observed.end());
+    double clamp_hi = *std::max_element(observed.begin(), observed.end());
+
+    int n = static_cast<int>(v.size());
+    // Forward pass: roll the AR model through gaps.
+    std::vector<double> fwd = v;
+    for (int t = 0; t < n; ++t) {
+      if (std::isfinite(fwd[t])) continue;
+      if (t >= order_) {
+        bool ready = true;
+        for (int j = 1; j <= order_; ++j) {
+          ready = ready && std::isfinite(fwd[t - j]);
+        }
+        if (ready) {
+          std::vector<double> hist(fwd.begin() + t - order_, fwd.begin() + t);
+          fwd[t] = std::clamp(ArPredict(forward_coeffs, hist), clamp_lo,
+                              clamp_hi);
+        }
+      }
+    }
+    // Backward pass on the reversed series.
+    std::vector<double> bwd(v.rbegin(), v.rend());
+    for (int t = 0; t < n; ++t) {
+      if (std::isfinite(bwd[t])) continue;
+      if (t >= order_) {
+        bool ready = true;
+        for (int j = 1; j <= order_; ++j) {
+          ready = ready && std::isfinite(bwd[t - j]);
+        }
+        if (ready) {
+          std::vector<double> hist(bwd.begin() + t - order_, bwd.begin() + t);
+          bwd[t] = std::clamp(ArPredict(backward_coeffs, hist), clamp_lo,
+                              clamp_hi);
+        }
+      }
+    }
+    std::reverse(bwd.begin(), bwd.end());
+    // Blend: average when both passes produced a value.
+    for (int t = 0; t < n; ++t) {
+      if (!series->IsMissing(t, c)) continue;
+      bool has_f = std::isfinite(fwd[t]);
+      bool has_b = std::isfinite(bwd[t]);
+      if (has_f && has_b) {
+        series->Set(t, c, 0.5 * (fwd[t] + bwd[t]));
+      } else if (has_f) {
+        series->Set(t, c, fwd[t]);
+      } else if (has_b) {
+        series->Set(t, c, bwd[t]);
+      }
+    }
+  }
+  // Whatever remains (e.g. channels too sparse for AR) -> interpolation.
+  return LinearInterpolationImputer().Impute(series);
+}
+
+}  // namespace tsdm

@@ -1,0 +1,80 @@
+#ifndef TSDM_GOVERNANCE_IMPUTATION_IMPUTER_H_
+#define TSDM_GOVERNANCE_IMPUTATION_IMPUTER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/data/time_series.h"
+
+namespace tsdm {
+
+/// Interface for missing-value imputation over a TimeSeries (§II-B).
+/// Implementations fill (some or all) NaN entries in place.
+class Imputer {
+ public:
+  virtual ~Imputer() = default;
+
+  /// Human-readable name for reports and benchmarks.
+  virtual std::string Name() const = 0;
+
+  /// Fills missing entries of `series` in place. Implementations must leave
+  /// observed entries untouched. Entries that cannot be inferred (e.g. a
+  /// fully missing channel for temporal methods) may remain missing.
+  virtual Status Impute(TimeSeries* series) const = 0;
+};
+
+/// Replaces each missing entry with the mean of the channel's observed
+/// values — the weakest meaningful baseline.
+class MeanImputer : public Imputer {
+ public:
+  std::string Name() const override { return "mean"; }
+  Status Impute(TimeSeries* series) const override;
+};
+
+/// Last observation carried forward; leading gaps are backfilled from the
+/// first observation.
+class LocfImputer : public Imputer {
+ public:
+  std::string Name() const override { return "locf"; }
+  Status Impute(TimeSeries* series) const override;
+};
+
+/// Linear interpolation between the nearest observed neighbors in time;
+/// boundary gaps extend the nearest observation.
+class LinearInterpolationImputer : public Imputer {
+ public:
+  std::string Name() const override { return "linear"; }
+  Status Impute(TimeSeries* series) const override;
+};
+
+/// Cross-channel k-NN: a missing entry (t, c) is predicted from the values
+/// at time t of the k channels most correlated with c (correlations are
+/// computed on the observed overlap). Falls back to linear interpolation
+/// when no correlated channel is observed at t.
+class KnnChannelImputer : public Imputer {
+ public:
+  explicit KnnChannelImputer(int k = 3) : k_(k) {}
+  std::string Name() const override { return "knn-channel"; }
+  Status Impute(TimeSeries* series) const override;
+
+ private:
+  int k_;
+};
+
+/// Autoregressive backcast/forecast imputer ([13]-style): fits an AR(p)
+/// model per channel on observed runs, then fills gaps with the average of
+/// the forward forecast and the backward "backcast" across each gap.
+class ArBackcastImputer : public Imputer {
+ public:
+  explicit ArBackcastImputer(int order = 4) : order_(order) {}
+  std::string Name() const override { return "ar-backcast"; }
+  Status Impute(TimeSeries* series) const override;
+
+ private:
+  int order_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_GOVERNANCE_IMPUTATION_IMPUTER_H_

@@ -1,0 +1,72 @@
+#include "src/governance/imputation/st_imputer.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/governance/imputation/graph_completion.h"
+#include "src/governance/imputation/imputer.h"
+
+namespace tsdm {
+
+Status SpatioTemporalImputer::Impute(CorrelatedTimeSeries* cts) const {
+  TSDM_RETURN_IF_ERROR(cts->Validate());
+  if (cts->series().CountMissing() == 0) return Status::OK();
+
+  // Remember the original missing mask so observed data is never modified.
+  size_t steps = cts->NumSteps(), sensors = cts->NumSensors();
+  std::vector<bool> missing(steps * sensors);
+  for (size_t t = 0; t < steps; ++t) {
+    for (size_t s = 0; s < sensors; ++s) {
+      missing[t * sensors + s] = cts->series().IsMissing(t, s);
+    }
+  }
+
+  for (int round = 0; round < options_.rounds; ++round) {
+    // Spatial estimate on a copy restricted to originally observed data.
+    CorrelatedTimeSeries spatial = *cts;
+    for (size_t t = 0; t < steps; ++t) {
+      for (size_t s = 0; s < sensors; ++s) {
+        if (missing[t * sensors + s]) spatial.Set(t, s, kMissingValue);
+      }
+    }
+    GraphCompletion completion;
+    TSDM_RETURN_IF_ERROR(completion.CompleteSeries(&spatial));
+
+    // Temporal estimate likewise.
+    CorrelatedTimeSeries temporal = *cts;
+    for (size_t t = 0; t < steps; ++t) {
+      for (size_t s = 0; s < sensors; ++s) {
+        if (missing[t * sensors + s]) temporal.Set(t, s, kMissingValue);
+      }
+    }
+    LinearInterpolationImputer interp;
+    TSDM_RETURN_IF_ERROR(interp.Impute(&temporal.series()));
+
+    // Blend.
+    double w = options_.spatial_weight;
+    for (size_t t = 0; t < steps; ++t) {
+      for (size_t s = 0; s < sensors; ++s) {
+        if (!missing[t * sensors + s]) continue;
+        double sp = spatial.At(t, s);
+        double te = temporal.At(t, s);
+        bool has_sp = std::isfinite(sp);
+        bool has_te = std::isfinite(te);
+        if (has_sp && has_te) {
+          cts->Set(t, s, w * sp + (1.0 - w) * te);
+        } else if (has_sp) {
+          cts->Set(t, s, sp);
+        } else if (has_te) {
+          cts->Set(t, s, te);
+        }
+      }
+    }
+  }
+  // Anything still missing (e.g. empty graph + empty channel): mean fill.
+  if (cts->series().CountMissing() > 0) {
+    MeanImputer mean;
+    TSDM_RETURN_IF_ERROR(mean.Impute(&cts->series()));
+  }
+  return Status::OK();
+}
+
+}  // namespace tsdm

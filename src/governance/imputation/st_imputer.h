@@ -1,0 +1,34 @@
+#ifndef TSDM_GOVERNANCE_IMPUTATION_ST_IMPUTER_H_
+#define TSDM_GOVERNANCE_IMPUTATION_ST_IMPUTER_H_
+
+#include "src/common/status.h"
+#include "src/data/correlated_time_series.h"
+
+namespace tsdm {
+
+/// Spatio-temporal imputation ([14]-style): alternates a spatial pass
+/// (graph label propagation across sensors at each step) with a temporal
+/// pass (interpolation along each sensor's timeline), blending the two
+/// estimates by confidence. Spatial estimates are trusted more when the
+/// sensor has observed neighbors; temporal estimates when the gap is short.
+class SpatioTemporalImputer {
+ public:
+  struct Options {
+    int rounds = 2;          ///< spatial+temporal alternations
+    double spatial_weight = 0.5;  ///< blend factor in [0,1]
+  };
+
+  SpatioTemporalImputer() = default;
+  explicit SpatioTemporalImputer(Options options) : options_(options) {}
+
+  /// Fills all missing entries of `cts` in place. Always succeeds on a
+  /// validated series with at least one observed value.
+  Status Impute(CorrelatedTimeSeries* cts) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_GOVERNANCE_IMPUTATION_ST_IMPUTER_H_

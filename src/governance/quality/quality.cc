@@ -1,0 +1,78 @@
+#include "src/governance/quality/quality.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/stats.h"
+
+namespace tsdm {
+
+std::string QualityReport::ToString() const {
+  std::ostringstream os;
+  os << "QualityReport: steps=" << num_steps << " channels=" << num_channels
+     << " missing_rate=" << missing_rate
+     << " sorted_timestamps=" << (timestamps_sorted ? "yes" : "no") << "\n";
+  for (size_t c = 0; c < channels.size(); ++c) {
+    const auto& q = channels[c];
+    os << "  channel " << c << ": missing=" << q.missing
+       << " out_of_range=" << q.out_of_range << " mean=" << q.mean
+       << " stdev=" << q.stdev << " range=[" << q.min << ", " << q.max
+       << "]\n";
+  }
+  return os.str();
+}
+
+QualityReport AssessQuality(const TimeSeries& series, const RangeRule* range) {
+  QualityReport report;
+  report.num_steps = series.NumSteps();
+  report.num_channels = series.NumChannels();
+  report.missing_rate = series.MissingRate();
+  report.timestamps_sorted = series.HasSortedTimestamps();
+  report.channels.resize(series.NumChannels());
+  for (size_t c = 0; c < series.NumChannels(); ++c) {
+    ChannelQuality& q = report.channels[c];
+    OnlineStats stats;
+    for (size_t t = 0; t < series.NumSteps(); ++t) {
+      if (series.IsMissing(t, c)) {
+        ++q.missing;
+        continue;
+      }
+      double v = series.At(t, c);
+      stats.Add(v);
+      if (range != nullptr && (v < range->min_value || v > range->max_value)) {
+        ++q.out_of_range;
+      }
+    }
+    q.mean = stats.mean();
+    q.stdev = stats.stdev();
+    q.min = stats.min();
+    q.max = stats.max();
+  }
+  return report;
+}
+
+size_t CleanSeries(TimeSeries* series, const RangeRule& range,
+                   double mad_threshold) {
+  size_t cleared = 0;
+  for (size_t c = 0; c < series->NumChannels(); ++c) {
+    std::vector<double> observed = FiniteValues(series->Channel(c));
+    double med = Median(observed);
+    // 1.4826 rescales MAD to the Gaussian stddev.
+    double scaled_mad = 1.4826 * Mad(observed);
+    for (size_t t = 0; t < series->NumSteps(); ++t) {
+      if (series->IsMissing(t, c)) continue;
+      double v = series->At(t, c);
+      bool bad = v < range.min_value || v > range.max_value;
+      if (!bad && mad_threshold > 0.0 && scaled_mad > 0.0) {
+        bad = std::fabs(v - med) > mad_threshold * scaled_mad;
+      }
+      if (bad) {
+        series->Set(t, c, kMissingValue);
+        ++cleared;
+      }
+    }
+  }
+  return cleared;
+}
+
+}  // namespace tsdm

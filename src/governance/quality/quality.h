@@ -1,0 +1,55 @@
+#ifndef TSDM_GOVERNANCE_QUALITY_QUALITY_H_
+#define TSDM_GOVERNANCE_QUALITY_QUALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/time_series.h"
+
+namespace tsdm {
+
+/// Per-channel quality summary.
+struct ChannelQuality {
+  size_t missing = 0;
+  size_t out_of_range = 0;
+  double mean = 0.0;
+  double stdev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Data-quality assessment of a raw series — the entry point of the
+/// governance stage (§II-B).
+struct QualityReport {
+  size_t num_steps = 0;
+  size_t num_channels = 0;
+  double missing_rate = 0.0;
+  bool timestamps_sorted = true;
+  std::vector<ChannelQuality> channels;
+
+  /// A compact multi-line rendering for logs and examples.
+  std::string ToString() const;
+};
+
+/// Plausibility range for channel values (applied to every channel).
+struct RangeRule {
+  double min_value;
+  double max_value;
+};
+
+/// Computes a quality report; `range` counts out-of-range entries when set.
+QualityReport AssessQuality(const TimeSeries& series,
+                            const RangeRule* range = nullptr);
+
+/// Governance cleaner: marks implausible entries as missing so downstream
+/// imputation can repair them. Returns how many entries were cleared.
+/// - entries outside `range`
+/// - entries further than `mad_threshold` scaled-MADs from the channel
+///   median (robust outlier rule), when mad_threshold > 0
+size_t CleanSeries(TimeSeries* series, const RangeRule& range,
+                   double mad_threshold = 6.0);
+
+}  // namespace tsdm
+
+#endif  // TSDM_GOVERNANCE_QUALITY_QUALITY_H_

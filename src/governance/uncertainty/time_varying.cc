@@ -1,0 +1,49 @@
+#include "src/governance/uncertainty/time_varying.h"
+
+#include <cmath>
+
+namespace tsdm {
+
+int TimeVaryingDistribution::SlotFor(double time_of_day_seconds) const {
+  double t = std::fmod(time_of_day_seconds, 86400.0);
+  if (t < 0.0) t += 86400.0;
+  int slot = static_cast<int>(t / SlotSeconds());
+  return std::min(slot, NumSlots() - 1);
+}
+
+void TimeVaryingDistribution::AddObservation(double time_of_day_seconds,
+                                             double value) {
+  slots_[SlotFor(time_of_day_seconds)].observations.push_back(value);
+  built_ = false;
+}
+
+Status TimeVaryingDistribution::Build(int bins) {
+  std::vector<double> all;
+  for (const auto& s : slots_) {
+    all.insert(all.end(), s.observations.begin(), s.observations.end());
+  }
+  if (all.empty()) {
+    return Status::FailedPrecondition(
+        "TimeVaryingDistribution: no observations");
+  }
+  Result<Histogram> global = Histogram::FromSamples(all, bins);
+  if (!global.ok()) return global.status();
+  for (auto& s : slots_) {
+    if (s.observations.empty()) {
+      s.histogram = *global;
+    } else {
+      Result<Histogram> h = Histogram::FromSamples(s.observations, bins);
+      if (!h.ok()) return h.status();
+      s.histogram = *h;
+    }
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+const Histogram& TimeVaryingDistribution::DistributionAt(
+    double time_of_day_seconds) const {
+  return slots_[SlotFor(time_of_day_seconds)].histogram;
+}
+
+}  // namespace tsdm

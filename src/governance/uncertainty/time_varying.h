@@ -1,0 +1,51 @@
+#ifndef TSDM_GOVERNANCE_UNCERTAINTY_TIME_VARYING_H_
+#define TSDM_GOVERNANCE_UNCERTAINTY_TIME_VARYING_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/governance/uncertainty/histogram.h"
+
+namespace tsdm {
+
+/// A dynamic, uncertain quantity modeled as (I, D) pairs (§II-B): within
+/// time-of-day interval I the quantity follows distribution D. Intervals
+/// partition the day into equal slots.
+class TimeVaryingDistribution {
+ public:
+  TimeVaryingDistribution() = default;
+
+  /// Creates `num_slots` empty slots covering [0, 86400) seconds.
+  explicit TimeVaryingDistribution(int num_slots)
+      : slots_(std::max(1, num_slots)) {}
+
+  int NumSlots() const { return static_cast<int>(slots_.size()); }
+  double SlotSeconds() const { return 86400.0 / NumSlots(); }
+
+  /// Slot index for a time of day (wraps outside [0, 86400)).
+  int SlotFor(double time_of_day_seconds) const;
+
+  /// Adds an observation at a time of day.
+  void AddObservation(double time_of_day_seconds, double value);
+
+  /// Finalizes all slots into `bins`-bin histograms. Slots with no
+  /// observations borrow the global distribution over all observations.
+  Status Build(int bins = 32);
+
+  /// The distribution for a time of day. Valid only after Build().
+  const Histogram& DistributionAt(double time_of_day_seconds) const;
+
+  bool built() const { return built_; }
+
+ private:
+  struct Slot {
+    std::vector<double> observations;
+    Histogram histogram;
+  };
+  std::vector<Slot> slots_;
+  bool built_ = false;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_GOVERNANCE_UNCERTAINTY_TIME_VARYING_H_

@@ -1,0 +1,37 @@
+#include "src/sim/cloud_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsdm {
+
+std::vector<double> GenerateCloudDemand(const CloudDemandSpec& spec, int n,
+                                        Rng* rng) {
+  std::vector<double> demand(n, 0.0);
+  // Pre-draw surge events.
+  double per_step_rate = spec.surges_per_day / spec.steps_per_day;
+  std::vector<std::pair<int, double>> surges;  // (start step, height)
+  for (int t = 0; t < n; ++t) {
+    if (rng->Bernoulli(std::min(1.0, per_step_rate))) {
+      surges.push_back({t, rng->Exponential(1.0 / spec.surge_magnitude)});
+    }
+  }
+  int steps_per_week = spec.steps_per_day * 7;
+  for (int t = 0; t < n; ++t) {
+    double value = spec.base_demand + spec.trend_per_step * t;
+    value += spec.daily_amplitude *
+             std::sin(2.0 * M_PI * t / spec.steps_per_day - M_PI / 2.0);
+    value += spec.weekly_amplitude *
+             std::sin(2.0 * M_PI * t / steps_per_week);
+    for (const auto& [start, height] : surges) {
+      if (t >= start) {
+        value += height * std::exp(-(t - start) / spec.surge_decay_steps);
+      }
+    }
+    value += rng->Normal(0.0, spec.noise_stddev);
+    demand[t] = std::max(0.0, value);
+  }
+  return demand;
+}
+
+}  // namespace tsdm

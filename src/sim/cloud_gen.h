@@ -1,0 +1,32 @@
+#ifndef TSDM_SIM_CLOUD_GEN_H_
+#define TSDM_SIM_CLOUD_GEN_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace tsdm {
+
+/// Synthetic cloud resource-demand generator (MagicScaler-style workload
+/// [6]): diurnal + weekly seasonality, mild trend, Gaussian noise, and
+/// Poisson-arriving surges with exponential decay — the "unexpected surges"
+/// that make uncertainty-aware autoscaling pay off.
+struct CloudDemandSpec {
+  double base_demand = 100.0;      ///< requests/s scale
+  double daily_amplitude = 40.0;
+  double weekly_amplitude = 15.0;
+  double trend_per_step = 0.0;
+  double noise_stddev = 4.0;
+  int steps_per_day = 144;         ///< 10-minute resolution
+  double surges_per_day = 0.4;     ///< Poisson arrival rate
+  double surge_magnitude = 90.0;   ///< mean surge height
+  double surge_decay_steps = 10.0; ///< exponential decay constant
+};
+
+/// Generates `n` steps of demand (never negative).
+std::vector<double> GenerateCloudDemand(const CloudDemandSpec& spec, int n,
+                                        Rng* rng);
+
+}  // namespace tsdm
+
+#endif  // TSDM_SIM_CLOUD_GEN_H_

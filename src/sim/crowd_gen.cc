@@ -1,0 +1,49 @@
+#include "src/sim/crowd_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsdm {
+
+GridSequence GenerateCrowdFlow(const CrowdFlowSpec& spec, int num_intervals,
+                               Rng* rng) {
+  GridSequence out(num_intervals, spec.height, spec.width, 1);
+  double center_r = spec.height / 2.0;
+  double center_c = spec.width / 2.0;
+  for (int t = 0; t < num_intervals; ++t) {
+    double hour = 24.0 * (t % spec.intervals_per_day) /
+                  spec.intervals_per_day;
+    // Blob anchor: downtown during work hours, drifting to the
+    // residential corner in the evening, quiet at night.
+    double day_factor;
+    double anchor_r, anchor_c;
+    if (hour >= 7.0 && hour < 18.0) {
+      day_factor = std::sin(M_PI * (hour - 7.0) / 11.0);
+      anchor_r = center_r;
+      anchor_c = center_c;
+    } else if (hour >= 18.0 && hour < 23.0) {
+      day_factor = 0.7 * std::sin(M_PI * (hour - 18.0) / 5.0);
+      anchor_r = spec.height * 0.8;
+      anchor_c = spec.width * 0.2;
+    } else {
+      day_factor = 0.05;
+      anchor_r = spec.height * 0.8;
+      anchor_c = spec.width * 0.2;
+    }
+    double day = static_cast<double>(t) / spec.intervals_per_day;
+    double level = spec.base_flow + spec.trend_per_day * day;
+    for (int r = 0; r < spec.height; ++r) {
+      for (int c = 0; c < spec.width; ++c) {
+        double dr = r - anchor_r, dc = c - anchor_c;
+        double blob = std::exp(-(dr * dr + dc * dc) /
+                               (2.0 * spec.blob_sigma * spec.blob_sigma));
+        double flow = level + spec.peak_flow * day_factor * blob +
+                      rng->Normal(0.0, spec.noise_stddev);
+        out.Set(t, r, c, 0, std::max(0.0, flow));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,23 @@
+#include "src/sim/degradation.h"
+
+namespace tsdm {
+
+double DegradationProcess::Step() {
+  health_ -= rng_.Gamma(spec_.wear_shape, spec_.wear_scale);
+  if (rng_.Bernoulli(spec_.jump_probability)) {
+    health_ -= rng_.Exponential(1.0 / spec_.jump_magnitude);
+  }
+  return health_ + rng_.Normal(0.0, spec_.sensor_noise);
+}
+
+std::vector<double> RunToFailureTrace(const DegradationSpec& spec,
+                                      uint64_t seed, int max_steps) {
+  DegradationProcess process(spec, seed);
+  std::vector<double> trace;
+  for (int t = 0; t < max_steps && !process.failed(); ++t) {
+    trace.push_back(process.Step());
+  }
+  return trace;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,54 @@
+#ifndef TSDM_SIM_DEGRADATION_H_
+#define TSDM_SIM_DEGRADATION_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace tsdm {
+
+/// Equipment health simulator for the predictive-maintenance scenario
+/// (§II-D). Health degrades by a monotone gamma process with occasional
+/// damage jumps; a sensor observes health plus noise. The unit fails when
+/// true health crosses `failure_threshold`; maintenance restores it.
+struct DegradationSpec {
+  double initial_health = 100.0;
+  double failure_threshold = 20.0;
+  double wear_shape = 1.2;        ///< gamma increments per step
+  double wear_scale = 0.18;
+  double jump_probability = 0.004;  ///< sudden damage events
+  double jump_magnitude = 12.0;
+  double sensor_noise = 1.5;
+};
+
+/// One machine's evolving state.
+class DegradationProcess {
+ public:
+  DegradationProcess(const DegradationSpec& spec, uint64_t seed)
+      : spec_(spec), rng_(seed), health_(spec.initial_health) {}
+
+  /// Advances one step; returns the *observed* (noisy) health reading.
+  double Step();
+
+  double true_health() const { return health_; }
+  bool failed() const { return health_ <= spec_.failure_threshold; }
+
+  /// Restores the unit to full health (maintenance or repair).
+  void Restore() { health_ = spec_.initial_health; }
+
+  const DegradationSpec& spec() const { return spec_; }
+
+ private:
+  DegradationSpec spec_;
+  Rng rng_;
+  double health_;
+};
+
+/// Convenience: a full run-to-failure health trace (observed readings),
+/// ending at the failure step.
+std::vector<double> RunToFailureTrace(const DegradationSpec& spec,
+                                      uint64_t seed, int max_steps = 100000);
+
+}  // namespace tsdm
+
+#endif  // TSDM_SIM_DEGRADATION_H_

@@ -1,0 +1,105 @@
+#include "src/sim/inject.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/stats.h"
+
+namespace tsdm {
+
+size_t InjectMissingMcar(TimeSeries* series, double rate, Rng* rng) {
+  size_t removed = 0;
+  for (size_t t = 0; t < series->NumSteps(); ++t) {
+    for (size_t c = 0; c < series->NumChannels(); ++c) {
+      if (!series->IsMissing(t, c) && rng->Bernoulli(rate)) {
+        series->Set(t, c, kMissingValue);
+        ++removed;
+      }
+    }
+  }
+  return removed;
+}
+
+size_t InjectMissingBlocks(TimeSeries* series, double rate, int block_length,
+                           Rng* rng) {
+  size_t target = static_cast<size_t>(
+      rate * static_cast<double>(series->NumSteps() * series->NumChannels()));
+  size_t removed = 0;
+  int guard = 0;
+  int n = static_cast<int>(series->NumSteps());
+  if (n == 0 || series->NumChannels() == 0 || block_length <= 0) return 0;
+  while (removed < target && guard++ < 100000) {
+    size_t c = static_cast<size_t>(rng->Index(
+        static_cast<int>(series->NumChannels())));
+    int start = rng->Index(std::max(1, n - block_length));
+    for (int t = start; t < std::min(n, start + block_length); ++t) {
+      if (!series->IsMissing(t, c)) {
+        series->Set(t, c, kMissingValue);
+        ++removed;
+      }
+    }
+  }
+  return removed;
+}
+
+std::vector<InjectedAnomaly> InjectAnomalies(TimeSeries* series,
+                                             AnomalyKind kind, int count,
+                                             double magnitude, Rng* rng) {
+  std::vector<InjectedAnomaly> out;
+  int n = static_cast<int>(series->NumSteps());
+  if (n == 0 || series->NumChannels() == 0) return out;
+  for (int i = 0; i < count; ++i) {
+    size_t c = static_cast<size_t>(
+        rng->Index(static_cast<int>(series->NumChannels())));
+    double sd = Stdev(FiniteValues(series->Channel(c)));
+    if (sd <= 0.0) sd = 1.0;
+    InjectedAnomaly a;
+    a.kind = kind;
+    a.channel = c;
+    a.magnitude = magnitude * sd;
+    switch (kind) {
+      case AnomalyKind::kSpike: {
+        a.start = static_cast<size_t>(rng->Index(n));
+        a.length = 1;
+        double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+        series->Set(a.start, c, series->At(a.start, c) + sign * a.magnitude);
+        break;
+      }
+      case AnomalyKind::kLevelShift: {
+        int len = rng->Int(5, 15);
+        a.start = static_cast<size_t>(rng->Index(std::max(1, n - len)));
+        a.length = static_cast<size_t>(len);
+        for (size_t t = a.start; t < a.start + a.length; ++t) {
+          series->Set(t, c, series->At(t, c) + a.magnitude);
+        }
+        break;
+      }
+      case AnomalyKind::kNoiseBurst: {
+        int len = rng->Int(5, 15);
+        a.start = static_cast<size_t>(rng->Index(std::max(1, n - len)));
+        a.length = static_cast<size_t>(len);
+        for (size_t t = a.start; t < a.start + a.length; ++t) {
+          series->Set(t, c, series->At(t, c) + rng->Normal(0.0, a.magnitude));
+        }
+        break;
+      }
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<int> AnomalyLabels(const std::vector<InjectedAnomaly>& anomalies,
+                               size_t channel, size_t num_steps) {
+  std::vector<int> labels(num_steps, 0);
+  for (const auto& a : anomalies) {
+    if (a.channel != channel) continue;
+    for (size_t t = a.start; t < std::min(num_steps, a.start + a.length);
+         ++t) {
+      labels[t] = 1;
+    }
+  }
+  return labels;
+}
+
+}  // namespace tsdm

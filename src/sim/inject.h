@@ -1,0 +1,54 @@
+#ifndef TSDM_SIM_INJECT_H_
+#define TSDM_SIM_INJECT_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/time_series.h"
+
+namespace tsdm {
+
+/// Fault injectors: corrupt clean data in controlled ways so governance and
+/// robustness components can be evaluated against known ground truth.
+
+/// Removes entries completely at random at the given rate. Returns the
+/// number of entries removed.
+size_t InjectMissingMcar(TimeSeries* series, double rate, Rng* rng);
+
+/// Removes contiguous blocks (sensor outages): blocks of `block_length`
+/// steps are dropped per channel until roughly `rate` of entries are gone.
+/// Returns the number of entries removed.
+size_t InjectMissingBlocks(TimeSeries* series, double rate, int block_length,
+                           Rng* rng);
+
+/// Kinds of injected anomalies.
+enum class AnomalyKind {
+  kSpike,       ///< single-point additive outlier
+  kLevelShift,  ///< sustained mean shift over a window
+  kNoiseBurst,  ///< window of greatly inflated variance
+};
+
+/// Ground truth of one injected anomaly.
+struct InjectedAnomaly {
+  AnomalyKind kind;
+  size_t channel;
+  size_t start;
+  size_t length;
+  double magnitude;
+};
+
+/// Injects `count` anomalies of the given kind at random positions and
+/// returns their ground truth. `magnitude` is expressed in multiples of the
+/// channel's standard deviation.
+std::vector<InjectedAnomaly> InjectAnomalies(TimeSeries* series,
+                                             AnomalyKind kind, int count,
+                                             double magnitude, Rng* rng);
+
+/// Builds a per-step 0/1 label vector for one channel from injected ground
+/// truth (1 = anomalous step).
+std::vector<int> AnomalyLabels(const std::vector<InjectedAnomaly>& anomalies,
+                               size_t channel, size_t num_steps);
+
+}  // namespace tsdm
+
+#endif  // TSDM_SIM_INJECT_H_

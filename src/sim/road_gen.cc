@@ -1,0 +1,40 @@
+#include "src/sim/road_gen.h"
+
+namespace tsdm {
+
+RoadNetwork GenerateGridNetwork(const GridNetworkSpec& spec, Rng* rng) {
+  RoadNetwork net;
+  for (int r = 0; r < spec.rows; ++r) {
+    for (int c = 0; c < spec.cols; ++c) {
+      net.AddNode(c * spec.spacing + rng->Normal(0.0, spec.jitter),
+                  r * spec.spacing + rng->Normal(0.0, spec.jitter));
+    }
+  }
+  auto id = [&](int r, int c) { return r * spec.cols + c; };
+  auto pick_speed = [&]() {
+    return rng->Bernoulli(spec.arterial_fraction) ? spec.arterial_speed
+                                                  : spec.local_speed;
+  };
+  auto add_bidirectional = [&](int a, int b) {
+    double speed = pick_speed();
+    net.AddEdge(a, b, speed);
+    net.AddEdge(b, a, speed);
+  };
+  for (int r = 0; r < spec.rows; ++r) {
+    for (int c = 0; c < spec.cols; ++c) {
+      if (c + 1 < spec.cols) add_bidirectional(id(r, c), id(r, c + 1));
+      if (r + 1 < spec.rows) add_bidirectional(id(r, c), id(r + 1, c));
+      if (r + 1 < spec.rows && c + 1 < spec.cols &&
+          rng->Bernoulli(spec.diagonal_probability)) {
+        add_bidirectional(id(r, c), id(r + 1, c + 1));
+      }
+    }
+  }
+  return net;
+}
+
+int GridNodeId(const GridNetworkSpec& spec, int row, int col) {
+  return row * spec.cols + col;
+}
+
+}  // namespace tsdm

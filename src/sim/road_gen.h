@@ -1,0 +1,34 @@
+#ifndef TSDM_SIM_ROAD_GEN_H_
+#define TSDM_SIM_ROAD_GEN_H_
+
+#include "src/common/rng.h"
+#include "src/spatial/road_network.h"
+
+namespace tsdm {
+
+/// Parameters for the synthetic grid road network used across the routing
+/// experiments. Node (r, c) sits at (c*spacing, r*spacing) with small
+/// positional jitter; every lattice neighbor pair is connected in both
+/// directions. Speeds mix two road classes (arterial vs. local).
+struct GridNetworkSpec {
+  int rows = 8;
+  int cols = 8;
+  double spacing = 500.0;        ///< meters
+  double jitter = 25.0;          ///< positional noise, meters
+  double arterial_speed = 16.7;  ///< m/s (~60 km/h)
+  double local_speed = 8.3;      ///< m/s (~30 km/h)
+  double arterial_fraction = 0.3;
+  /// Probability of adding a diagonal shortcut per cell, enriching the
+  /// path diversity the skyline/K-shortest experiments need.
+  double diagonal_probability = 0.15;
+};
+
+/// Generates the grid network.
+RoadNetwork GenerateGridNetwork(const GridNetworkSpec& spec, Rng* rng);
+
+/// Node id of lattice coordinate (row, col) in a generated grid network.
+int GridNodeId(const GridNetworkSpec& spec, int row, int col);
+
+}  // namespace tsdm
+
+#endif  // TSDM_SIM_ROAD_GEN_H_

@@ -1,0 +1,102 @@
+#include "src/sim/traffic_sim.h"
+
+#include <cmath>
+
+namespace tsdm {
+
+double TrafficSimulator::CongestionLevel(double time_of_day_seconds) const {
+  double hours = std::fmod(time_of_day_seconds / 3600.0, 24.0);
+  if (hours < 0.0) hours += 24.0;
+  auto peak = [&](double center) {
+    double d = hours - center;
+    return std::exp(-d * d / (2.0 * spec_.peak_width_hours *
+                              spec_.peak_width_hours));
+  };
+  double level = spec_.base_congestion +
+                 (spec_.peak_congestion - spec_.base_congestion) *
+                     std::max(peak(spec_.morning_peak_hour),
+                              peak(spec_.evening_peak_hour));
+  return level;
+}
+
+std::vector<double> TrafficSimulator::SamplePathEdgeTimes(
+    const std::vector<int>& edge_path, double depart_seconds,
+    Rng* rng) const {
+  double c = CongestionLevel(depart_seconds);
+  double shared = rng->Gamma(spec_.gamma_shape, spec_.gamma_scale);
+  std::vector<double> times;
+  times.reserve(edge_path.size());
+  for (int eid : edge_path) {
+    double local = rng->Gamma(spec_.gamma_shape, spec_.gamma_scale);
+    double severity = spec_.shared_fraction * shared +
+                      (1.0 - spec_.shared_fraction) * local;
+    times.push_back(network_->FreeFlowTime(eid) * (1.0 + c * severity));
+  }
+  return times;
+}
+
+double TrafficSimulator::SamplePathTime(const std::vector<int>& edge_path,
+                                        double depart_seconds,
+                                        Rng* rng) const {
+  double total = 0.0;
+  for (double t : SamplePathEdgeTimes(edge_path, depart_seconds, rng)) {
+    total += t;
+  }
+  return total;
+}
+
+double TrafficSimulator::SampleEdgeTime(int edge_id, double depart_seconds,
+                                        Rng* rng) const {
+  return SamplePathEdgeTimes({edge_id}, depart_seconds, rng)[0];
+}
+
+double TrafficSimulator::MeanEdgeTime(int edge_id,
+                                      double depart_seconds) const {
+  double c = CongestionLevel(depart_seconds);
+  double mean_severity = spec_.gamma_shape * spec_.gamma_scale;
+  return network_->FreeFlowTime(edge_id) * (1.0 + c * mean_severity);
+}
+
+CorrelatedTimeSeries TrafficSimulator::GenerateEdgeSpeedSeries(
+    const std::vector<int>& edges, int num_steps, int step_seconds,
+    Rng* rng) const {
+  SensorGraph graph;
+  for (int eid : edges) {
+    const auto& e = network_->edge(eid);
+    const auto& a = network_->node(e.from);
+    const auto& b = network_->node(e.to);
+    graph.AddSensor((a.x + b.x) / 2.0, (a.y + b.y) / 2.0);
+  }
+  // Link sensors whose edges share an endpoint.
+  for (size_t i = 0; i < edges.size(); ++i) {
+    for (size_t j = i + 1; j < edges.size(); ++j) {
+      const auto& ei = network_->edge(edges[i]);
+      const auto& ej = network_->edge(edges[j]);
+      if (ei.from == ej.from || ei.from == ej.to || ei.to == ej.from ||
+          ei.to == ej.to) {
+        graph.AddEdge(static_cast<int>(i), static_cast<int>(j), 1.0);
+      }
+    }
+  }
+
+  TimeSeries series = TimeSeries::Regular(0, step_seconds, num_steps,
+                                          edges.size());
+  for (int t = 0; t < num_steps; ++t) {
+    double now = static_cast<double>(t) * step_seconds;
+    double c = CongestionLevel(now);
+    // One network-wide severity per step keeps neighboring sensors
+    // correlated, like real congestion waves.
+    double shared = rng->Gamma(spec_.gamma_shape, spec_.gamma_scale);
+    for (size_t s = 0; s < edges.size(); ++s) {
+      double local = rng->Gamma(spec_.gamma_shape, spec_.gamma_scale);
+      double severity = spec_.shared_fraction * shared +
+                        (1.0 - spec_.shared_fraction) * local;
+      double speed =
+          network_->edge(edges[s]).free_flow_speed / (1.0 + c * severity);
+      series.Set(t, s, speed);
+    }
+  }
+  return CorrelatedTimeSeries(std::move(graph), std::move(series));
+}
+
+}  // namespace tsdm

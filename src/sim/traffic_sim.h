@@ -1,0 +1,79 @@
+#ifndef TSDM_SIM_TRAFFIC_SIM_H_
+#define TSDM_SIM_TRAFFIC_SIM_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/correlated_time_series.h"
+#include "src/spatial/road_network.h"
+
+namespace tsdm {
+
+/// Ground-truth generative traffic model over a road network.
+///
+/// Travel time on edge e for a trip departing at time t is
+///   T_e = fft_e * (1 + c(t) * (alpha * S + (1 - alpha) * E_e))
+/// where fft_e is the free-flow time, c(t) a deterministic time-of-day
+/// congestion profile (rush-hour peaks), S a *trip-wide* Gamma severity
+/// shared by all edges of the trip, and E_e an independent per-edge Gamma
+/// severity. `alpha` (shared_fraction) controls how correlated edge times
+/// are along a path — the phenomenon that separates the edge-centric and
+/// path-centric uncertainty paradigms ([15] vs. [4]).
+struct TrafficSpec {
+  double base_congestion = 0.25;   ///< c(t) floor (off-peak)
+  double peak_congestion = 1.25;   ///< c(t) at the center of a rush hour
+  double morning_peak_hour = 8.0;
+  double evening_peak_hour = 17.5;
+  double peak_width_hours = 1.5;   ///< Gaussian width of each peak
+  double shared_fraction = 0.6;    ///< alpha in [0,1]
+  double gamma_shape = 2.0;        ///< severity distribution shape
+  double gamma_scale = 0.5;        ///< severity distribution scale
+};
+
+class TrafficSimulator {
+ public:
+  /// The network must outlive the simulator.
+  TrafficSimulator(const RoadNetwork* network, const TrafficSpec& spec)
+      : network_(network), spec_(spec) {}
+
+  const TrafficSpec& spec() const { return spec_; }
+
+  /// Deterministic congestion level at a time of day (seconds since
+  /// midnight; values outside [0, 86400) wrap).
+  double CongestionLevel(double time_of_day_seconds) const;
+
+  /// Samples the per-edge travel times of one trip along `edge_path`
+  /// departing at `depart_seconds` (drawing one shared severity for the
+  /// whole trip). The trip is assumed short relative to the congestion
+  /// profile, so c(t) is evaluated once at departure.
+  std::vector<double> SamplePathEdgeTimes(const std::vector<int>& edge_path,
+                                          double depart_seconds,
+                                          Rng* rng) const;
+
+  /// Total trip time: sum of SamplePathEdgeTimes.
+  double SamplePathTime(const std::vector<int>& edge_path,
+                        double depart_seconds, Rng* rng) const;
+
+  /// Samples the travel time of a single edge on an *independent* trip —
+  /// the marginal distribution an edge-centric model trains on.
+  double SampleEdgeTime(int edge_id, double depart_seconds, Rng* rng) const;
+
+  /// Mean travel time of an edge at a departure time (analytic).
+  double MeanEdgeTime(int edge_id, double depart_seconds) const;
+
+  /// Generates speed observations (m/s) for loop-detector sensors placed on
+  /// the given edges: one trip per step per edge, sampled every
+  /// `step_seconds` starting at midnight. The sensor graph links edges that
+  /// share a node.
+  CorrelatedTimeSeries GenerateEdgeSpeedSeries(const std::vector<int>& edges,
+                                               int num_steps, int step_seconds,
+                                               Rng* rng) const;
+
+ private:
+  const RoadNetwork* network_;
+  TrafficSpec spec_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_SIM_TRAFFIC_SIM_H_

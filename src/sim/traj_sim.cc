@@ -1,0 +1,67 @@
+#include "src/sim/traj_sim.h"
+
+#include <cmath>
+
+#include "src/spatial/shortest_path.h"
+
+namespace tsdm {
+
+SimulatedDrive SimulateDrive(const RoadNetwork& network,
+                             const TrafficSimulator& traffic,
+                             const std::vector<int>& edge_path,
+                             double depart_seconds, const GpsSpec& gps,
+                             Rng* rng) {
+  SimulatedDrive drive;
+  drive.edge_path = edge_path;
+  std::vector<double> edge_times =
+      traffic.SamplePathEdgeTimes(edge_path, depart_seconds, rng);
+  for (double t : edge_times) drive.total_time += t;
+
+  // Exact position as a function of elapsed time: piecewise-linear along
+  // each edge at that edge's constant realized speed.
+  double elapsed = 0.0;
+  double next_sample = 0.0;
+  for (size_t i = 0; i < edge_path.size(); ++i) {
+    const auto& e = network.edge(edge_path[i]);
+    const auto& a = network.node(e.from);
+    const auto& b = network.node(e.to);
+    double edge_time = edge_times[i];
+    while (next_sample <= elapsed + edge_time) {
+      double frac = edge_time > 0.0 ? (next_sample - elapsed) / edge_time : 1.0;
+      TrajectoryPoint p;
+      p.t = depart_seconds + next_sample;
+      p.x = a.x + frac * (b.x - a.x);
+      p.y = a.y + frac * (b.y - a.y);
+      drive.true_positions.Append(p);
+      if (!rng->Bernoulli(gps.dropout_probability)) {
+        TrajectoryPoint noisy = p;
+        noisy.x += rng->Normal(0.0, gps.noise_stddev);
+        noisy.y += rng->Normal(0.0, gps.noise_stddev);
+        drive.gps.Append(noisy);
+        drive.gps_true_edges.push_back(edge_path[i]);
+      }
+      next_sample += gps.sample_period;
+    }
+    elapsed += edge_time;
+  }
+  return drive;
+}
+
+std::vector<int> RandomPath(const RoadNetwork& network, int min_edges,
+                            int attempts, Rng* rng) {
+  int n = static_cast<int>(network.NumNodes());
+  if (n < 2) return {};
+  for (int i = 0; i < attempts; ++i) {
+    int source = rng->Index(n);
+    int target = rng->Index(n);
+    if (source == target) continue;
+    Result<Path> path =
+        ShortestPath(network, source, target, FreeFlowTimeCost(network));
+    if (path.ok() && static_cast<int>(path->edges.size()) >= min_edges) {
+      return path->edges;
+    }
+  }
+  return {};
+}
+
+}  // namespace tsdm

@@ -1,0 +1,48 @@
+#ifndef TSDM_SIM_TRAJ_SIM_H_
+#define TSDM_SIM_TRAJ_SIM_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/trajectory.h"
+#include "src/sim/traffic_sim.h"
+#include "src/spatial/road_network.h"
+
+namespace tsdm {
+
+/// GPS receiver characteristics for simulated drives.
+struct GpsSpec {
+  double noise_stddev = 15.0;     ///< meters, isotropic Gaussian
+  double sample_period = 10.0;    ///< seconds between fixes
+  double dropout_probability = 0.05;  ///< per-fix loss (tunnels, urban canyons)
+};
+
+/// One simulated drive: the ground-truth edge path and exact positions, and
+/// the degraded GPS trace a receiver would record.
+struct SimulatedDrive {
+  std::vector<int> edge_path;   ///< ground truth
+  Trajectory true_positions;    ///< noiseless fixes at the sample instants
+  Trajectory gps;               ///< noisy, gappy observed trace
+  /// Ground-truth edge id for each *observed* (non-dropped) GPS fix; same
+  /// length as gps.NumPoints(). Used to score map-matching accuracy.
+  std::vector<int> gps_true_edges;
+  double total_time = 0.0;      ///< seconds
+};
+
+/// Drives `edge_path` departing at `depart_seconds`, moving at the travel
+/// times drawn from `traffic`, emitting GPS fixes per `gps`.
+SimulatedDrive SimulateDrive(const RoadNetwork& network,
+                             const TrafficSimulator& traffic,
+                             const std::vector<int>& edge_path,
+                             double depart_seconds, const GpsSpec& gps,
+                             Rng* rng);
+
+/// Samples a random origin-destination pair at least `min_hops` lattice
+/// steps apart and returns the shortest free-flow path between them, or an
+/// empty path when none exists after `attempts` tries.
+std::vector<int> RandomPath(const RoadNetwork& network, int min_edges,
+                            int attempts, Rng* rng);
+
+}  // namespace tsdm
+
+#endif  // TSDM_SIM_TRAJ_SIM_H_

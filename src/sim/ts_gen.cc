@@ -1,0 +1,76 @@
+#include "src/sim/ts_gen.h"
+
+#include <cmath>
+
+namespace tsdm {
+
+std::vector<double> GenerateSeries(const SeriesSpec& spec, int n, Rng* rng) {
+  std::vector<double> out(n, 0.0);
+  // AR recursion state.
+  std::vector<double> ar_state(spec.ar_coefficients.size(), 0.0);
+  for (int t = 0; t < n; ++t) {
+    double value = spec.level + spec.trend_per_step * t;
+    for (const auto& s : spec.seasonal) {
+      value += s.amplitude *
+               std::sin(2.0 * M_PI * t / s.period + s.phase);
+    }
+    double ar = 0.0;
+    for (size_t k = 0; k < spec.ar_coefficients.size(); ++k) {
+      ar += spec.ar_coefficients[k] * ar_state[k];
+    }
+    ar += rng->Normal(0.0, spec.ar_innovation_stddev);
+    // Shift AR state.
+    for (size_t k = ar_state.size(); k-- > 1;) ar_state[k] = ar_state[k - 1];
+    if (!ar_state.empty()) ar_state[0] = ar;
+    value += ar + rng->Normal(0.0, spec.noise_stddev);
+    out[t] = value;
+  }
+  return out;
+}
+
+SeriesSpec TrafficLikeSpec(int period) {
+  SeriesSpec spec;
+  spec.level = 50.0;  // km/h-like scale
+  spec.seasonal = {{period, 12.0, 0.0}, {period / 2, 4.0, 1.0}};
+  spec.ar_coefficients = {0.55, 0.15};
+  spec.ar_innovation_stddev = 1.5;
+  spec.noise_stddev = 1.0;
+  return spec;
+}
+
+CorrelatedTimeSeries GenerateCorrelatedField(const CorrelatedFieldSpec& spec,
+                                             int n, Rng* rng) {
+  int num_sensors = spec.grid_rows * spec.grid_cols;
+  std::vector<SensorGraph::Sensor> positions;
+  positions.reserve(num_sensors);
+  for (int r = 0; r < spec.grid_rows; ++r) {
+    for (int c = 0; c < spec.grid_cols; ++c) {
+      positions.push_back({c * spec.spacing + rng->Normal(0, spec.spacing / 10),
+                           r * spec.spacing + rng->Normal(0, spec.spacing / 10)});
+    }
+  }
+  SensorGraph graph =
+      SensorGraph::KNearest(positions, spec.knn, spec.spacing);
+
+  // Shared latent field plus per-sensor independent component.
+  std::vector<double> shared = GenerateSeries(spec.base, n, rng);
+  std::vector<std::vector<double>> local(num_sensors);
+  for (int s = 0; s < num_sensors; ++s) {
+    local[s] = GenerateSeries(spec.base, n, rng);
+  }
+
+  TimeSeries series = TimeSeries::Regular(0, 300, n, num_sensors);
+  double w = spec.spatial_strength;
+  for (int t = 0; t < n; ++t) {
+    for (int s = 0; s < num_sensors; ++s) {
+      int row = s / spec.grid_cols;
+      int col = s % spec.grid_cols;
+      int delay = spec.propagation_delay * (row + col);
+      int src = std::max(0, t - delay);
+      series.Set(t, s, w * shared[src] + (1.0 - w) * local[s][t]);
+    }
+  }
+  return CorrelatedTimeSeries(std::move(graph), std::move(series));
+}
+
+}  // namespace tsdm

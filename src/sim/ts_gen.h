@@ -1,0 +1,62 @@
+#ifndef TSDM_SIM_TS_GEN_H_
+#define TSDM_SIM_TS_GEN_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/correlated_time_series.h"
+#include "src/data/time_series.h"
+
+namespace tsdm {
+
+/// One additive sinusoidal seasonal component.
+struct SeasonalComponent {
+  int period = 24;      ///< in steps
+  double amplitude = 1.0;
+  double phase = 0.0;   ///< radians
+};
+
+/// Specification for a synthetic univariate series:
+///   y_t = level + trend*t + sum_k seasonal_k(t) + ar(t) + noise.
+/// The AR part is driven by its own innovations so that spectra look like
+/// real sensor data rather than pure sinusoids.
+struct SeriesSpec {
+  double level = 10.0;
+  double trend_per_step = 0.0;
+  std::vector<SeasonalComponent> seasonal;
+  std::vector<double> ar_coefficients;  ///< e.g. {0.6, 0.2}
+  double ar_innovation_stddev = 0.5;
+  double noise_stddev = 0.2;
+};
+
+/// Generates `n` steps from the spec.
+std::vector<double> GenerateSeries(const SeriesSpec& spec, int n, Rng* rng);
+
+/// Convenience: a daily-seasonal traffic-like spec (period 24 by default).
+SeriesSpec TrafficLikeSpec(int period = 24);
+
+/// Specification for a correlated sensor field: sensors on a jittered grid,
+/// values = shared latent field diffused over the k-NN graph + local AR
+/// noise. `spatial_strength` in [0,1] controls how much of each sensor's
+/// signal is the shared field (1 = fully shared, 0 = independent).
+struct CorrelatedFieldSpec {
+  int grid_rows = 4;
+  int grid_cols = 4;
+  double spacing = 100.0;
+  int knn = 3;
+  double spatial_strength = 0.7;
+  /// Steps of delay per grid cell with which the shared field reaches a
+  /// sensor (a congestion wave sweeping from cell (0,0)): sensor (r, c)
+  /// observes shared[t - delay*(r+c)]. 0 = contemporaneous coupling.
+  int propagation_delay = 0;
+  SeriesSpec base;  ///< temporal structure of the shared latent field
+};
+
+/// Generates a correlated time series of grid_rows*grid_cols sensors over
+/// `n` steps.
+CorrelatedTimeSeries GenerateCorrelatedField(const CorrelatedFieldSpec& spec,
+                                             int n, Rng* rng);
+
+}  // namespace tsdm
+
+#endif  // TSDM_SIM_TS_GEN_H_

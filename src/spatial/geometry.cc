@@ -1,0 +1,47 @@
+#include "src/spatial/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsdm {
+
+SegmentProjection ProjectOntoSegment(const Point2D& p, const Point2D& a,
+                                     const Point2D& b) {
+  SegmentProjection out;
+  double abx = b.x - a.x, aby = b.y - a.y;
+  double len2 = abx * abx + aby * aby;
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  out.fraction = t;
+  out.closest = {a.x + t * abx, a.y + t * aby};
+  double dx = p.x - out.closest.x, dy = p.y - out.closest.y;
+  out.distance = std::sqrt(dx * dx + dy * dy);
+  return out;
+}
+
+SegmentProjection ProjectOntoEdge(const RoadNetwork& network, int edge_id,
+                                  const Point2D& p) {
+  const auto& e = network.edge(edge_id);
+  const auto& a = network.node(e.from);
+  const auto& b = network.node(e.to);
+  return ProjectOntoSegment(p, {a.x, a.y}, {b.x, b.y});
+}
+
+std::vector<int> EdgesNear(const RoadNetwork& network, const Point2D& p,
+                           double radius) {
+  std::vector<std::pair<double, int>> hits;
+  for (size_t eid = 0; eid < network.NumEdges(); ++eid) {
+    double d = ProjectOntoEdge(network, static_cast<int>(eid), p).distance;
+    if (d <= radius) hits.push_back({d, static_cast<int>(eid)});
+  }
+  std::sort(hits.begin(), hits.end());
+  std::vector<int> out;
+  out.reserve(hits.size());
+  for (const auto& [d, eid] : hits) out.push_back(eid);
+  return out;
+}
+
+}  // namespace tsdm

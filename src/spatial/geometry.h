@@ -1,0 +1,41 @@
+#ifndef TSDM_SPATIAL_GEOMETRY_H_
+#define TSDM_SPATIAL_GEOMETRY_H_
+
+#include <vector>
+
+#include "src/spatial/road_network.h"
+
+namespace tsdm {
+
+/// A 2D point in meters.
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Result of projecting a point onto a segment: the closest point, the
+/// distance to it, and the fractional position along the segment in [0,1].
+struct SegmentProjection {
+  Point2D closest;
+  double distance = 0.0;
+  double fraction = 0.0;
+};
+
+/// Orthogonal projection of `p` onto segment (a, b), clamped to the segment.
+SegmentProjection ProjectOntoSegment(const Point2D& p, const Point2D& a,
+                                     const Point2D& b);
+
+/// Projection of `p` onto an edge of the network (treated as the straight
+/// segment between its endpoint nodes).
+SegmentProjection ProjectOntoEdge(const RoadNetwork& network, int edge_id,
+                                  const Point2D& p);
+
+/// Edge ids whose projection distance from `p` is at most `radius`,
+/// ordered by increasing distance. Linear scan — adequate for the network
+/// sizes the simulators generate.
+std::vector<int> EdgesNear(const RoadNetwork& network, const Point2D& p,
+                           double radius);
+
+}  // namespace tsdm
+
+#endif  // TSDM_SPATIAL_GEOMETRY_H_

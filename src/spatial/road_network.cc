@@ -1,0 +1,81 @@
+#include "src/spatial/road_network.h"
+
+#include <cmath>
+
+namespace tsdm {
+
+int RoadNetwork::AddNode(double x, double y) {
+  nodes_.push_back({x, y});
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+Result<int> RoadNetwork::AddEdge(int from, int to, double free_flow_speed,
+                                 double length) {
+  if (from < 0 || to < 0 || from >= static_cast<int>(nodes_.size()) ||
+      to >= static_cast<int>(nodes_.size())) {
+    return Status::OutOfRange("AddEdge: node id out of range");
+  }
+  if (free_flow_speed <= 0.0) {
+    return Status::InvalidArgument("AddEdge: speed must be positive");
+  }
+  Edge e;
+  e.from = from;
+  e.to = to;
+  e.free_flow_speed = free_flow_speed;
+  e.length = length >= 0.0 ? length : NodeDistance(from, to);
+  int id = static_cast<int>(edges_.size());
+  edges_.push_back(e);
+  out_edges_[from].push_back(id);
+  in_edges_[to].push_back(id);
+  return id;
+}
+
+double RoadNetwork::FreeFlowTime(int edge_id) const {
+  const Edge& e = edges_[edge_id];
+  return e.length / e.free_flow_speed;
+}
+
+double RoadNetwork::NodeDistance(int a, int b) const {
+  double dx = nodes_[a].x - nodes_[b].x;
+  double dy = nodes_[a].y - nodes_[b].y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+int RoadNetwork::FindEdge(int from, int to) const {
+  if (from < 0 || from >= static_cast<int>(out_edges_.size())) return -1;
+  for (int eid : out_edges_[from]) {
+    if (edges_[eid].to == to) return eid;
+  }
+  return -1;
+}
+
+Result<std::vector<int>> RoadNetwork::NodePathToEdgePath(
+    const std::vector<int>& nodes) const {
+  std::vector<int> edge_path;
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    int eid = FindEdge(nodes[i - 1], nodes[i]);
+    if (eid < 0) {
+      return Status::NotFound("NodePathToEdgePath: consecutive nodes " +
+                              std::to_string(nodes[i - 1]) + "->" +
+                              std::to_string(nodes[i]) + " not connected");
+    }
+    edge_path.push_back(eid);
+  }
+  return edge_path;
+}
+
+double RoadNetwork::PathLength(const std::vector<int>& edge_path) const {
+  double total = 0.0;
+  for (int eid : edge_path) total += edges_[eid].length;
+  return total;
+}
+
+double RoadNetwork::PathFreeFlowTime(const std::vector<int>& edge_path) const {
+  double total = 0.0;
+  for (int eid : edge_path) total += FreeFlowTime(eid);
+  return total;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,79 @@
+#ifndef TSDM_SPATIAL_ROAD_NETWORK_H_
+#define TSDM_SPATIAL_ROAD_NETWORK_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace tsdm {
+
+/// A directed road network: the spatial substrate for map matching,
+/// stochastic routing, skyline routing, and trajectory simulation.
+/// Nodes are planar points (meters); edges carry length and a free-flow
+/// speed from which a baseline travel time derives.
+class RoadNetwork {
+ public:
+  struct Node {
+    double x = 0.0;
+    double y = 0.0;
+  };
+
+  struct Edge {
+    int from = -1;
+    int to = -1;
+    double length = 0.0;          ///< meters
+    double free_flow_speed = 0.0; ///< meters/second
+  };
+
+  RoadNetwork() = default;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  /// Adds a node at (x, y); returns its id.
+  int AddNode(double x, double y);
+  const Node& node(int id) const { return nodes_[id]; }
+
+  /// Adds a directed edge; length defaults to the Euclidean node distance.
+  /// Returns the edge id, or an error on invalid endpoints.
+  Result<int> AddEdge(int from, int to, double free_flow_speed,
+                      double length = -1.0);
+
+  const Edge& edge(int id) const { return edges_[id]; }
+
+  /// Ids of edges leaving `node`.
+  const std::vector<int>& OutEdges(int node) const { return out_edges_[node]; }
+  /// Ids of edges entering `node`.
+  const std::vector<int>& InEdges(int node) const { return in_edges_[node]; }
+
+  /// Free-flow traversal time of an edge in seconds.
+  double FreeFlowTime(int edge_id) const;
+
+  /// Euclidean distance between two nodes.
+  double NodeDistance(int a, int b) const;
+
+  /// The edge id from `from` to `to`, or -1 when absent.
+  int FindEdge(int from, int to) const;
+
+  /// Converts a node path (n0, n1, ..., nk) into the edge-id sequence, or an
+  /// error if some consecutive pair is not connected.
+  Result<std::vector<int>> NodePathToEdgePath(
+      const std::vector<int>& nodes) const;
+
+  /// Total length in meters of an edge path.
+  double PathLength(const std::vector<int>& edge_path) const;
+  /// Total free-flow time in seconds of an edge path.
+  double PathFreeFlowTime(const std::vector<int>& edge_path) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> out_edges_;
+  std::vector<std::vector<int>> in_edges_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_SPATIAL_ROAD_NETWORK_H_

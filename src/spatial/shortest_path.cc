@@ -1,0 +1,227 @@
+#include "src/spatial/shortest_path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace tsdm {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double priority;
+  int node;
+  bool operator>(const QueueEntry& other) const {
+    return priority > other.priority;
+  }
+};
+
+using MinQueue =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>;
+
+Result<Path> ReconstructPath(const RoadNetwork& network, int source,
+                             int target, const std::vector<int>& parent_edge,
+                             const std::vector<double>& dist) {
+  if (dist[target] == kInf) {
+    return Status::NotFound("no path from " + std::to_string(source) +
+                            " to " + std::to_string(target));
+  }
+  Path path;
+  path.cost = dist[target];
+  int node = target;
+  while (node != source) {
+    int eid = parent_edge[node];
+    path.edges.push_back(eid);
+    path.nodes.push_back(node);
+    node = network.edge(eid).from;
+  }
+  path.nodes.push_back(source);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+/// Dijkstra supporting removed nodes/edges (for Yen's spur computation).
+Result<Path> DijkstraWithBans(const RoadNetwork& network, int source,
+                              int target, const EdgeCostFn& cost,
+                              const std::set<int>& banned_nodes,
+                              const std::set<int>& banned_edges) {
+  size_t n = network.NumNodes();
+  std::vector<double> dist(n, kInf);
+  std::vector<int> parent_edge(n, -1);
+  std::vector<bool> settled(n, false);
+  MinQueue queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [priority, node] = queue.top();
+    queue.pop();
+    if (settled[node]) continue;
+    settled[node] = true;
+    if (node == target) break;
+    for (int eid : network.OutEdges(node)) {
+      if (banned_edges.count(eid) > 0) continue;
+      int to = network.edge(eid).to;
+      if (banned_nodes.count(to) > 0 || settled[to]) continue;
+      double c = cost(eid);
+      if (c < 0.0) c = 0.0;
+      double candidate = dist[node] + c;
+      if (candidate < dist[to]) {
+        dist[to] = candidate;
+        parent_edge[to] = eid;
+        queue.push({candidate, to});
+      }
+    }
+  }
+  return ReconstructPath(network, source, target, parent_edge, dist);
+}
+
+}  // namespace
+
+EdgeCostFn FreeFlowTimeCost(const RoadNetwork& network) {
+  return [&network](int eid) { return network.FreeFlowTime(eid); };
+}
+
+EdgeCostFn LengthCost(const RoadNetwork& network) {
+  return [&network](int eid) { return network.edge(eid).length; };
+}
+
+Result<Path> ShortestPath(const RoadNetwork& network, int source, int target,
+                          const EdgeCostFn& cost) {
+  if (source < 0 || target < 0 ||
+      source >= static_cast<int>(network.NumNodes()) ||
+      target >= static_cast<int>(network.NumNodes())) {
+    return Status::OutOfRange("ShortestPath: node id out of range");
+  }
+  return DijkstraWithBans(network, source, target, cost, {}, {});
+}
+
+std::vector<double> ShortestPathTree(const RoadNetwork& network, int source,
+                                     const EdgeCostFn& cost) {
+  size_t n = network.NumNodes();
+  std::vector<double> dist(n, kInf);
+  std::vector<bool> settled(n, false);
+  MinQueue queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [priority, node] = queue.top();
+    queue.pop();
+    if (settled[node]) continue;
+    settled[node] = true;
+    for (int eid : network.OutEdges(node)) {
+      int to = network.edge(eid).to;
+      if (settled[to]) continue;
+      double candidate = dist[node] + std::max(0.0, cost(eid));
+      if (candidate < dist[to]) {
+        dist[to] = candidate;
+        queue.push({candidate, to});
+      }
+    }
+  }
+  return dist;
+}
+
+Result<Path> AStarPath(const RoadNetwork& network, int source, int target,
+                       const EdgeCostFn& cost, double max_speed) {
+  if (max_speed <= 0.0) {
+    return Status::InvalidArgument("AStarPath: max_speed must be positive");
+  }
+  size_t n = network.NumNodes();
+  auto heuristic = [&](int node) {
+    return network.NodeDistance(node, target) / max_speed;
+  };
+  std::vector<double> dist(n, kInf);
+  std::vector<int> parent_edge(n, -1);
+  std::vector<bool> settled(n, false);
+  MinQueue queue;
+  dist[source] = 0.0;
+  queue.push({heuristic(source), source});
+  while (!queue.empty()) {
+    auto [priority, node] = queue.top();
+    queue.pop();
+    if (settled[node]) continue;
+    settled[node] = true;
+    if (node == target) break;
+    for (int eid : network.OutEdges(node)) {
+      int to = network.edge(eid).to;
+      if (settled[to]) continue;
+      double candidate = dist[node] + std::max(0.0, cost(eid));
+      if (candidate < dist[to]) {
+        dist[to] = candidate;
+        parent_edge[to] = eid;
+        queue.push({candidate + heuristic(to), to});
+      }
+    }
+  }
+  return ReconstructPath(network, source, target, parent_edge, dist);
+}
+
+Result<std::vector<Path>> KShortestPaths(const RoadNetwork& network,
+                                         int source, int target, int k,
+                                         const EdgeCostFn& cost) {
+  if (k <= 0) return Status::InvalidArgument("KShortestPaths: k must be > 0");
+  Result<Path> first = ShortestPath(network, source, target, cost);
+  if (!first.ok()) return first.status();
+
+  std::vector<Path> result = {*first};
+  // Candidate paths ordered by cost; compare node sequences for dedup.
+  auto path_less = [](const Path& a, const Path& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.nodes < b.nodes;
+  };
+  std::set<std::vector<int>> known = {first->nodes};
+  std::vector<Path> candidates;
+
+  for (int ki = 1; ki < k; ++ki) {
+    const Path& prev = result.back();
+    // Each node of the previous path (except the last) is a spur node.
+    for (size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      int spur_node = prev.nodes[i];
+      std::vector<int> root_nodes(prev.nodes.begin(),
+                                  prev.nodes.begin() + i + 1);
+      std::set<int> banned_edges;
+      std::set<int> banned_nodes;
+      // Ban edges that would recreate an already-known path sharing the root.
+      for (const Path& p : result) {
+        if (p.nodes.size() > i &&
+            std::equal(root_nodes.begin(), root_nodes.end(),
+                       p.nodes.begin())) {
+          if (i < p.edges.size()) banned_edges.insert(p.edges[i]);
+        }
+      }
+      // Ban root nodes except the spur node to keep paths loopless.
+      for (size_t j = 0; j < i; ++j) banned_nodes.insert(prev.nodes[j]);
+
+      Result<Path> spur = DijkstraWithBans(network, spur_node, target, cost,
+                                           banned_nodes, banned_edges);
+      if (!spur.ok()) continue;
+
+      Path total;
+      total.nodes = root_nodes;
+      total.nodes.insert(total.nodes.end(), spur->nodes.begin() + 1,
+                         spur->nodes.end());
+      total.edges.assign(prev.edges.begin(), prev.edges.begin() + i);
+      total.edges.insert(total.edges.end(), spur->edges.begin(),
+                         spur->edges.end());
+      total.cost = 0.0;
+      for (int eid : total.edges) total.cost += std::max(0.0, cost(eid));
+      if (known.insert(total.nodes).second) {
+        candidates.push_back(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    auto best = std::min_element(candidates.begin(), candidates.end(),
+                                 path_less);
+    result.push_back(*best);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+}  // namespace tsdm

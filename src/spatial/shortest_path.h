@@ -1,0 +1,49 @@
+#ifndef TSDM_SPATIAL_SHORTEST_PATH_H_
+#define TSDM_SPATIAL_SHORTEST_PATH_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/spatial/road_network.h"
+
+namespace tsdm {
+
+/// A routed path: node sequence plus the corresponding edge ids and cost.
+struct Path {
+  std::vector<int> nodes;
+  std::vector<int> edges;
+  double cost = 0.0;
+};
+
+/// Per-edge cost function; must return a non-negative cost for every edge id.
+using EdgeCostFn = std::function<double(int edge_id)>;
+
+/// Edge cost = free-flow travel time.
+EdgeCostFn FreeFlowTimeCost(const RoadNetwork& network);
+/// Edge cost = length in meters.
+EdgeCostFn LengthCost(const RoadNetwork& network);
+
+/// Dijkstra shortest path from `source` to `target` under `cost`.
+/// NotFound when target is unreachable.
+Result<Path> ShortestPath(const RoadNetwork& network, int source, int target,
+                          const EdgeCostFn& cost);
+
+/// One-to-all Dijkstra; returns per-node distances (infinity if unreachable).
+std::vector<double> ShortestPathTree(const RoadNetwork& network, int source,
+                                     const EdgeCostFn& cost);
+
+/// A* with a Euclidean-distance/speed admissible heuristic over travel time.
+/// `max_speed` must upper-bound every edge speed for admissibility.
+Result<Path> AStarPath(const RoadNetwork& network, int source, int target,
+                       const EdgeCostFn& cost, double max_speed);
+
+/// Yen's algorithm: the K shortest loopless paths (ordered by cost).
+/// Returns fewer than K when the graph does not contain K distinct paths.
+Result<std::vector<Path>> KShortestPaths(const RoadNetwork& network,
+                                         int source, int target, int k,
+                                         const EdgeCostFn& cost);
+
+}  // namespace tsdm
+
+#endif  // TSDM_SPATIAL_SHORTEST_PATH_H_

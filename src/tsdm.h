@@ -1,0 +1,90 @@
+#ifndef TSDM_TSDM_H_
+#define TSDM_TSDM_H_
+
+/// Umbrella header: the full public API of the tsdm library, organized by
+/// the boxes of the paper's "Data-Governance-Analytics-Decision" paradigm
+/// (Fig. 1). Include individual headers in production code; this header is
+/// a convenience for examples and exploration.
+
+// Common substrate.
+#include "src/common/matrix.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+
+// Data foundation (§II-A).
+#include "src/data/correlated_time_series.h"
+#include "src/data/csv.h"
+#include "src/data/grid_sequence.h"
+#include "src/data/od_matrix.h"
+#include "src/data/sensor_graph.h"
+#include "src/data/time_series.h"
+#include "src/data/trajectory.h"
+#include "src/data/window.h"
+
+// Spatial substrate.
+#include "src/spatial/geometry.h"
+#include "src/spatial/road_network.h"
+#include "src/spatial/shortest_path.h"
+
+// Simulators (synthetic substitutes for proprietary data/testbeds).
+#include "src/sim/cloud_gen.h"
+#include "src/sim/crowd_gen.h"
+#include "src/sim/degradation.h"
+#include "src/sim/inject.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+#include "src/sim/traj_sim.h"
+#include "src/sim/ts_gen.h"
+
+// Data governance (§II-B).
+#include "src/governance/fusion/aligner.h"
+#include "src/governance/fusion/map_matcher.h"
+#include "src/governance/imputation/graph_completion.h"
+#include "src/governance/imputation/imputer.h"
+#include "src/governance/imputation/st_imputer.h"
+#include "src/governance/quality/quality.h"
+#include "src/governance/uncertainty/gmm.h"
+#include "src/governance/uncertainty/histogram.h"
+#include "src/governance/uncertainty/time_varying.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+
+// Data analytics (§II-C).
+#include "src/analytics/anomaly/detector.h"
+#include "src/analytics/anomaly/evaluation.h"
+#include "src/analytics/automl/search.h"
+#include "src/analytics/benchmarking/leaderboard.h"
+#include "src/analytics/classify/classifier.h"
+#include "src/analytics/classify/distill.h"
+#include "src/analytics/efficient/condense.h"
+#include "src/analytics/efficient/quantize.h"
+#include "src/analytics/explain/explain.h"
+#include "src/analytics/forecast/association_enhanced.h"
+#include "src/analytics/forecast/decompose.h"
+#include "src/analytics/forecast/forecaster.h"
+#include "src/analytics/forecast/grid_forecast.h"
+#include "src/analytics/forecast/metrics.h"
+#include "src/analytics/forecast/var.h"
+#include "src/analytics/represent/contrastive.h"
+#include "src/analytics/represent/encoder.h"
+#include "src/analytics/represent/transfer.h"
+#include "src/analytics/robust/adaptation.h"
+#include "src/analytics/robust/continual.h"
+#include "src/analytics/robust/drift.h"
+
+// Data-driven decision making (§II-D).
+#include "src/decision/imitation/route_imitation.h"
+#include "src/decision/maintenance/maintenance.h"
+#include "src/decision/multiobj/emissions.h"
+#include "src/decision/multiobj/pareto.h"
+#include "src/decision/personal/context_preference.h"
+#include "src/decision/routing/departure_planner.h"
+#include "src/decision/routing/stochastic_router.h"
+#include "src/decision/scaling/autoscaler.h"
+#include "src/decision/uncertain/dominance.h"
+#include "src/decision/uncertain/utility.h"
+
+// The paradigm itself.
+#include "src/core/pipeline.h"
+
+#endif  // TSDM_TSDM_H_

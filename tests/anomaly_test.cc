@@ -1,0 +1,172 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/anomaly/detector.h"
+#include "src/analytics/anomaly/evaluation.h"
+#include "src/sim/inject.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+/// Clean series + spiked test copy + labels.
+struct AnomalyFixture {
+  std::vector<double> train;
+  std::vector<double> test;
+  std::vector<int> labels;
+};
+
+AnomalyFixture MakeFixture(int seed, double magnitude = 6.0,
+                           int anomalies = 12) {
+  Rng rng(seed);
+  SeriesSpec spec = TrafficLikeSpec(24);
+  AnomalyFixture fx;
+  fx.train = GenerateSeries(spec, 600, &rng);
+  TimeSeries test_ts = TimeSeries::Regular(0, 1, 600, 1);
+  test_ts.SetChannel(0, GenerateSeries(spec, 600, &rng));
+  auto injected = InjectAnomalies(&test_ts, AnomalyKind::kSpike, anomalies,
+                                  magnitude, &rng);
+  fx.test = test_ts.Channel(0);
+  fx.labels = AnomalyLabels(injected, 0, 600);
+  return fx;
+}
+
+TEST(EvalTest, RocAucProperties) {
+  // Perfect separation -> 1; inverted -> 0; random-ish -> ~0.5.
+  std::vector<double> scores = {0.9, 0.8, 0.1, 0.2};
+  std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 1.0);
+  std::vector<int> inverted = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, inverted), 0.0);
+  std::vector<int> empty_class = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, empty_class), 0.5);
+}
+
+TEST(EvalTest, TiedScoresGetAverageRank) {
+  std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  std::vector<int> labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.5);
+}
+
+TEST(EvalTest, PrecisionAtKAndBestF1) {
+  std::vector<double> scores = {0.9, 0.8, 0.7, 0.1};
+  std::vector<int> labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, labels, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, labels, 2), 0.5);
+  EXPECT_GT(BestF1(scores, labels), 0.6);
+  EXPECT_GT(AveragePrecision(scores, labels), 0.5);
+}
+
+TEST(ZScoreTest, FlagsObviousSpike) {
+  ZScoreDetector d;
+  std::vector<double> train(200, 5.0);
+  for (size_t i = 0; i < train.size(); ++i) train[i] += 0.01 * (i % 7);
+  ASSERT_TRUE(d.Fit(train).ok());
+  std::vector<double> data = train;
+  data[100] = 50.0;
+  Result<std::vector<double>> s = d.Score(data);
+  ASSERT_TRUE(s.ok());
+  double max_score = 0.0;
+  size_t argmax = 0;
+  for (size_t i = 0; i < s->size(); ++i) {
+    if ((*s)[i] > max_score) {
+      max_score = (*s)[i];
+      argmax = i;
+    }
+  }
+  EXPECT_EQ(argmax, 100u);
+}
+
+TEST(DetectorContractTest, UnfittedDetectorsFail) {
+  EXPECT_FALSE(ZScoreDetector().Score({1.0}).ok());
+  EXPECT_FALSE(MadDetector().Score({1.0}).ok());
+  EXPECT_FALSE(PcaReconstructionDetector().Score({1.0}).ok());
+  EXPECT_FALSE(ReconstructionEnsembleDetector().Score({1.0}).ok());
+}
+
+// All detectors must reach decent AUC on clean training data.
+class DetectorAucTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<AnomalyDetector> Make() const {
+    std::string name = GetParam();
+    if (name == "zscore") return std::make_unique<ZScoreDetector>();
+    if (name == "mad") return std::make_unique<MadDetector>();
+    if (name == "pca") {
+      return std::make_unique<PcaReconstructionDetector>(16, 3);
+    }
+    return std::make_unique<ReconstructionEnsembleDetector>();
+  }
+};
+
+TEST_P(DetectorAucTest, DetectsInjectedSpikes) {
+  AnomalyFixture fx = MakeFixture(3);
+  auto detector = Make();
+  ASSERT_TRUE(detector->Fit(fx.train).ok());
+  Result<std::vector<double>> scores = detector->Score(fx.test);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(RocAuc(*scores, fx.labels), 0.7) << detector->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Detectors, DetectorAucTest,
+                         ::testing::Values("zscore", "mad", "pca",
+                                           "ensemble"));
+
+TEST(EnsembleTest, BeatsOrMatchesWorstMember) {
+  AnomalyFixture fx = MakeFixture(5);
+  ReconstructionEnsembleDetector ensemble;
+  ASSERT_TRUE(ensemble.Fit(fx.train).ok());
+  Result<std::vector<double>> es = ensemble.Score(fx.test);
+  ASSERT_TRUE(es.ok());
+  double ensemble_auc = RocAuc(*es, fx.labels);
+  double worst = 1.0;
+  for (size_t m = 0; m < ensemble.NumMembers(); ++m) {
+    Result<std::vector<double>> ms = ensemble.MemberScore(m, fx.test);
+    if (!ms.ok()) continue;
+    worst = std::min(worst, RocAuc(*ms, fx.labels));
+  }
+  EXPECT_GE(ensemble_auc, worst);
+  EXPECT_GT(ensemble.NumMembers(), 4u);
+}
+
+TEST(RobustTrainingTest, SurvivesPollutedTrainingData) {
+  Rng rng(7);
+  AnomalyFixture fx = MakeFixture(7);
+  // Pollute 10% of training points with huge spikes.
+  std::vector<double> polluted = fx.train;
+  for (size_t i = 0; i < polluted.size(); i += 10) {
+    polluted[i] += rng.Bernoulli(0.5) ? 60.0 : -60.0;
+  }
+  ZScoreDetector naive;
+  ASSERT_TRUE(naive.Fit(polluted).ok());
+  RobustTrainingWrapper robust(std::make_unique<ZScoreDetector>(), 3.0, 5);
+  ASSERT_TRUE(robust.Fit(polluted).ok());
+  double auc_naive = RocAuc(*naive.Score(fx.test), fx.labels);
+  double auc_robust = RocAuc(*robust.Score(fx.test), fx.labels);
+  EXPECT_GE(auc_robust, auc_naive - 0.02);
+  EXPECT_NE(robust.Name().find("robust["), std::string::npos);
+}
+
+TEST(RankNormalizeTest, MapsToUnitRange) {
+  std::vector<double> scores = {5.0, 1.0, 3.0};
+  std::vector<double> r = RankNormalize(scores);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 0.0);
+  EXPECT_DOUBLE_EQ(r[2], 0.5);
+  EXPECT_TRUE(RankNormalize({}).empty());
+}
+
+TEST(PcaDetectorTest, WindowErrorProfileShape) {
+  AnomalyFixture fx = MakeFixture(9);
+  PcaReconstructionDetector d(16, 3);
+  ASSERT_TRUE(d.Fit(fx.train).ok());
+  std::vector<double> window(fx.test.begin(), fx.test.begin() + 16);
+  Result<std::vector<double>> profile = d.WindowErrorProfile(window);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->size(), 16u);
+  EXPECT_FALSE(d.WindowErrorProfile({1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace tsdm

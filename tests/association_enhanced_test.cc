@@ -1,0 +1,91 @@
+#include "src/analytics/forecast/association_enhanced.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/forecast/forecaster.h"
+#include "src/analytics/forecast/metrics.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+/// Field where a congestion wave sweeps across the grid (neighbors lead
+/// each other by one step) — the structure the association discovery must
+/// find and exploit.
+CorrelatedTimeSeries PropagatingField(int n, int seed) {
+  Rng rng(seed);
+  CorrelatedFieldSpec spec;
+  spec.grid_rows = 3;
+  spec.grid_cols = 3;
+  spec.spatial_strength = 0.9;
+  spec.propagation_delay = 2;
+  spec.base = TrafficLikeSpec(48);
+  return GenerateCorrelatedField(spec, n, &rng);
+}
+
+TEST(AssociationEnhancedTest, Validation) {
+  AssociationEnhancedForecaster model;
+  CorrelatedTimeSeries tiny = PropagatingField(10, 1);
+  EXPECT_FALSE(model.Fit(tiny).ok());
+  EXPECT_FALSE(model.Forecast(3).ok());
+}
+
+TEST(AssociationEnhancedTest, DiscoversLeadersWithPositiveLags) {
+  CorrelatedTimeSeries cts = PropagatingField(500, 2);
+  AssociationEnhancedForecaster model;
+  ASSERT_TRUE(model.Fit(cts).ok());
+  // Downstream sensors (far from the wave source at cell 0,0) must have
+  // discovered at least one leader, and all leader lags are >= 1.
+  int with_leaders = 0;
+  for (const auto& sensor_leaders : model.leaders()) {
+    if (!sensor_leaders.empty()) ++with_leaders;
+    for (const auto& leader : sensor_leaders) {
+      EXPECT_GE(leader.lag, 1);
+      EXPECT_GE(leader.weight, 0.3);
+    }
+  }
+  EXPECT_GE(with_leaders, 4);
+}
+
+TEST(AssociationEnhancedTest, BeatsPlainArOnPropagatingField) {
+  CorrelatedTimeSeries cts = PropagatingField(600, 3);
+  size_t n = cts.NumSteps();
+  const int kHorizon = 8;
+  CorrelatedTimeSeries train(cts.graph(), cts.series().Slice(0, n - kHorizon));
+
+  AssociationEnhancedForecaster enhanced;
+  ASSERT_TRUE(enhanced.Fit(train).ok());
+  auto fc = enhanced.Forecast(kHorizon);
+  ASSERT_TRUE(fc.ok());
+
+  double err_enhanced = 0.0, err_plain = 0.0;
+  for (size_t s = 0; s < cts.NumSensors(); ++s) {
+    std::vector<double> actual;
+    for (size_t t = n - kHorizon; t < n; ++t) actual.push_back(cts.At(t, s));
+    err_enhanced += MeanAbsoluteError(actual, (*fc)[s]);
+    ArForecaster ar(6);
+    ASSERT_TRUE(ar.Fit(train.SensorSeries(s)).ok());
+    auto fc_ar = ar.Forecast(kHorizon);
+    ASSERT_TRUE(fc_ar.ok());
+    err_plain += MeanAbsoluteError(actual, *fc_ar);
+  }
+  EXPECT_LT(err_enhanced, err_plain);
+}
+
+TEST(AssociationEnhancedTest, ForecastShapeMatchesSensors) {
+  CorrelatedTimeSeries cts = PropagatingField(400, 4);
+  AssociationEnhancedForecaster model;
+  ASSERT_TRUE(model.Fit(cts).ok());
+  auto fc = model.Forecast(5);
+  ASSERT_TRUE(fc.ok());
+  ASSERT_EQ(fc->size(), cts.NumSensors());
+  for (const auto& series : *fc) {
+    EXPECT_EQ(series.size(), 5u);
+    for (double v : series) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+}  // namespace
+}  // namespace tsdm

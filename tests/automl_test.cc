@@ -1,0 +1,118 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/automl/search.h"
+#include "src/analytics/forecast/metrics.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+std::vector<double> MakeSeries(int seed, int n = 24 * 12) {
+  Rng rng(seed);
+  return GenerateSeries(TrafficLikeSpec(24), n, &rng);
+}
+
+TEST(ConfigTest, ToStringCoversAllFamilies) {
+  ForecastConfig c;
+  for (auto family :
+       {ForecastConfig::Family::kNaive, ForecastConfig::Family::kSeasonalNaive,
+        ForecastConfig::Family::kAr, ForecastConfig::Family::kHoltWinters,
+        ForecastConfig::Family::kRidgeDirect}) {
+    c.family = family;
+    EXPECT_FALSE(c.ToString().empty());
+    EXPECT_NE(MakeForecaster(c, 12), nullptr);
+  }
+}
+
+TEST(SearchSpaceTest, NonTrivialAndDiverse) {
+  auto space = DefaultSearchSpace(24);
+  EXPECT_GE(space.size(), 10u);
+  bool has_hw = false, has_ar = false;
+  for (const auto& c : space) {
+    has_hw = has_hw || c.family == ForecastConfig::Family::kHoltWinters;
+    has_ar = has_ar || c.family == ForecastConfig::Family::kAr;
+  }
+  EXPECT_TRUE(has_hw);
+  EXPECT_TRUE(has_ar);
+}
+
+TEST(RollingOriginTest, ScoresAreFiniteForFittableConfigs) {
+  std::vector<double> series = MakeSeries(1);
+  ForecastConfig c;
+  c.family = ForecastConfig::Family::kAr;
+  c.ar_order = 4;
+  double score = RollingOriginScore(c, series, 12, 3);
+  EXPECT_TRUE(std::isfinite(score));
+  EXPECT_GT(score, 0.0);
+}
+
+TEST(RollingOriginTest, UnfittableConfigIsInfinity) {
+  ForecastConfig c;
+  c.family = ForecastConfig::Family::kHoltWinters;
+  c.season = 24;
+  std::vector<double> tiny = {1, 2, 3, 4, 5};
+  EXPECT_TRUE(std::isinf(RollingOriginScore(c, tiny, 2, 2)));
+}
+
+TEST(SearchTest, SearchedConfigBeatsNaiveDefault) {
+  std::vector<double> series = MakeSeries(2);
+  auto space = DefaultSearchSpace(24);
+  SearchOutcome outcome = SuccessiveHalving(space, series, 12, 4);
+  ForecastConfig naive;
+  naive.family = ForecastConfig::Family::kNaive;
+  double naive_score = RollingOriginScore(naive, series, 12, 4);
+  EXPECT_LT(outcome.best_score, naive_score);
+}
+
+TEST(SearchTest, HalvingCheaperThanExhaustiveAtSameQuality) {
+  std::vector<double> series = MakeSeries(3);
+  auto space = DefaultSearchSpace(24);
+  SearchOutcome halving = SuccessiveHalving(space, series, 12, 4);
+  // Exhaustive: every config at full fidelity.
+  int exhaustive_evals = static_cast<int>(space.size()) * 4;
+  EXPECT_LT(halving.evaluations, exhaustive_evals);
+  // And the winner is close to the exhaustive winner.
+  double best_full = 1e300;
+  for (const auto& c : space) {
+    best_full = std::min(best_full, RollingOriginScore(c, series, 12, 4));
+  }
+  EXPECT_LT(halving.best_score, best_full * 1.5 + 1e-9);
+}
+
+TEST(SearchTest, RandomSearchImprovesWithBudget) {
+  std::vector<double> series = MakeSeries(4);
+  auto space = DefaultSearchSpace(24);
+  Rng rng_small(5), rng_large(5);
+  SearchOutcome small = RandomSearch(space, series, 12, 4, 2, &rng_small);
+  SearchOutcome large = RandomSearch(space, series, 12, 40, 2, &rng_large);
+  EXPECT_LE(large.best_score, small.best_score + 1e-9);
+}
+
+TEST(AutoForecasterTest, EndToEnd) {
+  std::vector<double> series = MakeSeries(6);
+  std::vector<double> train(series.begin(), series.end() - 12);
+  std::vector<double> actual(series.end() - 12, series.end());
+  AutoForecaster::Options opts;
+  opts.season_hint = 24;
+  opts.horizon = 12;
+  AutoForecaster auto_model(opts);
+  ASSERT_TRUE(auto_model.Fit(train).ok());
+  Result<std::vector<double>> fc = auto_model.Forecast(12);
+  ASSERT_TRUE(fc.ok());
+  // Must beat naive on this strongly seasonal series.
+  NaiveForecaster naive;
+  ASSERT_TRUE(naive.Fit(train).ok());
+  EXPECT_LT(MeanAbsoluteError(actual, *fc),
+            MeanAbsoluteError(actual, *naive.Forecast(12)) * 1.2);
+  EXPECT_NE(auto_model.Name().find("auto["), std::string::npos);
+}
+
+TEST(AutoForecasterTest, FailsOnHopelessInput) {
+  AutoForecaster model;
+  EXPECT_FALSE(model.Fit({1.0}).ok());
+}
+
+}  // namespace
+}  // namespace tsdm

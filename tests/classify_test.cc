@@ -1,0 +1,142 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/classify/classifier.h"
+#include "src/analytics/classify/distill.h"
+#include "src/common/rng.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+/// Three-class synthetic task: flat-noisy, seasonal, trending.
+std::vector<LabeledSeries> MakeDataset(int per_class, int seed, int len = 64) {
+  Rng rng(seed);
+  std::vector<LabeledSeries> out;
+  for (int i = 0; i < per_class; ++i) {
+    {
+      SeriesSpec s;
+      s.level = 5.0;
+      s.noise_stddev = 1.0;
+      out.push_back({GenerateSeries(s, len, &rng), 0});
+    }
+    {
+      SeriesSpec s;
+      s.level = 5.0;
+      s.seasonal = {{8, 4.0, 0.0}};
+      s.noise_stddev = 0.5;
+      out.push_back({GenerateSeries(s, len, &rng), 1});
+    }
+    {
+      SeriesSpec s;
+      s.level = 0.0;
+      s.trend_per_step = 0.3;
+      s.noise_stddev = 1.0;
+      out.push_back({GenerateSeries(s, len, &rng), 2});
+    }
+  }
+  return out;
+}
+
+TEST(DtwTest, IdenticalSeriesHaveZeroDistance) {
+  std::vector<double> a = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+}
+
+TEST(DtwTest, HandlesTimeWarping) {
+  // Same shape, different speeds: DTW distance much smaller than Euclidean
+  // mismatch would suggest.
+  std::vector<double> fast = {0, 1, 2, 3, 4, 5};
+  std::vector<double> slow = {0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5};
+  EXPECT_LT(DtwDistance(fast, slow, -1), 1.0);
+}
+
+TEST(DtwTest, BandConstrainsWarping) {
+  std::vector<double> a = {0, 0, 0, 0, 5, 0, 0, 0};
+  std::vector<double> b = {5, 0, 0, 0, 0, 0, 0, 0};
+  // Unconstrained warping can align the spikes; a tight band cannot.
+  EXPECT_LT(DtwDistance(a, b, -1), DtwDistance(a, b, 1) + 1e-9);
+}
+
+TEST(FeatureTest, StableDimensionAndSensitivity) {
+  std::vector<double> flat(50, 3.0);
+  std::vector<double> trending;
+  for (int i = 0; i < 50; ++i) trending.push_back(0.5 * i);
+  auto f1 = ExtractStatFeatures(flat);
+  auto f2 = ExtractStatFeatures(trending);
+  EXPECT_EQ(f1.size(), StatFeatureCount());
+  EXPECT_EQ(f2.size(), StatFeatureCount());
+  EXPECT_NE(f1, f2);
+  EXPECT_EQ(ExtractStatFeatures({}).size(), StatFeatureCount());
+}
+
+TEST(OneNnDtwTest, SeparatesClasses) {
+  auto train = MakeDataset(8, 1);
+  auto test = MakeDataset(4, 2);
+  OneNnDtwClassifier model(8);
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_GT(Accuracy(model, test), 0.7);
+  EXPECT_EQ(model.NumClasses(), 3u);
+}
+
+TEST(LogisticTest, LearnsSeparableClasses) {
+  auto train = MakeDataset(20, 3);
+  auto test = MakeDataset(8, 4);
+  LogisticClassifier model;
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_GT(Accuracy(model, test), 0.85);
+  // Probabilities sum to one.
+  Result<std::vector<double>> p = model.PredictProba(test[0].values);
+  ASSERT_TRUE(p.ok());
+  double sum = 0.0;
+  for (double v : *p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(LogisticTest, EmptyTrainFails) {
+  LogisticClassifier model;
+  EXPECT_FALSE(model.Fit({}).ok());
+  EXPECT_FALSE(model.Predict({1.0, 2.0}).ok());
+}
+
+TEST(EnsembleTest, AtLeastAsGoodAsSingleModel) {
+  auto train = MakeDataset(20, 5);
+  auto test = MakeDataset(10, 6);
+  LogisticClassifier single;
+  BaggedEnsembleClassifier ensemble;
+  ASSERT_TRUE(single.Fit(train).ok());
+  ASSERT_TRUE(ensemble.Fit(train).ok());
+  EXPECT_GE(Accuracy(ensemble, test), Accuracy(single, test) - 0.1);
+  EXPECT_GT(ensemble.NumParameters(), single.NumParameters());
+}
+
+TEST(DistillTest, StudentSmallerWithModestAccuracyLoss) {
+  auto train = MakeDataset(25, 7);
+  auto test = MakeDataset(10, 8);
+  DistilledClassifier::Options opts;
+  opts.teacher_members = 8;
+  opts.quant_bits = 8;
+  DistilledClassifier model(opts);
+  ASSERT_TRUE(model.Fit(train).ok());
+  double teacher_acc = Accuracy(model.teacher(), test);
+  double student_acc = Accuracy(model, test);
+  EXPECT_LT(model.StudentSizeBits(), model.TeacherSizeBits() / 10);
+  EXPECT_GT(student_acc, teacher_acc - 0.15);
+}
+
+TEST(DistillTest, OneBitStudentDegrades) {
+  auto train = MakeDataset(25, 9);
+  auto test = MakeDataset(10, 10);
+  DistilledClassifier::Options opts8;
+  opts8.quant_bits = 8;
+  DistilledClassifier::Options opts1;
+  opts1.quant_bits = 1;
+  DistilledClassifier m8(opts8), m1(opts1);
+  ASSERT_TRUE(m8.Fit(train).ok());
+  ASSERT_TRUE(m1.Fit(train).ok());
+  EXPECT_GE(Accuracy(m8, test) + 1e-9, Accuracy(m1, test));
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -1,0 +1,114 @@
+#include "src/analytics/represent/contrastive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+/// Unlabeled corpus mixing two latent classes (flat-noisy vs seasonal).
+std::vector<std::vector<double>> Corpus(int per_class, int seed,
+                                        std::vector<int>* labels = nullptr) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> out;
+  for (int i = 0; i < per_class; ++i) {
+    SeriesSpec flat;
+    flat.level = 0.0;
+    flat.noise_stddev = 1.0;
+    out.push_back(GenerateSeries(flat, 64, &rng));
+    if (labels) labels->push_back(0);
+    SeriesSpec seasonal;
+    seasonal.level = 0.0;
+    seasonal.seasonal = {{8, 2.5, 0.0}};
+    seasonal.noise_stddev = 0.5;
+    out.push_back(GenerateSeries(seasonal, 64, &rng));
+    if (labels) labels->push_back(1);
+  }
+  return out;
+}
+
+TEST(ContrastiveTest, Validation) {
+  ContrastiveEncoder enc;
+  EXPECT_FALSE(enc.Fit({{1.0, 2.0}}).ok());
+  EXPECT_FALSE(enc.Encode({1.0, 2.0}).ok());  // unfitted
+}
+
+TEST(ContrastiveTest, EncodesToRequestedDimension) {
+  ContrastiveEncoder::Options opts;
+  opts.embedding_dim = 8;
+  opts.epochs = 10;
+  ContrastiveEncoder enc(opts);
+  ASSERT_TRUE(enc.Fit(Corpus(10, 1)).ok());
+  Result<std::vector<double>> e = enc.Encode(Corpus(1, 2)[0]);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->size(), 8u);
+  for (double v : *e) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_FALSE(enc.Encode({}).ok());
+}
+
+TEST(ContrastiveTest, ViewsOfSameSeriesEmbedCloserThanOthers) {
+  ContrastiveEncoder enc;
+  std::vector<std::vector<double>> corpus = Corpus(15, 3);
+  ASSERT_TRUE(enc.Fit(corpus).ok());
+  // For a sample of series: distance(anchor, itself jittered) should be
+  // smaller than distance(anchor, a random other series) most of the time.
+  Rng rng(4);
+  int closer = 0, trials = 0;
+  for (int t = 0; t < 30; ++t) {
+    int a = rng.Index(static_cast<int>(corpus.size()));
+    int b = rng.Index(static_cast<int>(corpus.size()));
+    if (a == b) continue;
+    std::vector<double> jittered = corpus[a];
+    for (double& v : jittered) v += rng.Normal(0.0, 0.05);
+    auto za = enc.Encode(corpus[a]);
+    auto zj = enc.Encode(jittered);
+    auto zb = enc.Encode(corpus[b]);
+    ASSERT_TRUE(za.ok());
+    ASSERT_TRUE(zj.ok());
+    ASSERT_TRUE(zb.ok());
+    double d_self = ContrastiveEncoder::EmbeddingDistance(*za, *zj);
+    double d_other = ContrastiveEncoder::EmbeddingDistance(*za, *zb);
+    if (d_self < d_other) ++closer;
+    ++trials;
+  }
+  ASSERT_GT(trials, 10);
+  EXPECT_GT(static_cast<double>(closer) / trials, 0.75);
+}
+
+TEST(ContrastiveTest, EmbeddingSeparatesLatentClasses) {
+  // Train unsupervised; verify 1-NN in embedding space recovers the hidden
+  // class labels far above chance — the downstream-transfer story.
+  std::vector<int> labels;
+  std::vector<std::vector<double>> corpus = Corpus(20, 5, &labels);
+  ContrastiveEncoder enc;
+  ASSERT_TRUE(enc.Fit(corpus).ok());
+  std::vector<std::vector<double>> embeddings;
+  for (const auto& s : corpus) {
+    auto e = enc.Encode(s);
+    ASSERT_TRUE(e.ok());
+    embeddings.push_back(*e);
+  }
+  int hits = 0;
+  for (size_t i = 0; i < embeddings.size(); ++i) {
+    double best = 1e300;
+    size_t nn = i;
+    for (size_t j = 0; j < embeddings.size(); ++j) {
+      if (i == j) continue;
+      double d = ContrastiveEncoder::EmbeddingDistance(embeddings[i],
+                                                       embeddings[j]);
+      if (d < best) {
+        best = d;
+        nn = j;
+      }
+    }
+    if (labels[nn] == labels[i]) ++hits;
+  }
+  double accuracy = static_cast<double>(hits) / embeddings.size();
+  EXPECT_GT(accuracy, 0.8);
+}
+
+}  // namespace
+}  // namespace tsdm

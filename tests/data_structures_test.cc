@@ -1,0 +1,145 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/data/correlated_time_series.h"
+#include "src/data/grid_sequence.h"
+#include "src/data/sensor_graph.h"
+#include "src/data/trajectory.h"
+
+namespace tsdm {
+namespace {
+
+TEST(SensorGraphTest, AddAndQueryEdges) {
+  SensorGraph g;
+  int a = g.AddSensor(0, 0);
+  int b = g.AddSensor(1, 0);
+  int c = g.AddSensor(0, 1);
+  ASSERT_TRUE(g.AddEdge(a, b, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(b, c, 0.25).ok());
+  EXPECT_EQ(g.NumSensors(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Weight(a, b), 0.5);
+  EXPECT_EQ(g.Weight(b, a), 0.5);  // undirected
+  EXPECT_EQ(g.Weight(a, c), 0.0);
+  EXPECT_TRUE(g.HasEdge(b, c));
+}
+
+TEST(SensorGraphTest, RejectsSelfLoopAndBadIds) {
+  SensorGraph g;
+  int a = g.AddSensor(0, 0);
+  EXPECT_FALSE(g.AddEdge(a, a, 1.0).ok());
+  EXPECT_FALSE(g.AddEdge(a, 99, 1.0).ok());
+}
+
+TEST(SensorGraphTest, OverwritingEdgeKeepsCount) {
+  SensorGraph g;
+  int a = g.AddSensor(0, 0);
+  int b = g.AddSensor(1, 1);
+  ASSERT_TRUE(g.AddEdge(a, b, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(a, b, 2.0).ok());
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Weight(b, a), 2.0);
+}
+
+TEST(SensorGraphTest, TransitionMatrixRowsSumToOne) {
+  std::vector<SensorGraph::Sensor> pos = {{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  SensorGraph g = SensorGraph::KNearest(pos, 2, 1.0);
+  Matrix t = g.TransitionMatrix();
+  for (size_t r = 0; r < t.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < t.cols(); ++c) sum += t(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(SensorGraphTest, KNearestConnectsEveryone) {
+  std::vector<SensorGraph::Sensor> pos;
+  for (int i = 0; i < 10; ++i) pos.push_back({i * 1.0, 0.0});
+  SensorGraph g = SensorGraph::KNearest(pos, 3, 2.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_GE(g.Neighbors(i).size(), 3u);
+  }
+}
+
+TEST(CorrelatedTimeSeriesTest, ValidateChecksShape) {
+  SensorGraph g;
+  g.AddSensor(0, 0);
+  g.AddSensor(1, 0);
+  CorrelatedTimeSeries bad(g, TimeSeries::Regular(0, 1, 5, 3));
+  EXPECT_FALSE(bad.Validate().ok());
+  CorrelatedTimeSeries good(g, TimeSeries::Regular(0, 1, 5, 2));
+  EXPECT_TRUE(good.Validate().ok());
+}
+
+TEST(CorrelatedTimeSeriesTest, SensorCorrelationIgnoresMissing) {
+  SensorGraph g;
+  g.AddSensor(0, 0);
+  g.AddSensor(1, 0);
+  g.AddEdge(0, 1, 1.0);
+  TimeSeries ts = TimeSeries::Regular(0, 1, 6, 2);
+  for (int t = 0; t < 6; ++t) {
+    ts.Set(t, 0, t);
+    ts.Set(t, 1, 2.0 * t);
+  }
+  ts.Set(3, 1, kMissingValue);  // drop one pair
+  CorrelatedTimeSeries cts(g, ts);
+  EXPECT_NEAR(cts.SensorCorrelation(0, 1), 1.0, 1e-9);
+  EXPECT_NEAR(cts.MeanEdgeCorrelation(), 1.0, 1e-9);
+}
+
+TEST(TrajectoryTest, LengthDurationSpeed) {
+  Trajectory t({{0, 0, 0}, {10, 30, 40}});
+  EXPECT_DOUBLE_EQ(t.Duration(), 10.0);
+  EXPECT_DOUBLE_EQ(t.Length(), 50.0);
+  EXPECT_DOUBLE_EQ(t.AverageSpeed(), 5.0);
+  EXPECT_TRUE(t.IsTimeOrdered());
+}
+
+TEST(TrajectoryTest, PositionInterpolation) {
+  Trajectory t({{0, 0, 0}, {10, 100, 0}});
+  TrajectoryPoint mid = t.PositionAt(5.0);
+  EXPECT_NEAR(mid.x, 50.0, 1e-9);
+  EXPECT_NEAR(mid.y, 0.0, 1e-9);
+  // Clamped outside the range.
+  EXPECT_EQ(t.PositionAt(-5.0).x, 0.0);
+  EXPECT_EQ(t.PositionAt(99.0).x, 100.0);
+}
+
+TEST(TrajectoryTest, ResampleByTimeUniformSpacing) {
+  Trajectory t({{0, 0, 0}, {9, 90, 0}});
+  Trajectory r = t.ResampleByTime(3.0);
+  ASSERT_EQ(r.NumPoints(), 4u);
+  EXPECT_NEAR(r.point(1).x, 30.0, 1e-9);
+  EXPECT_NEAR(r.point(3).x, 90.0, 1e-9);
+}
+
+TEST(GridSequenceTest, IndexingAndFrameSum) {
+  GridSequence g(3, 2, 2, 1);
+  g.Set(0, 0, 0, 0, 1.0);
+  g.Set(0, 1, 1, 0, 2.0);
+  g.Set(2, 0, 1, 0, 5.0);
+  EXPECT_EQ(g.At(0, 0, 0, 0), 1.0);
+  EXPECT_EQ(g.FrameSum(0, 0), 3.0);
+  EXPECT_EQ(g.FrameSum(1, 0), 0.0);
+  EXPECT_EQ(g.FrameSum(2, 0), 5.0);
+}
+
+TEST(GridSequenceTest, CellSeriesAndRows) {
+  GridSequence g(4, 1, 1, 2);
+  for (size_t t = 0; t < 4; ++t) {
+    g.Set(t, 0, 0, 0, static_cast<double>(t));
+    g.Set(t, 0, 0, 1, 10.0 + t);
+  }
+  std::vector<double> s = g.CellSeries(0, 0, 1);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[3], 13.0);
+  auto rows = g.ToRows();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[2][0], 2.0);
+  EXPECT_EQ(rows[2][1], 12.0);
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -1,0 +1,151 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/forecast/decompose.h"
+#include "src/analytics/forecast/metrics.h"
+#include "src/analytics/robust/adaptation.h"
+#include "src/common/stats.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+std::vector<double> TrendSeasonal(int n, double slope, double amp,
+                                  int period, double noise, int seed) {
+  Rng rng(seed);
+  SeriesSpec spec;
+  spec.level = 10.0;
+  spec.trend_per_step = slope;
+  spec.seasonal = {{period, amp, 0.0}};
+  spec.noise_stddev = noise;
+  return GenerateSeries(spec, n, &rng);
+}
+
+TEST(DecomposeTest, Validation) {
+  EXPECT_FALSE(DecomposeAdditive({1, 2, 3}, 1).ok());
+  EXPECT_FALSE(DecomposeAdditive({1, 2, 3}, 4).ok());
+}
+
+TEST(DecomposeTest, ComponentsSumToSeries) {
+  std::vector<double> v = TrendSeasonal(240, 0.05, 4.0, 12, 0.3, 1);
+  Result<SeasonalDecomposition> d = DecomposeAdditive(v, 12);
+  ASSERT_TRUE(d.ok());
+  for (size_t t = 0; t < v.size(); ++t) {
+    EXPECT_NEAR(d->trend[t] + d->seasonal[t] + d->remainder[t], v[t],
+                1e-9);
+  }
+  // Seasonal profile sums to ~0 and repeats with the period.
+  double profile_sum = 0.0;
+  for (double s : d->seasonal_profile) profile_sum += s;
+  EXPECT_NEAR(profile_sum, 0.0, 1e-9);
+  EXPECT_NEAR(d->seasonal[0], d->seasonal[12], 1e-12);
+}
+
+TEST(DecomposeTest, RecoversPlantedStructure) {
+  std::vector<double> v = TrendSeasonal(360, 0.1, 5.0, 12, 0.2, 2);
+  Result<SeasonalDecomposition> d = DecomposeAdditive(v, 12);
+  ASSERT_TRUE(d.ok());
+  // Trend slope ~ 0.1 over the middle section.
+  double slope = (d->trend[300] - d->trend[60]) / 240.0;
+  EXPECT_NEAR(slope, 0.1, 0.02);
+  // Seasonal amplitude ~ 5.
+  double max_s = *std::max_element(d->seasonal_profile.begin(),
+                                   d->seasonal_profile.end());
+  EXPECT_NEAR(max_s, 5.0, 1.0);
+  // Remainder is small relative to the seasonal signal.
+  EXPECT_LT(Stdev(d->remainder), 1.0);
+}
+
+TEST(DecomposeTest, DeseasonalizeRemovesSeasonality) {
+  std::vector<double> v = TrendSeasonal(360, 0.0, 5.0, 12, 0.2, 3);
+  Result<std::vector<double>> flat = Deseasonalize(v, 12);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_LT(std::fabs(Autocorrelation(*flat, 12)),
+            std::fabs(Autocorrelation(v, 12)));
+}
+
+TEST(DecomposedForecasterTest, BeatsNaiveOnTrendSeasonalData) {
+  std::vector<double> v = TrendSeasonal(360, 0.08, 5.0, 12, 0.4, 4);
+  std::vector<double> train(v.begin(), v.end() - 24);
+  std::vector<double> actual(v.end() - 24, v.end());
+  DecomposedForecaster model(12);
+  NaiveForecaster naive;
+  ASSERT_TRUE(model.Fit(train).ok());
+  ASSERT_TRUE(naive.Fit(train).ok());
+  auto fc = model.Forecast(24);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_LT(MeanAbsoluteError(actual, *fc),
+            MeanAbsoluteError(actual, *naive.Forecast(24)));
+}
+
+TEST(DecomposedForecasterTest, ComponentsExplainTheForecast) {
+  std::vector<double> v = TrendSeasonal(360, 0.08, 5.0, 12, 0.4, 5);
+  DecomposedForecaster model(12);
+  ASSERT_TRUE(model.Fit(v).ok());
+  auto parts = model.ForecastComponents(6);
+  auto total = model.Forecast(6);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_TRUE(total.ok());
+  for (int h = 0; h < 6; ++h) {
+    EXPECT_NEAR(parts->trend[h] + parts->seasonal[h] + parts->remainder[h],
+                (*total)[h], 1e-9);
+  }
+  // The trend component rises (slope was positive).
+  EXPECT_GT(parts->trend[5], parts->trend[0]);
+}
+
+std::vector<double> Ar1Series(double phi, double level, int n, int seed) {
+  Rng rng(seed);
+  std::vector<double> v = {level};
+  for (int i = 1; i < n; ++i) {
+    v.push_back(level + phi * (v.back() - level) + rng.Normal(0.0, 0.5));
+  }
+  return v;
+}
+
+TEST(AdaptationTest, Validation) {
+  AdaptationOptions opts;
+  opts.order = 8;
+  EXPECT_FALSE(FitAdaptedAr({}, {1, 2, 3}, opts).ok());
+  AdaptedArModel unfitted;
+  EXPECT_FALSE(unfitted.ForecastFrom({1, 2, 3}, 2).ok());
+}
+
+TEST(AdaptationTest, UsesSourceWhenDomainsMatch) {
+  // Same dynamics, tiny target: the annealed weight should be > 0 and the
+  // adapted model should beat target-only fitting.
+  std::vector<double> source = Ar1Series(0.85, 10.0, 2000, 1);
+  std::vector<double> target = Ar1Series(0.85, 10.0, 60, 2);
+  std::vector<double> probe = Ar1Series(0.85, 10.0, 300, 3);
+  std::vector<double> context(probe.begin(), probe.end() - 12);
+  std::vector<double> actual(probe.end() - 12, probe.end());
+
+  AdaptationOptions opts;
+  opts.order = 6;
+  Result<AdaptedArModel> adapted = FitAdaptedAr(source, target, opts);
+  Result<AdaptedArModel> target_only = FitAdaptedAr({}, target, opts);
+  ASSERT_TRUE(adapted.ok());
+  ASSERT_TRUE(target_only.ok());
+  auto fc_adapted = adapted->ForecastFrom(context, 12);
+  auto fc_target = target_only->ForecastFrom(context, 12);
+  ASSERT_TRUE(fc_adapted.ok());
+  ASSERT_TRUE(fc_target.ok());
+  EXPECT_LE(MeanAbsoluteError(actual, *fc_adapted),
+            MeanAbsoluteError(actual, *fc_target) * 1.05);
+}
+
+TEST(AdaptationTest, RejectsMismatchedSource) {
+  // Source with opposite dynamics: annealing should drive the source
+  // weight to (near) zero rather than import the wrong behaviour.
+  std::vector<double> source = Ar1Series(-0.8, 50.0, 2000, 4);
+  std::vector<double> target = Ar1Series(0.85, 10.0, 120, 5);
+  AdaptationOptions opts;
+  opts.order = 4;
+  Result<AdaptedArModel> adapted = FitAdaptedAr(source, target, opts);
+  ASSERT_TRUE(adapted.ok());
+  EXPECT_LE(adapted->source_weight, 0.2);
+}
+
+}  // namespace
+}  // namespace tsdm

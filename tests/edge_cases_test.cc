@@ -1,0 +1,229 @@
+/// Failure-injection and degenerate-input tests: constant signals, empty
+/// and near-empty inputs, extreme values, disconnected graphs. Robust
+/// error handling on these inputs is what separates a library from a
+/// research script.
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/anomaly/detector.h"
+#include "src/analytics/automl/search.h"
+#include "src/analytics/classify/classifier.h"
+#include "src/analytics/forecast/decompose.h"
+#include "src/analytics/forecast/forecaster.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/core/pipeline.h"
+#include "src/decision/multiobj/pareto.h"
+#include "src/decision/routing/stochastic_router.h"
+#include "src/governance/imputation/imputer.h"
+#include "src/governance/uncertainty/gmm.h"
+#include "src/governance/uncertainty/histogram.h"
+#include "src/spatial/shortest_path.h"
+
+namespace tsdm {
+namespace {
+
+// ---------- Constant signals ---------------------------------------------
+
+TEST(ConstantSignalTest, ForecastersHandleConstantHistory) {
+  std::vector<double> flat(200, 7.0);
+  // Every forecaster must either fit & predict the constant, or fail
+  // cleanly — never crash or return garbage.
+  std::vector<std::unique_ptr<Forecaster>> models;
+  models.push_back(std::make_unique<NaiveForecaster>());
+  models.push_back(std::make_unique<SeasonalNaiveForecaster>(24));
+  models.push_back(std::make_unique<ArForecaster>(4));
+  models.push_back(std::make_unique<HoltWintersForecaster>(24));
+  models.push_back(std::make_unique<RidgeDirectForecaster>(16, 6));
+  models.push_back(std::make_unique<DecomposedForecaster>(24));
+  for (const auto& model : models) {
+    Status st = model->Fit(flat);
+    if (!st.ok()) continue;
+    Result<std::vector<double>> fc = model->Forecast(6);
+    ASSERT_TRUE(fc.ok()) << model->Name();
+    for (double v : *fc) {
+      EXPECT_NEAR(v, 7.0, 0.5) << model->Name();
+    }
+  }
+}
+
+TEST(ConstantSignalTest, DetectorsScoreConstantDataWithoutBlowingUp) {
+  std::vector<double> flat(300, 5.0);
+  ZScoreDetector z;
+  MadDetector mad;
+  ASSERT_TRUE(z.Fit(flat).ok());
+  ASSERT_TRUE(mad.Fit(flat).ok());
+  for (AnomalyDetector* d : std::vector<AnomalyDetector*>{&z, &mad}) {
+    Result<std::vector<double>> s = d->Score(flat);
+    ASSERT_TRUE(s.ok());
+    for (double v : *s) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(ConstantSignalTest, GmmFitsConstantSamples) {
+  std::vector<double> flat(100, 3.0);
+  Result<GaussianMixture> gmm = GaussianMixture::Fit(flat, 2);
+  ASSERT_TRUE(gmm.ok());
+  EXPECT_NEAR(gmm->Mean(), 3.0, 1e-6);
+  EXPECT_TRUE(std::isfinite(gmm->Pdf(3.0)));
+}
+
+TEST(ConstantSignalTest, HistogramOfIdenticalSamples) {
+  Result<Histogram> h = Histogram::FromSamples(std::vector<double>(50, 9.0),
+                                               16);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->Mean(), 9.0, 0.5);
+  EXPECT_EQ(h->Cdf(10.0), 1.0);
+  EXPECT_EQ(h->Cdf(8.0), 0.0);
+}
+
+// ---------- Extreme values ------------------------------------------------
+
+TEST(ExtremeValueTest, StatsSurviveHugeMagnitudes) {
+  std::vector<double> v = {1e15, -1e15, 1e15, -1e15};
+  EXPECT_TRUE(std::isfinite(Mean(v)));
+  EXPECT_TRUE(std::isfinite(Stdev(v)));
+  EXPECT_TRUE(std::isfinite(Median(v)));
+}
+
+TEST(ExtremeValueTest, ImputersHandleAllMissingChannel) {
+  TimeSeries ts = TimeSeries::Regular(0, 1, 50, 2);
+  for (size_t t = 0; t < 50; ++t) {
+    ts.Set(t, 0, static_cast<double>(t));
+    ts.Set(t, 1, kMissingValue);  // channel 1 entirely missing
+  }
+  // Temporal imputers cannot invent data for an empty channel but must not
+  // corrupt the good channel or crash.
+  for (auto make :
+       {+[]() -> Imputer* { return new LinearInterpolationImputer; },
+        +[]() -> Imputer* { return new MeanImputer; },
+        +[]() -> Imputer* { return new ArBackcastImputer(4); }}) {
+    std::unique_ptr<Imputer> imputer(make());
+    TimeSeries copy = ts;
+    ASSERT_TRUE(imputer->Impute(&copy).ok()) << imputer->Name();
+    for (size_t t = 0; t < 50; ++t) {
+      EXPECT_EQ(copy.At(t, 0), static_cast<double>(t)) << imputer->Name();
+    }
+  }
+  // Cross-channel kNN *can* reconstruct it from the correlated channel 0.
+  TimeSeries knn_copy = ts;
+  ASSERT_TRUE(KnnChannelImputer(1).Impute(&knn_copy).ok());
+}
+
+TEST(ExtremeValueTest, QuantileClampsOutOfRangeQ) {
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_EQ(Quantile(v, -0.5), 1.0);
+  EXPECT_EQ(Quantile(v, 2.0), 3.0);
+}
+
+// ---------- Disconnected / degenerate graphs ------------------------------
+
+TEST(DegenerateGraphTest, RoutingOnDisconnectedComponents) {
+  RoadNetwork net;
+  int a = net.AddNode(0, 0);
+  int b = net.AddNode(1, 0);
+  int c = net.AddNode(10, 10);  // isolated island
+  int d = net.AddNode(11, 10);
+  net.AddEdge(a, b, 10.0);
+  net.AddEdge(c, d, 10.0);
+  EXPECT_FALSE(ShortestPath(net, a, c, FreeFlowTimeCost(net)).ok());
+  EXPECT_FALSE(KShortestPaths(net, a, c, 3, FreeFlowTimeCost(net)).ok());
+  std::vector<double> dist = ShortestPathTree(net, a, LengthCost(net));
+  EXPECT_FALSE(std::isfinite(dist[c]));
+  Result<std::vector<SkylinePath>> skyline =
+      SkylineRoutes(net, a, c, {FreeFlowTimeCost(net)});
+  EXPECT_FALSE(skyline.ok());
+  EXPECT_EQ(skyline.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DegenerateGraphTest, SingleNodeNetwork) {
+  RoadNetwork net;
+  net.AddNode(0, 0);
+  EXPECT_TRUE(net.OutEdges(0).empty());
+  Result<Path> p = ShortestPath(net, 0, 0, FreeFlowTimeCost(net));
+  // Source == target: the trivial empty path with zero cost.
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->cost, 0.0);
+  EXPECT_TRUE(p->edges.empty());
+}
+
+TEST(DegenerateGraphTest, RouterWithAlwaysFailingCostModel) {
+  Rng rng(1);
+  RoadNetwork net;
+  int a = net.AddNode(0, 0);
+  int b = net.AddNode(100, 0);
+  net.AddEdge(a, b, 10.0);
+  StochasticRouter router(&net, [](const std::vector<int>&, double) {
+    return Result<Histogram>(Status::NotFound("no data"));
+  });
+  Result<std::vector<RouteCandidate>> candidates =
+      router.Candidates(a, b, 3, 0.0);
+  EXPECT_FALSE(candidates.ok());
+  EXPECT_EQ(candidates.status().code(), StatusCode::kNotFound);
+}
+
+// ---------- Tiny inputs ----------------------------------------------------
+
+TEST(TinyInputTest, SearchOnVeryShortSeriesDoesNotCrash) {
+  std::vector<double> tiny = {1.0, 2.0, 1.5, 2.5, 1.0, 2.0};
+  auto space = DefaultSearchSpace(24);
+  // Most configs cannot fit; scores must be inf rather than UB.
+  for (const auto& cfg : space) {
+    double score = RollingOriginScore(cfg, tiny, 2, 2);
+    EXPECT_TRUE(score > 0.0 || std::isinf(score));
+  }
+}
+
+TEST(TinyInputTest, ClassifierSingleExamplePerClass) {
+  std::vector<LabeledSeries> train = {
+      {{1, 1, 1, 1, 1, 1, 1, 1}, 0},
+      {{9, 9, 9, 9, 9, 9, 9, 9}, 1},
+  };
+  LogisticClassifier model;
+  ASSERT_TRUE(model.Fit(train).ok());
+  Result<int> pred = model.Predict({1.2, 1.1, 0.9, 1.0, 1.0, 1.1, 0.9, 1.0});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(*pred, 0);
+}
+
+TEST(TinyInputTest, ParetoFrontOfSingletonAndEmpty) {
+  EXPECT_TRUE(ParetoFront({}).empty());
+  std::vector<size_t> front = ParetoFront({{1.0, 2.0}});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], 0u);
+}
+
+TEST(TinyInputTest, PipelineOnEmptyDataFailsGracefully) {
+  PipelineContext ctx;  // default-constructed: zero sensors, zero steps
+  Pipeline pipeline;
+  pipeline.AddStage(std::make_unique<ImputeStage>())
+      .AddStage(std::make_unique<ForecastStage>(4, 6));
+  PipelineReport report = pipeline.Run(&ctx);
+  EXPECT_FALSE(report.ok);  // forecast stage reports no sensor forecast
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+// ---------- NaN resistance -------------------------------------------------
+
+TEST(NanTest, QualityReportOnAllMissingSeries) {
+  TimeSeries ts = TimeSeries::Regular(0, 1, 10, 1);
+  for (size_t t = 0; t < 10; ++t) ts.Set(t, 0, kMissingValue);
+  RangeRule range{0.0, 1.0};
+  QualityReport report = AssessQuality(ts, &range);
+  EXPECT_EQ(report.channels[0].missing, 10u);
+  EXPECT_DOUBLE_EQ(report.missing_rate, 1.0);
+}
+
+TEST(NanTest, CleanSeriesOnAllMissingIsNoOp) {
+  TimeSeries ts = TimeSeries::Regular(0, 1, 10, 1);
+  for (size_t t = 0; t < 10; ++t) ts.Set(t, 0, kMissingValue);
+  RangeRule range{0.0, 1.0};
+  EXPECT_EQ(CleanSeries(&ts, range), 0u);
+}
+
+}  // namespace
+}  // namespace tsdm

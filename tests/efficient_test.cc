@@ -1,0 +1,205 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/classify/classifier.h"
+#include "src/analytics/efficient/condense.h"
+#include "src/analytics/efficient/quantize.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+TEST(QuantizeTest, RoundTripErrorBoundedByStepSize) {
+  Rng rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(rng.Normal(0.0, 3.0));
+  for (int bits : {4, 8, 12}) {
+    Result<QuantizedVector> q = QuantizeVector(v, bits);
+    ASSERT_TRUE(q.ok());
+    std::vector<double> back = DequantizeVector(*q);
+    double max_err = 0.0;
+    for (size_t i = 0; i < v.size(); ++i) {
+      max_err = std::max(max_err, std::fabs(v[i] - back[i]));
+    }
+    EXPECT_LE(max_err, q->scale * 0.5 + 1e-12) << "bits=" << bits;
+  }
+}
+
+TEST(QuantizeTest, MoreBitsLessError) {
+  Rng rng(2);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.Uniform(-1, 1));
+  double prev_err = 1e300;
+  for (int bits : {2, 4, 8}) {
+    auto q = QuantizeVector(v, bits);
+    ASSERT_TRUE(q.ok());
+    auto back = DequantizeVector(*q);
+    double err = 0.0;
+    for (size_t i = 0; i < v.size(); ++i) err += std::fabs(v[i] - back[i]);
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+}
+
+TEST(QuantizeTest, Validation) {
+  EXPECT_FALSE(QuantizeVector({}, 8).ok());
+  EXPECT_FALSE(QuantizeVector({1.0}, 0).ok());
+  EXPECT_FALSE(QuantizeVector({1.0}, 17).ok());
+  // Constant vector is fine.
+  Result<QuantizedVector> q = QuantizeVector({5.0, 5.0}, 8);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(DequantizeVector(*q)[0], 5.0);
+}
+
+std::vector<LabeledSeries> TwoClassData(int per_class, int seed,
+                                        double level_shift = 0.0) {
+  Rng rng(seed);
+  std::vector<LabeledSeries> out;
+  for (int i = 0; i < per_class; ++i) {
+    SeriesSpec a;
+    a.level = 2.0 + level_shift;
+    a.noise_stddev = 0.8;
+    out.push_back({GenerateSeries(a, 48, &rng), 0});
+    SeriesSpec b;
+    b.level = 8.0 + level_shift;
+    b.seasonal = {{8, 3.0, 0.0}};
+    b.noise_stddev = 0.8;
+    out.push_back({GenerateSeries(b, 48, &rng), 1});
+  }
+  return out;
+}
+
+TEST(QuantizedModelTest, MatchesDenseModelAt8Bits) {
+  auto train = TwoClassData(30, 3);
+  auto test = TwoClassData(15, 4);
+  LogisticClassifier dense;
+  ASSERT_TRUE(dense.Fit(train).ok());
+  Result<QuantizedLogisticClassifier> quant =
+      QuantizedLogisticClassifier::FromDense(dense, 8);
+  ASSERT_TRUE(quant.ok());
+  EXPECT_NEAR(Accuracy(*quant, test), Accuracy(dense, test), 0.08);
+  EXPECT_GT(quant->SizeBits(), 0u);
+  EXPECT_LT(quant->SizeBits(), dense.NumParameters() * 64);
+}
+
+TEST(QuantizedModelTest, FitIsUnimplemented) {
+  QuantizedLogisticClassifier model;
+  auto train = TwoClassData(2, 5);
+  EXPECT_EQ(model.Fit(train).code(), StatusCode::kUnimplemented);
+}
+
+TEST(QCoreTest, CalibrationRecoversAccuracyUnderShift) {
+  auto train = TwoClassData(40, 6);
+  // Deployment distribution drifts: all levels shift up by 6.
+  auto shifted_test = TwoClassData(25, 7, /*level_shift=*/6.0);
+  LogisticClassifier dense;
+  ASSERT_TRUE(dense.Fit(train).ok());
+  auto quant_static = QuantizedLogisticClassifier::FromDense(dense, 8);
+  auto quant_calibrated = QuantizedLogisticClassifier::FromDense(dense, 8);
+  ASSERT_TRUE(quant_static.ok());
+  ASSERT_TRUE(quant_calibrated.ok());
+  // Calibrate on unlabeled shifted data.
+  std::vector<std::vector<double>> recent;
+  for (const auto& ex : shifted_test) recent.push_back(ex.values);
+  quant_calibrated->Calibrate(recent, 1.0);
+  double acc_static = Accuracy(*quant_static, shifted_test);
+  double acc_calibrated = Accuracy(*quant_calibrated, shifted_test);
+  EXPECT_GE(acc_calibrated, acc_static);
+}
+
+TEST(CondenseTest, SelectsRequestedCountWithoutDuplicates) {
+  Rng rng(8);
+  std::vector<std::vector<double>> feats;
+  for (int i = 0; i < 60; ++i) {
+    feats.push_back({rng.Normal(), rng.Normal(), rng.Normal()});
+  }
+  DatasetCondenser condenser;
+  Result<std::vector<size_t>> sel = condenser.Select(feats, 12);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->size(), 12u);
+  std::set<size_t> unique(sel->begin(), sel->end());
+  EXPECT_EQ(unique.size(), 12u);
+  EXPECT_FALSE(condenser.Select(feats, 0).ok());
+  EXPECT_FALSE(condenser.Select(feats, 100).ok());
+  EXPECT_FALSE(condenser.Select({}, 1).ok());
+}
+
+TEST(CondenseTest, PrototypesCoverTheDataBetterThanRandom) {
+  // Facility location minimizes every point's distance to its nearest
+  // prototype; random subsets leave larger coverage gaps.
+  Rng rng(9);
+  std::vector<std::vector<double>> feats;
+  for (int i = 0; i < 200; ++i) {
+    feats.push_back({rng.Normal(5.0, 2.0), rng.Gamma(2.0, 1.0)});
+  }
+  auto coverage = [&](const std::vector<size_t>& selected) {
+    double total = 0.0;
+    for (const auto& p : feats) {
+      double best = 1e300;
+      for (size_t s : selected) {
+        double dx = p[0] - feats[s][0];
+        double dy = p[1] - feats[s][1];
+        best = std::min(best, dx * dx + dy * dy);
+      }
+      total += std::sqrt(best);
+    }
+    return total / feats.size();
+  };
+  DatasetCondenser condenser;
+  auto sel = condenser.Select(feats, 20);
+  ASSERT_TRUE(sel.ok());
+  double condensed_coverage = coverage(*sel);
+  double random_coverage = 0.0;
+  const int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    random_coverage += coverage(RandomSubset(feats.size(), 20, &rng));
+  }
+  random_coverage /= kTrials;
+  EXPECT_LT(condensed_coverage, random_coverage);
+}
+
+TEST(CondenseTest, ClassBalancedCoversAllClasses) {
+  Rng rng(10);
+  std::vector<std::vector<double>> feats;
+  std::vector<int> labels;
+  for (int i = 0; i < 90; ++i) {
+    int cls = i % 3;
+    feats.push_back({rng.Normal(cls * 5.0, 1.0)});
+    labels.push_back(cls);
+  }
+  DatasetCondenser condenser;
+  Result<std::vector<size_t>> sel = condenser.Select(feats, 9, &labels);
+  ASSERT_TRUE(sel.ok());
+  std::set<int> covered;
+  for (size_t i : *sel) covered.insert(labels[i]);
+  EXPECT_EQ(covered.size(), 3u);
+}
+
+TEST(CondenseTest, CondensedTrainingRetainsAccuracy) {
+  auto full_train = TwoClassData(50, 11);
+  auto test = TwoClassData(20, 12);
+  // Features for condensation.
+  std::vector<std::vector<double>> feats;
+  std::vector<int> labels;
+  for (const auto& ex : full_train) {
+    feats.push_back(ExtractStatFeatures(ex.values));
+    labels.push_back(ex.label);
+  }
+  DatasetCondenser condenser;
+  size_t target = full_train.size() / 5;  // 20% condensation
+  Result<std::vector<size_t>> sel = condenser.Select(feats, target, &labels);
+  ASSERT_TRUE(sel.ok());
+  std::vector<LabeledSeries> condensed;
+  for (size_t i : *sel) condensed.push_back(full_train[i]);
+
+  LogisticClassifier on_full, on_condensed;
+  ASSERT_TRUE(on_full.Fit(full_train).ok());
+  ASSERT_TRUE(on_condensed.Fit(condensed).ok());
+  EXPECT_GE(Accuracy(on_condensed, test), Accuracy(on_full, test) - 0.12);
+}
+
+}  // namespace
+}  // namespace tsdm

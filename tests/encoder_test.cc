@@ -1,0 +1,131 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/classify/classifier.h"
+#include "src/analytics/represent/encoder.h"
+#include "src/common/rng.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+TEST(RandomKernelTest, DeterministicGivenSeed) {
+  RandomKernelEncoder::Options opts;
+  opts.num_kernels = 32;
+  RandomKernelEncoder a(opts), b(opts);
+  std::vector<double> series;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) series.push_back(rng.Normal());
+  auto ea = a.Encode(series);
+  auto eb = b.Encode(series);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  EXPECT_EQ(*ea, *eb);
+  EXPECT_EQ(ea->size(), a.Dimension());
+}
+
+TEST(RandomKernelTest, DifferentSignalsSeparate) {
+  RandomKernelEncoder enc;
+  Rng rng(2);
+  SeriesSpec seasonal;
+  seasonal.seasonal = {{8, 4.0, 0.0}};
+  seasonal.noise_stddev = 0.2;
+  SeriesSpec flat;
+  flat.noise_stddev = 0.2;
+  auto e1 = enc.Encode(GenerateSeries(seasonal, 80, &rng));
+  auto e2 = enc.Encode(GenerateSeries(flat, 80, &rng));
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  double dist = 0.0;
+  for (size_t i = 0; i < e1->size(); ++i) {
+    dist += std::fabs((*e1)[i] - (*e2)[i]);
+  }
+  EXPECT_GT(dist, 1.0);
+}
+
+TEST(RandomKernelTest, ShortSeriesGetNeutralFeatures) {
+  RandomKernelEncoder enc;
+  Result<std::vector<double>> e = enc.Encode({1.0, 2.0});
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->size(), enc.Dimension());
+  EXPECT_FALSE(enc.Encode({}).ok());
+}
+
+TEST(PcaEncoderTest, ProjectsOntoPrincipalDirections) {
+  // Data varying along a single direction compresses losslessly to 1D.
+  Rng rng(3);
+  std::vector<double> base = {1.0, 2.0, -1.0, 0.5};
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 50; ++i) {
+    double t = rng.Normal();
+    std::vector<double> row(4);
+    for (int j = 0; j < 4; ++j) row[j] = t * base[j];
+    data.push_back(row);
+  }
+  PcaEncoder enc(1);
+  ASSERT_TRUE(enc.Fit(data).ok());
+  EXPECT_EQ(enc.Dimension(), 1u);
+  // Reconstruction check via encoding two scaled versions.
+  auto e1 = enc.Encode(data[0]);
+  auto e2 = enc.Encode(data[1]);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  // Encodings should be proportional to the latent scale; verify via ratio
+  // consistency with raw values.
+  double raw_ratio = data[0][0] / (data[1][0] + 1e-12);
+  double enc_ratio = (*e1)[0] / ((*e2)[0] + 1e-12);
+  EXPECT_NEAR(raw_ratio, enc_ratio, 0.2 * std::fabs(raw_ratio) + 0.1);
+}
+
+TEST(PcaEncoderTest, Validation) {
+  PcaEncoder enc(2);
+  EXPECT_FALSE(enc.Fit({{1.0, 2.0}}).ok());           // too few
+  EXPECT_FALSE(enc.Fit({{1.0}, {1.0, 2.0}}).ok());    // ragged
+  ASSERT_TRUE(enc.Fit({{1.0, 2.0}, {2.0, 1.0}, {0.0, 0.0}}).ok());
+  EXPECT_FALSE(enc.Encode({1.0}).ok());               // wrong length
+}
+
+TEST(EncoderDownstreamTest, KernelFeaturesSupportClassification) {
+  // Representation -> logistic head, mirroring the pretrain-finetune story.
+  Rng rng(4);
+  RandomKernelEncoder::Options opts;
+  opts.num_kernels = 64;
+  RandomKernelEncoder enc(opts);
+  auto make = [&](int n, int seed) {
+    Rng local(seed);
+    std::vector<std::pair<std::vector<double>, int>> out;
+    for (int i = 0; i < n; ++i) {
+      SeriesSpec s1;
+      s1.seasonal = {{8, 4.0, 0.0}};
+      s1.noise_stddev = 0.4;
+      SeriesSpec s0;
+      s0.noise_stddev = 0.4;
+      out.push_back({*enc.Encode(GenerateSeries(s0, 64, &local)), 0});
+      out.push_back({*enc.Encode(GenerateSeries(s1, 64, &local)), 1});
+    }
+    return out;
+  };
+  auto train = make(25, 5);
+  auto test = make(10, 6);
+  LogisticClassifier head;
+  std::vector<std::vector<double>> feats;
+  std::vector<std::vector<double>> targets;
+  for (const auto& [f, label] : train) {
+    feats.push_back(f);
+    targets.push_back(label == 0 ? std::vector<double>{1.0, 0.0}
+                                 : std::vector<double>{0.0, 1.0});
+  }
+  ASSERT_TRUE(head.FitSoft(feats, targets).ok());
+  int hits = 0;
+  for (const auto& [f, label] : test) {
+    auto p = head.ProbaFromFeatures(f);
+    ASSERT_TRUE(p.ok());
+    int pred = (*p)[1] > (*p)[0] ? 1 : 0;
+    hits += pred == label ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(hits) / test.size(), 0.8);
+}
+
+}  // namespace
+}  // namespace tsdm

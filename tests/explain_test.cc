@@ -1,0 +1,89 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/anomaly/detector.h"
+#include "src/analytics/explain/explain.h"
+#include "src/sim/inject.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+TEST(AttributionTest, TopScoresHitInjectedAnomalies) {
+  Rng rng(1);
+  SeriesSpec spec = TrafficLikeSpec(24);
+  std::vector<double> train = GenerateSeries(spec, 600, &rng);
+  TimeSeries test_ts = TimeSeries::Regular(0, 1, 600, 1);
+  test_ts.SetChannel(0, GenerateSeries(spec, 600, &rng));
+  auto injected =
+      InjectAnomalies(&test_ts, AnomalyKind::kSpike, 10, 8.0, &rng);
+  std::vector<int> labels = AnomalyLabels(injected, 0, 600);
+
+  PcaReconstructionDetector detector(16, 3);
+  ASSERT_TRUE(detector.Fit(train).ok());
+  Result<std::vector<double>> scores = detector.Score(test_ts.Channel(0));
+  ASSERT_TRUE(scores.ok());
+  AttributionEval eval = EvaluatePointAttribution(*scores, labels, 10);
+  EXPECT_GT(eval.hit_rate, 3.0 * eval.random_baseline);
+}
+
+TEST(AttributionTest, EmptyInputsAreSafe) {
+  AttributionEval eval = EvaluatePointAttribution({}, {}, 5);
+  EXPECT_EQ(eval.hit_rate, 0.0);
+  EXPECT_EQ(eval.random_baseline, 0.0);
+}
+
+TEST(PermutationImportanceTest, IdentifiesTheRealFeature) {
+  // y depends only on feature 0.
+  Rng rng(2);
+  Matrix x(200, 3);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.Normal();
+    x(i, 1) = rng.Normal();
+    x(i, 2) = rng.Normal();
+    y[i] = 4.0 * x(i, 0);
+  }
+  auto predict = [](const std::vector<double>& row) { return 4.0 * row[0]; };
+  auto loss = [](double pred, double target) {
+    return std::fabs(pred - target);
+  };
+  Rng perm_rng(3);
+  std::vector<double> importance =
+      PermutationImportance(x, y, predict, loss, &perm_rng);
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_GT(importance[0], 10.0 * std::fabs(importance[1]) + 0.1);
+  EXPECT_GT(importance[0], 10.0 * std::fabs(importance[2]) + 0.1);
+}
+
+TEST(AssociationGraphTest, DetectsLeadLagStructure) {
+  // Sensor 0 leads sensor 1 by exactly 3 steps.
+  Rng rng(4);
+  int n = 400;
+  std::vector<double> lead;
+  for (int i = 0; i < n; ++i) {
+    lead.push_back(std::sin(i * 0.17) + rng.Normal(0.0, 0.05));
+  }
+  SensorGraph g;
+  g.AddSensor(0, 0);
+  g.AddSensor(1, 0);
+  g.AddEdge(0, 1, 1.0);
+  TimeSeries ts = TimeSeries::Regular(0, 1, n, 2);
+  for (int t = 0; t < n; ++t) {
+    ts.Set(t, 0, lead[t]);
+    ts.Set(t, 1, t >= 3 ? lead[t - 3] : 0.0);
+  }
+  CorrelatedTimeSeries cts(g, ts);
+  AssociationGraph graph = BuildAssociationGraph(cts, 6);
+  EXPECT_GT(graph.weight(0, 1), 0.9);
+  EXPECT_EQ(static_cast<int>(graph.lag(0, 1)), 3);
+  auto top = TopAssociations(graph, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].leader, 0);
+  EXPECT_EQ(top[0].follower, 1);
+  EXPECT_EQ(top[0].lag, 3);
+}
+
+}  // namespace
+}  // namespace tsdm

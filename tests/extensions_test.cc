@@ -1,0 +1,206 @@
+/// Tests for the extension modules: departure planning with arrival
+/// windows, eco-routing emission criteria, cross-domain transfer, and the
+/// forecasting leaderboard.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/benchmarking/leaderboard.h"
+#include "src/analytics/represent/transfer.h"
+#include "src/decision/multiobj/emissions.h"
+#include "src/decision/multiobj/pareto.h"
+#include "src/decision/routing/departure_planner.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+#include "src/sim/traj_sim.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+class DepartureFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(51);
+    GridNetworkSpec gspec;
+    gspec.rows = 5;
+    gspec.cols = 5;
+    net_ = GenerateGridNetwork(gspec, rng_.get());
+    sim_ = std::make_unique<TrafficSimulator>(&net_, TrafficSpec{});
+    model_ = std::make_unique<EdgeCentricModel>(
+        static_cast<int>(net_.NumEdges()), 24);
+    // Trips across the whole day so every slot has observations.
+    for (int i = 0; i < 600; ++i) {
+      std::vector<int> p = RandomPath(net_, 3, 20, rng_.get());
+      if (p.empty()) continue;
+      TripObservation trip;
+      trip.edge_path = p;
+      trip.depart_seconds = rng_->Uniform(0.0, 86400.0);
+      trip.edge_times =
+          sim_->SamplePathEdgeTimes(p, trip.depart_seconds, rng_.get());
+      model_->AddTrip(trip);
+    }
+    ASSERT_TRUE(model_->Build(32).ok());
+  }
+
+  PathCostModel CostModel() {
+    return [this](const std::vector<int>& edges, double depart) {
+      return model_->PathCostDistribution(edges, depart);
+    };
+  }
+
+  std::unique_ptr<Rng> rng_;
+  RoadNetwork net_;
+  std::unique_ptr<TrafficSimulator> sim_;
+  std::unique_ptr<EdgeCentricModel> model_;
+};
+
+TEST_F(DepartureFixture, FindsHighProbabilityPlan) {
+  DeparturePlanner::Options opts;
+  opts.earliest_departure = 6 * 3600.0;
+  opts.latest_departure = 12 * 3600.0;
+  opts.departure_step = 1800.0;
+  DeparturePlanner planner(&net_, CostModel(), opts);
+  // A wide window somewhere mid-morning.
+  Result<DeparturePlanner::Plan> plan =
+      planner.BestPlan(0, 24, 9.5 * 3600.0, 11.0 * 3600.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->window_probability, 0.5);
+  EXPECT_GE(plan->depart_seconds, opts.earliest_departure);
+  EXPECT_LE(plan->depart_seconds, opts.latest_departure);
+  EXPECT_FALSE(plan->route.edges.empty());
+}
+
+TEST_F(DepartureFixture, EarlierWindowMovesDepartureEarlier) {
+  DeparturePlanner::Options opts;
+  opts.earliest_departure = 5 * 3600.0;
+  opts.latest_departure = 20 * 3600.0;
+  opts.departure_step = 900.0;
+  DeparturePlanner planner(&net_, CostModel(), opts);
+  auto early = planner.BestPlan(0, 24, 7.0 * 3600.0, 8.0 * 3600.0);
+  auto late = planner.BestPlan(0, 24, 17.0 * 3600.0, 18.0 * 3600.0);
+  ASSERT_TRUE(early.ok());
+  ASSERT_TRUE(late.ok());
+  EXPECT_LT(early->depart_seconds, late->depart_seconds);
+}
+
+TEST_F(DepartureFixture, RejectsEmptyWindow) {
+  DeparturePlanner planner(&net_, CostModel(), {});
+  EXPECT_FALSE(planner.BestPlan(0, 24, 3600.0, 3600.0).ok());
+}
+
+TEST(EmissionModelTest, UShapedInSpeed) {
+  EmissionModel model;
+  double crawl = model.EmissionsFor(1000.0, 2.0);
+  double optimal = model.EmissionsFor(1000.0, model.optimal_speed);
+  double fast = model.EmissionsFor(1000.0, 33.0);
+  EXPECT_GT(crawl, optimal);
+  EXPECT_GT(fast, optimal);
+  EXPECT_NEAR(optimal, model.base_grams_per_meter * 1000.0, 1e-9);
+}
+
+TEST(EmissionModelTest, EcoRoutingAddsSkylineDimension) {
+  Rng rng(53);
+  GridNetworkSpec gspec;
+  gspec.rows = 5;
+  gspec.cols = 5;
+  gspec.diagonal_probability = 0.25;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  EmissionModel model;
+  std::vector<EdgeCostFn> criteria = {FreeFlowTimeCost(net),
+                                      EmissionCost(net, model)};
+  Result<std::vector<SkylinePath>> skyline =
+      SkylineRoutes(net, 0, 24, criteria, 24);
+  ASSERT_TRUE(skyline.ok());
+  ASSERT_GE(skyline->size(), 1u);
+  // All mutually non-dominated.
+  for (size_t i = 0; i < skyline->size(); ++i) {
+    for (size_t j = 0; j < skyline->size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(Dominates((*skyline)[i].costs, (*skyline)[j].costs));
+      }
+    }
+  }
+}
+
+std::vector<LabeledSeries> DomainData(int per_class, int seed,
+                                      double noise) {
+  Rng rng(seed);
+  std::vector<LabeledSeries> out;
+  for (int i = 0; i < per_class; ++i) {
+    SeriesSpec flat;
+    flat.level = 5.0;
+    flat.noise_stddev = noise;
+    out.push_back({GenerateSeries(flat, 64, &rng), 0});
+    SeriesSpec seasonal = flat;
+    seasonal.seasonal = {{8, 3.0, 0.0}};
+    out.push_back({GenerateSeries(seasonal, 64, &rng), 1});
+  }
+  return out;
+}
+
+TEST(TransferTest, FewShotBeatsScratchAtLowLabels) {
+  TransferEvaluator evaluator;
+  // Source domain: clean signals. Target domain: noisier variant.
+  ASSERT_TRUE(evaluator.FitSource(DomainData(40, 1, 0.5)).ok());
+  auto target_few = DomainData(3, 2, 1.2);   // 6 labeled examples
+  auto target_test = DomainData(25, 3, 1.2);
+
+  Result<double> zero = evaluator.ZeroShotAccuracy(target_test);
+  Result<double> few = evaluator.FewShotAccuracy(target_few, target_test);
+  ASSERT_TRUE(zero.ok());
+  ASSERT_TRUE(few.ok());
+  // Zero-shot transfers something; few-shot adapts further.
+  EXPECT_GT(*zero, 0.6);
+  EXPECT_GE(*few, *zero - 0.1);
+}
+
+TEST(TransferTest, RequiresFitSource) {
+  TransferEvaluator evaluator;
+  EXPECT_FALSE(evaluator.ZeroShotAccuracy(DomainData(2, 4, 1.0)).ok());
+}
+
+TEST(LeaderboardTest, RunsFullCrossProduct) {
+  ForecastLeaderboard leaderboard;
+  RegisterDefaultModels(&leaderboard);
+  EXPECT_EQ(leaderboard.NumModels(), 8u);
+  // Two quick datasets to keep the test fast.
+  std::vector<BenchmarkDataset> datasets = StandardDatasets(9);
+  datasets.resize(2);
+  Result<std::vector<LeaderboardEntry>> entries =
+      leaderboard.Run(datasets, {6}, 2);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_GE(entries->size(), 10u);
+  auto ranks = ForecastLeaderboard::AverageRanks(*entries);
+  ASSERT_FALSE(ranks.empty());
+  // Ranks ascending and within [1, num models].
+  for (size_t i = 1; i < ranks.size(); ++i) {
+    EXPECT_GE(ranks[i].second, ranks[i - 1].second);
+  }
+  EXPECT_GE(ranks.front().second, 1.0);
+  EXPECT_LE(ranks.back().second, 8.0);
+}
+
+TEST(LeaderboardTest, Validation) {
+  ForecastLeaderboard empty;
+  EXPECT_FALSE(empty.Run(StandardDatasets(), {6}, 2).ok());
+  ForecastLeaderboard leaderboard;
+  RegisterDefaultModels(&leaderboard);
+  EXPECT_FALSE(leaderboard.Run({}, {6}, 2).ok());
+}
+
+TEST(StandardDatasetsTest, FiveDiverseSeries) {
+  auto datasets = StandardDatasets();
+  EXPECT_EQ(datasets.size(), 5u);
+  for (const auto& d : datasets) {
+    EXPECT_FALSE(d.name.empty());
+    EXPECT_GT(d.series.size(), 100u);
+    EXPECT_GE(d.season, 2);
+  }
+}
+
+}  // namespace
+}  // namespace tsdm

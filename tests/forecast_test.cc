@@ -1,0 +1,213 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/forecast/forecaster.h"
+#include "src/analytics/forecast/metrics.h"
+#include "src/analytics/forecast/var.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+std::vector<double> Seasonal(int n, int period, double noise, int seed) {
+  Rng rng(seed);
+  SeriesSpec spec;
+  spec.level = 20.0;
+  spec.seasonal = {{period, 5.0, 0.0}};
+  spec.ar_coefficients = {};
+  spec.ar_innovation_stddev = 0.0;
+  spec.noise_stddev = noise;
+  return GenerateSeries(spec, n, &rng);
+}
+
+TEST(NaiveTest, RepeatsLastValue) {
+  NaiveForecaster f;
+  ASSERT_TRUE(f.Fit({1.0, 2.0, 3.0}).ok());
+  Result<std::vector<double>> fc = f.Forecast(3);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_EQ((*fc)[0], 3.0);
+  EXPECT_EQ((*fc)[2], 3.0);
+  EXPECT_FALSE(NaiveForecaster().Forecast(1).ok());  // unfitted
+  EXPECT_FALSE(f.Fit({}).ok());
+}
+
+TEST(SeasonalNaiveTest, RepeatsSeason) {
+  SeasonalNaiveForecaster f(3);
+  ASSERT_TRUE(f.Fit({1, 2, 3, 10, 20, 30}).ok());
+  Result<std::vector<double>> fc = f.Forecast(5);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_EQ((*fc)[0], 10.0);
+  EXPECT_EQ((*fc)[1], 20.0);
+  EXPECT_EQ((*fc)[3], 10.0);
+  EXPECT_FALSE(SeasonalNaiveForecaster(10).Fit({1, 2}).ok());
+}
+
+TEST(ArTest, LearnsAr1Process) {
+  // x_t = 0.8 x_{t-1} + eps: AR(1) coefficient should be near 0.8.
+  Rng rng(1);
+  std::vector<double> v = {0.0};
+  for (int i = 1; i < 2000; ++i) {
+    v.push_back(0.8 * v.back() + rng.Normal(0.0, 0.5));
+  }
+  ArForecaster f(1);
+  ASSERT_TRUE(f.Fit(v).ok());
+  ASSERT_EQ(f.coefficients().size(), 2u);
+  EXPECT_NEAR(f.coefficients()[1], 0.8, 0.05);
+  // Multi-step forecasts decay toward the mean (0).
+  Result<std::vector<double>> fc = f.Forecast(50);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_LT(std::fabs(fc->back()), std::fabs(fc->front()) + 0.5);
+}
+
+TEST(ArTest, IteratedForecastUsesOwnPredictions) {
+  // Deterministic ramp: AR(2) can represent x_t = 2 x_{t-1} - x_{t-2}.
+  std::vector<double> ramp;
+  for (int i = 0; i < 100; ++i) ramp.push_back(i);
+  ArForecaster f(2, 1e-8);
+  ASSERT_TRUE(f.Fit(ramp).ok());
+  Result<std::vector<double>> fc = f.Forecast(5);
+  ASSERT_TRUE(fc.ok());
+  for (int h = 0; h < 5; ++h) {
+    EXPECT_NEAR((*fc)[h], 100.0 + h, 0.5);
+  }
+}
+
+TEST(HoltWintersTest, ForecastsSeasonalPattern) {
+  std::vector<double> v = Seasonal(24 * 8, 24, 0.2, 2);
+  HoltWintersForecaster f(24);
+  ASSERT_TRUE(f.Fit(v).ok());
+  Result<std::vector<double>> fc = f.Forecast(24);
+  ASSERT_TRUE(fc.ok());
+  // Compare against the true next season.
+  std::vector<double> truth = Seasonal(24 * 9, 24, 0.0, 2);
+  std::vector<double> next(truth.end() - 24, truth.end());
+  EXPECT_LT(MeanAbsoluteError(next, *fc), 1.5);
+}
+
+TEST(HoltWintersTest, RequiresThreeSeasons) {
+  EXPECT_FALSE(HoltWintersForecaster(24).Fit(Seasonal(50, 24, 0.1, 3)).ok());
+  EXPECT_FALSE(HoltWintersForecaster(1).Fit(Seasonal(100, 24, 0.1, 3)).ok());
+}
+
+TEST(RidgeDirectTest, BeatsNaiveOnSeasonalData) {
+  std::vector<double> v = Seasonal(24 * 10, 24, 0.3, 4);
+  std::vector<double> train(v.begin(), v.end() - 24);
+  std::vector<double> test(v.end() - 24, v.end());
+  RidgeDirectForecaster direct(48, 24);
+  NaiveForecaster naive;
+  ASSERT_TRUE(direct.Fit(train).ok());
+  ASSERT_TRUE(naive.Fit(train).ok());
+  auto fc_d = direct.Forecast(24);
+  auto fc_n = naive.Forecast(24);
+  ASSERT_TRUE(fc_d.ok());
+  ASSERT_TRUE(fc_n.ok());
+  EXPECT_LT(MeanAbsoluteError(test, *fc_d), MeanAbsoluteError(test, *fc_n));
+}
+
+TEST(BootstrapTest, DistributionCoversActuals) {
+  Rng rng(5);
+  std::vector<double> v = Seasonal(24 * 10, 24, 0.5, 6);
+  std::vector<double> train(v.begin(), v.end() - 12);
+  std::vector<double> actual(v.end() - 12, v.end());
+  ArForecaster f(24);
+  ASSERT_TRUE(f.Fit(train).ok());
+  Result<std::vector<Histogram>> dist =
+      BootstrapForecastDistribution(f, train, 12, 300, &rng);
+  ASSERT_TRUE(dist.ok());
+  ASSERT_EQ(dist->size(), 12u);
+  double coverage = IntervalCoverage(*dist, actual, 0.05, 0.95);
+  EXPECT_GE(coverage, 0.5);  // generous bound; intervals must be useful
+}
+
+TEST(MetricsTest, KnownValues) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> p = {2, 2, 5};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(a, p), 1.0);
+  EXPECT_NEAR(RootMeanSquaredError(a, p), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_GT(SymmetricMape(a, p), 0.0);
+  EXPECT_EQ(MeanAbsoluteError({}, {}), 0.0);
+}
+
+TEST(MetricsTest, PinballLossAsymmetry) {
+  // Under-prediction costs q, over-prediction costs 1-q.
+  std::vector<double> actual = {10.0};
+  EXPECT_NEAR(PinballLoss(actual, {8.0}, 0.9), 0.9 * 2.0, 1e-12);
+  EXPECT_NEAR(PinballLoss(actual, {12.0}, 0.9), 0.1 * 2.0, 1e-12);
+}
+
+TEST(MetricsTest, CrpsSmallerForSharperForecast) {
+  Rng rng(6);
+  std::vector<double> tight, wide;
+  for (int i = 0; i < 5000; ++i) {
+    tight.push_back(rng.Normal(10.0, 0.5));
+    wide.push_back(rng.Normal(10.0, 5.0));
+  }
+  Histogram ht = *Histogram::FromSamples(tight, 40);
+  Histogram hw = *Histogram::FromSamples(wide, 40);
+  EXPECT_LT(Crps(ht, 10.0), Crps(hw, 10.0));
+  // But a badly wrong sharp forecast is punished.
+  EXPECT_GT(Crps(ht, 30.0), Crps(hw, 30.0));
+}
+
+TEST(VarTest, CapturesCrossChannelDependence) {
+  // Channel 1 follows channel 0 with one step delay.
+  Rng rng(7);
+  std::vector<double> x = {0.0};
+  for (int i = 1; i < 800; ++i) {
+    x.push_back(0.7 * x.back() + rng.Normal(0.0, 1.0));
+  }
+  std::vector<double> y(x.size(), 0.0);
+  for (size_t i = 1; i < x.size(); ++i) y[i] = x[i - 1];
+  VarForecaster var(2);
+  ASSERT_TRUE(var.Fit({x, y}).ok());
+  Result<std::vector<std::vector<double>>> fc = var.Forecast(1);
+  ASSERT_TRUE(fc.ok());
+  // y's forecast should be close to x's last value.
+  EXPECT_NEAR((*fc)[1][0], x.back(), 1.0);
+}
+
+TEST(VarTest, InputValidation) {
+  VarForecaster var(2);
+  EXPECT_FALSE(var.Fit({}).ok());
+  EXPECT_FALSE(var.Fit({{1, 2, 3}, {1, 2}}).ok());
+  EXPECT_FALSE(var.Fit({{1, 2, 3}}).ok());  // too short
+  EXPECT_FALSE(var.Forecast(2).ok());       // unfitted
+}
+
+TEST(GraphArTest, BeatsIndependentArOnCoupledSensors) {
+  Rng rng(8);
+  CorrelatedFieldSpec spec;
+  spec.grid_rows = 3;
+  spec.grid_cols = 3;
+  spec.spatial_strength = 0.85;
+  CorrelatedTimeSeries cts = GenerateCorrelatedField(spec, 500, &rng);
+  size_t n = cts.NumSteps();
+  size_t horizon = 12;
+
+  // Train on prefix, test on the last `horizon` steps.
+  CorrelatedTimeSeries train(cts.graph(),
+                             cts.series().Slice(0, n - horizon));
+  GraphRegularizedAr graph_ar(4, 2);
+  ASSERT_TRUE(graph_ar.Fit(train).ok());
+  auto fc = graph_ar.Forecast(static_cast<int>(horizon));
+  ASSERT_TRUE(fc.ok());
+
+  double err_graph = 0.0, err_indep = 0.0;
+  for (size_t s = 0; s < cts.NumSensors(); ++s) {
+    std::vector<double> actual;
+    for (size_t t = n - horizon; t < n; ++t) actual.push_back(cts.At(t, s));
+    err_graph += MeanAbsoluteError(actual, (*fc)[s]);
+    ArForecaster ar(4);
+    std::vector<double> hist = train.SensorSeries(s);
+    ASSERT_TRUE(ar.Fit(hist).ok());
+    auto fc_ar = ar.Forecast(static_cast<int>(horizon));
+    ASSERT_TRUE(fc_ar.ok());
+    err_indep += MeanAbsoluteError(actual, *fc_ar);
+  }
+  // Graph model should not be much worse; typically better.
+  EXPECT_LT(err_graph, err_indep * 1.1);
+}
+
+}  // namespace
+}  // namespace tsdm

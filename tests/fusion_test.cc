@@ -1,0 +1,179 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/governance/fusion/aligner.h"
+#include "src/governance/fusion/map_matcher.h"
+#include "src/governance/quality/quality.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+#include "src/sim/traj_sim.h"
+
+namespace tsdm {
+namespace {
+
+double MatchAccuracy(const MapMatchResult& result,
+                     const std::vector<int>& truth) {
+  if (result.matched_edges.size() != truth.size() || truth.empty()) {
+    return 0.0;
+  }
+  size_t hits = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (result.matched_edges[i] == truth[i]) ++hits;
+  }
+  return static_cast<double>(hits) / truth.size();
+}
+
+class MapMatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(3);
+    GridNetworkSpec spec;
+    spec.rows = 6;
+    spec.cols = 6;
+    spec.spacing = 400.0;
+    net_ = GenerateGridNetwork(spec, rng_.get());
+    sim_ = std::make_unique<TrafficSimulator>(&net_, TrafficSpec{});
+  }
+
+  SimulatedDrive Drive(double noise, double dropout) {
+    std::vector<int> path = RandomPath(net_, 8, 100, rng_.get());
+    GpsSpec gps;
+    gps.noise_stddev = noise;
+    gps.dropout_probability = dropout;
+    return SimulateDrive(net_, *sim_, path, 9 * 3600, gps, rng_.get());
+  }
+
+  std::unique_ptr<Rng> rng_;
+  RoadNetwork net_;
+  std::unique_ptr<TrafficSimulator> sim_;
+};
+
+TEST_F(MapMatcherTest, RecoversPathUnderModerateNoise) {
+  SimulatedDrive drive = Drive(10.0, 0.0);
+  HmmMapMatcher matcher(&net_);
+  Result<MapMatchResult> result = matcher.Match(drive.gps);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(MatchAccuracy(*result, drive.gps_true_edges), 0.8);
+}
+
+TEST_F(MapMatcherTest, BeatsNearestEdgeUnderHighNoise) {
+  double hmm_total = 0.0, nearest_total = 0.0;
+  int trials = 5;
+  for (int i = 0; i < trials; ++i) {
+    SimulatedDrive drive = Drive(40.0, 0.05);
+    HmmMapMatcher::Options opts;
+    opts.search_radius = 120.0;
+    opts.gps_stddev = 40.0;
+    HmmMapMatcher matcher(&net_, opts);
+    Result<MapMatchResult> hmm = matcher.Match(drive.gps);
+    Result<MapMatchResult> nearest = NearestEdgeMatch(net_, drive.gps, 250.0);
+    ASSERT_TRUE(hmm.ok());
+    ASSERT_TRUE(nearest.ok());
+    hmm_total += MatchAccuracy(*hmm, drive.gps_true_edges);
+    nearest_total += MatchAccuracy(*nearest, drive.gps_true_edges);
+  }
+  EXPECT_GT(hmm_total, nearest_total);
+}
+
+TEST_F(MapMatcherTest, EmptyTrajectoryRejected) {
+  HmmMapMatcher matcher(&net_);
+  EXPECT_FALSE(matcher.Match(Trajectory()).ok());
+  EXPECT_FALSE(NearestEdgeMatch(net_, Trajectory()).ok());
+}
+
+TEST_F(MapMatcherTest, EdgePathIsDeduplicated) {
+  SimulatedDrive drive = Drive(5.0, 0.0);
+  HmmMapMatcher matcher(&net_);
+  Result<MapMatchResult> result = matcher.Match(drive.gps);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->edge_path.size(); ++i) {
+    EXPECT_NE(result->edge_path[i], result->edge_path[i - 1]);
+  }
+}
+
+TEST(AlignerTest, ResampleRegularizesIrregularSeries) {
+  TimeSeries irregular;
+  irregular.Append(0, {0.0});
+  irregular.Append(7, {7.0});
+  irregular.Append(13, {13.0});
+  irregular.Append(30, {30.0});
+  TimeGridAligner aligner;
+  Result<TimeSeries> out = aligner.Resample(irregular, 0, 10, 4);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumSteps(), 4u);
+  // Values are linear in time -> interpolation must be exact.
+  EXPECT_NEAR(out->At(0, 0), 0.0, 1e-9);
+  EXPECT_NEAR(out->At(1, 0), 10.0, 1e-9);
+  EXPECT_NEAR(out->At(2, 0), 20.0, 1e-9);
+  EXPECT_NEAR(out->At(3, 0), 30.0, 1e-9);
+}
+
+TEST(AlignerTest, GapBeyondMaxGapStaysMissing) {
+  TimeSeries sparse;
+  sparse.Append(0, {1.0});
+  sparse.Append(100000, {2.0});
+  TimeGridAligner::Options opts;
+  opts.max_gap_seconds = 60;
+  TimeGridAligner aligner(opts);
+  Result<TimeSeries> out = aligner.Resample(sparse, 40000, 10, 3);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->IsMissing(0, 0));
+}
+
+TEST(AlignerTest, FuseConcatenatesChannelsOnCommonGrid) {
+  TimeSeries a = TimeSeries::Regular(0, 10, 10, 1);
+  for (size_t i = 0; i < 10; ++i) a.Set(i, 0, static_cast<double>(i));
+  TimeSeries b = TimeSeries::Regular(20, 5, 10, 2);
+  for (size_t i = 0; i < 10; ++i) {
+    b.Set(i, 0, 100.0);
+    b.Set(i, 1, 200.0);
+  }
+  TimeGridAligner aligner;
+  Result<TimeSeries> fused = aligner.Fuse({a, b}, 10);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_EQ(fused->NumChannels(), 3u);
+  EXPECT_EQ(fused->Timestamp(0), 20);  // intersection starts at 20
+  EXPECT_NEAR(fused->At(0, 0), 2.0, 1e-9);
+  EXPECT_NEAR(fused->At(0, 1), 100.0, 1e-9);
+}
+
+TEST(AlignerTest, NonOverlappingInputsFail) {
+  TimeSeries a = TimeSeries::Regular(0, 10, 5, 1);
+  TimeSeries b = TimeSeries::Regular(1000, 10, 5, 1);
+  EXPECT_FALSE(TimeGridAligner().Fuse({a, b}, 10).ok());
+  EXPECT_FALSE(TimeGridAligner().Fuse({}, 10).ok());
+}
+
+TEST(QualityTest, ReportCountsProblems) {
+  TimeSeries ts = TimeSeries::Regular(0, 1, 10, 2);
+  for (size_t i = 0; i < 10; ++i) {
+    ts.Set(i, 0, static_cast<double>(i));
+    ts.Set(i, 1, 1.0);
+  }
+  ts.Set(3, 0, kMissingValue);
+  ts.Set(4, 1, 1e9);  // out of range
+  RangeRule range{-100.0, 100.0};
+  QualityReport report = AssessQuality(ts, &range);
+  EXPECT_EQ(report.num_steps, 10u);
+  EXPECT_EQ(report.channels[0].missing, 1u);
+  EXPECT_EQ(report.channels[1].out_of_range, 1u);
+  EXPECT_TRUE(report.timestamps_sorted);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(QualityTest, CleanSeriesMarksOutliersMissing) {
+  TimeSeries ts = TimeSeries::Regular(0, 1, 100, 1);
+  for (size_t i = 0; i < 100; ++i) ts.Set(i, 0, 10.0 + (i % 5));
+  ts.Set(50, 0, 10000.0);  // out of range
+  ts.Set(60, 0, 25.0);     // within range but a MAD outlier
+  RangeRule range{0.0, 1000.0};
+  size_t cleared = CleanSeries(&ts, range, 5.0);
+  EXPECT_GE(cleared, 2u);
+  EXPECT_TRUE(ts.IsMissing(50, 0));
+  EXPECT_TRUE(ts.IsMissing(60, 0));
+  EXPECT_FALSE(ts.IsMissing(0, 0));
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -1,0 +1,105 @@
+#include "src/analytics/forecast/grid_forecast.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/crowd_gen.h"
+
+namespace tsdm {
+namespace {
+
+GridSequence MakeFlows(int days, int seed, double noise = 1.5) {
+  Rng rng(seed);
+  CrowdFlowSpec spec;
+  spec.noise_stddev = noise;
+  return GenerateCrowdFlow(spec, days * spec.intervals_per_day, &rng);
+}
+
+TEST(CrowdGenTest, FlowsNonNegativeWithDailyPeriod) {
+  GridSequence flows = MakeFlows(6, 1);
+  for (size_t t = 0; t < flows.NumFrames(); ++t) {
+    for (size_t r = 0; r < flows.Height(); ++r) {
+      for (size_t c = 0; c < flows.Width(); ++c) {
+        EXPECT_GE(flows.At(t, r, c, 0), 0.0);
+      }
+    }
+  }
+  // Downtown cell peaks at midday, is quiet at 3am.
+  CrowdFlowSpec spec;
+  int midday = spec.intervals_per_day / 2;       // ~12:00
+  int night = spec.intervals_per_day / 8;        // ~3:00
+  double peak = flows.At(2 * spec.intervals_per_day + midday, 4, 4, 0);
+  double quiet = flows.At(2 * spec.intervals_per_day + night, 4, 4, 0);
+  EXPECT_GT(peak, quiet + 10.0);
+}
+
+TEST(GridForecastTest, Validation) {
+  GridFlowForecaster model;
+  GridSequence tiny(5, 4, 4, 1);
+  EXPECT_FALSE(model.Fit(tiny).ok());
+  EXPECT_FALSE(model.PredictNext(tiny).ok());
+  EXPECT_FALSE(model.EvaluateMae(tiny, 2).ok());
+}
+
+TEST(GridForecastTest, PredictNextShapeAndFiniteness) {
+  GridSequence flows = MakeFlows(5, 2);
+  GridFlowForecaster model;
+  ASSERT_TRUE(model.Fit(flows).ok());
+  Result<Matrix> next = model.PredictNext(flows);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->rows(), flows.Height());
+  EXPECT_EQ(next->cols(), flows.Width());
+  for (size_t r = 0; r < next->rows(); ++r) {
+    for (size_t c = 0; c < next->cols(); ++c) {
+      EXPECT_TRUE(std::isfinite((*next)(r, c)));
+      EXPECT_GE((*next)(r, c), 0.0);
+    }
+  }
+}
+
+TEST(GridForecastTest, BeatsPeriodPersistence) {
+  GridSequence flows = MakeFlows(8, 3);
+  CrowdFlowSpec spec;
+  GridFlowForecaster model;
+  ASSERT_TRUE(model.Fit(flows).ok());
+  Result<double> model_mae =
+      model.EvaluateMae(flows, 2 * spec.intervals_per_day);
+  ASSERT_TRUE(model_mae.ok());
+  double baseline = PeriodPersistenceMae(flows, spec.intervals_per_day,
+                                         2 * spec.intervals_per_day);
+  EXPECT_LT(*model_mae, baseline);
+}
+
+TEST(GridForecastTest, PeriodFeaturesHelpOnDailyData) {
+  // Ablation: with-period model beats closeness-only (the ST-ResNet input
+  // design claim [18],[19]).
+  GridSequence flows = MakeFlows(8, 4);
+  CrowdFlowSpec spec;
+  GridFlowForecaster::Options with_period;
+  GridFlowForecaster::Options closeness_only;
+  closeness_only.period_days = 0;
+  GridFlowForecaster full(with_period), close(closeness_only);
+  ASSERT_TRUE(full.Fit(flows).ok());
+  ASSERT_TRUE(close.Fit(flows).ok());
+  Result<double> full_mae =
+      full.EvaluateMae(flows, 2 * spec.intervals_per_day);
+  Result<double> close_mae =
+      close.EvaluateMae(flows, 2 * spec.intervals_per_day);
+  ASSERT_TRUE(full_mae.ok());
+  ASSERT_TRUE(close_mae.ok());
+  EXPECT_LE(*full_mae, *close_mae * 1.02);
+}
+
+TEST(GridForecastTest, WeightsExposeFeatureGroups) {
+  GridSequence flows = MakeFlows(6, 5);
+  GridFlowForecaster::Options opts;
+  GridFlowForecaster model(opts);
+  ASSERT_TRUE(model.Fit(flows).ok());
+  // 1 intercept + closeness + period + spatial context.
+  EXPECT_EQ(model.weights().size(),
+            1u + opts.closeness + opts.period_days + 1u);
+}
+
+}  // namespace
+}  // namespace tsdm

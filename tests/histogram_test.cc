@@ -1,0 +1,139 @@
+#include "src/governance/uncertainty/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+
+namespace tsdm {
+namespace {
+
+TEST(HistogramTest, CreateValidation) {
+  EXPECT_FALSE(Histogram::Create(1.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::Create(2.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::Create(0.0, 1.0, 0).ok());
+  EXPECT_TRUE(Histogram::Create(0.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::FromSamples({}, 10).ok());
+}
+
+TEST(HistogramTest, MeanVarianceApproximateSamples) {
+  Rng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.Normal(10.0, 2.0));
+  Result<Histogram> h = Histogram::FromSamples(samples, 64);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->Mean(), 10.0, 0.1);
+  EXPECT_NEAR(h->Stdev(), 2.0, 0.1);
+}
+
+TEST(HistogramTest, CdfAndQuantileAreInverse) {
+  Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) samples.push_back(rng.Uniform(0.0, 100.0));
+  Result<Histogram> h = Histogram::FromSamples(samples, 50);
+  ASSERT_TRUE(h.ok());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    double x = h->Quantile(q);
+    EXPECT_NEAR(h->Cdf(x), q, 0.03);
+  }
+  EXPECT_EQ(h->Cdf(h->lo() - 1.0), 0.0);
+  EXPECT_EQ(h->Cdf(h->hi() + 1.0), 1.0);
+}
+
+TEST(HistogramTest, PointMassBehaves) {
+  Histogram p = Histogram::PointMass(5.0);
+  EXPECT_NEAR(p.Mean(), 5.0, 1e-9);
+  EXPECT_EQ(p.Variance(), 0.0);
+  EXPECT_EQ(p.Cdf(4.0), 0.0);
+  EXPECT_EQ(p.Cdf(6.0), 1.0);
+}
+
+TEST(HistogramTest, SamplesFollowDistribution) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.Normal(0.0, 1.0));
+  Result<Histogram> h = Histogram::FromSamples(samples, 40);
+  ASSERT_TRUE(h.ok());
+  std::vector<double> drawn;
+  for (int i = 0; i < 5000; ++i) drawn.push_back(h->Sample(&rng));
+  EXPECT_NEAR(Mean(drawn), 0.0, 0.1);
+  EXPECT_NEAR(Stdev(drawn), 1.0, 0.1);
+}
+
+TEST(HistogramTest, ConvolutionAddsMeansAndVariances) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20000; ++i) {
+    a.push_back(rng.Normal(5.0, 1.0));
+    b.push_back(rng.Normal(7.0, 2.0));
+  }
+  Result<Histogram> ha = Histogram::FromSamples(a, 64);
+  Result<Histogram> hb = Histogram::FromSamples(b, 64);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(hb.ok());
+  Histogram sum = ha->Convolve(*hb, 96);
+  EXPECT_NEAR(sum.Mean(), 12.0, 0.2);
+  // Var = 1 + 4 under independence.
+  EXPECT_NEAR(sum.Variance(), 5.0, 0.5);
+}
+
+TEST(HistogramTest, ShiftedMovesSupport) {
+  Histogram p = Histogram::PointMass(3.0);
+  Histogram q = p.Shifted(2.0);
+  EXPECT_NEAR(q.Mean(), 5.0, 1e-9);
+}
+
+TEST(HistogramTest, DominanceForMinimization) {
+  // A uniformly on [0,10] vs B uniformly on [5,15]: A dominates B.
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(rng.Uniform(0.0, 10.0));
+    b.push_back(rng.Uniform(5.0, 15.0));
+  }
+  Histogram ha = *Histogram::FromSamples(a, 32);
+  Histogram hb = *Histogram::FromSamples(b, 32);
+  EXPECT_TRUE(ha.DominatesForMinimization(hb));
+  EXPECT_FALSE(hb.DominatesForMinimization(ha));
+}
+
+TEST(HistogramTest, OverlappingDistributionsDoNotDominate) {
+  // A tight around 10 vs B wide around 10: neither dominates.
+  Rng rng(6);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(rng.Normal(10.0, 0.5));
+    b.push_back(rng.Normal(10.0, 3.0));
+  }
+  Histogram ha = *Histogram::FromSamples(a, 32);
+  Histogram hb = *Histogram::FromSamples(b, 32);
+  EXPECT_FALSE(ha.DominatesForMinimization(hb));
+  EXPECT_FALSE(hb.DominatesForMinimization(ha));
+}
+
+// Property sweep over bin counts: total mass conserved, CDF monotone.
+class HistogramPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramPropertyTest, MassNormalizedAndCdfMonotone) {
+  Rng rng(GetParam());
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(rng.Gamma(2.0, 3.0));
+  Result<Histogram> h = Histogram::FromSamples(samples, GetParam() * 8);
+  ASSERT_TRUE(h.ok());
+  double total = 0.0;
+  for (int b = 0; b < h->NumBins(); ++b) total += h->BinMass(b);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  double prev = -1.0;
+  for (double x = h->lo(); x <= h->hi(); x += (h->hi() - h->lo()) / 37) {
+    double c = h->Cdf(x);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, HistogramPropertyTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace tsdm

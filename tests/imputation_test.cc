@@ -1,0 +1,196 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/forecast/metrics.h"
+#include "src/governance/imputation/graph_completion.h"
+#include "src/governance/imputation/imputer.h"
+#include "src/governance/imputation/st_imputer.h"
+#include "src/sim/inject.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+/// Ground-truth series with smooth structure, plus a corrupted copy.
+struct ImputationFixture {
+  TimeSeries truth;
+  TimeSeries corrupted;
+};
+
+ImputationFixture MakeFixture(double missing_rate, int seed,
+                              bool blocks = false) {
+  Rng rng(seed);
+  SeriesSpec spec = TrafficLikeSpec(24);
+  ImputationFixture fx;
+  fx.truth = TimeSeries::Regular(0, 300, 400, 3);
+  for (size_t c = 0; c < 3; ++c) {
+    fx.truth.SetChannel(c, GenerateSeries(spec, 400, &rng));
+  }
+  fx.corrupted = fx.truth;
+  if (blocks) {
+    InjectMissingBlocks(&fx.corrupted, missing_rate, 12, &rng);
+  } else {
+    InjectMissingMcar(&fx.corrupted, missing_rate, &rng);
+  }
+  return fx;
+}
+
+double ImputationError(const TimeSeries& truth, const TimeSeries& original,
+                       const TimeSeries& imputed) {
+  std::vector<double> t, p;
+  for (size_t i = 0; i < truth.NumSteps(); ++i) {
+    for (size_t c = 0; c < truth.NumChannels(); ++c) {
+      if (original.IsMissing(i, c) && !imputed.IsMissing(i, c)) {
+        t.push_back(truth.At(i, c));
+        p.push_back(imputed.At(i, c));
+      }
+    }
+  }
+  return MeanAbsoluteError(t, p);
+}
+
+// Parameterized over all temporal imputers: fills everything, never
+// touches observed entries, beats doing nothing.
+class ImputerContractTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Imputer> Make() const {
+    std::string name = GetParam();
+    if (name == "mean") return std::make_unique<MeanImputer>();
+    if (name == "locf") return std::make_unique<LocfImputer>();
+    if (name == "linear") {
+      return std::make_unique<LinearInterpolationImputer>();
+    }
+    if (name == "knn") return std::make_unique<KnnChannelImputer>(2);
+    return std::make_unique<ArBackcastImputer>(4);
+  }
+};
+
+TEST_P(ImputerContractTest, FillsAllAndPreservesObserved) {
+  ImputationFixture fx = MakeFixture(0.3, 42);
+  TimeSeries imputed = fx.corrupted;
+  ASSERT_TRUE(Make()->Impute(&imputed).ok());
+  EXPECT_EQ(imputed.CountMissing(), 0u);
+  for (size_t i = 0; i < fx.truth.NumSteps(); ++i) {
+    for (size_t c = 0; c < 3; ++c) {
+      if (!fx.corrupted.IsMissing(i, c)) {
+        EXPECT_EQ(imputed.At(i, c), fx.corrupted.At(i, c));
+      }
+    }
+  }
+}
+
+TEST_P(ImputerContractTest, ErrorGrowsWithMissingRate) {
+  TimeSeries truth;
+  double err_low, err_high;
+  {
+    ImputationFixture fx = MakeFixture(0.1, 7);
+    TimeSeries imputed = fx.corrupted;
+    ASSERT_TRUE(Make()->Impute(&imputed).ok());
+    err_low = ImputationError(fx.truth, fx.corrupted, imputed);
+  }
+  {
+    ImputationFixture fx = MakeFixture(0.7, 7);
+    TimeSeries imputed = fx.corrupted;
+    ASSERT_TRUE(Make()->Impute(&imputed).ok());
+    err_high = ImputationError(fx.truth, fx.corrupted, imputed);
+  }
+  EXPECT_GT(err_high, err_low * 0.9);  // allow slack for the mean imputer
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImputers, ImputerContractTest,
+                         ::testing::Values("mean", "locf", "linear", "knn",
+                                           "ar"));
+
+TEST(ImputerAccuracyTest, LinearBeatsMeanOnSmoothData) {
+  ImputationFixture fx = MakeFixture(0.3, 11);
+  TimeSeries by_mean = fx.corrupted;
+  TimeSeries by_linear = fx.corrupted;
+  ASSERT_TRUE(MeanImputer().Impute(&by_mean).ok());
+  ASSERT_TRUE(LinearInterpolationImputer().Impute(&by_linear).ok());
+  EXPECT_LT(ImputationError(fx.truth, fx.corrupted, by_linear),
+            ImputationError(fx.truth, fx.corrupted, by_mean));
+}
+
+TEST(ImputerAccuracyTest, ArBackcastHelpsOnBlockGaps) {
+  ImputationFixture fx = MakeFixture(0.25, 13, /*blocks=*/true);
+  TimeSeries by_locf = fx.corrupted;
+  TimeSeries by_ar = fx.corrupted;
+  ASSERT_TRUE(LocfImputer().Impute(&by_locf).ok());
+  ASSERT_TRUE(ArBackcastImputer(6).Impute(&by_ar).ok());
+  EXPECT_LT(ImputationError(fx.truth, fx.corrupted, by_ar),
+            ImputationError(fx.truth, fx.corrupted, by_locf) * 1.05);
+}
+
+TEST(GraphCompletionTest, CompletesSnapshotFromNeighbors) {
+  SensorGraph g;
+  for (int i = 0; i < 4; ++i) g.AddSensor(i, 0);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  std::vector<double> values = {10.0, kMissingValue, kMissingValue, 40.0};
+  GraphCompletion completion;
+  ASSERT_TRUE(completion.CompleteSnapshot(g, &values).ok());
+  EXPECT_TRUE(std::isfinite(values[1]));
+  EXPECT_TRUE(std::isfinite(values[2]));
+  // Harmonic interpolation on a path: evenly spaced.
+  EXPECT_NEAR(values[1], 20.0, 0.5);
+  EXPECT_NEAR(values[2], 30.0, 0.5);
+}
+
+TEST(GraphCompletionTest, ShapeMismatchFails) {
+  SensorGraph g;
+  g.AddSensor(0, 0);
+  std::vector<double> values = {1.0, 2.0};
+  EXPECT_FALSE(GraphCompletion().CompleteSnapshot(g, &values).ok());
+}
+
+TEST(GraphCompletionTest, FullyMissingSnapshotReported) {
+  SensorGraph g;
+  g.AddSensor(0, 0);
+  g.AddSensor(1, 0);
+  g.AddEdge(0, 1, 1.0);
+  std::vector<double> values = {kMissingValue, kMissingValue};
+  EXPECT_FALSE(GraphCompletion().CompleteSnapshot(g, &values).ok());
+}
+
+TEST(StImputerTest, CompletesCorrelatedField) {
+  Rng rng(17);
+  CorrelatedFieldSpec spec;
+  spec.spatial_strength = 0.8;
+  CorrelatedTimeSeries truth = GenerateCorrelatedField(spec, 250, &rng);
+  CorrelatedTimeSeries corrupted = truth;
+  InjectMissingMcar(&corrupted.series(), 0.4, &rng);
+  ASSERT_GT(corrupted.series().CountMissing(), 0u);
+  SpatioTemporalImputer imputer;
+  ASSERT_TRUE(imputer.Impute(&corrupted).ok());
+  EXPECT_EQ(corrupted.series().CountMissing(), 0u);
+}
+
+TEST(StImputerTest, BeatsPureTemporalWhenSpatialSignalIsStrong) {
+  Rng rng(19);
+  CorrelatedFieldSpec spec;
+  spec.spatial_strength = 0.9;
+  spec.grid_rows = 5;
+  spec.grid_cols = 5;
+  CorrelatedTimeSeries truth = GenerateCorrelatedField(spec, 300, &rng);
+  CorrelatedTimeSeries corrupted = truth;
+  InjectMissingBlocks(&corrupted.series(), 0.35, 20, &rng);
+
+  CorrelatedTimeSeries st = corrupted;
+  ASSERT_TRUE(SpatioTemporalImputer().Impute(&st).ok());
+  TimeSeries temporal = corrupted.series();
+  ASSERT_TRUE(LinearInterpolationImputer().Impute(&temporal).ok());
+
+  double err_st = ImputationError(truth.series(), corrupted.series(),
+                                  st.series());
+  TimeSeries temporal_ts = temporal;
+  double err_temporal = ImputationError(truth.series(), corrupted.series(),
+                                        temporal_ts);
+  EXPECT_LT(err_st, err_temporal);
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -1,0 +1,107 @@
+#include "src/decision/maintenance/maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/degradation.h"
+
+namespace tsdm {
+namespace {
+
+TEST(DegradationTest, HealthDecreasesMonotonically) {
+  DegradationSpec spec;
+  DegradationProcess process(spec, 1);
+  double prev = process.true_health();
+  for (int i = 0; i < 100; ++i) {
+    process.Step();
+    EXPECT_LE(process.true_health(), prev);
+    prev = process.true_health();
+  }
+}
+
+TEST(DegradationTest, EventuallyFailsAndRestores) {
+  DegradationSpec spec;
+  DegradationProcess process(spec, 2);
+  int steps = 0;
+  while (!process.failed() && steps < 100000) {
+    process.Step();
+    ++steps;
+  }
+  EXPECT_TRUE(process.failed());
+  process.Restore();
+  EXPECT_FALSE(process.failed());
+  EXPECT_EQ(process.true_health(), spec.initial_health);
+}
+
+TEST(DegradationTest, RunToFailureTraceEndsNearThreshold) {
+  DegradationSpec spec;
+  std::vector<double> trace = RunToFailureTrace(spec, 3);
+  ASSERT_GT(trace.size(), 50u);
+  // Early readings near full health, late readings near the threshold.
+  EXPECT_GT(trace.front(), spec.initial_health - 10.0);
+  EXPECT_LT(trace.back(), spec.failure_threshold + 10.0);
+}
+
+TEST(PolicyTest, RunToFailureNeverMaintains) {
+  RunToFailurePolicy policy;
+  std::vector<double> readings(500, 1.0);
+  EXPECT_FALSE(policy.ShouldMaintain(readings));
+}
+
+TEST(PolicyTest, ScheduledTriggersAtInterval) {
+  ScheduledPolicy policy(10);
+  EXPECT_FALSE(policy.ShouldMaintain(std::vector<double>(9, 50.0)));
+  EXPECT_TRUE(policy.ShouldMaintain(std::vector<double>(10, 50.0)));
+}
+
+TEST(PolicyTest, ThresholdUsesSmoothedReading) {
+  ConditionThresholdPolicy policy(30.0, 4);
+  // One noisy dip below threshold is smoothed away.
+  std::vector<double> readings = {50, 50, 50, 25, 50, 50, 50};
+  EXPECT_FALSE(policy.ShouldMaintain(readings));
+  std::vector<double> low = {50, 50, 28, 27, 29, 26};
+  EXPECT_TRUE(policy.ShouldMaintain(low));
+}
+
+TEST(PredictivePolicyTest, RiskRisesAsHealthApproachesThreshold) {
+  DegradationSpec spec;
+  std::vector<double> trace = RunToFailureTrace(spec, 7);
+  ASSERT_GT(trace.size(), 200u);
+  PredictiveMaintenancePolicy::Options opts;
+  opts.failure_threshold = spec.failure_threshold;
+  PredictiveMaintenancePolicy policy(opts);
+  std::vector<double> early(trace.begin(), trace.begin() + trace.size() / 3);
+  std::vector<double> late(trace.begin(), trace.end() - 5);
+  double risk_early = policy.FailureProbability(early);
+  double risk_late = policy.FailureProbability(late);
+  EXPECT_LT(risk_early, 0.3);
+  EXPECT_GT(risk_late, risk_early);
+}
+
+TEST(SimulateMaintenanceTest, PredictiveBeatsExtremePolicies) {
+  DegradationSpec spec;
+  int machines = 8, steps = 3000, review = 24;
+  RunToFailurePolicy rtf;
+  ScheduledPolicy eager(150);  // maintains far too often
+  PredictiveMaintenancePolicy::Options popts;
+  popts.failure_threshold = spec.failure_threshold;
+  popts.horizon = review;
+  PredictiveMaintenancePolicy predictive(popts);
+
+  MaintenanceOutcome o_rtf =
+      SimulateMaintenance(spec, &rtf, machines, steps, review);
+  MaintenanceOutcome o_eager =
+      SimulateMaintenance(spec, &eager, machines, steps, review);
+  MaintenanceOutcome o_pred =
+      SimulateMaintenance(spec, &predictive, machines, steps, review);
+
+  // Run-to-failure has the most breakdowns; predictive has few.
+  EXPECT_GT(o_rtf.failures, o_pred.failures);
+  // Predictive uses more of each unit's life than eager scheduling.
+  EXPECT_GT(o_pred.mean_life_used, o_eager.mean_life_used);
+  // And achieves the lowest total cost of the three.
+  EXPECT_LT(o_pred.cost, o_rtf.cost);
+  EXPECT_LT(o_pred.cost, o_eager.cost);
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -1,0 +1,160 @@
+#include "src/common/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace tsdm {
+namespace {
+
+TEST(MatrixTest, IdentityAndBasicOps) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_EQ(id(0, 0), 1.0);
+  EXPECT_EQ(id(0, 1), 0.0);
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix prod = a.MatMul(Matrix::Identity(2));
+  EXPECT_EQ(prod(0, 0), 1.0);
+  EXPECT_EQ(prod(1, 1), 4.0);
+}
+
+TEST(MatrixTest, MatMulKnownResult) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  Matrix back = t.Transpose();
+  EXPECT_EQ(back(1, 2), 6.0);
+}
+
+TEST(MatrixTest, MatVecAndRowColAccess) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  std::vector<double> v = {1.0, 1.0};
+  std::vector<double> out = a.MatVec(v);
+  EXPECT_EQ(out[0], 3.0);
+  EXPECT_EQ(out[1], 7.0);
+  EXPECT_EQ(a.Row(1)[0], 3.0);
+  EXPECT_EQ(a.Col(1)[0], 2.0);
+}
+
+TEST(SolveTest, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 3}});
+  Result<std::vector<double>> x = SolveLinearSystem(a, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveTest, SingularMatrixFails) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  Result<std::vector<double>> x = SolveLinearSystem(a, {1, 2});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kInternal);
+}
+
+TEST(SolveTest, ShapeMismatchFails) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Result<std::vector<double>> x = SolveLinearSystem(a, {1});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RidgeTest, RecoversLinearCoefficients) {
+  // y = 3 x0 - 2 x1 with noiseless data -> ridge(0) recovers exactly.
+  Rng rng(1);
+  Matrix x(50, 2);
+  std::vector<double> y(50);
+  for (size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.Normal();
+    x(i, 1) = rng.Normal();
+    y[i] = 3.0 * x(i, 0) - 2.0 * x(i, 1);
+  }
+  Result<std::vector<double>> w = RidgeSolve(x, y, 1e-10);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)[0], 3.0, 1e-5);
+  EXPECT_NEAR((*w)[1], -2.0, 1e-5);
+}
+
+TEST(RidgeTest, RegularizationShrinksWeights) {
+  Rng rng(2);
+  Matrix x(30, 2);
+  std::vector<double> y(30);
+  for (size_t i = 0; i < 30; ++i) {
+    x(i, 0) = rng.Normal();
+    x(i, 1) = rng.Normal();
+    y[i] = 5.0 * x(i, 0);
+  }
+  Result<std::vector<double>> small = RidgeSolve(x, y, 1e-8);
+  Result<std::vector<double>> large = RidgeSolve(x, y, 100.0);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(std::fabs((*large)[0]), std::fabs((*small)[0]));
+}
+
+TEST(EigenTest, DiagonalMatrixEigenvalues) {
+  Matrix a = Matrix::FromRows({{3, 0}, {0, 1}});
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 3.0, 1e-9);
+  EXPECT_NEAR(eig->eigenvalues[1], 1.0, 1e-9);
+}
+
+TEST(EigenTest, ReconstructsSymmetricMatrix) {
+  Rng rng(7);
+  size_t n = 5;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.Normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  // A = V diag(l) V^T.
+  Matrix v = eig->eigenvectors;
+  Matrix d(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) d(i, i) = eig->eigenvalues[i];
+  Matrix reconstructed = v.MatMul(d).MatMul(v.Transpose());
+  EXPECT_LT(reconstructed.Subtract(a).FrobeniusNorm(), 1e-6);
+}
+
+TEST(EigenTest, EigenvaluesSortedDescending) {
+  Rng rng(9);
+  size_t n = 6;
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double v = rng.Normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  for (size_t i = 1; i < n; ++i) {
+    EXPECT_GE(eig->eigenvalues[i - 1], eig->eigenvalues[i]);
+  }
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  EXPECT_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_NEAR(Norm2({3, 4}), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -1,0 +1,108 @@
+#include "src/data/od_matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace tsdm {
+namespace {
+
+TEST(OdMatrixTest, TripAccumulation) {
+  OdMatrixSequence od(3, 4, 3600.0);
+  od.AddTrip(0, 0, 1);
+  od.AddTrip(0, 0, 1);
+  od.AddTrip(1, 2, 0, 2.5);
+  EXPECT_EQ(od.Count(0, 0, 1), 2.0);
+  EXPECT_EQ(od.Count(1, 2, 0), 2.5);
+  EXPECT_EQ(od.Count(0, 2, 0), 0.0);
+  EXPECT_EQ(od.OutFlow(0, 0), 2.0);
+  EXPECT_EQ(od.InFlow(0, 1), 2.0);
+}
+
+TEST(OdMatrixTest, IntervalLookup) {
+  OdMatrixSequence od(2, 4, 3600.0, 1000.0);
+  EXPECT_EQ(od.IntervalFor(999.0), -1);
+  EXPECT_EQ(od.IntervalFor(1000.0), 0);
+  EXPECT_EQ(od.IntervalFor(1000.0 + 3 * 3600.0 + 10), 3);
+  EXPECT_EQ(od.IntervalFor(1000.0 + 5 * 3600.0), -1);
+}
+
+TEST(OdMatrixTest, AddTrajectoryBucketsOriginDestination) {
+  OdMatrixSequence od(4, 2, 3600.0);
+  // Regions: 2x2 grid of 100m cells.
+  auto region_of = [](double x, double y) {
+    int col = x < 100.0 ? 0 : 1;
+    int row = y < 100.0 ? 0 : 1;
+    return row * 2 + col;
+  };
+  Trajectory t({{10.0, 20.0, 20.0}, {600.0, 150.0, 150.0}});
+  ASSERT_TRUE(od.AddTrajectory(t, region_of).ok());
+  EXPECT_EQ(od.Count(0, 0, 3), 1.0);
+  // Too-short trajectory rejected.
+  Trajectory single({{0.0, 1.0, 1.0}});
+  EXPECT_FALSE(od.AddTrajectory(single, region_of).ok());
+}
+
+TEST(OdCompletionTest, FillsMissingEntries) {
+  Rng rng(5);
+  int regions = 4, intervals = 24;
+  OdMatrixSequence truth(regions, intervals, 3600.0);
+  // Gravity-like ground truth with a diurnal profile.
+  std::vector<double> attraction = {1.0, 2.0, 3.0, 1.5};
+  for (int t = 0; t < intervals; ++t) {
+    double level = 20.0 + 10.0 * std::sin(2.0 * M_PI * t / 24.0);
+    for (int o = 0; o < regions; ++o) {
+      for (int d = 0; d < regions; ++d) {
+        truth.SetCount(t, o, d,
+                       level * attraction[o] * attraction[d] / 10.0);
+      }
+    }
+  }
+  OdMatrixSequence corrupted = truth;
+  int removed = 0;
+  for (int t = 0; t < intervals; ++t) {
+    for (int o = 0; o < regions; ++o) {
+      for (int d = 0; d < regions; ++d) {
+        if (rng.Bernoulli(0.3)) {
+          corrupted.SetCount(
+              t, o, d, std::numeric_limits<double>::quiet_NaN());
+          ++removed;
+        }
+      }
+    }
+  }
+  ASSERT_GT(removed, 0);
+  OdCompletion completion;
+  ASSERT_TRUE(completion.Complete(&corrupted).ok());
+  // Everything filled, non-negative, and close to the truth.
+  double err = 0.0;
+  for (int t = 0; t < intervals; ++t) {
+    for (int o = 0; o < regions; ++o) {
+      for (int d = 0; d < regions; ++d) {
+        double v = corrupted.Count(t, o, d);
+        ASSERT_TRUE(std::isfinite(v));
+        EXPECT_GE(v, 0.0);
+        err += std::fabs(v - truth.Count(t, o, d));
+      }
+    }
+  }
+  double mean_truth = 0.0;
+  for (int t = 0; t < intervals; ++t) {
+    for (int o = 0; o < regions; ++o) {
+      for (int d = 0; d < regions; ++d) mean_truth += truth.Count(t, o, d);
+    }
+  }
+  // Average error well under the average magnitude.
+  EXPECT_LT(err / removed, 0.25 * mean_truth /
+                               (intervals * regions * regions));
+}
+
+TEST(OdCompletionTest, EmptyMatrixRejected) {
+  OdMatrixSequence empty;
+  EXPECT_FALSE(OdCompletion().Complete(&empty).ok());
+}
+
+}  // namespace
+}  // namespace tsdm

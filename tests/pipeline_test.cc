@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "src/core/pipeline.h"
+#include "src/sim/inject.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+PipelineContext MakeContext(int seed) {
+  Rng rng(seed);
+  CorrelatedFieldSpec spec;
+  spec.grid_rows = 3;
+  spec.grid_cols = 3;
+  PipelineContext ctx;
+  ctx.data = GenerateCorrelatedField(spec, 300, &rng);
+  InjectMissingMcar(&ctx.data.series(), 0.2, &rng);
+  return ctx;
+}
+
+TEST(PipelineTest, FullParadigmRunsGreen) {
+  PipelineContext ctx = MakeContext(1);
+  RangeRule range{-1000.0, 1000.0};
+  Pipeline pipeline;
+  pipeline.AddStage(std::make_unique<AssessQualityStage>(range))
+      .AddStage(std::make_unique<CleanStage>(range))
+      .AddStage(std::make_unique<ImputeStage>())
+      .AddStage(std::make_unique<ForecastStage>(4, 12));
+  EXPECT_EQ(pipeline.NumStages(), 4u);
+  PipelineReport report = pipeline.Run(&ctx);
+  EXPECT_TRUE(report.ok) << report.ToString();
+  EXPECT_EQ(report.stages.size(), 4u);
+  // Governance worked: data complete, metrics recorded.
+  EXPECT_EQ(ctx.data.series().CountMissing(), 0u);
+  EXPECT_GT(ctx.metrics["quality_missing_rate"], 0.1);
+  EXPECT_GT(ctx.metrics["imputed_entries"], 0.0);
+  EXPECT_EQ(ctx.metrics["forecast_sensors"], 9.0);
+  // Forecast artifacts exist with the right horizon.
+  ASSERT_TRUE(ctx.artifacts.count("forecast/0"));
+  EXPECT_EQ(ctx.artifacts["forecast/0"].size(), 12u);
+  EXPECT_FALSE(report.ToString().empty());
+}
+
+/// A stage that always fails, to verify short-circuiting.
+class FailingStage : public PipelineStage {
+ public:
+  std::string Name() const override { return "test/failing"; }
+  Status Run(PipelineContext*) override {
+    return Status::Internal("intentional");
+  }
+};
+
+TEST(PipelineTest, StopsAtFirstFailure) {
+  PipelineContext ctx = MakeContext(2);
+  RangeRule range{-1000.0, 1000.0};
+  Pipeline pipeline;
+  pipeline.AddStage(std::make_unique<AssessQualityStage>(range))
+      .AddStage(std::make_unique<FailingStage>())
+      .AddStage(std::make_unique<ForecastStage>(4, 6));
+  PipelineReport report = pipeline.Run(&ctx);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.stages.size(), 2u);  // third stage never ran
+  EXPECT_FALSE(report.stages[1].status.ok());
+  EXPECT_EQ(ctx.artifacts.count("forecast/0"), 0u);
+}
+
+TEST(PipelineTest, EmptyPipelineIsTriviallyOk) {
+  PipelineContext ctx = MakeContext(3);
+  Pipeline pipeline;
+  PipelineReport report = pipeline.Run(&ctx);
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.stages.empty());
+}
+
+}  // namespace
+}  // namespace tsdm

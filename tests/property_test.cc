@@ -1,0 +1,257 @@
+/// Cross-module property tests: randomized invariants checked over seed
+/// sweeps (TEST_P). These guard the algebraic contracts the decision layer
+/// relies on — distribution composition, shortest-path optimality
+/// structure, pruning soundness, imputation idempotence.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/analytics/anomaly/detector.h"
+#include "src/decision/uncertain/dominance.h"
+#include "src/decision/uncertain/utility.h"
+#include "src/governance/imputation/imputer.h"
+#include "src/governance/uncertainty/histogram.h"
+#include "src/sim/inject.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/ts_gen.h"
+#include "src/spatial/shortest_path.h"
+
+namespace tsdm {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<int> {};
+
+// ---------- Histogram algebra -------------------------------------------
+
+TEST_P(SeededTest, ConvolutionMeanIsAdditive) {
+  Rng rng(GetParam());
+  std::vector<double> a, b;
+  for (int i = 0; i < 3000; ++i) {
+    a.push_back(rng.Gamma(2.0, rng.Uniform(0.5, 2.0)));
+    b.push_back(rng.Normal(rng.Uniform(-5, 5), rng.Uniform(0.5, 3.0)));
+  }
+  Histogram ha = *Histogram::FromSamples(a, 40);
+  Histogram hb = *Histogram::FromSamples(b, 40);
+  Histogram sum = ha.Convolve(hb, 80);
+  EXPECT_NEAR(sum.Mean(), ha.Mean() + hb.Mean(),
+              0.02 * (std::fabs(ha.Mean()) + std::fabs(hb.Mean()) + 1.0));
+  // Variance additivity under independence.
+  EXPECT_NEAR(sum.Variance(), ha.Variance() + hb.Variance(),
+              0.08 * (ha.Variance() + hb.Variance()));
+}
+
+TEST_P(SeededTest, ConvolutionCommutes) {
+  Rng rng(100 + GetParam());
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.Uniform(0, 10));
+    b.push_back(rng.Exponential(0.5));
+  }
+  Histogram ha = *Histogram::FromSamples(a, 32);
+  Histogram hb = *Histogram::FromSamples(b, 32);
+  Histogram ab = ha.Convolve(hb, 64);
+  Histogram ba = hb.Convolve(ha, 64);
+  EXPECT_NEAR(ab.Mean(), ba.Mean(), 1e-6);
+  for (double q : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(ab.Quantile(q), ba.Quantile(q),
+                2.0 * ab.BinWidth() + 1e-9);
+  }
+}
+
+TEST_P(SeededTest, ShiftTranslatesQuantiles) {
+  Rng rng(200 + GetParam());
+  std::vector<double> a;
+  for (int i = 0; i < 1000; ++i) a.push_back(rng.Normal(3, 2));
+  Histogram h = *Histogram::FromSamples(a, 32);
+  double offset = rng.Uniform(-10, 10);
+  Histogram shifted = h.Shifted(offset);
+  for (double q : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(shifted.Quantile(q), h.Quantile(q) + offset, 1e-9);
+  }
+  EXPECT_NEAR(shifted.Mean(), h.Mean() + offset, 1e-9);
+}
+
+// ---------- Dominance / expected-utility soundness ----------------------
+
+TEST_P(SeededTest, DominanceImpliesBetterExpectedUtility) {
+  // For every monotone non-increasing utility, FSD dominance must imply a
+  // weakly better expected utility — checked on random pairs.
+  Rng rng(300 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a, b;
+    double mu_a = rng.Uniform(50, 150), mu_b = rng.Uniform(50, 150);
+    double sd_a = rng.Uniform(2, 30), sd_b = rng.Uniform(2, 30);
+    for (int i = 0; i < 2000; ++i) {
+      a.push_back(mu_a + rng.Normal(0, sd_a));
+      b.push_back(mu_b + rng.Normal(0, sd_b));
+    }
+    Histogram ha = *Histogram::FromSamples(a, 40);
+    Histogram hb = *Histogram::FromSamples(b, 40);
+    if (!ha.DominatesForMinimization(hb)) continue;
+    RiskNeutralUtility neutral;
+    ExponentialUtility averse(2.0, 100.0);
+    ExponentialUtility loving(-2.0, 100.0);
+    DeadlineUtility deadline(rng.Uniform(60, 160));
+    for (const UtilityFunction* u :
+         std::vector<const UtilityFunction*>{&neutral, &averse, &loving,
+                                             &deadline}) {
+      EXPECT_GE(ExpectedUtility(ha, *u) + 1e-9, ExpectedUtility(hb, *u))
+          << "utility " << u->Name();
+    }
+  }
+}
+
+TEST_P(SeededTest, PruningInvariantUnderPermutation) {
+  Rng rng(400 + GetParam());
+  std::vector<Histogram> candidates;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> samples;
+    double mu = rng.Uniform(80, 160), sd = rng.Uniform(3, 25);
+    for (int s = 0; s < 1500; ++s) samples.push_back(mu + rng.Normal(0, sd));
+    candidates.push_back(*Histogram::FromSamples(samples, 32));
+  }
+  std::vector<int> survivors = FsdNonDominated(candidates);
+  // Permute and re-prune: the surviving *set* must be identical.
+  std::vector<int> perm(candidates.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+  rng.Shuffle(&perm);
+  std::vector<Histogram> shuffled;
+  for (int p : perm) shuffled.push_back(candidates[p]);
+  std::vector<int> survivors_shuffled = FsdNonDominated(shuffled);
+  std::set<int> original(survivors.begin(), survivors.end());
+  std::set<int> mapped;
+  for (int s : survivors_shuffled) mapped.insert(perm[s]);
+  EXPECT_EQ(original, mapped);
+}
+
+// ---------- Shortest-path structure --------------------------------------
+
+TEST_P(SeededTest, SubpathsOfShortestPathsAreShortest) {
+  Rng rng(500 + GetParam());
+  GridNetworkSpec spec;
+  spec.rows = 5;
+  spec.cols = 5;
+  spec.diagonal_probability = 0.3;
+  RoadNetwork net = GenerateGridNetwork(spec, &rng);
+  auto cost = FreeFlowTimeCost(net);
+  int source = rng.Index(static_cast<int>(net.NumNodes()));
+  int target = rng.Index(static_cast<int>(net.NumNodes()));
+  if (source == target) return;
+  Result<Path> p = ShortestPath(net, source, target, cost);
+  ASSERT_TRUE(p.ok());
+  // Every prefix of the optimal path is an optimal path to its endpoint.
+  double prefix_cost = 0.0;
+  for (size_t i = 0; i < p->edges.size(); ++i) {
+    prefix_cost += cost(p->edges[i]);
+    int mid = p->nodes[i + 1];
+    Result<Path> sub = ShortestPath(net, source, mid, cost);
+    ASSERT_TRUE(sub.ok());
+    EXPECT_NEAR(sub->cost, prefix_cost, 1e-9);
+  }
+}
+
+TEST_P(SeededTest, TriangleInequalityOnTreeDistances) {
+  Rng rng(600 + GetParam());
+  GridNetworkSpec spec;
+  spec.rows = 5;
+  spec.cols = 4;
+  RoadNetwork net = GenerateGridNetwork(spec, &rng);
+  auto cost = LengthCost(net);
+  int a = rng.Index(static_cast<int>(net.NumNodes()));
+  int b = rng.Index(static_cast<int>(net.NumNodes()));
+  std::vector<double> from_a = ShortestPathTree(net, a, cost);
+  std::vector<double> from_b = ShortestPathTree(net, b, cost);
+  for (size_t c = 0; c < net.NumNodes(); ++c) {
+    if (!std::isfinite(from_a[c]) || !std::isfinite(from_a[b])) continue;
+    EXPECT_LE(from_a[c], from_a[b] + from_b[c] + 1e-9);
+  }
+}
+
+TEST_P(SeededTest, KspPrefixStability) {
+  Rng rng(700 + GetParam());
+  GridNetworkSpec spec;
+  spec.rows = 5;
+  spec.cols = 5;
+  spec.diagonal_probability = 0.3;
+  RoadNetwork net = GenerateGridNetwork(spec, &rng);
+  auto cost = FreeFlowTimeCost(net);
+  Result<std::vector<Path>> k3 = KShortestPaths(net, 0, 24, 3, cost);
+  Result<std::vector<Path>> k6 = KShortestPaths(net, 0, 24, 6, cost);
+  ASSERT_TRUE(k3.ok());
+  ASSERT_TRUE(k6.ok());
+  ASSERT_GE(k6->size(), k3->size());
+  for (size_t i = 0; i < k3->size(); ++i) {
+    EXPECT_EQ((*k3)[i].nodes, (*k6)[i].nodes);
+  }
+}
+
+// ---------- Imputation contracts -----------------------------------------
+
+TEST_P(SeededTest, ImputationIsIdempotent) {
+  Rng rng(800 + GetParam());
+  TimeSeries ts = TimeSeries::Regular(0, 60, 200, 3);
+  for (size_t c = 0; c < 3; ++c) {
+    ts.SetChannel(c, GenerateSeries(TrafficLikeSpec(24), 200, &rng));
+  }
+  InjectMissingMcar(&ts, 0.3, &rng);
+  TimeSeries once = ts;
+  ASSERT_TRUE(LinearInterpolationImputer().Impute(&once).ok());
+  TimeSeries twice = once;
+  ASSERT_TRUE(LinearInterpolationImputer().Impute(&twice).ok());
+  EXPECT_EQ(once.values(), twice.values());
+}
+
+TEST_P(SeededTest, ImputedValuesStayWithinObservedRange) {
+  Rng rng(900 + GetParam());
+  TimeSeries ts = TimeSeries::Regular(0, 60, 300, 1);
+  ts.SetChannel(0, GenerateSeries(TrafficLikeSpec(24), 300, &rng));
+  double lo = 1e300, hi = -1e300;
+  for (size_t t = 0; t < 300; ++t) {
+    lo = std::min(lo, ts.At(t, 0));
+    hi = std::max(hi, ts.At(t, 0));
+  }
+  InjectMissingBlocks(&ts, 0.4, 20, &rng);
+  // Linear interpolation and LOCF are convex-combination methods: imputed
+  // values must stay inside the observed envelope.
+  for (auto make : {+[]() -> Imputer* { return new LinearInterpolationImputer; },
+                    +[]() -> Imputer* { return new LocfImputer; }}) {
+    std::unique_ptr<Imputer> imputer(make());
+    TimeSeries repaired = ts;
+    ASSERT_TRUE(imputer->Impute(&repaired).ok());
+    for (size_t t = 0; t < 300; ++t) {
+      EXPECT_GE(repaired.At(t, 0), lo - 1e-9) << imputer->Name();
+      EXPECT_LE(repaired.At(t, 0), hi + 1e-9) << imputer->Name();
+    }
+  }
+}
+
+// ---------- Statistics invariants ----------------------------------------
+
+TEST_P(SeededTest, RankNormalizePermutationEquivariant) {
+  Rng rng(1000 + GetParam());
+  std::vector<double> scores;
+  for (int i = 0; i < 50; ++i) scores.push_back(rng.Normal());
+  std::vector<double> ranks = RankNormalize(scores);
+  // Applying the same permutation to inputs permutes outputs identically.
+  std::vector<int> perm(scores.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+  rng.Shuffle(&perm);
+  std::vector<double> shuffled_scores(scores.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    shuffled_scores[i] = scores[perm[i]];
+  }
+  std::vector<double> shuffled_ranks = RankNormalize(shuffled_scores);
+  for (size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_DOUBLE_EQ(shuffled_ranks[i], ranks[perm[i]]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace tsdm

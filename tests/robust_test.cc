@@ -1,0 +1,153 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/forecast/metrics.h"
+#include "src/analytics/robust/continual.h"
+#include "src/analytics/robust/drift.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+TEST(PageHinkleyTest, DetectsMeanShift) {
+  Rng rng(1);
+  PageHinkleyDetector d(0.2, 15.0);
+  bool detected = false;
+  for (int i = 0; i < 300; ++i) {
+    detected = d.Update(rng.Normal(0.0, 1.0)) || detected;
+  }
+  EXPECT_FALSE(detected);  // stable stream: no false alarm
+  int latency = -1;
+  for (int i = 0; i < 300; ++i) {
+    if (d.Update(rng.Normal(5.0, 1.0))) {
+      latency = i;
+      break;
+    }
+  }
+  EXPECT_GE(latency, 0);
+  EXPECT_LT(latency, 100);
+}
+
+TEST(AdwinLiteTest, DetectsMeanShiftWithBoundedFalseAlarms) {
+  Rng rng(2);
+  AdwinLiteDetector d(200, 0.002);
+  int false_alarms = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (d.Update(rng.Normal(0.0, 1.0))) ++false_alarms;
+  }
+  EXPECT_LE(false_alarms, 3);
+  d.Reset();
+  for (int i = 0; i < 100; ++i) d.Update(rng.Normal(0.0, 1.0));
+  bool detected = false;
+  for (int i = 0; i < 200 && !detected; ++i) {
+    detected = d.Update(rng.Normal(4.0, 1.0));
+  }
+  EXPECT_TRUE(detected);
+}
+
+/// Two-regime stream: regime A (seasonal level 20), regime B (level 60,
+/// different dynamics).
+std::vector<double> Regime(int which, int n, int seed) {
+  Rng rng(seed);
+  SeriesSpec spec;
+  spec.level = which == 0 ? 20.0 : 60.0;
+  spec.seasonal = {{16, which == 0 ? 5.0 : 2.0, 0.0}};
+  spec.ar_coefficients = {0.4};
+  spec.ar_innovation_stddev = 0.5;
+  spec.noise_stddev = 0.3;
+  return GenerateSeries(spec, n, &rng);
+}
+
+TEST(ContinualTest, ReplayRemembersOldRegime) {
+  std::vector<double> regime_a = Regime(0, 600, 3);
+  std::vector<double> regime_b = Regime(1, 600, 4);
+
+  FineTuneForecaster finetune(8, 256);
+  ReplayForecaster::Options ropts;
+  ropts.replay_capacity = 1024;
+  ReplayForecaster replay(ropts);
+
+  // Stream regime A then regime B in chunks.
+  for (int c = 0; c < 4; ++c) {
+    std::vector<double> chunk(regime_a.begin() + c * 150,
+                              regime_a.begin() + (c + 1) * 150);
+    ASSERT_TRUE(finetune.ObserveChunk(chunk).ok());
+    ASSERT_TRUE(replay.ObserveChunk(chunk).ok());
+  }
+  for (int c = 0; c < 4; ++c) {
+    std::vector<double> chunk(regime_b.begin() + c * 150,
+                              regime_b.begin() + (c + 1) * 150);
+    ASSERT_TRUE(finetune.ObserveChunk(chunk).ok());
+    ASSERT_TRUE(replay.ObserveChunk(chunk).ok());
+  }
+
+  // Probe forgetting: forecast regime-A-style continuation.
+  std::vector<double> probe = Regime(0, 300, 5);
+  std::vector<double> context(probe.begin(), probe.end() - 12);
+  std::vector<double> actual(probe.end() - 12, probe.end());
+  auto fc_ft = finetune.ForecastFrom(context, 12);
+  auto fc_rp = replay.ForecastFrom(context, 12);
+  ASSERT_TRUE(fc_ft.ok());
+  ASSERT_TRUE(fc_rp.ok());
+  double err_ft = MeanAbsoluteError(actual, *fc_ft);
+  double err_rp = MeanAbsoluteError(actual, *fc_rp);
+  EXPECT_LT(err_rp, err_ft * 1.05);  // replay no worse on old regime
+}
+
+TEST(ContinualTest, BothAdaptToCurrentRegime) {
+  std::vector<double> regime_b = Regime(1, 900, 6);
+  FineTuneForecaster finetune;
+  ReplayForecaster replay;
+  for (int c = 0; c < 6; ++c) {
+    std::vector<double> chunk(regime_b.begin() + c * 150,
+                              regime_b.begin() + (c + 1) * 150);
+    ASSERT_TRUE(finetune.ObserveChunk(chunk).ok());
+    ASSERT_TRUE(replay.ObserveChunk(chunk).ok());
+  }
+  auto fc_ft = finetune.Forecast(6);
+  auto fc_rp = replay.Forecast(6);
+  ASSERT_TRUE(fc_ft.ok());
+  ASSERT_TRUE(fc_rp.ok());
+  // Forecasts should be near the regime level, not wildly off.
+  for (double v : *fc_ft) EXPECT_NEAR(v, 60.0, 20.0);
+  for (double v : *fc_rp) EXPECT_NEAR(v, 60.0, 20.0);
+}
+
+TEST(MultiScaleTest, FitsAndWeightsSumToOne) {
+  Rng rng(7);
+  SeriesSpec spec = TrafficLikeSpec(24);
+  std::vector<double> v = GenerateSeries(spec, 600, &rng);
+  MultiScaleForecaster model({1, 2, 4}, 8);
+  ASSERT_TRUE(model.Fit(v).ok());
+  double sum = 0.0;
+  for (double w : model.pathway_weights()) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  auto fc = model.Forecast(12);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_EQ(fc->size(), 12u);
+}
+
+TEST(MultiScaleTest, CompetitiveWithSingleScale) {
+  Rng rng(8);
+  SeriesSpec spec = TrafficLikeSpec(24);
+  std::vector<double> v = GenerateSeries(spec, 24 * 30, &rng);
+  std::vector<double> train(v.begin(), v.end() - 24);
+  std::vector<double> actual(v.end() - 24, v.end());
+  MultiScaleForecaster multi({1, 2, 4}, 8);
+  ArForecaster single(8);
+  ASSERT_TRUE(multi.Fit(train).ok());
+  ASSERT_TRUE(single.Fit(train).ok());
+  double err_multi = MeanAbsoluteError(actual, *multi.Forecast(24));
+  double err_single = MeanAbsoluteError(actual, *single.Forecast(24));
+  EXPECT_LT(err_multi, err_single * 1.3);
+}
+
+TEST(MultiScaleTest, TooShortHistoryFails) {
+  MultiScaleForecaster model;
+  EXPECT_FALSE(model.Fit({1, 2, 3}).ok());
+  EXPECT_FALSE(model.Forecast(3).ok());
+}
+
+}  // namespace
+}  // namespace tsdm

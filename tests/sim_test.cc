@@ -1,0 +1,207 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/sim/cloud_gen.h"
+#include "src/sim/inject.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+#include "src/sim/traj_sim.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+TEST(TsGenTest, SeasonalSignalHasSeasonalAutocorrelation) {
+  Rng rng(1);
+  SeriesSpec spec = TrafficLikeSpec(24);
+  spec.ar_coefficients.clear();  // isolate seasonality
+  spec.ar_innovation_stddev = 0.0;
+  spec.noise_stddev = 0.1;
+  std::vector<double> v = GenerateSeries(spec, 24 * 20, &rng);
+  EXPECT_GT(Autocorrelation(v, 24), 0.9);
+}
+
+TEST(TsGenTest, TrendShowsUp) {
+  Rng rng(2);
+  SeriesSpec spec;
+  spec.trend_per_step = 0.5;
+  spec.noise_stddev = 0.1;
+  spec.ar_innovation_stddev = 0.0;
+  std::vector<double> v = GenerateSeries(spec, 100, &rng);
+  EXPECT_GT(v.back(), v.front() + 40.0);
+}
+
+TEST(TsGenTest, CorrelatedFieldStrengthControlsCorrelation) {
+  Rng rng(3);
+  CorrelatedFieldSpec strong;
+  strong.spatial_strength = 0.95;
+  CorrelatedFieldSpec weak = strong;
+  weak.spatial_strength = 0.05;
+  CorrelatedTimeSeries cts_strong = GenerateCorrelatedField(strong, 300, &rng);
+  CorrelatedTimeSeries cts_weak = GenerateCorrelatedField(weak, 300, &rng);
+  ASSERT_TRUE(cts_strong.Validate().ok());
+  EXPECT_GT(cts_strong.MeanEdgeCorrelation(),
+            cts_weak.MeanEdgeCorrelation() + 0.2);
+}
+
+TEST(InjectTest, McarHitsRequestedRate) {
+  Rng rng(4);
+  TimeSeries ts = TimeSeries::Regular(0, 1, 1000, 4);
+  size_t removed = InjectMissingMcar(&ts, 0.3, &rng);
+  EXPECT_EQ(removed, ts.CountMissing());
+  EXPECT_NEAR(ts.MissingRate(), 0.3, 0.05);
+}
+
+TEST(InjectTest, BlocksCreateContiguousGaps) {
+  Rng rng(5);
+  TimeSeries ts = TimeSeries::Regular(0, 1, 500, 2);
+  size_t removed = InjectMissingBlocks(&ts, 0.2, 20, &rng);
+  EXPECT_GT(removed, 100u);
+  EXPECT_NEAR(ts.MissingRate(), 0.2, 0.1);
+}
+
+TEST(InjectTest, SpikesAreDetectableAndLabeled) {
+  Rng rng(6);
+  TimeSeries ts = TimeSeries::Regular(0, 1, 400, 1);
+  for (size_t t = 0; t < 400; ++t) ts.Set(t, 0, std::sin(t * 0.1));
+  auto anomalies = InjectAnomalies(&ts, AnomalyKind::kSpike, 5, 8.0, &rng);
+  EXPECT_EQ(anomalies.size(), 5u);
+  std::vector<int> labels = AnomalyLabels(anomalies, 0, 400);
+  int count = 0;
+  for (int l : labels) count += l;
+  EXPECT_GE(count, 1);
+  EXPECT_LE(count, 5);
+  // The spiked positions deviate strongly.
+  for (const auto& a : anomalies) {
+    EXPECT_GT(std::fabs(ts.At(a.start, 0)), 2.0);
+  }
+}
+
+TEST(TrafficSimTest, RushHourIsMoreCongested) {
+  Rng rng(7);
+  GridNetworkSpec gspec;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  TrafficSimulator sim(&net, TrafficSpec{});
+  double rush = sim.CongestionLevel(8.0 * 3600);
+  double night = sim.CongestionLevel(3.0 * 3600);
+  EXPECT_GT(rush, 2.0 * night);
+}
+
+TEST(TrafficSimTest, TravelTimesExceedFreeFlow) {
+  Rng rng(8);
+  GridNetworkSpec gspec;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  TrafficSimulator sim(&net, TrafficSpec{});
+  std::vector<int> path = RandomPath(net, 5, 50, &rng);
+  ASSERT_FALSE(path.empty());
+  for (int trial = 0; trial < 20; ++trial) {
+    double t = sim.SamplePathTime(path, 8.0 * 3600, &rng);
+    EXPECT_GT(t, net.PathFreeFlowTime(path));
+  }
+}
+
+TEST(TrafficSimTest, SharedSeverityCreatesPathVariance) {
+  // With alpha=1 (fully shared), path time variance must exceed the
+  // sum of independent per-edge variances sampled with alpha=0.
+  Rng rng(9);
+  GridNetworkSpec gspec;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  TrafficSpec shared_spec;
+  shared_spec.shared_fraction = 1.0;
+  TrafficSpec indep_spec;
+  indep_spec.shared_fraction = 0.0;
+  TrafficSimulator shared_sim(&net, shared_spec);
+  TrafficSimulator indep_sim(&net, indep_spec);
+  std::vector<int> path = RandomPath(net, 8, 50, &rng);
+  ASSERT_FALSE(path.empty());
+  std::vector<double> shared_times, indep_times;
+  for (int i = 0; i < 600; ++i) {
+    shared_times.push_back(shared_sim.SamplePathTime(path, 8 * 3600, &rng));
+    indep_times.push_back(indep_sim.SamplePathTime(path, 8 * 3600, &rng));
+  }
+  EXPECT_GT(Variance(shared_times), 1.5 * Variance(indep_times));
+}
+
+TEST(TrafficSimTest, EdgeSpeedSeriesShape) {
+  Rng rng(10);
+  GridNetworkSpec gspec;
+  gspec.rows = 4;
+  gspec.cols = 4;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  std::vector<int> edges = {0, 1, 2, 3, 4};
+  CorrelatedTimeSeries cts =
+      TrafficSimulator(&net, TrafficSpec{})
+          .GenerateEdgeSpeedSeries(edges, 48, 1800, &rng);
+  ASSERT_TRUE(cts.Validate().ok());
+  EXPECT_EQ(cts.NumSensors(), 5u);
+  EXPECT_EQ(cts.NumSteps(), 48u);
+  // Speeds positive and below free flow.
+  for (size_t t = 0; t < 48; ++t) {
+    for (size_t s = 0; s < 5; ++s) {
+      EXPECT_GT(cts.At(t, s), 0.0);
+      EXPECT_LE(cts.At(t, s), net.edge(edges[s]).free_flow_speed + 1e-9);
+    }
+  }
+}
+
+TEST(TrajSimTest, DriveCoversPathAndEmitsGps) {
+  Rng rng(11);
+  GridNetworkSpec gspec;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  TrafficSimulator sim(&net, TrafficSpec{});
+  std::vector<int> path = RandomPath(net, 6, 50, &rng);
+  ASSERT_FALSE(path.empty());
+  GpsSpec gps;
+  gps.dropout_probability = 0.0;
+  SimulatedDrive drive = SimulateDrive(net, sim, path, 9 * 3600, gps, &rng);
+  EXPECT_EQ(drive.edge_path, path);
+  EXPECT_GT(drive.total_time, 0.0);
+  EXPECT_EQ(drive.gps.NumPoints(), drive.gps_true_edges.size());
+  EXPECT_GT(drive.gps.NumPoints(), 2u);
+  EXPECT_TRUE(drive.gps.IsTimeOrdered());
+}
+
+TEST(TrajSimTest, DropoutReducesFixCount) {
+  Rng rng(12);
+  GridNetworkSpec gspec;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  TrafficSimulator sim(&net, TrafficSpec{});
+  std::vector<int> path = RandomPath(net, 8, 50, &rng);
+  ASSERT_FALSE(path.empty());
+  GpsSpec clean;
+  clean.dropout_probability = 0.0;
+  GpsSpec lossy;
+  lossy.dropout_probability = 0.5;
+  SimulatedDrive d1 = SimulateDrive(net, sim, path, 0, clean, &rng);
+  SimulatedDrive d2 = SimulateDrive(net, sim, path, 0, lossy, &rng);
+  EXPECT_LT(d2.gps.NumPoints(), d1.gps.NumPoints());
+}
+
+TEST(CloudGenTest, DemandNonNegativeWithDailyCycle) {
+  Rng rng(13);
+  CloudDemandSpec spec;
+  spec.surges_per_day = 0.0;
+  std::vector<double> d = GenerateCloudDemand(spec, spec.steps_per_day * 10,
+                                              &rng);
+  for (double v : d) EXPECT_GE(v, 0.0);
+  EXPECT_GT(Autocorrelation(d, spec.steps_per_day), 0.7);
+}
+
+TEST(CloudGenTest, SurgesRaiseThePeak) {
+  Rng rng(14);
+  CloudDemandSpec calm;
+  calm.surges_per_day = 0.0;
+  calm.noise_stddev = 0.0;
+  CloudDemandSpec surging = calm;
+  surging.surges_per_day = 3.0;
+  auto d_calm = GenerateCloudDemand(calm, calm.steps_per_day * 7, &rng);
+  auto d_surge = GenerateCloudDemand(surging, calm.steps_per_day * 7, &rng);
+  double max_calm = *std::max_element(d_calm.begin(), d_calm.end());
+  double max_surge = *std::max_element(d_surge.begin(), d_surge.end());
+  EXPECT_GT(max_surge, max_calm + 10.0);
+}
+
+}  // namespace
+}  // namespace tsdm

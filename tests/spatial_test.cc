@@ -1,0 +1,178 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sim/road_gen.h"
+#include "src/spatial/geometry.h"
+#include "src/spatial/road_network.h"
+#include "src/spatial/shortest_path.h"
+
+namespace tsdm {
+namespace {
+
+/// A 2x2 square with an expensive direct edge and a cheap two-hop detour.
+RoadNetwork MakeDiamond() {
+  RoadNetwork net;
+  int a = net.AddNode(0, 0);
+  int b = net.AddNode(100, 0);
+  int c = net.AddNode(0, 100);
+  int d = net.AddNode(100, 100);
+  // Slow direct edge a->d, fast detours via b and c.
+  net.AddEdge(a, d, 1.0, 141.4);   // ~141 s
+  net.AddEdge(a, b, 10.0, 100.0);  // 10 s
+  net.AddEdge(b, d, 10.0, 100.0);  // 10 s
+  net.AddEdge(a, c, 5.0, 100.0);   // 20 s
+  net.AddEdge(c, d, 5.0, 100.0);   // 20 s
+  return net;
+}
+
+TEST(RoadNetworkTest, EdgeBookkeeping) {
+  RoadNetwork net = MakeDiamond();
+  EXPECT_EQ(net.NumNodes(), 4u);
+  EXPECT_EQ(net.NumEdges(), 5u);
+  EXPECT_EQ(net.OutEdges(0).size(), 3u);
+  EXPECT_EQ(net.InEdges(3).size(), 3u);
+  EXPECT_GE(net.FindEdge(0, 3), 0);
+  EXPECT_EQ(net.FindEdge(3, 0), -1);
+  EXPECT_NEAR(net.FreeFlowTime(net.FindEdge(0, 1)), 10.0, 1e-9);
+}
+
+TEST(RoadNetworkTest, RejectsBadEdges) {
+  RoadNetwork net;
+  net.AddNode(0, 0);
+  EXPECT_FALSE(net.AddEdge(0, 5, 10.0).ok());
+  net.AddNode(1, 1);
+  EXPECT_FALSE(net.AddEdge(0, 1, 0.0).ok());
+  EXPECT_FALSE(net.AddEdge(0, 1, -3.0).ok());
+}
+
+TEST(RoadNetworkTest, NodePathToEdgePath) {
+  RoadNetwork net = MakeDiamond();
+  Result<std::vector<int>> edges = net.NodePathToEdgePath({0, 1, 3});
+  ASSERT_TRUE(edges.ok());
+  EXPECT_EQ(edges->size(), 2u);
+  EXPECT_FALSE(net.NodePathToEdgePath({1, 0}).ok());
+}
+
+TEST(ShortestPathTest, PicksCheapestRoute) {
+  RoadNetwork net = MakeDiamond();
+  Result<Path> p = ShortestPath(net, 0, 3, FreeFlowTimeCost(net));
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p->cost, 20.0, 1e-9);  // via b
+  ASSERT_EQ(p->nodes.size(), 3u);
+  EXPECT_EQ(p->nodes[1], 1);
+}
+
+TEST(ShortestPathTest, UnreachableTargetIsNotFound) {
+  RoadNetwork net;
+  net.AddNode(0, 0);
+  net.AddNode(1, 1);
+  Result<Path> p = ShortestPath(net, 0, 1, FreeFlowTimeCost(net));
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShortestPathTest, TreeDistancesMatchPointQueries) {
+  Rng rng(5);
+  GridNetworkSpec spec;
+  spec.rows = 5;
+  spec.cols = 5;
+  RoadNetwork net = GenerateGridNetwork(spec, &rng);
+  auto cost = FreeFlowTimeCost(net);
+  std::vector<double> dist = ShortestPathTree(net, 0, cost);
+  for (int target : {3, 12, 24}) {
+    Result<Path> p = ShortestPath(net, 0, target, cost);
+    ASSERT_TRUE(p.ok());
+    EXPECT_NEAR(p->cost, dist[target], 1e-9);
+  }
+}
+
+TEST(ShortestPathTest, AStarMatchesDijkstra) {
+  Rng rng(6);
+  GridNetworkSpec spec;
+  spec.rows = 6;
+  spec.cols = 6;
+  RoadNetwork net = GenerateGridNetwork(spec, &rng);
+  auto cost = FreeFlowTimeCost(net);
+  for (int target : {7, 20, 35}) {
+    Result<Path> d = ShortestPath(net, 0, target, cost);
+    Result<Path> a = AStarPath(net, 0, target, cost, spec.arterial_speed);
+    ASSERT_TRUE(d.ok());
+    ASSERT_TRUE(a.ok());
+    EXPECT_NEAR(d->cost, a->cost, 1e-9);
+  }
+}
+
+TEST(KShortestPathsTest, OrderedDistinctLoopless) {
+  Rng rng(7);
+  GridNetworkSpec spec;
+  spec.rows = 5;
+  spec.cols = 5;
+  spec.diagonal_probability = 0.3;
+  RoadNetwork net = GenerateGridNetwork(spec, &rng);
+  Result<std::vector<Path>> paths =
+      KShortestPaths(net, 0, 24, 6, FreeFlowTimeCost(net));
+  ASSERT_TRUE(paths.ok());
+  ASSERT_GE(paths->size(), 2u);
+  std::set<std::vector<int>> seen;
+  double prev_cost = 0.0;
+  for (const Path& p : *paths) {
+    EXPECT_GE(p.cost, prev_cost - 1e-9);  // sorted by cost
+    prev_cost = p.cost;
+    EXPECT_TRUE(seen.insert(p.nodes).second);  // distinct
+    std::set<int> unique_nodes(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(unique_nodes.size(), p.nodes.size());  // loopless
+    // Edges connect consecutively.
+    for (size_t i = 0; i < p.edges.size(); ++i) {
+      EXPECT_EQ(net.edge(p.edges[i]).from, p.nodes[i]);
+      EXPECT_EQ(net.edge(p.edges[i]).to, p.nodes[i + 1]);
+    }
+  }
+}
+
+TEST(KShortestPathsTest, RejectsBadK) {
+  RoadNetwork net = MakeDiamond();
+  EXPECT_FALSE(KShortestPaths(net, 0, 3, 0, FreeFlowTimeCost(net)).ok());
+}
+
+TEST(GeometryTest, ProjectionOntoSegment) {
+  SegmentProjection p =
+      ProjectOntoSegment({5, 5}, {0, 0}, {10, 0});
+  EXPECT_NEAR(p.closest.x, 5.0, 1e-9);
+  EXPECT_NEAR(p.closest.y, 0.0, 1e-9);
+  EXPECT_NEAR(p.distance, 5.0, 1e-9);
+  EXPECT_NEAR(p.fraction, 0.5, 1e-9);
+  // Beyond the endpoint: clamped.
+  SegmentProjection q = ProjectOntoSegment({20, 0}, {0, 0}, {10, 0});
+  EXPECT_NEAR(q.fraction, 1.0, 1e-9);
+  EXPECT_NEAR(q.distance, 10.0, 1e-9);
+}
+
+TEST(GeometryTest, EdgesNearOrdersByDistance) {
+  RoadNetwork net = MakeDiamond();
+  std::vector<int> near = EdgesNear(net, {50, 1}, 30.0);
+  ASSERT_FALSE(near.empty());
+  // Closest edge should be a->b (y=0 segment).
+  int ab = net.FindEdge(0, 1);
+  EXPECT_EQ(near.front(), ab);
+}
+
+TEST(GridGenTest, GridConnectivityAndSize) {
+  Rng rng(8);
+  GridNetworkSpec spec;
+  spec.rows = 4;
+  spec.cols = 3;
+  spec.diagonal_probability = 0.0;
+  RoadNetwork net = GenerateGridNetwork(spec, &rng);
+  EXPECT_EQ(net.NumNodes(), 12u);
+  // Lattice edges: 4*(3-1) horizontal + 3*(4-1) vertical, bidirectional.
+  EXPECT_EQ(net.NumEdges(), 2u * (4 * 2 + 3 * 3));
+  // Everything reachable from node 0.
+  std::vector<double> dist = ShortestPathTree(net, 0, LengthCost(net));
+  for (double d : dist) EXPECT_TRUE(std::isfinite(d));
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -1,0 +1,120 @@
+#include "src/common/stats.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace tsdm {
+namespace {
+
+TEST(StatsTest, MeanAndVarianceOfKnownData) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(Stdev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  std::vector<double> empty;
+  EXPECT_EQ(Mean(empty), 0.0);
+  EXPECT_EQ(Variance(empty), 0.0);
+  EXPECT_EQ(Quantile(empty, 0.5), 0.0);
+  EXPECT_EQ(Mad(empty), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+}
+
+TEST(StatsTest, MadIsRobustToOneOutlier) {
+  std::vector<double> clean = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<double> dirty = clean;
+  dirty.back() = 1000.0;
+  EXPECT_NEAR(Mad(clean), Mad(dirty), 1.0);
+  EXPECT_GT(Stdev(dirty), 10 * Stdev(clean));  // stdev is not robust
+}
+
+TEST(StatsTest, PerfectCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+}
+
+TEST(StatsTest, CorrelationOfConstantIsZero) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> constant = {5, 5, 5, 5};
+  EXPECT_EQ(PearsonCorrelation(a, constant), 0.0);
+}
+
+TEST(StatsTest, AutocorrelationOfPeriodTwoSignal) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(Autocorrelation(v, 2), 1.0, 1e-9);
+  EXPECT_NEAR(Autocorrelation(v, 1), -1.0, 1e-9);
+  EXPECT_EQ(Autocorrelation(v, 200), 0.0);  // lag beyond length
+}
+
+TEST(StatsTest, FiniteValuesStripsNanAndInf) {
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> v = {1.0, nan, 2.0, inf, 3.0, -inf};
+  std::vector<double> f = FiniteValues(v);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], 1.0);
+  EXPECT_EQ(f[2], 3.0);
+}
+
+TEST(OnlineStatsTest, MatchesBatchComputation) {
+  Rng rng(3);
+  std::vector<double> v;
+  OnlineStats online;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Normal(5.0, 2.0);
+    v.push_back(x);
+    online.Add(x);
+  }
+  EXPECT_NEAR(online.mean(), Mean(v), 1e-9);
+  EXPECT_NEAR(online.variance(), Variance(v), 1e-9);
+  EXPECT_EQ(online.count(), 1000u);
+  EXPECT_LE(online.min(), online.mean());
+  EXPECT_GE(online.max(), online.mean());
+}
+
+TEST(OnlineStatsTest, SinglePointHasZeroVariance) {
+  OnlineStats s;
+  s.Add(7.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 7.0);
+  EXPECT_EQ(s.min(), 7.0);
+  EXPECT_EQ(s.max(), 7.0);
+}
+
+// Property sweep: quantile is monotone in q for random data.
+class QuantileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotoneTest, MonotoneInQ) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.Normal(0, 10));
+  double prev = -1e300;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    double x = Quantile(v, q);
+    EXPECT_GE(x, prev);
+    prev = x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace tsdm

@@ -1,0 +1,88 @@
+#include "src/data/time_series.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tsdm {
+namespace {
+
+TEST(TimeSeriesTest, RegularConstruction) {
+  TimeSeries ts = TimeSeries::Regular(1000, 60, 5, 2);
+  EXPECT_EQ(ts.NumSteps(), 5u);
+  EXPECT_EQ(ts.NumChannels(), 2u);
+  EXPECT_EQ(ts.Timestamp(0), 1000);
+  EXPECT_EQ(ts.Timestamp(4), 1240);
+  EXPECT_TRUE(ts.HasSortedTimestamps());
+  EXPECT_EQ(ts.At(3, 1), 0.0);
+}
+
+TEST(TimeSeriesTest, FromValuesSingleChannel) {
+  TimeSeries ts = TimeSeries::FromValues({1.5, 2.5, 3.5});
+  EXPECT_EQ(ts.NumSteps(), 3u);
+  EXPECT_EQ(ts.NumChannels(), 1u);
+  EXPECT_EQ(ts.At(1, 0), 2.5);
+  EXPECT_EQ(ts.Channel(0)[2], 3.5);
+}
+
+TEST(TimeSeriesTest, MissingValueAccounting) {
+  TimeSeries ts = TimeSeries::Regular(0, 1, 4, 2);
+  EXPECT_EQ(ts.CountMissing(), 0u);
+  ts.Set(1, 0, kMissingValue);
+  ts.Set(2, 1, kMissingValue);
+  EXPECT_TRUE(ts.IsMissing(1, 0));
+  EXPECT_FALSE(ts.IsMissing(0, 0));
+  EXPECT_EQ(ts.CountMissing(), 2u);
+  EXPECT_DOUBLE_EQ(ts.MissingRate(), 0.25);
+}
+
+TEST(TimeSeriesTest, SetChannelValidatesSize) {
+  TimeSeries ts = TimeSeries::Regular(0, 1, 3, 1);
+  EXPECT_FALSE(ts.SetChannel(0, {1.0}).ok());
+  ASSERT_TRUE(ts.SetChannel(0, {1.0, 2.0, 3.0}).ok());
+  EXPECT_EQ(ts.At(2, 0), 3.0);
+}
+
+TEST(TimeSeriesTest, SliceCopiesRange) {
+  TimeSeries ts = TimeSeries::Regular(0, 10, 6, 1);
+  for (size_t i = 0; i < 6; ++i) ts.Set(i, 0, static_cast<double>(i));
+  TimeSeries slice = ts.Slice(2, 5);
+  EXPECT_EQ(slice.NumSteps(), 3u);
+  EXPECT_EQ(slice.Timestamp(0), 20);
+  EXPECT_EQ(slice.At(0, 0), 2.0);
+  EXPECT_EQ(slice.At(2, 0), 4.0);
+  // Out-of-range slice is empty.
+  EXPECT_TRUE(ts.Slice(4, 3).empty());
+  EXPECT_TRUE(ts.Slice(0, 100).empty());
+}
+
+TEST(TimeSeriesTest, AppendGrowsSeries) {
+  TimeSeries ts;
+  ASSERT_TRUE(ts.Append(10, {1.0, 2.0}).ok());
+  ASSERT_TRUE(ts.Append(20, {3.0, 4.0}).ok());
+  EXPECT_EQ(ts.NumSteps(), 2u);
+  EXPECT_EQ(ts.NumChannels(), 2u);
+  EXPECT_EQ(ts.At(1, 1), 4.0);
+  // Wrong arity rejected.
+  EXPECT_FALSE(ts.Append(30, {5.0}).ok());
+}
+
+TEST(TimeSeriesTest, ObservationVector) {
+  TimeSeries ts = TimeSeries::Regular(0, 1, 2, 3);
+  ts.Set(1, 0, 7.0);
+  ts.Set(1, 2, 9.0);
+  std::vector<double> obs = ts.Observation(1);
+  ASSERT_EQ(obs.size(), 3u);
+  EXPECT_EQ(obs[0], 7.0);
+  EXPECT_EQ(obs[2], 9.0);
+}
+
+TEST(TimeSeriesTest, UnsortedTimestampsDetected) {
+  TimeSeries ts;
+  ASSERT_TRUE(ts.Append(10, {1.0}).ok());
+  ASSERT_TRUE(ts.Append(5, {2.0}).ok());
+  EXPECT_FALSE(ts.HasSortedTimestamps());
+}
+
+}  // namespace
+}  // namespace tsdm

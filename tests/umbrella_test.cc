@@ -1,0 +1,30 @@
+/// Verifies the umbrella header is self-contained and exposes the main
+/// entry points of every paradigm box.
+
+#include "src/tsdm.h"
+
+#include <gtest/gtest.h>
+
+namespace tsdm {
+namespace {
+
+TEST(UmbrellaTest, CoreTypesAreUsable) {
+  // Data.
+  TimeSeries ts = TimeSeries::FromValues({1.0, 2.0, 3.0});
+  EXPECT_EQ(ts.NumSteps(), 3u);
+  // Governance.
+  Result<Histogram> h = Histogram::FromSamples({1.0, 2.0, 3.0}, 4);
+  EXPECT_TRUE(h.ok());
+  // Analytics.
+  NaiveForecaster naive;
+  EXPECT_TRUE(naive.Fit({1.0, 2.0}).ok());
+  // Decision.
+  RiskNeutralUtility utility;
+  EXPECT_EQ(utility(5.0), -5.0);
+  // Paradigm.
+  Pipeline pipeline;
+  EXPECT_EQ(pipeline.NumStages(), 0u);
+}
+
+}  // namespace
+}  // namespace tsdm

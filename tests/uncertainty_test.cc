@@ -1,0 +1,196 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/governance/uncertainty/gmm.h"
+#include "src/governance/uncertainty/time_varying.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+#include "src/sim/traj_sim.h"
+
+namespace tsdm {
+namespace {
+
+TEST(GmmTest, FitValidation) {
+  EXPECT_FALSE(GaussianMixture::Fit({1.0}, 2).ok());
+  EXPECT_FALSE(GaussianMixture::Fit({1.0, 2.0}, 0).ok());
+}
+
+TEST(GmmTest, RecoversTwoWellSeparatedModes) {
+  Rng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) {
+    samples.push_back(i % 2 == 0 ? rng.Normal(0.0, 1.0)
+                                 : rng.Normal(20.0, 1.0));
+  }
+  Result<GaussianMixture> gmm = GaussianMixture::Fit(samples, 2);
+  ASSERT_TRUE(gmm.ok());
+  double lo_mean = std::min(gmm->component(0).mean, gmm->component(1).mean);
+  double hi_mean = std::max(gmm->component(0).mean, gmm->component(1).mean);
+  EXPECT_NEAR(lo_mean, 0.0, 0.5);
+  EXPECT_NEAR(hi_mean, 20.0, 0.5);
+  EXPECT_NEAR(gmm->component(0).weight + gmm->component(1).weight, 1.0,
+              1e-9);
+  EXPECT_NEAR(gmm->Mean(), 10.0, 0.5);
+}
+
+TEST(GmmTest, MixtureBeatsSingleGaussianOnBimodalData) {
+  Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 1500; ++i) {
+    samples.push_back(i % 2 == 0 ? rng.Normal(-5.0, 1.0)
+                                 : rng.Normal(5.0, 1.0));
+  }
+  Result<GaussianMixture> g1 = GaussianMixture::Fit(samples, 1);
+  Result<GaussianMixture> g2 = GaussianMixture::Fit(samples, 2);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_GT(g2->AverageLogLikelihood(samples),
+            g1->AverageLogLikelihood(samples) + 0.3);
+}
+
+TEST(GmmTest, CdfMonotoneAndSamplingConsistent) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.Normal(3.0, 2.0));
+  Result<GaussianMixture> gmm = GaussianMixture::Fit(samples, 2);
+  ASSERT_TRUE(gmm.ok());
+  double prev = -1.0;
+  for (double x = -5.0; x < 11.0; x += 0.5) {
+    double c = gmm->Cdf(x);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  std::vector<double> drawn;
+  for (int i = 0; i < 4000; ++i) drawn.push_back(gmm->Sample(&rng));
+  EXPECT_NEAR(Mean(drawn), gmm->Mean(), 0.2);
+}
+
+TEST(TimeVaryingTest, SlotsPartitionTheDay) {
+  TimeVaryingDistribution tvd(24);
+  EXPECT_EQ(tvd.SlotFor(0.0), 0);
+  EXPECT_EQ(tvd.SlotFor(3600.0 * 23.5), 23);
+  EXPECT_EQ(tvd.SlotFor(86400.0 + 1800.0), 0);  // wraps
+  EXPECT_EQ(tvd.SlotFor(-1800.0), 23);          // wraps negative
+}
+
+TEST(TimeVaryingTest, PerSlotDistributionsDiffer) {
+  Rng rng(4);
+  TimeVaryingDistribution tvd(24);
+  // Morning slot (8h) slow, night slot (3h) fast.
+  for (int i = 0; i < 500; ++i) {
+    tvd.AddObservation(8.0 * 3600, rng.Normal(100.0, 5.0));
+    tvd.AddObservation(3.0 * 3600, rng.Normal(40.0, 5.0));
+  }
+  ASSERT_TRUE(tvd.Build(32).ok());
+  EXPECT_GT(tvd.DistributionAt(8.0 * 3600).Mean(), 90.0);
+  EXPECT_LT(tvd.DistributionAt(3.0 * 3600).Mean(), 50.0);
+  // An empty slot borrows the global distribution (between the two).
+  double noon = tvd.DistributionAt(12.0 * 3600).Mean();
+  EXPECT_GT(noon, 50.0);
+  EXPECT_LT(noon, 90.0);
+}
+
+TEST(TimeVaryingTest, BuildWithoutDataFails) {
+  TimeVaryingDistribution tvd(4);
+  EXPECT_FALSE(tvd.Build().ok());
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(7);
+    GridNetworkSpec gspec;
+    gspec.rows = 6;
+    gspec.cols = 6;
+    net_ = GenerateGridNetwork(gspec, rng_.get());
+    TrafficSpec tspec;
+    tspec.shared_fraction = 0.7;  // strongly correlated congestion
+    sim_ = std::make_unique<TrafficSimulator>(&net_, tspec);
+    path_ = RandomPath(net_, 8, 100, rng_.get());
+    ASSERT_FALSE(path_.empty());
+
+    // Train both models on the same simulated trips over the whole network.
+    edge_model_ = std::make_unique<EdgeCentricModel>(
+        static_cast<int>(net_.NumEdges()), 24);
+    path_model_ = std::make_unique<PathCentricModel>(24, 6);
+    for (int i = 0; i < 400; ++i) {
+      std::vector<int> p =
+          i % 3 == 0 ? path_ : RandomPath(net_, 4, 20, rng_.get());
+      if (p.empty()) continue;
+      TripObservation trip;
+      trip.edge_path = p;
+      trip.depart_seconds = 8.0 * 3600;
+      trip.edge_times =
+          sim_->SamplePathEdgeTimes(p, trip.depart_seconds, rng_.get());
+      edge_model_->AddTrip(trip);
+      path_model_->AddTrip(trip);
+    }
+    ASSERT_TRUE(edge_model_->Build(32).ok());
+    ASSERT_TRUE(path_model_->Build(32, 20).ok());
+  }
+
+  std::unique_ptr<Rng> rng_;
+  RoadNetwork net_;
+  std::unique_ptr<TrafficSimulator> sim_;
+  std::vector<int> path_;
+  std::unique_ptr<EdgeCentricModel> edge_model_;
+  std::unique_ptr<PathCentricModel> path_model_;
+};
+
+TEST_F(CostModelTest, BothModelsEstimateTheMean) {
+  // Ground truth by Monte Carlo.
+  std::vector<double> truth;
+  for (int i = 0; i < 2000; ++i) {
+    truth.push_back(sim_->SamplePathTime(path_, 8.0 * 3600, rng_.get()));
+  }
+  Result<Histogram> e =
+      edge_model_->PathCostDistribution(path_, 8.0 * 3600);
+  Result<Histogram> p =
+      path_model_->PathCostDistribution(path_, 8.0 * 3600);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(p.ok());
+  double true_mean = Mean(truth);
+  EXPECT_NEAR(e->Mean(), true_mean, 0.15 * true_mean);
+  EXPECT_NEAR(p->Mean(), true_mean, 0.15 * true_mean);
+}
+
+TEST_F(CostModelTest, PathCentricCapturesMoreVariance) {
+  // The edge-centric independence assumption underestimates the variance of
+  // correlated path costs; the path-centric model gets closer to the truth.
+  std::vector<double> truth;
+  for (int i = 0; i < 3000; ++i) {
+    truth.push_back(sim_->SamplePathTime(path_, 8.0 * 3600, rng_.get()));
+  }
+  double true_sd = Stdev(truth);
+  Histogram e = *edge_model_->PathCostDistribution(path_, 8.0 * 3600);
+  Histogram p = *path_model_->PathCostDistribution(path_, 8.0 * 3600);
+  EXPECT_LT(e.Stdev(), true_sd);                 // underestimates
+  EXPECT_GT(p.Stdev(), e.Stdev());               // path-centric is wider
+  EXPECT_LT(std::fabs(p.Stdev() - true_sd),
+            std::fabs(e.Stdev() - true_sd));     // and closer to truth
+}
+
+TEST_F(CostModelTest, PathCentricUsesFewerPieces) {
+  int pieces = path_model_->CoverSize(path_);
+  ASSERT_GT(pieces, 0);
+  EXPECT_LT(pieces, static_cast<int>(path_.size()));
+  EXPECT_GT(path_model_->NumLearnedSubpaths(), net_.NumEdges() / 4);
+}
+
+TEST_F(CostModelTest, UnknownEdgeIsNotFound) {
+  EXPECT_FALSE(edge_model_->PathCostDistribution({-1}, 0.0).ok());
+  EXPECT_EQ(
+      edge_model_->EdgeDistribution(static_cast<int>(net_.NumEdges()) - 1,
+                                    0.0)
+              .ok() ||
+          true,
+      true);  // may or may not be observed; just must not crash
+  PathCentricModel empty_model;
+  EXPECT_FALSE(empty_model.PathCostDistribution({0}, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace tsdm

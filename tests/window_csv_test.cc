@@ -1,0 +1,76 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/data/csv.h"
+#include "src/data/window.h"
+
+namespace tsdm {
+namespace {
+
+TEST(WindowTest, SupervisedLayout) {
+  // Series 0..9, lags=3, horizon=2: first row features (0,1,2), target 4.
+  std::vector<double> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  Result<SupervisedWindows> sw = MakeSupervised(v, 3, 2);
+  ASSERT_TRUE(sw.ok());
+  EXPECT_EQ(sw->features.rows(), 6u);
+  EXPECT_EQ(sw->features.cols(), 3u);
+  EXPECT_EQ(sw->features(0, 0), 0.0);
+  EXPECT_EQ(sw->features(0, 2), 2.0);
+  EXPECT_EQ(sw->targets[0], 4.0);
+  EXPECT_EQ(sw->targets[5], 9.0);
+}
+
+TEST(WindowTest, TooShortSeriesFails) {
+  EXPECT_FALSE(MakeSupervised({1.0, 2.0}, 3, 1).ok());
+  EXPECT_FALSE(MakeSupervised({1.0, 2.0, 3.0}, 0, 1).ok());
+  EXPECT_FALSE(MakeSupervised({1.0, 2.0, 3.0}, 1, 0).ok());
+}
+
+TEST(WindowTest, SlidingSubsequences) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  auto subs = SlidingSubsequences(v, 3, 1);
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[2][0], 3.0);
+  auto strided = SlidingSubsequences(v, 2, 2);
+  ASSERT_EQ(strided.size(), 2u);
+  EXPECT_EQ(strided[1][0], 3.0);
+  EXPECT_TRUE(SlidingSubsequences(v, 0, 1).empty());
+}
+
+TEST(WindowTest, TrainTestSplitFractions) {
+  std::vector<double> v(100, 1.0);
+  SeriesSplit s = TrainTestSplit(v, 0.8);
+  EXPECT_EQ(s.train.size(), 80u);
+  EXPECT_EQ(s.test.size(), 20u);
+  SeriesSplit all = TrainTestSplit(v, 1.5);  // clamped
+  EXPECT_EQ(all.train.size(), 100u);
+}
+
+TEST(CsvTest, RoundTripWithMissing) {
+  TimeSeries ts = TimeSeries::Regular(100, 60, 4, 2);
+  ts.Set(0, 0, 1.25);
+  ts.Set(1, 1, -3.5);
+  ts.Set(2, 0, kMissingValue);
+  std::string path = ::testing::TempDir() + "/tsdm_csv_test.csv";
+  ASSERT_TRUE(WriteTimeSeriesCsv(ts, path).ok());
+  Result<TimeSeries> back = ReadTimeSeriesCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumSteps(), 4u);
+  EXPECT_EQ(back->NumChannels(), 2u);
+  EXPECT_EQ(back->Timestamp(3), 280);
+  EXPECT_DOUBLE_EQ(back->At(0, 0), 1.25);
+  EXPECT_DOUBLE_EQ(back->At(1, 1), -3.5);
+  EXPECT_TRUE(back->IsMissing(2, 0));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  Result<TimeSeries> r = ReadTimeSeriesCsv("/nonexistent/really/not.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tsdm
