@@ -1,0 +1,89 @@
+// E1 — Parallel sharded pipeline execution. The Fig. 1 paradigm serves
+// many independent tenants/sensor partitions at once: one governed
+// pipeline (assess -> clean -> impute -> forecast) is run over 32
+// synthetic correlated-field shards by the BatchExecutor at 1/2/4/8
+// threads. Expected shape: near-linear throughput scaling up to the
+// machine's core count (flat on a single-core host), identical shard
+// outcomes at every thread count, and a per-stage p50/p95 latency table
+// dominated by the imputation and forecast stages.
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/executor.h"
+#include "src/core/pipeline.h"
+#include "src/sim/inject.h"
+#include "src/sim/ts_gen.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Table;
+
+constexpr int kNumShards = 32;
+constexpr int kSteps = 288;
+
+std::vector<PipelineContext> MakeShards() {
+  CorrelatedFieldSpec spec;
+  spec.grid_rows = 4;
+  spec.grid_cols = 4;
+  std::vector<PipelineContext> shards(kNumShards);
+  for (int i = 0; i < kNumShards; ++i) {
+    uint64_t seed = 7000 + static_cast<uint64_t>(i);
+    shards[i].data = GenerateCorrelatedField(spec, kSteps, seed);
+    Rng inject_rng(seed);
+    InjectMissingMcar(&shards[i].data.series(), 0.15, &inject_rng);
+    InjectMissingBlocks(&shards[i].data.series(), 0.05, 12, &inject_rng);
+  }
+  return shards;
+}
+
+Pipeline MakePipeline() {
+  RangeRule range{-1000.0, 1000.0};
+  Pipeline p;
+  p.AddStage(std::make_unique<AssessQualityStage>(range))
+      .AddStage(std::make_unique<CleanStage>(range))
+      .AddStage(std::make_unique<ImputeStage>())
+      .AddStage(std::make_unique<ForecastStage>(8, 12));
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  Pipeline pipeline = MakePipeline();
+
+  std::printf("hardware_concurrency: %u\n",
+              std::thread::hardware_concurrency());
+  Table table("E1 sharded pipeline execution: " +
+                  std::to_string(kNumShards) + " shards, 4-stage pipeline",
+              {"threads", "wall_s", "shards_per_s", "speedup", "ok"});
+
+  double sequential_wall = 0.0;
+  BatchReport four_thread_report;
+  for (int threads : {1, 2, 4, 8}) {
+    std::vector<PipelineContext> shards = MakeShards();
+    ExecutorOptions opts;
+    opts.num_threads = threads;
+    BatchReport report = BatchExecutor(opts).Run(pipeline, &shards);
+    if (threads == 1) sequential_wall = report.wall_seconds;
+    if (threads == 4) four_thread_report = report;
+    table.Row({std::to_string(threads), Fmt(report.wall_seconds),
+               Fmt(kNumShards / report.wall_seconds, 1),
+               Fmt(sequential_wall / report.wall_seconds, 2),
+               std::to_string(report.NumOk()) + "/" +
+                   std::to_string(kNumShards)});
+  }
+
+  std::printf("\n%s", four_thread_report.ToString().c_str());
+  std::printf(
+      "\nexpected shape: speedup approaches the thread count while cores "
+      "last (a single-core host stays near 1.0x); every thread count "
+      "reports %d/%d shards OK with identical shard outcomes; imputation "
+      "and forecasting dominate the per-stage latency table.\n",
+      kNumShards, kNumShards);
+  return 0;
+}

@@ -51,7 +51,7 @@ double PipelineForecastError(CorrelatedTimeSeries corrupted,
   }
   pipeline.AddStage(std::make_unique<ForecastStage>(8, horizon));
   PipelineReport report = pipeline.Run(&ctx);
-  if (!report.ok) return -1.0;
+  if (!report.ok()) return -1.0;
 
   double err = 0.0;
   int scored = 0;

@@ -44,7 +44,7 @@ int main() {
                                                 /*horizon=*/12));
   PipelineReport report = pipeline.Run(&ctx);
   std::printf("%s", report.ToString().c_str());
-  if (!report.ok) return 1;
+  if (!report.ok()) return 1;
 
   std::printf("missing rate before governance: %.1f%%  after: %.1f%%\n",
               100.0 * ctx.metrics["quality_missing_rate"],

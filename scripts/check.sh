@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the concurrency layer: builds the executor and
+# fault-injection tests under ThreadSanitizer and AddressSanitizer and
+# fails on any report. Run from anywhere; builds land in build-tsan/ and
+# build-asan/ next to the normal build/.
+#
+#   scripts/check.sh            # both sanitizers
+#   scripts/check.sh thread     # TSan only
+#   scripts/check.sh address    # ASan only
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SANITIZERS=("${@:-thread}" )
+if [[ $# -eq 0 ]]; then
+  SANITIZERS=(thread address)
+fi
+
+for SAN in "${SANITIZERS[@]}"; do
+  BUILD="$ROOT/build-${SAN/thread/tsan}"
+  BUILD="${BUILD/address/asan}"
+  echo "==== TSDM_SANITIZE=$SAN -> $BUILD ===="
+  cmake -B "$BUILD" -S "$ROOT" -DTSDM_SANITIZE="$SAN" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "$BUILD" -j"$(nproc)" \
+        --target executor_test inject_recovery_test pipeline_report_test
+  for TEST in executor_test inject_recovery_test pipeline_report_test; do
+    echo "---- $SAN: $TEST ----"
+    "$BUILD/tests/$TEST"
+  done
+done
+echo "==== sanitizer checks passed ===="

@@ -1,0 +1,113 @@
+#include "src/common/histogram_ext.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace tsdm {
+
+namespace {
+
+// log-space width of one bin over [kMinSeconds, kMaxSeconds].
+double LogBinWidth() {
+  return (std::log(LatencyHistogram::kMaxSeconds) -
+          std::log(LatencyHistogram::kMinSeconds)) /
+         LatencyHistogram::kNumBins;
+}
+
+}  // namespace
+
+int LatencyHistogram::BinFor(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;
+  if (seconds >= kMaxSeconds) return kNumBins - 1;
+  int bin = static_cast<int>((std::log(seconds) - std::log(kMinSeconds)) /
+                             LogBinWidth());
+  return std::clamp(bin, 0, kNumBins - 1);
+}
+
+double LatencyHistogram::BinMidpoint(int bin) {
+  return std::exp(std::log(kMinSeconds) + (bin + 0.5) * LogBinWidth());
+}
+
+void LatencyHistogram::Add(double seconds) {
+  if (seconds < 0.0 || std::isnan(seconds)) seconds = 0.0;
+  ++bins_[static_cast<size_t>(BinFor(seconds))];
+  if (count_ == 0 || seconds < min_seconds_) min_seconds_ = seconds;
+  if (seconds > max_seconds_) max_seconds_ = seconds;
+  ++count_;
+  total_seconds_ += seconds;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int b = 0; b < kNumBins; ++b) bins_[b] += other.bins_[b];
+  if (count_ == 0 || other.min_seconds_ < min_seconds_) {
+    min_seconds_ = other.min_seconds_;
+  }
+  max_seconds_ = std::max(max_seconds_, other.max_seconds_);
+  count_ += other.count_;
+  total_seconds_ += other.total_seconds_;
+}
+
+double LatencyHistogram::MeanSeconds() const {
+  return count_ == 0 ? 0.0 : total_seconds_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::QuantileSeconds(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBins; ++b) {
+    seen += bins_[b];
+    if (seen >= rank) {
+      return std::clamp(BinMidpoint(b), min_seconds_, max_seconds_);
+    }
+  }
+  return max_seconds_;
+}
+
+void StageMetrics::Merge(const StageMetrics& other) {
+  latency.Merge(other.latency);
+  invocations += other.invocations;
+  failures += other.failures;
+  retries += other.retries;
+}
+
+StageMetrics& StageMetricsRegistry::ForStage(const std::string& stage_name) {
+  return stages_[stage_name];
+}
+
+void StageMetricsRegistry::Merge(const StageMetricsRegistry& other) {
+  for (const auto& [name, metrics] : other.stages_) {
+    stages_[name].Merge(metrics);
+  }
+}
+
+std::string StageMetricsRegistry::ToTable() const {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-28s %7s %5s %6s %10s %10s %10s %10s\n",
+                "stage", "count", "fail", "retry", "mean_ms", "p50_ms",
+                "p95_ms", "max_ms");
+  os << line;
+  for (const auto& [name, m] : stages_) {
+    std::snprintf(line, sizeof(line),
+                  "%-28s %7llu %5llu %6llu %10.3f %10.3f %10.3f %10.3f\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(m.invocations),
+                  static_cast<unsigned long long>(m.failures),
+                  static_cast<unsigned long long>(m.retries),
+                  1000.0 * m.latency.MeanSeconds(),
+                  1000.0 * m.latency.QuantileSeconds(0.5),
+                  1000.0 * m.latency.QuantileSeconds(0.95),
+                  1000.0 * m.latency.MaxSeconds());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace tsdm

@@ -1,0 +1,92 @@
+#ifndef TSDM_COMMON_HISTOGRAM_EXT_H_
+#define TSDM_COMMON_HISTOGRAM_EXT_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tsdm {
+
+/// A fixed-bin latency histogram with logarithmically spaced bins covering
+/// [1us, 100s]. Fixed bins (rather than sample buffers) keep Add() O(1)
+/// with no allocation, so per-thread accumulation on the executor hot path
+/// stays lock-free and cache-friendly; Merge() is a bin-wise sum, which
+/// makes cross-thread aggregation exact. Quantiles are approximate at bin
+/// resolution (~19% relative width with 96 bins over 8 decades), which is
+/// ample for a p50/p95 latency table.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBins = 96;
+  static constexpr double kMinSeconds = 1e-6;
+  static constexpr double kMaxSeconds = 100.0;
+
+  /// Records one latency observation; out-of-range values clamp into the
+  /// boundary bins (exact min/max are tracked separately).
+  void Add(double seconds);
+
+  /// Bin-wise accumulation of another histogram (used to merge per-thread
+  /// shards after the pool joins).
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double total_seconds() const { return total_seconds_; }
+  /// 0 when empty.
+  double MeanSeconds() const;
+  double MinSeconds() const { return count_ == 0 ? 0.0 : min_seconds_; }
+  double MaxSeconds() const { return max_seconds_; }
+
+  /// Approximate q-quantile (q in [0,1]) at bin resolution: the geometric
+  /// midpoint of the bin where the cumulative count crosses q, clamped to
+  /// the exact observed [min, max]. Returns 0 when empty.
+  double QuantileSeconds(double q) const;
+
+ private:
+  static int BinFor(double seconds);
+  static double BinMidpoint(int bin);
+
+  std::array<uint64_t, kNumBins> bins_{};
+  uint64_t count_ = 0;
+  double total_seconds_ = 0.0;
+  double min_seconds_ = 0.0;
+  double max_seconds_ = 0.0;
+};
+
+/// Aggregated observations for one pipeline stage across shards and retry
+/// attempts. One attempt = one latency sample.
+struct StageMetrics {
+  LatencyHistogram latency;
+  uint64_t invocations = 0;  ///< stage attempts (including retries)
+  uint64_t failures = 0;     ///< attempts returning non-OK
+  uint64_t retries = 0;      ///< re-attempts after a transient failure
+
+  void Merge(const StageMetrics& other);
+};
+
+/// Per-stage metrics keyed by stage name. Not internally synchronized:
+/// the executor gives each worker thread a private registry and merges
+/// them after the pool joins, so accumulation needs no locks or atomics.
+class StageMetricsRegistry {
+ public:
+  /// Returns the metrics slot for `stage_name`, creating it on first use.
+  StageMetrics& ForStage(const std::string& stage_name);
+
+  /// Accumulates every stage of `other` into this registry.
+  void Merge(const StageMetricsRegistry& other);
+
+  bool empty() const { return stages_.empty(); }
+  const std::map<std::string, StageMetrics>& stages() const {
+    return stages_;
+  }
+
+  /// Fixed-width per-stage table: count / fail / retry / mean / p50 / p95 /
+  /// max, latencies in milliseconds. Rows are sorted by stage name.
+  std::string ToTable() const;
+
+ private:
+  std::map<std::string, StageMetrics> stages_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_COMMON_HISTOGRAM_EXT_H_

@@ -1,0 +1,149 @@
+#include "src/core/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "src/common/thread_pool.h"
+
+namespace tsdm {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Runs every stage of `pipeline` on one shard, applying the retry policy
+/// to transient stages and accumulating per-attempt latencies into the
+/// caller-thread's private `metrics`. Stops at the first stage that is
+/// still failing after its final attempt.
+PipelineReport RunShard(const Pipeline& pipeline, PipelineContext* context,
+                        const RetryPolicy& retry,
+                        StageMetricsRegistry* metrics) {
+  PipelineReport report;
+  for (size_t i = 0; i < pipeline.NumStages(); ++i) {
+    PipelineStage& stage = pipeline.StageAt(i);
+    StageMetrics& stage_metrics = metrics->ForStage(stage.Name());
+    const int max_attempts =
+        stage.Transient() ? std::max(1, retry.max_attempts) : 1;
+
+    StageReport sr;
+    sr.name = stage.Name();
+    sr.index = i;
+    double backoff = retry.initial_backoff_seconds;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      auto start = std::chrono::steady_clock::now();
+      sr.status = stage.Run(context);
+      double attempt_seconds = SecondsSince(start);
+      sr.seconds += attempt_seconds;
+      sr.attempts = attempt;
+      ++stage_metrics.invocations;
+      stage_metrics.latency.Add(attempt_seconds);
+      if (sr.status.ok()) break;
+      ++stage_metrics.failures;
+      if (attempt == max_attempts) break;
+      ++stage_metrics.retries;
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff *= retry.backoff_multiplier;
+      }
+    }
+    bool failed = !sr.status.ok();
+    report.stages.push_back(std::move(sr));
+    if (failed) break;
+  }
+  return report;
+}
+
+}  // namespace
+
+size_t BatchReport::NumOk() const {
+  return shards.size() - NumQuarantined();
+}
+
+size_t BatchReport::NumQuarantined() const {
+  size_t n = 0;
+  for (const auto& s : shards) {
+    if (s.quarantined()) ++n;
+  }
+  return n;
+}
+
+std::string BatchReport::ToString() const {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "BatchExecutor: %zu/%zu shards OK, %zu quarantined "
+                "(threads=%d, wall=%.3fs)\n",
+                NumOk(), shards.size(), NumQuarantined(), num_threads,
+                wall_seconds);
+  os << buf;
+  for (const auto& s : shards) {
+    if (!s.quarantined()) continue;
+    for (const auto& stage : s.report.stages) {
+      if (stage.status.ok()) continue;
+      std::snprintf(buf, sizeof(buf),
+                    "  quarantined shard %zu: stage #%zu %s - %s\n", s.shard,
+                    stage.index, stage.name.c_str(),
+                    stage.status.ToString().c_str());
+      os << buf;
+    }
+  }
+  if (!metrics.empty()) {
+    os << "Per-stage latency:\n" << metrics.ToTable();
+  }
+  return os.str();
+}
+
+BatchExecutor::BatchExecutor(ExecutorOptions options)
+    : options_(std::move(options)) {
+  options_.num_threads = std::max(1, options_.num_threads);
+  options_.retry.max_attempts = std::max(1, options_.retry.max_attempts);
+}
+
+BatchReport BatchExecutor::Run(const Pipeline& pipeline,
+                               std::vector<PipelineContext>* shards) const {
+  BatchReport batch;
+  batch.num_threads = options_.num_threads;
+  batch.shards.resize(shards->size());
+  auto start = std::chrono::steady_clock::now();
+
+  if (options_.num_threads == 1) {
+    for (size_t i = 0; i < shards->size(); ++i) {
+      batch.shards[i].shard = i;
+      batch.shards[i].report = RunShard(pipeline, &(*shards)[i],
+                                        options_.retry, &batch.metrics);
+    }
+    batch.wall_seconds = SecondsSince(start);
+    return batch;
+  }
+
+  // One task per shard for dynamic load balancing (slow shards don't
+  // stall a fixed chunk). Each worker thread owns one metrics registry
+  // slot (indexed by CurrentWorkerId), and batch.shards[i] is written by
+  // exactly one task, so the parallel section runs without locks or
+  // atomics beyond the pool's queue. The merge happens after Wait(), when
+  // the workers are idle.
+  ThreadPool pool(options_.num_threads);
+  std::vector<StageMetricsRegistry> thread_metrics(
+      static_cast<size_t>(pool.NumThreads()));
+  for (size_t i = 0; i < shards->size(); ++i) {
+    pool.Submit([this, &pipeline, shards, &batch, &thread_metrics, i] {
+      batch.shards[i].shard = i;
+      batch.shards[i].report =
+          RunShard(pipeline, &(*shards)[i], options_.retry,
+                   &thread_metrics[static_cast<size_t>(
+                       ThreadPool::CurrentWorkerId())]);
+    });
+  }
+  pool.Wait();
+  for (const auto& m : thread_metrics) batch.metrics.Merge(m);
+  batch.wall_seconds = SecondsSince(start);
+  return batch;
+}
+
+}  // namespace tsdm

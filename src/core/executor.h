@@ -1,0 +1,90 @@
+#ifndef TSDM_CORE_EXECUTOR_H_
+#define TSDM_CORE_EXECUTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram_ext.h"
+#include "src/core/pipeline.h"
+
+namespace tsdm {
+
+/// Retry discipline for stages that declare themselves Transient(). A
+/// non-transient stage always gets exactly one attempt regardless of the
+/// policy.
+struct RetryPolicy {
+  int max_attempts = 1;  ///< total attempts per stage, >= 1
+  double initial_backoff_seconds = 0.0;  ///< sleep before attempt 2
+  double backoff_multiplier = 2.0;       ///< backoff growth per retry
+};
+
+struct ExecutorOptions {
+  /// Worker threads. 1 runs shards inline on the calling thread (no pool),
+  /// which is the sequential baseline benchmarks compare against.
+  int num_threads = 1;
+  RetryPolicy retry;
+};
+
+/// Outcome of one shard: its full per-stage pipeline report. A shard whose
+/// pipeline failed is *quarantined* — its report (including the failing
+/// stage's status and elapsed time) is preserved and the remaining shards
+/// are unaffected.
+struct ShardResult {
+  size_t shard = 0;
+  PipelineReport report;
+
+  bool quarantined() const { return !report.ok(); }
+};
+
+/// Aggregate outcome of a batch run: per-shard results in shard order plus
+/// the merged per-stage metrics across all shards and attempts.
+struct BatchReport {
+  std::vector<ShardResult> shards;
+  StageMetricsRegistry metrics;
+  int num_threads = 0;
+  double wall_seconds = 0.0;
+
+  size_t NumOk() const;
+  size_t NumQuarantined() const;
+  bool AllOk() const { return NumQuarantined() == 0; }
+
+  /// Header line, one line per quarantined shard, then the per-stage
+  /// latency table (count / fail / retry / mean / p50 / p95 / max).
+  std::string ToString() const;
+};
+
+/// Runs one Pipeline over N independent PipelineContext shards (tenants,
+/// sensor partitions, ...) concurrently on a fixed-size ThreadPool — the
+/// execution layer that turns the Fig. 1 paradigm from a library call into
+/// a serving system.
+///
+/// Guarantees:
+///  - failure isolation: a failing shard is quarantined with its report
+///    preserved; every other shard still runs to completion;
+///  - per-shard determinism: each shard is processed by exactly one thread
+///    with no cross-shard data flow, so shard outcomes are identical for
+///    any thread count (timings aside);
+///  - lock-free metrics: workers accumulate StageMetrics into per-thread
+///    registries that are merged only after the pool joins.
+///
+/// Stages are shared across shards and must be reentrant (see
+/// PipelineStage); all per-run state lives in the shard's context.
+class BatchExecutor {
+ public:
+  explicit BatchExecutor(ExecutorOptions options = {});
+
+  const ExecutorOptions& options() const { return options_; }
+
+  /// Executes `pipeline` over every context in `shards` (mutated in
+  /// place). Results arrive in shard order regardless of scheduling.
+  BatchReport Run(const Pipeline& pipeline,
+                  std::vector<PipelineContext>* shards) const;
+
+ private:
+  ExecutorOptions options_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_CORE_EXECUTOR_H_

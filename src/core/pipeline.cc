@@ -1,6 +1,7 @@
 #include "src/core/pipeline.h"
 
 #include <chrono>
+#include <iomanip>
 #include <sstream>
 
 #include "src/analytics/forecast/forecaster.h"
@@ -8,12 +9,22 @@
 
 namespace tsdm {
 
+bool PipelineReport::ok() const {
+  for (const auto& s : stages) {
+    if (!s.status.ok()) return false;
+  }
+  return true;
+}
+
 std::string PipelineReport::ToString() const {
   std::ostringstream os;
-  os << "Pipeline run: " << (ok ? "OK" : "FAILED") << "\n";
+  os << "Pipeline run: " << (ok() ? "OK" : "FAILED") << "\n";
+  os << std::fixed << std::setprecision(3);
   for (const auto& s : stages) {
-    os << "  [" << (s.status.ok() ? "ok" : "FAIL") << "] " << s.name << " ("
-       << s.seconds << "s)";
+    os << "  [" << (s.status.ok() ? "ok" : "FAIL") << "] #" << s.index << " "
+       << s.name << " (" << s.seconds << "s";
+    if (s.attempts > 1) os << ", " << s.attempts << " attempts";
+    os << ")";
     if (!s.status.ok()) os << " - " << s.status.ToString();
     os << "\n";
   }
@@ -27,20 +38,20 @@ Pipeline& Pipeline::AddStage(std::unique_ptr<PipelineStage> stage) {
 
 PipelineReport Pipeline::Run(PipelineContext* context) const {
   PipelineReport report;
-  for (const auto& stage : stages_) {
+  for (size_t i = 0; i < stages_.size(); ++i) {
     StageReport sr;
-    sr.name = stage->Name();
+    sr.name = stages_[i]->Name();
+    sr.index = i;
     auto start = std::chrono::steady_clock::now();
-    sr.status = stage->Run(context);
+    sr.status = stages_[i]->Run(context);
+    // Recorded before the failure check so an erroring stage still reports
+    // its true elapsed time.
     sr.seconds = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - start)
                      .count();
     bool failed = !sr.status.ok();
     report.stages.push_back(std::move(sr));
-    if (failed) {
-      report.ok = false;
-      break;
-    }
+    if (failed) break;
   }
   return report;
 }

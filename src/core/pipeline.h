@@ -24,24 +24,38 @@ struct PipelineContext {
 };
 
 /// One box of the Data-Governance-Analytics-Decision paradigm.
+///
+/// Stages used with the parallel BatchExecutor run concurrently over many
+/// contexts, so Run() must be reentrant: any mutable state belongs in the
+/// PipelineContext, not in the stage object.
 class PipelineStage {
  public:
   virtual ~PipelineStage() = default;
   virtual std::string Name() const = 0;
   virtual Status Run(PipelineContext* context) = 0;
+
+  /// True when a failure of this stage is worth retrying (e.g. it depends
+  /// on a flaky external resource). The BatchExecutor's RetryPolicy only
+  /// applies to transient stages; Pipeline::Run never retries.
+  virtual bool Transient() const { return false; }
 };
 
 /// Per-stage outcome of a pipeline run.
 struct StageReport {
   std::string name;
+  size_t index = 0;  ///< position of the stage in its pipeline
   Status status;
-  double seconds = 0.0;
+  double seconds = 0.0;  ///< total elapsed across all attempts
+  int attempts = 1;      ///< 1 unless a transient stage was retried
 };
 
-/// Full run report.
+/// Full run report. Overall success is always derived from the recorded
+/// stage statuses (never stored), so it cannot drift out of sync.
 struct PipelineReport {
   std::vector<StageReport> stages;
-  bool ok = true;
+
+  /// True iff every recorded stage succeeded.
+  bool ok() const;
 
   std::string ToString() const;
 };
@@ -53,6 +67,11 @@ class Pipeline {
  public:
   Pipeline& AddStage(std::unique_ptr<PipelineStage> stage);
   size_t NumStages() const { return stages_.size(); }
+
+  /// The stage at position i; requires i < NumStages(). Non-const access
+  /// is deliberate: PipelineStage::Run is non-const, and executors drive
+  /// stages directly for retry control.
+  PipelineStage& StageAt(size_t i) const { return *stages_[i]; }
 
   PipelineReport Run(PipelineContext* context) const;
 

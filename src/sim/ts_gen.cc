@@ -73,4 +73,10 @@ CorrelatedTimeSeries GenerateCorrelatedField(const CorrelatedFieldSpec& spec,
   return CorrelatedTimeSeries(std::move(graph), std::move(series));
 }
 
+CorrelatedTimeSeries GenerateCorrelatedField(const CorrelatedFieldSpec& spec,
+                                             int n, uint64_t seed) {
+  Rng rng(seed);
+  return GenerateCorrelatedField(spec, n, &rng);
+}
+
 }  // namespace tsdm

@@ -57,6 +57,12 @@ struct CorrelatedFieldSpec {
 CorrelatedTimeSeries GenerateCorrelatedField(const CorrelatedFieldSpec& spec,
                                              int n, Rng* rng);
 
+/// Seeded convenience overload: each shard of a batch can be generated
+/// independently and reproducibly from `seed` (e.g. base_seed + shard),
+/// without threading a shared Rng through parallel call sites.
+CorrelatedTimeSeries GenerateCorrelatedField(const CorrelatedFieldSpec& spec,
+                                             int n, uint64_t seed);
+
 }  // namespace tsdm
 
 #endif  // TSDM_SIM_TS_GEN_H_

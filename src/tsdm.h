@@ -7,10 +7,12 @@
 /// a convenience for examples and exploration.
 
 // Common substrate.
+#include "src/common/histogram_ext.h"
 #include "src/common/matrix.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/common/thread_pool.h"
 
 // Data foundation (§II-A).
 #include "src/data/correlated_time_series.h"
@@ -85,6 +87,7 @@
 #include "src/decision/uncertain/utility.h"
 
 // The paradigm itself.
+#include "src/core/executor.h"
 #include "src/core/pipeline.h"
 
 #endif  // TSDM_TSDM_H_

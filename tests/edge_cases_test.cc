@@ -203,7 +203,7 @@ TEST(TinyInputTest, PipelineOnEmptyDataFailsGracefully) {
   pipeline.AddStage(std::make_unique<ImputeStage>())
       .AddStage(std::make_unique<ForecastStage>(4, 6));
   PipelineReport report = pipeline.Run(&ctx);
-  EXPECT_FALSE(report.ok);  // forecast stage reports no sensor forecast
+  EXPECT_FALSE(report.ok());  // forecast stage reports no sensor forecast
   EXPECT_FALSE(report.ToString().empty());
 }
 

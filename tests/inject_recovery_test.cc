@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/core/pipeline.h"
+#include "src/sim/inject.h"
+#include "src/sim/ts_gen.h"
+
+namespace tsdm {
+namespace {
+
+// Round-trip tests for every injector in src/sim/inject.h: corrupt a clean
+// field, run the governance stages (CleanStage + ImputeStage), and check
+// (a) the recovered series is close to the clean ground truth and (b) the
+// cleaned_entries / imputed_entries metrics match the injected counts.
+
+constexpr int kSteps = 400;
+
+CorrelatedTimeSeries CleanField(uint64_t seed) {
+  CorrelatedFieldSpec spec;
+  spec.grid_rows = 4;
+  spec.grid_cols = 4;
+  return GenerateCorrelatedField(spec, kSteps, seed);
+}
+
+/// Mean absolute error between recovered and truth over the entries that
+/// were touched by injection (truth value differs or entry went missing).
+double RecoveryMae(const CorrelatedTimeSeries& recovered,
+                   const CorrelatedTimeSeries& corrupted,
+                   const CorrelatedTimeSeries& truth) {
+  double err = 0.0;
+  size_t n = 0;
+  for (size_t t = 0; t < truth.NumSteps(); ++t) {
+    for (size_t s = 0; s < truth.NumSensors(); ++s) {
+      bool touched = corrupted.series().IsMissing(t, s) ||
+                     corrupted.At(t, s) != truth.At(t, s);
+      if (!touched) continue;
+      err += std::fabs(recovered.At(t, s) - truth.At(t, s));
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : err / static_cast<double>(n);
+}
+
+/// Stdev of the clean field's values, the natural error scale.
+double FieldStdev(const CorrelatedTimeSeries& truth) {
+  return Stdev(truth.series().values());
+}
+
+/// Runs CleanStage(+mad rule) then ImputeStage over `ctx`.
+PipelineReport RunGovernance(PipelineContext* ctx, double mad_threshold) {
+  RangeRule range{-1000.0, 1000.0};
+  Pipeline pipeline;
+  pipeline.AddStage(std::make_unique<CleanStage>(range, mad_threshold))
+      .AddStage(std::make_unique<ImputeStage>());
+  return pipeline.Run(ctx);
+}
+
+TEST(InjectRecoveryTest, McarMissingRoundTrip) {
+  CorrelatedTimeSeries truth = CleanField(11);
+  PipelineContext ctx;
+  ctx.data = truth;
+  Rng rng(12);
+  size_t removed = InjectMissingMcar(&ctx.data.series(), 0.2, &rng);
+  ASSERT_GT(removed, 0u);
+  CorrelatedTimeSeries corrupted = ctx.data;
+
+  PipelineReport report = RunGovernance(&ctx, /*mad_threshold=*/0.0);
+  ASSERT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(ctx.data.series().CountMissing(), 0u);
+  // Nothing was out of range, so imputation repairs exactly the removals.
+  EXPECT_EQ(ctx.metrics["cleaned_entries"], 0.0);
+  EXPECT_EQ(ctx.metrics["imputed_entries"], static_cast<double>(removed));
+  // Spatio-temporal imputation should land well under one stdev of error.
+  EXPECT_LT(RecoveryMae(ctx.data, corrupted, truth),
+            0.6 * FieldStdev(truth));
+}
+
+TEST(InjectRecoveryTest, BlockOutageRoundTrip) {
+  CorrelatedTimeSeries truth = CleanField(21);
+  PipelineContext ctx;
+  ctx.data = truth;
+  Rng rng(22);
+  size_t removed =
+      InjectMissingBlocks(&ctx.data.series(), 0.1, /*block_length=*/12, &rng);
+  ASSERT_GT(removed, 0u);
+  CorrelatedTimeSeries corrupted = ctx.data;
+
+  PipelineReport report = RunGovernance(&ctx, /*mad_threshold=*/0.0);
+  ASSERT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(ctx.data.series().CountMissing(), 0u);
+  EXPECT_EQ(ctx.metrics["imputed_entries"], static_cast<double>(removed));
+  // Contiguous outages are harder than MCAR (no temporal neighbors inside
+  // the gap) but correlated sensors still bound the error.
+  EXPECT_LT(RecoveryMae(ctx.data, corrupted, truth), FieldStdev(truth));
+}
+
+TEST(InjectRecoveryTest, SpikeRoundTrip) {
+  CorrelatedTimeSeries truth = CleanField(31);
+  PipelineContext ctx;
+  ctx.data = truth;
+  Rng rng(32);
+  std::vector<InjectedAnomaly> anomalies = InjectAnomalies(
+      &ctx.data.series(), AnomalyKind::kSpike, /*count=*/12,
+      /*magnitude=*/12.0, &rng);
+  CorrelatedTimeSeries corrupted = ctx.data;
+  double corrupted_mae = RecoveryMae(corrupted, corrupted, truth);
+
+  PipelineReport report = RunGovernance(&ctx, /*mad_threshold=*/5.0);
+  ASSERT_TRUE(report.ok()) << report.ToString();
+  // The MAD rule must catch (nearly) every 12-sigma spike; a handful of
+  // clean points at the rule's boundary may be swept along.
+  size_t injected = anomalies.size();
+  EXPECT_GE(ctx.metrics["cleaned_entries"],
+            0.9 * static_cast<double>(injected));
+  EXPECT_LE(ctx.metrics["cleaned_entries"],
+            static_cast<double>(injected) + 8.0);
+  EXPECT_EQ(ctx.metrics["imputed_entries"], ctx.metrics["cleaned_entries"]);
+  // Clean+impute must recover far better values at the spike positions
+  // than leaving the spikes in place.
+  EXPECT_LT(RecoveryMae(ctx.data, corrupted, truth), 0.25 * corrupted_mae);
+}
+
+TEST(InjectRecoveryTest, LevelShiftRoundTrip) {
+  CorrelatedTimeSeries truth = CleanField(41);
+  PipelineContext ctx;
+  ctx.data = truth;
+  Rng rng(42);
+  std::vector<InjectedAnomaly> anomalies = InjectAnomalies(
+      &ctx.data.series(), AnomalyKind::kLevelShift, /*count=*/6,
+      /*magnitude=*/12.0, &rng);
+  size_t injected_entries = 0;
+  for (const auto& a : anomalies) injected_entries += a.length;
+  CorrelatedTimeSeries corrupted = ctx.data;
+  double corrupted_mae = RecoveryMae(corrupted, corrupted, truth);
+
+  PipelineReport report = RunGovernance(&ctx, /*mad_threshold=*/5.0);
+  ASSERT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GE(ctx.metrics["cleaned_entries"],
+            0.9 * static_cast<double>(injected_entries));
+  EXPECT_LE(ctx.metrics["cleaned_entries"],
+            static_cast<double>(injected_entries) + 10.0);
+  EXPECT_LT(RecoveryMae(ctx.data, corrupted, truth), 0.25 * corrupted_mae);
+}
+
+TEST(InjectRecoveryTest, NoiseBurstRoundTrip) {
+  CorrelatedTimeSeries truth = CleanField(51);
+  PipelineContext ctx;
+  ctx.data = truth;
+  Rng rng(52);
+  std::vector<InjectedAnomaly> anomalies = InjectAnomalies(
+      &ctx.data.series(), AnomalyKind::kNoiseBurst, /*count=*/6,
+      /*magnitude=*/12.0, &rng);
+  size_t injected_entries = 0;
+  for (const auto& a : anomalies) injected_entries += a.length;
+  CorrelatedTimeSeries corrupted = ctx.data;
+  double corrupted_mae = RecoveryMae(corrupted, corrupted, truth);
+
+  PipelineReport report = RunGovernance(&ctx, /*mad_threshold=*/5.0);
+  ASSERT_TRUE(report.ok()) << report.ToString();
+  // A noise burst adds N(0, 12 sigma) per entry: only deviations past the
+  // MAD threshold are cleanable, so expect a substantial fraction (not
+  // all) of the burst entries to be cleared.
+  EXPECT_GE(ctx.metrics["cleaned_entries"],
+            0.25 * static_cast<double>(injected_entries));
+  EXPECT_LE(ctx.metrics["cleaned_entries"],
+            static_cast<double>(injected_entries) + 10.0);
+  // Residual in-threshold noise stays, but overall error at the injected
+  // positions must drop clearly.
+  EXPECT_LT(RecoveryMae(ctx.data, corrupted, truth), 0.6 * corrupted_mae);
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -74,7 +74,7 @@ TEST(IntegrationTest, TrafficScenarioEndToEnd) {
       .AddStage(std::make_unique<ImputeStage>())
       .AddStage(std::make_unique<ForecastStage>(6, 12));
   PipelineReport report = pipeline.Run(&ctx);
-  ASSERT_TRUE(report.ok) << report.ToString();
+  ASSERT_TRUE(report.ok()) << report.ToString();
   EXPECT_EQ(ctx.data.series().CountMissing(), 0u);
 
   // --- Decision: stochastic routing under a deadline -------------------

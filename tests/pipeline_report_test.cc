@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "src/core/executor.h"
+#include "src/core/pipeline.h"
+
+namespace tsdm {
+namespace {
+
+// Golden tests: reports are the observability surface of the system, so
+// their rendered formats are pinned exactly. Reports are constructed by
+// hand with fixed timings to keep the strings deterministic.
+
+StageReport MakeStage(const std::string& name, size_t index, Status status,
+                      double seconds, int attempts = 1) {
+  StageReport sr;
+  sr.name = name;
+  sr.index = index;
+  sr.status = std::move(status);
+  sr.seconds = seconds;
+  sr.attempts = attempts;
+  return sr;
+}
+
+TEST(PipelineReportTest, GoldenOkReport) {
+  PipelineReport report;
+  report.stages.push_back(
+      MakeStage("governance/clean", 0, Status::OK(), 0.25));
+  report.stages.push_back(
+      MakeStage("analytics/forecast", 1, Status::OK(), 0.005));
+  EXPECT_EQ(report.ToString(),
+            "Pipeline run: OK\n"
+            "  [ok] #0 governance/clean (0.250s)\n"
+            "  [ok] #1 analytics/forecast (0.005s)\n");
+}
+
+TEST(PipelineReportTest, GoldenFailedReportWithRetries) {
+  PipelineReport report;
+  report.stages.push_back(
+      MakeStage("governance/clean", 0, Status::OK(), 0.25));
+  report.stages.push_back(MakeStage(
+      "governance/impute", 1, Status::Internal("disk on fire"), 0.101, 3));
+  EXPECT_EQ(report.ToString(),
+            "Pipeline run: FAILED\n"
+            "  [ok] #0 governance/clean (0.250s)\n"
+            "  [FAIL] #1 governance/impute (0.101s, 3 attempts)"
+            " - Internal: disk on fire\n");
+}
+
+TEST(PipelineReportTest, OkIsRecomputedFromStageStatuses) {
+  PipelineReport report;
+  EXPECT_TRUE(report.ok());  // empty => trivially ok
+  report.stages.push_back(
+      MakeStage("governance/clean", 0, Status::OK(), 0.1));
+  EXPECT_TRUE(report.ok());
+  report.stages.push_back(
+      MakeStage("governance/impute", 1, Status::Internal("boom"), 0.1));
+  // ok() follows the recorded statuses; there is no settable flag to
+  // drift out of sync.
+  EXPECT_FALSE(report.ok());
+  report.stages.pop_back();
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(BatchReportTest, GoldenBatchReport) {
+  BatchReport batch;
+  batch.num_threads = 2;
+  batch.wall_seconds = 0.5;
+  batch.shards.resize(2);
+  batch.shards[0].shard = 0;
+  batch.shards[0].report.stages.push_back(
+      MakeStage("governance/clean", 0, Status::OK(), 0.002));
+  batch.shards[1].shard = 1;
+  batch.shards[1].report.stages.push_back(
+      MakeStage("governance/clean", 0, Status::OK(), 0.002));
+  batch.shards[1].report.stages.push_back(MakeStage(
+      "governance/impute", 1, Status::Internal("disk on fire"), 0.004));
+
+  StageMetrics& clean = batch.metrics.ForStage("governance/clean");
+  clean.invocations = 2;
+  clean.latency.Add(0.002);
+  clean.latency.Add(0.002);
+  StageMetrics& impute = batch.metrics.ForStage("governance/impute");
+  impute.invocations = 1;
+  impute.failures = 1;
+  impute.latency.Add(0.004);
+
+  EXPECT_EQ(batch.NumOk(), 1u);
+  EXPECT_EQ(batch.NumQuarantined(), 1u);
+  // Single-valued latency histograms clamp quantiles to the exact
+  // observation, so the whole table is deterministic.
+  EXPECT_EQ(
+      batch.ToString(),
+      "BatchExecutor: 1/2 shards OK, 1 quarantined (threads=2,"
+      " wall=0.500s)\n"
+      "  quarantined shard 1: stage #1 governance/impute"
+      " - Internal: disk on fire\n"
+      "Per-stage latency:\n"
+      "stage                          count  fail  retry    mean_ms"
+      "     p50_ms     p95_ms     max_ms\n"
+      "governance/clean                   2     0      0      2.000"
+      "      2.000      2.000      2.000\n"
+      "governance/impute                  1     1      0      4.000"
+      "      4.000      4.000      4.000\n");
+}
+
+/// Fails after a measurable delay, to pin the elapsed-time recording.
+class SlowFailingStage : public PipelineStage {
+ public:
+  std::string Name() const override { return "test/slow-failing"; }
+  Status Run(PipelineContext*) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return Status::Internal("slow death");
+  }
+};
+
+TEST(PipelineReportTest, FailingStageRecordsElapsedTimeAndIndex) {
+  Pipeline pipeline;
+  pipeline.AddStage(std::make_unique<SlowFailingStage>());
+  PipelineContext ctx;
+  PipelineReport report = pipeline.Run(&ctx);
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_FALSE(report.stages[0].status.ok());
+  EXPECT_EQ(report.stages[0].index, 0u);
+  // The failing stage's true elapsed time is preserved, not left at 0.
+  EXPECT_GE(report.stages[0].seconds, 0.015);
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -28,7 +28,7 @@ TEST(PipelineTest, FullParadigmRunsGreen) {
       .AddStage(std::make_unique<ForecastStage>(4, 12));
   EXPECT_EQ(pipeline.NumStages(), 4u);
   PipelineReport report = pipeline.Run(&ctx);
-  EXPECT_TRUE(report.ok) << report.ToString();
+  EXPECT_TRUE(report.ok()) << report.ToString();
   EXPECT_EQ(report.stages.size(), 4u);
   // Governance worked: data complete, metrics recorded.
   EXPECT_EQ(ctx.data.series().CountMissing(), 0u);
@@ -58,7 +58,7 @@ TEST(PipelineTest, StopsAtFirstFailure) {
       .AddStage(std::make_unique<FailingStage>())
       .AddStage(std::make_unique<ForecastStage>(4, 6));
   PipelineReport report = pipeline.Run(&ctx);
-  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.ok());
   EXPECT_EQ(report.stages.size(), 2u);  // third stage never ran
   EXPECT_FALSE(report.stages[1].status.ok());
   EXPECT_EQ(ctx.artifacts.count("forecast/0"), 0u);
@@ -68,7 +68,7 @@ TEST(PipelineTest, EmptyPipelineIsTriviallyOk) {
   PipelineContext ctx = MakeContext(3);
   Pipeline pipeline;
   PipelineReport report = pipeline.Run(&ctx);
-  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.ok());
   EXPECT_TRUE(report.stages.empty());
 }
 
