@@ -44,10 +44,10 @@ std::vector<PipelineContext> MakeShards() {
 Pipeline MakePipeline() {
   RangeRule range{-1000.0, 1000.0};
   Pipeline p;
-  p.AddStage(std::make_unique<AssessQualityStage>(range))
-      .AddStage(std::make_unique<CleanStage>(range))
-      .AddStage(std::make_unique<ImputeStage>())
-      .AddStage(std::make_unique<ForecastStage>(8, 12));
+  p.Emplace<AssessQualityStage>(range)
+      .Emplace<CleanStage>(range)
+      .Emplace<ImputeStage>()
+      .Emplace<ForecastStage>(8, 12);
   return p;
 }
 

@@ -37,9 +37,9 @@ double PipelineForecastError(CorrelatedTimeSeries corrupted,
   RangeRule range{0.0, 60.0};
   Pipeline pipeline;
   if (governed) {
-    pipeline.AddStage(std::make_unique<AssessQualityStage>(range))
-        .AddStage(std::make_unique<CleanStage>(range))
-        .AddStage(std::make_unique<ImputeStage>());
+    pipeline.Emplace<AssessQualityStage>(range)
+        .Emplace<CleanStage>(range)
+        .Emplace<ImputeStage>();
   } else {
     // Raw pipeline still needs *some* value in every cell to fit models;
     // zero-filling is what a governance-less system effectively does.

@@ -1,0 +1,124 @@
+// E-S1 — Streaming serving path. P producer threads (1/2/4/8) push
+// synthetic sensor ticks into the per-sensor StreamBuffer rings while a
+// single consumer drains them through the three-stage StreamPipeline
+// (Welford stats -> online z-score anomaly -> Holt online forecast).
+// Expected shape: millions of ticks/sec through the consumer with
+// single-digit-microsecond per-tick p50/p95; ingest throughput grows with
+// producer count until the consumer saturates, after which backpressure
+// shows up as drops (kDropOldest keeps serving the freshest data) rather
+// than as producer stalls.
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/stream/stream_buffer.h"
+#include "src/stream/stream_pipeline.h"
+#include "src/stream/stream_stage.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::Fmt;
+using tsdm_bench::Stopwatch;
+using tsdm_bench::Table;
+
+constexpr size_t kSensors = 64;
+constexpr size_t kCapacity = 512;
+constexpr size_t kTotalTicks = 400000;
+
+double TickValue(size_t sensor, size_t step, Rng* rng) {
+  double base = 10.0 + static_cast<double>(sensor % 7);
+  double season = 5.0 * std::sin(2.0 * 3.14159265358979 *
+                                 static_cast<double>(step) / 288.0);
+  return base + season + rng->Normal(0.0, 0.5);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("hardware_concurrency: %u\n",
+              std::thread::hardware_concurrency());
+  Table table("E-S1 streaming serving: " + std::to_string(kSensors) +
+                  " sensors, " + std::to_string(kTotalTicks) +
+                  " ticks, 3-stage stream pipeline",
+              {"producers", "wall_s", "ticks_per_s", "p50_us", "p95_us",
+               "dropped", "alarms"});
+
+  std::string last_metrics;
+  for (int producers : {1, 2, 4, 8}) {
+    StreamBuffer buffer(kSensors, kCapacity, DropPolicy::kDropOldest);
+    StreamPipeline pipeline;
+    pipeline.Emplace<WelfordStatsStage>()
+        .Emplace<OnlineAnomalyStage>(OnlineAnomalyStage::Mode::kZScore, 6.0)
+        .Emplace<OnlineForecastStage>();
+    if (!pipeline.Reset(kSensors).ok()) return 1;
+
+    std::atomic<bool> done{false};
+    Stopwatch watch;
+
+    // Each producer owns the sensors congruent to its id, so ticks of one
+    // sensor arrive in order and producers contend only on the buffer's
+    // per-sensor mutexes they actually share with the consumer.
+    std::vector<std::thread> threads;
+    size_t ticks_per_sensor = kTotalTicks / kSensors;
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        Rng rng(1234 + static_cast<uint64_t>(p));
+        for (size_t step = 0; step < ticks_per_sensor; ++step) {
+          for (size_t s = p; s < kSensors;
+               s += static_cast<size_t>(producers)) {
+            buffer.Push(s, static_cast<int64_t>(step),
+                        TickValue(s, step, &rng));
+          }
+        }
+      });
+    }
+
+    TickRecord rec;
+    size_t processed = 0;
+    std::thread consumer([&] {
+      while (true) {
+        size_t n = pipeline.Drain(&buffer, &rec);
+        processed += n;
+        if (n == 0) {
+          if (done.load(std::memory_order_acquire)) {
+            processed += pipeline.Drain(&buffer, &rec);
+            break;
+          }
+          std::this_thread::yield();
+        }
+      }
+    });
+
+    for (auto& t : threads) t.join();
+    done.store(true, std::memory_order_release);
+    consumer.join();
+    double wall = watch.Seconds();
+
+    const auto& anomaly =
+        static_cast<const OnlineAnomalyStage&>(pipeline.StageAt(1));
+    table.Row({std::to_string(producers), Fmt(wall),
+               Fmt(static_cast<double>(processed) / wall, 0),
+               Fmt(1e6 * pipeline.tick_latency().QuantileSeconds(0.5), 2),
+               Fmt(1e6 * pipeline.tick_latency().QuantileSeconds(0.95), 2),
+               std::to_string(buffer.dropped()),
+               std::to_string(anomaly.alarms())});
+    last_metrics = pipeline.metrics().ToTable();
+  }
+
+  std::printf("\nper-stage metrics at 8 producers:\n%s", last_metrics.c_str());
+  std::printf(
+      "\nexpected shape: the consumer serves millions of ticks/sec with "
+      "p50/p95 per-tick latency in the low microseconds at every producer "
+      "count; when %zu producers outrun the single consumer the drop "
+      "counter rises (freshness-preserving backpressure) while per-tick "
+      "latency stays flat; alarm counts stay near zero on this clean "
+      "synthetic feed.\n",
+      static_cast<size_t>(8));
+  return 0;
+}

@@ -45,10 +45,10 @@ int main() {
   // --- One pipeline, many tenants ---------------------------------------
   RangeRule range{-100.0, 100.0};
   Pipeline pipeline;
-  pipeline.AddStage(std::make_unique<AssessQualityStage>(range))
-      .AddStage(std::make_unique<CleanStage>(range))
-      .AddStage(std::make_unique<ImputeStage>())
-      .AddStage(std::make_unique<ForecastStage>(8, 12));
+  pipeline.Emplace<AssessQualityStage>(range)
+      .Emplace<CleanStage>(range)
+      .Emplace<ImputeStage>()
+      .Emplace<ForecastStage>(8, 12);
 
   ExecutorOptions opts;
   opts.num_threads = 4;

@@ -37,11 +37,10 @@ int main() {
   // --- 2+3. Governance and analytics as a declarative pipeline ----------
   RangeRule plausible{-100.0, 300.0};
   Pipeline pipeline;
-  pipeline.AddStage(std::make_unique<AssessQualityStage>(plausible))
-      .AddStage(std::make_unique<CleanStage>(plausible))
-      .AddStage(std::make_unique<ImputeStage>())
-      .AddStage(std::make_unique<ForecastStage>(/*ar_order=*/8,
-                                                /*horizon=*/12));
+  pipeline.Emplace<AssessQualityStage>(plausible)
+      .Emplace<CleanStage>(plausible)
+      .Emplace<ImputeStage>()
+      .Emplace<ForecastStage>(/*ar_order=*/8, /*horizon=*/12);
   PipelineReport report = pipeline.Run(&ctx);
   std::printf("%s", report.ToString().c_str());
   if (!report.ok()) return 1;

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the concurrency layer: builds the executor and
-# fault-injection tests under ThreadSanitizer and AddressSanitizer and
-# fails on any report. Run from anywhere; builds land in build-tsan/ and
-# build-asan/ next to the normal build/.
+# Sanitizer gate for the concurrency layer: builds the executor,
+# fault-injection, and streaming tests under ThreadSanitizer and
+# AddressSanitizer and fails on any report (multi-producer StreamBuffer
+# ingestion is exactly where TSan earns its keep). Run from anywhere;
+# builds land in build-tsan/ and build-asan/ next to the normal build/.
 #
 #   scripts/check.sh            # both sanitizers
 #   scripts/check.sh thread     # TSan only
@@ -15,15 +16,17 @@ if [[ $# -eq 0 ]]; then
   SANITIZERS=(thread address)
 fi
 
+GATED_TESTS=(executor_test inject_recovery_test pipeline_report_test
+             stream_test series_view_test)
+
 for SAN in "${SANITIZERS[@]}"; do
   BUILD="$ROOT/build-${SAN/thread/tsan}"
   BUILD="${BUILD/address/asan}"
   echo "==== TSDM_SANITIZE=$SAN -> $BUILD ===="
   cmake -B "$BUILD" -S "$ROOT" -DTSDM_SANITIZE="$SAN" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
-  cmake --build "$BUILD" -j"$(nproc)" \
-        --target executor_test inject_recovery_test pipeline_report_test
-  for TEST in executor_test inject_recovery_test pipeline_report_test; do
+  cmake --build "$BUILD" -j"$(nproc)" --target "${GATED_TESTS[@]}"
+  for TEST in "${GATED_TESTS[@]}"; do
     echo "---- $SAN: $TEST ----"
     "$BUILD/tests/$TEST"
   done

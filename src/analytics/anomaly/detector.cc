@@ -20,8 +20,7 @@ Status ZScoreDetector::Fit(const std::vector<double>& train) {
   return Status::OK();
 }
 
-Result<std::vector<double>> ZScoreDetector::Score(
-    const std::vector<double>& data) const {
+Result<std::vector<double>> ZScoreDetector::Score(SeriesView data) const {
   if (!fitted_) return Status::FailedPrecondition("zscore: not fitted");
   std::vector<double> out(data.size());
   for (size_t i = 0; i < data.size(); ++i) {
@@ -40,8 +39,7 @@ Status MadDetector::Fit(const std::vector<double>& train) {
   return Status::OK();
 }
 
-Result<std::vector<double>> MadDetector::Score(
-    const std::vector<double>& data) const {
+Result<std::vector<double>> MadDetector::Score(SeriesView data) const {
   if (!fitted_) return Status::FailedPrecondition("mad: not fitted");
   std::vector<double> out(data.size());
   for (size_t i = 0; i < data.size(); ++i) {
@@ -126,7 +124,7 @@ Result<std::vector<double>> PcaReconstructionDetector::WindowErrorProfile(
 }
 
 Result<std::vector<double>> PcaReconstructionDetector::Score(
-    const std::vector<double>& data) const {
+    SeriesView data) const {
   if (!fitted_) return Status::FailedPrecondition("pca-recon: not fitted");
   size_t n = data.size();
   std::vector<double> acc(n, 0.0);
@@ -134,9 +132,9 @@ Result<std::vector<double>> PcaReconstructionDetector::Score(
   if (n < static_cast<size_t>(window_)) {
     return Status::InvalidArgument("pca-recon: series shorter than window");
   }
+  std::vector<double> w(window_);
   for (size_t start = 0; start + window_ <= n; ++start) {
-    std::vector<double> w(data.begin() + start,
-                          data.begin() + start + window_);
+    for (int j = 0; j < window_; ++j) w[j] = data[start + j];
     std::vector<double> recon = ReconstructWindow(w);
     for (int j = 0; j < window_; ++j) {
       double d = w[j] - recon[j];
@@ -182,7 +180,7 @@ Status ReconstructionEnsembleDetector::Fit(const std::vector<double>& train) {
 }
 
 Result<std::vector<double>> ReconstructionEnsembleDetector::Score(
-    const std::vector<double>& data) const {
+    SeriesView data) const {
   if (members_.empty()) {
     return Status::FailedPrecondition("recon-ensemble: not fitted");
   }
@@ -241,7 +239,7 @@ Status RobustTrainingWrapper::Fit(const std::vector<double>& train) {
 }
 
 Result<std::vector<double>> RobustTrainingWrapper::Score(
-    const std::vector<double>& data) const {
+    SeriesView data) const {
   return inner_->Score(data);
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/series_view.h"
 #include "src/common/status.h"
 
 namespace tsdm {
@@ -14,13 +15,20 @@ namespace tsdm {
 /// series: Fit on (possibly polluted) training data, then Score assigns
 /// every step of a series a non-negative anomaly score (higher = more
 /// anomalous).
+///
+/// Score takes a SeriesView so the batch path (a TimeSeries channel, via
+/// ChannelView) and the streaming path (a ring-buffer snapshot) share one
+/// detector entry point without copying; the vector overload is a
+/// convenience wrapper that delegates to the view form.
 class AnomalyDetector {
  public:
   virtual ~AnomalyDetector() = default;
   virtual std::string Name() const = 0;
   virtual Status Fit(const std::vector<double>& train) = 0;
-  virtual Result<std::vector<double>> Score(
-      const std::vector<double>& data) const = 0;
+  virtual Result<std::vector<double>> Score(SeriesView data) const = 0;
+  Result<std::vector<double>> Score(const std::vector<double>& data) const {
+    return Score(SeriesView(data));
+  }
   virtual std::unique_ptr<AnomalyDetector> CloneUnfitted() const = 0;
 };
 
@@ -28,10 +36,10 @@ class AnomalyDetector {
 /// breaks when the training data itself contains anomalies.
 class ZScoreDetector : public AnomalyDetector {
  public:
+  using AnomalyDetector::Score;
   std::string Name() const override { return "zscore"; }
   Status Fit(const std::vector<double>& train) override;
-  Result<std::vector<double>> Score(
-      const std::vector<double>& data) const override;
+  Result<std::vector<double>> Score(SeriesView data) const override;
   std::unique_ptr<AnomalyDetector> CloneUnfitted() const override {
     return std::make_unique<ZScoreDetector>();
   }
@@ -46,10 +54,10 @@ class ZScoreDetector : public AnomalyDetector {
 /// training pollution by construction.
 class MadDetector : public AnomalyDetector {
  public:
+  using AnomalyDetector::Score;
   std::string Name() const override { return "mad"; }
   Status Fit(const std::vector<double>& train) override;
-  Result<std::vector<double>> Score(
-      const std::vector<double>& data) const override;
+  Result<std::vector<double>> Score(SeriesView data) const override;
   std::unique_ptr<AnomalyDetector> CloneUnfitted() const override {
     return std::make_unique<MadDetector>();
   }
@@ -66,12 +74,12 @@ class MadDetector : public AnomalyDetector {
 /// do not fit the learned subspace and reconstruct poorly.
 class PcaReconstructionDetector : public AnomalyDetector {
  public:
+  using AnomalyDetector::Score;
   PcaReconstructionDetector(int window = 16, int components = 3)
       : window_(window), components_(components) {}
   std::string Name() const override;
   Status Fit(const std::vector<double>& train) override;
-  Result<std::vector<double>> Score(
-      const std::vector<double>& data) const override;
+  Result<std::vector<double>> Score(SeriesView data) const override;
   std::unique_ptr<AnomalyDetector> CloneUnfitted() const override {
     return std::make_unique<PcaReconstructionDetector>(window_, components_);
   }
@@ -104,14 +112,14 @@ class ReconstructionEnsembleDetector : public AnomalyDetector {
     uint64_t seed = 7;
   };
 
+  using AnomalyDetector::Score;
   ReconstructionEnsembleDetector() = default;
   explicit ReconstructionEnsembleDetector(Options options)
       : options_(options) {}
 
   std::string Name() const override { return "recon-ensemble"; }
   Status Fit(const std::vector<double>& train) override;
-  Result<std::vector<double>> Score(
-      const std::vector<double>& data) const override;
+  Result<std::vector<double>> Score(SeriesView data) const override;
   std::unique_ptr<AnomalyDetector> CloneUnfitted() const override {
     return std::make_unique<ReconstructionEnsembleDetector>(options_);
   }
@@ -133,6 +141,7 @@ class ReconstructionEnsembleDetector : public AnomalyDetector {
 /// clean data is barely trimmed while heavy pollution is fully removed.
 class RobustTrainingWrapper : public AnomalyDetector {
  public:
+  using AnomalyDetector::Score;
   RobustTrainingWrapper(std::unique_ptr<AnomalyDetector> inner,
                         double sigma_threshold = 3.0, int iterations = 5)
       : inner_(std::move(inner)),
@@ -141,8 +150,7 @@ class RobustTrainingWrapper : public AnomalyDetector {
 
   std::string Name() const override;
   Status Fit(const std::vector<double>& train) override;
-  Result<std::vector<double>> Score(
-      const std::vector<double>& data) const override;
+  Result<std::vector<double>> Score(SeriesView data) const override;
   std::unique_ptr<AnomalyDetector> CloneUnfitted() const override {
     return std::make_unique<RobustTrainingWrapper>(inner_->CloneUnfitted(),
                                                    sigma_threshold_,

@@ -1,0 +1,117 @@
+#ifndef TSDM_COMMON_SERIES_VIEW_H_
+#define TSDM_COMMON_SERIES_VIEW_H_
+
+#include <cstddef>
+#include <iterator>
+#include <vector>
+
+namespace tsdm {
+
+/// A non-owning, read-only view over `size` doubles spaced `stride` slots
+/// apart — the zero-copy counterpart of the `std::vector<double>` channel
+/// copies. A stride of 1 views contiguous storage (a plain vector, a ring
+/// snapshot); a stride of C views one channel of TimeSeries' row-major
+/// step-major layout without materializing it. The view never outlives the
+/// storage it points into; treat it like a string_view.
+class SeriesView {
+ public:
+  /// Random-access iterator over the (possibly strided) elements, so view
+  /// consumers can use range-for and the <algorithm> header unchanged.
+  class Iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = double;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const double*;
+    using reference = const double&;
+
+    Iterator() = default;
+    Iterator(const double* p, size_t stride) : p_(p), stride_(stride) {}
+
+    reference operator*() const { return *p_; }
+    Iterator& operator++() {
+      p_ += stride_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator tmp = *this;
+      p_ += stride_;
+      return tmp;
+    }
+    Iterator& operator--() {
+      p_ -= stride_;
+      return *this;
+    }
+    Iterator& operator+=(difference_type n) {
+      p_ += n * static_cast<difference_type>(stride_);
+      return *this;
+    }
+    Iterator operator+(difference_type n) const {
+      Iterator tmp = *this;
+      tmp += n;
+      return tmp;
+    }
+    difference_type operator-(const Iterator& other) const {
+      return (p_ - other.p_) / static_cast<difference_type>(stride_);
+    }
+    reference operator[](difference_type n) const {
+      return p_[n * static_cast<difference_type>(stride_)];
+    }
+    bool operator==(const Iterator& other) const { return p_ == other.p_; }
+    bool operator!=(const Iterator& other) const { return p_ != other.p_; }
+    bool operator<(const Iterator& other) const { return p_ < other.p_; }
+
+   private:
+    const double* p_ = nullptr;
+    size_t stride_ = 1;
+  };
+
+  constexpr SeriesView() = default;
+  constexpr SeriesView(const double* data, size_t size, size_t stride = 1)
+      : data_(data), size_(size), stride_(stride == 0 ? 1 : stride) {}
+
+  /// Implicit view of a whole vector, so every vector call site (including
+  /// virtual Score overrides) keeps compiling against view-based APIs.
+  SeriesView(const std::vector<double>& v)  // NOLINT(runtime/explicit)
+      : SeriesView(v.data(), v.size()) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t stride() const { return stride_; }
+  /// True when the elements are adjacent in memory, i.e. data() spans them.
+  bool contiguous() const { return stride_ == 1; }
+  /// Pointer to the first element; only spans the view when contiguous().
+  const double* data() const { return data_; }
+
+  double operator[](size_t i) const { return data_[i * stride_]; }
+  double front() const { return data_[0]; }
+  double back() const { return data_[(size_ - 1) * stride_]; }
+
+  /// The sub-view of `count` elements starting at `offset`; clamps to the
+  /// viewed range.
+  SeriesView Subview(size_t offset, size_t count) const {
+    if (offset >= size_) return SeriesView(data_, 0, stride_);
+    size_t n = size_ - offset;
+    if (count < n) n = count;
+    return SeriesView(data_ + offset * stride_, n, stride_);
+  }
+
+  /// Materializes the view as a contiguous vector (the one explicit copy).
+  std::vector<double> ToVector() const {
+    std::vector<double> out(size_);
+    for (size_t i = 0; i < size_; ++i) out[i] = data_[i * stride_];
+    return out;
+  }
+
+  Iterator begin() const { return Iterator(data_, stride_); }
+  Iterator end() const { return Iterator(data_ + size_ * stride_, stride_); }
+
+ private:
+  const double* data_ = nullptr;
+  size_t size_ = 0;
+  size_t stride_ = 1;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_COMMON_SERIES_VIEW_H_

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -66,6 +67,14 @@ struct PipelineReport {
 class Pipeline {
  public:
   Pipeline& AddStage(std::unique_ptr<PipelineStage> stage);
+
+  /// Fluent in-place construction: Emplace<CleanStage>(range) is
+  /// AddStage(std::make_unique<CleanStage>(range)) without the boilerplate.
+  template <typename StageT, typename... Args>
+  Pipeline& Emplace(Args&&... args) {
+    return AddStage(std::make_unique<StageT>(std::forward<Args>(args)...));
+  }
+
   size_t NumStages() const { return stages_.size(); }
 
   /// The stage at position i; requires i < NumStages(). Non-const access

@@ -1,0 +1,50 @@
+#include "src/core/stream_bridge.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/time_series.h"
+
+namespace tsdm {
+
+Status SnapshotToContext(const StreamBuffer& buffer, const SensorGraph& graph,
+                         PipelineContext* context) {
+  size_t num_sensors = buffer.num_sensors();
+  if (graph.NumSensors() != num_sensors) {
+    return Status::InvalidArgument(
+        "SnapshotToContext: graph sensor count != buffer sensor count");
+  }
+
+  std::vector<std::vector<double>> values(num_sensors);
+  std::vector<std::vector<int64_t>> timestamps(num_sensors);
+  size_t steps = 0;
+  size_t longest = 0;
+  for (size_t s = 0; s < num_sensors; ++s) {
+    buffer.SnapshotSensor(s, &values[s], &timestamps[s]);
+    if (values[s].size() > steps) {
+      steps = values[s].size();
+      longest = s;
+    }
+  }
+
+  TimeSeries series;
+  if (steps > 0) {
+    series = TimeSeries(timestamps[longest], num_sensors, kMissingValue);
+    for (size_t s = 0; s < num_sensors; ++s) {
+      size_t offset = steps - values[s].size();  // right-align on newest
+      for (size_t i = 0; i < values[s].size(); ++i) {
+        series.Set(offset + i, s, values[s][i]);
+      }
+    }
+  } else {
+    series = TimeSeries(std::vector<int64_t>{}, num_sensors);
+  }
+
+  context->data = CorrelatedTimeSeries(graph, std::move(series));
+  context->metrics["stream_snapshot_steps"] = static_cast<double>(steps);
+  context->metrics["stream_snapshot_missing"] =
+      static_cast<double>(context->data.series().CountMissing());
+  return Status::OK();
+}
+
+}  // namespace tsdm

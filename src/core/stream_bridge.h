@@ -1,0 +1,31 @@
+#ifndef TSDM_CORE_STREAM_BRIDGE_H_
+#define TSDM_CORE_STREAM_BRIDGE_H_
+
+#include "src/core/pipeline.h"
+#include "src/data/sensor_graph.h"
+#include "src/stream/stream_buffer.h"
+
+namespace tsdm {
+
+/// Materializes the retained window of a live StreamBuffer into a
+/// PipelineContext, so the batch Fig. 1 pipeline (assess -> clean ->
+/// impute -> forecast) can run over exactly what the streaming path has
+/// seen — the bridge between the online and offline halves of the system.
+///
+/// Sensors are right-aligned on their newest tick: the snapshot spans the
+/// longest ring's fill, and sensors with shorter history get leading
+/// missing entries (NaN), which is precisely the gap shape the governance
+/// stages exist to handle. Timestamps are taken from a longest-fill
+/// sensor; `graph` must cover buffer.num_sensors() sensors. The snapshot
+/// is internally consistent (each ring is copied under its lock) but not a
+/// cross-sensor atomic cut — producers may race ticks into other rings
+/// while it is taken, which serving tolerates by design.
+///
+/// Records `stream_snapshot_steps` and `stream_snapshot_missing` in
+/// context->metrics.
+Status SnapshotToContext(const StreamBuffer& buffer, const SensorGraph& graph,
+                         PipelineContext* context);
+
+}  // namespace tsdm
+
+#endif  // TSDM_CORE_STREAM_BRIDGE_H_

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/common/series_view.h"
 #include "src/common/status.h"
 #include "src/data/sensor_graph.h"
 #include "src/data/time_series.h"
@@ -30,7 +31,12 @@ class CorrelatedTimeSeries {
   double At(size_t t, size_t s) const { return series_.At(t, s); }
   void Set(size_t t, size_t s, double v) { series_.Set(t, s, v); }
 
-  /// The univariate series of one sensor.
+  /// Zero-copy view of one sensor's univariate series (see
+  /// TimeSeries::ChannelView for invalidation rules).
+  SeriesView SensorView(size_t s) const { return series_.ChannelView(s); }
+
+  /// The univariate series of one sensor, copied (thin wrapper over
+  /// SensorView; prefer the view on hot paths).
   std::vector<double> SensorSeries(size_t s) const {
     return series_.Channel(s);
   }

@@ -45,9 +45,7 @@ double TimeSeries::MissingRate() const {
 }
 
 std::vector<double> TimeSeries::Channel(size_t c) const {
-  std::vector<double> out(NumSteps());
-  for (size_t i = 0; i < NumSteps(); ++i) out[i] = At(i, c);
-  return out;
+  return ChannelView(c).ToVector();
 }
 
 Status TimeSeries::SetChannel(size_t c, const std::vector<double>& values) {

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/common/series_view.h"
 #include "src/common/status.h"
 
 namespace tsdm {
@@ -55,7 +56,16 @@ class TimeSeries {
   /// Fraction of missing entries in [0,1]; 0 for an empty series.
   double MissingRate() const;
 
-  /// Copies channel c as a contiguous vector.
+  /// Zero-copy strided view of channel c over the row-major storage. The
+  /// view is invalidated by anything that reallocates or reshapes the
+  /// series (Append, SetChannel growth, assignment, destruction); Set() on
+  /// individual entries keeps it valid and visible through the view.
+  SeriesView ChannelView(size_t c) const {
+    return SeriesView(values_.data() + c, NumSteps(), num_channels_);
+  }
+
+  /// Copies channel c as a contiguous vector (thin wrapper over
+  /// ChannelView; prefer the view on hot paths).
   std::vector<double> Channel(size_t c) const;
   /// Overwrites channel c; requires values.size() == NumSteps().
   Status SetChannel(size_t c, const std::vector<double>& values);

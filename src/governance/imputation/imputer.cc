@@ -5,14 +5,15 @@
 #include <vector>
 
 #include "src/common/matrix.h"
+#include "src/common/series_view.h"
 #include "src/common/stats.h"
 
 namespace tsdm {
 
 namespace {
 
-/// Indices of observed entries of a channel vector.
-std::vector<size_t> ObservedIndices(const std::vector<double>& v) {
+/// Indices of observed entries of a channel view.
+std::vector<size_t> ObservedIndices(SeriesView v) {
   std::vector<size_t> idx;
   for (size_t i = 0; i < v.size(); ++i) {
     if (std::isfinite(v[i])) idx.push_back(i);
@@ -61,9 +62,19 @@ double ArPredict(const std::vector<double>& coeffs,
 
 Status MeanImputer::Impute(TimeSeries* series) const {
   for (size_t c = 0; c < series->NumChannels(); ++c) {
-    std::vector<double> observed = FiniteValues(series->Channel(c));
-    if (observed.empty()) continue;
-    double m = Mean(observed);
+    // Accumulate the observed mean straight off the strided view — no
+    // channel copy.
+    SeriesView v = series->ChannelView(c);
+    double sum = 0.0;
+    size_t n = 0;
+    for (size_t t = 0; t < v.size(); ++t) {
+      if (std::isfinite(v[t])) {
+        sum += v[t];
+        ++n;
+      }
+    }
+    if (n == 0) continue;
+    double m = sum / static_cast<double>(n);
     for (size_t t = 0; t < series->NumSteps(); ++t) {
       if (series->IsMissing(t, c)) series->Set(t, c, m);
     }
@@ -73,7 +84,9 @@ Status MeanImputer::Impute(TimeSeries* series) const {
 
 Status LocfImputer::Impute(TimeSeries* series) const {
   for (size_t c = 0; c < series->NumChannels(); ++c) {
-    std::vector<double> v = series->Channel(c);
+    // Live view: Set() only fills entries the forward scan has already
+    // passed, so carry-forward semantics are unchanged without a copy.
+    SeriesView v = series->ChannelView(c);
     auto obs = ObservedIndices(v);
     if (obs.empty()) continue;
     // Backfill the leading gap, then carry forward.
@@ -91,7 +104,9 @@ Status LocfImputer::Impute(TimeSeries* series) const {
 
 Status LinearInterpolationImputer::Impute(TimeSeries* series) const {
   for (size_t c = 0; c < series->NumChannels(); ++c) {
-    std::vector<double> v = series->Channel(c);
+    // Live view: interpolation only reads originally observed anchors
+    // (obs is fixed up front), so in-place fills cannot feed themselves.
+    SeriesView v = series->ChannelView(c);
     auto obs = ObservedIndices(v);
     if (obs.empty()) continue;
     for (size_t t = 0; t < v.size(); ++t) {
@@ -119,7 +134,9 @@ Status KnnChannelImputer::Impute(TimeSeries* series) const {
   if (channels < 2) {
     return LinearInterpolationImputer().Impute(series);
   }
-  // Correlations and regression scale between channel pairs on overlap.
+  // Deliberately snapshots every channel (no views): imputing channel c
+  // mutates the series while later channels still need the *original*
+  // values of c as neighbors.
   std::vector<std::vector<double>> chan(channels);
   for (size_t c = 0; c < channels; ++c) chan[c] = series->Channel(c);
 

@@ -1,0 +1,106 @@
+#ifndef TSDM_STREAM_STREAM_BUFFER_H_
+#define TSDM_STREAM_STREAM_BUFFER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace tsdm {
+
+/// One observation arriving on the streaming serving path: sensor `sensor`
+/// reported `value` at `timestamp`.
+struct Tick {
+  size_t sensor = 0;
+  int64_t timestamp = 0;
+  double value = 0.0;
+};
+
+/// What Push does when a sensor's ring already holds `capacity` unconsumed
+/// ticks — the explicit backpressure contract of the ingest path.
+enum class DropPolicy {
+  /// Overwrite the oldest unconsumed tick (favor freshness; the consumer
+  /// loses the tail of a burst it could not keep up with).
+  kDropOldest,
+  /// Reject the incoming tick (favor continuity; the producer's newest
+  /// observation is lost instead).
+  kDropNewest,
+};
+
+/// Fixed-capacity per-sensor tick rings: the ingest edge of the streaming
+/// subsystem. Producers Push concurrently (one mutex per sensor, so
+/// producers on different sensors do not contend); a consumer Polls ticks
+/// out in per-sensor FIFO order and feeds them to a StreamPipeline.
+///
+/// Each ring doubles as a retention window: the most recent `capacity`
+/// ticks of every sensor stay readable (SnapshotSensor) after consumption
+/// until overwritten, which is what SnapshotToContext (src/core) uses to
+/// hand a live stream to the batch Fig. 1 pipeline.
+///
+/// No allocation after construction: Push, Poll, and the drop bookkeeping
+/// all run on preallocated storage.
+class StreamBuffer {
+ public:
+  StreamBuffer(size_t num_sensors, size_t capacity,
+               DropPolicy policy = DropPolicy::kDropOldest);
+
+  size_t num_sensors() const { return rings_.size(); }
+  size_t capacity() const { return capacity_; }
+  DropPolicy policy() const { return policy_; }
+
+  /// Ingests one tick (thread-safe). Returns false only when the tick was
+  /// rejected (ring full under kDropNewest, or sensor out of range); under
+  /// kDropOldest the push always lands but may evict an unconsumed tick
+  /// (counted in dropped()).
+  bool Push(const Tick& tick);
+  bool Push(size_t sensor, int64_t timestamp, double value) {
+    return Push(Tick{sensor, timestamp, value});
+  }
+
+  /// Pops the oldest unconsumed tick of some sensor, round-robin across
+  /// sensors so no sensor starves. Per-sensor order is strict FIFO;
+  /// cross-sensor order is approximate arrival order. Returns false when
+  /// every ring is drained. Thread-safe (normally one consumer).
+  bool Poll(Tick* out);
+
+  /// Ticks admitted into a ring.
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  /// Ticks lost to backpressure: evictions under kDropOldest, rejections
+  /// under kDropNewest.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Ticks admitted but not yet polled, summed over sensors.
+  size_t NumUnconsumed() const;
+
+  /// Number of retained ticks of sensor s (<= capacity), consumed or not.
+  size_t SensorFill(size_t s) const;
+
+  /// Copies sensor s's retained window (oldest -> newest) into *values and
+  /// optionally *timestamps. Vectors are resized to the fill; reusing the
+  /// same vectors across calls avoids reallocation in steady state.
+  void SnapshotSensor(size_t s, std::vector<double>* values,
+                      std::vector<int64_t>* timestamps = nullptr) const;
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<int64_t> timestamps;
+    std::vector<double> values;
+    size_t head = 0;        // next write slot
+    size_t fill = 0;        // retained ticks, <= capacity
+    size_t unconsumed = 0;  // admitted but not yet polled, <= fill
+  };
+
+  std::vector<Ring> rings_;
+  size_t capacity_;
+  DropPolicy policy_;
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<size_t> poll_cursor_{0};
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_STREAM_STREAM_BUFFER_H_

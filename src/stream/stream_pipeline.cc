@@ -1,0 +1,76 @@
+#include "src/stream/stream_pipeline.h"
+
+#include <chrono>
+
+namespace tsdm {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+StreamPipeline& StreamPipeline::AddStage(std::unique_ptr<StreamStage> stage) {
+  stages_.push_back(std::move(stage));
+  ready_ = false;  // the new stage needs a Reset before ticks flow
+  return *this;
+}
+
+Status StreamPipeline::Reset(size_t num_sensors) {
+  registry_ = StageMetricsRegistry();
+  tick_latency_ = LatencyHistogram();
+  slots_.clear();
+  slots_.reserve(stages_.size());
+  ticks_ = 0;
+  num_sensors_ = num_sensors;
+  for (auto& stage : stages_) {
+    TSDM_RETURN_IF_ERROR(stage->Reset(num_sensors));
+    // Resolving the registry slot here keeps the per-tick path free of
+    // map lookups and string allocation.
+    slots_.push_back(&registry_.ForStage(stage->Name()));
+  }
+  ready_ = true;
+  return Status::OK();
+}
+
+Status StreamPipeline::ProcessTick(TickRecord* rec) {
+  if (!ready_) {
+    return Status::FailedPrecondition(
+        "StreamPipeline: Reset(num_sensors) must run before ticks");
+  }
+  // Reset the output slots, keeping the tick itself.
+  Tick tick = rec->tick;
+  *rec = TickRecord();
+  rec->tick = tick;
+
+  auto tick_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    auto stage_start = std::chrono::steady_clock::now();
+    Status status = stages_[i]->OnTick(rec);
+    StageMetrics* slot = slots_[i];
+    slot->latency.Add(SecondsSince(stage_start));
+    ++slot->invocations;
+    if (!status.ok()) {
+      ++slot->failures;
+      tick_latency_.Add(SecondsSince(tick_start));
+      return status;
+    }
+  }
+  tick_latency_.Add(SecondsSince(tick_start));
+  ++ticks_;
+  return Status::OK();
+}
+
+size_t StreamPipeline::Drain(StreamBuffer* buffer, TickRecord* rec) {
+  size_t processed = 0;
+  while (buffer->Poll(&rec->tick)) {
+    if (!ProcessTick(rec).ok()) break;
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace tsdm

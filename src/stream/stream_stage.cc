@@ -1,0 +1,126 @@
+#include "src/stream/stream_stage.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsdm {
+
+namespace {
+
+Status CheckSensor(size_t sensor, size_t num_sensors,
+                   const char* stage_name) {
+  if (sensor >= num_sensors) {
+    return Status::OutOfRange(std::string(stage_name) +
+                              ": sensor index out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WelfordStatsStage::Reset(size_t num_sensors) {
+  stats_.assign(num_sensors, OnlineStats());
+  return Status::OK();
+}
+
+Status WelfordStatsStage::OnTick(TickRecord* rec) {
+  TSDM_RETURN_IF_ERROR(
+      CheckSensor(rec->tick.sensor, stats_.size(), "stream/stats"));
+  OnlineStats& st = stats_[rec->tick.sensor];
+  st.Add(rec->tick.value);
+  rec->stat_count = st.count();
+  rec->mean = st.mean();
+  rec->stdev = st.stdev();
+  return Status::OK();
+}
+
+Status OnlineAnomalyStage::Reset(size_t num_sensors) {
+  alarms_ = 0;
+  if (mode_ == Mode::kZScore) {
+    stats_.assign(num_sensors, OnlineStats());
+    robust_.clear();
+  } else {
+    robust_.assign(num_sensors, RobustState());
+    stats_.clear();
+  }
+  return Status::OK();
+}
+
+Status OnlineAnomalyStage::OnTick(TickRecord* rec) {
+  size_t num_sensors =
+      mode_ == Mode::kZScore ? stats_.size() : robust_.size();
+  TSDM_RETURN_IF_ERROR(
+      CheckSensor(rec->tick.sensor, num_sensors, "stream/anomaly"));
+  double x = rec->tick.value;
+  double score = 0.0;
+  if (mode_ == Mode::kZScore) {
+    OnlineStats& st = stats_[rec->tick.sensor];
+    // Score against the prefix (prequential), then absorb the tick.
+    if (st.count() >= 2) {
+      score = std::fabs(x - st.mean()) / std::max(1e-9, st.stdev());
+    }
+    st.Add(x);
+  } else {
+    RobustState& st = robust_[rec->tick.sensor];
+    if (st.n == 0) {
+      st.location = x;
+    } else {
+      double dev = std::fabs(x - st.location);
+      if (st.n >= 2) {
+        score = dev / std::max(1e-9, 1.4826 * st.scale);
+      }
+      // Exponentially weighted robust recursions; the location step is
+      // clamped to the scale so a single wild tick cannot drag it far.
+      double step = lambda_ * (x - st.location);
+      if (st.scale > 0.0) {
+        double cap = 3.0 * st.scale;
+        if (step > cap) step = cap;
+        if (step < -cap) step = -cap;
+      }
+      st.location += step;
+      st.scale += lambda_ * (dev - st.scale);
+    }
+    ++st.n;
+  }
+  rec->anomaly_score = score;
+  rec->is_anomaly = score > threshold_;
+  if (rec->is_anomaly) ++alarms_;
+  return Status::OK();
+}
+
+Status OnlineForecastStage::Reset(size_t num_sensors) {
+  state_.assign(num_sensors, HoltState());
+  return Status::OK();
+}
+
+Status OnlineForecastStage::OnTick(TickRecord* rec) {
+  TSDM_RETURN_IF_ERROR(
+      CheckSensor(rec->tick.sensor, state_.size(), "stream/forecast-holt"));
+  HoltState& st = state_[rec->tick.sensor];
+  double x = rec->tick.value;
+  if (st.n == 0) {
+    st.level = x;
+    st.trend = 0.0;
+    rec->forecast = std::numeric_limits<double>::quiet_NaN();
+    rec->forecast_error = std::numeric_limits<double>::quiet_NaN();
+  } else {
+    double f = st.level + st.trend;
+    rec->forecast = f;
+    rec->forecast_error = x - f;
+    double new_level = alpha_ * x + (1.0 - alpha_) * (st.level + st.trend);
+    st.trend = beta_ * (new_level - st.level) + (1.0 - beta_) * st.trend;
+    st.level = new_level;
+  }
+  ++st.n;
+  rec->forecast_next = st.level + st.trend;
+  return Status::OK();
+}
+
+double OnlineForecastStage::ForecastNext(size_t s) const {
+  if (s >= state_.size() || state_[s].n == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return state_[s].level + state_[s].trend;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,143 @@
+#ifndef TSDM_STREAM_STREAM_STAGE_H_
+#define TSDM_STREAM_STREAM_STAGE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/stream/stream_buffer.h"
+
+namespace tsdm {
+
+/// The record of one tick flowing through a StreamPipeline — the streaming
+/// analogue of PipelineContext, shrunk to a fixed POD so the hot path never
+/// touches the heap. Stages fill in the slots they own; downstream stages
+/// and the caller read them after ProcessTick returns.
+struct TickRecord {
+  Tick tick;
+
+  // WelfordStatsStage: running per-sensor statistics including this tick.
+  uint64_t stat_count = 0;
+  double mean = 0.0;
+  double stdev = 0.0;
+
+  // OnlineAnomalyStage: prequential score of this tick against the state
+  // *before* it (so an anomaly cannot mask itself), and the alarm bit.
+  double anomaly_score = 0.0;
+  bool is_anomaly = false;
+
+  // OnlineForecastStage: the forecast this tick was compared against, its
+  // error, and the one-step-ahead forecast after absorbing this tick.
+  double forecast = std::numeric_limits<double>::quiet_NaN();
+  double forecast_error = std::numeric_limits<double>::quiet_NaN();
+  double forecast_next = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// One incremental operator on the streaming path. Stages hold per-sensor
+/// state sized once by Reset (the only place allocation is allowed);
+/// OnTick must be allocation-free and is driven from a single consumer
+/// thread, so it needs no internal synchronization.
+class StreamStage {
+ public:
+  virtual ~StreamStage() = default;
+  virtual std::string Name() const = 0;
+
+  /// Sizes per-sensor state; called by StreamPipeline::Reset before any
+  /// tick flows. May allocate.
+  virtual Status Reset(size_t num_sensors) = 0;
+
+  /// Absorbs one tick: updates the state of rec->tick.sensor and writes
+  /// this stage's TickRecord slots. Must not allocate.
+  virtual Status OnTick(TickRecord* rec) = 0;
+};
+
+/// Incremental per-sensor mean/variance via Welford's recurrence — the
+/// streaming twin of batch Mean()/Stdev(), exact up to floating-point
+/// rounding (the property tests assert the match).
+class WelfordStatsStage : public StreamStage {
+ public:
+  std::string Name() const override { return "stream/stats"; }
+  Status Reset(size_t num_sensors) override;
+  Status OnTick(TickRecord* rec) override;
+
+  /// Running statistics of one sensor (count/mean/stdev/min/max).
+  const OnlineStats& SensorStats(size_t s) const { return stats_[s]; }
+
+ private:
+  std::vector<OnlineStats> stats_;
+};
+
+/// Online point-anomaly scoring. kZScore keeps per-sensor Welford state and
+/// scores |x - mean| / stdev against the statistics of all *prior* ticks —
+/// exactly the batch ZScoreDetector fitted on the prefix. kMad tracks a
+/// robust location/scale pair with exponentially weighted recursions
+/// (location steps toward the sample, scale tracks |x - location|, scaled
+/// by 1.4826 as for a MAD), trading the batch MadDetector's exactness for
+/// O(1) updates that resist level shifts and outlier pollution.
+class OnlineAnomalyStage : public StreamStage {
+ public:
+  enum class Mode { kZScore, kMad };
+
+  explicit OnlineAnomalyStage(Mode mode = Mode::kZScore,
+                              double threshold = 4.0, double ew_lambda = 0.05)
+      : mode_(mode), threshold_(threshold), lambda_(ew_lambda) {}
+
+  std::string Name() const override {
+    return mode_ == Mode::kZScore ? "stream/anomaly-zscore"
+                                  : "stream/anomaly-mad";
+  }
+  Status Reset(size_t num_sensors) override;
+  Status OnTick(TickRecord* rec) override;
+
+  uint64_t alarms() const { return alarms_; }
+
+ private:
+  struct RobustState {
+    double location = 0.0;
+    double scale = 0.0;
+    uint64_t n = 0;
+  };
+
+  Mode mode_;
+  double threshold_;
+  double lambda_;
+  uint64_t alarms_ = 0;
+  std::vector<OnlineStats> stats_;        // kZScore
+  std::vector<RobustState> robust_;       // kMad
+};
+
+/// Online one-step forecaster: per-sensor Holt linear (level + trend)
+/// exponential smoothing updated in O(1) per tick. Each tick is first
+/// scored against the forecast made before it arrived (prequential error),
+/// then absorbed into the state.
+class OnlineForecastStage : public StreamStage {
+ public:
+  explicit OnlineForecastStage(double alpha = 0.3, double beta = 0.1)
+      : alpha_(alpha), beta_(beta) {}
+
+  std::string Name() const override { return "stream/forecast-holt"; }
+  Status Reset(size_t num_sensors) override;
+  Status OnTick(TickRecord* rec) override;
+
+  /// One-step-ahead forecast for sensor s given everything seen so far;
+  /// NaN before the sensor's first tick.
+  double ForecastNext(size_t s) const;
+
+ private:
+  struct HoltState {
+    double level = 0.0;
+    double trend = 0.0;
+    uint64_t n = 0;
+  };
+
+  double alpha_;
+  double beta_;
+  std::vector<HoltState> state_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_STREAM_STREAM_STAGE_H_

@@ -200,8 +200,7 @@ TEST(TinyInputTest, ParetoFrontOfSingletonAndEmpty) {
 TEST(TinyInputTest, PipelineOnEmptyDataFailsGracefully) {
   PipelineContext ctx;  // default-constructed: zero sensors, zero steps
   Pipeline pipeline;
-  pipeline.AddStage(std::make_unique<ImputeStage>())
-      .AddStage(std::make_unique<ForecastStage>(4, 6));
+  pipeline.Emplace<ImputeStage>().Emplace<ForecastStage>(4, 6);
   PipelineReport report = pipeline.Run(&ctx);
   EXPECT_FALSE(report.ok());  // forecast stage reports no sensor forecast
   EXPECT_FALSE(report.ToString().empty());

@@ -122,10 +122,10 @@ std::vector<PipelineContext> MakeShards(int num_shards, uint64_t base_seed) {
 Pipeline MakeGovernanceForecastPipeline() {
   RangeRule range{-1000.0, 1000.0};
   Pipeline p;
-  p.AddStage(std::make_unique<AssessQualityStage>(range))
-      .AddStage(std::make_unique<CleanStage>(range))
-      .AddStage(std::make_unique<ImputeStage>())
-      .AddStage(std::make_unique<ForecastStage>(4, 8));
+  p.Emplace<AssessQualityStage>(range)
+      .Emplace<CleanStage>(range)
+      .Emplace<ImputeStage>()
+      .Emplace<ForecastStage>(4, 8);
   return p;
 }
 
@@ -192,8 +192,7 @@ class MarkerStage : public PipelineStage {
 
 TEST(BatchExecutorTest, PoisonedShardIsQuarantinedOthersComplete) {
   Pipeline pipeline;
-  pipeline.AddStage(std::make_unique<PoisonStage>())
-      .AddStage(std::make_unique<MarkerStage>());
+  pipeline.Emplace<PoisonStage>().Emplace<MarkerStage>();
   std::vector<PipelineContext> shards(16);
   shards[7].notes["poison"] = "1";
 
@@ -242,8 +241,7 @@ class FlakyStage : public PipelineStage {
 
 TEST(BatchExecutorTest, TransientStageSucceedsOnRetry) {
   Pipeline pipeline;
-  pipeline.AddStage(std::make_unique<FlakyStage>(2))
-      .AddStage(std::make_unique<MarkerStage>());
+  pipeline.Emplace<FlakyStage>(2).Emplace<MarkerStage>();
   std::vector<PipelineContext> shards(8);
 
   ExecutorOptions opts;
@@ -265,7 +263,7 @@ TEST(BatchExecutorTest, TransientStageSucceedsOnRetry) {
 
 TEST(BatchExecutorTest, RetriesExhaustedQuarantinesShard) {
   Pipeline pipeline;
-  pipeline.AddStage(std::make_unique<FlakyStage>(5));
+  pipeline.Emplace<FlakyStage>(5);
   std::vector<PipelineContext> shards(2);
 
   ExecutorOptions opts;
@@ -282,7 +280,7 @@ TEST(BatchExecutorTest, RetriesExhaustedQuarantinesShard) {
 
 TEST(BatchExecutorTest, NonTransientStageIsNeverRetried) {
   Pipeline pipeline;
-  pipeline.AddStage(std::make_unique<PoisonStage>());
+  pipeline.Emplace<PoisonStage>();
   std::vector<PipelineContext> shards(1);
   shards[0].notes["poison"] = "1";
 

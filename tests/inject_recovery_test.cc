@@ -54,8 +54,8 @@ double FieldStdev(const CorrelatedTimeSeries& truth) {
 PipelineReport RunGovernance(PipelineContext* ctx, double mad_threshold) {
   RangeRule range{-1000.0, 1000.0};
   Pipeline pipeline;
-  pipeline.AddStage(std::make_unique<CleanStage>(range, mad_threshold))
-      .AddStage(std::make_unique<ImputeStage>());
+  pipeline.Emplace<CleanStage>(range, mad_threshold)
+      .Emplace<ImputeStage>();
   return pipeline.Run(ctx);
 }
 

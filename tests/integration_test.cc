@@ -69,10 +69,10 @@ TEST(IntegrationTest, TrafficScenarioEndToEnd) {
   InjectMissingMcar(&ctx.data.series(), 0.15, &rng);
   RangeRule range{0.0, 50.0};
   Pipeline pipeline;
-  pipeline.AddStage(std::make_unique<AssessQualityStage>(range))
-      .AddStage(std::make_unique<CleanStage>(range))
-      .AddStage(std::make_unique<ImputeStage>())
-      .AddStage(std::make_unique<ForecastStage>(6, 12));
+  pipeline.Emplace<AssessQualityStage>(range)
+      .Emplace<CleanStage>(range)
+      .Emplace<ImputeStage>()
+      .Emplace<ForecastStage>(6, 12);
   PipelineReport report = pipeline.Run(&ctx);
   ASSERT_TRUE(report.ok()) << report.ToString();
   EXPECT_EQ(ctx.data.series().CountMissing(), 0u);

@@ -119,7 +119,7 @@ class SlowFailingStage : public PipelineStage {
 
 TEST(PipelineReportTest, FailingStageRecordsElapsedTimeAndIndex) {
   Pipeline pipeline;
-  pipeline.AddStage(std::make_unique<SlowFailingStage>());
+  pipeline.Emplace<SlowFailingStage>();
   PipelineContext ctx;
   PipelineReport report = pipeline.Run(&ctx);
   ASSERT_EQ(report.stages.size(), 1u);

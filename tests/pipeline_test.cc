@@ -22,10 +22,10 @@ TEST(PipelineTest, FullParadigmRunsGreen) {
   PipelineContext ctx = MakeContext(1);
   RangeRule range{-1000.0, 1000.0};
   Pipeline pipeline;
-  pipeline.AddStage(std::make_unique<AssessQualityStage>(range))
-      .AddStage(std::make_unique<CleanStage>(range))
-      .AddStage(std::make_unique<ImputeStage>())
-      .AddStage(std::make_unique<ForecastStage>(4, 12));
+  pipeline.Emplace<AssessQualityStage>(range)
+      .Emplace<CleanStage>(range)
+      .Emplace<ImputeStage>()
+      .Emplace<ForecastStage>(4, 12);
   EXPECT_EQ(pipeline.NumStages(), 4u);
   PipelineReport report = pipeline.Run(&ctx);
   EXPECT_TRUE(report.ok()) << report.ToString();
@@ -54,9 +54,9 @@ TEST(PipelineTest, StopsAtFirstFailure) {
   PipelineContext ctx = MakeContext(2);
   RangeRule range{-1000.0, 1000.0};
   Pipeline pipeline;
-  pipeline.AddStage(std::make_unique<AssessQualityStage>(range))
-      .AddStage(std::make_unique<FailingStage>())
-      .AddStage(std::make_unique<ForecastStage>(4, 6));
+  pipeline.Emplace<AssessQualityStage>(range)
+      .Emplace<FailingStage>()
+      .Emplace<ForecastStage>(4, 6);
   PipelineReport report = pipeline.Run(&ctx);
   EXPECT_FALSE(report.ok());
   EXPECT_EQ(report.stages.size(), 2u);  // third stage never ran

@@ -1,0 +1,174 @@
+#include "src/common/series_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/anomaly/detector.h"
+#include "src/common/rng.h"
+#include "src/data/correlated_time_series.h"
+#include "src/data/sensor_graph.h"
+#include "src/data/time_series.h"
+#include "src/governance/imputation/imputer.h"
+
+namespace tsdm {
+namespace {
+
+TimeSeries MakeSeries(size_t steps, size_t channels, uint64_t seed) {
+  TimeSeries ts = TimeSeries::Regular(0, 60, steps, channels);
+  Rng rng(seed);
+  for (size_t t = 0; t < steps; ++t) {
+    for (size_t c = 0; c < channels; ++c) {
+      ts.Set(t, c, rng.Normal(10.0 * static_cast<double>(c), 2.0));
+    }
+  }
+  return ts;
+}
+
+TEST(SeriesViewTest, StridedChannelViewMatchesCopy) {
+  TimeSeries ts = MakeSeries(50, 3, 1);
+  for (size_t c = 0; c < ts.NumChannels(); ++c) {
+    SeriesView view = ts.ChannelView(c);
+    std::vector<double> copy = ts.Channel(c);
+    ASSERT_EQ(view.size(), copy.size());
+    EXPECT_EQ(view.stride(), ts.NumChannels());
+    for (size_t i = 0; i < copy.size(); ++i) {
+      EXPECT_DOUBLE_EQ(view[i], copy[i]);
+    }
+  }
+}
+
+TEST(SeriesViewTest, SensorViewMatchesSensorSeries) {
+  SensorGraph graph(4);
+  CorrelatedTimeSeries cts(graph, MakeSeries(30, 4, 2));
+  for (size_t s = 0; s < 4; ++s) {
+    SeriesView view = cts.SensorView(s);
+    std::vector<double> copy = cts.SensorSeries(s);
+    ASSERT_EQ(view.size(), copy.size());
+    EXPECT_TRUE(std::equal(view.begin(), view.end(), copy.begin()));
+  }
+}
+
+TEST(SeriesViewTest, SingleChannelViewIsContiguous) {
+  TimeSeries ts = TimeSeries::FromValues({1.0, 2.0, 3.0});
+  SeriesView view = ts.ChannelView(0);
+  EXPECT_TRUE(view.contiguous());
+  EXPECT_DOUBLE_EQ(view.front(), 1.0);
+  EXPECT_DOUBLE_EQ(view.back(), 3.0);
+}
+
+TEST(SeriesViewTest, ImplicitVectorViewAndIteration) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  SeriesView view = v;
+  EXPECT_EQ(view.size(), 4u);
+  EXPECT_TRUE(view.contiguous());
+  double sum = 0.0;
+  for (double x : view) sum += x;
+  EXPECT_DOUBLE_EQ(sum, 10.0);
+  EXPECT_EQ(std::distance(view.begin(), view.end()), 4);
+}
+
+TEST(SeriesViewTest, SubviewClampsToRange) {
+  std::vector<double> v = {0.0, 1.0, 2.0, 3.0, 4.0};
+  SeriesView view(v);
+  SeriesView mid = view.Subview(1, 3);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_DOUBLE_EQ(mid[0], 1.0);
+  EXPECT_DOUBLE_EQ(mid[2], 3.0);
+  EXPECT_EQ(view.Subview(4, 100).size(), 1u);
+  EXPECT_EQ(view.Subview(9, 2).size(), 0u);
+}
+
+TEST(SeriesViewTest, StridedSubviewAndToVector) {
+  TimeSeries ts = MakeSeries(20, 2, 3);
+  SeriesView view = ts.ChannelView(1);
+  std::vector<double> tail = view.Subview(15, 5).ToVector();
+  ASSERT_EQ(tail.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(tail[i], ts.At(15 + i, 1));
+  }
+}
+
+TEST(SeriesViewTest, EmptyView) {
+  SeriesView view;
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_TRUE(view.ToVector().empty());
+  EXPECT_EQ(view.begin(), view.end());
+}
+
+TEST(SeriesViewTest, SetIsVisibleThroughLiveView) {
+  TimeSeries ts = MakeSeries(10, 2, 4);
+  SeriesView view = ts.ChannelView(0);
+  ts.Set(5, 0, 123.5);
+  EXPECT_DOUBLE_EQ(view[5], 123.5);
+}
+
+TEST(SeriesViewDetectorTest, ScoresAgreeOnViewAndCopy) {
+  TimeSeries ts = MakeSeries(200, 3, 5);
+  std::vector<double> train = ts.Channel(1);
+
+  ZScoreDetector zscore;
+  MadDetector mad;
+  PcaReconstructionDetector pca(16, 3);
+  ASSERT_TRUE(zscore.Fit(train).ok());
+  ASSERT_TRUE(mad.Fit(train).ok());
+  ASSERT_TRUE(pca.Fit(train).ok());
+
+  for (AnomalyDetector* d :
+       std::initializer_list<AnomalyDetector*>{&zscore, &mad, &pca}) {
+    Result<std::vector<double>> from_view = d->Score(ts.ChannelView(1));
+    Result<std::vector<double>> from_copy = d->Score(ts.Channel(1));
+    ASSERT_TRUE(from_view.ok()) << d->Name();
+    ASSERT_TRUE(from_copy.ok()) << d->Name();
+    ASSERT_EQ(from_view->size(), from_copy->size()) << d->Name();
+    for (size_t i = 0; i < from_view->size(); ++i) {
+      EXPECT_DOUBLE_EQ((*from_view)[i], (*from_copy)[i]) << d->Name();
+    }
+  }
+}
+
+TEST(SeriesViewDetectorTest, RobustWrapperScoresThroughViews) {
+  TimeSeries ts = MakeSeries(150, 1, 6);
+  RobustTrainingWrapper robust(std::make_unique<ZScoreDetector>());
+  ASSERT_TRUE(robust.Fit(ts.Channel(0)).ok());
+  Result<std::vector<double>> scores = robust.Score(ts.ChannelView(0));
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), ts.NumSteps());
+}
+
+TEST(SeriesViewImputerTest, ViewBackedImputersStillFillGaps) {
+  TimeSeries ts = MakeSeries(60, 3, 7);
+  // Punch holes: a leading gap, an interior block, a trailing gap.
+  for (size_t t : {0ul, 1ul, 20ul, 21ul, 22ul, 58ul, 59ul}) {
+    ts.Set(t, 1, kMissingValue);
+  }
+  ASSERT_GT(ts.CountMissing(), 0u);
+  for (const Imputer* imputer :
+       std::initializer_list<const Imputer*>{
+           new MeanImputer(), new LocfImputer(),
+           new LinearInterpolationImputer()}) {
+    TimeSeries work = ts;
+    ASSERT_TRUE(imputer->Impute(&work).ok()) << imputer->Name();
+    EXPECT_EQ(work.CountMissing(), 0u) << imputer->Name();
+    // Observed entries are untouched.
+    for (size_t t = 0; t < ts.NumSteps(); ++t) {
+      if (!ts.IsMissing(t, 1)) {
+        EXPECT_DOUBLE_EQ(work.At(t, 1), ts.At(t, 1)) << imputer->Name();
+      }
+    }
+    delete imputer;
+  }
+}
+
+TEST(SeriesViewImputerTest, LinearInterpolationMatchesHandComputed) {
+  TimeSeries ts = TimeSeries::FromValues({1.0, kMissingValue, 3.0});
+  ASSERT_TRUE(LinearInterpolationImputer().Impute(&ts).ok());
+  EXPECT_DOUBLE_EQ(ts.At(1, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -1,0 +1,437 @@
+#include "src/stream/stream_buffer.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/analytics/anomaly/detector.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/core/stream_bridge.h"
+#include "src/stream/stream_pipeline.h"
+#include "src/stream/stream_stage.h"
+
+namespace tsdm {
+namespace {
+
+// ---------------------------------------------------------------- buffer
+
+TEST(StreamBufferTest, RingWraparoundRetainsNewest) {
+  StreamBuffer buf(1, 4, DropPolicy::kDropOldest);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(buf.Push(0, i, static_cast<double>(i)));
+  }
+  EXPECT_EQ(buf.SensorFill(0), 4u);
+  std::vector<double> values;
+  std::vector<int64_t> timestamps;
+  buf.SnapshotSensor(0, &values, &timestamps);
+  ASSERT_EQ(values.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(values[i], 6.0 + i);  // the last four, in order
+    EXPECT_EQ(timestamps[i], 6 + i);
+  }
+}
+
+TEST(StreamBufferTest, DropNewestRejectsWhenFull) {
+  StreamBuffer buf(1, 4, DropPolicy::kDropNewest);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(buf.Push(0, i, 1.0 + i));
+  EXPECT_FALSE(buf.Push(0, 4, 5.0));  // rejected, ring keeps 1..4
+  EXPECT_EQ(buf.dropped(), 1u);
+  EXPECT_EQ(buf.accepted(), 4u);
+  Tick t;
+  ASSERT_TRUE(buf.Poll(&t));
+  EXPECT_DOUBLE_EQ(t.value, 1.0);  // the oldest survived
+}
+
+TEST(StreamBufferTest, DropOldestEvictsOldestUnconsumed) {
+  StreamBuffer buf(1, 4, DropPolicy::kDropOldest);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(buf.Push(0, i, 1.0 + i));
+  EXPECT_EQ(buf.dropped(), 1u);
+  EXPECT_EQ(buf.accepted(), 5u);
+  EXPECT_EQ(buf.NumUnconsumed(), 4u);
+  Tick t;
+  ASSERT_TRUE(buf.Poll(&t));
+  EXPECT_DOUBLE_EQ(t.value, 2.0);  // tick 1 was evicted
+}
+
+TEST(StreamBufferTest, PerSensorFifoAndRoundRobinAcrossSensors) {
+  StreamBuffer buf(3, 8, DropPolicy::kDropOldest);
+  for (int i = 0; i < 4; ++i) {
+    for (size_t s = 0; s < 3; ++s) {
+      ASSERT_TRUE(buf.Push(s, i, static_cast<double>(10 * s + i)));
+    }
+  }
+  std::vector<int> next(3, 0);
+  Tick t;
+  size_t polled = 0;
+  while (buf.Poll(&t)) {
+    // Per-sensor order must be exactly FIFO regardless of interleaving.
+    EXPECT_DOUBLE_EQ(t.value, 10.0 * t.sensor + next[t.sensor]);
+    ++next[t.sensor];
+    ++polled;
+  }
+  EXPECT_EQ(polled, 12u);
+  for (int n : next) EXPECT_EQ(n, 4);
+}
+
+TEST(StreamBufferTest, SnapshotRetainsConsumedTicks) {
+  StreamBuffer buf(1, 8, DropPolicy::kDropOldest);
+  for (int i = 0; i < 5; ++i) buf.Push(0, i, 1.0 + i);
+  Tick t;
+  while (buf.Poll(&t)) {
+  }
+  EXPECT_EQ(buf.NumUnconsumed(), 0u);
+  std::vector<double> values;
+  buf.SnapshotSensor(0, &values);
+  EXPECT_EQ(values.size(), 5u);  // retention survives consumption
+}
+
+TEST(StreamBufferTest, OutOfRangeSensorRejected) {
+  StreamBuffer buf(2, 4);
+  EXPECT_FALSE(buf.Push(2, 0, 1.0));
+  EXPECT_EQ(buf.accepted(), 0u);
+}
+
+// Multi-producer ingestion with a concurrent consumer and snapshotter —
+// the TSan target: every tick must be either polled or counted dropped.
+TEST(StreamBufferTest, MultiProducerAccountingUnderConcurrency) {
+  constexpr size_t kSensors = 8;
+  constexpr int kProducers = 4;
+  constexpr int kTicksPerProducer = 5000;
+  StreamBuffer buf(kSensors, 64, DropPolicy::kDropOldest);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> polled{0};
+  std::thread consumer([&] {
+    Tick t;
+    while (true) {
+      if (buf.Poll(&t)) {
+        polled.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (done.load(std::memory_order_acquire)) {
+        if (!buf.Poll(&t)) break;
+        polled.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::thread snapshotter([&] {
+    std::vector<double> values;
+    while (!done.load(std::memory_order_acquire)) {
+      for (size_t s = 0; s < kSensors; ++s) buf.SnapshotSensor(s, &values);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kTicksPerProducer; ++i) {
+        buf.Push(static_cast<size_t>(i) % kSensors, i,
+                 static_cast<double>(p * kTicksPerProducer + i));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  snapshotter.join();
+
+  uint64_t total = static_cast<uint64_t>(kProducers) * kTicksPerProducer;
+  EXPECT_EQ(buf.accepted(), total);  // kDropOldest always admits
+  EXPECT_EQ(polled.load() + buf.dropped(), total);
+}
+
+// -------------------------------------------------------------- pipeline
+
+TEST(StreamPipelineTest, RequiresReset) {
+  StreamPipeline pipeline;
+  pipeline.Emplace<WelfordStatsStage>();
+  TickRecord rec;
+  EXPECT_EQ(pipeline.ProcessTick(&rec).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(pipeline.Reset(2).ok());
+  EXPECT_TRUE(pipeline.ProcessTick(Tick{0, 0, 1.0}).ok());
+}
+
+TEST(StreamPipelineTest, MetricsCoverEveryStageAndTick) {
+  StreamPipeline pipeline;
+  pipeline.Emplace<WelfordStatsStage>()
+      .Emplace<OnlineAnomalyStage>()
+      .Emplace<OnlineForecastStage>();
+  ASSERT_TRUE(pipeline.Reset(2).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        pipeline.ProcessTick(Tick{static_cast<size_t>(i % 2), i, 0.5 * i})
+            .ok());
+  }
+  EXPECT_EQ(pipeline.ticks_processed(), 100u);
+  EXPECT_EQ(pipeline.tick_latency().count(), 100u);
+  ASSERT_EQ(pipeline.metrics().stages().size(), 3u);
+  for (const auto& [name, metrics] : pipeline.metrics().stages()) {
+    EXPECT_EQ(metrics.invocations, 100u) << name;
+    EXPECT_EQ(metrics.failures, 0u) << name;
+    EXPECT_EQ(metrics.latency.count(), 100u) << name;
+  }
+}
+
+TEST(StreamPipelineTest, StageFailureIsCountedAndReturned) {
+  StreamPipeline pipeline;
+  pipeline.Emplace<WelfordStatsStage>();
+  ASSERT_TRUE(pipeline.Reset(1).ok());
+  EXPECT_EQ(pipeline.ProcessTick(Tick{5, 0, 1.0}).code(),
+            StatusCode::kOutOfRange);
+  const auto& stages = pipeline.metrics().stages();
+  EXPECT_EQ(stages.at("stream/stats").failures, 1u);
+  EXPECT_EQ(pipeline.ticks_processed(), 0u);
+}
+
+TEST(StreamPipelineTest, DrainProcessesEverythingBuffered) {
+  StreamBuffer buf(4, 32);
+  for (int i = 0; i < 20; ++i) {
+    buf.Push(static_cast<size_t>(i) % 4, i, static_cast<double>(i));
+  }
+  StreamPipeline pipeline;
+  pipeline.Emplace<WelfordStatsStage>();
+  ASSERT_TRUE(pipeline.Reset(4).ok());
+  TickRecord rec;
+  EXPECT_EQ(pipeline.Drain(&buf, &rec), 20u);
+  EXPECT_EQ(buf.NumUnconsumed(), 0u);
+}
+
+// ------------------------------------------------- incremental == batch
+
+std::vector<double> RandomWalk(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 10.0;
+  for (size_t i = 0; i < n; ++i) {
+    x += rng.Normal(0.05, 1.0);
+    v[i] = x;
+  }
+  return v;
+}
+
+TEST(StreamPropertyTest, WelfordMatchesBatchStats) {
+  std::vector<double> data = RandomWalk(500, 11);
+  WelfordStatsStage stage;
+  ASSERT_TRUE(stage.Reset(1).ok());
+  TickRecord rec;
+  for (size_t i = 0; i < data.size(); ++i) {
+    rec.tick = Tick{0, static_cast<int64_t>(i), data[i]};
+    ASSERT_TRUE(stage.OnTick(&rec).ok());
+    // The record carries stats over the prefix [0, i] — compare against
+    // the batch equivalents on the same prefix.
+    std::vector<double> prefix(data.begin(), data.begin() + i + 1);
+    EXPECT_EQ(rec.stat_count, i + 1);
+    EXPECT_NEAR(rec.mean, Mean(prefix), 1e-9 * (1.0 + std::fabs(rec.mean)));
+    EXPECT_NEAR(rec.stdev, Stdev(prefix), 1e-8 * (1.0 + rec.stdev));
+  }
+}
+
+TEST(StreamPropertyTest, OnlineZScoreMatchesBatchPrefixDetector) {
+  std::vector<double> data = RandomWalk(300, 12);
+  OnlineAnomalyStage stage(OnlineAnomalyStage::Mode::kZScore);
+  ASSERT_TRUE(stage.Reset(1).ok());
+  TickRecord rec;
+  for (size_t i = 0; i < data.size(); ++i) {
+    rec.tick = Tick{0, static_cast<int64_t>(i), data[i]};
+    ASSERT_TRUE(stage.OnTick(&rec).ok());
+    if (i < 2) continue;  // batch detector needs >= 2 training points
+    // The streaming score of tick i is exactly the batch ZScoreDetector
+    // fitted on the prefix [0, i) and applied to data[i].
+    ZScoreDetector batch;
+    std::vector<double> prefix(data.begin(), data.begin() + i);
+    ASSERT_TRUE(batch.Fit(prefix).ok());
+    Result<std::vector<double>> score =
+        batch.Score(std::vector<double>{data[i]});
+    ASSERT_TRUE(score.ok());
+    EXPECT_NEAR(rec.anomaly_score, (*score)[0],
+                1e-8 * (1.0 + rec.anomaly_score))
+        << "tick " << i;
+  }
+}
+
+TEST(StreamPropertyTest, HoltForecastMatchesBatchRecursion) {
+  std::vector<double> data = RandomWalk(200, 13);
+  const double alpha = 0.3, beta = 0.1;
+  OnlineForecastStage stage(alpha, beta);
+  ASSERT_TRUE(stage.Reset(1).ok());
+  // Reference: the textbook Holt recursion unrolled over the prefix.
+  double level = 0.0, trend = 0.0;
+  TickRecord rec;
+  for (size_t i = 0; i < data.size(); ++i) {
+    rec.tick = Tick{0, static_cast<int64_t>(i), data[i]};
+    ASSERT_TRUE(stage.OnTick(&rec).ok());
+    if (i == 0) {
+      level = data[0];
+      trend = 0.0;
+      EXPECT_TRUE(std::isnan(rec.forecast));
+    } else {
+      EXPECT_NEAR(rec.forecast, level + trend, 1e-12 * (1.0 + std::fabs(level)));
+      EXPECT_NEAR(rec.forecast_error, data[i] - (level + trend),
+                  1e-9);
+      double new_level = alpha * data[i] + (1.0 - alpha) * (level + trend);
+      trend = beta * (new_level - level) + (1.0 - beta) * trend;
+      level = new_level;
+    }
+    EXPECT_NEAR(rec.forecast_next, level + trend,
+                1e-12 * (1.0 + std::fabs(level)));
+  }
+  EXPECT_NEAR(stage.ForecastNext(0), level + trend,
+              1e-12 * (1.0 + std::fabs(level)));
+}
+
+TEST(StreamPropertyTest, MadModeFlagsInjectedSpike) {
+  OnlineAnomalyStage stage(OnlineAnomalyStage::Mode::kMad,
+                           /*threshold=*/8.0);
+  ASSERT_TRUE(stage.Reset(1).ok());
+  Rng rng(14);
+  TickRecord rec;
+  bool spike_flagged = false;
+  uint64_t warmup_alarms = 0;  // EW scale estimate may misfire early on
+  for (int i = 0; i < 400; ++i) {
+    double value = 50.0 + rng.Normal(0.0, 1.0);
+    if (i == 350) value += 80.0;  // the fault
+    rec.tick = Tick{0, i, value};
+    ASSERT_TRUE(stage.OnTick(&rec).ok());
+    if (i == 50) warmup_alarms = stage.alarms();
+    if (i == 350) {
+      spike_flagged = rec.is_anomaly;
+    } else if (i > 50) {
+      EXPECT_FALSE(rec.is_anomaly) << "false alarm at tick " << i;
+    }
+  }
+  EXPECT_TRUE(spike_flagged);
+  EXPECT_EQ(stage.alarms() - warmup_alarms, 1u);
+}
+
+// ---------------------------------------------------------------- bridge
+
+TEST(StreamBridgeTest, SnapshotRightAlignsAndPadsMissing) {
+  StreamBuffer buf(3, 8, DropPolicy::kDropOldest);
+  for (int i = 0; i < 6; ++i) buf.Push(0, 100 + i, 1.0 + i);
+  for (int i = 0; i < 3; ++i) buf.Push(1, 103 + i, 10.0 + i);
+  // sensor 2 stays silent.
+  SensorGraph graph(3);
+  PipelineContext ctx;
+  ASSERT_TRUE(SnapshotToContext(buf, graph, &ctx).ok());
+  ASSERT_EQ(ctx.data.NumSteps(), 6u);
+  ASSERT_EQ(ctx.data.NumSensors(), 3u);
+  // Sensor 0 fills every step; sensor 1 occupies the last three.
+  EXPECT_DOUBLE_EQ(ctx.data.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ctx.data.At(5, 0), 6.0);
+  EXPECT_TRUE(ctx.data.series().IsMissing(2, 1));
+  EXPECT_DOUBLE_EQ(ctx.data.At(3, 1), 10.0);
+  EXPECT_DOUBLE_EQ(ctx.data.At(5, 1), 12.0);
+  for (size_t t = 0; t < 6; ++t) {
+    EXPECT_TRUE(ctx.data.series().IsMissing(t, 2));
+  }
+  EXPECT_DOUBLE_EQ(ctx.metrics["stream_snapshot_steps"], 6.0);
+  EXPECT_DOUBLE_EQ(ctx.metrics["stream_snapshot_missing"], 9.0);
+  // Timestamps come from the longest ring.
+  EXPECT_EQ(ctx.data.series().Timestamp(0), 100);
+  EXPECT_EQ(ctx.data.series().Timestamp(5), 105);
+}
+
+TEST(StreamBridgeTest, GraphMismatchRejected) {
+  StreamBuffer buf(3, 8);
+  SensorGraph graph(2);
+  PipelineContext ctx;
+  EXPECT_EQ(SnapshotToContext(buf, graph, &ctx).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StreamBridgeTest, EmptyBufferYieldsEmptyContext) {
+  StreamBuffer buf(2, 8);
+  SensorGraph graph(2);
+  PipelineContext ctx;
+  ASSERT_TRUE(SnapshotToContext(buf, graph, &ctx).ok());
+  EXPECT_EQ(ctx.data.NumSteps(), 0u);
+}
+
+TEST(StreamBridgeTest, SnapshotFeedsBatchPipeline) {
+  constexpr size_t kSensors = 4;
+  StreamBuffer buf(kSensors, 64, DropPolicy::kDropOldest);
+  Rng rng(15);
+  for (int i = 0; i < 64; ++i) {
+    for (size_t s = 0; s < kSensors; ++s) {
+      // Sensor 3 joins late: leading gap for the imputer to fill.
+      if (s == 3 && i < 20) continue;
+      buf.Push(s, i, 20.0 + std::sin(0.2 * i) + rng.Normal(0.0, 0.1));
+    }
+  }
+  std::vector<SensorGraph::Sensor> positions;
+  for (size_t s = 0; s < kSensors; ++s) {
+    positions.push_back({static_cast<double>(s), 0.0});
+  }
+  SensorGraph graph = SensorGraph::KNearest(positions, 2, 1.0);
+  PipelineContext ctx;
+  ASSERT_TRUE(SnapshotToContext(buf, graph, &ctx).ok());
+  EXPECT_GT(ctx.data.series().CountMissing(), 0u);
+
+  Pipeline batch;
+  batch.Emplace<ImputeStage>().Emplace<ForecastStage>(4, 8);
+  PipelineReport report = batch.Run(&ctx);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(ctx.data.series().CountMissing(), 0u);
+  EXPECT_EQ(ctx.artifacts.count("forecast/0"), 1u);
+}
+
+// The full streaming loop end to end: concurrent producers, one consumer
+// pipeline, then a bridge snapshot — the integration surface the TSan gate
+// exercises.
+TEST(StreamIntegrationTest, ProducersPipelineAndSnapshotTogether) {
+  constexpr size_t kSensors = 4;
+  StreamBuffer buf(kSensors, 128, DropPolicy::kDropOldest);
+  StreamPipeline pipeline;
+  pipeline.Emplace<WelfordStatsStage>()
+      .Emplace<OnlineAnomalyStage>()
+      .Emplace<OnlineForecastStage>();
+  ASSERT_TRUE(pipeline.Reset(kSensors).ok());
+
+  std::atomic<bool> done{false};
+  std::thread producer_a([&] {
+    for (int i = 0; i < 2000; ++i) buf.Push(static_cast<size_t>(i) % 2, i, 1.0 * i);
+  });
+  std::thread producer_b([&] {
+    for (int i = 0; i < 2000; ++i) {
+      buf.Push(2 + static_cast<size_t>(i) % 2, i, 2.0 * i);
+    }
+  });
+  size_t processed = 0;
+  std::thread consumer([&] {
+    TickRecord rec;
+    while (true) {
+      size_t n = pipeline.Drain(&buf, &rec);
+      processed += n;
+      if (n == 0) {
+        if (done.load(std::memory_order_acquire)) {
+          processed += pipeline.Drain(&buf, &rec);
+          break;
+        }
+        std::this_thread::yield();
+      }
+    }
+  });
+  producer_a.join();
+  producer_b.join();
+  done.store(true, std::memory_order_release);
+  consumer.join();
+
+  EXPECT_EQ(processed, pipeline.ticks_processed());
+  EXPECT_EQ(processed + buf.dropped(), buf.accepted());
+
+  SensorGraph graph(kSensors);
+  PipelineContext ctx;
+  ASSERT_TRUE(SnapshotToContext(buf, graph, &ctx).ok());
+  EXPECT_EQ(ctx.data.NumSteps(), 128u);
+}
+
+}  // namespace
+}  // namespace tsdm
