@@ -282,10 +282,14 @@ void AblateCurriculum() {
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("ablation");
+  tsdm_bench::Stopwatch reporter_watch;
   AblateSubpathLength();
   AblateHistogramBins();
   AblateEnsembleSize();
   AblateSpatialWeight();
   AblateCurriculum();
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -83,6 +83,8 @@ Cell Evaluate(double gap, int target_len, int seed) {
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("adaptation");
+  tsdm_bench::Stopwatch reporter_watch;
   Table len_table("E22 MAE vs target history length (domain gap 0.1)",
                   {"target_len", "adapted", "target-only", "source-only",
                    "src_weight"});
@@ -105,5 +107,7 @@ int main() {
               "adapted error tracks the better of the two extremes (it "
               "avoids the source-only blow-up at large gaps and the "
               "target-only penalty on tiny histories).\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -53,6 +53,8 @@ const char* KindName(AnomalyKind kind) {
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("anomaly_ensemble");
+  tsdm_bench::Stopwatch reporter_watch;
   for (AnomalyKind kind :
        {AnomalyKind::kSpike, AnomalyKind::kLevelShift,
         AnomalyKind::kNoiseBurst}) {
@@ -96,5 +98,7 @@ int main() {
   std::printf("\nexpected shape: ensemble ~= ens_best and >> ens_worst on "
               "every anomaly kind; single detectors are erratic across "
               "kinds (zscore misses noise-bursts, etc.).\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

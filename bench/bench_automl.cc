@@ -22,6 +22,8 @@ using tsdm_bench::Table;
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("automl");
+  tsdm_bench::Stopwatch reporter_watch;
   const int kHorizon = 12;
   const int kMaxFolds = 4;
 
@@ -100,5 +102,7 @@ int main() {
               "dataset; succ-halving matches exhaustive quality at a "
               "fraction of the evaluations; the winning family differs per "
               "dataset (why automation matters).\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -20,6 +20,8 @@ using tsdm_bench::Table;
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("autoscale");
+  tsdm_bench::Stopwatch reporter_watch;
   for (double surges : {0.0, 0.8, 2.0}) {
     Rng rng(1700 + static_cast<int>(surges * 10));
     CloudDemandSpec spec;
@@ -63,5 +65,7 @@ int main() {
               "rows show fewer violations than the reactive rows; the "
               "advantage grows with surge intensity; the quantile knob "
               "traces a smooth reliability/cost frontier.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -44,6 +44,8 @@ std::vector<LabeledSeries> MakeDataset(int per_class, int seed) {
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("condense");
+  tsdm_bench::Stopwatch reporter_watch;
   auto full_train = MakeDataset(200, 1);  // 600 examples
   auto test = MakeDataset(25, 2);
 
@@ -92,5 +94,7 @@ int main() {
   }
   std::printf("\nexpected shape: condensed ~= full accuracy from ~5-10%% "
               "kept; random subsets lag, most at the smallest ratios.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

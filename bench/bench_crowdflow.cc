@@ -20,6 +20,8 @@ using tsdm_bench::Table;
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("crowdflow");
+  tsdm_bench::Stopwatch reporter_watch;
   CrowdFlowSpec spec;
   const int kDays = 10;
   const int kTestFrames = 2 * spec.intervals_per_day;
@@ -54,5 +56,7 @@ int main() {
               "all model variants beat period-persistence; the margin of "
               "the period group grows as noise shrinks (the diurnal signal "
               "dominates).\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -29,6 +29,8 @@ using tsdm_bench::Table;
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("departure");
+  tsdm_bench::Stopwatch reporter_watch;
   Rng rng(1900);
   GridNetworkSpec gspec;
   gspec.rows = 6;
@@ -131,5 +133,7 @@ int main() {
               "rule with the gap largest for narrow windows (where timing "
               "the congestion matters); the eco skyline exposes a smooth "
               "CO2/time trade-off.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

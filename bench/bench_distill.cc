@@ -45,6 +45,8 @@ std::vector<LabeledSeries> MakeDataset(int per_class, int seed) {
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("distill");
+  tsdm_bench::Stopwatch reporter_watch;
   auto train = MakeDataset(30, 1);
   auto test = MakeDataset(15, 2);
 
@@ -83,5 +85,7 @@ int main() {
   std::printf("\nexpected shape: student within a few points of the "
               "teacher at >=8 bits and ~100x smaller; accuracy cliff below "
               "2-4 bits.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

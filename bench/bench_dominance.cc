@@ -99,6 +99,8 @@ BENCHMARK(BM_DecideAllUtilitiesPruned);
 }  // namespace
 
 int main(int argc, char** argv) {
+  tsdm_bench::BenchReporter reporter("dominance");
+  tsdm_bench::Stopwatch reporter_watch;
   Table table("E14 FSD pruning: candidates -> survivors, regret check",
               {"candidates", "survivors", "pruned[%]", "regret_cases"});
   for (int count : {8, 16, 32, 64, 128}) {
@@ -131,5 +133,7 @@ int main(int argc, char** argv) {
   g_candidates = MakeCandidates(64, 1464);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -35,6 +35,8 @@ std::vector<double> Regime(double level, int n, int seed) {
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("drift");
+  tsdm_bench::Stopwatch reporter_watch;
   // ---- (a) drift detection latency ------------------------------------
   Table latency_table("E13a drift detection (change point at step 500)",
                       {"shift", "ph_latency", "ph_false", "adwin_latency",
@@ -130,5 +132,7 @@ int main() {
   std::printf("\nexpected shape: latency falls as the shift grows, false "
               "alarms stay near zero; replay ~= finetune on the new regime "
               "but much lower error on the old regime.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

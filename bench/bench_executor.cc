@@ -20,6 +20,7 @@
 namespace {
 
 using namespace tsdm;
+using tsdm_bench::BenchReporter;
 using tsdm_bench::Fmt;
 using tsdm_bench::Table;
 
@@ -58,6 +59,13 @@ int main() {
 
   std::printf("hardware_concurrency: %u\n",
               std::thread::hardware_concurrency());
+  BenchReporter reporter("executor");
+  reporter.Info("shards", std::to_string(kNumShards));
+  reporter.Info("steps", std::to_string(kSteps));
+  // 4x4 sensor grid per shard, one double per cell per step.
+  reporter.Metric("bytes_processed",
+                  static_cast<double>(kNumShards) * 16 * kSteps * 8);
+
   Table table("E1 sharded pipeline execution: " +
                   std::to_string(kNumShards) + " shards, 4-stage pipeline",
               {"threads", "wall_s", "shards_per_s", "speedup", "ok"});
@@ -76,6 +84,17 @@ int main() {
                Fmt(sequential_wall / report.wall_seconds, 2),
                std::to_string(report.NumOk()) + "/" +
                    std::to_string(kNumShards)});
+    reporter.Metric("shards_per_s_t" + std::to_string(threads),
+                    kNumShards / report.wall_seconds);
+    if (threads == 4) {
+      for (const auto& [name, m] : report.metrics.stages()) {
+        // "governance/impute" -> "stage_impute"
+        std::string key = "stage_" + name.substr(name.rfind('/') + 1);
+        reporter.Latency(key, m.latency);
+      }
+      reporter.Metric("attempts_total",
+                      static_cast<double>(report.AttemptsTotal()));
+    }
   }
 
   std::printf("\n%s", four_thread_report.ToString().c_str());
@@ -85,5 +104,6 @@ int main() {
       "reports %d/%d shards OK with identical shard outcomes; imputation "
       "and forecasting dominate the per-stage latency table.\n",
       kNumShards, kNumShards);
+  reporter.Write();
   return 0;
 }

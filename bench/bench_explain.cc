@@ -27,6 +27,8 @@ using tsdm_bench::Table;
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("explain");
+  tsdm_bench::Stopwatch reporter_watch;
   // ---- (a) attribution quality ---------------------------------------
   Table table("E9a attribution hit-rate (top-k vs injected anomalies)",
               {"detector", "AUC", "hit@16", "hit@32", "random"});
@@ -88,5 +90,7 @@ int main() {
               "random and rise with detector AUC; the planted lead-lag "
               "pairs top the association list with correct lags, and the "
               "unrelated sensor 3 appears with near-zero weight.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -66,6 +66,8 @@ void RunOn(const char* name, const std::vector<double>& series, int season) {
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("forecast");
+  tsdm_bench::Stopwatch reporter_watch;
   Rng rng(404);
   std::vector<double> traffic =
       GenerateSeries(TrafficLikeSpec(24), 24 * 20, &rng);
@@ -80,5 +82,7 @@ int main() {
   std::printf("\nexpected shape: seasonal models dominate naive; MAE grows "
               "with horizon; rankings differ across datasets, motivating "
               "automated model selection (E5).\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -20,6 +20,8 @@ using tsdm_bench::Table;
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("leaderboard");
+  tsdm_bench::Stopwatch reporter_watch;
   ForecastLeaderboard leaderboard;
   RegisterDefaultModels(&leaderboard);
   std::vector<BenchmarkDataset> datasets = StandardDatasets(2025);
@@ -60,5 +62,7 @@ int main() {
   std::printf("\nexpected shape: per-cell winners differ (seasonal models "
               "on seasonal data, naive on white noise); 'auto' sits at or "
               "near the top of the average-rank leaderboard.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

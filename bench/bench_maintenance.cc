@@ -20,6 +20,8 @@ using tsdm_bench::Table;
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("maintenance");
+  tsdm_bench::Stopwatch reporter_watch;
   DegradationSpec spec;
   const int kMachines = 10;
   const int kSteps = 4000;
@@ -84,5 +86,7 @@ int main() {
               "predictive policies achieve the lowest cost at realistic "
               "ratios (>=5) by combining few failures with high life "
               "utilization.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -34,6 +34,8 @@ double MatchAccuracy(const MapMatchResult& result,
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("mapmatching");
+  tsdm_bench::Stopwatch reporter_watch;
   Rng rng(303);
   GridNetworkSpec gspec;
   gspec.rows = 7;
@@ -107,5 +109,7 @@ int main() {
   std::printf("\nexpected shape: hmm >= nearest everywhere; the gap widens "
               "with noise, since the HMM exploits route continuity that "
               "independent snapping ignores.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

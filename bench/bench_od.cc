@@ -65,6 +65,8 @@ double CompletionError(const OdMatrixSequence& truth,
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("od");
+  tsdm_bench::Stopwatch reporter_watch;
   const int kRegions = 6;
   const int kIntervals = 24 * 5;
   Table table("E24 OD completion MAE vs unobserved fraction",
@@ -101,5 +103,7 @@ int main() {
               "sparsity (rare pairs lose their temporal neighbors) while "
               "gravity stays nearly flat; the blend is never the worst "
               "component and degrades far more slowly than temporal.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -70,6 +70,8 @@ double AgreementGap(double contrast, int seed, double* contextual_out,
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("personalized");
+  tsdm_bench::Stopwatch reporter_watch;
   Table pref_table("E16a contextual vs global preference agreement",
                    {"contrast", "contextual", "global", "gap"});
   for (double contrast : {0.0, 0.2, 0.5, 0.8}) {
@@ -129,5 +131,7 @@ int main() {
               "contrast (both equal at contrast 0); imitation overlap "
               "rises with the number of expert trips and exceeds the "
               "shortest-path baseline.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -25,7 +25,9 @@
 namespace {
 
 using namespace tsdm;
+using tsdm_bench::BenchReporter;
 using tsdm_bench::Fmt;
+using tsdm_bench::Stopwatch;
 using tsdm_bench::Table;
 
 /// Forecast MAE over all sensors after optionally running governance.
@@ -73,6 +75,8 @@ double PipelineForecastError(CorrelatedTimeSeries corrupted,
 
 int main() {
   Rng rng(2101);
+  BenchReporter reporter("pipeline");
+  Stopwatch total_watch;
 
   // --- Substrate --------------------------------------------------------
   GridNetworkSpec gspec;
@@ -108,6 +112,37 @@ int main() {
     double governed = PipelineForecastError(corrupted, full, true, kHorizon);
     fc_table.Row({Fmt(missing, 1), raw < 0 ? "fail" : Fmt(raw),
                   governed < 0 ? "fail" : Fmt(governed)});
+    std::string suffix = std::to_string(static_cast<int>(missing * 100));
+    reporter.Metric("mae_raw_m" + suffix, raw);
+    reporter.Metric("mae_governed_m" + suffix, governed);
+  }
+
+  // Throughput of the governed 4-stage pipeline itself (the number the
+  // regression gate watches): repeated single-context runs per second.
+  {
+    Rng gen_rng(43);
+    CorrelatedTimeSeries base =
+        traffic.GenerateEdgeSpeedSeries(sensor_edges, 288, 300, &gen_rng);
+    InjectMissingMcar(&base.series(), 0.2, &rng);
+    RangeRule range{0.0, 60.0};
+    constexpr int kRuns = 12;
+    Stopwatch watch;
+    for (int r = 0; r < kRuns; ++r) {
+      PipelineContext ctx;
+      ctx.data = base;
+      Pipeline pipeline;
+      pipeline.Emplace<AssessQualityStage>(range)
+          .Emplace<CleanStage>(range)
+          .Emplace<ImputeStage>()
+          .Emplace<ForecastStage>(8, kHorizon);
+      if (!pipeline.Run(&ctx).ok()) {
+        std::printf("governed pipeline run failed\n");
+        return 1;
+      }
+    }
+    reporter.Metric("governed_runs_per_s", kRuns / watch.Seconds());
+    reporter.Metric("bytes_processed",
+                    static_cast<double>(kRuns) * 16 * 288 * 8);
   }
 
   // --- Part 2: decision quality with vs without governed cost model -----
@@ -185,11 +220,16 @@ int main() {
   if (pairs_scored > 0) {
     dec_table.Row({"MEAN", Fmt(total_governed / pairs_scored),
                    Fmt(total_raw / pairs_scored)});
+    reporter.Metric("calibration_err_governed",
+                    total_governed / pairs_scored);
+    reporter.Metric("calibration_err_raw", total_raw / pairs_scored);
   }
   std::printf("\nexpected shape: governed forecast MAE well below zero-fill "
               "at every missing rate (gap grows with the rate); the "
               "governed cost model's on-time probabilities are far better "
               "calibrated than the raw model's — Fig. 1's claim that the "
               "governance box is load-bearing for decisions.\n");
+  reporter.Metric("wall_s", total_watch.Seconds());
+  reporter.Write();
   return 0;
 }

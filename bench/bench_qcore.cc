@@ -36,6 +36,8 @@ std::vector<LabeledSeries> MakeData(int per_class, int seed, double shift) {
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("qcore");
+  tsdm_bench::Stopwatch reporter_watch;
   auto train = MakeData(40, 1, 0.0);
   LogisticClassifier dense;
   if (!dense.Fit(train).ok()) return 1;
@@ -59,5 +61,7 @@ int main() {
   std::printf("\nexpected shape: static quantized accuracy decays toward "
               "0.5 as the shift grows; calibrated accuracy stays near the "
               "shift-0 level with zero labeled data.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -47,6 +47,8 @@ BENCHMARK(BM_SkylineSearch)->Arg(8)->Arg(16)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
+  tsdm_bench::BenchReporter reporter("skyline");
+  tsdm_bench::Stopwatch reporter_watch;
   Table table("E15 skyline routing across network sizes (time, distance)",
               {"grid", "nodes", "skyline", "ksp16_front", "time[ms]",
                "regret_cases"});
@@ -100,5 +102,7 @@ int main(int argc, char** argv) {
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -100,6 +100,8 @@ Errors RunOnce(double strength, int seed) {
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("st_forecast");
+  tsdm_bench::Stopwatch reporter_watch;
   const int kSensors = 16;
   int params_ar = 1 + kOwnLags;
   int params_graph = 1 + kOwnLags + kNeighborLags;
@@ -129,5 +131,7 @@ int main() {
               "associations) competitive without a given graph; both "
               "approach dense-var accuracy with ~%dx fewer parameters.\n",
               params_var / params_graph);
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

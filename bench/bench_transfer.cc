@@ -41,6 +41,8 @@ std::vector<LabeledSeries> Domain(int per_class, int seed, double noise,
 }  // namespace
 
 int main() {
+  tsdm_bench::BenchReporter reporter("transfer");
+  tsdm_bench::Stopwatch reporter_watch;
   // Source: clean, period-8 world. Target: noisier, period-12 world.
   auto source = Domain(40, 1, 0.6, 8);
   auto target_test = Domain(30, 2, 1.4, 12);
@@ -75,5 +77,7 @@ int main() {
               "with the largest gap at 3-12 labels; both converge as "
               "labels grow — the label-efficiency argument for general "
               "pre-trained representations.\n");
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

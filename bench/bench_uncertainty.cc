@@ -156,10 +156,14 @@ BENCHMARK(BM_PathCentricQuery)->DenseRange(0, 4);
 }  // namespace
 
 int main(int argc, char** argv) {
+  tsdm_bench::BenchReporter reporter("uncertainty");
+  tsdm_bench::Stopwatch reporter_watch;
   g_world = BuildWorld();
   AccuracyTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   delete g_world;
+  reporter.Metric("wall_s", reporter_watch.Seconds());
+  reporter.Write();
   return 0;
 }

@@ -3,8 +3,14 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
+
+#include "src/common/histogram_ext.h"
+#include "src/obs/metrics_export.h"
 
 namespace tsdm_bench {
 
@@ -57,6 +63,126 @@ class Stopwatch {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable result sink every bench main routes through: named
+/// numeric metrics (insertion-ordered) plus string annotations, serialized
+/// as one schema-versioned `BENCH_<name>.json`. The committed baselines
+/// under bench/baselines/ hold earlier runs of the same documents;
+/// scripts/compare_bench.py validates the schema and gates throughput
+/// regressions in `scripts/check.sh bench-smoke`.
+///
+/// Environment:
+///   TSDM_BENCH_JSON_DIR  directory the JSON lands in (default ".")
+///   TSDM_GIT_REV         recorded verbatim as "git_rev" ("unknown" if unset)
+class BenchReporter {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {
+    const char* rev = std::getenv("TSDM_GIT_REV");
+    git_rev_ = rev != nullptr && *rev != '\0' ? rev : "unknown";
+    threads_ = static_cast<int>(std::thread::hardware_concurrency());
+  }
+
+  /// Records (or overwrites) one numeric metric. Key conventions the
+  /// tooling understands: `*_per_s` marks a throughput (gated: a drop
+  /// beyond the threshold vs the baseline fails check.sh), `*_us`/`*_s`
+  /// mark latencies/durations (reported, not gated).
+  void Metric(const std::string& key, double value) {
+    for (auto& [k, v] : metrics_) {
+      if (k == key) {
+        v = value;
+        return;
+      }
+    }
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Records p50/p95 (microseconds) and the sample count of a latency
+  /// histogram under `<key>_p50_us` / `<key>_p95_us` / `<key>_count`.
+  void Latency(const std::string& key, const tsdm::LatencyHistogram& h) {
+    Metric(key + "_p50_us", 1e6 * h.QuantileSeconds(0.5));
+    Metric(key + "_p95_us", 1e6 * h.QuantileSeconds(0.95));
+    Metric(key + "_count", static_cast<double>(h.count()));
+  }
+
+  /// Free-form string annotation (configuration, expected shape, ...).
+  void Info(const std::string& key, const std::string& value) {
+    for (auto& [k, v] : info_) {
+      if (k == key) {
+        v = value;
+        return;
+      }
+    }
+    info_.emplace_back(key, value);
+  }
+
+  /// Deterministic overrides for golden tests.
+  void set_threads(int threads) { threads_ = threads; }
+  void set_git_rev(std::string rev) { git_rev_ = std::move(rev); }
+
+  const std::string& name() const { return name_; }
+
+  std::string ToJson() const {
+    std::string out = "{\"schema_version\":";
+    out += std::to_string(kSchemaVersion);
+    out += ",\"name\":\"";
+    out += tsdm::JsonEscape(name_);
+    out += "\",\"git_rev\":\"";
+    out += tsdm::JsonEscape(git_rev_);
+    out += "\",\"threads\":";
+    out += std::to_string(threads_);
+    out += ",\"metrics\":{";
+    bool first = true;
+    for (const auto& [k, v] : metrics_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += tsdm::JsonEscape(k);
+      out += "\":";
+      out += tsdm::JsonNumber(v);
+    }
+    out += "},\"info\":{";
+    first = true;
+    for (const auto& [k, v] : info_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"";
+      out += tsdm::JsonEscape(k);
+      out += "\":\"";
+      out += tsdm::JsonEscape(v);
+      out += "\"";
+    }
+    out += "}}";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json into $TSDM_BENCH_JSON_DIR (default the
+  /// working directory) and prints the path. Returns false on I/O failure.
+  bool Write() const {
+    const char* dir = std::getenv("TSDM_BENCH_JSON_DIR");
+    std::string path = dir != nullptr && *dir != '\0' ? dir : ".";
+    path += "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReporter: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::string git_rev_;
+  int threads_ = 0;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> info_;
 };
 
 }  // namespace tsdm_bench

@@ -18,6 +18,7 @@
 #include "src/core/pipeline.h"
 #include "src/core/stream_bridge.h"
 #include "src/common/rng.h"
+#include "src/obs/metrics_export.h"
 #include "src/stream/stream_buffer.h"
 #include "src/stream/stream_pipeline.h"
 #include "src/stream/stream_stage.h"
@@ -100,6 +101,13 @@ int main() {
       .Emplace<ForecastStage>(/*ar_order=*/8, /*horizon=*/12);
   PipelineReport report = batch.Run(&ctx);
   std::printf("%s", report.ToString().c_str());
+
+  // --- 4. Observability: the same tick loop as a Prometheus scrape ------
+  // Everything the stages recorded above is exportable without extra
+  // bookkeeping; a serving process would return this from /metrics.
+  std::printf("\nPrometheus exposition (excerpt):\n");
+  std::string prom = MetricsExporter::StreamToPrometheus(pipeline);
+  std::printf("%s", prom.substr(0, prom.find("# HELP tsdm_stage")).c_str());
 
   bool ok = report.ok() && anomaly.alarms() >= 1 &&
             pipeline.ticks_processed() == kSensors * kSteps;

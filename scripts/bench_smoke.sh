@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Machine-readable bench smoke run: builds a fast subset of benches, runs
+# them with BENCH JSON export pointed at a scratch directory, then validates
+# the schema and gates `*_per_s` throughputs against the committed baselines
+# in bench/baselines/ (>20% drop fails; see scripts/compare_bench.py).
+#
+#   scripts/bench_smoke.sh                 # gate against bench/baselines/
+#   TSDM_BENCH_THRESHOLD=0.5 scripts/bench_smoke.sh   # looser gate
+#   scripts/bench_smoke.sh --rebaseline    # overwrite committed baselines
+#                                          # with this run (then commit them)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="$ROOT/build"
+BASELINES="$ROOT/bench/baselines"
+OUT="$BUILD/bench-smoke"
+
+# Fast, deterministic-workload benches covering batch, streaming, and the
+# governance kernels; the slow statistical sweeps (forecast, uncertainty,
+# autoscale) stay out of the smoke path.
+SMOKE_BENCHES=(bench_pipeline bench_executor bench_stream bench_imputation
+               bench_drift bench_qcore)
+
+cmake -B "$BUILD" -S "$ROOT" > /dev/null
+cmake --build "$BUILD" -j"$(nproc)" --target "${SMOKE_BENCHES[@]}"
+
+mkdir -p "$OUT"
+rm -f "$OUT"/BENCH_*.json
+GIT_REV="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+for BENCH in "${SMOKE_BENCHES[@]}"; do
+  echo "---- $BENCH ----"
+  (cd "$OUT" && TSDM_BENCH_JSON_DIR="$OUT" TSDM_GIT_REV="$GIT_REV" \
+      "$BUILD/bench/$BENCH" > "$OUT/$BENCH.log")
+  tail -n 1 "$OUT/$BENCH.log"
+done
+
+if [[ "${1:-}" == "--rebaseline" ]]; then
+  mkdir -p "$BASELINES"
+  cp "$OUT"/BENCH_*.json "$BASELINES/"
+  echo "rebaselined: $(ls "$BASELINES")"
+  exit 0
+fi
+
+python3 "$ROOT/scripts/compare_bench.py" "$BASELINES" "$OUT"
+echo "==== bench smoke passed ===="

@@ -1,23 +1,31 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the concurrency layer: builds the executor,
-# fault-injection, and streaming tests under ThreadSanitizer and
-# AddressSanitizer and fails on any report (multi-producer StreamBuffer
-# ingestion is exactly where TSan earns its keep). Run from anywhere;
-# builds land in build-tsan/ and build-asan/ next to the normal build/.
+# Sanitizer gate for the concurrency layer plus the bench regression gate.
+# Sanitizer runs build the executor, fault-injection, streaming, and trace
+# tests under ThreadSanitizer and AddressSanitizer and fail on any report
+# (multi-producer StreamBuffer ingestion and the trace ring are exactly
+# where TSan earns its keep). Run from anywhere; builds land in build-tsan/
+# and build-asan/ next to the normal build/.
 #
-#   scripts/check.sh            # both sanitizers
-#   scripts/check.sh thread     # TSan only
-#   scripts/check.sh address    # ASan only
+#   scripts/check.sh              # both sanitizers
+#   scripts/check.sh thread       # TSan only
+#   scripts/check.sh address      # ASan only
+#   scripts/check.sh bench-smoke  # BENCH_*.json schema + >20% throughput
+#                                 # regression gate vs bench/baselines/
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [[ "${1:-}" == "bench-smoke" ]]; then
+  exec "$ROOT/scripts/bench_smoke.sh" "${@:2}"
+fi
+
 SANITIZERS=("${@:-thread}" )
 if [[ $# -eq 0 ]]; then
   SANITIZERS=(thread address)
 fi
 
 GATED_TESTS=(executor_test inject_recovery_test pipeline_report_test
-             stream_test series_view_test)
+             stream_test series_view_test obs_test)
 
 for SAN in "${SANITIZERS[@]}"; do
   BUILD="$ROOT/build-${SAN/thread/tsan}"

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Schema validation + throughput regression gate for BENCH_<name>.json.
+
+Usage:
+  compare_bench.py BASELINE_DIR CURRENT_DIR [--threshold FRACTION]
+
+Every BENCH_*.json under BASELINE_DIR must have a schema-valid counterpart
+in CURRENT_DIR (a bench that stopped emitting its JSON is itself a
+regression). Metric keys containing `_per_s` (e.g. `ticks_per_s_p4`,
+`shards_per_s_t2`) are throughputs and are gated:
+the current value must be at least (1 - threshold) * baseline. All other
+keys (latencies, error metrics, byte counts) are reported but never gated —
+on shared hardware they are too noisy to fail a build over.
+
+The threshold defaults to 0.20 (fail on a >20% throughput drop) and can be
+overridden by --threshold or the TSDM_BENCH_THRESHOLD environment variable.
+Benches present only in CURRENT_DIR are new and warn; commit their JSON to
+the baseline directory to start gating them.
+
+Exit status: 0 clean, 1 on any schema violation or gated regression.
+"""
+
+import argparse
+import glob
+import json
+import numbers
+import os
+import sys
+
+SCHEMA_VERSION = 1
+GATED_TAG = "_per_s"
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def validate(path):
+    """Returns (doc, problems): schema findings for one BENCH json file."""
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return None, [f"{path}: unreadable or invalid JSON ({e})"]
+
+    def check(cond, msg):
+        if not cond:
+            problems.append(f"{path}: {msg}")
+
+    check(isinstance(doc, dict), "top level is not an object")
+    if not isinstance(doc, dict):
+        return doc, problems
+    check(doc.get("schema_version") == SCHEMA_VERSION,
+          f"schema_version != {SCHEMA_VERSION}")
+    check(isinstance(doc.get("name"), str) and doc.get("name"),
+          "missing string 'name'")
+    check(isinstance(doc.get("git_rev"), str) and doc.get("git_rev"),
+          "missing string 'git_rev'")
+    check(isinstance(doc.get("threads"), int), "missing int 'threads'")
+    metrics = doc.get("metrics")
+    check(isinstance(metrics, dict) and metrics,
+          "missing non-empty object 'metrics'")
+    if isinstance(metrics, dict):
+        for k, v in metrics.items():
+            check(isinstance(k, str), f"metric key {k!r} is not a string")
+            check(isinstance(v, numbers.Real) and not isinstance(v, bool),
+                  f"metric {k!r} is not a number")
+    info = doc.get("info")
+    check(isinstance(info, dict), "missing object 'info'")
+    if isinstance(info, dict):
+        for k, v in info.items():
+            check(isinstance(k, str) and isinstance(v, str),
+                  f"info entry {k!r} is not string -> string")
+    base = os.path.basename(path)
+    if isinstance(doc.get("name"), str):
+        check(base == f"BENCH_{doc['name']}.json",
+              f"file name does not match name={doc['name']!r}")
+    return doc, problems
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline_dir")
+    ap.add_argument("current_dir")
+    ap.add_argument("--threshold", type=float,
+                    default=float(os.environ.get("TSDM_BENCH_THRESHOLD",
+                                                 "0.20")),
+                    help="allowed fractional throughput drop (default 0.20)")
+    args = ap.parse_args()
+
+    baselines = sorted(glob.glob(os.path.join(args.baseline_dir,
+                                              "BENCH_*.json")))
+    if not baselines:
+        return fail(f"no BENCH_*.json baselines in {args.baseline_dir}")
+
+    failures = 0
+    for base_path in baselines:
+        name = os.path.basename(base_path)
+        cur_path = os.path.join(args.current_dir, name)
+        base_doc, base_problems = validate(base_path)
+        for p in base_problems:
+            failures += fail(p)
+        if not os.path.exists(cur_path):
+            failures += fail(f"{name}: baseline exists but the current run "
+                             f"produced no {cur_path}")
+            continue
+        cur_doc, cur_problems = validate(cur_path)
+        for p in cur_problems:
+            failures += fail(p)
+        if base_problems or cur_problems:
+            continue
+
+        base_metrics = base_doc["metrics"]
+        cur_metrics = cur_doc["metrics"]
+        for key, base_val in sorted(base_metrics.items()):
+            if GATED_TAG not in key:
+                continue
+            if key not in cur_metrics:
+                failures += fail(f"{name}: gated metric {key!r} vanished")
+                continue
+            cur_val = cur_metrics[key]
+            if base_val <= 0:
+                print(f"warn: {name}: baseline {key} <= 0, not gated")
+                continue
+            ratio = cur_val / base_val
+            floor = 1.0 - args.threshold
+            verdict = "ok" if ratio >= floor else "REGRESSION"
+            print(f"{verdict:>10}  {base_doc['name']:<14} {key:<24} "
+                  f"base={base_val:.6g} cur={cur_val:.6g} "
+                  f"ratio={ratio:.3f} (floor {floor:.2f})")
+            if ratio < floor:
+                failures += 1
+
+    known = {os.path.basename(p) for p in baselines}
+    for cur_path in sorted(glob.glob(os.path.join(args.current_dir,
+                                                  "BENCH_*.json"))):
+        if os.path.basename(cur_path) not in known:
+            print(f"warn: {os.path.basename(cur_path)} has no baseline — "
+                  f"commit it to {args.baseline_dir} to gate it")
+
+    if failures:
+        print(f"compare_bench: {failures} failure(s)")
+        return 1
+    print("compare_bench: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/common/thread_pool.h"
+#include "src/obs/trace.h"
 
 namespace tsdm {
 
@@ -23,7 +24,8 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 /// still failing after its final attempt.
 PipelineReport RunShard(const Pipeline& pipeline, PipelineContext* context,
                         const RetryPolicy& retry,
-                        StageMetricsRegistry* metrics) {
+                        StageMetricsRegistry* metrics, size_t shard) {
+  TraceSpan shard_span("executor/shard", static_cast<int64_t>(shard));
   PipelineReport report;
   for (size_t i = 0; i < pipeline.NumStages(); ++i) {
     PipelineStage& stage = pipeline.StageAt(i);
@@ -37,7 +39,10 @@ PipelineReport RunShard(const Pipeline& pipeline, PipelineContext* context,
     double backoff = retry.initial_backoff_seconds;
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
       auto start = std::chrono::steady_clock::now();
-      sr.status = stage.Run(context);
+      {
+        TraceSpan attempt_span(sr.name, attempt);
+        sr.status = stage.Run(context);
+      }
       double attempt_seconds = SecondsSince(start);
       sr.seconds += attempt_seconds;
       sr.attempts = attempt;
@@ -48,6 +53,7 @@ PipelineReport RunShard(const Pipeline& pipeline, PipelineContext* context,
       if (attempt == max_attempts) break;
       ++stage_metrics.retries;
       if (backoff > 0.0) {
+        TraceSpan backoff_span("executor/backoff", attempt);
         std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
         backoff *= retry.backoff_multiplier;
       }
@@ -63,6 +69,20 @@ PipelineReport RunShard(const Pipeline& pipeline, PipelineContext* context,
 
 size_t BatchReport::NumOk() const {
   return shards.size() - NumQuarantined();
+}
+
+uint64_t ShardResult::AttemptsTotal() const {
+  uint64_t total = 0;
+  for (const auto& stage : report.stages) {
+    total += static_cast<uint64_t>(stage.attempts);
+  }
+  return total;
+}
+
+uint64_t BatchReport::AttemptsTotal() const {
+  uint64_t total = 0;
+  for (const auto& s : shards) total += s.AttemptsTotal();
+  return total;
 }
 
 size_t BatchReport::NumQuarantined() const {
@@ -116,7 +136,7 @@ BatchReport BatchExecutor::Run(const Pipeline& pipeline,
     for (size_t i = 0; i < shards->size(); ++i) {
       batch.shards[i].shard = i;
       batch.shards[i].report = RunShard(pipeline, &(*shards)[i],
-                                        options_.retry, &batch.metrics);
+                                        options_.retry, &batch.metrics, i);
     }
     batch.wall_seconds = SecondsSince(start);
     return batch;
@@ -137,7 +157,8 @@ BatchReport BatchExecutor::Run(const Pipeline& pipeline,
       batch.shards[i].report =
           RunShard(pipeline, &(*shards)[i], options_.retry,
                    &thread_metrics[static_cast<size_t>(
-                       ThreadPool::CurrentWorkerId())]);
+                       ThreadPool::CurrentWorkerId())],
+                   i);
     });
   }
   pool.Wait();

@@ -35,6 +35,12 @@ struct ShardResult {
   PipelineReport report;
 
   bool quarantined() const { return !report.ok(); }
+
+  /// Total stage attempts this shard consumed, retries included — derived
+  /// from the recorded stage reports (like PipelineReport::ok) so it can
+  /// never drift from them. A shard whose value exceeds its stage count
+  /// hit transient failures.
+  uint64_t AttemptsTotal() const;
 };
 
 /// Aggregate outcome of a batch run: per-shard results in shard order plus
@@ -48,6 +54,10 @@ struct BatchReport {
   size_t NumOk() const;
   size_t NumQuarantined() const;
   bool AllOk() const { return NumQuarantined() == 0; }
+
+  /// Stage attempts summed over every shard — the retry-pressure counter
+  /// the metrics exporter reports as `<prefix>_batch_attempts_total`.
+  uint64_t AttemptsTotal() const;
 
   /// Header line, one line per quarantined shard, then the per-stage
   /// latency table (count / fail / retry / mean / p50 / p95 / max).

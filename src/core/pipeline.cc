@@ -6,6 +6,7 @@
 
 #include "src/analytics/forecast/forecaster.h"
 #include "src/governance/imputation/st_imputer.h"
+#include "src/obs/trace.h"
 
 namespace tsdm {
 
@@ -43,7 +44,10 @@ PipelineReport Pipeline::Run(PipelineContext* context) const {
     sr.name = stages_[i]->Name();
     sr.index = i;
     auto start = std::chrono::steady_clock::now();
-    sr.status = stages_[i]->Run(context);
+    {
+      TraceSpan span(sr.name, static_cast<int64_t>(i));
+      sr.status = stages_[i]->Run(context);
+    }
     // Recorded before the failure check so an erroring stage still reports
     // its true elapsed time.
     sr.seconds = std::chrono::duration<double>(

@@ -1,0 +1,220 @@
+#include "src/obs/metrics_export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace tsdm {
+
+namespace {
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+/// Appends one Prometheus family header.
+void Family(std::ostringstream* os, const std::string& name,
+            const char* type, const char* help) {
+  *os << "# HELP " << name << " " << help << "\n";
+  *os << "# TYPE " << name << " " << type << "\n";
+}
+
+/// {stage="<escaped>"} label set.
+std::string StageLabel(const std::string& stage) {
+  return "{stage=\"" + JsonEscape(stage) + "\"}";
+}
+
+void LatencySummary(std::ostringstream* os, const std::string& family,
+                    const std::string& labels_no_brace,
+                    const LatencyHistogram& h) {
+  for (double q : {0.5, 0.95, 0.99}) {
+    *os << family << "{" << labels_no_brace
+        << (labels_no_brace.empty() ? "" : ",") << "quantile=\""
+        << JsonNumber(q) << "\"} " << JsonNumber(h.QuantileSeconds(q))
+        << "\n";
+  }
+  *os << family << "_sum"
+      << (labels_no_brace.empty() ? "" : "{" + labels_no_brace + "}") << " "
+      << JsonNumber(h.total_seconds()) << "\n";
+  *os << family << "_count"
+      << (labels_no_brace.empty() ? "" : "{" + labels_no_brace + "}") << " "
+      << U64(h.count()) << "\n";
+}
+
+/// The per-stage body shared by every JSON flavor.
+void StagesJson(std::ostringstream* os, const StageMetricsRegistry& registry) {
+  *os << "\"stages\":{";
+  bool first = true;
+  for (const auto& [name, m] : registry.stages()) {
+    if (!first) *os << ",";
+    first = false;
+    *os << "\"" << JsonEscape(name) << "\":{"
+        << "\"invocations\":" << U64(m.invocations)
+        << ",\"failures\":" << U64(m.failures)
+        << ",\"retries\":" << U64(m.retries)
+        << ",\"latency\":" << MetricsExporter::LatencyToJson(m.latency)
+        << "}";
+  }
+  *os << "}";
+}
+
+/// The per-stage body shared by every Prometheus flavor.
+void StagesPrometheus(std::ostringstream* os,
+                      const StageMetricsRegistry& registry,
+                      const std::string& prefix) {
+  const std::string inv = prefix + "_stage_invocations_total";
+  const std::string fail = prefix + "_stage_failures_total";
+  const std::string retry = prefix + "_stage_retries_total";
+  const std::string lat = prefix + "_stage_latency_seconds";
+
+  Family(os, inv, "counter", "Stage attempts including retries.");
+  for (const auto& [name, m] : registry.stages()) {
+    *os << inv << StageLabel(name) << " " << U64(m.invocations) << "\n";
+  }
+  Family(os, fail, "counter", "Stage attempts returning non-OK.");
+  for (const auto& [name, m] : registry.stages()) {
+    *os << fail << StageLabel(name) << " " << U64(m.failures) << "\n";
+  }
+  Family(os, retry, "counter",
+         "Re-attempts after a transient stage failure.");
+  for (const auto& [name, m] : registry.stages()) {
+    *os << retry << StageLabel(name) << " " << U64(m.retries) << "\n";
+  }
+  Family(os, lat, "summary", "Per-attempt stage latency in seconds.");
+  for (const auto& [name, m] : registry.stages()) {
+    LatencySummary(os, lat, "stage=\"" + JsonEscape(name) + "\"", m.latency);
+  }
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string MetricsExporter::LatencyToJson(const LatencyHistogram& h) {
+  std::ostringstream os;
+  os << "{\"count\":" << U64(h.count())
+     << ",\"mean_s\":" << JsonNumber(h.MeanSeconds())
+     << ",\"p50_s\":" << JsonNumber(h.QuantileSeconds(0.5))
+     << ",\"p95_s\":" << JsonNumber(h.QuantileSeconds(0.95))
+     << ",\"p99_s\":" << JsonNumber(h.QuantileSeconds(0.99))
+     << ",\"min_s\":" << JsonNumber(h.MinSeconds())
+     << ",\"max_s\":" << JsonNumber(h.MaxSeconds()) << "}";
+  return os.str();
+}
+
+std::string MetricsExporter::RegistryToJson(
+    const StageMetricsRegistry& registry) {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kSchemaVersion << ",";
+  StagesJson(&os, registry);
+  os << "}";
+  return os.str();
+}
+
+std::string MetricsExporter::RegistryToPrometheus(
+    const StageMetricsRegistry& registry, const std::string& prefix) {
+  std::ostringstream os;
+  StagesPrometheus(&os, registry, prefix);
+  return os.str();
+}
+
+std::string MetricsExporter::BatchToJson(const BatchReport& report) {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"batch\":{"
+     << "\"shards\":" << report.shards.size()
+     << ",\"ok\":" << report.NumOk()
+     << ",\"quarantined\":" << report.NumQuarantined()
+     << ",\"attempts_total\":" << report.AttemptsTotal()
+     << ",\"threads\":" << report.num_threads
+     << ",\"wall_seconds\":" << JsonNumber(report.wall_seconds) << "},";
+  StagesJson(&os, report.metrics);
+  os << "}";
+  return os.str();
+}
+
+std::string MetricsExporter::BatchToPrometheus(const BatchReport& report,
+                                               const std::string& prefix) {
+  std::ostringstream os;
+  const std::string shards = prefix + "_batch_shards_total";
+  Family(&os, shards, "gauge", "Shards in the last batch run.");
+  os << shards << " " << report.shards.size() << "\n";
+  const std::string quarantined = prefix + "_batch_shards_quarantined";
+  Family(&os, quarantined, "gauge",
+         "Shards quarantined by a failing stage in the last batch run.");
+  os << quarantined << " " << report.NumQuarantined() << "\n";
+  const std::string attempts = prefix + "_batch_attempts_total";
+  Family(&os, attempts, "counter",
+         "Stage attempts across all shards including retries "
+         "(retry pressure).");
+  os << attempts << " " << report.AttemptsTotal() << "\n";
+  const std::string threads = prefix + "_batch_threads";
+  Family(&os, threads, "gauge", "Worker threads used by the last batch run.");
+  os << threads << " " << report.num_threads << "\n";
+  const std::string wall = prefix + "_batch_wall_seconds";
+  Family(&os, wall, "gauge", "Wall-clock seconds of the last batch run.");
+  os << wall << " " << JsonNumber(report.wall_seconds) << "\n";
+  StagesPrometheus(&os, report.metrics, prefix);
+  return os.str();
+}
+
+std::string MetricsExporter::StreamToJson(const StreamPipeline& pipeline) {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"stream\":{"
+     << "\"ticks\":" << pipeline.ticks_processed()
+     << ",\"tick_latency\":" << LatencyToJson(pipeline.tick_latency())
+     << "},";
+  StagesJson(&os, pipeline.metrics());
+  os << "}";
+  return os.str();
+}
+
+std::string MetricsExporter::StreamToPrometheus(const StreamPipeline& pipeline,
+                                                const std::string& prefix) {
+  std::ostringstream os;
+  const std::string ticks = prefix + "_stream_ticks_total";
+  Family(&os, ticks, "counter", "Ticks fully processed by the pipeline.");
+  os << ticks << " " << pipeline.ticks_processed() << "\n";
+  const std::string lat = prefix + "_stream_tick_latency_seconds";
+  Family(&os, lat, "summary", "End-to-end per-tick latency in seconds.");
+  LatencySummary(&os, lat, "", pipeline.tick_latency());
+  StagesPrometheus(&os, pipeline.metrics(), prefix);
+  return os.str();
+}
+
+}  // namespace tsdm

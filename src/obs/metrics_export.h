@@ -1,0 +1,60 @@
+#ifndef TSDM_OBS_METRICS_EXPORT_H_
+#define TSDM_OBS_METRICS_EXPORT_H_
+
+#include <string>
+
+#include "src/common/histogram_ext.h"
+#include "src/core/executor.h"
+#include "src/stream/stream_pipeline.h"
+
+namespace tsdm {
+
+/// Escapes `s` for embedding inside a JSON (or Prometheus label) string
+/// literal: backslash, double quote, and control characters.
+std::string JsonEscape(const std::string& s);
+
+/// Deterministic number formatting shared by every exporter ("%.9g");
+/// NaN and infinities are mapped to 0 so no serialized document ever
+/// carries a non-numeric token.
+std::string JsonNumber(double v);
+
+/// Serializes the metrics the executor and stream layers already collect
+/// (StageMetricsRegistry / LatencyHistogram) into the two formats a
+/// monitoring stack consumes: a schema-versioned JSON document and the
+/// Prometheus text exposition format (counters plus a latency summary with
+/// p50/p95/p99). This is the "self-monitoring" surface of the Fig. 1 loop:
+/// the same numbers that drive autoscaling decisions are exported for
+/// humans and scrapers without touching the hot paths that produce them.
+class MetricsExporter {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  /// {"schema_version":1,"stages":{"<name>":{"invocations":..,"failures":..,
+  ///  "retries":..,"latency":{...}}}}
+  static std::string RegistryToJson(const StageMetricsRegistry& registry);
+
+  /// One counter family per StageMetrics field plus a latency summary, all
+  /// labeled {stage="<name>"} under `prefix` (default "tsdm").
+  static std::string RegistryToPrometheus(const StageMetricsRegistry& registry,
+                                          const std::string& prefix = "tsdm");
+
+  /// Registry export extended with batch-level gauges: shard totals,
+  /// quarantine count, attempts_total (retry pressure), threads, wall time.
+  static std::string BatchToJson(const BatchReport& report);
+  static std::string BatchToPrometheus(const BatchReport& report,
+                                       const std::string& prefix = "tsdm");
+
+  /// Registry export extended with the stream path's tick counter and
+  /// end-to-end tick latency summary.
+  static std::string StreamToJson(const StreamPipeline& pipeline);
+  static std::string StreamToPrometheus(const StreamPipeline& pipeline,
+                                        const std::string& prefix = "tsdm");
+
+  /// {"count":..,"mean_s":..,"p50_s":..,"p95_s":..,"p99_s":..,"min_s":..,
+  ///  "max_s":..} — NaN-free for any histogram state, including empty.
+  static std::string LatencyToJson(const LatencyHistogram& h);
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_OBS_METRICS_EXPORT_H_

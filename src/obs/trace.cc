@@ -1,0 +1,178 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace tsdm {
+
+std::atomic<bool> TraceRecorder::enabled_{false};
+
+namespace {
+
+/// How many closed spans a thread accumulates before paying for the ring
+/// mutex. Amortizes lock traffic to one acquisition per batch.
+constexpr size_t kFlushBatch = 256;
+
+std::chrono::steady_clock::time_point TraceOrigin() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return origin;
+}
+
+}  // namespace
+
+/// Per-thread span buffer; flushes to the global ring when full and from
+/// its destructor at thread exit, so joined threads never lose events.
+struct ThreadTraceBuffer {
+  std::vector<TraceEvent> events;
+  uint32_t tid;
+  uint64_t generation = 0;
+
+  ThreadTraceBuffer()
+      : tid(TraceRecorder::Global().next_tid_.fetch_add(
+            1, std::memory_order_relaxed)) {
+    events.reserve(kFlushBatch);
+  }
+
+  ~ThreadTraceBuffer() {
+    if (!events.empty()) {
+      TraceRecorder::Global().FlushBuffer(&events, generation);
+    }
+  }
+};
+
+namespace {
+
+ThreadTraceBuffer& CurrentBuffer() {
+  thread_local ThreadTraceBuffer buffer;
+  return buffer;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  // Deliberately leaked: thread-local buffers flush from thread-exit
+  // destructors, which may run after static destruction would have torn a
+  // normal singleton down.
+  static TraceRecorder* global = new TraceRecorder();
+  return *global;
+}
+
+uint64_t TraceRecorder::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - TraceOrigin())
+          .count());
+}
+
+void TraceRecorder::SetCapacity(size_t max_events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = max_events;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  ++generation_;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Clear() {
+  CurrentBuffer().events.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ++generation_;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Record(std::string name, uint64_t start_ns,
+                           uint64_t end_ns, int64_t arg) {
+  ThreadTraceBuffer& buffer = CurrentBuffer();
+  if (buffer.events.empty()) {
+    // Tag the batch with the generation at its first event so a Clear
+    // issued on another thread discards it wholesale on flush.
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer.generation = generation_;
+  }
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.start_ns = start_ns;
+  ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  ev.tid = buffer.tid;
+  ev.arg = arg;
+  buffer.events.push_back(std::move(ev));
+  if (buffer.events.size() >= kFlushBatch) {
+    FlushBuffer(&buffer.events, buffer.generation);
+  }
+}
+
+void TraceRecorder::FlushBuffer(std::vector<TraceEvent>* events,
+                                uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation == generation_) {
+    for (auto& ev : *events) {
+      if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(ev));
+      } else {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  events->clear();
+}
+
+void TraceRecorder::FlushCurrentThread() {
+  ThreadTraceBuffer& buffer = CurrentBuffer();
+  if (!buffer.events.empty()) {
+    FlushBuffer(&buffer.events, buffer.generation);
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() {
+  FlushCurrentThread();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = ring_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.dur_ns > b.dur_ns;  // parents before children
+            });
+  return out;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    for (char c : ev.name) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    // ts/dur are microseconds with ns precision kept in the fraction.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"tsdm\",\"ph\":\"X\",\"pid\":0,\"tid\":%u,"
+                  "\"ts\":%.3f,\"dur\":%.3f",
+                  ev.tid, static_cast<double>(ev.start_ns) / 1000.0,
+                  static_cast<double>(ev.dur_ns) / 1000.0);
+    out += buf;
+    if (ev.arg != TraceEvent::kNoArg) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"arg\":%lld}",
+                    static_cast<long long>(ev.arg));
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,130 @@
+#ifndef TSDM_OBS_TRACE_H_
+#define TSDM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tsdm {
+
+/// One closed span: a named interval on one thread, optionally tagged with
+/// a small integer argument (shard index, attempt number, sensor id, ...).
+struct TraceEvent {
+  static constexpr int64_t kNoArg = INT64_MIN;
+
+  std::string name;
+  uint64_t start_ns = 0;  ///< steady-clock ns since the recorder's origin
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  ///< recorder-assigned dense thread index
+  int64_t arg = kNoArg;
+};
+
+/// Process-wide trace sink. Threads accumulate closed spans into private
+/// thread-local buffers (no synchronization on the hot path); buffers are
+/// batch-flushed into a bounded global ring under a mutex when they fill,
+/// when a thread exits, or on Snapshot/FlushCurrentThread. The ring never
+/// grows past its capacity — overflow drops the newest events and counts
+/// them, so tracing a long run has bounded memory.
+///
+/// Recording is off by default. When disabled, a TraceSpan costs one
+/// relaxed atomic load and a branch — cheap enough to leave the
+/// instrumentation permanently compiled into serving hot paths (bench_stream
+/// demonstrates the disabled overhead stays under 2% of a tick).
+class TraceRecorder {
+ public:
+  /// The process-global recorder every TraceSpan reports to. Never
+  /// destroyed, so thread-local buffer destructors may flush at any point
+  /// of shutdown.
+  static TraceRecorder& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded events and raises the ring capacity to
+  /// `max_events`. Call while no traced spans are in flight.
+  void SetCapacity(size_t max_events);
+
+  /// Discards every recorded event (ring + the calling thread's buffer).
+  /// Buffers still held by *other* live threads are invalidated via a
+  /// generation bump: their stale events are discarded on their next flush
+  /// instead of leaking into the new trace.
+  void Clear();
+
+  /// Flushes the calling thread's buffer into the ring.
+  void FlushCurrentThread();
+
+  /// Flushes the calling thread, then returns a copy of the ring sorted by
+  /// (start_ns, tid). Events buffered by other still-live threads are not
+  /// visible until those threads flush or exit.
+  std::vector<TraceEvent> Snapshot();
+
+  /// Events lost to ring overflow since the last Clear.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Chrome trace-event JSON ("catapult" format): load the returned string
+  /// from chrome://tracing or https://ui.perfetto.dev. One complete ("X")
+  /// event per span, ts/dur in microseconds.
+  std::string ToChromeTraceJson();
+
+  /// Called by ~TraceSpan; public so the thread-buffer machinery can reach
+  /// it, not part of the user API.
+  void Record(std::string name, uint64_t start_ns, uint64_t end_ns,
+              int64_t arg);
+
+  /// Monotonic ns since the process-wide trace origin.
+  static uint64_t NowNs();
+
+ private:
+  friend struct ThreadTraceBuffer;
+
+  void FlushBuffer(std::vector<TraceEvent>* events, uint64_t generation);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_ = 1 << 16;
+  uint64_t generation_ = 0;
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint32_t> next_tid_{0};
+
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII span: names the enclosing scope in the trace. Construction samples
+/// the clock only when the recorder is enabled; destruction hands the
+/// closed span to the calling thread's buffer. Spans on one thread nest
+/// with scope structure, which the exported trace preserves exactly.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, int64_t arg = TraceEvent::kNoArg) {
+    if (TraceRecorder::Enabled()) {
+      name_ = name;
+      arg_ = arg;
+      active_ = true;
+      start_ns_ = TraceRecorder::NowNs();
+    }
+  }
+
+  ~TraceSpan() {
+    if (active_) {
+      TraceRecorder::Global().Record(std::move(name_), start_ns_,
+                                     TraceRecorder::NowNs(), arg_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  uint64_t start_ns_ = 0;
+  int64_t arg_ = TraceEvent::kNoArg;
+  bool active_ = false;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_OBS_TRACE_H_

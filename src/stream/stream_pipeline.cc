@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/obs/trace.h"
+
 namespace tsdm {
 
 namespace {
@@ -24,13 +26,17 @@ Status StreamPipeline::Reset(size_t num_sensors) {
   tick_latency_ = LatencyHistogram();
   slots_.clear();
   slots_.reserve(stages_.size());
+  names_.clear();
+  names_.reserve(stages_.size());
   ticks_ = 0;
   num_sensors_ = num_sensors;
   for (auto& stage : stages_) {
     TSDM_RETURN_IF_ERROR(stage->Reset(num_sensors));
-    // Resolving the registry slot here keeps the per-tick path free of
-    // map lookups and string allocation.
+    // Resolving the registry slot (and the stage name the trace spans
+    // reference) here keeps the per-tick path free of map lookups and
+    // string allocation while tracing is disabled.
     slots_.push_back(&registry_.ForStage(stage->Name()));
+    names_.push_back(stage->Name());
   }
   ready_ = true;
   return Status::OK();
@@ -46,10 +52,15 @@ Status StreamPipeline::ProcessTick(TickRecord* rec) {
   *rec = TickRecord();
   rec->tick = tick;
 
+  TraceSpan tick_span("stream/tick", static_cast<int64_t>(rec->tick.sensor));
   auto tick_start = std::chrono::steady_clock::now();
   for (size_t i = 0; i < stages_.size(); ++i) {
     auto stage_start = std::chrono::steady_clock::now();
-    Status status = stages_[i]->OnTick(rec);
+    Status status;
+    {
+      TraceSpan stage_span(names_[i]);
+      status = stages_[i]->OnTick(rec);
+    }
     StageMetrics* slot = slots_[i];
     slot->latency.Add(SecondsSince(stage_start));
     ++slot->invocations;

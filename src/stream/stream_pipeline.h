@@ -68,6 +68,7 @@ class StreamPipeline {
  private:
   std::vector<std::unique_ptr<StreamStage>> stages_;
   std::vector<StageMetrics*> slots_;  // registry entries, fixed at Reset
+  std::vector<std::string> names_;    // stable stage names for trace spans
   StageMetricsRegistry registry_;
   LatencyHistogram tick_latency_;
   uint64_t ticks_ = 0;

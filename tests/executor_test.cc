@@ -8,6 +8,7 @@
 #include "src/common/thread_pool.h"
 #include "src/core/executor.h"
 #include "src/core/pipeline.h"
+#include "src/obs/metrics_export.h"
 #include "src/sim/inject.h"
 #include "src/sim/ts_gen.h"
 
@@ -261,6 +262,36 @@ TEST(BatchExecutorTest, TransientStageSucceedsOnRetry) {
   EXPECT_EQ(flaky.retries, 8u);
 }
 
+TEST(BatchExecutorTest, AttemptsTotalSurfacesRetryPressure) {
+  Pipeline pipeline;
+  pipeline.Emplace<FlakyStage>(2).Emplace<MarkerStage>();
+  std::vector<PipelineContext> shards(8);
+
+  ExecutorOptions opts;
+  opts.num_threads = 4;
+  opts.retry.max_attempts = 3;
+  opts.retry.initial_backoff_seconds = 0.0;
+  BatchReport report = BatchExecutor(opts).Run(pipeline, &shards);
+
+  ASSERT_EQ(report.NumOk(), 8u);
+  // Each shard consumed 2 flaky attempts + 1 marker attempt.
+  for (const auto& sr : report.shards) {
+    EXPECT_EQ(sr.AttemptsTotal(), 3u) << sr.shard;
+  }
+  EXPECT_EQ(report.AttemptsTotal(), 24u);
+  // The aggregate is derived from per-shard stage reports, so it must
+  // agree with the independently accumulated invocation counters.
+  uint64_t invocations = 0;
+  for (const auto& [name, m] : report.metrics.stages()) {
+    invocations += m.invocations;
+  }
+  EXPECT_EQ(report.AttemptsTotal(), invocations);
+  // ...and it is what the Prometheus exporter surfaces.
+  EXPECT_NE(MetricsExporter::BatchToPrometheus(report)
+                .find("tsdm_batch_attempts_total 24\n"),
+            std::string::npos);
+}
+
 TEST(BatchExecutorTest, RetriesExhaustedQuarantinesShard) {
   Pipeline pipeline;
   pipeline.Emplace<FlakyStage>(5);
@@ -318,6 +349,7 @@ TEST(BatchExecutorTest, EmptyBatchIsOk) {
   BatchReport report = BatchExecutor().Run(pipeline, &shards);
   EXPECT_TRUE(report.AllOk());
   EXPECT_EQ(report.shards.size(), 0u);
+  EXPECT_EQ(report.AttemptsTotal(), 0u);
 }
 
 }  // namespace

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/histogram_ext.h"
 #include "src/common/stats.h"
+#include "src/obs/metrics_export.h"
 
 namespace tsdm {
 namespace {
@@ -134,6 +136,89 @@ TEST_P(HistogramPropertyTest, MassNormalizedAndCdfMonotone) {
 
 INSTANTIATE_TEST_SUITE_P(Bins, HistogramPropertyTest,
                          ::testing::Values(1, 2, 4, 8, 16));
+
+// --- LatencyHistogram edge cases -----------------------------------------
+// The exporter serializes these values straight into JSON/Prometheus, so
+// the empty and boundary cases must be finite (never NaN/inf) and sane.
+
+TEST(LatencyHistogramEdgeTest, ZeroSamplesIsNanFreeEverywhere) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.total_seconds(), 0.0);
+  EXPECT_EQ(h.MeanSeconds(), 0.0);
+  EXPECT_EQ(h.MinSeconds(), 0.0);
+  EXPECT_EQ(h.MaxSeconds(), 0.0);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    double v = h.QuantileSeconds(q);
+    EXPECT_FALSE(std::isnan(v)) << q;
+    EXPECT_EQ(v, 0.0) << q;
+  }
+  std::string json = MetricsExporter::LatencyToJson(h);
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_EQ(json,
+            "{\"count\":0,\"mean_s\":0,\"p50_s\":0,\"p95_s\":0,\"p99_s\":0,"
+            "\"min_s\":0,\"max_s\":0}");
+}
+
+TEST(LatencyHistogramEdgeTest, SingleSampleClampsEveryQuantileToIt) {
+  LatencyHistogram h;
+  h.Add(0.003);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.MeanSeconds(), 0.003);
+  EXPECT_DOUBLE_EQ(h.MinSeconds(), 0.003);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 0.003);
+  // Quantiles clamp to the observed [min, max], so with one sample every
+  // quantile is exactly that sample — no bin-midpoint smearing.
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.QuantileSeconds(q), 0.003) << q;
+  }
+}
+
+TEST(LatencyHistogramEdgeTest, ValueBeyondLastBinKeepsExactExtremes) {
+  LatencyHistogram h;
+  h.Add(500.0);  // beyond kMaxSeconds = 100s: clamps into the last bin
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.MaxSeconds(), 500.0);  // exact max survives clamping
+  EXPECT_DOUBLE_EQ(h.QuantileSeconds(0.99), 500.0);
+
+  h.Add(0.5);
+  // p50 comes from the 0.5s bin (~21% resolution); p99 from the overflow
+  // bin, clamped into the observed range.
+  EXPECT_NEAR(h.QuantileSeconds(0.5), 0.5, 0.15);
+  double p99 = h.QuantileSeconds(0.99);
+  EXPECT_GE(p99, LatencyHistogram::kMaxSeconds * 0.5);
+  EXPECT_LE(p99, 500.0);
+  EXPECT_FALSE(std::isnan(p99));
+}
+
+TEST(LatencyHistogramEdgeTest, NegativeAndSubMicrosecondValuesClampLow) {
+  LatencyHistogram h;
+  h.Add(-1.0);   // nonsense input clamps to 0
+  h.Add(1e-9);   // below kMinSeconds lands in the first bin
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.MinSeconds(), 0.0);
+  double p50 = h.QuantileSeconds(0.5);
+  EXPECT_FALSE(std::isnan(p50));
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, LatencyHistogram::kMinSeconds);
+}
+
+TEST(LatencyHistogramEdgeTest, MergeWithEmptyIsIdentityBothWays) {
+  LatencyHistogram empty, loaded;
+  loaded.Add(0.004);
+  LatencyHistogram merged = loaded;
+  merged.Merge(empty);  // no-op
+  EXPECT_EQ(merged.count(), 1u);
+  EXPECT_DOUBLE_EQ(merged.MinSeconds(), 0.004);
+  EXPECT_DOUBLE_EQ(merged.MaxSeconds(), 0.004);
+
+  LatencyHistogram other;
+  other.Merge(loaded);  // empty absorbs loaded: min must not stick at 0
+  EXPECT_EQ(other.count(), 1u);
+  EXPECT_DOUBLE_EQ(other.MinSeconds(), 0.004);
+  EXPECT_DOUBLE_EQ(other.QuantileSeconds(0.5), 0.004);
+}
 
 }  // namespace
 }  // namespace tsdm

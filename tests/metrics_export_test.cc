@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "bench/bench_util.h"
+#include "src/core/executor.h"
+#include "src/core/pipeline.h"
+#include "src/obs/metrics_export.h"
+#include "src/stream/stream_pipeline.h"
+#include "src/stream/stream_stage.h"
+
+namespace tsdm {
+namespace {
+
+// Golden tests: the exporter formats are the scrape/ingest surface of the
+// system, so they are pinned exactly, mirroring pipeline_report_test.cc.
+// Inputs are hand-built with fixed latencies; single-valued histograms
+// clamp quantiles to the exact observation, keeping every string
+// deterministic.
+
+StageReport MakeStage(const std::string& name, size_t index, Status status,
+                      double seconds, int attempts = 1) {
+  StageReport sr;
+  sr.name = name;
+  sr.index = index;
+  sr.status = std::move(status);
+  sr.seconds = seconds;
+  sr.attempts = attempts;
+  return sr;
+}
+
+StageMetricsRegistry MakeRegistry() {
+  StageMetricsRegistry registry;
+  StageMetrics& clean = registry.ForStage("governance/clean");
+  clean.invocations = 2;
+  clean.latency.Add(0.002);
+  clean.latency.Add(0.002);
+  StageMetrics& impute = registry.ForStage("governance/impute");
+  impute.invocations = 1;
+  impute.failures = 1;
+  impute.latency.Add(0.004);
+  return registry;
+}
+
+TEST(MetricsExporterTest, GoldenRegistryJson) {
+  EXPECT_EQ(
+      MetricsExporter::RegistryToJson(MakeRegistry()),
+      "{\"schema_version\":1,\"stages\":{"
+      "\"governance/clean\":{\"invocations\":2,\"failures\":0,\"retries\":0,"
+      "\"latency\":{\"count\":2,\"mean_s\":0.002,\"p50_s\":0.002,"
+      "\"p95_s\":0.002,\"p99_s\":0.002,\"min_s\":0.002,\"max_s\":0.002}},"
+      "\"governance/impute\":{\"invocations\":1,\"failures\":1,\"retries\":0,"
+      "\"latency\":{\"count\":1,\"mean_s\":0.004,\"p50_s\":0.004,"
+      "\"p95_s\":0.004,\"p99_s\":0.004,\"min_s\":0.004,\"max_s\":0.004}}}}");
+}
+
+TEST(MetricsExporterTest, GoldenRegistryPrometheus) {
+  EXPECT_EQ(
+      MetricsExporter::RegistryToPrometheus(MakeRegistry()),
+      "# HELP tsdm_stage_invocations_total Stage attempts including "
+      "retries.\n"
+      "# TYPE tsdm_stage_invocations_total counter\n"
+      "tsdm_stage_invocations_total{stage=\"governance/clean\"} 2\n"
+      "tsdm_stage_invocations_total{stage=\"governance/impute\"} 1\n"
+      "# HELP tsdm_stage_failures_total Stage attempts returning non-OK.\n"
+      "# TYPE tsdm_stage_failures_total counter\n"
+      "tsdm_stage_failures_total{stage=\"governance/clean\"} 0\n"
+      "tsdm_stage_failures_total{stage=\"governance/impute\"} 1\n"
+      "# HELP tsdm_stage_retries_total Re-attempts after a transient stage "
+      "failure.\n"
+      "# TYPE tsdm_stage_retries_total counter\n"
+      "tsdm_stage_retries_total{stage=\"governance/clean\"} 0\n"
+      "tsdm_stage_retries_total{stage=\"governance/impute\"} 0\n"
+      "# HELP tsdm_stage_latency_seconds Per-attempt stage latency in "
+      "seconds.\n"
+      "# TYPE tsdm_stage_latency_seconds summary\n"
+      "tsdm_stage_latency_seconds{stage=\"governance/clean\","
+      "quantile=\"0.5\"} 0.002\n"
+      "tsdm_stage_latency_seconds{stage=\"governance/clean\","
+      "quantile=\"0.95\"} 0.002\n"
+      "tsdm_stage_latency_seconds{stage=\"governance/clean\","
+      "quantile=\"0.99\"} 0.002\n"
+      "tsdm_stage_latency_seconds_sum{stage=\"governance/clean\"} 0.004\n"
+      "tsdm_stage_latency_seconds_count{stage=\"governance/clean\"} 2\n"
+      "tsdm_stage_latency_seconds{stage=\"governance/impute\","
+      "quantile=\"0.5\"} 0.004\n"
+      "tsdm_stage_latency_seconds{stage=\"governance/impute\","
+      "quantile=\"0.95\"} 0.004\n"
+      "tsdm_stage_latency_seconds{stage=\"governance/impute\","
+      "quantile=\"0.99\"} 0.004\n"
+      "tsdm_stage_latency_seconds_sum{stage=\"governance/impute\"} 0.004\n"
+      "tsdm_stage_latency_seconds_count{stage=\"governance/impute\"} 1\n");
+}
+
+BatchReport MakeBatch() {
+  BatchReport batch;
+  batch.num_threads = 2;
+  batch.wall_seconds = 0.5;
+  batch.shards.resize(2);
+  batch.shards[0].shard = 0;
+  batch.shards[0].report.stages.push_back(
+      MakeStage("governance/clean", 0, Status::OK(), 0.002));
+  batch.shards[1].shard = 1;
+  batch.shards[1].report.stages.push_back(
+      MakeStage("governance/clean", 0, Status::OK(), 0.002));
+  batch.shards[1].report.stages.push_back(
+      MakeStage("governance/impute", 1, Status::Internal("disk on fire"),
+                0.004, /*attempts=*/3));
+  batch.metrics = MakeRegistry();
+  return batch;
+}
+
+TEST(MetricsExporterTest, GoldenBatchJson) {
+  // attempts_total = 1 (shard 0) + 1 + 3 (shard 1, impute retried) = 5.
+  EXPECT_EQ(
+      MetricsExporter::BatchToJson(MakeBatch()),
+      "{\"schema_version\":1,\"batch\":{\"shards\":2,\"ok\":1,"
+      "\"quarantined\":1,\"attempts_total\":5,\"threads\":2,"
+      "\"wall_seconds\":0.5},\"stages\":{"
+      "\"governance/clean\":{\"invocations\":2,\"failures\":0,\"retries\":0,"
+      "\"latency\":{\"count\":2,\"mean_s\":0.002,\"p50_s\":0.002,"
+      "\"p95_s\":0.002,\"p99_s\":0.002,\"min_s\":0.002,\"max_s\":0.002}},"
+      "\"governance/impute\":{\"invocations\":1,\"failures\":1,\"retries\":0,"
+      "\"latency\":{\"count\":1,\"mean_s\":0.004,\"p50_s\":0.004,"
+      "\"p95_s\":0.004,\"p99_s\":0.004,\"min_s\":0.004,\"max_s\":0.004}}}}");
+}
+
+TEST(MetricsExporterTest, GoldenBatchPrometheusPreamble) {
+  std::string text = MetricsExporter::BatchToPrometheus(MakeBatch());
+  const std::string expected_preamble =
+      "# HELP tsdm_batch_shards_total Shards in the last batch run.\n"
+      "# TYPE tsdm_batch_shards_total gauge\n"
+      "tsdm_batch_shards_total 2\n"
+      "# HELP tsdm_batch_shards_quarantined Shards quarantined by a failing "
+      "stage in the last batch run.\n"
+      "# TYPE tsdm_batch_shards_quarantined gauge\n"
+      "tsdm_batch_shards_quarantined 1\n"
+      "# HELP tsdm_batch_attempts_total Stage attempts across all shards "
+      "including retries (retry pressure).\n"
+      "# TYPE tsdm_batch_attempts_total counter\n"
+      "tsdm_batch_attempts_total 5\n"
+      "# HELP tsdm_batch_threads Worker threads used by the last batch run.\n"
+      "# TYPE tsdm_batch_threads gauge\n"
+      "tsdm_batch_threads 2\n"
+      "# HELP tsdm_batch_wall_seconds Wall-clock seconds of the last batch "
+      "run.\n"
+      "# TYPE tsdm_batch_wall_seconds gauge\n"
+      "tsdm_batch_wall_seconds 0.5\n";
+  EXPECT_EQ(text.substr(0, expected_preamble.size()), expected_preamble);
+  // The per-stage families follow, pinned by GoldenRegistryPrometheus.
+  EXPECT_EQ(text.substr(expected_preamble.size()),
+            MetricsExporter::RegistryToPrometheus(MakeBatch().metrics));
+}
+
+TEST(MetricsExporterTest, GoldenStreamJsonAndPrometheusBeforeTicks) {
+  StreamPipeline pipeline;
+  pipeline.Emplace<WelfordStatsStage>();
+  ASSERT_TRUE(pipeline.Reset(2).ok());
+  EXPECT_EQ(
+      MetricsExporter::StreamToJson(pipeline),
+      "{\"schema_version\":1,\"stream\":{\"ticks\":0,"
+      "\"tick_latency\":{\"count\":0,\"mean_s\":0,\"p50_s\":0,\"p95_s\":0,"
+      "\"p99_s\":0,\"min_s\":0,\"max_s\":0}},\"stages\":{"
+      "\"stream/stats\":{\"invocations\":0,\"failures\":0,\"retries\":0,"
+      "\"latency\":{\"count\":0,\"mean_s\":0,\"p50_s\":0,\"p95_s\":0,"
+      "\"p99_s\":0,\"min_s\":0,\"max_s\":0}}}}");
+  EXPECT_EQ(
+      MetricsExporter::StreamToPrometheus(pipeline),
+      "# HELP tsdm_stream_ticks_total Ticks fully processed by the "
+      "pipeline.\n"
+      "# TYPE tsdm_stream_ticks_total counter\n"
+      "tsdm_stream_ticks_total 0\n"
+      "# HELP tsdm_stream_tick_latency_seconds End-to-end per-tick latency "
+      "in seconds.\n"
+      "# TYPE tsdm_stream_tick_latency_seconds summary\n"
+      "tsdm_stream_tick_latency_seconds{quantile=\"0.5\"} 0\n"
+      "tsdm_stream_tick_latency_seconds{quantile=\"0.95\"} 0\n"
+      "tsdm_stream_tick_latency_seconds{quantile=\"0.99\"} 0\n"
+      "tsdm_stream_tick_latency_seconds_sum 0\n"
+      "tsdm_stream_tick_latency_seconds_count 0\n"
+      "# HELP tsdm_stage_invocations_total Stage attempts including "
+      "retries.\n"
+      "# TYPE tsdm_stage_invocations_total counter\n"
+      "tsdm_stage_invocations_total{stage=\"stream/stats\"} 0\n"
+      "# HELP tsdm_stage_failures_total Stage attempts returning non-OK.\n"
+      "# TYPE tsdm_stage_failures_total counter\n"
+      "tsdm_stage_failures_total{stage=\"stream/stats\"} 0\n"
+      "# HELP tsdm_stage_retries_total Re-attempts after a transient stage "
+      "failure.\n"
+      "# TYPE tsdm_stage_retries_total counter\n"
+      "tsdm_stage_retries_total{stage=\"stream/stats\"} 0\n"
+      "# HELP tsdm_stage_latency_seconds Per-attempt stage latency in "
+      "seconds.\n"
+      "# TYPE tsdm_stage_latency_seconds summary\n"
+      "tsdm_stage_latency_seconds{stage=\"stream/stats\",quantile=\"0.5\"} "
+      "0\n"
+      "tsdm_stage_latency_seconds{stage=\"stream/stats\",quantile=\"0.95\"} "
+      "0\n"
+      "tsdm_stage_latency_seconds{stage=\"stream/stats\",quantile=\"0.99\"} "
+      "0\n"
+      "tsdm_stage_latency_seconds_sum{stage=\"stream/stats\"} 0\n"
+      "tsdm_stage_latency_seconds_count{stage=\"stream/stats\"} 0\n");
+}
+
+TEST(MetricsExporterTest, StreamJsonTracksProcessedTicks) {
+  StreamPipeline pipeline;
+  pipeline.Emplace<WelfordStatsStage>();
+  ASSERT_TRUE(pipeline.Reset(2).ok());
+  for (int i = 0; i < 3; ++i) {
+    Tick tick;
+    tick.sensor = i % 2;
+    tick.timestamp = i;
+    tick.value = 1.5 * i;
+    ASSERT_TRUE(pipeline.ProcessTick(tick).ok());
+  }
+  std::string json = MetricsExporter::StreamToJson(pipeline);
+  EXPECT_NE(json.find("\"ticks\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stream/stats\":{\"invocations\":3"),
+            std::string::npos)
+      << json;
+}
+
+TEST(JsonHelpersTest, EscapeAndNumberEdgeCases) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonEscape(std::string("x\x01y")), "x\\u0001y");
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  EXPECT_EQ(JsonNumber(1250.0), "1250");
+  // NaN/inf are not valid JSON; the exporter guarantees NaN-free output.
+  EXPECT_EQ(JsonNumber(std::nan("")), "0");
+  EXPECT_EQ(JsonNumber(INFINITY), "0");
+  EXPECT_EQ(JsonNumber(-INFINITY), "0");
+}
+
+// --- BENCH_<name>.json schema --------------------------------------------
+
+TEST(BenchReporterTest, GoldenBenchJsonSchema) {
+  tsdm_bench::BenchReporter reporter("demo");
+  reporter.set_git_rev("deadbeef");
+  reporter.set_threads(8);
+  reporter.Metric("ops_per_s", 1250.0);
+  reporter.Metric("p50_us", 3.5);
+  reporter.Info("mode", "smoke");
+  EXPECT_EQ(reporter.ToJson(),
+            "{\"schema_version\":1,\"name\":\"demo\","
+            "\"git_rev\":\"deadbeef\",\"threads\":8,"
+            "\"metrics\":{\"ops_per_s\":1250,\"p50_us\":3.5},"
+            "\"info\":{\"mode\":\"smoke\"}}");
+}
+
+TEST(BenchReporterTest, MetricOverwritesAndKeepsInsertionOrder) {
+  tsdm_bench::BenchReporter reporter("demo");
+  reporter.set_git_rev("deadbeef");
+  reporter.set_threads(1);
+  reporter.Metric("b_per_s", 1.0);
+  reporter.Metric("a_per_s", 2.0);
+  reporter.Metric("b_per_s", 3.0);  // overwrite in place, no reordering
+  EXPECT_EQ(reporter.ToJson(),
+            "{\"schema_version\":1,\"name\":\"demo\","
+            "\"git_rev\":\"deadbeef\",\"threads\":1,"
+            "\"metrics\":{\"b_per_s\":3,\"a_per_s\":2},\"info\":{}}");
+}
+
+TEST(BenchReporterTest, LatencyEmitsQuantileAndCountKeys) {
+  tsdm_bench::BenchReporter reporter("demo");
+  LatencyHistogram h;
+  h.Add(0.004);
+  reporter.Latency("tick", h);
+  std::string json = reporter.ToJson();
+  EXPECT_NE(json.find("\"tick_p50_us\":4000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tick_p95_us\":4000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tick_count\":1"), std::string::npos) << json;
+}
+
+TEST(BenchReporterTest, WriteLandsInBenchJsonDir) {
+  std::string dir = ::testing::TempDir();
+  while (!dir.empty() && dir.back() == '/') dir.pop_back();
+  ASSERT_EQ(::setenv("TSDM_BENCH_JSON_DIR", dir.c_str(), 1), 0);
+  tsdm_bench::BenchReporter reporter("writer-check");
+  reporter.set_git_rev("deadbeef");
+  reporter.set_threads(2);
+  reporter.Metric("ops_per_s", 10.0);
+  ASSERT_TRUE(reporter.Write());
+  ASSERT_EQ(::unsetenv("TSDM_BENCH_JSON_DIR"), 0);
+
+  std::string path = dir + "/BENCH_writer-check.json";
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr) << path;
+  char buf[4096];
+  size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), reporter.ToJson() + "\n");
+}
+
+}  // namespace
+}  // namespace tsdm

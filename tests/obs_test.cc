@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace tsdm {
+namespace {
+
+/// Every obs test runs against the one process-global recorder, so each
+/// fixture leaves it disabled and empty for the next.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().SetCapacity(1 << 16);
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().Enable();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+// --- Minimal Chrome-trace JSON parser ------------------------------------
+// Just enough JSON to round-trip what ToChromeTraceJson emits: one object
+// with a "traceEvents" array of flat event objects (string/number values
+// plus the optional one-key "args" object). Any syntax surprise fails the
+// test via ADD_FAILURE.
+
+struct ParsedEvent {
+  std::string name;
+  double ts = -1.0;
+  double dur = -1.0;
+  int64_t tid = -1;
+  int64_t arg = TraceEvent::kNoArg;
+  bool has_arg = false;
+};
+
+class MiniParser {
+ public:
+  explicit MiniParser(const std::string& text) : s_(text) {}
+
+  /// Parses the whole document; returns false on any syntax error.
+  bool Parse(std::vector<ParsedEvent>* events) {
+    if (!Consume('{')) return false;
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      if (key == "traceEvents") {
+        if (!ParseEvents(events)) return false;
+      } else {
+        std::string ignored;
+        if (!ParseString(&ignored)) return false;  // displayTimeUnit
+      }
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Consume('}') && PeekIsEnd();
+  }
+
+ private:
+  bool ParseEvents(std::vector<ParsedEvent>* events) {
+    if (!Consume('[')) return false;
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      ParsedEvent ev;
+      if (!ParseEvent(&ev)) return false;
+      events->push_back(ev);
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Consume(']');
+  }
+
+  bool ParseEvent(ParsedEvent* ev) {
+    if (!Consume('{')) return false;
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      if (key == "name" || key == "cat" || key == "ph") {
+        std::string value;
+        if (!ParseString(&value)) return false;
+        if (key == "name") ev->name = value;
+        if (key == "ph" && value != "X") return false;
+      } else if (key == "args") {
+        if (!Consume('{')) return false;
+        std::string arg_key;
+        double arg_value = 0.0;
+        if (!ParseString(&arg_key) || !Consume(':') ||
+            !ParseNumber(&arg_value) || !Consume('}')) {
+          return false;
+        }
+        if (arg_key != "arg") return false;
+        ev->arg = static_cast<int64_t>(arg_value);
+        ev->has_arg = true;
+      } else {
+        double value = 0.0;
+        if (!ParseNumber(&value)) return false;
+        if (key == "ts") ev->ts = value;
+        if (key == "dur") ev->dur = value;
+        if (key == "tid") ev->tid = static_cast<int64_t>(value);
+      }
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Consume('}');
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      out->push_back(s_[pos_++]);
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(double* out) {
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == '-' || s_[pos_] == '+' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool PeekIsEnd() const { return pos_ == s_.size(); }
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// --- Span creation helpers -----------------------------------------------
+
+/// Creates exactly `total` spans on the calling thread with a deterministic
+/// mix of top-level spans and nested children (and grandchildren).
+void SpawnSpans(int thread_idx, int total) {
+  int made = 0;
+  int step = 0;
+  while (made < total) {
+    TraceSpan outer("outer", thread_idx);
+    ++made;
+    int children = (step * 7 + thread_idx) % 4;
+    for (int c = 0; c < children && made < total; ++c) {
+      TraceSpan child("child", c);
+      ++made;
+      if (c == 0 && made < total) {
+        TraceSpan grandchild("grandchild");
+        ++made;
+      }
+    }
+    ++step;
+  }
+}
+
+/// True iff the two spans are properly nested or fully disjoint.
+bool NestedOrDisjoint(const TraceEvent& a, const TraceEvent& b) {
+  uint64_t a_end = a.start_ns + a.dur_ns;
+  uint64_t b_end = b.start_ns + b.dur_ns;
+  bool a_holds_b = a.start_ns <= b.start_ns && b_end <= a_end;
+  bool b_holds_a = b.start_ns <= a.start_ns && a_end <= b_end;
+  bool disjoint = a_end <= b.start_ns || b_end <= a.start_ns;
+  return a_holds_b || b_holds_a || disjoint;
+}
+
+// --- Tests ---------------------------------------------------------------
+
+TEST_F(TraceTest, DisabledRecorderCostsNoEvents) {
+  TraceRecorder::Global().Disable();
+  {
+    TraceSpan span("ignored");
+    TraceSpan nested("also-ignored", 7);
+  }
+  EXPECT_TRUE(TraceRecorder::Global().Snapshot().empty());
+}
+
+TEST_F(TraceTest, SingleThreadSpansNestAndCount) {
+  SpawnSpans(/*thread_idx=*/0, /*total=*/100);
+  std::vector<TraceEvent> events = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), 100u);
+  EXPECT_EQ(TraceRecorder::Global().dropped(), 0u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    for (size_t j = i + 1; j < events.size(); ++j) {
+      ASSERT_TRUE(NestedOrDisjoint(events[i], events[j]))
+          << "spans " << i << " and " << j << " interleave";
+    }
+  }
+}
+
+TEST_F(TraceTest, ThreadedSpansAreExactAndWellNestedPerThread) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] { SpawnSpans(t, kSpansPerThread); });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<TraceEvent> events = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(TraceRecorder::Global().dropped(), 0u);
+
+  std::map<uint32_t, std::vector<TraceEvent>> by_tid;
+  for (const auto& ev : events) by_tid[ev.tid].push_back(ev);
+  ASSERT_EQ(by_tid.size(), static_cast<size_t>(kThreads));
+  for (const auto& [tid, spans] : by_tid) {
+    EXPECT_EQ(spans.size(), static_cast<size_t>(kSpansPerThread))
+        << "tid " << tid;
+    for (size_t i = 0; i < spans.size(); ++i) {
+      for (size_t j = i + 1; j < spans.size(); ++j) {
+        ASSERT_TRUE(NestedOrDisjoint(spans[i], spans[j]))
+            << "tid " << tid << " spans " << i << "," << j << " interleave";
+      }
+    }
+  }
+}
+
+TEST_F(TraceTest, ChromeTraceJsonRoundTrips) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] { SpawnSpans(t, kSpansPerThread); });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<TraceEvent> recorded = TraceRecorder::Global().Snapshot();
+  std::string json = TraceRecorder::Global().ToChromeTraceJson();
+  std::vector<ParsedEvent> parsed;
+  ASSERT_TRUE(MiniParser(json).Parse(&parsed)) << json.substr(0, 200);
+  ASSERT_EQ(parsed.size(), recorded.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, recorded[i].name);
+    EXPECT_EQ(parsed[i].tid, static_cast<int64_t>(recorded[i].tid));
+    // ts/dur are microseconds printed with ns precision (%.3f), so the
+    // exact ns values survive the round trip.
+    EXPECT_EQ(std::llround(parsed[i].ts * 1000.0),
+              static_cast<long long>(recorded[i].start_ns));
+    EXPECT_EQ(std::llround(parsed[i].dur * 1000.0),
+              static_cast<long long>(recorded[i].dur_ns));
+    EXPECT_EQ(parsed[i].has_arg, recorded[i].arg != TraceEvent::kNoArg);
+    if (parsed[i].has_arg) {
+      EXPECT_EQ(parsed[i].arg, recorded[i].arg);
+    }
+  }
+}
+
+TEST_F(TraceTest, JsonEscapesSpanNames) {
+  {
+    TraceSpan span("weird \"name\" with \\backslash");
+  }
+  std::string json = TraceRecorder::Global().ToChromeTraceJson();
+  std::vector<ParsedEvent> parsed;
+  ASSERT_TRUE(MiniParser(json).Parse(&parsed));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "weird \"name\" with \\backslash");
+}
+
+TEST_F(TraceTest, RingOverflowDropsAndCounts) {
+  TraceRecorder::Global().SetCapacity(64);
+  for (int i = 0; i < 1000; ++i) {
+    TraceSpan span("overflow");
+  }
+  std::vector<TraceEvent> events = TraceRecorder::Global().Snapshot();
+  EXPECT_EQ(events.size(), 64u);
+  EXPECT_EQ(TraceRecorder::Global().dropped(), 1000u - 64u);
+  TraceRecorder::Global().SetCapacity(1 << 16);
+}
+
+TEST_F(TraceTest, ClearDiscardsRecordedSpans) {
+  {
+    TraceSpan span("before-clear");
+  }
+  TraceRecorder::Global().Clear();
+  {
+    TraceSpan span("after-clear");
+  }
+  std::vector<TraceEvent> events = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "after-clear");
+}
+
+TEST_F(TraceTest, SpanStartedWhileEnabledRecordsAfterDisable) {
+  {
+    TraceSpan span("straddles-disable");
+    TraceRecorder::Global().Disable();
+  }
+  EXPECT_EQ(TraceRecorder::Global().Snapshot().size(), 1u);
+}
+
+}  // namespace
+}  // namespace tsdm
