@@ -1,0 +1,135 @@
+// Traffic serving example: the routing decision layer as an online
+// service. A morning query storm hits the QueryServer front door:
+//
+//  * admission control: a bounded queue sheds excess load with a typed
+//    error instead of queueing it unboundedly
+//  * micro-batching: compatible queries (same network snapshot) share one
+//    worker dispatch
+//  * PACE-style reuse ([4]): sub-path cost distributions and candidate
+//    route enumerations are cached, so the storm's overlapping queries
+//    stop paying per-query edge recomposition
+//  * forecast-driven autoscaling ([6]): the observed arrival rate drives
+//    the worker pool size between runs of the storm
+//
+// Prints the shed rate, the cache hit rate, and an excerpt of the
+// Prometheus exposition a scraper would collect.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/obs/metrics_export.h"
+#include "src/serve/query_server.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+
+int main() {
+  using namespace tsdm;
+  Rng rng(17);
+
+  // --- City and learned travel-time model -------------------------------
+  GridNetworkSpec gspec;
+  gspec.rows = 6;
+  gspec.cols = 6;
+  RoadNetwork net = GenerateGridNetwork(gspec, &rng);
+  TrafficSimulator traffic(&net, TrafficSpec{});
+  std::printf("city: %zu intersections, %zu road segments\n", net.NumNodes(),
+              net.NumEdges());
+
+  EdgeCentricModel model(static_cast<int>(net.NumEdges()), 24);
+  for (int e = 0; e < static_cast<int>(net.NumEdges()); ++e) {
+    for (int rep = 0; rep < 10; ++rep) {
+      TripObservation trip;
+      trip.edge_path = {e};
+      trip.depart_seconds = 8 * 3600.0;
+      trip.edge_times = {traffic.SampleEdgeTime(e, trip.depart_seconds, &rng)};
+      model.AddTrip(trip);
+    }
+  }
+  if (!model.Build().ok()) {
+    std::printf("model build failed\n");
+    return 1;
+  }
+
+  // --- Serving stack ----------------------------------------------------
+  QueryServer::Options opts;
+  opts.queue.capacity = 64;         // small on purpose: show shedding
+  opts.batch.max_batch = 8;
+  opts.initial_workers = 1;
+  opts.autoscale.min_workers = 1;
+  opts.autoscale.max_workers = 4;
+  opts.autoscale_interval_seconds = 0.01;
+  QueryServer server(&net, [&model](const std::vector<int>& edges,
+                                    double depart) {
+    return model.PathCostDistribution(edges, depart, 32);
+  }, opts);
+  if (!server.Start().ok()) {
+    std::printf("server start failed\n");
+    return 1;
+  }
+
+  // --- Query storm ------------------------------------------------------
+  // 2000 commuter queries over overlapping OD pairs in one morning time
+  // bucket — exactly the workload path-centric reuse is built for. The
+  // storm arrives in 2 ms waves of 100, repeatedly outrunning the bounded
+  // queue: admission control sheds the excess of each wave while the
+  // caches warm and the autoscaler reacts to the observed arrival rate.
+  std::atomic<int> on_time{0};
+  std::atomic<int> answered{0};
+  const int kStorm = 2000;
+  for (int i = 0; i < kStorm; ++i) {
+    RouteQuery q;
+    q.source = GridNodeId(gspec, i % gspec.rows, 0);
+    q.target = GridNodeId(gspec, (i / 3) % gspec.rows, gspec.cols - 1);
+    q.k = 3;
+    q.depart_seconds = 8 * 3600.0 + (i % 4) * 120.0;
+    q.arrival_deadline_seconds = q.depart_seconds + 1500.0;
+    (void)server.Submit(
+        q,
+        [&on_time, &answered](const RouteAnswer& answer) {
+          if (!answer.status.ok()) return;
+          answered.fetch_add(1);
+          if (answer.on_time_probability > 0.9) on_time.fetch_add(1);
+        },
+        /*queue_budget_seconds=*/0.1);
+    if (i % 100 == 99) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  server.WaitIdle();
+  ServeStatsSnapshot stats = server.Stats();
+  server.Stop();
+
+  // --- What the operator sees -------------------------------------------
+  std::printf("\nstorm: %d submitted, %llu admitted, %llu answered\n", kStorm,
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.completed));
+  std::printf("shed rate:       %.1f%%  (bounded queue + queueing budget)\n",
+              100.0 * stats.ShedRate());
+  std::printf("cache hit rate:  %.1f%%  (sub-path distributions reused)\n",
+              100.0 * stats.CacheHitRate());
+  std::printf("batches:         %llu (largest %zu)\n",
+              static_cast<unsigned long long>(stats.batches), stats.max_batch);
+  std::printf("workers now:     %d (autoscaled, %d resize events)\n",
+              stats.workers, stats.scale_events);
+  std::printf("on-time >90%%:    %d of %d answered\n", on_time.load(),
+              answered.load());
+
+  // --- Prometheus excerpt ----------------------------------------------
+  std::string prom = MetricsExporter::ServeToPrometheus(stats);
+  std::printf("\nPrometheus exposition (excerpt):\n");
+  std::istringstream lines(prom);
+  std::string line;
+  int printed = 0;
+  while (std::getline(lines, line) && printed < 14) {
+    if (line.rfind("tsdm_serve_", 0) == 0 || line.rfind("# HELP", 0) == 0) {
+      std::printf("  %s\n", line.c_str());
+      ++printed;
+    }
+  }
+  return 0;
+}

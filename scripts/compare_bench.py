@@ -133,12 +133,21 @@ def main():
             if ratio < floor:
                 failures += 1
 
+    # A bench without a committed baseline is new, not broken: validate its
+    # schema (malformed JSON is always a failure) but skip the throughput
+    # gate with a warning instead of failing the build.
     known = {os.path.basename(p) for p in baselines}
     for cur_path in sorted(glob.glob(os.path.join(args.current_dir,
                                                   "BENCH_*.json"))):
-        if os.path.basename(cur_path) not in known:
+        if os.path.basename(cur_path) in known:
+            continue
+        _, problems = validate(cur_path)
+        for p in problems:
+            failures += fail(p)
+        if not problems:
             print(f"warn: {os.path.basename(cur_path)} has no baseline — "
-                  f"commit it to {args.baseline_dir} to gate it")
+                  f"schema ok, gates skipped; commit it to "
+                  f"{args.baseline_dir} to gate it")
 
     if failures:
         print(f"compare_bench: {failures} failure(s)")

@@ -17,6 +17,7 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  kResourceExhausted = 7,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -53,6 +54,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// A bounded resource (queue slot, cache, worker) is at capacity; the
+  /// serving layer uses this to distinguish load shedding from failures.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

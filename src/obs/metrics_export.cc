@@ -193,6 +193,90 @@ std::string MetricsExporter::BatchToPrometheus(const BatchReport& report,
   return os.str();
 }
 
+std::string MetricsExporter::ServeToJson(const ServeStatsSnapshot& s) {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"serve\":{"
+     << "\"submitted\":" << U64(s.submitted)
+     << ",\"admitted\":" << U64(s.admitted)
+     << ",\"shed_capacity\":" << U64(s.shed_capacity)
+     << ",\"shed_expired\":" << U64(s.shed_expired)
+     << ",\"shed_closed\":" << U64(s.shed_closed)
+     << ",\"shed_rate\":" << JsonNumber(s.ShedRate())
+     << ",\"queue_depth\":" << s.queue_depth
+     << ",\"batches\":" << U64(s.batches)
+     << ",\"batched_requests\":" << U64(s.batched_requests)
+     << ",\"max_batch\":" << s.max_batch
+     << ",\"cache_hits\":" << U64(s.cache_hits)
+     << ",\"cache_misses\":" << U64(s.cache_misses)
+     << ",\"cache_evictions\":" << U64(s.cache_evictions)
+     << ",\"cache_size\":" << s.cache_size
+     << ",\"cache_hit_rate\":" << JsonNumber(s.CacheHitRate())
+     << ",\"completed\":" << U64(s.completed)
+     << ",\"failed\":" << U64(s.failed)
+     << ",\"workers\":" << s.workers
+     << ",\"scale_events\":" << s.scale_events
+     << ",\"queue_latency\":" << LatencyToJson(s.queue_latency)
+     << ",\"e2e_latency\":" << LatencyToJson(s.e2e_latency) << "}}";
+  return os.str();
+}
+
+std::string MetricsExporter::ServeToPrometheus(const ServeStatsSnapshot& s,
+                                               const std::string& prefix) {
+  std::ostringstream os;
+  const std::string submitted = prefix + "_serve_submitted_total";
+  Family(&os, submitted, "counter", "Requests offered to the front door.");
+  os << submitted << " " << U64(s.submitted) << "\n";
+  const std::string admitted = prefix + "_serve_admitted_total";
+  Family(&os, admitted, "counter", "Requests admitted past admission control.");
+  os << admitted << " " << U64(s.admitted) << "\n";
+  const std::string shed = prefix + "_serve_shed_total";
+  Family(&os, shed, "counter",
+         "Requests shed, by reason (capacity/deadline/closed).");
+  os << shed << "{reason=\"capacity\"} " << U64(s.shed_capacity) << "\n";
+  os << shed << "{reason=\"deadline\"} " << U64(s.shed_expired) << "\n";
+  os << shed << "{reason=\"closed\"} " << U64(s.shed_closed) << "\n";
+  const std::string batched = prefix + "_serve_batched_requests_total";
+  Family(&os, batched, "counter", "Requests dispatched inside micro-batches.");
+  os << batched << " " << U64(s.batched_requests) << "\n";
+  const std::string batches = prefix + "_serve_batches_total";
+  Family(&os, batches, "counter", "Micro-batches dispatched to workers.");
+  os << batches << " " << U64(s.batches) << "\n";
+  const std::string cache = prefix + "_serve_cache_lookups_total";
+  Family(&os, cache, "counter",
+         "Sub-path cost cache lookups, by outcome (hit/miss).");
+  os << cache << "{outcome=\"hit\"} " << U64(s.cache_hits) << "\n";
+  os << cache << "{outcome=\"miss\"} " << U64(s.cache_misses) << "\n";
+  const std::string evict = prefix + "_serve_cache_evictions_total";
+  Family(&os, evict, "counter", "Sub-path cost cache LRU evictions.");
+  os << evict << " " << U64(s.cache_evictions) << "\n";
+  const std::string csize = prefix + "_serve_cache_entries";
+  Family(&os, csize, "gauge", "Resident sub-path cost cache entries.");
+  os << csize << " " << s.cache_size << "\n";
+  const std::string completed = prefix + "_serve_completed_total";
+  Family(&os, completed, "counter", "Requests answered OK.");
+  os << completed << " " << U64(s.completed) << "\n";
+  const std::string failed = prefix + "_serve_failed_total";
+  Family(&os, failed, "counter", "Requests answered with an error.");
+  os << failed << " " << U64(s.failed) << "\n";
+  const std::string depth = prefix + "_serve_queue_depth";
+  Family(&os, depth, "gauge", "Requests currently queued.");
+  os << depth << " " << s.queue_depth << "\n";
+  const std::string workers = prefix + "_serve_workers";
+  Family(&os, workers, "gauge", "Current worker pool size.");
+  os << workers << " " << s.workers << "\n";
+  const std::string scales = prefix + "_serve_scale_events_total";
+  Family(&os, scales, "counter", "Autoscaler pool resizes.");
+  os << scales << " " << s.scale_events << "\n";
+  const std::string qlat = prefix + "_serve_queue_latency_seconds";
+  Family(&os, qlat, "summary", "Admission-to-dispatch latency in seconds.");
+  LatencySummary(&os, qlat, "", s.queue_latency);
+  const std::string elat = prefix + "_serve_latency_seconds";
+  Family(&os, elat, "summary",
+         "Admission-to-answer latency of answered requests in seconds.");
+  LatencySummary(&os, elat, "", s.e2e_latency);
+  return os.str();
+}
+
 std::string MetricsExporter::StreamToJson(const StreamPipeline& pipeline) {
   std::ostringstream os;
   os << "{\"schema_version\":" << kSchemaVersion << ",\"stream\":{"

@@ -5,6 +5,7 @@
 
 #include "src/common/histogram_ext.h"
 #include "src/core/executor.h"
+#include "src/serve/serve_stats.h"
 #include "src/stream/stream_pipeline.h"
 
 namespace tsdm {
@@ -49,6 +50,13 @@ class MetricsExporter {
   static std::string StreamToJson(const StreamPipeline& pipeline);
   static std::string StreamToPrometheus(const StreamPipeline& pipeline,
                                         const std::string& prefix = "tsdm");
+
+  /// Serving-layer snapshot: admission/shedding/batching counters, the
+  /// sub-path cache's hit/miss/eviction counts, worker gauge, and the
+  /// request lifecycle latency summaries.
+  static std::string ServeToJson(const ServeStatsSnapshot& snapshot);
+  static std::string ServeToPrometheus(const ServeStatsSnapshot& snapshot,
+                                       const std::string& prefix = "tsdm");
 
   /// {"count":..,"mean_s":..,"p50_s":..,"p95_s":..,"p99_s":..,"min_s":..,
   ///  "max_s":..} — NaN-free for any histogram state, including empty.

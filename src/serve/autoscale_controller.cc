@@ -1,0 +1,48 @@
+#include "src/serve/autoscale_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/obs/trace.h"
+
+namespace tsdm {
+
+AutoscaleController::AutoscaleController(
+    ThreadPool* pool, std::unique_ptr<AutoscalePolicy> policy,
+    Options options)
+    : pool_(pool), policy_(std::move(policy)), options_(options) {
+  if (policy_ == nullptr) policy_ = std::make_unique<ReactivePolicy>();
+  options_.min_workers = std::max(1, options_.min_workers);
+  options_.max_workers = std::max(options_.min_workers, options_.max_workers);
+  options_.per_worker_capacity = std::max(1e-9, options_.per_worker_capacity);
+}
+
+int AutoscaleController::OnInterval(double arrivals) {
+  history_.push_back(std::max(0.0, arrivals));
+  if (history_.size() > options_.max_history) {
+    history_.erase(history_.begin(),
+                   history_.begin() +
+                       static_cast<long>(history_.size() -
+                                         options_.max_history));
+  }
+  Result<ScalingDecision> decision =
+      policy_->Decide(history_, options_.horizon);
+  // A policy that cannot decide yet (e.g. empty history edge cases) keeps
+  // the current size — the serve loop must never die to a scaling hiccup.
+  if (!decision.ok()) return pool_->NumThreads();
+  last_capacity_ = decision->capacity;
+
+  int wanted = static_cast<int>(
+      std::ceil(decision->capacity / options_.per_worker_capacity));
+  wanted = std::clamp(wanted, options_.min_workers, options_.max_workers);
+  int current = pool_->NumThreads();
+  if (wanted != current) {
+    TraceSpan span("serve/resize", wanted);
+    pool_->Resize(wanted);
+    ++scale_events_;
+  }
+  return pool_->NumThreads();
+}
+
+}  // namespace tsdm

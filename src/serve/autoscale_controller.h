@@ -1,0 +1,71 @@
+#ifndef TSDM_SERVE_AUTOSCALE_CONTROLLER_H_
+#define TSDM_SERVE_AUTOSCALE_CONTROLLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/decision/scaling/autoscaler.h"
+
+namespace tsdm {
+
+/// Closes the MagicScaler loop ([6]): the serve loop's *observed* arrival
+/// rate becomes the demand history an AutoscalePolicy forecasts over, and
+/// the resulting capacity decision becomes an actual ThreadPool::Resize —
+/// the decision/scaling layer finally scales something real instead of a
+/// simulated trace.
+///
+/// Units: demand is requests per review interval; one worker is assumed to
+/// serve `per_worker_capacity` requests per interval, so workers =
+/// ceil(capacity / per_worker_capacity), clamped to [min_workers,
+/// max_workers].
+///
+/// Driven from a single control thread (the serve dispatcher) — the same
+/// restriction ThreadPool::Resize carries.
+class AutoscaleController {
+ public:
+  struct Options {
+    int min_workers = 1;
+    int max_workers = 8;
+    /// Requests one worker handles per review interval; calibrate from a
+    /// measured per-request service time.
+    double per_worker_capacity = 100.0;
+    /// Review intervals the policy forecasts over.
+    int horizon = 1;
+    /// Demand history retained (oldest dropped beyond this).
+    size_t max_history = 4096;
+  };
+
+  /// The pool must outlive the controller. `policy` defaults to
+  /// ReactivePolicy when null — PredictivePolicy needs seasons of history
+  /// that a fresh server does not have yet.
+  AutoscaleController(ThreadPool* pool, std::unique_ptr<AutoscalePolicy> policy)
+      : AutoscaleController(pool, std::move(policy), Options()) {}
+  AutoscaleController(ThreadPool* pool,
+                      std::unique_ptr<AutoscalePolicy> policy,
+                      Options options);
+
+  /// Records the arrivals observed over the last review interval, asks the
+  /// policy for the next capacity, and resizes the pool if the clamped
+  /// worker count changed. Returns the pool's (possibly new) worker count.
+  int OnInterval(double arrivals);
+
+  int workers() const { return pool_->NumThreads(); }
+  int scale_events() const { return scale_events_; }
+  /// Last capacity the policy asked for (pre-clamping), for observability.
+  double last_capacity() const { return last_capacity_; }
+  const std::vector<double>& history() const { return history_; }
+  const Options& options() const { return options_; }
+
+ private:
+  ThreadPool* pool_;
+  std::unique_ptr<AutoscalePolicy> policy_;
+  Options options_;
+  std::vector<double> history_;
+  double last_capacity_ = 0.0;
+  int scale_events_ = 0;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_SERVE_AUTOSCALE_CONTROLLER_H_

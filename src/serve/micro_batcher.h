@@ -1,0 +1,67 @@
+#ifndef TSDM_SERVE_MICRO_BATCHER_H_
+#define TSDM_SERVE_MICRO_BATCHER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/serve/request_queue.h"
+
+namespace tsdm {
+
+/// Coalesces compatible queries into micro-batches so one ThreadPool task
+/// amortizes its dispatch overhead (and its cache-warm working set) over
+/// several requests. Compatibility means *same snapshot_id*: a batch is
+/// answered against exactly one network/model snapshot, so coalescing never
+/// mixes network states.
+///
+/// A group is dispatched when it reaches `max_batch` requests or when its
+/// oldest member has waited `max_wait_seconds` — the classic size-or-age
+/// trigger: full batches under load, bounded added latency when idle.
+///
+/// Not internally synchronized: owned and driven by the single dispatcher
+/// thread of the serve loop (the queue in front of it is the concurrent
+/// part).
+class MicroBatcher {
+ public:
+  struct Options {
+    size_t max_batch = 16;
+    double max_wait_seconds = 0.002;
+  };
+
+  struct Stats {
+    uint64_t batches = 0;           ///< batches dispatched
+    uint64_t batched_requests = 0;  ///< requests across all batches
+    size_t max_batch_seen = 0;      ///< largest dispatched batch
+  };
+
+  MicroBatcher() : MicroBatcher(Options()) {}
+  explicit MicroBatcher(Options options) : options_(options) {}
+
+  /// Adds one request to its snapshot group; if the group reaches
+  /// max_batch it is moved onto *ready.
+  void Add(ServeRequest req, std::vector<std::vector<ServeRequest>>* ready);
+
+  /// Moves every group whose oldest request has waited past
+  /// max_wait_seconds (as of `now_ns`) onto *ready.
+  void FlushExpired(uint64_t now_ns,
+                    std::vector<std::vector<ServeRequest>>* ready);
+
+  /// Moves every pending group onto *ready (shutdown / idle drain).
+  void FlushAll(std::vector<std::vector<ServeRequest>>* ready);
+
+  size_t pending() const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Dispatch(std::vector<ServeRequest>&& batch,
+                std::vector<std::vector<ServeRequest>>* ready);
+
+  Options options_;
+  std::map<int, std::vector<ServeRequest>> groups_;  // snapshot_id -> batch
+  Stats stats_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,126 @@
+#include "src/serve/path_cost_cache.h"
+
+#include <algorithm>
+
+#include "src/obs/trace.h"
+
+namespace tsdm {
+
+PathCostCache::PathCostCache(Options options)
+    : options_(options),
+      shards_(static_cast<size_t>(std::max(1, options.shards))) {
+  options_.shards = static_cast<int>(shards_.size());
+  per_shard_capacity_ =
+      std::max<size_t>(1, options_.capacity / shards_.size());
+}
+
+bool PathCostCache::Lookup(const std::vector<int>& subpath, int bucket,
+                           Histogram* out) {
+  Key key{subpath, bucket};
+  Shard& shard = shards_[ShardIndex(key)];
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->second;
+  return true;
+}
+
+void PathCostCache::Insert(const std::vector<int>& subpath, int bucket,
+                           Histogram dist) {
+  Key key{subpath, bucket};
+  Shard& shard = shards_[ShardIndex(key)];
+  std::unique_lock<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(dist);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(dist));
+  shard.index.emplace(std::move(key), shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void PathCostCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+PathCostCache::Stats PathCostCache::GetStats() const {
+  Stats stats;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.size += shard.lru.size();
+  }
+  return stats;
+}
+
+std::vector<size_t> PathCostCache::ShardSizes() const {
+  std::vector<size_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard.mu);
+    sizes.push_back(shard.lru.size());
+  }
+  return sizes;
+}
+
+CachedPathCostModel::CachedPathCostModel(PathCostModel base,
+                                         PathCostCache* cache,
+                                         Options options)
+    : base_(std::move(base)), cache_(cache), options_(options) {
+  options_.segment_edges = std::max(1, options_.segment_edges);
+}
+
+Result<Histogram> CachedPathCostModel::Query(
+    const std::vector<int>& edge_path, double depart_seconds) const {
+  if (edge_path.empty()) {
+    return Status::InvalidArgument("CachedPathCostModel: empty path");
+  }
+  TraceSpan span("serve/path_cost",
+                 static_cast<int64_t>(edge_path.size()));
+  const int bucket = cache_->BucketFor(depart_seconds);
+  const double bucket_time = cache_->BucketTime(bucket);
+  const size_t seg = static_cast<size_t>(options_.segment_edges);
+
+  Histogram total;
+  bool have_total = false;
+  std::vector<int> piece;
+  piece.reserve(seg);
+  for (size_t start = 0; start < edge_path.size(); start += seg) {
+    const size_t end = std::min(edge_path.size(), start + seg);
+    piece.assign(edge_path.begin() + static_cast<long>(start),
+                 edge_path.begin() + static_cast<long>(end));
+    Histogram piece_dist;
+    if (!cache_->Lookup(piece, bucket, &piece_dist)) {
+      Result<Histogram> computed = base_(piece, bucket_time);
+      if (!computed.ok()) return computed.status();
+      piece_dist = std::move(computed).value();
+      cache_->Insert(piece, bucket, piece_dist);
+    }
+    if (!have_total) {
+      total = std::move(piece_dist);
+      have_total = true;
+    } else {
+      total = total.Convolve(piece_dist, options_.result_bins);
+    }
+  }
+  return total;
+}
+
+}  // namespace tsdm

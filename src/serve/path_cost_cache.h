@@ -1,0 +1,164 @@
+#ifndef TSDM_SERVE_PATH_COST_CACHE_H_
+#define TSDM_SERVE_PATH_COST_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/decision/routing/stochastic_router.h"
+#include "src/governance/uncertainty/histogram.h"
+
+namespace tsdm {
+
+/// Sharded LRU cache of sub-path travel-cost distributions, keyed on
+/// (edge sub-path, departure-time bucket) — the serving-layer realization
+/// of PACE's path-centric claim ([4]): route queries over a shared road
+/// network overlap heavily, so memoizing *sub-path* distributions lets
+/// repeated and merely overlapping queries reuse each other's work instead
+/// of recomposing per-edge costs from scratch every time.
+///
+/// Sharding: a key hashes to one of `shards` independent LRU maps, each
+/// behind its own mutex, so concurrent workers contend only when they
+/// touch the same shard. Capacity is enforced per shard (capacity/shards
+/// each); eviction is strict LRU within a shard. Hit/miss/eviction
+/// counters are maintained under the shard locks and summed on read, so
+/// they are exact, not sampled.
+class PathCostCache {
+ public:
+  struct Options {
+    size_t capacity = 4096;       ///< total entries across all shards
+    int shards = 8;               ///< independent LRU shards (>= 1)
+    double bucket_seconds = 900;  ///< departure-time discretization
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;  ///< resident entries
+  };
+
+  PathCostCache() : PathCostCache(Options()) {}
+  explicit PathCostCache(Options options);
+
+  /// The departure-time bucket a query at `depart_seconds` falls into.
+  int BucketFor(double depart_seconds) const {
+    return static_cast<int>(depart_seconds / options_.bucket_seconds);
+  }
+  /// The representative departure time all queries of `bucket` resolve to
+  /// (its midpoint) — what the underlying model is actually asked, so a
+  /// cached entry is bitwise-identical to a fresh computation for every
+  /// query in the bucket.
+  double BucketTime(int bucket) const {
+    return (static_cast<double>(bucket) + 0.5) * options_.bucket_seconds;
+  }
+
+  /// Copies the cached distribution for (subpath, bucket) into *out and
+  /// refreshes its recency. Counts a hit or a miss.
+  bool Lookup(const std::vector<int>& subpath, int bucket, Histogram* out);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's LRU tail when
+  /// over budget.
+  void Insert(const std::vector<int>& subpath, int bucket, Histogram dist);
+
+  void Clear();
+
+  Stats GetStats() const;
+  /// Resident entries per shard — lets tests check the hash spreads keys.
+  std::vector<size_t> ShardSizes() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Key {
+    std::vector<int> edges;
+    int bucket = 0;
+    bool operator==(const Key& other) const {
+      return bucket == other.bucket && edges == other.edges;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // FNV-1a over the edge ids and the bucket: cheap, deterministic,
+      // and spreads consecutive ids well enough for shard selection.
+      uint64_t h = 1469598103934665603ull;
+      auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+      };
+      for (int e : k.edges) mix(static_cast<uint64_t>(e) + 1);
+      mix(static_cast<uint64_t>(k.bucket) + 0x9e3779b9ull);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used. The list owns the entries; the map
+    /// indexes them.
+    std::list<std::pair<Key, Histogram>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, Histogram>>::iterator,
+                       KeyHash>
+        index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  size_t ShardIndex(const Key& key) const {
+    return KeyHash{}(key) % shards_.size();
+  }
+
+  Options options_;
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+};
+
+/// Wraps any PathCostModel with sub-path memoization through a
+/// PathCostCache: a query path is split into consecutive segments of
+/// `segment_edges` edges, each segment's distribution is served from the
+/// cache (computed through the base model on miss), and the segment
+/// distributions are convolved into the path answer. Departure times are
+/// discretized to the cache's time bucket and the base model is always
+/// evaluated at the bucket's representative time, so for a fixed bucket a
+/// warm answer is bitwise-identical to a cold one — caching changes cost,
+/// never the answer.
+///
+/// Thread-safe: the cache synchronizes itself and the base model is only
+/// read; many serve workers share one instance.
+class CachedPathCostModel {
+ public:
+  struct Options {
+    int segment_edges = 4;  ///< sub-path granularity (>= 1)
+    int result_bins = 64;   ///< bins of the convolved path answer
+  };
+
+  /// The cache must outlive the model. `base` must be deterministic for a
+  /// fixed (path, depart) — true of the governance cost models.
+  CachedPathCostModel(PathCostModel base, PathCostCache* cache)
+      : CachedPathCostModel(std::move(base), cache, Options()) {}
+  CachedPathCostModel(PathCostModel base, PathCostCache* cache,
+                      Options options);
+
+  /// Path cost distribution with sub-path reuse.
+  Result<Histogram> Query(const std::vector<int>& edge_path,
+                          double depart_seconds) const;
+
+  /// Adapter so a StochasticRouter can use this as its PathCostModel.
+  PathCostModel AsModel() const {
+    return [this](const std::vector<int>& edges, double depart) {
+      return Query(edges, depart);
+    };
+  }
+
+ private:
+  PathCostModel base_;
+  PathCostCache* cache_;
+  Options options_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_SERVE_PATH_COST_CACHE_H_

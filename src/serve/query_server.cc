@@ -1,0 +1,269 @@
+#include "src/serve/query_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/obs/trace.h"
+#include "src/spatial/shortest_path.h"
+
+namespace tsdm {
+
+QueryServer::QueryServer(const RoadNetwork* network, PathCostModel base_model,
+                         Options options)
+    : network_(network),
+      options_(options),
+      cache_(options.cache),
+      cost_model_(std::move(base_model), &cache_, options.cost),
+      queue_(options.queue),
+      pool_(std::max(1, options.initial_workers)),
+      batcher_(options.batch),
+      controller_(&pool_, nullptr, options.autoscale) {
+  options_.route_cache_entries = std::max<size_t>(1, options_.route_cache_entries);
+}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("QueryServer: already started");
+  }
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  last_autoscale_ns_ = TraceRecorder::NowNs();
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  if (!started_) return;
+  // Closing first makes Submit reject new work and sheds whatever is
+  // still queued; the dispatcher then flushes its pending batches to the
+  // workers on its way out.
+  queue_.Close();
+  running_.store(false, std::memory_order_release);
+  dispatcher_.join();
+  pool_.Wait();
+  started_ = false;
+}
+
+Status QueryServer::Submit(RouteQuery query,
+                           std::function<void(const RouteAnswer&)> on_done,
+                           double queue_budget_seconds) {
+  TraceSpan span("serve/submit");
+  ServeRequest req;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  req.query = query;
+  req.enqueue_ns = TraceRecorder::NowNs();
+  req.queue_budget_seconds = queue_budget_seconds;
+  req.on_done = std::move(on_done);
+  return queue_.Push(std::move(req));
+}
+
+void QueryServer::WaitIdle() const {
+  for (;;) {
+    RequestQueue::Stats qs = queue_.GetStats();
+    uint64_t terminal = completed_.load(std::memory_order_acquire) +
+                        failed_.load(std::memory_order_acquire) +
+                        qs.shed_expired + qs.shed_closed;
+    if (terminal >= qs.admitted &&
+        in_flight_batches_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+ServeStatsSnapshot QueryServer::Stats() const {
+  ServeStatsSnapshot snap;
+  RequestQueue::Stats qs = queue_.GetStats();
+  snap.submitted = qs.submitted;
+  snap.admitted = qs.admitted;
+  snap.shed_capacity = qs.shed_capacity;
+  snap.shed_expired = qs.shed_expired;
+  snap.shed_closed = qs.shed_closed;
+  snap.queue_depth = qs.depth;
+  {
+    std::unique_lock<std::mutex> lock(control_mu_);
+    snap.batches = batcher_.stats().batches;
+    snap.batched_requests = batcher_.stats().batched_requests;
+    snap.max_batch = batcher_.stats().max_batch_seen;
+    snap.scale_events = controller_.scale_events();
+  }
+  PathCostCache::Stats cs = cache_.GetStats();
+  snap.cache_hits = cs.hits;
+  snap.cache_misses = cs.misses;
+  snap.cache_evictions = cs.evictions;
+  snap.cache_size = cs.size;
+  snap.completed = completed_.load(std::memory_order_acquire);
+  snap.failed = failed_.load(std::memory_order_acquire);
+  snap.workers = pool_.NumThreads();
+  {
+    std::unique_lock<std::mutex> lock(metrics_mu_);
+    snap.queue_latency = queue_latency_;
+    snap.e2e_latency = e2e_latency_;
+  }
+  return snap;
+}
+
+void QueryServer::DispatcherLoop() {
+  std::vector<ServeRequest> popped;
+  std::vector<std::vector<ServeRequest>> ready;
+  const size_t pop_chunk = std::max<size_t>(1, options_.batch.max_batch) * 4;
+
+  while (running_.load(std::memory_order_acquire)) {
+    popped.clear();
+    ready.clear();
+    uint64_t now = TraceRecorder::NowNs();
+    size_t n = queue_.PopBatch(now, pop_chunk, &popped);
+    {
+      std::unique_lock<std::mutex> lock(control_mu_);
+      for (auto& req : popped) batcher_.Add(std::move(req), &ready);
+      batcher_.FlushExpired(now, &ready);
+    }
+    DispatchReady(&ready);
+    MaybeAutoscale(now);
+    if (n == 0) queue_.WaitForWork(options_.idle_poll_seconds);
+  }
+
+  // Shutdown drain: the queue is closed (Stop closed it before clearing
+  // running_), so one final pass moves everything still pending through
+  // the workers.
+  popped.clear();
+  ready.clear();
+  uint64_t now = TraceRecorder::NowNs();
+  queue_.PopBatch(now, static_cast<size_t>(-1), &popped);
+  {
+    std::unique_lock<std::mutex> lock(control_mu_);
+    for (auto& req : popped) batcher_.Add(std::move(req), &ready);
+    batcher_.FlushAll(&ready);
+  }
+  DispatchReady(&ready);
+}
+
+void QueryServer::DispatchReady(
+    std::vector<std::vector<ServeRequest>>* ready) {
+  for (auto& batch : *ready) {
+    in_flight_batches_.fetch_add(1, std::memory_order_acq_rel);
+    auto shared =
+        std::make_shared<std::vector<ServeRequest>>(std::move(batch));
+    pool_.Submit([this, shared] {
+      ServeBatch(shared.get());
+      in_flight_batches_.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+  ready->clear();
+}
+
+void QueryServer::ServeBatch(std::vector<ServeRequest>* batch) {
+  TraceSpan span("serve/batch", static_cast<int64_t>(batch->size()));
+  for (const ServeRequest& req : *batch) ServeOne(req);
+}
+
+void QueryServer::ServeOne(const ServeRequest& req) {
+  TraceSpan span("serve/request", static_cast<int64_t>(req.id));
+  const uint64_t start_ns = TraceRecorder::NowNs();
+  RouteAnswer answer;
+  answer.queue_seconds =
+      1e-9 * static_cast<double>(start_ns - req.enqueue_ns);
+
+  const RouteQuery& q = req.query;
+  Result<std::vector<Path>> routes =
+      CandidateRoutes(RouteKey{q.source, q.target, q.k});
+  if (!routes.ok()) {
+    answer.status = routes.status();
+  } else {
+    // Attach cost distributions through the sub-path cache; pick by
+    // on-time probability when a deadline is set, by mean cost otherwise.
+    int best = -1;
+    double best_score = 0.0;
+    Histogram best_cost;
+    for (size_t i = 0; i < routes->size(); ++i) {
+      Result<Histogram> cost =
+          cost_model_.Query((*routes)[i].edges, q.depart_seconds);
+      if (!cost.ok()) continue;  // model has no coverage for this path
+      ++answer.num_candidates;
+      double score = q.arrival_deadline_seconds > 0.0
+                         ? cost->Cdf(q.arrival_deadline_seconds)
+                         : -cost->Mean();
+      if (best < 0 || score > best_score) {
+        best = static_cast<int>(i);
+        best_score = score;
+        best_cost = std::move(cost).value();
+      }
+    }
+    if (best < 0) {
+      answer.status = Status::NotFound(
+          "serve: no candidate route has a cost distribution");
+    } else {
+      answer.route = (*routes)[static_cast<size_t>(best)];
+      answer.cost_mean_seconds = best_cost.Mean();
+      answer.on_time_probability =
+          q.arrival_deadline_seconds > 0.0
+              ? best_cost.Cdf(q.arrival_deadline_seconds)
+              : 0.0;
+    }
+  }
+
+  const uint64_t end_ns = TraceRecorder::NowNs();
+  answer.service_seconds = 1e-9 * static_cast<double>(end_ns - start_ns);
+  if (answer.status.ok()) {
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+  } else {
+    failed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  {
+    std::unique_lock<std::mutex> lock(metrics_mu_);
+    queue_latency_.Add(answer.queue_seconds);
+    e2e_latency_.Add(1e-9 * static_cast<double>(end_ns - req.enqueue_ns));
+  }
+  if (req.on_done) req.on_done(answer);
+}
+
+void QueryServer::MaybeAutoscale(uint64_t now_ns) {
+  if (!options_.autoscale_enabled) return;
+  const double interval_ns = options_.autoscale_interval_seconds * 1e9;
+  if (static_cast<double>(now_ns - last_autoscale_ns_) < interval_ns) return;
+  last_autoscale_ns_ = now_ns;
+  // Demand = everything submitted, shed included: admission control must
+  // not hide overload from the forecaster, or shedding would lock the
+  // pool at its current size forever.
+  uint64_t submitted = queue_.GetStats().submitted;
+  double arrivals = static_cast<double>(submitted - last_submitted_);
+  last_submitted_ = submitted;
+  std::unique_lock<std::mutex> lock(control_mu_);
+  controller_.OnInterval(arrivals);
+}
+
+Result<std::vector<Path>> QueryServer::CandidateRoutes(const RouteKey& key) {
+  {
+    std::unique_lock<std::mutex> lock(route_mu_);
+    auto it = route_index_.find(key);
+    if (it != route_index_.end()) {
+      route_lru_.splice(route_lru_.begin(), route_lru_, it->second);
+      return it->second->second;
+    }
+  }
+  TraceSpan span("serve/enumerate_routes");
+  Result<std::vector<Path>> paths = KShortestPaths(
+      *network_, key.source, key.target, key.k, FreeFlowTimeCost(*network_));
+  if (!paths.ok()) return paths.status();
+  {
+    std::unique_lock<std::mutex> lock(route_mu_);
+    // A racing worker may have inserted the same key; refresh it instead
+    // of duplicating.
+    auto it = route_index_.find(key);
+    if (it == route_index_.end()) {
+      route_lru_.emplace_front(key, *paths);
+      route_index_.emplace(key, route_lru_.begin());
+      while (route_lru_.size() > options_.route_cache_entries) {
+        route_index_.erase(route_lru_.back().first);
+        route_lru_.pop_back();
+      }
+    }
+  }
+  return paths;
+}
+
+}  // namespace tsdm

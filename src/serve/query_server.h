@@ -1,0 +1,171 @@
+#ifndef TSDM_SERVE_QUERY_SERVER_H_
+#define TSDM_SERVE_QUERY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/decision/routing/stochastic_router.h"
+#include "src/serve/autoscale_controller.h"
+#include "src/serve/micro_batcher.h"
+#include "src/serve/path_cost_cache.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/serve_stats.h"
+#include "src/spatial/road_network.h"
+
+namespace tsdm {
+
+/// The serving front door for routing queries — the piece that turns the
+/// decision layer from a library into a system:
+///
+///   clients --Submit--> RequestQueue --dispatcher--> MicroBatcher
+///        --batches--> ThreadPool workers --> answer callbacks
+///
+/// Workers answer each query from two layers of memoization: a bounded
+/// LRU of candidate route enumerations per (source, target, k) — the
+/// K-shortest computation is departure-time independent — and the shared
+/// PathCostCache of sub-path cost distributions (PACE-style reuse, [4]).
+/// A warm query therefore costs two lookups plus a few convolutions where
+/// a cold one pays Yen's algorithm plus full cost recomposition.
+///
+/// The dispatcher doubles as the autoscale control loop: every review
+/// interval it feeds the observed arrival count into the
+/// AutoscaleController, which forecasts demand and resizes the worker
+/// pool within [min_workers, max_workers].
+///
+/// Thread-safety: Submit is safe from any number of producer threads.
+/// Start/Stop/WaitIdle are for the owning (control) thread. Callbacks run
+/// on worker threads (served), the dispatcher (expired in queue), or the
+/// Stop caller (drained at shutdown) — exactly once per admitted request.
+class QueryServer {
+ public:
+  struct Options {
+    RequestQueue::Options queue;
+    MicroBatcher::Options batch;
+    PathCostCache::Options cache;
+    CachedPathCostModel::Options cost;
+    AutoscaleController::Options autoscale;
+    int initial_workers = 2;
+    bool autoscale_enabled = true;
+    double autoscale_interval_seconds = 0.05;
+    /// Dispatcher block time while idle; bounds shutdown latency.
+    double idle_poll_seconds = 0.001;
+    /// Candidate-route LRU entries ((source, target, k) keys).
+    size_t route_cache_entries = 512;
+  };
+
+  /// The network must outlive the server. `base_model` computes sub-path
+  /// cost distributions (EdgeCentricModel / PathCentricModel adapter) and
+  /// must be deterministic and thread-safe for reads.
+  QueryServer(const RoadNetwork* network, PathCostModel base_model)
+      : QueryServer(network, std::move(base_model), Options()) {}
+  QueryServer(const RoadNetwork* network, PathCostModel base_model,
+              Options options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Spawns the dispatcher. FailedPrecondition if already started.
+  Status Start();
+
+  /// Closes the queue (draining queued requests as shed), flushes pending
+  /// batches through the workers, joins the dispatcher, and waits for
+  /// in-flight work. Idempotent.
+  void Stop();
+
+  /// Admission control: OK means `on_done` will be called exactly once;
+  /// a shed returns ResourceExhausted (queue full) or FailedPrecondition
+  /// (stopped) immediately and `on_done` is NOT retained.
+  Status Submit(RouteQuery query,
+                std::function<void(const RouteAnswer&)> on_done,
+                double queue_budget_seconds = 0.25);
+
+  /// Blocks until every admitted request has reached a terminal state
+  /// (answered or shed) and no batch is in flight.
+  void WaitIdle() const;
+
+  ServeStatsSnapshot Stats() const;
+  int workers() const { return pool_.NumThreads(); }
+  PathCostCache& cache() { return cache_; }
+  const PathCostCache& cache() const { return cache_; }
+
+ private:
+  struct RouteKey {
+    int source = 0;
+    int target = 0;
+    int k = 0;
+    bool operator==(const RouteKey& o) const {
+      return source == o.source && target == o.target && k == o.k;
+    }
+  };
+  struct RouteKeyHash {
+    size_t operator()(const RouteKey& key) const {
+      uint64_t h = static_cast<uint64_t>(key.source) * 0x9e3779b97f4a7c15ull;
+      h ^= static_cast<uint64_t>(key.target) + 0x9e3779b97f4a7c15ull +
+           (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(key.k) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  void DispatcherLoop();
+  void DispatchReady(std::vector<std::vector<ServeRequest>>* ready);
+  void ServeBatch(std::vector<ServeRequest>* batch);
+  void ServeOne(const ServeRequest& req);
+  void MaybeAutoscale(uint64_t now_ns);
+
+  /// Candidate routes for (source, target, k) — LRU-cached Yen enumeration
+  /// under its own lock (departure-time independent, so shareable across
+  /// every query of an OD pair).
+  Result<std::vector<Path>> CandidateRoutes(const RouteKey& key);
+
+  const RoadNetwork* network_;
+  Options options_;
+
+  PathCostCache cache_;
+  CachedPathCostModel cost_model_;
+  RequestQueue queue_;
+  ThreadPool pool_;
+
+  // Dispatcher-owned state, guarded so Stats() can read it concurrently.
+  mutable std::mutex control_mu_;
+  MicroBatcher batcher_;
+  AutoscaleController controller_;
+  uint64_t last_autoscale_ns_ = 0;
+  uint64_t last_submitted_ = 0;
+
+  // Candidate-route LRU.
+  mutable std::mutex route_mu_;
+  std::list<std::pair<RouteKey, std::vector<Path>>> route_lru_;
+  std::unordered_map<RouteKey,
+                     std::list<std::pair<RouteKey, std::vector<Path>>>::iterator,
+                     RouteKeyHash>
+      route_index_;
+
+  // Worker-side accounting.
+  mutable std::mutex metrics_mu_;
+  LatencyHistogram queue_latency_;
+  LatencyHistogram e2e_latency_;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<int> in_flight_batches_{0};
+
+  std::thread dispatcher_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_SERVE_QUERY_SERVER_H_

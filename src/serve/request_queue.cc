@@ -1,0 +1,110 @@
+#include "src/serve/request_queue.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/obs/trace.h"
+
+namespace tsdm {
+
+namespace {
+
+/// Fires a request's callback with a shed/drain answer. The lock must NOT
+/// be held: callbacks are user code.
+void AnswerShed(const ServeRequest& req, Status status) {
+  if (!req.on_done) return;
+  RouteAnswer answer;
+  answer.status = std::move(status);
+  answer.queue_seconds =
+      1e-9 * static_cast<double>(TraceRecorder::NowNs() - req.enqueue_ns);
+  req.on_done(answer);
+}
+
+bool Expired(const ServeRequest& req, uint64_t now_ns) {
+  if (req.queue_budget_seconds <= 0.0) return false;
+  return static_cast<double>(now_ns - req.enqueue_ns) >
+         req.queue_budget_seconds * 1e9;
+}
+
+}  // namespace
+
+Status RequestQueue::Push(ServeRequest req) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (closed_) {
+      ++stats_.shed_closed;
+      return Status::FailedPrecondition("serve: queue closed");
+    }
+    if (queue_.size() >= options_.capacity) {
+      ++stats_.shed_capacity;
+      return Status::ResourceExhausted("serve: request queue at capacity");
+    }
+    queue_.push_back(std::move(req));
+    ++stats_.admitted;
+    stats_.depth = queue_.size();
+  }
+  available_.notify_one();
+  return Status::OK();
+}
+
+size_t RequestQueue::PopBatch(uint64_t now_ns, size_t max_n,
+                              std::vector<ServeRequest>* out) {
+  std::vector<ServeRequest> expired;
+  size_t delivered = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (delivered < max_n && !queue_.empty()) {
+      ServeRequest req = std::move(queue_.front());
+      queue_.pop_front();
+      if (Expired(req, now_ns)) {
+        ++stats_.shed_expired;
+        expired.push_back(std::move(req));
+        continue;
+      }
+      out->push_back(std::move(req));
+      ++delivered;
+    }
+    stats_.depth = queue_.size();
+  }
+  for (const auto& req : expired) {
+    AnswerShed(req, Status::ResourceExhausted(
+                        "serve: queueing budget exceeded, request shed"));
+  }
+  return delivered;
+}
+
+bool RequestQueue::WaitForWork(double timeout_seconds) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  available_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                      [this] { return closed_ || !queue_.empty(); });
+  return !queue_.empty();
+}
+
+void RequestQueue::Close() {
+  std::deque<ServeRequest> drained;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    drained.swap(queue_);
+    stats_.shed_closed += drained.size();
+    stats_.depth = 0;
+  }
+  available_.notify_all();
+  for (const auto& req : drained) {
+    AnswerShed(req, Status::FailedPrecondition("serve: queue closed"));
+  }
+}
+
+bool RequestQueue::closed() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return closed_;
+}
+
+RequestQueue::Stats RequestQueue::GetStats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace tsdm

@@ -1,0 +1,117 @@
+#ifndef TSDM_SERVE_REQUEST_QUEUE_H_
+#define TSDM_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/spatial/shortest_path.h"
+
+namespace tsdm {
+
+/// One routing question a client asks the serving layer: "from source to
+/// target, departing at depart_seconds, which of the k candidate routes
+/// maximizes my chance of arriving by arrival_deadline_seconds?"
+struct RouteQuery {
+  int source = 0;
+  int target = 0;
+  int k = 4;                            ///< candidate routes to enumerate
+  double depart_seconds = 0.0;          ///< time of day, seconds
+  double arrival_deadline_seconds = 0;  ///< absolute arrival deadline
+  /// Model/network snapshot generation the query was issued against. The
+  /// micro-batcher only coalesces queries of the same snapshot — batching
+  /// must never mix answers from different network states.
+  int snapshot_id = 0;
+};
+
+/// The serving layer's answer: the chosen route plus the decision-relevant
+/// summary of its cost distribution and the request's lifecycle timings.
+struct RouteAnswer {
+  Status status;
+  Path route;                       ///< chosen route (empty on failure)
+  double cost_mean_seconds = 0.0;   ///< mean of the route's cost histogram
+  double on_time_probability = 0.0; ///< P(arrival <= deadline)
+  int num_candidates = 0;           ///< candidates actually scored
+  double queue_seconds = 0.0;       ///< admission -> dispatch
+  double service_seconds = 0.0;     ///< dispatch -> answer
+};
+
+/// A queued request: the query plus its admission timestamp, queueing
+/// budget, and completion callback. The callback is invoked exactly once —
+/// on a worker thread for served requests, on the dispatcher thread for
+/// requests shed after admission (expired in queue / drained at shutdown).
+struct ServeRequest {
+  uint64_t id = 0;
+  RouteQuery query;
+  uint64_t enqueue_ns = 0;        ///< TraceRecorder::NowNs at admission
+  double queue_budget_seconds = 0.25;  ///< max queueing time; <= 0 = none
+  std::function<void(const RouteAnswer&)> on_done;
+};
+
+/// Bounded, deadline-aware MPSC/MPMC request queue with admission control —
+/// the serving front door. Push never blocks: a request that does not fit is
+/// *shed* with Status::ResourceExhausted instead of queueing unboundedly, so
+/// under overload the queue depth (and therefore the queueing delay of every
+/// admitted request) stays bounded. Requests whose queueing budget expires
+/// before a dispatcher pops them are shed at pop time and counted
+/// separately: admitting them to a worker would only burn service capacity
+/// on an answer the client has given up on.
+class RequestQueue {
+ public:
+  struct Options {
+    size_t capacity = 1024;
+  };
+
+  struct Stats {
+    uint64_t submitted = 0;      ///< Push calls
+    uint64_t admitted = 0;       ///< accepted into the queue
+    uint64_t shed_capacity = 0;  ///< rejected at Push: queue full
+    uint64_t shed_expired = 0;   ///< dropped at pop: queue budget exceeded
+    uint64_t shed_closed = 0;    ///< rejected at Push or drained: closed
+    size_t depth = 0;            ///< current queue length
+  };
+
+  RequestQueue() : RequestQueue(Options()) {}
+  explicit RequestQueue(Options options) : options_(options) {}
+
+  /// Admits `req` or sheds it. OK means the request is queued and its
+  /// callback will eventually fire; ResourceExhausted means queue-full
+  /// shed; FailedPrecondition means the queue is closed. The callback of a
+  /// shed request is NOT invoked — the caller still owns it.
+  Status Push(ServeRequest req);
+
+  /// Pops up to `max_n` unexpired requests (as of `now_ns`), appending to
+  /// *out. Expired requests encountered on the way are shed: counted, and
+  /// their callback fired with a ResourceExhausted answer. Returns the
+  /// number of live requests delivered. Non-blocking.
+  size_t PopBatch(uint64_t now_ns, size_t max_n, std::vector<ServeRequest>* out);
+
+  /// Blocks until the queue has requests, closes, or `timeout_seconds`
+  /// elapses; returns true when requests are available. Pops stay with
+  /// PopBatch so every dequeue goes through the same expiry check.
+  bool WaitForWork(double timeout_seconds) const;
+
+  /// Closes the queue: subsequent Push calls are rejected and queued
+  /// requests are drained, each callback fired with a FailedPrecondition
+  /// answer (counted as shed_closed). Idempotent.
+  void Close();
+
+  bool closed() const;
+  Stats GetStats() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable available_;
+  std::deque<ServeRequest> queue_;
+  Stats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_SERVE_REQUEST_QUEUE_H_

@@ -1,0 +1,64 @@
+#ifndef TSDM_SERVE_SERVE_STATS_H_
+#define TSDM_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+
+#include "src/common/histogram_ext.h"
+
+namespace tsdm {
+
+/// One coherent snapshot of the serving layer's counters — the shape the
+/// MetricsExporter serializes to JSON / Prometheus and the benches report.
+/// Plain data so obs can depend on it without pulling in the server.
+struct ServeStatsSnapshot {
+  // Admission (RequestQueue).
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_capacity = 0;  ///< rejected at the front door: queue full
+  uint64_t shed_expired = 0;   ///< dropped after admission: waited too long
+  uint64_t shed_closed = 0;    ///< rejected/drained at shutdown
+  size_t queue_depth = 0;
+
+  // Batching (MicroBatcher).
+  uint64_t batches = 0;
+  uint64_t batched_requests = 0;
+  size_t max_batch = 0;
+
+  // Sub-path cache (PathCostCache).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  size_t cache_size = 0;
+
+  // Execution.
+  uint64_t completed = 0;  ///< answered OK
+  uint64_t failed = 0;     ///< answered non-OK by the router/model
+  int workers = 0;         ///< current ThreadPool size
+  int scale_events = 0;    ///< autoscaler resizes since start
+
+  // Lifecycle latencies of *answered* requests.
+  LatencyHistogram queue_latency;  ///< admission -> dispatch
+  LatencyHistogram e2e_latency;    ///< admission -> answer
+
+  uint64_t TotalShed() const {
+    return shed_capacity + shed_expired + shed_closed;
+  }
+  /// Shed fraction over everything submitted (0 when idle).
+  double ShedRate() const {
+    return submitted == 0
+               ? 0.0
+               : static_cast<double>(TotalShed()) /
+                     static_cast<double>(submitted);
+  }
+  /// Cache hit fraction over all lookups (0 before any lookup).
+  double CacheHitRate() const {
+    uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_SERVE_SERVE_STATS_H_

@@ -1,0 +1,204 @@
+#include "src/serve/path_cost_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/governance/uncertainty/histogram.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+#include "src/spatial/shortest_path.h"
+
+namespace tsdm {
+namespace {
+
+Histogram MakeHistogram(double center) {
+  std::vector<double> samples = {center - 1.0, center, center + 1.0};
+  auto h = Histogram::FromSamples(samples, 8);
+  EXPECT_TRUE(h.ok());
+  return *h;
+}
+
+// Two histograms produced by the same deterministic computation must agree
+// bin for bin — no tolerance.
+void ExpectBitwiseEqual(const Histogram& a, const Histogram& b) {
+  ASSERT_EQ(a.NumBins(), b.NumBins());
+  EXPECT_EQ(a.lo(), b.lo());
+  EXPECT_EQ(a.hi(), b.hi());
+  EXPECT_EQ(a.TotalWeight(), b.TotalWeight());
+  for (int i = 0; i < a.NumBins(); ++i) {
+    EXPECT_EQ(a.BinMass(i), b.BinMass(i)) << "bin " << i;
+  }
+}
+
+TEST(PathCostCacheTest, BucketDiscretization) {
+  PathCostCache::Options opts;
+  opts.bucket_seconds = 900;
+  PathCostCache cache(opts);
+  EXPECT_EQ(cache.BucketFor(0.0), 0);
+  EXPECT_EQ(cache.BucketFor(899.9), 0);
+  EXPECT_EQ(cache.BucketFor(900.0), 1);
+  EXPECT_EQ(cache.BucketFor(8 * 3600.0), 32);
+  // The representative time is the bucket midpoint — every query in the
+  // bucket resolves to the same model evaluation.
+  EXPECT_DOUBLE_EQ(cache.BucketTime(0), 450.0);
+  EXPECT_DOUBLE_EQ(cache.BucketTime(cache.BucketFor(910.0)), 1350.0);
+}
+
+TEST(PathCostCacheTest, LruEvictionOrder) {
+  PathCostCache::Options opts;
+  opts.capacity = 3;
+  opts.shards = 1;  // single shard so eviction order is global LRU order
+  PathCostCache cache(opts);
+
+  cache.Insert({1}, 0, MakeHistogram(10));
+  cache.Insert({2}, 0, MakeHistogram(20));
+  cache.Insert({3}, 0, MakeHistogram(30));
+
+  // Touch {1} so {2} becomes the least recently used entry.
+  Histogram out;
+  EXPECT_TRUE(cache.Lookup({1}, 0, &out));
+
+  cache.Insert({4}, 0, MakeHistogram(40));  // evicts exactly {2}
+
+  EXPECT_FALSE(cache.Lookup({2}, 0, &out));
+  EXPECT_TRUE(cache.Lookup({1}, 0, &out));
+  EXPECT_TRUE(cache.Lookup({3}, 0, &out));
+  EXPECT_TRUE(cache.Lookup({4}, 0, &out));
+
+  PathCostCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.size, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(PathCostCacheTest, SameEdgesDifferentBucketAreDistinct) {
+  PathCostCache cache;
+  cache.Insert({7, 8}, 0, MakeHistogram(5));
+  Histogram out;
+  EXPECT_FALSE(cache.Lookup({7, 8}, 1, &out));
+  EXPECT_TRUE(cache.Lookup({7, 8}, 0, &out));
+}
+
+TEST(PathCostCacheTest, ShardDistribution) {
+  PathCostCache::Options opts;
+  opts.capacity = 4096;
+  opts.shards = 8;
+  PathCostCache cache(opts);
+
+  for (int e = 0; e < 400; ++e) {
+    cache.Insert({e}, 0, MakeHistogram(static_cast<double>(e)));
+  }
+
+  std::vector<size_t> sizes = cache.ShardSizes();
+  ASSERT_EQ(sizes.size(), 8u);
+  size_t total = std::accumulate(sizes.begin(), sizes.end(), size_t{0});
+  EXPECT_EQ(total, 400u);
+  // The FNV hash must actually spread keys: no shard may be empty or hold
+  // the majority of 400 distinct keys.
+  for (size_t s : sizes) {
+    EXPECT_GT(s, 0u);
+    EXPECT_LT(s, 200u);
+  }
+}
+
+TEST(PathCostCacheTest, CountersAreExact) {
+  PathCostCache::Options opts;
+  opts.capacity = 2;
+  opts.shards = 1;
+  PathCostCache cache(opts);
+  Histogram out;
+
+  EXPECT_FALSE(cache.Lookup({1}, 0, &out));  // miss 1
+  cache.Insert({1}, 0, MakeHistogram(1));
+  EXPECT_TRUE(cache.Lookup({1}, 0, &out));   // hit 1
+  EXPECT_TRUE(cache.Lookup({1}, 0, &out));   // hit 2
+  cache.Insert({1}, 0, MakeHistogram(1));    // refresh: no eviction
+  cache.Insert({2}, 0, MakeHistogram(2));
+  cache.Insert({3}, 0, MakeHistogram(3));    // evicts {1}
+  EXPECT_FALSE(cache.Lookup({1}, 0, &out));  // miss 2
+
+  PathCostCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 2u);
+
+  cache.Clear();
+  stats = cache.GetStats();
+  EXPECT_EQ(stats.size, 0u);
+}
+
+// The PACE-style guarantee the serving layer leans on: caching changes the
+// cost of a query, never its answer. A warm (cached) distribution must be
+// bitwise-identical to a cold one computed by a fresh model.
+TEST(PathCostCacheTest, CachedVersusFreshIsBitwiseIdentical) {
+  GridNetworkSpec spec;
+  spec.rows = 5;
+  spec.cols = 5;
+  Rng rng(42);
+  RoadNetwork net = GenerateGridNetwork(spec, &rng);
+
+  // A concrete route to cost: the free-flow shortest path corner to corner.
+  int source = GridNodeId(spec, 0, 0);
+  int target = GridNodeId(spec, 4, 4);
+  auto path = ShortestPath(net, source, target, FreeFlowTimeCost(net));
+  ASSERT_TRUE(path.ok());
+  ASSERT_GT(path->edges.size(), 4u);
+
+  // Train an edge-centric model on simulated traversals of that path.
+  TrafficSimulator sim(&net, TrafficSpec{});
+  EdgeCentricModel model(static_cast<int>(net.NumEdges()));
+  Rng trip_rng(7);
+  for (int t = 0; t < 60; ++t) {
+    TripObservation trip;
+    trip.edge_path = path->edges;
+    trip.depart_seconds = 8 * 3600.0;
+    trip.edge_times =
+        sim.SamplePathEdgeTimes(trip.edge_path, trip.depart_seconds, &trip_rng);
+    model.AddTrip(trip);
+  }
+  ASSERT_TRUE(model.Build().ok());
+
+  PathCostModel base = [&model](const std::vector<int>& edges, double depart) {
+    return model.PathCostDistribution(edges, depart, 32);
+  };
+
+  PathCostCache cache_a;
+  CachedPathCostModel warm_model(base, &cache_a);
+  // Two different departures in the same 900s bucket must yield the same
+  // answer (the model is evaluated at the bucket midpoint either way).
+  Result<Histogram> cold = warm_model.Query(path->edges, 8 * 3600.0);
+  ASSERT_TRUE(cold.ok());
+  Result<Histogram> warm = warm_model.Query(path->edges, 8 * 3600.0 + 300.0);
+  ASSERT_TRUE(warm.ok());
+  ExpectBitwiseEqual(*cold, *warm);
+
+  PathCostCache::Stats stats = cache_a.GetStats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+
+  // A fresh cache + model pair computing everything cold must agree bin
+  // for bin with the warm answer.
+  PathCostCache cache_b;
+  CachedPathCostModel fresh_model(base, &cache_b);
+  Result<Histogram> fresh = fresh_model.Query(path->edges, 8 * 3600.0);
+  ASSERT_TRUE(fresh.ok());
+  ExpectBitwiseEqual(*fresh, *warm);
+  EXPECT_EQ(cache_b.GetStats().hits, 0u);
+}
+
+TEST(PathCostCacheTest, CachedModelRejectsEmptyPath) {
+  PathCostCache cache;
+  CachedPathCostModel model(
+      [](const std::vector<int>&, double) -> Result<Histogram> {
+        return Histogram::PointMass(1.0);
+      },
+      &cache);
+  EXPECT_FALSE(model.Query({}, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace tsdm

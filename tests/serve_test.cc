@@ -1,0 +1,430 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/obs/metrics_export.h"
+#include "src/obs/trace.h"
+#include "src/serve/autoscale_controller.h"
+#include "src/serve/micro_batcher.h"
+#include "src/serve/query_server.h"
+#include "src/serve/request_queue.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+
+namespace tsdm {
+namespace {
+
+ServeRequest MakeRequest(uint64_t id, int snapshot = 0,
+                         double budget_seconds = 0.25) {
+  ServeRequest req;
+  req.id = id;
+  req.query.snapshot_id = snapshot;
+  req.enqueue_ns = TraceRecorder::NowNs();
+  req.queue_budget_seconds = budget_seconds;
+  return req;
+}
+
+// --- RequestQueue --------------------------------------------------------
+
+TEST(RequestQueueTest, AdmitsUntilCapacityThenSheds) {
+  RequestQueue::Options opts;
+  opts.capacity = 2;
+  RequestQueue queue(opts);
+
+  EXPECT_TRUE(queue.Push(MakeRequest(1)).ok());
+  EXPECT_TRUE(queue.Push(MakeRequest(2)).ok());
+  Status shed = queue.Push(MakeRequest(3));
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+
+  RequestQueue::Stats stats = queue.GetStats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.shed_capacity, 1u);
+  EXPECT_EQ(stats.depth, 2u);
+
+  // Popping frees capacity again — depth stays bounded, never the backlog.
+  std::vector<ServeRequest> out;
+  EXPECT_EQ(queue.PopBatch(TraceRecorder::NowNs(), 10, &out), 2u);
+  EXPECT_TRUE(queue.Push(MakeRequest(4)).ok());
+}
+
+TEST(RequestQueueTest, ShedsExpiredRequestsAtPop) {
+  RequestQueue queue;
+  std::atomic<int> shed_callbacks{0};
+
+  ServeRequest stale = MakeRequest(1, 0, /*budget_seconds=*/0.001);
+  stale.on_done = [&shed_callbacks](const RouteAnswer& answer) {
+    EXPECT_EQ(answer.status.code(), StatusCode::kResourceExhausted);
+    shed_callbacks.fetch_add(1);
+  };
+  ServeRequest live = MakeRequest(2, 0, /*budget_seconds=*/60.0);
+  ASSERT_TRUE(queue.Push(std::move(stale)).ok());
+  ASSERT_TRUE(queue.Push(std::move(live)).ok());
+
+  // Pop "one second later": the stale request is shed, the live one
+  // delivered.
+  uint64_t later = TraceRecorder::NowNs() + 1000000000ull;
+  std::vector<ServeRequest> out;
+  EXPECT_EQ(queue.PopBatch(later, 10, &out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 2u);
+  EXPECT_EQ(shed_callbacks.load(), 1);
+  EXPECT_EQ(queue.GetStats().shed_expired, 1u);
+}
+
+TEST(RequestQueueTest, ZeroBudgetMeansNoExpiry) {
+  RequestQueue queue;
+  ASSERT_TRUE(queue.Push(MakeRequest(1, 0, /*budget_seconds=*/0.0)).ok());
+  uint64_t much_later = TraceRecorder::NowNs() + 3600ull * 1000000000ull;
+  std::vector<ServeRequest> out;
+  EXPECT_EQ(queue.PopBatch(much_later, 10, &out), 1u);
+}
+
+TEST(RequestQueueTest, CloseDrainsAndRejects) {
+  RequestQueue queue;
+  std::atomic<int> drained{0};
+  for (uint64_t i = 0; i < 3; ++i) {
+    ServeRequest req = MakeRequest(i);
+    req.on_done = [&drained](const RouteAnswer& answer) {
+      EXPECT_EQ(answer.status.code(), StatusCode::kFailedPrecondition);
+      drained.fetch_add(1);
+    };
+    ASSERT_TRUE(queue.Push(std::move(req)).ok());
+  }
+
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(drained.load(), 3);
+
+  Status rejected = queue.Push(MakeRequest(9));
+  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+
+  RequestQueue::Stats stats = queue.GetStats();
+  EXPECT_EQ(stats.shed_closed, 4u);  // 3 drained + 1 rejected
+  EXPECT_EQ(stats.depth, 0u);
+  queue.Close();  // idempotent
+}
+
+// --- MicroBatcher --------------------------------------------------------
+
+TEST(MicroBatcherTest, DispatchesFullBatchPerSnapshot) {
+  MicroBatcher::Options opts;
+  opts.max_batch = 2;
+  MicroBatcher batcher(opts);
+  std::vector<std::vector<ServeRequest>> ready;
+
+  batcher.Add(MakeRequest(1, /*snapshot=*/0), &ready);
+  batcher.Add(MakeRequest(2, /*snapshot=*/1), &ready);
+  EXPECT_TRUE(ready.empty());
+  EXPECT_EQ(batcher.pending(), 2u);
+
+  // Snapshot 0 fills up; snapshot 1 keeps waiting — batches never mix
+  // snapshots.
+  batcher.Add(MakeRequest(3, /*snapshot=*/0), &ready);
+  ASSERT_EQ(ready.size(), 1u);
+  ASSERT_EQ(ready[0].size(), 2u);
+  EXPECT_EQ(ready[0][0].query.snapshot_id, 0);
+  EXPECT_EQ(ready[0][1].query.snapshot_id, 0);
+  EXPECT_EQ(batcher.pending(), 1u);
+
+  batcher.FlushAll(&ready);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[1][0].query.snapshot_id, 1);
+  EXPECT_EQ(batcher.pending(), 0u);
+
+  EXPECT_EQ(batcher.stats().batches, 2u);
+  EXPECT_EQ(batcher.stats().batched_requests, 3u);
+  EXPECT_EQ(batcher.stats().max_batch_seen, 2u);
+}
+
+TEST(MicroBatcherTest, FlushExpiredUsesOldestMember) {
+  MicroBatcher::Options opts;
+  opts.max_batch = 100;
+  opts.max_wait_seconds = 0.002;
+  MicroBatcher batcher(opts);
+  std::vector<std::vector<ServeRequest>> ready;
+
+  batcher.Add(MakeRequest(1), &ready);
+  uint64_t now = TraceRecorder::NowNs();
+  batcher.FlushExpired(now, &ready);
+  EXPECT_TRUE(ready.empty());  // not old enough yet
+
+  batcher.FlushExpired(now + 3000000ull, &ready);  // +3ms
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+// --- AutoscaleController -------------------------------------------------
+
+TEST(AutoscaleControllerTest, ClampsToWorkerBounds) {
+  ThreadPool pool(2);
+  AutoscaleController::Options opts;
+  opts.min_workers = 1;
+  opts.max_workers = 4;
+  opts.per_worker_capacity = 10.0;
+  AutoscaleController controller(&pool, nullptr, opts);
+
+  // A demand burst far beyond max_workers * capacity clamps at the top.
+  EXPECT_EQ(controller.OnInterval(1000.0), 4);
+  EXPECT_EQ(pool.NumThreads(), 4);
+  EXPECT_GE(controller.scale_events(), 1);
+
+  // Sustained silence (past the reactive lookback) shrinks to the floor.
+  int workers = 4;
+  for (int i = 0; i < 10; ++i) workers = controller.OnInterval(0.0);
+  EXPECT_EQ(workers, 1);
+  EXPECT_EQ(pool.NumThreads(), 1);
+  EXPECT_EQ(controller.history().size(), 11u);
+}
+
+TEST(AutoscaleControllerTest, ModerateDemandLandsBetweenBounds) {
+  ThreadPool pool(1);
+  AutoscaleController::Options opts;
+  opts.min_workers = 1;
+  opts.max_workers = 8;
+  opts.per_worker_capacity = 10.0;
+  AutoscaleController controller(&pool, nullptr, opts);
+  // Reactive provisions recent peak + headroom: 30 req/interval at 10 per
+  // worker needs ceil(30 * 1.15 / 10) = 4 workers.
+  int workers = 0;
+  for (int i = 0; i < 3; ++i) workers = controller.OnInterval(30.0);
+  EXPECT_EQ(workers, 4);
+}
+
+// --- QueryServer end to end ----------------------------------------------
+
+struct ServeFixture {
+  GridNetworkSpec spec;
+  RoadNetwork net;
+  EdgeCentricModel model;
+
+  ServeFixture() : spec(MakeSpec()), net(MakeNet(spec)), model(0) {
+    // Train the edge-centric model on every edge so any route has
+    // coverage; one slot's observations are enough (empty slots borrow the
+    // global distribution).
+    model = EdgeCentricModel(static_cast<int>(net.NumEdges()));
+    TrafficSimulator sim(&net, TrafficSpec{});
+    Rng rng(11);
+    for (int e = 0; e < static_cast<int>(net.NumEdges()); ++e) {
+      for (int rep = 0; rep < 8; ++rep) {
+        TripObservation trip;
+        trip.edge_path = {e};
+        trip.depart_seconds = 8 * 3600.0;
+        trip.edge_times = {sim.SampleEdgeTime(e, trip.depart_seconds, &rng)};
+        model.AddTrip(trip);
+      }
+    }
+    Status built = model.Build();
+    EXPECT_TRUE(built.ok()) << built.ToString();
+  }
+
+  static GridNetworkSpec MakeSpec() {
+    GridNetworkSpec spec;
+    spec.rows = 5;
+    spec.cols = 5;
+    return spec;
+  }
+  static RoadNetwork MakeNet(const GridNetworkSpec& spec) {
+    Rng rng(3);
+    return GenerateGridNetwork(spec, &rng);
+  }
+
+  PathCostModel BaseModel() const {
+    const EdgeCentricModel* m = &model;
+    return [m](const std::vector<int>& edges, double depart) {
+      return m->PathCostDistribution(edges, depart, 32);
+    };
+  }
+};
+
+TEST(QueryServerTest, AnswersQueriesAndWarmsCaches) {
+  ServeFixture fx;
+  QueryServer::Options opts;
+  opts.initial_workers = 2;
+  opts.autoscale_enabled = false;
+  QueryServer server(&fx.net, fx.BaseModel(), opts);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());  // double start rejected
+
+  std::atomic<int> ok_answers{0};
+  std::atomic<int> bad_answers{0};
+  const int kQueries = 60;
+  for (int i = 0; i < kQueries; ++i) {
+    RouteQuery query;
+    query.source = GridNodeId(fx.spec, 0, 0);
+    query.target = GridNodeId(fx.spec, 4, (i % 2) ? 4 : 3);
+    query.k = 3;
+    query.depart_seconds = 8 * 3600.0;
+    query.arrival_deadline_seconds = query.depart_seconds + 1200.0;
+    Status s = server.Submit(
+        query,
+        [&ok_answers, &bad_answers](const RouteAnswer& answer) {
+          if (answer.status.ok()) {
+            EXPECT_FALSE(answer.route.edges.empty());
+            EXPECT_GT(answer.cost_mean_seconds, 0.0);
+            EXPECT_GE(answer.on_time_probability, 0.0);
+            EXPECT_LE(answer.on_time_probability, 1.0);
+            EXPECT_GT(answer.num_candidates, 0);
+            ok_answers.fetch_add(1);
+          } else {
+            bad_answers.fetch_add(1);
+          }
+        },
+        /*queue_budget_seconds=*/30.0);
+    ASSERT_TRUE(s.ok());
+  }
+  server.WaitIdle();
+
+  EXPECT_EQ(ok_answers.load(), kQueries);
+  EXPECT_EQ(bad_answers.load(), 0);
+
+  ServeStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(stats.admitted, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(stats.TotalShed(), 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_requests, static_cast<uint64_t>(kQueries));
+  // Only two OD pairs and one time bucket: almost everything after the
+  // first queries is served from the sub-path cache.
+  EXPECT_GT(stats.cache_hits, stats.cache_misses);
+  EXPECT_GT(stats.CacheHitRate(), 0.5);
+  EXPECT_EQ(stats.e2e_latency.count(), static_cast<uint64_t>(kQueries));
+
+  server.Stop();
+  // Submit after stop is rejected, not queued.
+  Status rejected = server.Submit(RouteQuery{}, nullptr);
+  EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryServerTest, UnreachableTargetFailsCleanly) {
+  ServeFixture fx;
+  QueryServer::Options opts;
+  opts.autoscale_enabled = false;
+  QueryServer server(&fx.net, fx.BaseModel(), opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> failures{0};
+  RouteQuery query;
+  query.source = GridNodeId(fx.spec, 0, 0);
+  query.target = 100000;  // no such node
+  ASSERT_TRUE(server
+                  .Submit(query,
+                          [&failures](const RouteAnswer& answer) {
+                            EXPECT_FALSE(answer.status.ok());
+                            failures.fetch_add(1);
+                          },
+                          30.0)
+                  .ok());
+  server.WaitIdle();
+  EXPECT_EQ(failures.load(), 1);
+  EXPECT_EQ(server.Stats().failed, 1u);
+}
+
+// Overload the server from several producers against a tiny queue: every
+// admitted request must reach exactly one terminal state, the shed
+// accounting must add up, and (under TSan) producers, dispatcher, workers
+// and the autoscaler must not race.
+TEST(QueryServerTest, MultiProducerOverloadShedsAndBalances) {
+  ServeFixture fx;
+  QueryServer::Options opts;
+  opts.queue.capacity = 16;
+  opts.batch.max_batch = 4;
+  opts.initial_workers = 2;
+  opts.autoscale_enabled = true;
+  opts.autoscale.min_workers = 1;
+  opts.autoscale.max_workers = 4;
+  opts.autoscale_interval_seconds = 0.005;
+  QueryServer server(&fx.net, fx.BaseModel(), opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<uint64_t> callbacks{0};
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> shed_at_submit{0};
+  const int kProducers = 4;
+  const int kPerProducer = 300;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        RouteQuery query;
+        query.source = GridNodeId(fx.spec, 0, p % 5);
+        query.target = GridNodeId(fx.spec, 4, (p + i) % 5);
+        query.k = 2;
+        query.depart_seconds = 8 * 3600.0;
+        Status s = server.Submit(
+            query, [&callbacks](const RouteAnswer&) { callbacks.fetch_add(1); },
+            /*queue_budget_seconds=*/0.05);
+        if (s.ok()) {
+          accepted.fetch_add(1);
+        } else {
+          EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+          shed_at_submit.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.WaitIdle();
+  server.Stop();
+
+  ServeStatsSnapshot stats = server.Stats();
+  const uint64_t total =
+      static_cast<uint64_t>(kProducers) * static_cast<uint64_t>(kPerProducer);
+  EXPECT_EQ(stats.submitted, total);
+  EXPECT_EQ(stats.admitted, accepted.load());
+  EXPECT_EQ(stats.shed_capacity, shed_at_submit.load());
+  // Exactly one callback per admitted request: served, expired, or drained.
+  EXPECT_EQ(callbacks.load(), stats.admitted);
+  EXPECT_EQ(stats.completed + stats.failed + stats.shed_expired +
+                stats.shed_closed,
+            stats.admitted);
+  // Queue depth was bounded the whole time, so it ends bounded too.
+  EXPECT_LE(stats.queue_depth, opts.queue.capacity);
+  EXPECT_GE(stats.workers, 1);
+  EXPECT_LE(stats.workers, 4);
+}
+
+TEST(QueryServerTest, ServeMetricsAppearInExports) {
+  ServeFixture fx;
+  QueryServer::Options opts;
+  opts.autoscale_enabled = false;
+  QueryServer server(&fx.net, fx.BaseModel(), opts);
+  ASSERT_TRUE(server.Start().ok());
+  std::atomic<int> done{0};
+  RouteQuery query;
+  query.source = GridNodeId(fx.spec, 0, 0);
+  query.target = GridNodeId(fx.spec, 4, 4);
+  ASSERT_TRUE(
+      server.Submit(query, [&done](const RouteAnswer&) { done.fetch_add(1); },
+                    30.0)
+          .ok());
+  server.WaitIdle();
+  ServeStatsSnapshot stats = server.Stats();
+
+  std::string prom = MetricsExporter::ServeToPrometheus(stats);
+  EXPECT_NE(prom.find("tsdm_serve_submitted_total 1"), std::string::npos);
+  EXPECT_NE(prom.find("tsdm_serve_admitted_total 1"), std::string::npos);
+  EXPECT_NE(prom.find("tsdm_serve_shed_total{reason=\"capacity\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tsdm_serve_cache_lookups_total{outcome=\"hit\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tsdm_serve_workers"), std::string::npos);
+  EXPECT_NE(prom.find("tsdm_serve_latency_seconds_count"), std::string::npos);
+
+  std::string json = MetricsExporter::ServeToJson(stats);
+  EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit_rate\""), std::string::npos);
+  EXPECT_EQ(done.load(), 1);
+}
+
+}  // namespace
+}  // namespace tsdm
