@@ -1,0 +1,265 @@
+// E-OB — Self-monitoring: what does it cost to watch the server with the
+// repo's own analytics, and does the watcher actually see incidents?
+//
+//  1. Overhead: warm serve throughput with no monitor vs with a
+//     HealthMonitor sampling at a 5 ms cadence. The monitor reads
+//     ServeStatsSnapshots and runs the streaming anomaly pipeline off the
+//     serving threads, so the overhead budget is < 3%.
+//
+//  2. Sampler cost: SampleOnce rounds per second against a live server —
+//     each round is one Stats() snapshot plus five ticks through the
+//     EW-MAD pipeline plus the SLO/attribution bookkeeping.
+//
+//  3. Detection: a 2x overload storm against a bounded queue while the
+//     monitor watches; the storm must leave the monitor non-healthy with
+//     the queue/shed metrics flagged, and recovery must return it to
+//     healthy (alarms are sticky in counters, not in state).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/obs/health.h"
+#include "src/serve/query_server.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::BenchReporter;
+using tsdm_bench::Fmt;
+using tsdm_bench::FmtInt;
+using tsdm_bench::Stopwatch;
+using tsdm_bench::Table;
+
+struct Workload {
+  GridNetworkSpec spec;
+  RoadNetwork net;
+  EdgeCentricModel model{0};
+  std::vector<RouteQuery> queries;
+
+  PathCostModel BaseModel() const {
+    const EdgeCentricModel* m = &model;
+    return [m](const std::vector<int>& edges, double depart) {
+      return m->PathCostDistribution(edges, depart, 32);
+    };
+  }
+};
+
+Workload BuildWorkload() {
+  Workload w;
+  w.spec.rows = 6;
+  w.spec.cols = 6;
+  Rng rng(1234);
+  w.net = GenerateGridNetwork(w.spec, &rng);
+  w.model = EdgeCentricModel(static_cast<int>(w.net.NumEdges()));
+  TrafficSimulator sim(&w.net, TrafficSpec{});
+  for (int e = 0; e < static_cast<int>(w.net.NumEdges()); ++e) {
+    for (int rep = 0; rep < 8; ++rep) {
+      TripObservation trip;
+      trip.edge_path = {e};
+      trip.depart_seconds = 8 * 3600.0;
+      trip.edge_times = {sim.SampleEdgeTime(e, trip.depart_seconds, &rng)};
+      w.model.AddTrip(trip);
+    }
+  }
+  Status built = w.model.Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "model build failed: %s\n", built.ToString().c_str());
+    std::exit(1);
+  }
+  for (int od = 0; od < 64; ++od) {
+    int r0 = od % w.spec.rows;
+    int c1 = (od / w.spec.rows) % w.spec.cols;
+    RouteQuery q;
+    q.source = GridNodeId(w.spec, r0, 0);
+    q.target = GridNodeId(w.spec, w.spec.rows - 1 - r0 % w.spec.rows, c1);
+    if (q.source == q.target) {
+      q.target = GridNodeId(w.spec, w.spec.rows - 1, w.spec.cols - 1);
+    }
+    q.k = 4;
+    for (int b = 0; b < 2; ++b) {
+      q.depart_seconds = 8 * 3600.0 + b * 900.0;
+      q.arrival_deadline_seconds = q.depart_seconds + 1800.0;
+      w.queries.push_back(q);
+    }
+  }
+  return w;
+}
+
+QueryServer::Options WarmOptions() {
+  QueryServer::Options opts;
+  opts.initial_workers = 2;
+  opts.autoscale_enabled = false;
+  opts.queue.capacity = 4096;
+  opts.cost.segment_edges = 8;
+  return opts;
+}
+
+/// Open-loop burst of `repeat` rounds; returns served/sec over the burst.
+double MeasureBurst(QueryServer* server, const Workload& w, int repeat) {
+  ServeStatsSnapshot before = server->Stats();
+  Stopwatch watch;
+  for (int r = 0; r < repeat; ++r) {
+    for (const RouteQuery& q : w.queries) {
+      (void)server->Submit(q, nullptr, /*queue_budget_seconds=*/120.0);
+    }
+  }
+  server->WaitIdle();
+  double wall = watch.Seconds();
+  ServeStatsSnapshot after = server->Stats();
+  uint64_t served =
+      (after.completed + after.failed) - (before.completed + before.failed);
+  return wall > 0.0 ? static_cast<double>(served) / wall : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  BenchReporter reporter("health");
+  Workload w = BuildWorkload();
+  reporter.Info("network", "6x6 grid");
+  reporter.Info("workload",
+                "64 OD pairs x 2 buckets, k=4, warm serve, 2 workers");
+  // Long enough that the 5 ms monitor cadence fires dozens of times inside
+  // each measured burst; best-of-3 interleaved trials squeezes out
+  // scheduler noise (warm serve is microseconds per query).
+  const int kRepeat = 400;
+  const int kTrials = 3;
+
+  // --- Phase 1: monitoring overhead -------------------------------------
+  double unmon_per_s = 0.0;
+  double mon_per_s = 0.0;
+  uint64_t mon_samples = 0;
+  {
+    QueryServer plain(&w.net, w.BaseModel(), WarmOptions());
+    QueryServer watched(&w.net, w.BaseModel(), WarmOptions());
+    if (!plain.Start().ok() || !watched.Start().ok()) return 1;
+    HealthMonitor::Options hm_opts;
+    hm_opts.sample_interval_seconds = 0.005;  // aggressive cadence
+    HealthMonitor monitor([&watched] { return watched.Stats(); }, hm_opts);
+    if (!monitor.Start().ok()) return 1;
+    MeasureBurst(&plain, w, 4);  // warm the caches on both servers
+    MeasureBurst(&watched, w, 4);
+    for (int trial = 0; trial < kTrials; ++trial) {
+      unmon_per_s = std::max(unmon_per_s, MeasureBurst(&plain, w, kRepeat));
+      mon_per_s = std::max(mon_per_s, MeasureBurst(&watched, w, kRepeat));
+    }
+    monitor.Stop();
+    mon_samples = monitor.Snapshot().samples;
+    watched.Stop();
+    plain.Stop();
+  }
+
+  double overhead_pct =
+      unmon_per_s > 0.0 ? 100.0 * (1.0 - mon_per_s / unmon_per_s) : 0.0;
+  Table overhead("E-OB monitoring overhead (warm serve, 5 ms cadence)",
+                 {"config", "per_s", "overhead_pct"});
+  overhead.Row({"unmonitored", Fmt(unmon_per_s, 0), "-"});
+  overhead.Row({"monitored", Fmt(mon_per_s, 0), Fmt(overhead_pct, 2)});
+  std::printf("monitor samples during burst: %llu (expected > 0)\n",
+              static_cast<unsigned long long>(mon_samples));
+  reporter.Metric("serve_unmonitored_per_s", unmon_per_s);
+  reporter.Metric("serve_monitored_per_s", mon_per_s);
+  reporter.Metric("monitor_overhead_pct", overhead_pct);
+
+  // --- Phase 2: sampler cost --------------------------------------------
+  {
+    QueryServer server(&w.net, w.BaseModel(), WarmOptions());
+    if (!server.Start().ok()) return 1;
+    MeasureBurst(&server, w, 1);
+    HealthMonitor monitor([&server] { return server.Stats(); });
+    const int kRounds = 2000;
+    Stopwatch watch;
+    for (int i = 0; i < kRounds; ++i) monitor.SampleOnce();
+    double wall = watch.Seconds();
+    double rounds_per_s = wall > 0.0 ? kRounds / wall : 0.0;
+    server.Stop();
+    std::printf("sampler: %.0f rounds/s (%.1f us/round)\n", rounds_per_s,
+                rounds_per_s > 0.0 ? 1e6 / rounds_per_s : 0.0);
+    reporter.Metric("sampler_rounds_per_s", rounds_per_s);
+  }
+
+  // --- Phase 3: detection under a 2x overload storm ---------------------
+  {
+    QueryServer::Options opts = WarmOptions();
+    opts.queue.capacity = 128;
+    QueryServer server(&w.net, w.BaseModel(), opts);
+    if (!server.Start().ok()) return 1;
+    HealthMonitor::Options hm_opts;
+    hm_opts.sample_interval_seconds = 0.01;
+    hm_opts.warmup_samples = 10;
+    HealthMonitor monitor([&server] { return server.Stats(); }, hm_opts);
+    if (!monitor.Start().ok()) return 1;
+
+    MeasureBurst(&server, w, 1);  // warm caches + warm up the detector
+    double capacity_per_s = MeasureBurst(&server, w, 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+    // Storm: offer 2x measured capacity for ~0.6 s with a 20 ms budget.
+    const double offered = std::max(2000.0, 2.0 * capacity_per_s);
+    const int ticks = 120;
+    const double per_tick = offered * 0.6 / ticks;
+    double carry = 0.0;
+    size_t rr = 0;
+    HealthState worst = HealthState::kHealthy;
+    for (int t = 0; t < ticks; ++t) {
+      carry += per_tick;
+      while (carry >= 1.0) {
+        (void)server.Submit(w.queries[rr++ % w.queries.size()], nullptr,
+                            /*queue_budget_seconds=*/0.02);
+        carry -= 1.0;
+      }
+      worst = std::max(worst, monitor.Snapshot().state);
+      std::this_thread::sleep_for(std::chrono::microseconds(5000));
+    }
+    server.WaitIdle();
+    HealthSnapshot storm = monitor.Snapshot();
+    worst = std::max(worst, storm.state);
+
+    // Recovery: light steady traffic; state must come back to healthy.
+    for (int r = 0; r < 30; ++r) {
+      for (size_t i = 0; i < 8; ++i) {
+        (void)server.Submit(w.queries[i], nullptr, 120.0);
+      }
+      server.WaitIdle();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    HealthSnapshot recovered = monitor.Snapshot();
+    monitor.Stop();
+    server.Stop();
+
+    Table detect("E-OB detection (2x overload storm, bounded queue)",
+                 {"phase", "state", "anomalies", "burn"});
+    detect.Row({"storm-worst", HealthStateName(worst),
+                FmtInt(static_cast<long>(storm.anomalies_total)),
+                Fmt(storm.burn_rate, 2)});
+    detect.Row({"recovered", HealthStateName(recovered.state),
+                FmtInt(static_cast<long>(recovered.anomalies_total)),
+                Fmt(recovered.burn_rate, 2)});
+    reporter.Metric("storm_detected",
+                    worst != HealthState::kHealthy ? 1.0 : 0.0);
+    reporter.Metric("storm_anomalies",
+                    static_cast<double>(storm.anomalies_total));
+    reporter.Metric("recovered_healthy",
+                    recovered.state == HealthState::kHealthy ? 1.0 : 0.0);
+  }
+
+  std::printf(
+      "\nexpected shape: monitoring overhead < 3%% of warm throughput (the "
+      "monitor samples counters off the serving threads); the sampler runs "
+      "tens of thousands of rounds/s; the overload storm drives the monitor "
+      "out of healthy (queue/shed anomalies, SLO burn) and light traffic "
+      "brings it back.\n");
+  reporter.Write();
+  return 0;
+}

@@ -11,8 +11,13 @@
 //  * forecast-driven autoscaling ([6]): the observed arrival rate drives
 //    the worker pool size between runs of the storm
 //
-// Prints the shed rate, the cache hit rate, and an excerpt of the
-// Prometheus exposition a scraper would collect.
+//  * self-monitoring: a HealthMonitor feeds the server's own counters
+//    through the streaming anomaly pipeline — the shed storm shows up as
+//    a flagged incident, and the health state recovers with the traffic
+//
+// Prints the shed rate, the cache hit rate, the health verdicts around
+// the storm, and an excerpt of the Prometheus exposition a scraper would
+// collect.
 
 #include <atomic>
 #include <chrono>
@@ -22,10 +27,29 @@
 #include <thread>
 
 #include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics_export.h"
 #include "src/serve/query_server.h"
 #include "src/sim/road_gen.h"
 #include "src/sim/traffic_sim.h"
+
+namespace {
+
+void PrintHealth(const char* phase, const tsdm::HealthSnapshot& snap) {
+  std::printf("health [%s]: %s (%llu samples, burn %.2f, %llu anomalies "
+              "flagged so far)\n",
+              phase, tsdm::HealthStateName(snap.state),
+              static_cast<unsigned long long>(snap.samples), snap.burn_rate,
+              static_cast<unsigned long long>(snap.anomalies_total));
+  for (const tsdm::MetricVerdict& v : snap.metrics) {
+    if (v.anomalous) {
+      std::printf("  !! %-14s value=%.3f score=%.1f\n", v.name.c_str(),
+                  v.value, v.score);
+    }
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace tsdm;
@@ -72,6 +96,36 @@ int main() {
     return 1;
   }
 
+  // --- Self-monitoring --------------------------------------------------
+  // The monitor watches the server the way a human operator would watch a
+  // dashboard, except the "dashboard" is the repo's own streaming anomaly
+  // pipeline running over ServeStats deltas.
+  HealthMonitor::Options hm_opts;
+  hm_opts.sample_interval_seconds = 0.005;
+  hm_opts.warmup_samples = 12;
+  HealthMonitor monitor([&server] { return server.Stats(); }, hm_opts);
+  if (!monitor.Start().ok()) {
+    std::printf("health monitor start failed\n");
+    return 1;
+  }
+
+  // Calm commute traffic first, so the monitor learns what normal looks
+  // like before the storm hits.
+  for (int round = 0; round < 25; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      RouteQuery q;
+      q.source = GridNodeId(gspec, i % gspec.rows, 0);
+      q.target = GridNodeId(gspec, (i + 2) % gspec.rows, gspec.cols - 1);
+      q.k = 3;
+      q.depart_seconds = 8 * 3600.0;
+      q.arrival_deadline_seconds = q.depart_seconds + 1500.0;
+      (void)server.Submit(q, nullptr, /*queue_budget_seconds=*/0.5);
+    }
+    server.WaitIdle();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  PrintHealth("steady", monitor.Snapshot());
+
   // --- Query storm ------------------------------------------------------
   // 2000 commuter queries over overlapping OD pairs in one morning time
   // bucket — exactly the workload path-centric reuse is built for. The
@@ -81,6 +135,10 @@ int main() {
   std::atomic<int> on_time{0};
   std::atomic<int> answered{0};
   const int kStorm = 2000;
+  // Poll the monitor between waves and keep the worst view it published —
+  // the incident is visible *while* it is happening, not just in the
+  // counters afterwards.
+  HealthSnapshot storm_health = monitor.Snapshot();
   for (int i = 0; i < kStorm; ++i) {
     RouteQuery q;
     q.source = GridNodeId(gspec, i % gspec.rows, 0);
@@ -98,10 +156,42 @@ int main() {
         /*queue_budget_seconds=*/0.1);
     if (i % 100 == 99) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      HealthSnapshot now = monitor.Snapshot();
+      if (now.state > storm_health.state ||
+          (now.state == storm_health.state &&
+           now.anomalies_total > storm_health.anomalies_total)) {
+        storm_health = now;
+      }
     }
   }
   server.WaitIdle();
   ServeStatsSnapshot stats = server.Stats();
+
+  // Mid-incident view: the shed spike (and usually the queue-depth jump)
+  // was flagged by the anomaly pipeline while the storm was running.
+  PrintHealth("storm", storm_health);
+  std::printf("health JSON (what /healthz would serve):\n  %s\n",
+              MetricsExporter::HealthToJson(storm_health).c_str());
+
+  // Recovery: back to calm traffic on the autoscaled pool — the health
+  // state returns to healthy (the anomaly counters keep the incident's
+  // history, the state does not).
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      RouteQuery q;
+      q.source = GridNodeId(gspec, i % gspec.rows, 0);
+      q.target = GridNodeId(gspec, (i + 3) % gspec.rows, gspec.cols - 1);
+      q.k = 3;
+      q.depart_seconds = 8 * 3600.0;
+      q.arrival_deadline_seconds = q.depart_seconds + 1500.0;
+      (void)server.Submit(q, nullptr, /*queue_budget_seconds=*/0.5);
+    }
+    server.WaitIdle();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  HealthSnapshot final_health = monitor.Snapshot();
+  PrintHealth("recovered", final_health);
+  monitor.Stop();
   server.Stop();
 
   // --- What the operator sees -------------------------------------------
@@ -121,12 +211,14 @@ int main() {
 
   // --- Prometheus excerpt ----------------------------------------------
   std::string prom = MetricsExporter::ServeToPrometheus(stats);
+  prom += MetricsExporter::HealthToPrometheus(final_health);
   std::printf("\nPrometheus exposition (excerpt):\n");
   std::istringstream lines(prom);
   std::string line;
   int printed = 0;
-  while (std::getline(lines, line) && printed < 14) {
-    if (line.rfind("tsdm_serve_", 0) == 0 || line.rfind("# HELP", 0) == 0) {
+  while (std::getline(lines, line) && printed < 18) {
+    if (line.rfind("tsdm_serve_", 0) == 0 || line.rfind("tsdm_health_", 0) == 0 ||
+        line.rfind("# HELP", 0) == 0) {
       std::printf("  %s\n", line.c_str());
       ++printed;
     }

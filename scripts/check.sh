@@ -25,7 +25,8 @@ if [[ $# -eq 0 ]]; then
 fi
 
 GATED_TESTS=(executor_test inject_recovery_test pipeline_report_test
-             stream_test series_view_test obs_test serve_test)
+             stream_test series_view_test obs_test serve_test
+             serve_trace_test health_test)
 
 for SAN in "${SANITIZERS[@]}"; do
   BUILD="$ROOT/build-${SAN/thread/tsan}"

@@ -2,11 +2,17 @@
 """Schema validation + throughput regression gate for BENCH_<name>.json.
 
 Usage:
-  compare_bench.py BASELINE_DIR CURRENT_DIR [--threshold FRACTION]
+  compare_bench.py BASELINE_DIR CURRENT_DIR [--threshold FRACTION] [--list]
 
-Every BENCH_*.json under BASELINE_DIR must have a schema-valid counterpart
-in CURRENT_DIR (a bench that stopped emitting its JSON is itself a
-regression). Metric keys containing `_per_s` (e.g. `ticks_per_s_p4`,
+Every BENCH_*.json under BASELINE_DIR must itself be schema-valid (a
+corrupted committed baseline fails the run with a message naming the
+baseline file — silently gating against garbage would hide regressions)
+and must have a schema-valid counterpart in CURRENT_DIR (a bench that
+stopped emitting its JSON is itself a regression).
+
+--list prints every metric shared by baseline and current with its delta,
+including non-gated keys and gated keys within tolerance — for eyeballing
+drift long before it trips the gate. Metric keys containing `_per_s` (e.g. `ticks_per_s_p4`,
 `shards_per_s_t2`) are throughputs and are gated:
 the current value must be at least (1 - threshold) * baseline. All other
 keys (latencies, error metrics, byte counts) are reported but never gated —
@@ -36,18 +42,22 @@ def fail(msg):
     return 1
 
 
-def validate(path):
-    """Returns (doc, problems): schema findings for one BENCH json file."""
+def validate(path, role):
+    """Returns (doc, problems): schema findings for one BENCH json file.
+
+    `role` ("baseline" or "current") prefixes every problem so a corrupted
+    committed baseline is named as such, not mistaken for a bad run.
+    """
     problems = []
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        return None, [f"{path}: unreadable or invalid JSON ({e})"]
+        return None, [f"{role} {path}: unreadable or invalid JSON ({e})"]
 
     def check(cond, msg):
         if not cond:
-            problems.append(f"{path}: {msg}")
+            problems.append(f"{role} {path}: {msg}")
 
     check(isinstance(doc, dict), "top level is not an object")
     if not isinstance(doc, dict):
@@ -88,6 +98,9 @@ def main():
                     default=float(os.environ.get("TSDM_BENCH_THRESHOLD",
                                                  "0.20")),
                     help="allowed fractional throughput drop (default 0.20)")
+    ap.add_argument("--list", action="store_true", dest="list_all",
+                    help="print baseline vs. current deltas for every "
+                         "shared metric, even within tolerance")
     args = ap.parse_args()
 
     baselines = sorted(glob.glob(os.path.join(args.baseline_dir,
@@ -99,17 +112,21 @@ def main():
     for base_path in baselines:
         name = os.path.basename(base_path)
         cur_path = os.path.join(args.current_dir, name)
-        base_doc, base_problems = validate(base_path)
+        base_doc, base_problems = validate(base_path, "baseline")
         for p in base_problems:
             failures += fail(p)
+        if base_problems:
+            # A broken committed baseline cannot gate anything; name it and
+            # keep scanning so one run surfaces every bad file.
+            continue
         if not os.path.exists(cur_path):
             failures += fail(f"{name}: baseline exists but the current run "
                              f"produced no {cur_path}")
             continue
-        cur_doc, cur_problems = validate(cur_path)
+        cur_doc, cur_problems = validate(cur_path, "current")
         for p in cur_problems:
             failures += fail(p)
-        if base_problems or cur_problems:
+        if cur_problems:
             continue
 
         base_metrics = base_doc["metrics"]
@@ -133,6 +150,22 @@ def main():
             if ratio < floor:
                 failures += 1
 
+        if args.list_all:
+            for key in sorted(set(base_metrics) | set(cur_metrics)):
+                base_val = base_metrics.get(key)
+                cur_val = cur_metrics.get(key)
+                if base_val is None or cur_val is None:
+                    side = "current" if base_val is None else "baseline"
+                    print(f"      list  {base_doc['name']:<14} {key:<24} "
+                          f"only in {side}")
+                    continue
+                delta = (f"{100.0 * (cur_val - base_val) / base_val:+.1f}%"
+                         if base_val != 0 else "n/a")
+                tag = "gated" if GATED_TAG in key else "info"
+                print(f"      list  {base_doc['name']:<14} {key:<24} "
+                      f"base={base_val:.6g} cur={cur_val:.6g} "
+                      f"delta={delta} [{tag}]")
+
     # A bench without a committed baseline is new, not broken: validate its
     # schema (malformed JSON is always a failure) but skip the throughput
     # gate with a warning instead of failing the build.
@@ -141,7 +174,7 @@ def main():
                                                   "BENCH_*.json"))):
         if os.path.basename(cur_path) in known:
             continue
-        _, problems = validate(cur_path)
+        _, problems = validate(cur_path, "current")
         for p in problems:
             failures += fail(p)
         if not problems:

@@ -70,6 +70,14 @@ double LatencyHistogram::QuantileSeconds(double q) const {
   return max_seconds_;
 }
 
+uint64_t LatencyHistogram::CountAbove(double seconds) const {
+  uint64_t above = 0;
+  for (int b = BinFor(seconds) + 1; b < kNumBins; ++b) {
+    above += bins_[static_cast<size_t>(b)];
+  }
+  return above;
+}
+
 void StageMetrics::Merge(const StageMetrics& other) {
   latency.Merge(other.latency);
   invocations += other.invocations;

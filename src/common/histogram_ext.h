@@ -41,6 +41,13 @@ class LatencyHistogram {
   /// the exact observed [min, max]. Returns 0 when empty.
   double QuantileSeconds(double q) const;
 
+  /// Observations recorded in bins strictly above the bin `seconds` falls
+  /// into — approximate at bin resolution, monotone in `seconds`. This is
+  /// the SLO primitive: CountAbove(objective) / count() is the fraction of
+  /// requests that blew the latency objective, and deltas of the pair give
+  /// the burn over a sampling interval (src/obs/health).
+  uint64_t CountAbove(double seconds) const;
+
  private:
   static int BinFor(double seconds);
   static double BinMidpoint(int bin);

@@ -216,7 +216,13 @@ std::string MetricsExporter::ServeToJson(const ServeStatsSnapshot& s) {
      << ",\"workers\":" << s.workers
      << ",\"scale_events\":" << s.scale_events
      << ",\"queue_latency\":" << LatencyToJson(s.queue_latency)
-     << ",\"e2e_latency\":" << LatencyToJson(s.e2e_latency) << "}}";
+     << ",\"e2e_latency\":" << LatencyToJson(s.e2e_latency)
+     << ",\"stage_latency\":{"
+     << "\"queue\":" << LatencyToJson(s.stage_queue)
+     << ",\"batch\":" << LatencyToJson(s.stage_batch)
+     << ",\"cache\":" << LatencyToJson(s.stage_cache)
+     << ",\"exec\":" << LatencyToJson(s.stage_exec) << "}"
+     << ",\"slowest_stage\":\"" << JsonEscape(s.SlowestStage()) << "\"}}";
   return os.str();
 }
 
@@ -274,6 +280,90 @@ std::string MetricsExporter::ServeToPrometheus(const ServeStatsSnapshot& s,
   Family(&os, elat, "summary",
          "Admission-to-answer latency of answered requests in seconds.");
   LatencySummary(&os, elat, "", s.e2e_latency);
+  const std::string slat = prefix + "_serve_stage_latency_seconds";
+  Family(&os, slat, "summary",
+         "Critical-path attribution: per-request time spent in each serving "
+         "stage (the four stages partition the e2e latency exactly).");
+  LatencySummary(&os, slat, "stage=\"queue\"", s.stage_queue);
+  LatencySummary(&os, slat, "stage=\"batch\"", s.stage_batch);
+  LatencySummary(&os, slat, "stage=\"cache\"", s.stage_cache);
+  LatencySummary(&os, slat, "stage=\"exec\"", s.stage_exec);
+  return os.str();
+}
+
+std::string MetricsExporter::HealthToJson(const HealthSnapshot& s) {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"health\":{"
+     << "\"state\":\"" << HealthStateName(s.state) << "\""
+     << ",\"samples\":" << U64(s.samples)
+     << ",\"anomalies_total\":" << U64(s.anomalies_total)
+     << ",\"slo\":{"
+     << "\"objective_seconds\":" << JsonNumber(s.slo_objective_seconds)
+     << ",\"violation_fraction\":" << JsonNumber(s.violation_fraction)
+     << ",\"burn_rate\":" << JsonNumber(s.burn_rate) << "}"
+     << ",\"top_offender\":\"" << JsonEscape(s.top_offender) << "\""
+     << ",\"top_offender_share\":" << JsonNumber(s.top_offender_share)
+     << ",\"metrics\":{";
+  bool first = true;
+  for (const MetricVerdict& v : s.metrics) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(v.name) << "\":{"
+       << "\"value\":" << JsonNumber(v.value)
+       << ",\"score\":" << JsonNumber(v.score)
+       << ",\"anomalous\":" << (v.anomalous ? "true" : "false")
+       << ",\"anomalies\":" << U64(v.anomalies) << "}";
+  }
+  os << "}}}";
+  return os.str();
+}
+
+std::string MetricsExporter::HealthToPrometheus(const HealthSnapshot& s,
+                                                const std::string& prefix) {
+  std::ostringstream os;
+  const std::string state = prefix + "_health_state";
+  Family(&os, state, "gauge",
+         "Self-monitor verdict: 0 healthy, 1 degraded, 2 unhealthy.");
+  os << state << " " << static_cast<int>(s.state) << "\n";
+  const std::string samples = prefix + "_health_samples_total";
+  Family(&os, samples, "counter", "Health sampling rounds completed.");
+  os << samples << " " << U64(s.samples) << "\n";
+  const std::string burn = prefix + "_health_slo_burn_rate";
+  Family(&os, burn, "gauge",
+         "Latency SLO burn over the last sampling interval "
+         "(1 = spending exactly the error budget).");
+  os << burn << " " << JsonNumber(s.burn_rate) << "\n";
+  const std::string value = prefix + "_health_metric_value";
+  Family(&os, value, "gauge", "Latest sampled value of each watched metric.");
+  for (const MetricVerdict& v : s.metrics) {
+    os << value << "{metric=\"" << JsonEscape(v.name) << "\"} "
+       << JsonNumber(v.value) << "\n";
+  }
+  const std::string score = prefix + "_health_metric_score";
+  Family(&os, score, "gauge",
+         "Prequential anomaly score of each watched metric's latest sample.");
+  for (const MetricVerdict& v : s.metrics) {
+    os << score << "{metric=\"" << JsonEscape(v.name) << "\"} "
+       << JsonNumber(v.score) << "\n";
+  }
+  const std::string anom = prefix + "_health_metric_anomalies_total";
+  Family(&os, anom, "counter",
+         "Post-warmup anomaly alarms per watched metric.");
+  for (const MetricVerdict& v : s.metrics) {
+    os << anom << "{metric=\"" << JsonEscape(v.name) << "\"} "
+       << U64(v.anomalies) << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsExporter::TraceToPrometheus(const TraceRecorder& recorder,
+                                               const std::string& prefix) {
+  std::ostringstream os;
+  const std::string dropped = prefix + "_trace_dropped_total";
+  Family(&os, dropped, "counter",
+         "Trace spans lost to ring overflow since the last Clear; nonzero "
+         "means the exported trace is incomplete (raise SetCapacity).");
+  os << dropped << " " << U64(recorder.DroppedSpans()) << "\n";
   return os.str();
 }
 

@@ -5,6 +5,8 @@
 
 #include "src/common/histogram_ext.h"
 #include "src/core/executor.h"
+#include "src/obs/health.h"
+#include "src/obs/trace.h"
 #include "src/serve/serve_stats.h"
 #include "src/stream/stream_pipeline.h"
 
@@ -52,10 +54,25 @@ class MetricsExporter {
                                         const std::string& prefix = "tsdm");
 
   /// Serving-layer snapshot: admission/shedding/batching counters, the
-  /// sub-path cache's hit/miss/eviction counts, worker gauge, and the
-  /// request lifecycle latency summaries.
+  /// sub-path cache's hit/miss/eviction counts, worker gauge, the request
+  /// lifecycle latency summaries, and the critical-path stage attribution
+  /// (`<prefix>_serve_stage_latency_seconds{stage="queue|batch|cache|exec"}`
+  /// in Prometheus, "stage_latency" in JSON).
   static std::string ServeToJson(const ServeStatsSnapshot& snapshot);
   static std::string ServeToPrometheus(const ServeStatsSnapshot& snapshot,
+                                       const std::string& prefix = "tsdm");
+
+  /// HealthMonitor picture: overall state (gauge, 0=healthy 1=degraded
+  /// 2=unhealthy), per-metric verdicts with anomaly scores, SLO burn rate,
+  /// and the top-offender stage attribution.
+  static std::string HealthToJson(const HealthSnapshot& snapshot);
+  static std::string HealthToPrometheus(const HealthSnapshot& snapshot,
+                                        const std::string& prefix = "tsdm");
+
+  /// TraceRecorder self-metrics: `<prefix>_trace_dropped_total` counts
+  /// spans lost to ring overflow — nonzero means the exported trace is
+  /// incomplete and SetCapacity should be raised.
+  static std::string TraceToPrometheus(const TraceRecorder& recorder,
                                        const std::string& prefix = "tsdm");
 
   /// {"count":..,"mean_s":..,"p50_s":..,"p95_s":..,"p99_s":..,"min_s":..,

@@ -84,7 +84,8 @@ void TraceRecorder::Clear() {
 }
 
 void TraceRecorder::Record(std::string name, uint64_t start_ns,
-                           uint64_t end_ns, int64_t arg) {
+                           uint64_t end_ns, int64_t arg, uint64_t span_id,
+                           uint64_t parent_span_id, uint64_t request_id) {
   ThreadTraceBuffer& buffer = CurrentBuffer();
   if (buffer.events.empty()) {
     // Tag the batch with the generation at its first event so a Clear
@@ -98,10 +99,23 @@ void TraceRecorder::Record(std::string name, uint64_t start_ns,
   ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
   ev.tid = buffer.tid;
   ev.arg = arg;
+  ev.span_id = span_id;
+  ev.parent_span_id = parent_span_id;
+  ev.request_id = request_id;
   buffer.events.push_back(std::move(ev));
   if (buffer.events.size() >= kFlushBatch) {
     FlushBuffer(&buffer.events, buffer.generation);
   }
+}
+
+uint64_t TraceRecorder::RecordSpan(std::string_view name, uint64_t start_ns,
+                                   uint64_t end_ns, const TraceContext& ctx,
+                                   int64_t arg) {
+  if (!Enabled()) return 0;
+  uint64_t span_id = NextSpanId();
+  Record(std::string(name), start_ns, end_ns, arg, span_id,
+         ctx.parent_span_id, ctx.request_id);
+  return span_id;
 }
 
 void TraceRecorder::FlushBuffer(std::vector<TraceEvent>* events,
@@ -164,10 +178,29 @@ std::string TraceRecorder::ToChromeTraceJson() {
                   ev.tid, static_cast<double>(ev.start_ns) / 1000.0,
                   static_cast<double>(ev.dur_ns) / 1000.0);
     out += buf;
-    if (ev.arg != TraceEvent::kNoArg) {
-      std::snprintf(buf, sizeof(buf), ",\"args\":{\"arg\":%lld}",
-                    static_cast<long long>(ev.arg));
-      out += buf;
+    // args carries the integer tag plus the request-tree linkage; Chrome's
+    // viewer shows them in the span detail pane and downstream tooling can
+    // rebuild the per-request tree from (req, span, parent).
+    bool has_args = ev.arg != TraceEvent::kNoArg || ev.span_id != 0;
+    if (has_args) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      if (ev.arg != TraceEvent::kNoArg) {
+        std::snprintf(buf, sizeof(buf), "\"arg\":%lld",
+                      static_cast<long long>(ev.arg));
+        out += buf;
+        first_arg = false;
+      }
+      if (ev.span_id != 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s\"req\":%llu,\"span\":%llu,\"parent\":%llu",
+                      first_arg ? "" : ",",
+                      static_cast<unsigned long long>(ev.request_id),
+                      static_cast<unsigned long long>(ev.span_id),
+                      static_cast<unsigned long long>(ev.parent_span_id));
+        out += buf;
+      }
+      out += "}";
     }
     out += "}";
   }

@@ -10,8 +10,25 @@
 
 namespace tsdm {
 
+/// Links a span into a per-request trace tree. A request acquires a
+/// context at its root span (request_id identifies the request across
+/// threads, parent_span_id the span a child should attach under); the
+/// context travels with the request — through queues, batchers, and
+/// worker hand-offs — so spans recorded on different threads at different
+/// times still assemble into one tree per request.
+///
+/// Zero is the null value for both fields: request_id 0 marks a span that
+/// belongs to no request, parent_span_id 0 marks a root.
+struct TraceContext {
+  uint64_t request_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool ForRequest() const { return request_id != 0; }
+};
+
 /// One closed span: a named interval on one thread, optionally tagged with
-/// a small integer argument (shard index, attempt number, sensor id, ...).
+/// a small integer argument (shard index, attempt number, sensor id, ...)
+/// and linked into a request tree via (request_id, span_id, parent_span_id).
 struct TraceEvent {
   static constexpr int64_t kNoArg = INT64_MIN;
 
@@ -20,6 +37,9 @@ struct TraceEvent {
   uint64_t dur_ns = 0;
   uint32_t tid = 0;  ///< recorder-assigned dense thread index
   int64_t arg = kNoArg;
+  uint64_t span_id = 0;         ///< process-unique (0 for unlinked spans)
+  uint64_t parent_span_id = 0;  ///< 0 = root
+  uint64_t request_id = 0;      ///< 0 = not part of a request
 };
 
 /// Process-wide trace sink. Threads accumulate closed spans into private
@@ -27,7 +47,9 @@ struct TraceEvent {
 /// batch-flushed into a bounded global ring under a mutex when they fill,
 /// when a thread exits, or on Snapshot/FlushCurrentThread. The ring never
 /// grows past its capacity — overflow drops the newest events and counts
-/// them, so tracing a long run has bounded memory.
+/// them (DroppedSpans, exported as `tsdm_trace_dropped_total`), so tracing
+/// a long run has bounded memory. Size the ring to the run with
+/// SetCapacity before enabling.
 ///
 /// Recording is off by default. When disabled, a TraceSpan costs one
 /// relaxed atomic load and a branch — cheap enough to leave the
@@ -64,16 +86,36 @@ class TraceRecorder {
 
   /// Events lost to ring overflow since the last Clear.
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// Self-metric alias for the Prometheus export (`tsdm_trace_dropped_total`):
+  /// a nonzero value means the ring (SetCapacity) is undersized for the run
+  /// and the trace is incomplete.
+  uint64_t DroppedSpans() const { return dropped(); }
+
+  /// Allocates a process-unique span id (never 0). Used by TraceSpan and by
+  /// retrospective RecordSpan calls.
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Chrome trace-event JSON ("catapult" format): load the returned string
   /// from chrome://tracing or https://ui.perfetto.dev. One complete ("X")
-  /// event per span, ts/dur in microseconds.
+  /// event per span, ts/dur in microseconds; request/span/parent ids are
+  /// emitted under "args" so the per-request tree survives the export.
   std::string ToChromeTraceJson();
 
   /// Called by ~TraceSpan; public so the thread-buffer machinery can reach
   /// it, not part of the user API.
   void Record(std::string name, uint64_t start_ns, uint64_t end_ns,
-              int64_t arg);
+              int64_t arg, uint64_t span_id = 0, uint64_t parent_span_id = 0,
+              uint64_t request_id = 0);
+
+  /// Records a retrospective span — an interval that already elapsed, e.g.
+  /// the queue wait between a request's admission and its dequeue, where no
+  /// RAII scope existed. Returns the allocated span id (0 when recording is
+  /// disabled, in which case nothing is recorded).
+  uint64_t RecordSpan(std::string_view name, uint64_t start_ns,
+                      uint64_t end_ns, const TraceContext& ctx,
+                      int64_t arg = TraceEvent::kNoArg);
 
   /// Monotonic ns since the process-wide trace origin.
   static uint64_t NowNs();
@@ -89,6 +131,7 @@ class TraceRecorder {
   uint64_t generation_ = 0;
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint32_t> next_tid_{0};
+  std::atomic<uint64_t> next_span_id_{1};
 
   static std::atomic<bool> enabled_;
 };
@@ -96,14 +139,23 @@ class TraceRecorder {
 /// RAII span: names the enclosing scope in the trace. Construction samples
 /// the clock only when the recorder is enabled; destruction hands the
 /// closed span to the calling thread's buffer. Spans on one thread nest
-/// with scope structure, which the exported trace preserves exactly.
+/// with scope structure, which the exported trace preserves exactly; spans
+/// constructed with a TraceContext additionally link into that request's
+/// tree, and ChildContext() extends the tree across threads.
 class TraceSpan {
  public:
-  explicit TraceSpan(std::string_view name, int64_t arg = TraceEvent::kNoArg) {
+  explicit TraceSpan(std::string_view name, int64_t arg = TraceEvent::kNoArg)
+      : TraceSpan(name, TraceContext{}, arg) {}
+
+  TraceSpan(std::string_view name, const TraceContext& ctx,
+            int64_t arg = TraceEvent::kNoArg) {
     if (TraceRecorder::Enabled()) {
       name_ = name;
       arg_ = arg;
       active_ = true;
+      request_id_ = ctx.request_id;
+      parent_span_id_ = ctx.parent_span_id;
+      span_id_ = TraceRecorder::Global().NextSpanId();
       start_ns_ = TraceRecorder::NowNs();
     }
   }
@@ -111,17 +163,28 @@ class TraceSpan {
   ~TraceSpan() {
     if (active_) {
       TraceRecorder::Global().Record(std::move(name_), start_ns_,
-                                     TraceRecorder::NowNs(), arg_);
+                                     TraceRecorder::NowNs(), arg_, span_id_,
+                                     parent_span_id_, request_id_);
     }
   }
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// Context for spans that should hang under this one (same request, this
+  /// span as parent). Null when recording was disabled at construction —
+  /// children then record nothing either, so the tree stays consistent.
+  TraceContext ChildContext() const {
+    return TraceContext{request_id_, span_id_};
+  }
+
  private:
   std::string name_;
   uint64_t start_ns_ = 0;
   int64_t arg_ = TraceEvent::kNoArg;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  uint64_t request_id_ = 0;
   bool active_ = false;
 };
 

@@ -52,6 +52,7 @@ void MicroBatcher::Dispatch(std::vector<ServeRequest>&& batch,
   ++stats_.batches;
   stats_.batched_requests += batch.size();
   stats_.max_batch_seen = std::max(stats_.max_batch_seen, batch.size());
+  for (ServeRequest& req : batch) req.batch_id = stats_.batches;
   ready->push_back(std::move(batch));
 }
 

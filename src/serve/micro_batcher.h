@@ -35,6 +35,11 @@ class MicroBatcher {
     size_t max_batch_seen = 0;      ///< largest dispatched batch
   };
 
+  /// Every dispatched batch gets a dense 1-based id, stamped into each
+  /// member's ServeRequest::batch_id — the worker-side batch trace span
+  /// carries the same id, linking the batch span to its member requests'
+  /// exec spans across the trace.
+
   MicroBatcher() : MicroBatcher(Options()) {}
   explicit MicroBatcher(Options options) : options_(options) {}
 

@@ -87,13 +87,24 @@ CachedPathCostModel::CachedPathCostModel(PathCostModel base,
   options_.segment_edges = std::max(1, options_.segment_edges);
 }
 
-Result<Histogram> CachedPathCostModel::Query(
-    const std::vector<int>& edge_path, double depart_seconds) const {
+Result<Histogram> CachedPathCostModel::Query(const std::vector<int>& edge_path,
+                                             double depart_seconds,
+                                             const TraceContext& ctx) const {
   if (edge_path.empty()) {
     return Status::InvalidArgument("CachedPathCostModel: empty path");
   }
-  TraceSpan span("serve/path_cost",
-                 static_cast<int64_t>(edge_path.size()));
+  // Recorded retrospectively at the end so the span's arg can carry the
+  // miss count this query actually saw (a TraceSpan's arg is fixed at
+  // construction).
+  const uint64_t start_ns =
+      TraceRecorder::Enabled() ? TraceRecorder::NowNs() : 0;
+  int64_t misses = 0;
+  auto record = [&] {
+    if (start_ns != 0) {
+      TraceRecorder::Global().RecordSpan(
+          "serve/path_cost", start_ns, TraceRecorder::NowNs(), ctx, misses);
+    }
+  };
   const int bucket = cache_->BucketFor(depart_seconds);
   const double bucket_time = cache_->BucketTime(bucket);
   const size_t seg = static_cast<size_t>(options_.segment_edges);
@@ -108,8 +119,12 @@ Result<Histogram> CachedPathCostModel::Query(
                  edge_path.begin() + static_cast<long>(end));
     Histogram piece_dist;
     if (!cache_->Lookup(piece, bucket, &piece_dist)) {
+      ++misses;
       Result<Histogram> computed = base_(piece, bucket_time);
-      if (!computed.ok()) return computed.status();
+      if (!computed.ok()) {
+        record();
+        return computed.status();
+      }
       piece_dist = std::move(computed).value();
       cache_->Insert(piece, bucket, piece_dist);
     }
@@ -120,6 +135,7 @@ Result<Histogram> CachedPathCostModel::Query(
       total = total.Convolve(piece_dist, options_.result_bins);
     }
   }
+  record();
   return total;
 }
 

@@ -10,6 +10,7 @@
 
 #include "src/decision/routing/stochastic_router.h"
 #include "src/governance/uncertainty/histogram.h"
+#include "src/obs/trace.h"
 
 namespace tsdm {
 
@@ -142,9 +143,13 @@ class CachedPathCostModel {
   CachedPathCostModel(PathCostModel base, PathCostCache* cache,
                       Options options);
 
-  /// Path cost distribution with sub-path reuse.
+  /// Path cost distribution with sub-path reuse. When `ctx` belongs to a
+  /// traced request, the lookup emits a `serve/path_cost` span under it
+  /// whose arg is the number of segment *misses* (0 = answered entirely
+  /// from cache), so cache effectiveness is visible per request.
   Result<Histogram> Query(const std::vector<int>& edge_path,
-                          double depart_seconds) const;
+                          double depart_seconds,
+                          const TraceContext& ctx = TraceContext{}) const;
 
   /// Adapter so a StochasticRouter can use this as its PathCostModel.
   PathCostModel AsModel() const {

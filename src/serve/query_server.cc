@@ -51,9 +51,14 @@ void QueryServer::Stop() {
 Status QueryServer::Submit(RouteQuery query,
                            std::function<void(const RouteAnswer&)> on_done,
                            double queue_budget_seconds) {
-  TraceSpan span("serve/submit");
   ServeRequest req;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // Root of this request's span tree; ids are 1-based because request_id 0
+  // means "no request". Every later span — queue wait, batch wait, exec,
+  // path-cost, shed — attaches under this root via req.trace.
+  TraceSpan span("serve/submit", TraceContext{req.id + 1, 0},
+                 static_cast<int64_t>(req.id));
+  req.trace = span.ChildContext();
   req.query = query;
   req.enqueue_ns = TraceRecorder::NowNs();
   req.queue_budget_seconds = queue_budget_seconds;
@@ -103,6 +108,10 @@ ServeStatsSnapshot QueryServer::Stats() const {
     std::unique_lock<std::mutex> lock(metrics_mu_);
     snap.queue_latency = queue_latency_;
     snap.e2e_latency = e2e_latency_;
+    snap.stage_queue = stage_queue_;
+    snap.stage_batch = stage_batch_;
+    snap.stage_cache = stage_cache_;
+    snap.stage_exec = stage_exec_;
   }
   return snap;
 }
@@ -157,46 +166,71 @@ void QueryServer::DispatchReady(
 }
 
 void QueryServer::ServeBatch(std::vector<ServeRequest>* batch) {
-  TraceSpan span("serve/batch", static_cast<int64_t>(batch->size()));
+  // The batch span carries the MicroBatcher's batch id as its arg; each
+  // member request's batch_wait span carries the same id, so the exported
+  // trace links a batch to the requests it amortized.
+  const int64_t batch_id =
+      batch->empty() ? 0 : static_cast<int64_t>(batch->front().batch_id);
+  TraceSpan span("serve/batch", batch_id);
   for (const ServeRequest& req : *batch) ServeOne(req);
 }
 
 void QueryServer::ServeOne(const ServeRequest& req) {
-  TraceSpan span("serve/request", static_cast<int64_t>(req.id));
   const uint64_t start_ns = TraceRecorder::NowNs();
+  // The batching stage — dequeue to worker pickup — has no RAII scope (it
+  // spans the dispatcher and the pool hand-off), so record it
+  // retrospectively now that it just ended.
+  if (req.dequeue_ns != 0) {
+    TraceRecorder::Global().RecordSpan("serve/batch_wait", req.dequeue_ns,
+                                       start_ns, req.trace,
+                                       static_cast<int64_t>(req.batch_id));
+  }
+  TraceSpan span("serve/exec", req.trace, static_cast<int64_t>(req.id));
+  const TraceContext exec_ctx = span.ChildContext();
   RouteAnswer answer;
   answer.queue_seconds =
       1e-9 * static_cast<double>(start_ns - req.enqueue_ns);
 
+  // Time spent inside the path-cost layer (cache + base model), sampled
+  // with the same clock the stage breakdown uses.
+  uint64_t cache_ns = 0;
+
   const RouteQuery& q = req.query;
   Result<std::vector<Path>> routes =
-      CandidateRoutes(RouteKey{q.source, q.target, q.k});
+      CandidateRoutes(RouteKey{q.source, q.target, q.k}, exec_ctx);
   if (!routes.ok()) {
     answer.status = routes.status();
   } else {
-    // Attach cost distributions through the sub-path cache; pick by
-    // on-time probability when a deadline is set, by mean cost otherwise.
+    // Attach cost distributions through the sub-path cache (one clocked
+    // section for all candidates — scoring below is exec time), then pick
+    // by on-time probability when a deadline is set, by mean cost
+    // otherwise.
+    std::vector<Result<Histogram>> costs;
+    costs.reserve(routes->size());
+    const uint64_t cost_start_ns = TraceRecorder::NowNs();
+    for (const Path& route : *routes) {
+      costs.push_back(
+          cost_model_.Query(route.edges, q.depart_seconds, exec_ctx));
+    }
+    cache_ns = TraceRecorder::NowNs() - cost_start_ns;
     int best = -1;
     double best_score = 0.0;
-    Histogram best_cost;
-    for (size_t i = 0; i < routes->size(); ++i) {
-      Result<Histogram> cost =
-          cost_model_.Query((*routes)[i].edges, q.depart_seconds);
-      if (!cost.ok()) continue;  // model has no coverage for this path
+    for (size_t i = 0; i < costs.size(); ++i) {
+      if (!costs[i].ok()) continue;  // model has no coverage for this path
       ++answer.num_candidates;
       double score = q.arrival_deadline_seconds > 0.0
-                         ? cost->Cdf(q.arrival_deadline_seconds)
-                         : -cost->Mean();
+                         ? costs[i].value().Cdf(q.arrival_deadline_seconds)
+                         : -costs[i].value().Mean();
       if (best < 0 || score > best_score) {
         best = static_cast<int>(i);
         best_score = score;
-        best_cost = std::move(cost).value();
       }
     }
     if (best < 0) {
       answer.status = Status::NotFound(
           "serve: no candidate route has a cost distribution");
     } else {
+      const Histogram& best_cost = costs[static_cast<size_t>(best)].value();
       answer.route = (*routes)[static_cast<size_t>(best)];
       answer.cost_mean_seconds = best_cost.Mean();
       answer.on_time_probability =
@@ -208,6 +242,19 @@ void QueryServer::ServeOne(const ServeRequest& req) {
 
   const uint64_t end_ns = TraceRecorder::NowNs();
   answer.service_seconds = 1e-9 * static_cast<double>(end_ns - start_ns);
+  // Critical-path attribution. All four components derive from the same
+  // clock samples, so they telescope: queue + batch + cache + exec ==
+  // end_ns - enqueue_ns exactly. Requests constructed outside the queue
+  // path (dequeue_ns unset) attribute their whole wait to batch.
+  const uint64_t dequeue_ns =
+      (req.dequeue_ns >= req.enqueue_ns && req.dequeue_ns <= start_ns &&
+       req.dequeue_ns != 0)
+          ? req.dequeue_ns
+          : req.enqueue_ns;
+  answer.stages.queue_ns = dequeue_ns - req.enqueue_ns;
+  answer.stages.batch_ns = start_ns - dequeue_ns;
+  answer.stages.cache_ns = cache_ns;
+  answer.stages.exec_ns = (end_ns - start_ns) - cache_ns;
   if (answer.status.ok()) {
     completed_.fetch_add(1, std::memory_order_acq_rel);
   } else {
@@ -217,6 +264,10 @@ void QueryServer::ServeOne(const ServeRequest& req) {
     std::unique_lock<std::mutex> lock(metrics_mu_);
     queue_latency_.Add(answer.queue_seconds);
     e2e_latency_.Add(1e-9 * static_cast<double>(end_ns - req.enqueue_ns));
+    stage_queue_.Add(1e-9 * static_cast<double>(answer.stages.queue_ns));
+    stage_batch_.Add(1e-9 * static_cast<double>(answer.stages.batch_ns));
+    stage_cache_.Add(1e-9 * static_cast<double>(answer.stages.cache_ns));
+    stage_exec_.Add(1e-9 * static_cast<double>(answer.stages.exec_ns));
   }
   if (req.on_done) req.on_done(answer);
 }
@@ -236,7 +287,8 @@ void QueryServer::MaybeAutoscale(uint64_t now_ns) {
   controller_.OnInterval(arrivals);
 }
 
-Result<std::vector<Path>> QueryServer::CandidateRoutes(const RouteKey& key) {
+Result<std::vector<Path>> QueryServer::CandidateRoutes(
+    const RouteKey& key, const TraceContext& ctx) {
   {
     std::unique_lock<std::mutex> lock(route_mu_);
     auto it = route_index_.find(key);
@@ -245,7 +297,9 @@ Result<std::vector<Path>> QueryServer::CandidateRoutes(const RouteKey& key) {
       return it->second->second;
     }
   }
-  TraceSpan span("serve/enumerate_routes");
+  // Only a route-LRU miss shows up in the trace: warm requests skip Yen's
+  // algorithm entirely, and their exec span shrinking is the visible proof.
+  TraceSpan span("serve/enumerate_routes", ctx);
   Result<std::vector<Path>> paths = KShortestPaths(
       *network_, key.source, key.target, key.k, FreeFlowTimeCost(*network_));
   if (!paths.ok()) return paths.status();

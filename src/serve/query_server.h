@@ -126,8 +126,10 @@ class QueryServer {
 
   /// Candidate routes for (source, target, k) — LRU-cached Yen enumeration
   /// under its own lock (departure-time independent, so shareable across
-  /// every query of an OD pair).
-  Result<std::vector<Path>> CandidateRoutes(const RouteKey& key);
+  /// every query of an OD pair). An LRU miss emits a
+  /// `serve/enumerate_routes` span under `ctx`.
+  Result<std::vector<Path>> CandidateRoutes(const RouteKey& key,
+                                            const TraceContext& ctx);
 
   const RoadNetwork* network_;
   Options options_;
@@ -156,6 +158,10 @@ class QueryServer {
   mutable std::mutex metrics_mu_;
   LatencyHistogram queue_latency_;
   LatencyHistogram e2e_latency_;
+  LatencyHistogram stage_queue_;
+  LatencyHistogram stage_batch_;
+  LatencyHistogram stage_cache_;
+  LatencyHistogram stage_exec_;
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> next_id_{0};

@@ -9,14 +9,22 @@ namespace tsdm {
 
 namespace {
 
-/// Fires a request's callback with a shed/drain answer. The lock must NOT
-/// be held: callbacks are user code.
+/// Fires a request's callback with a shed/drain answer and closes the
+/// request's trace tree with a terminal `serve/shed` span (arg = status
+/// code), so an admitted-then-shed request is visible in the trace instead
+/// of just vanishing. The lock must NOT be held: callbacks are user code.
 void AnswerShed(const ServeRequest& req, Status status) {
+  const uint64_t now_ns = TraceRecorder::NowNs();
+  TraceRecorder::Global().RecordSpan("serve/shed", req.enqueue_ns, now_ns,
+                                     req.trace,
+                                     static_cast<int64_t>(status.code()));
   if (!req.on_done) return;
   RouteAnswer answer;
   answer.status = std::move(status);
-  answer.queue_seconds =
-      1e-9 * static_cast<double>(TraceRecorder::NowNs() - req.enqueue_ns);
+  answer.queue_seconds = 1e-9 * static_cast<double>(now_ns - req.enqueue_ns);
+  answer.stages.queue_ns = now_ns >= req.enqueue_ns
+                               ? now_ns - req.enqueue_ns
+                               : 0;  // all of a shed request's time is queue
   req.on_done(answer);
 }
 
@@ -52,6 +60,7 @@ size_t RequestQueue::PopBatch(uint64_t now_ns, size_t max_n,
                               std::vector<ServeRequest>* out) {
   std::vector<ServeRequest> expired;
   size_t delivered = 0;
+  const size_t first_new = out->size();
   {
     std::unique_lock<std::mutex> lock(mu_);
     while (delivered < max_n && !queue_.empty()) {
@@ -62,10 +71,20 @@ size_t RequestQueue::PopBatch(uint64_t now_ns, size_t max_n,
         expired.push_back(std::move(req));
         continue;
       }
+      req.dequeue_ns = now_ns;
       out->push_back(std::move(req));
       ++delivered;
     }
     stats_.depth = queue_.size();
+  }
+  // Each delivered request's queue wait is over: record it retrospectively
+  // as a child of the request's submit span (outside the lock — span
+  // recording may flush to the trace ring).
+  for (size_t i = first_new; i < out->size(); ++i) {
+    const ServeRequest& req = (*out)[i];
+    TraceRecorder::Global().RecordSpan("serve/queue_wait", req.enqueue_ns,
+                                       now_ns, req.trace,
+                                       static_cast<int64_t>(req.id));
   }
   for (const auto& req : expired) {
     AnswerShed(req, Status::ResourceExhausted(

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/trace.h"
 #include "src/spatial/shortest_path.h"
 
 namespace tsdm {
@@ -28,6 +29,21 @@ struct RouteQuery {
   int snapshot_id = 0;
 };
 
+/// Critical-path latency attribution of one answered request. The four
+/// components partition the admission-to-answer interval exactly (they are
+/// computed from the same clock samples, so the telescoping sum equals the
+/// end-to-end latency to the nanosecond): where did *this* request's time
+/// go — waiting in the queue, forming a batch / waiting for a worker,
+/// inside the path-cost layer, or in route enumeration and scoring?
+struct StageBreakdown {
+  uint64_t queue_ns = 0;  ///< admission -> dequeued by the dispatcher
+  uint64_t batch_ns = 0;  ///< dequeue -> a worker starts serving it
+  uint64_t cache_ns = 0;  ///< inside CachedPathCostModel (cache + base model)
+  uint64_t exec_ns = 0;   ///< remaining worker execution (routes, scoring)
+
+  uint64_t TotalNs() const { return queue_ns + batch_ns + cache_ns + exec_ns; }
+};
+
 /// The serving layer's answer: the chosen route plus the decision-relevant
 /// summary of its cost distribution and the request's lifecycle timings.
 struct RouteAnswer {
@@ -36,8 +52,9 @@ struct RouteAnswer {
   double cost_mean_seconds = 0.0;   ///< mean of the route's cost histogram
   double on_time_probability = 0.0; ///< P(arrival <= deadline)
   int num_candidates = 0;           ///< candidates actually scored
-  double queue_seconds = 0.0;       ///< admission -> dispatch
-  double service_seconds = 0.0;     ///< dispatch -> answer
+  double queue_seconds = 0.0;       ///< admission -> worker pickup
+  double service_seconds = 0.0;     ///< worker pickup -> answer
+  StageBreakdown stages;            ///< where the end-to-end time went
 };
 
 /// A queued request: the query plus its admission timestamp, queueing
@@ -48,7 +65,12 @@ struct ServeRequest {
   uint64_t id = 0;
   RouteQuery query;
   uint64_t enqueue_ns = 0;        ///< TraceRecorder::NowNs at admission
+  uint64_t dequeue_ns = 0;        ///< set by PopBatch when the dispatcher pops
+  uint64_t batch_id = 0;          ///< set by MicroBatcher at dispatch (0=none)
   double queue_budget_seconds = 0.25;  ///< max queueing time; <= 0 = none
+  /// Request-tree linkage: request_id identifies this request in the trace,
+  /// parent_span_id is the submit (root) span every later span attaches to.
+  TraceContext trace;
   std::function<void(const RouteAnswer&)> on_done;
 };
 

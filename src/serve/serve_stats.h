@@ -40,6 +40,15 @@ struct ServeStatsSnapshot {
   LatencyHistogram queue_latency;  ///< admission -> dispatch
   LatencyHistogram e2e_latency;    ///< admission -> answer
 
+  // Critical-path attribution of answered requests: per-stage latency
+  // distributions matching StageBreakdown. For each request the four
+  // stage samples telescope to its e2e latency, so comparing the stages'
+  // total_seconds() tells you which component the fleet's time went to.
+  LatencyHistogram stage_queue;  ///< admission -> dequeue
+  LatencyHistogram stage_batch;  ///< dequeue -> worker pickup
+  LatencyHistogram stage_cache;  ///< inside the path-cost layer
+  LatencyHistogram stage_exec;   ///< remaining worker execution
+
   uint64_t TotalShed() const {
     return shed_capacity + shed_expired + shed_closed;
   }
@@ -50,6 +59,22 @@ struct ServeStatsSnapshot {
                : static_cast<double>(TotalShed()) /
                      static_cast<double>(submitted);
   }
+  /// The stage that accumulated the most total time across answered
+  /// requests — where the fleet's latency actually went. "" while nothing
+  /// has been answered. The health monitor applies the same rule to
+  /// *interval deltas* to attribute a degradation to its component.
+  const char* SlowestStage() const {
+    const char* names[4] = {"queue", "batch", "cache", "exec"};
+    const double totals[4] = {
+        stage_queue.total_seconds(), stage_batch.total_seconds(),
+        stage_cache.total_seconds(), stage_exec.total_seconds()};
+    int best = -1;
+    for (int i = 0; i < 4; ++i) {
+      if (totals[i] > 0.0 && (best < 0 || totals[i] > totals[best])) best = i;
+    }
+    return best < 0 ? "" : names[best];
+  }
+
   /// Cache hit fraction over all lookups (0 before any lookup).
   double CacheHitRate() const {
     uint64_t lookups = cache_hits + cache_misses;

@@ -224,6 +224,63 @@ TEST(MetricsExporterTest, StreamJsonTracksProcessedTicks) {
       << json;
 }
 
+TEST(MetricsExporterTest, ServeExportCarriesStageAttribution) {
+  ServeStatsSnapshot snap;
+  snap.completed = 2;
+  snap.e2e_latency.Add(0.010);
+  snap.e2e_latency.Add(0.012);
+  snap.stage_queue.Add(0.001);
+  snap.stage_queue.Add(0.001);
+  snap.stage_batch.Add(0.0005);
+  snap.stage_batch.Add(0.0005);
+  snap.stage_cache.Add(0.003);
+  snap.stage_cache.Add(0.004);
+  snap.stage_exec.Add(0.0055);
+  snap.stage_exec.Add(0.0065);
+
+  std::string json = MetricsExporter::ServeToJson(snap);
+  EXPECT_NE(json.find("\"stage_latency\":{\"queue\":"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"slowest_stage\":\"exec\""), std::string::npos)
+      << json;
+
+  std::string prom = MetricsExporter::ServeToPrometheus(snap);
+  for (const char* stage : {"queue", "batch", "cache", "exec"}) {
+    EXPECT_NE(
+        prom.find("tsdm_serve_stage_latency_seconds_count{stage=\"" +
+                  std::string(stage) + "\"} 2"),
+        std::string::npos)
+        << stage;
+  }
+}
+
+TEST(MetricsExporterTest, TracePrometheusExportsDroppedSpans) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.SetCapacity(1 << 16);
+  recorder.Clear();
+  std::string prom = MetricsExporter::TraceToPrometheus(recorder);
+  EXPECT_NE(prom.find("# TYPE tsdm_trace_dropped_total counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("tsdm_trace_dropped_total 0\n"), std::string::npos)
+      << prom;
+
+  // Overflow a tiny ring: the self-metric must report the loss, so a
+  // scraper can tell an incomplete trace from a quiet one.
+  recorder.SetCapacity(8);
+  recorder.Enable();
+  for (int i = 0; i < 40; ++i) {
+    TraceSpan span("overflow");
+  }
+  recorder.Disable();
+  recorder.FlushCurrentThread();
+  prom = MetricsExporter::TraceToPrometheus(recorder);
+  EXPECT_NE(prom.find("tsdm_trace_dropped_total 32\n"), std::string::npos)
+      << prom;
+  recorder.SetCapacity(1 << 16);
+  recorder.Clear();
+}
+
 TEST(JsonHelpersTest, EscapeAndNumberEdgeCases) {
   EXPECT_EQ(JsonEscape("plain"), "plain");
   EXPECT_EQ(JsonEscape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");

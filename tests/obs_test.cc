@@ -41,6 +41,10 @@ struct ParsedEvent {
   int64_t tid = -1;
   int64_t arg = TraceEvent::kNoArg;
   bool has_arg = false;
+  // Request-tree linkage from the args object (0 = absent/null).
+  uint64_t req = 0;
+  uint64_t span = 0;
+  uint64_t parent = 0;
 };
 
 class MiniParser {
@@ -101,16 +105,35 @@ class MiniParser {
         if (key == "name") ev->name = value;
         if (key == "ph" && value != "X") return false;
       } else if (key == "args") {
+        // args holds the optional integer tag plus the request-tree
+        // linkage: any subset of {arg, req, span, parent}.
         if (!Consume('{')) return false;
-        std::string arg_key;
-        double arg_value = 0.0;
-        if (!ParseString(&arg_key) || !Consume(':') ||
-            !ParseNumber(&arg_value) || !Consume('}')) {
-          return false;
+        while (true) {
+          std::string arg_key;
+          double arg_value = 0.0;
+          if (!ParseString(&arg_key) || !Consume(':') ||
+              !ParseNumber(&arg_value)) {
+            return false;
+          }
+          if (arg_key == "arg") {
+            ev->arg = static_cast<int64_t>(arg_value);
+            ev->has_arg = true;
+          } else if (arg_key == "req") {
+            ev->req = static_cast<uint64_t>(arg_value);
+          } else if (arg_key == "span") {
+            ev->span = static_cast<uint64_t>(arg_value);
+          } else if (arg_key == "parent") {
+            ev->parent = static_cast<uint64_t>(arg_value);
+          } else {
+            return false;
+          }
+          if (Peek() == ',') {
+            ++pos_;
+            continue;
+          }
+          break;
         }
-        if (arg_key != "arg") return false;
-        ev->arg = static_cast<int64_t>(arg_value);
-        ev->has_arg = true;
+        if (!Consume('}')) return false;
       } else {
         double value = 0.0;
         if (!ParseNumber(&value)) return false;
@@ -280,6 +303,10 @@ TEST_F(TraceTest, ChromeTraceJsonRoundTrips) {
     if (parsed[i].has_arg) {
       EXPECT_EQ(parsed[i].arg, recorded[i].arg);
     }
+    // The request-tree linkage survives the export.
+    EXPECT_EQ(parsed[i].span, recorded[i].span_id);
+    EXPECT_EQ(parsed[i].req, recorded[i].request_id);
+    EXPECT_EQ(parsed[i].parent, recorded[i].parent_span_id);
   }
 }
 

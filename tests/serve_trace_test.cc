@@ -1,0 +1,413 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/obs/trace.h"
+#include "src/serve/query_server.h"
+#include "src/serve/request_queue.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+
+namespace tsdm {
+namespace {
+
+// End-to-end request tracing: every admitted query must yield a linked,
+// well-formed span tree, and the per-request stage attribution must
+// telescope exactly to the end-to-end latency — under real multi-producer
+// concurrency (this test runs in the TSan gate).
+
+class ServeTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().SetCapacity(1 << 16);
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().Enable();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+  }
+};
+
+struct ServeTraceFixture {
+  GridNetworkSpec spec;
+  RoadNetwork net;
+  EdgeCentricModel model;
+
+  ServeTraceFixture()
+      : spec(MakeSpec()), net(MakeNet(spec)), model(0) {
+    model = EdgeCentricModel(static_cast<int>(net.NumEdges()));
+    TrafficSimulator sim(&net, TrafficSpec{});
+    Rng rng(17);
+    for (int e = 0; e < static_cast<int>(net.NumEdges()); ++e) {
+      for (int rep = 0; rep < 6; ++rep) {
+        TripObservation trip;
+        trip.edge_path = {e};
+        trip.depart_seconds = 8 * 3600.0;
+        trip.edge_times = {sim.SampleEdgeTime(e, trip.depart_seconds, &rng)};
+        model.AddTrip(trip);
+      }
+    }
+    Status built = model.Build();
+    EXPECT_TRUE(built.ok()) << built.ToString();
+  }
+
+  static GridNetworkSpec MakeSpec() {
+    GridNetworkSpec spec;
+    spec.rows = 4;
+    spec.cols = 4;
+    return spec;
+  }
+  static RoadNetwork MakeNet(const GridNetworkSpec& spec) {
+    Rng rng(5);
+    return GenerateGridNetwork(spec, &rng);
+  }
+
+  PathCostModel BaseModel() const {
+    const EdgeCentricModel* m = &model;
+    return [m](const std::vector<int>& edges, double depart) {
+      return m->PathCostDistribution(edges, depart, 32);
+    };
+  }
+};
+
+/// The spans of one request, grouped from a trace snapshot by the "req"
+/// linkage (request_id = ServeRequest::id + 1).
+struct RequestSpans {
+  std::vector<TraceEvent> submit;
+  std::vector<TraceEvent> queue_wait;
+  std::vector<TraceEvent> batch_wait;
+  std::vector<TraceEvent> exec;
+  std::vector<TraceEvent> path_cost;
+  std::vector<TraceEvent> shed;
+  std::vector<TraceEvent> other;
+};
+
+std::map<uint64_t, RequestSpans> GroupByRequest(
+    const std::vector<TraceEvent>& events) {
+  std::map<uint64_t, RequestSpans> by_req;
+  for (const TraceEvent& ev : events) {
+    if (ev.request_id == 0) continue;
+    RequestSpans& slot = by_req[ev.request_id];
+    if (ev.name == "serve/submit") {
+      slot.submit.push_back(ev);
+    } else if (ev.name == "serve/queue_wait") {
+      slot.queue_wait.push_back(ev);
+    } else if (ev.name == "serve/batch_wait") {
+      slot.batch_wait.push_back(ev);
+    } else if (ev.name == "serve/exec") {
+      slot.exec.push_back(ev);
+    } else if (ev.name == "serve/path_cost") {
+      slot.path_cost.push_back(ev);
+    } else if (ev.name == "serve/shed") {
+      slot.shed.push_back(ev);
+    } else {
+      slot.other.push_back(ev);
+    }
+  }
+  return by_req;
+}
+
+TEST_F(ServeTraceTest, EveryServedRequestYieldsOneLinkedSpanTree) {
+  ServeTraceFixture fx;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 40;
+
+  std::mutex answers_mu;
+  std::vector<RouteAnswer> answers;
+  {
+    QueryServer::Options opts;
+    opts.initial_workers = 3;
+    opts.autoscale_enabled = false;
+    QueryServer server(&fx.net, fx.BaseModel(), opts);
+    ASSERT_TRUE(server.Start().ok());
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          RouteQuery query;
+          query.source = GridNodeId(fx.spec, 0, p % fx.spec.cols);
+          query.target = GridNodeId(fx.spec, fx.spec.rows - 1,
+                                    (p + i) % fx.spec.cols);
+          query.k = 2;
+          query.depart_seconds = 8 * 3600.0;
+          Status s = server.Submit(
+              query,
+              [&](const RouteAnswer& answer) {
+                std::unique_lock<std::mutex> lock(answers_mu);
+                answers.push_back(answer);
+              },
+              /*queue_budget_seconds=*/30.0);
+          ASSERT_TRUE(s.ok());
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    server.WaitIdle();
+    server.Stop();
+    // Server (and its worker threads, whose trace buffers flush on thread
+    // exit) destructs here, before the snapshot.
+  }
+
+  constexpr uint64_t kTotal = kProducers * kPerProducer;
+  ASSERT_EQ(answers.size(), kTotal);
+  EXPECT_EQ(TraceRecorder::Global().dropped(), 0u);
+
+  std::map<uint64_t, RequestSpans> by_req =
+      GroupByRequest(TraceRecorder::Global().Snapshot());
+  ASSERT_EQ(by_req.size(), kTotal);
+
+  for (const auto& [req_id, spans] : by_req) {
+    SCOPED_TRACE("request " + std::to_string(req_id));
+    // Exactly one span of each lifecycle stage, no terminal shed.
+    ASSERT_EQ(spans.submit.size(), 1u);
+    ASSERT_EQ(spans.queue_wait.size(), 1u);
+    ASSERT_EQ(spans.batch_wait.size(), 1u);
+    ASSERT_EQ(spans.exec.size(), 1u);
+    EXPECT_GE(spans.path_cost.size(), 1u);
+    EXPECT_TRUE(spans.shed.empty());
+
+    // Linkage: submit is the root; the lifecycle spans attach under it;
+    // path-cost spans attach under exec.
+    const TraceEvent& submit = spans.submit[0];
+    EXPECT_EQ(submit.parent_span_id, 0u);
+    ASSERT_NE(submit.span_id, 0u);
+    for (const TraceEvent* ev :
+         {&spans.queue_wait[0], &spans.batch_wait[0], &spans.exec[0]}) {
+      EXPECT_EQ(ev->parent_span_id, submit.span_id);
+      EXPECT_EQ(ev->request_id, req_id);
+    }
+    for (const TraceEvent& pc : spans.path_cost) {
+      EXPECT_EQ(pc.parent_span_id, spans.exec[0].span_id);
+    }
+    for (const TraceEvent& ev : spans.other) {
+      // Route enumeration, when present, hangs under exec too.
+      EXPECT_EQ(ev.name, "serve/enumerate_routes");
+      EXPECT_EQ(ev.parent_span_id, spans.exec[0].span_id);
+    }
+
+    // Well-nested timeline: the stages tile the lifecycle left to right.
+    // queue_wait ends exactly where batch_wait begins (same clock sample);
+    // exec starts at or after batch_wait ends; path-cost spans sit inside
+    // exec.
+    const TraceEvent& qw = spans.queue_wait[0];
+    const TraceEvent& bw = spans.batch_wait[0];
+    const TraceEvent& ex = spans.exec[0];
+    EXPECT_EQ(qw.start_ns + qw.dur_ns, bw.start_ns);
+    EXPECT_LE(bw.start_ns + bw.dur_ns, ex.start_ns);
+    for (const TraceEvent& pc : spans.path_cost) {
+      EXPECT_GE(pc.start_ns, ex.start_ns);
+      EXPECT_LE(pc.start_ns + pc.dur_ns, ex.start_ns + ex.dur_ns);
+    }
+    // Both submit and queue_wait start at admission.
+    EXPECT_EQ(qw.start_ns >= submit.start_ns, true);
+  }
+
+  // Span ids are process-unique across the whole trace.
+  std::vector<TraceEvent> all = TraceRecorder::Global().Snapshot();
+  std::map<uint64_t, int> id_uses;
+  for (const TraceEvent& ev : all) {
+    if (ev.span_id != 0) ++id_uses[ev.span_id];
+  }
+  for (const auto& [id, uses] : id_uses) {
+    EXPECT_EQ(uses, 1) << "span id " << id << " reused";
+  }
+
+  // The Chrome export carries the request linkage.
+  std::string json = TraceRecorder::Global().ToChromeTraceJson();
+  EXPECT_NE(json.find("\"req\":"), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":"), std::string::npos);
+}
+
+TEST_F(ServeTraceTest, StageAttributionTelescopesToEndToEndLatency) {
+  ServeTraceFixture fx;
+  std::mutex answers_mu;
+  std::vector<RouteAnswer> answers;
+  constexpr int kQueries = 80;
+  QueryServer server(&fx.net, fx.BaseModel(), [] {
+    QueryServer::Options opts;
+    opts.initial_workers = 2;
+    opts.autoscale_enabled = false;
+    return opts;
+  }());
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < kQueries; ++i) {
+    RouteQuery query;
+    query.source = GridNodeId(fx.spec, 0, 0);
+    query.target = GridNodeId(fx.spec, fx.spec.rows - 1, i % fx.spec.cols);
+    query.k = 2;
+    query.depart_seconds = 8 * 3600.0;
+    ASSERT_TRUE(server
+                    .Submit(query,
+                            [&](const RouteAnswer& answer) {
+                              std::unique_lock<std::mutex> lock(answers_mu);
+                              answers.push_back(answer);
+                            },
+                            /*queue_budget_seconds=*/30.0)
+                    .ok());
+  }
+  server.WaitIdle();
+
+  ASSERT_EQ(answers.size(), static_cast<size_t>(kQueries));
+  for (const RouteAnswer& answer : answers) {
+    ASSERT_TRUE(answer.status.ok()) << answer.status.ToString();
+    const StageBreakdown& st = answer.stages;
+    // The four components are computed from the same clock samples, so
+    // their telescoping sum IS the end-to-end latency — the only slack is
+    // the double rounding of the seconds fields (sub-nanosecond).
+    EXPECT_GT(st.TotalNs(), 0u);
+    EXPECT_NEAR(1e-9 * static_cast<double>(st.TotalNs()),
+                answer.queue_seconds + answer.service_seconds, 1e-9);
+    EXPECT_EQ(st.TotalNs(),
+              st.queue_ns + st.batch_ns + st.cache_ns + st.exec_ns);
+  }
+
+  // The per-stage histograms aggregate the same attribution: one sample
+  // per answered request, and total stage time equals total e2e time.
+  ServeStatsSnapshot stats = server.Stats();
+  const uint64_t answered = stats.completed + stats.failed;
+  EXPECT_EQ(stats.stage_queue.count(), answered);
+  EXPECT_EQ(stats.stage_batch.count(), answered);
+  EXPECT_EQ(stats.stage_cache.count(), answered);
+  EXPECT_EQ(stats.stage_exec.count(), answered);
+  const double stage_total =
+      stats.stage_queue.total_seconds() + stats.stage_batch.total_seconds() +
+      stats.stage_cache.total_seconds() + stats.stage_exec.total_seconds();
+  EXPECT_NEAR(stage_total, stats.e2e_latency.total_seconds(),
+              1e-6 * std::max(1.0, stats.e2e_latency.total_seconds()));
+  EXPECT_NE(stats.SlowestStage(), std::string(""));
+  server.Stop();
+}
+
+TEST_F(ServeTraceTest, ShedRequestsEmitTerminalShedSpanOnly) {
+  ServeTraceFixture fx;
+  std::atomic<int> shed_answers{0};
+  std::vector<uint64_t> shed_queue_ns;
+  std::mutex shed_mu;
+  {
+    QueryServer::Options opts;
+    opts.initial_workers = 1;
+    opts.autoscale_enabled = false;
+    QueryServer server(&fx.net, fx.BaseModel(), opts);
+    // Submit BEFORE Start with a microscopic queueing budget: by the time
+    // the dispatcher first pops, every request has expired in queue and
+    // must be shed with a terminal span, never executed.
+    for (int i = 0; i < 6; ++i) {
+      RouteQuery query;
+      query.source = GridNodeId(fx.spec, 0, 0);
+      query.target = GridNodeId(fx.spec, fx.spec.rows - 1, 1);
+      Status s = server.Submit(
+          query,
+          [&](const RouteAnswer& answer) {
+            EXPECT_EQ(answer.status.code(), StatusCode::kResourceExhausted);
+            // A shed request's whole life was queueing.
+            EXPECT_EQ(answer.stages.batch_ns, 0u);
+            EXPECT_EQ(answer.stages.cache_ns, 0u);
+            EXPECT_EQ(answer.stages.exec_ns, 0u);
+            std::unique_lock<std::mutex> lock(shed_mu);
+            shed_queue_ns.push_back(answer.stages.queue_ns);
+            shed_answers.fetch_add(1);
+          },
+          /*queue_budget_seconds=*/1e-6);
+      ASSERT_TRUE(s.ok());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(server.Start().ok());
+    server.WaitIdle();
+    server.Stop();
+  }
+
+  EXPECT_EQ(shed_answers.load(), 6);
+  for (uint64_t ns : shed_queue_ns) EXPECT_GT(ns, 0u);
+
+  std::map<uint64_t, RequestSpans> by_req =
+      GroupByRequest(TraceRecorder::Global().Snapshot());
+  ASSERT_EQ(by_req.size(), 6u);
+  for (const auto& [req_id, spans] : by_req) {
+    SCOPED_TRACE("request " + std::to_string(req_id));
+    // Root plus exactly one terminal shed span — and nothing downstream:
+    // no queue_wait (the wait ended in a shed, not a dispatch), no batch,
+    // no exec.
+    ASSERT_EQ(spans.submit.size(), 1u);
+    ASSERT_EQ(spans.shed.size(), 1u);
+    EXPECT_TRUE(spans.queue_wait.empty());
+    EXPECT_TRUE(spans.batch_wait.empty());
+    EXPECT_TRUE(spans.exec.empty());
+    EXPECT_TRUE(spans.path_cost.empty());
+    const TraceEvent& shed = spans.shed[0];
+    EXPECT_EQ(shed.parent_span_id, spans.submit[0].span_id);
+    EXPECT_EQ(shed.arg,
+              static_cast<int64_t>(StatusCode::kResourceExhausted));
+  }
+}
+
+TEST_F(ServeTraceTest, CloseDrainedRequestsGetFailedPreconditionShedSpan) {
+  RequestQueue queue;
+  std::atomic<int> drained{0};
+  for (uint64_t i = 0; i < 3; ++i) {
+    ServeRequest req;
+    req.id = i;
+    req.enqueue_ns = TraceRecorder::NowNs();
+    req.trace = TraceContext{i + 1, 0};
+    req.on_done = [&drained](const RouteAnswer&) { drained.fetch_add(1); };
+    ASSERT_TRUE(queue.Push(std::move(req)).ok());
+  }
+  queue.Close();
+  EXPECT_EQ(drained.load(), 3);
+
+  std::map<uint64_t, RequestSpans> by_req =
+      GroupByRequest(TraceRecorder::Global().Snapshot());
+  ASSERT_EQ(by_req.size(), 3u);
+  for (const auto& [req_id, spans] : by_req) {
+    ASSERT_EQ(spans.shed.size(), 1u);
+    EXPECT_EQ(spans.shed[0].arg,
+              static_cast<int64_t>(StatusCode::kFailedPrecondition));
+  }
+}
+
+TEST_F(ServeTraceTest, DisabledTracingStillFillsAttribution) {
+  TraceRecorder::Global().Disable();
+  ServeTraceFixture fx;
+  std::mutex answers_mu;
+  std::vector<RouteAnswer> answers;
+  QueryServer::Options opts;
+  opts.initial_workers = 1;
+  opts.autoscale_enabled = false;
+  QueryServer server(&fx.net, fx.BaseModel(), opts);
+  ASSERT_TRUE(server.Start().ok());
+  for (int i = 0; i < 10; ++i) {
+    RouteQuery query;
+    query.source = GridNodeId(fx.spec, 0, 0);
+    query.target = GridNodeId(fx.spec, fx.spec.rows - 1, 1);
+    ASSERT_TRUE(server
+                    .Submit(query,
+                            [&](const RouteAnswer& answer) {
+                              std::unique_lock<std::mutex> lock(answers_mu);
+                              answers.push_back(answer);
+                            })
+                    .ok());
+  }
+  server.WaitIdle();
+  server.Stop();
+
+  // No spans recorded, but the breakdown (driven by its own clock samples,
+  // not the trace ring) still telescopes.
+  EXPECT_TRUE(TraceRecorder::Global().Snapshot().empty());
+  ASSERT_EQ(answers.size(), 10u);
+  for (const RouteAnswer& answer : answers) {
+    EXPECT_GT(answer.stages.TotalNs(), 0u);
+    EXPECT_NEAR(1e-9 * static_cast<double>(answer.stages.TotalNs()),
+                answer.queue_seconds + answer.service_seconds, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tsdm
