@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the concurrency layer plus the bench regression gate.
-# Sanitizer runs build the executor, fault-injection, streaming, and trace
-# tests under ThreadSanitizer and AddressSanitizer and fail on any report
+# Sanitizer runs build the executor, fault-injection, streaming, ingest/WAL,
+# and trace tests under ThreadSanitizer and AddressSanitizer and fail on any
+# report
 # (multi-producer StreamBuffer ingestion and the trace ring are exactly
 # where TSan earns its keep). Run from anywhere; builds land in build-tsan/
 # and build-asan/ next to the normal build/.
@@ -26,7 +27,7 @@ fi
 
 GATED_TESTS=(executor_test inject_recovery_test pipeline_report_test
              stream_test series_view_test obs_test serve_test
-             serve_trace_test health_test)
+             serve_trace_test health_test ingest_wal_test tick_parser_test)
 
 for SAN in "${SANITIZERS[@]}"; do
   BUILD="$ROOT/build-${SAN/thread/tsan}"

@@ -43,6 +43,17 @@ std::vector<double> FiniteValues(const std::vector<double>& v);
 /// Numerically stable streaming mean/variance accumulator (Welford).
 class OnlineStats {
  public:
+  /// The accumulator's exact internal state, exposed so the streaming
+  /// stages can checkpoint and restore it bitwise (WAL replay recovery
+  /// asserts bit-for-bit equality of mean/m2 after a restart).
+  struct State {
+    size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void Add(double x);
   size_t count() const { return n_; }
   double mean() const { return mean_; }
@@ -51,6 +62,15 @@ class OnlineStats {
   double stdev() const;
   double min() const { return min_; }
   double max() const { return max_; }
+
+  State state() const { return State{n_, mean_, m2_, min_, max_}; }
+  void Restore(const State& s) {
+    n_ = s.n;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
 
  private:
   size_t n_ = 0;

@@ -18,6 +18,7 @@ enum class StatusCode {
   kUnimplemented = 5,
   kInternal = 6,
   kResourceExhausted = 7,
+  kDataLoss = 8,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -59,6 +60,12 @@ class Status {
   /// serving layer uses this to distinguish load shedding from failures.
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Stored or transmitted bytes failed an integrity check (CRC mismatch,
+  /// torn write): the data is unrecoverable, unlike a malformed argument.
+  /// The ingest tier uses this to separate corruption from protocol errors.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,102 @@
+#ifndef TSDM_INGEST_TICK_PARSER_H_
+#define TSDM_INGEST_TICK_PARSER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ingest/tick_codec.h"
+
+namespace tsdm {
+
+/// Exact bookkeeping of everything the parser has seen: every byte is either
+/// inside an accepted frame, inside a rejected frame, skipped during
+/// resynchronization, or still pending — the adversarial-corpus tests
+/// reconcile these counters against the input size.
+struct TickParserStats {
+  uint64_t bytes_consumed = 0;   ///< total bytes handed to Consume
+  uint64_t frames_accepted = 0;  ///< well-formed, in-sequence ticks emitted
+
+  // Rejection counters, one per failure class. A frame lands in exactly one.
+  uint64_t rejected_bad_length = 0;     ///< length prefix 0 or unsupported
+  uint64_t rejected_bad_crc = 0;        ///< CRC mismatch (corruption)
+  uint64_t rejected_bad_sensor = 0;     ///< sensor id >= configured fleet
+  uint64_t rejected_duplicate_seq = 0;  ///< seq <= newest accepted seq
+  uint64_t rejected_out_of_order = 0;   ///< timestamp regressed per sensor
+
+  /// Bytes skipped hunting for the next magic byte (garbage between frames
+  /// and the debris of rejected frames).
+  uint64_t resync_bytes = 0;
+  /// Forward jumps in the sequence number: sum of (seq - expected) over
+  /// accepted frames — the feed's lost-upstream-ticks signal.
+  uint64_t gaps_detected = 0;
+
+  uint64_t RejectedTotal() const {
+    return rejected_bad_length + rejected_bad_crc + rejected_bad_sensor +
+           rejected_duplicate_seq + rejected_out_of_order;
+  }
+};
+
+/// Incremental feed-handler parser for the tick frame format
+/// (src/ingest/tick_codec.h): bytes go in chunk by chunk with arbitrary
+/// split points, validated TickMsgs come out. Designed for hostile input —
+/// no byte sequence may crash it or desynchronize it past the next intact
+/// frame:
+///
+/// - Framing recovery: after any malformed frame the parser resynchronizes
+///   by scanning forward one byte at a time for the next magic byte, so a
+///   single corrupted frame never swallows its intact successors.
+/// - Integrity: the CRC covers magic and length, so a flipped length byte
+///   fails the checksum instead of silently reframing the stream.
+/// - Sequencing policy: seq must advance (duplicates/regressions are
+///   retransmission debris and are rejected); per-sensor timestamps must be
+///   non-decreasing; forward seq gaps are accepted but counted.
+///
+/// Single-threaded, like the WAL writer behind it; the stats are plain
+/// counters read from the same thread (snapshotted for export).
+class TickParser {
+ public:
+  /// `num_sensors` bounds the accepted sensor ids; 0 disables the check.
+  explicit TickParser(size_t num_sensors = 0) : num_sensors_(num_sensors) {}
+
+  /// Consumes `size` bytes, appending every accepted tick to *out (which is
+  /// not cleared). Returns the number of ticks appended. Partial trailing
+  /// frames are buffered until the next call.
+  size_t Consume(const uint8_t* data, size_t size, std::vector<TickMsg>* out);
+
+  const TickParserStats& stats() const { return stats_; }
+
+  /// The most recent rejection, as a typed Status (OK if nothing was ever
+  /// rejected): InvalidArgument for framing, DataLoss for CRC corruption,
+  /// OutOfRange for sensor ids, FailedPrecondition for sequencing.
+  const Status& last_error() const { return last_error_; }
+
+  /// Bytes buffered waiting for the rest of a frame.
+  size_t PendingBytes() const { return pending_.size(); }
+
+  /// Newest accepted sequence number (meaningful once has_seq()).
+  uint32_t last_seq() const { return last_seq_; }
+  bool has_seq() const { return has_seq_; }
+
+  /// Primes the sequencing state, e.g. after WAL replay, so the resumed
+  /// live feed continues from the recovered sequence instead of treating
+  /// replayed ticks' successors as duplicates of nothing.
+  void PrimeSequence(uint32_t last_seq);
+
+ private:
+  /// Handles one syntactically complete frame (magic/length/CRC already
+  /// verified); applies sensor and sequencing policy.
+  bool AcceptFrame(const uint8_t* payload, std::vector<TickMsg>* out);
+
+  size_t num_sensors_;
+  std::vector<uint8_t> pending_;
+  std::vector<int64_t> last_timestamp_;  // per sensor, sized lazily
+  uint32_t last_seq_ = 0;
+  bool has_seq_ = false;
+  TickParserStats stats_;
+  Status last_error_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_INGEST_TICK_PARSER_H_

@@ -356,6 +356,109 @@ std::string MetricsExporter::HealthToPrometheus(const HealthSnapshot& s,
   return os.str();
 }
 
+std::string MetricsExporter::IngestToJson(const IngestStatsSnapshot& s) {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"ingest\":{"
+     << "\"parser\":{"
+     << "\"bytes_consumed\":" << U64(s.parser.bytes_consumed)
+     << ",\"frames_accepted\":" << U64(s.parser.frames_accepted)
+     << ",\"rejected\":{"
+     << "\"bad_length\":" << U64(s.parser.rejected_bad_length)
+     << ",\"bad_crc\":" << U64(s.parser.rejected_bad_crc)
+     << ",\"bad_sensor\":" << U64(s.parser.rejected_bad_sensor)
+     << ",\"duplicate_seq\":" << U64(s.parser.rejected_duplicate_seq)
+     << ",\"out_of_order\":" << U64(s.parser.rejected_out_of_order) << "}"
+     << ",\"resync_bytes\":" << U64(s.parser.resync_bytes)
+     << ",\"gaps_detected\":" << U64(s.parser.gaps_detected) << "}"
+     << ",\"wal\":{"
+     << "\"enabled\":" << (s.wal_enabled ? "true" : "false")
+     << ",\"records\":" << U64(s.wal.records)
+     << ",\"payload_bytes\":" << U64(s.wal.payload_bytes)
+     << ",\"appended_bytes\":" << U64(s.wal.appended_bytes)
+     << ",\"segments_created\":" << U64(s.wal.segments_created)
+     << ",\"rotations\":" << U64(s.wal.rotations)
+     << ",\"syncs\":" << U64(s.wal.syncs) << "}"
+     << ",\"recovery\":{"
+     << "\"ticks_replayed\":" << U64(s.recovery.ticks_replayed)
+     << ",\"torn_records_skipped\":" << U64(s.recovery.torn_records_skipped)
+     << ",\"segments_scanned\":" << U64(s.recovery.segments_scanned)
+     << ",\"bytes_scanned\":" << U64(s.recovery.bytes_scanned)
+     << ",\"last_lsn\":" << U64(s.recovery.last_lsn)
+     << ",\"seconds\":" << JsonNumber(s.recovery.seconds) << "}"
+     << ",\"ticks_processed\":" << U64(s.ticks_processed)
+     << ",\"anomaly_alarms\":" << U64(s.anomaly_alarms)
+     << ",\"buffer_dropped\":" << U64(s.buffer_dropped) << "}}";
+  return os.str();
+}
+
+std::string MetricsExporter::IngestToPrometheus(const IngestStatsSnapshot& s,
+                                                const std::string& prefix) {
+  std::ostringstream os;
+  const std::string accepted = prefix + "_ingest_frames_accepted_total";
+  Family(&os, accepted, "counter", "Tick frames accepted by the parser.");
+  os << accepted << " " << U64(s.parser.frames_accepted) << "\n";
+  const std::string rejected = prefix + "_ingest_frames_rejected_total";
+  Family(&os, rejected, "counter", "Tick frames rejected, by reason.");
+  os << rejected << "{reason=\"bad_length\"} "
+     << U64(s.parser.rejected_bad_length) << "\n";
+  os << rejected << "{reason=\"bad_crc\"} " << U64(s.parser.rejected_bad_crc)
+     << "\n";
+  os << rejected << "{reason=\"bad_sensor\"} "
+     << U64(s.parser.rejected_bad_sensor) << "\n";
+  os << rejected << "{reason=\"duplicate_seq\"} "
+     << U64(s.parser.rejected_duplicate_seq) << "\n";
+  os << rejected << "{reason=\"out_of_order\"} "
+     << U64(s.parser.rejected_out_of_order) << "\n";
+  const std::string bytes = prefix + "_ingest_bytes_consumed_total";
+  Family(&os, bytes, "counter", "Feed bytes consumed by the parser.");
+  os << bytes << " " << U64(s.parser.bytes_consumed) << "\n";
+  const std::string resync = prefix + "_ingest_resync_bytes_total";
+  Family(&os, resync, "counter",
+         "Bytes skipped while hunting for a frame boundary (corruption "
+         "debris).");
+  os << resync << " " << U64(s.parser.resync_bytes) << "\n";
+  const std::string gaps = prefix + "_ingest_seq_gaps_total";
+  Family(&os, gaps, "counter",
+         "Missing sequence numbers observed at accept time (upstream loss).");
+  os << gaps << " " << U64(s.parser.gaps_detected) << "\n";
+  const std::string wrec = prefix + "_ingest_wal_records_total";
+  Family(&os, wrec, "counter", "Records appended to the WAL.");
+  os << wrec << " " << U64(s.wal.records) << "\n";
+  const std::string wbytes = prefix + "_ingest_wal_appended_bytes_total";
+  Family(&os, wbytes, "counter",
+         "Bytes appended to the WAL including record framing.");
+  os << wbytes << " " << U64(s.wal.appended_bytes) << "\n";
+  const std::string wrot = prefix + "_ingest_wal_rotations_total";
+  Family(&os, wrot, "counter", "WAL segment rotations.");
+  os << wrot << " " << U64(s.wal.rotations) << "\n";
+  const std::string wsync = prefix + "_ingest_wal_syncs_total";
+  Family(&os, wsync, "counter", "msync barriers issued on the WAL.");
+  os << wsync << " " << U64(s.wal.syncs) << "\n";
+  const std::string replayed = prefix + "_ingest_recovery_ticks_replayed";
+  Family(&os, replayed, "gauge",
+         "Ticks replayed from the WAL by the last Start().");
+  os << replayed << " " << U64(s.recovery.ticks_replayed) << "\n";
+  const std::string torn = prefix + "_ingest_recovery_torn_records";
+  Family(&os, torn, "gauge",
+         "Torn WAL records detected and skipped by the last Start().");
+  os << torn << " " << U64(s.recovery.torn_records_skipped) << "\n";
+  const std::string rsec = prefix + "_ingest_recovery_seconds";
+  Family(&os, rsec, "gauge", "Wall-clock seconds of the last WAL replay.");
+  os << rsec << " " << JsonNumber(s.recovery.seconds) << "\n";
+  const std::string ticks = prefix + "_ingest_ticks_processed_total";
+  Family(&os, ticks, "counter",
+         "Ticks fully processed by the ingest pipeline (replay + live).");
+  os << ticks << " " << U64(s.ticks_processed) << "\n";
+  const std::string alarms = prefix + "_ingest_anomaly_alarms_total";
+  Family(&os, alarms, "counter", "Anomaly alarms raised on the ingest path.");
+  os << alarms << " " << U64(s.anomaly_alarms) << "\n";
+  const std::string dropped = prefix + "_ingest_buffer_dropped_total";
+  Family(&os, dropped, "counter",
+         "Ticks evicted from the retention buffer by its drop policy.");
+  os << dropped << " " << U64(s.buffer_dropped) << "\n";
+  return os.str();
+}
+
 std::string MetricsExporter::TraceToPrometheus(const TraceRecorder& recorder,
                                                const std::string& prefix) {
   std::ostringstream os;

@@ -5,6 +5,7 @@
 
 #include "src/common/histogram_ext.h"
 #include "src/core/executor.h"
+#include "src/ingest/ingest_service.h"
 #include "src/obs/health.h"
 #include "src/obs/trace.h"
 #include "src/serve/serve_stats.h"
@@ -67,6 +68,15 @@ class MetricsExporter {
   /// and the top-offender stage attribution.
   static std::string HealthToJson(const HealthSnapshot& snapshot);
   static std::string HealthToPrometheus(const HealthSnapshot& snapshot,
+                                        const std::string& prefix = "tsdm");
+
+  /// Durable-ingestion snapshot: parser accept/reject counters by reason
+  /// (`<prefix>_ingest_frames_rejected_total{reason=...}`), sequence gaps
+  /// and resync bytes, WAL append/rotation/sync counters, and the last
+  /// recovery's replay figures (ticks replayed, torn records skipped,
+  /// replay seconds).
+  static std::string IngestToJson(const IngestStatsSnapshot& snapshot);
+  static std::string IngestToPrometheus(const IngestStatsSnapshot& snapshot,
                                         const std::string& prefix = "tsdm");
 
   /// TraceRecorder self-metrics: `<prefix>_trace_dropped_total` counts

@@ -1,0 +1,38 @@
+#include "src/sim/tick_feed.h"
+
+#include <cmath>
+
+namespace tsdm {
+
+uint32_t EncodeSeriesAsTickFeed(const TimeSeries& series, uint32_t first_seq,
+                                std::vector<uint8_t>* out) {
+  uint32_t seq = first_seq;
+  out->reserve(out->size() +
+               series.NumSteps() * series.NumChannels() * kTickFrameSize);
+  for (size_t t = 0; t < series.NumSteps(); ++t) {
+    for (size_t c = 0; c < series.NumChannels(); ++c) {
+      double value = series.At(t, c);
+      if (std::isnan(value)) continue;
+      TickMsg msg;
+      msg.seq = seq++;
+      msg.sensor = static_cast<uint32_t>(c);
+      msg.timestamp = series.Timestamp(t);
+      msg.value = value;
+      EncodeTickFrame(msg, out);
+    }
+  }
+  return seq;
+}
+
+std::vector<uint8_t> GenerateTrafficTickFeed(const TrafficSimulator& sim,
+                                             const std::vector<int>& edges,
+                                             int num_steps, int step_seconds,
+                                             Rng* rng, uint32_t first_seq) {
+  CorrelatedTimeSeries speeds =
+      sim.GenerateEdgeSpeedSeries(edges, num_steps, step_seconds, rng);
+  std::vector<uint8_t> bytes;
+  EncodeSeriesAsTickFeed(speeds.series(), first_seq, &bytes);
+  return bytes;
+}
+
+}  // namespace tsdm

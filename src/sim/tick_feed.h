@@ -1,0 +1,39 @@
+#ifndef TSDM_SIM_TICK_FEED_H_
+#define TSDM_SIM_TICK_FEED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/data/time_series.h"
+#include "src/ingest/tick_codec.h"
+#include "src/sim/traffic_sim.h"
+
+namespace tsdm {
+
+/// Binary tick emitter: turns simulated sensor series into the
+/// length-prefixed frame stream (src/ingest/tick_codec.h) the ingestion
+/// tier parses — the traffic simulator playing the role of the exchange
+/// feed in a market-data system.
+
+/// Encodes `series` as tick frames appended to *out, step-major (for each
+/// step, one frame per channel in channel order — the arrival order of a
+/// synchronized sensor sweep). NaN values are skipped, as a silent sensor
+/// emits nothing. Sequence numbers start at `first_seq`; returns the next
+/// unused sequence number.
+uint32_t EncodeSeriesAsTickFeed(const TimeSeries& series, uint32_t first_seq,
+                                std::vector<uint8_t>* out);
+
+/// One call from road network to byte stream: samples loop-detector speed
+/// series for `edges` via TrafficSimulator::GenerateEdgeSpeedSeries and
+/// encodes them. Deterministic given the rng seed — the crash-point tests
+/// replay the identical feed into independent services.
+std::vector<uint8_t> GenerateTrafficTickFeed(const TrafficSimulator& sim,
+                                             const std::vector<int>& edges,
+                                             int num_steps, int step_seconds,
+                                             Rng* rng,
+                                             uint32_t first_seq = 1);
+
+}  // namespace tsdm
+
+#endif  // TSDM_SIM_TICK_FEED_H_

@@ -58,6 +58,21 @@ class StreamPipeline {
   /// number of ticks processed; stops early on a stage failure.
   size_t Drain(StreamBuffer* buffer, TickRecord* rec);
 
+  /// Serializes the pipeline's analytic state — every stage's per-sensor
+  /// state plus the tick counter — into a versioned little-endian blob.
+  /// Restoring the blob into a pipeline built from identically-configured
+  /// stages (same types, order, and constructor parameters) reproduces
+  /// subsequent ProcessTick outputs bitwise; the WAL replay recovery and
+  /// snapshot/restore property tests assert exactly that. Metrics and
+  /// latency histograms are observability, not state, and are not saved.
+  Status SaveState(std::vector<uint8_t>* out) const;
+
+  /// Inverse of SaveState. Requires the same stage list to have been added;
+  /// runs Reset(num_sensors from the blob) and then restores each stage, so
+  /// metrics restart from zero while the analytic state continues exactly
+  /// where the snapshot left it.
+  Status RestoreState(const uint8_t* data, size_t size);
+
   uint64_t ticks_processed() const { return ticks_; }
   /// End-to-end per-tick latency across all stages.
   const LatencyHistogram& tick_latency() const { return tick_latency_; }

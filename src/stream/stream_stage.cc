@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/bytes.h"
+
 namespace tsdm {
 
 namespace {
@@ -14,6 +16,33 @@ Status CheckSensor(size_t sensor, size_t num_sensors,
                               ": sensor index out of range");
   }
   return Status::OK();
+}
+
+Status TruncatedState(const char* stage_name) {
+  return Status::InvalidArgument(std::string(stage_name) +
+                                 ": state blob truncated or mismatched");
+}
+
+void PutOnlineStats(std::vector<uint8_t>* out, const OnlineStats& stats) {
+  OnlineStats::State s = stats.state();
+  PutU64(out, s.n);
+  PutF64(out, s.mean);
+  PutF64(out, s.m2);
+  PutF64(out, s.min);
+  PutF64(out, s.max);
+}
+
+bool ReadOnlineStats(ByteReader* reader, OnlineStats* stats) {
+  OnlineStats::State s;
+  uint64_t n = 0;
+  if (!reader->ReadU64(&n) || !reader->ReadF64(&s.mean) ||
+      !reader->ReadF64(&s.m2) || !reader->ReadF64(&s.min) ||
+      !reader->ReadF64(&s.max)) {
+    return false;
+  }
+  s.n = static_cast<size_t>(n);
+  stats->Restore(s);
+  return true;
 }
 
 }  // namespace
@@ -31,6 +60,24 @@ Status WelfordStatsStage::OnTick(TickRecord* rec) {
   rec->stat_count = st.count();
   rec->mean = st.mean();
   rec->stdev = st.stdev();
+  return Status::OK();
+}
+
+Status WelfordStatsStage::SaveState(std::vector<uint8_t>* out) const {
+  PutU64(out, stats_.size());
+  for (const OnlineStats& st : stats_) PutOnlineStats(out, st);
+  return Status::OK();
+}
+
+Status WelfordStatsStage::RestoreState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint64_t n = 0;
+  if (!reader.ReadU64(&n)) return TruncatedState("stream/stats");
+  stats_.assign(static_cast<size_t>(n), OnlineStats());
+  for (OnlineStats& st : stats_) {
+    if (!ReadOnlineStats(&reader, &st)) return TruncatedState("stream/stats");
+  }
+  if (!reader.Done()) return TruncatedState("stream/stats");
   return Status::OK();
 }
 
@@ -88,6 +135,59 @@ Status OnlineAnomalyStage::OnTick(TickRecord* rec) {
   return Status::OK();
 }
 
+Status OnlineAnomalyStage::SaveState(std::vector<uint8_t>* out) const {
+  PutU8(out, static_cast<uint8_t>(mode_));
+  PutU64(out, alarms_);
+  if (mode_ == Mode::kZScore) {
+    PutU64(out, stats_.size());
+    for (const OnlineStats& st : stats_) PutOnlineStats(out, st);
+  } else {
+    PutU64(out, robust_.size());
+    for (const RobustState& st : robust_) {
+      PutF64(out, st.location);
+      PutF64(out, st.scale);
+      PutU64(out, st.n);
+    }
+  }
+  return Status::OK();
+}
+
+Status OnlineAnomalyStage::RestoreState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint8_t mode = 0;
+  uint64_t alarms = 0;
+  uint64_t n = 0;
+  if (!reader.ReadU8(&mode) || !reader.ReadU64(&alarms) ||
+      !reader.ReadU64(&n)) {
+    return TruncatedState("stream/anomaly");
+  }
+  if (mode != static_cast<uint8_t>(mode_)) {
+    return Status::InvalidArgument(
+        "stream/anomaly: state was saved by the other scoring mode");
+  }
+  alarms_ = alarms;
+  if (mode_ == Mode::kZScore) {
+    stats_.assign(static_cast<size_t>(n), OnlineStats());
+    robust_.clear();
+    for (OnlineStats& st : stats_) {
+      if (!ReadOnlineStats(&reader, &st)) {
+        return TruncatedState("stream/anomaly");
+      }
+    }
+  } else {
+    robust_.assign(static_cast<size_t>(n), RobustState());
+    stats_.clear();
+    for (RobustState& st : robust_) {
+      if (!reader.ReadF64(&st.location) || !reader.ReadF64(&st.scale) ||
+          !reader.ReadU64(&st.n)) {
+        return TruncatedState("stream/anomaly");
+      }
+    }
+  }
+  if (!reader.Done()) return TruncatedState("stream/anomaly");
+  return Status::OK();
+}
+
 Status OnlineForecastStage::Reset(size_t num_sensors) {
   state_.assign(num_sensors, HoltState());
   return Status::OK();
@@ -113,6 +213,31 @@ Status OnlineForecastStage::OnTick(TickRecord* rec) {
   }
   ++st.n;
   rec->forecast_next = st.level + st.trend;
+  return Status::OK();
+}
+
+Status OnlineForecastStage::SaveState(std::vector<uint8_t>* out) const {
+  PutU64(out, state_.size());
+  for (const HoltState& st : state_) {
+    PutF64(out, st.level);
+    PutF64(out, st.trend);
+    PutU64(out, st.n);
+  }
+  return Status::OK();
+}
+
+Status OnlineForecastStage::RestoreState(const uint8_t* data, size_t size) {
+  ByteReader reader(data, size);
+  uint64_t n = 0;
+  if (!reader.ReadU64(&n)) return TruncatedState("stream/forecast-holt");
+  state_.assign(static_cast<size_t>(n), HoltState());
+  for (HoltState& st : state_) {
+    if (!reader.ReadF64(&st.level) || !reader.ReadF64(&st.trend) ||
+        !reader.ReadU64(&st.n)) {
+      return TruncatedState("stream/forecast-holt");
+    }
+  }
+  if (!reader.Done()) return TruncatedState("stream/forecast-holt");
   return Status::OK();
 }
 

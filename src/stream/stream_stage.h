@@ -52,6 +52,28 @@ class StreamStage {
   /// Absorbs one tick: updates the state of rec->tick.sensor and writes
   /// this stage's TickRecord slots. Must not allocate.
   virtual Status OnTick(TickRecord* rec) = 0;
+
+  /// Appends this stage's exact state to *out as a little-endian blob.
+  /// Restoring the blob into an identically-configured stage (same
+  /// constructor parameters) must reproduce subsequent OnTick outputs
+  /// bitwise — the contract the WAL replay and snapshot/restore property
+  /// tests enforce. Stages that hold no state may keep the defaults
+  /// (empty blob, restore accepts only emptiness).
+  virtual Status SaveState(std::vector<uint8_t>* out) const {
+    (void)out;
+    return Status::OK();
+  }
+
+  /// Inverse of SaveState; replaces all per-sensor state. Returns
+  /// InvalidArgument if the blob does not match this stage's layout.
+  virtual Status RestoreState(const uint8_t* data, size_t size) {
+    (void)data;
+    if (size != 0) {
+      return Status::InvalidArgument(Name() +
+                                     ": unexpected state for stateless stage");
+    }
+    return Status::OK();
+  }
 };
 
 /// Incremental per-sensor mean/variance via Welford's recurrence — the
@@ -62,6 +84,8 @@ class WelfordStatsStage : public StreamStage {
   std::string Name() const override { return "stream/stats"; }
   Status Reset(size_t num_sensors) override;
   Status OnTick(TickRecord* rec) override;
+  Status SaveState(std::vector<uint8_t>* out) const override;
+  Status RestoreState(const uint8_t* data, size_t size) override;
 
   /// Running statistics of one sensor (count/mean/stdev/min/max).
   const OnlineStats& SensorStats(size_t s) const { return stats_[s]; }
@@ -91,6 +115,8 @@ class OnlineAnomalyStage : public StreamStage {
   }
   Status Reset(size_t num_sensors) override;
   Status OnTick(TickRecord* rec) override;
+  Status SaveState(std::vector<uint8_t>* out) const override;
+  Status RestoreState(const uint8_t* data, size_t size) override;
 
   uint64_t alarms() const { return alarms_; }
 
@@ -121,6 +147,8 @@ class OnlineForecastStage : public StreamStage {
   std::string Name() const override { return "stream/forecast-holt"; }
   Status Reset(size_t num_sensors) override;
   Status OnTick(TickRecord* rec) override;
+  Status SaveState(std::vector<uint8_t>* out) const override;
+  Status RestoreState(const uint8_t* data, size_t size) override;
 
   /// One-step-ahead forecast for sensor s given everything seen so far;
   /// NaN before the sensor's first tick.

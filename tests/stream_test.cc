@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -312,6 +313,145 @@ TEST(StreamPropertyTest, MadModeFlagsInjectedSpike) {
 }
 
 // ---------------------------------------------------------------- bridge
+
+/// Builds the standard three-stage analytics pipeline used by the durable
+/// ingestion tier, so snapshot/restore is proven on the exact stage set the
+/// WAL replay path depends on.
+void BuildAnalyticsPipeline(StreamPipeline* pipeline) {
+  pipeline->Emplace<WelfordStatsStage>();
+  pipeline->Emplace<OnlineAnomalyStage>(OnlineAnomalyStage::Mode::kMad, 6.0,
+                                        0.05);
+  pipeline->Emplace<OnlineForecastStage>(0.3, 0.1);
+}
+
+TEST(StreamStateTest, SnapshotRestoreRoundTripIsBitwiseExact) {
+  const size_t kSensors = 3;
+  const size_t kWarmup = 120;  // ticks before the snapshot
+  const size_t kAfter = 200;   // ticks replayed on both sides of the fork
+  std::vector<double> data = RandomWalk(kWarmup + kAfter, 77);
+
+  StreamPipeline original;
+  BuildAnalyticsPipeline(&original);
+  ASSERT_TRUE(original.Reset(kSensors).ok());
+
+  TickRecord rec;
+  for (size_t i = 0; i < kWarmup; ++i) {
+    rec.tick = {i % kSensors, static_cast<int64_t>(i), data[i]};
+    ASSERT_TRUE(original.ProcessTick(&rec).ok());
+  }
+
+  std::vector<uint8_t> state;
+  ASSERT_TRUE(original.SaveState(&state).ok());
+
+  // Restore into an identically-constructed pipeline that never saw the
+  // warmup ticks.
+  StreamPipeline restored;
+  BuildAnalyticsPipeline(&restored);
+  ASSERT_TRUE(restored.Reset(kSensors).ok());
+  ASSERT_TRUE(restored.RestoreState(state.data(), state.size()).ok());
+  EXPECT_EQ(restored.ticks_processed(), kWarmup);
+
+  // Both must now produce bitwise-identical records for every future tick:
+  // same anomaly scores and alarm bits, same forecasts — the contract WAL
+  // replay recovery is built on.
+  TickRecord rec_a, rec_b;
+  for (size_t i = kWarmup; i < kWarmup + kAfter; ++i) {
+    rec_a.tick = {i % kSensors, static_cast<int64_t>(i), data[i]};
+    rec_b.tick = rec_a.tick;
+    ASSERT_TRUE(original.ProcessTick(&rec_a).ok());
+    ASSERT_TRUE(restored.ProcessTick(&rec_b).ok());
+    EXPECT_EQ(rec_a.stat_count, rec_b.stat_count) << i;
+    EXPECT_EQ(std::memcmp(&rec_a.mean, &rec_b.mean, sizeof(double)), 0) << i;
+    EXPECT_EQ(std::memcmp(&rec_a.stdev, &rec_b.stdev, sizeof(double)), 0)
+        << i;
+    EXPECT_EQ(std::memcmp(&rec_a.anomaly_score, &rec_b.anomaly_score,
+                          sizeof(double)),
+              0)
+        << i;
+    EXPECT_EQ(rec_a.is_anomaly, rec_b.is_anomaly) << i;
+    EXPECT_EQ(std::memcmp(&rec_a.forecast_next, &rec_b.forecast_next,
+                          sizeof(double)),
+              0)
+        << i;
+  }
+
+  // And the end states serialize identically.
+  std::vector<uint8_t> end_a, end_b;
+  ASSERT_TRUE(original.SaveState(&end_a).ok());
+  ASSERT_TRUE(restored.SaveState(&end_b).ok());
+  ASSERT_EQ(end_a.size(), end_b.size());
+  EXPECT_EQ(std::memcmp(end_a.data(), end_b.data(), end_a.size()), 0);
+}
+
+TEST(StreamStateTest, ZScoreModeRoundTripsToo) {
+  std::vector<double> data = RandomWalk(150, 21);
+  StreamPipeline a, b;
+  a.Emplace<OnlineAnomalyStage>(OnlineAnomalyStage::Mode::kZScore, 4.0);
+  b.Emplace<OnlineAnomalyStage>(OnlineAnomalyStage::Mode::kZScore, 4.0);
+  ASSERT_TRUE(a.Reset(2).ok());
+  ASSERT_TRUE(b.Reset(2).ok());
+  TickRecord rec;
+  for (size_t i = 0; i < 100; ++i) {
+    rec.tick = {i % 2, static_cast<int64_t>(i), data[i]};
+    ASSERT_TRUE(a.ProcessTick(&rec).ok());
+  }
+  std::vector<uint8_t> state;
+  ASSERT_TRUE(a.SaveState(&state).ok());
+  ASSERT_TRUE(b.RestoreState(state.data(), state.size()).ok());
+  TickRecord rec_a, rec_b;
+  for (size_t i = 100; i < 150; ++i) {
+    rec_a.tick = {i % 2, static_cast<int64_t>(i), data[i]};
+    rec_b.tick = rec_a.tick;
+    ASSERT_TRUE(a.ProcessTick(&rec_a).ok());
+    ASSERT_TRUE(b.ProcessTick(&rec_b).ok());
+    EXPECT_EQ(std::memcmp(&rec_a.anomaly_score, &rec_b.anomaly_score,
+                          sizeof(double)),
+              0)
+        << i;
+  }
+}
+
+TEST(StreamStateTest, RestoreRejectsMismatchedPipelines) {
+  StreamPipeline source;
+  BuildAnalyticsPipeline(&source);
+  ASSERT_TRUE(source.Reset(2).ok());
+  TickRecord rec;
+  rec.tick = {0, 1, 5.0};
+  ASSERT_TRUE(source.ProcessTick(&rec).ok());
+  std::vector<uint8_t> state;
+  ASSERT_TRUE(source.SaveState(&state).ok());
+
+  // Different stage set.
+  StreamPipeline fewer;
+  fewer.Emplace<WelfordStatsStage>();
+  ASSERT_TRUE(fewer.Reset(2).ok());
+  EXPECT_EQ(fewer.RestoreState(state.data(), state.size()).code(),
+            StatusCode::kInvalidArgument);
+
+  // Same stage count, different anomaly mode (stage name differs).
+  StreamPipeline wrong_mode;
+  wrong_mode.Emplace<WelfordStatsStage>();
+  wrong_mode.Emplace<OnlineAnomalyStage>(OnlineAnomalyStage::Mode::kZScore);
+  wrong_mode.Emplace<OnlineForecastStage>();
+  ASSERT_TRUE(wrong_mode.Reset(2).ok());
+  EXPECT_EQ(wrong_mode.RestoreState(state.data(), state.size()).code(),
+            StatusCode::kInvalidArgument);
+
+  // Truncated and trailing-garbage blobs.
+  StreamPipeline target;
+  BuildAnalyticsPipeline(&target);
+  ASSERT_TRUE(target.Reset(2).ok());
+  EXPECT_EQ(target.RestoreState(state.data(), state.size() / 2).code(),
+            StatusCode::kInvalidArgument);
+  std::vector<uint8_t> padded = state;
+  padded.push_back(0xAA);
+  EXPECT_EQ(target.RestoreState(padded.data(), padded.size()).code(),
+            StatusCode::kInvalidArgument);
+
+  // An undamaged blob still restores after the failed attempts.
+  EXPECT_TRUE(target.RestoreState(state.data(), state.size()).ok());
+  EXPECT_EQ(target.ticks_processed(), 1u);
+}
 
 TEST(StreamBridgeTest, SnapshotRightAlignsAndPadsMissing) {
   StreamBuffer buf(3, 8, DropPolicy::kDropOldest);
