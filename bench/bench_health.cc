@@ -111,7 +111,9 @@ double MeasureBurst(QueryServer* server, const Workload& w, int repeat) {
   Stopwatch watch;
   for (int r = 0; r < repeat; ++r) {
     for (const RouteQuery& q : w.queries) {
-      (void)server->Submit(q, nullptr, /*queue_budget_seconds=*/120.0);
+      QueryServer::SubmitOptions opts;
+      opts.queue_budget_seconds = 120.0;
+      (void)server->Submit(q, nullptr, opts);
     }
   }
   server->WaitIdle();
@@ -215,8 +217,10 @@ int main() {
     for (int t = 0; t < ticks; ++t) {
       carry += per_tick;
       while (carry >= 1.0) {
+        QueryServer::SubmitOptions storm_opts;
+        storm_opts.queue_budget_seconds = 0.02;
         (void)server.Submit(w.queries[rr++ % w.queries.size()], nullptr,
-                            /*queue_budget_seconds=*/0.02);
+                            storm_opts);
         carry -= 1.0;
       }
       worst = std::max(worst, monitor.Snapshot().state);
@@ -229,7 +233,9 @@ int main() {
     // Recovery: light steady traffic; state must come back to healthy.
     for (int r = 0; r < 30; ++r) {
       for (size_t i = 0; i < 8; ++i) {
-        (void)server.Submit(w.queries[i], nullptr, 120.0);
+        QueryServer::SubmitOptions calm_opts;
+        calm_opts.queue_budget_seconds = 120.0;
+        (void)server.Submit(w.queries[i], nullptr, calm_opts);
       }
       server.WaitIdle();
       std::this_thread::sleep_for(std::chrono::milliseconds(10));

@@ -120,7 +120,9 @@ RunResult RunBurst(QueryServer* server, const Workload& w, int repeat,
   Stopwatch watch;
   for (int r = 0; r < repeat; ++r) {
     for (const RouteQuery& q : w.queries) {
-      (void)server->Submit(q, nullptr, budget_seconds);
+      QueryServer::SubmitOptions opts;
+      opts.queue_budget_seconds = budget_seconds;
+      (void)server->Submit(q, nullptr, opts);
     }
   }
   server->WaitIdle();
@@ -258,7 +260,9 @@ int main() {
     carry += per_tick;
     while (carry >= 1.0) {
       const RouteQuery& q = w.queries[rr++ % w.queries.size()];
-      (void)ol_server.Submit(q, nullptr, /*queue_budget_seconds=*/0.05);
+      QueryServer::SubmitOptions ol_opts;
+      ol_opts.queue_budget_seconds = 0.05;
+      (void)ol_server.Submit(q, nullptr, ol_opts);
       carry -= 1.0;
     }
     std::this_thread::sleep_for(std::chrono::microseconds(5000));

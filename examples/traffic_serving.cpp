@@ -119,7 +119,9 @@ int main() {
       q.k = 3;
       q.depart_seconds = 8 * 3600.0;
       q.arrival_deadline_seconds = q.depart_seconds + 1500.0;
-      (void)server.Submit(q, nullptr, /*queue_budget_seconds=*/0.5);
+      QueryServer::SubmitOptions opts;
+      opts.queue_budget_seconds = 0.5;
+      (void)server.Submit(q, nullptr, opts);
     }
     server.WaitIdle();
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -146,6 +148,9 @@ int main() {
     q.k = 3;
     q.depart_seconds = 8 * 3600.0 + (i % 4) * 120.0;
     q.arrival_deadline_seconds = q.depart_seconds + 1500.0;
+    QueryServer::SubmitOptions storm_opts;
+    storm_opts.queue_budget_seconds = 0.1;
+    storm_opts.client_request_id = static_cast<uint64_t>(i + 1);
     (void)server.Submit(
         q,
         [&on_time, &answered](const RouteAnswer& answer) {
@@ -153,7 +158,7 @@ int main() {
           answered.fetch_add(1);
           if (answer.on_time_probability > 0.9) on_time.fetch_add(1);
         },
-        /*queue_budget_seconds=*/0.1);
+        storm_opts);
     if (i % 100 == 99) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
       HealthSnapshot now = monitor.Snapshot();
@@ -184,7 +189,9 @@ int main() {
       q.k = 3;
       q.depart_seconds = 8 * 3600.0;
       q.arrival_deadline_seconds = q.depart_seconds + 1500.0;
-      (void)server.Submit(q, nullptr, /*queue_budget_seconds=*/0.5);
+      QueryServer::SubmitOptions opts;
+      opts.queue_budget_seconds = 0.5;
+      (void)server.Submit(q, nullptr, opts);
     }
     server.WaitIdle();
     std::this_thread::sleep_for(std::chrono::milliseconds(5));

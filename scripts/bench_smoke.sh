@@ -19,7 +19,8 @@ OUT="$BUILD/bench-smoke"
 # governance kernels; the slow statistical sweeps (forecast, uncertainty,
 # autoscale) stay out of the smoke path.
 SMOKE_BENCHES=(bench_pipeline bench_executor bench_stream bench_imputation
-               bench_drift bench_qcore bench_serve bench_health bench_ingest)
+               bench_drift bench_qcore bench_serve bench_health bench_ingest
+               bench_net)
 
 cmake -B "$BUILD" -S "$ROOT" > /dev/null
 cmake --build "$BUILD" -j"$(nproc)" --target "${SMOKE_BENCHES[@]}"

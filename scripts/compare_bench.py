@@ -90,6 +90,21 @@ def validate(path, role):
     return doc, problems
 
 
+def wire_overhead(metrics):
+    """Derived wire-vs-in-process overhead for the net bench: how many
+    closed-loop in-process round-trips one single-connection wire
+    round-trip costs. None when either side's metric is absent/zero."""
+    inproc = metrics.get("net_inproc_per_s")
+    wire = metrics.get("net_c1_per_s")
+    if not inproc or not wire:
+        return None
+    return inproc / wire
+
+
+def fmt_ratio(ratio):
+    return f"{ratio:.2f}x" if ratio is not None else "n/a"
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline_dir")
@@ -165,6 +180,13 @@ def main():
                 print(f"      list  {base_doc['name']:<14} {key:<24} "
                       f"base={base_val:.6g} cur={cur_val:.6g} "
                       f"delta={delta} [{tag}]")
+            base_ratio = wire_overhead(base_metrics)
+            cur_ratio = wire_overhead(cur_metrics)
+            if base_ratio is not None or cur_ratio is not None:
+                print(f"      list  {base_doc['name']:<14} "
+                      f"{'wire_vs_inproc_overhead':<24} "
+                      f"base={fmt_ratio(base_ratio)} "
+                      f"cur={fmt_ratio(cur_ratio)} [derived]")
 
     # A bench without a committed baseline is new, not broken: validate its
     # schema (malformed JSON is always a failure) but skip the throughput

@@ -1,0 +1,208 @@
+#ifndef TSDM_NET_SOCKET_SERVER_H_
+#define TSDM_NET_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/http.h"
+#include "src/net/net_stats.h"
+#include "src/net/wire.h"
+#include "src/obs/health.h"
+#include "src/serve/query_server.h"
+
+namespace tsdm {
+
+/// The network front door: an epoll-based non-blocking socket server that
+/// exposes the serving layer to remote clients over one listening port
+/// speaking two protocols, sniffed from the first byte of each connection:
+///
+///   0xC9 ........ the compact binary frame protocol (src/net/wire.h) —
+///                 pipelined route queries and pings, answered
+///                 asynchronously as the serve layer completes them;
+///   anything else HTTP/1.1 — GET /metrics (Prometheus text via the
+///                 MetricsExporter source registry), GET /health
+///                 (HealthSnapshot JSON), POST /query (flat JSON route
+///                 query).
+///
+/// Threading: one listener (owned by event loop 0, edge-triggered accept)
+/// plus `event_loops` epoll threads; accepted connections are assigned
+/// round-robin and then touched only by their owning loop, so per-
+/// connection state (parsers, buffers) is single-threaded by construction.
+/// Serve-layer answers arrive on worker threads; each completion is
+/// encoded there and posted to the owning loop's inbox (mutex + eventfd
+/// wake), which writes it out on the loop thread — the socket is never
+/// written from two threads.
+///
+/// Admission control extends to the socket layer, and every shed happens
+/// BEFORE the query payload is deserialized:
+///   conn_cap    accept-time: at max_connections the new socket is closed;
+///   queue_full  frame-time: QueryServer::QueueFull() probe fails — a typed
+///               kError(ResourceExhausted) frame answers the request id
+///               without decoding its payload;
+///   deadline    frame-time: the frame completed more than
+///               admission_deadline_seconds after its first byte arrived —
+///               the client has likely given up; same typed error answer.
+/// Sheds are counted by reason and exported as tsdm_net_sheds_total.
+///
+/// Tracing: each binary route query roots a `net/request` span (request id
+/// namespaced with the high bit: (1<<63) | counter) with children
+/// `net/read` (first byte -> frame complete), the serve layer's own
+/// `serve/submit` subtree (linked via SubmitOptions::trace_parent), and
+/// `net/write` (completion applied -> bytes handed to the kernel).
+class SocketServer {
+ public:
+  struct Options {
+    /// TCP port to bind (loopback); 0 picks an ephemeral port, readable
+    /// from port() after Start.
+    uint16_t port = 0;
+    /// Epoll event-loop threads. Loop 0 additionally owns the listener.
+    int event_loops = 2;
+    /// Accept-time connection cap; above it new sockets are closed
+    /// immediately (shed_conn_cap).
+    size_t max_connections = 256;
+    /// Queue budget handed to QueryServer::SubmitOptions for wire queries.
+    double queue_budget_seconds = 0.25;
+    /// Frame-time admission deadline: a route-query frame whose last byte
+    /// arrives more than this after its first byte is shed before its
+    /// payload is decoded (<= 0 disables).
+    double admission_deadline_seconds = 0.0;
+    /// Snapshot for GET /health; when unset the endpoint serves a default
+    /// (empty) HealthSnapshot.
+    std::function<HealthSnapshot()> health_source;
+    /// Register this server (and, when serve != nullptr, the serve layer)
+    /// in the MetricsExporter source registry for the lifetime of
+    /// Start..Stop, so GET /metrics serves the aggregate document.
+    bool register_metrics_sources = true;
+  };
+
+  /// `serve` handles route queries and must outlive Stop(); nullptr makes
+  /// query opcodes answer FailedPrecondition (metrics/health still work).
+  explicit SocketServer(QueryServer* serve) : SocketServer(serve, Options()) {}
+  SocketServer(QueryServer* serve, Options options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens, spawns the event loops, and registers metrics
+  /// sources. FailedPrecondition if already started; Internal on socket
+  /// errors (the OS error is in the message).
+  Status Start();
+
+  /// Drains in-flight wire requests (bounded wait), parks the loops, joins
+  /// them, closes every socket, and unregisters metrics sources.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (after Start); 0 before.
+  uint16_t port() const { return port_; }
+
+  NetStatsSnapshot Stats() const;
+
+ private:
+  struct Connection;
+  struct EventLoop;
+  /// An encoded response crossing from a serve worker (or another loop)
+  /// back to the connection's owning loop.
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::vector<uint8_t> bytes;
+    /// Wire-latency sample start (0 = do not record).
+    uint64_t start_ns = 0;
+    /// net/request root linkage (0 = untraced).
+    uint64_t root_span_id = 0;
+    uint64_t net_request_id = 0;
+  };
+  /// Outlives the server in serve-callback captures: completions arriving
+  /// after Stop() drop here instead of touching freed loops.
+  struct CompletionRouter {
+    std::mutex mu;
+    SocketServer* server = nullptr;  ///< null once the server stops
+    std::atomic<int> in_flight{0};
+    std::atomic<uint64_t> dropped{0};
+  };
+
+  Status Listen();
+  void LoopMain(int loop_index);
+  void AcceptReady(EventLoop* loop);
+  void AdoptConnection(int fd);
+  void HandleReadable(EventLoop* loop, Connection* conn);
+  void HandleWritable(EventLoop* loop, Connection* conn);
+  void CloseConnection(EventLoop* loop, Connection* conn);
+  /// Flushes conn->out as far as the kernel accepts; false on fatal error.
+  bool TryWrite(Connection* conn);
+  void MaybeClose(EventLoop* loop, Connection* conn);
+
+  void ProcessBinaryFrames(EventLoop* loop, Connection* conn,
+                           std::vector<NetFrame>* frames);
+  void ProcessHttp(EventLoop* loop, Connection* conn);
+  void ServeHttpRequest(Connection* conn, const HttpRequest& req);
+  /// Submits a wire route query; writes a typed error frame on rejection.
+  void SubmitWireQuery(Connection* conn, const NetFrame& frame);
+  Status SubmitHttpQuery(Connection* conn, const HttpRequest& req);
+
+  void PostCompletion(int loop_index, Completion item);
+  void ApplyCompletion(EventLoop* loop, Completion* item);
+  void WakeLoop(EventLoop* loop);
+
+  void RegisterMetricsSources();
+  void UnregisterMetricsSources();
+
+  QueryServer* serve_;
+  Options options_;
+
+  int listen_fd_ = -1;
+  std::atomic<uint16_t> port_{0};
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::shared_ptr<CompletionRouter> router_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<uint64_t> next_net_request_{1};
+  std::atomic<int> next_loop_{0};
+
+  // Counters (written by loop threads, read by Stats()).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<size_t> connections_active_{0};
+  std::atomic<uint64_t> shed_conn_cap_{0};
+  std::atomic<uint64_t> shed_queue_full_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+  std::atomic<uint64_t> frame_bytes_consumed_{0};
+  std::atomic<uint64_t> frames_accepted_{0};
+  std::atomic<uint64_t> frames_bad_length_{0};
+  std::atomic<uint64_t> frames_bad_crc_{0};
+  std::atomic<uint64_t> frame_resync_bytes_{0};
+  std::atomic<uint64_t> rejected_bad_opcode_{0};
+  std::atomic<uint64_t> queries_answered_{0};
+  std::atomic<uint64_t> queries_failed_{0};
+  std::atomic<uint64_t> pings_{0};
+  std::atomic<uint64_t> http_metrics_{0};
+  std::atomic<uint64_t> http_health_{0};
+  std::atomic<uint64_t> http_query_{0};
+  std::atomic<uint64_t> http_bad_request_{0};
+  std::atomic<uint64_t> http_not_found_{0};
+  std::atomic<uint64_t> http_method_not_allowed_{0};
+  std::atomic<uint64_t> http_too_large_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  /// Bytes appended to write buffers and not yet accepted by the kernel —
+  /// Stop() waits for this to reach 0 (bounded) before parking the loops.
+  std::atomic<uint64_t> unflushed_bytes_{0};
+
+  mutable std::mutex latency_mu_;
+  LatencyHistogram wire_latency_;
+};
+
+}  // namespace tsdm
+
+#endif  // TSDM_NET_SOCKET_SERVER_H_

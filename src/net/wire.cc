@@ -1,0 +1,201 @@
+#include "src/net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/bytes.h"
+#include "src/ingest/crc32.h"
+
+namespace tsdm {
+
+namespace {
+
+/// Body length field of a buffered frame start (requires >= 5 bytes).
+uint32_t PeekBodyLen(const uint8_t* p) { return GetU32(p + 1); }
+
+bool BodyLenValid(uint32_t len) {
+  return len >= kNetBodyMinSize && len <= kNetBodyMaxSize;
+}
+
+}  // namespace
+
+size_t FrameParser::Consume(const uint8_t* data, size_t size,
+                            std::vector<NetFrame>* out) {
+  stats_.bytes_consumed += size;
+  pending_.insert(pending_.end(), data, data + size);
+
+  size_t emitted = 0;
+  size_t pos = 0;
+  const size_t n = pending_.size();
+  while (pos < n) {
+    // Resynchronize: skip to the next candidate magic byte.
+    if (pending_[pos] != kNetFrameMagic) {
+      ++pos;
+      ++stats_.resync_bytes;
+      continue;
+    }
+    // Need magic + length to size the frame.
+    if (n - pos < 5) break;
+    const uint32_t body_len = PeekBodyLen(&pending_[pos]);
+    if (!BodyLenValid(body_len)) {
+      ++stats_.rejected_bad_length;
+      last_error_ = Status::InvalidArgument(
+          "net: frame body length " + std::to_string(body_len) +
+          " outside [" + std::to_string(kNetBodyMinSize) + ", " +
+          std::to_string(kNetBodyMaxSize) + "]");
+      ++pos;  // one-byte resync: a bad frame costs at most itself
+      ++stats_.resync_bytes;
+      continue;
+    }
+    const size_t frame_size = kNetFrameOverhead + body_len;
+    if (n - pos < frame_size) break;  // wait for the rest
+    const uint8_t* frame = &pending_[pos];
+    const uint32_t want = Crc32(frame, 5 + body_len);
+    const uint32_t got = GetU32(frame + 5 + body_len);
+    if (want != got) {
+      ++stats_.rejected_bad_crc;
+      last_error_ = Status::DataLoss("net: frame CRC mismatch");
+      ++pos;
+      ++stats_.resync_bytes;
+      continue;
+    }
+    NetFrame parsed;
+    parsed.request_id = GetU64(frame + 5);
+    parsed.opcode = frame[13];
+    parsed.payload.assign(frame + kNetFrameHeaderSize,
+                          frame + 5 + body_len);
+    out->push_back(std::move(parsed));
+    ++stats_.frames_accepted;
+    ++emitted;
+    pos += frame_size;
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(pos));
+  return emitted;
+}
+
+void EncodeNetFrame(uint64_t request_id, NetOpcode opcode,
+                    const uint8_t* payload, size_t payload_size,
+                    std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  PutU8(out, kNetFrameMagic);
+  PutU32(out, static_cast<uint32_t>(kNetBodyMinSize + payload_size));
+  PutU64(out, request_id);
+  PutU8(out, static_cast<uint8_t>(opcode));
+  if (payload_size > 0) out->insert(out->end(), payload, payload + payload_size);
+  const uint32_t crc = Crc32(out->data() + start, out->size() - start);
+  PutU32(out, crc);
+}
+
+void EncodeRouteQueryPayload(const RouteQuery& query,
+                             std::vector<uint8_t>* out) {
+  PutU32(out, static_cast<uint32_t>(query.source));
+  PutU32(out, static_cast<uint32_t>(query.target));
+  PutU32(out, static_cast<uint32_t>(query.k));
+  PutU32(out, static_cast<uint32_t>(query.snapshot_id));
+  PutF64(out, query.depart_seconds);
+  PutF64(out, query.arrival_deadline_seconds);
+}
+
+Status DecodeRouteQueryPayload(const uint8_t* payload, size_t size,
+                               RouteQuery* out) {
+  if (size != kRouteQueryPayloadSize) {
+    return Status::InvalidArgument("net: route query payload is " +
+                                   std::to_string(size) + " bytes, want " +
+                                   std::to_string(kRouteQueryPayloadSize));
+  }
+  out->source = static_cast<int>(GetU32(payload));
+  out->target = static_cast<int>(GetU32(payload + 4));
+  out->k = static_cast<int>(GetU32(payload + 8));
+  out->snapshot_id = static_cast<int>(GetU32(payload + 12));
+  out->depart_seconds = GetF64(payload + 16);
+  out->arrival_deadline_seconds = GetF64(payload + 24);
+  return Status::OK();
+}
+
+void EncodeRouteAnswerPayload(const RouteAnswer& answer,
+                              std::vector<uint8_t>* out) {
+  PutU8(out, static_cast<uint8_t>(answer.status.code()));
+  if (!answer.status.ok()) {
+    PutF64(out, 0.0);
+    PutF64(out, 0.0);
+    PutU32(out, 0);
+    PutU32(out, 0);
+    return;
+  }
+  PutF64(out, answer.cost_mean_seconds);
+  PutF64(out, answer.on_time_probability);
+  PutU32(out, static_cast<uint32_t>(answer.num_candidates));
+  PutU32(out, static_cast<uint32_t>(answer.route.edges.size()));
+  for (int edge : answer.route.edges) {
+    PutU32(out, static_cast<uint32_t>(edge));
+  }
+}
+
+Status DecodeRouteAnswerPayload(const uint8_t* payload, size_t size,
+                                WireRouteAnswer* out) {
+  ByteReader reader(payload, size);
+  uint8_t code = 0;
+  uint32_t candidates = 0;
+  uint32_t edge_count = 0;
+  if (!reader.ReadU8(&code) || !reader.ReadF64(&out->cost_mean_seconds) ||
+      !reader.ReadF64(&out->on_time_probability) ||
+      !reader.ReadU32(&candidates) || !reader.ReadU32(&edge_count)) {
+    return Status::InvalidArgument("net: truncated route answer payload");
+  }
+  out->status_code = static_cast<StatusCode>(code);
+  out->num_candidates = static_cast<int>(candidates);
+  out->edges.clear();
+  out->edges.reserve(edge_count);
+  for (uint32_t i = 0; i < edge_count; ++i) {
+    uint32_t edge = 0;
+    if (!reader.ReadU32(&edge)) {
+      return Status::InvalidArgument("net: truncated route answer edges");
+    }
+    out->edges.push_back(edge);
+  }
+  if (!reader.Done()) {
+    return Status::InvalidArgument("net: trailing bytes after route answer");
+  }
+  return Status::OK();
+}
+
+void EncodeErrorPayload(const Status& status, std::vector<uint8_t>* out) {
+  PutU8(out, static_cast<uint8_t>(status.code()));
+  const std::string& msg = status.message();
+  // Bound the message so the error response always fits a frame body.
+  const size_t n = std::min(msg.size(), kNetBodyMaxSize - kNetBodyMinSize - 1);
+  out->insert(out->end(), msg.data(), msg.data() + n);
+}
+
+Status DecodeErrorPayload(const uint8_t* payload, size_t size) {
+  if (size < 1) {
+    return Status::InvalidArgument("net: empty error payload");
+  }
+  const StatusCode code = static_cast<StatusCode>(payload[0]);
+  std::string msg(reinterpret_cast<const char*>(payload + 1), size - 1);
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(msg));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(msg));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(msg));
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(std::move(msg));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(msg));
+  }
+  return Status::Internal("net: unknown wire status code " +
+                          std::to_string(static_cast<int>(code)));
+}
+
+}  // namespace tsdm

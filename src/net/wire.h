@@ -1,0 +1,146 @@
+#ifndef TSDM_NET_WIRE_H_
+#define TSDM_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/serve/request_queue.h"
+
+namespace tsdm {
+
+/// Binary request/response frame — the compact length-prefixed format the
+/// network front door speaks. Same framing discipline as the tick format
+/// (src/ingest/tick_codec.h): a magic byte, an explicit length, and a
+/// trailing CRC-32 that covers the header too, so a corrupted length byte
+/// fails the checksum instead of silently reframing the stream. All
+/// integers little-endian:
+///
+///   offset  size  field
+///   0       1     magic 0xC9
+///   1       4     u32 body length L (L = 9 + payload size, L in [9, 2^20])
+///   5       8     u64 request id (client-assigned, echoed in the response)
+///   13      1     u8 opcode
+///   14      L-9   payload (opcode-specific, see below)
+///   5+L     4     CRC-32 (IEEE) over bytes [0, 5+L)
+///
+/// Frame size on the wire = 9 + L. Request ids are an end-to-end
+/// correlation handle: the server never interprets them beyond echoing
+/// them, so clients may pipeline any number of requests on one connection
+/// and match answers by id.
+inline constexpr uint8_t kNetFrameMagic = 0xC9;
+inline constexpr size_t kNetFrameHeaderSize = 14;  ///< magic..opcode
+inline constexpr size_t kNetBodyMinSize = 9;       ///< request id + opcode
+inline constexpr size_t kNetBodyMaxSize = 1 << 20;
+inline constexpr size_t kNetFrameOverhead = 9;     ///< magic+len+crc wrap
+
+/// Request opcodes (client -> server) occupy [0x01, 0x7E]; response opcodes
+/// (server -> client) are the request opcode | 0x80. 0x7F is the typed
+/// error response any request can receive instead of its success response.
+enum class NetOpcode : uint8_t {
+  kPing = 0x01,        ///< empty payload; answered by kPong
+  kRouteQuery = 0x02,  ///< RouteQuery payload; answered by kRouteAnswer
+  kError = 0x7F,       ///< u8 status code | UTF-8 message
+  kPong = 0x81,        ///< empty payload
+  kRouteAnswer = 0x82, ///< see EncodeRouteAnswerPayload
+};
+
+/// One parsed frame: the body fields with the framing stripped.
+struct NetFrame {
+  uint64_t request_id = 0;
+  uint8_t opcode = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Exact bookkeeping of everything a FrameParser has seen, mirroring
+/// TickParserStats: every byte is inside an accepted frame, inside a
+/// rejected frame, skipped during resynchronization, or still pending.
+struct NetFrameStats {
+  uint64_t bytes_consumed = 0;
+  uint64_t frames_accepted = 0;
+  uint64_t rejected_bad_length = 0;  ///< body length outside [9, 2^20]
+  uint64_t rejected_bad_crc = 0;     ///< CRC mismatch (corruption)
+  /// Bytes skipped hunting for the next magic byte (garbage between frames
+  /// and the debris of rejected frames).
+  uint64_t resync_bytes = 0;
+
+  uint64_t RejectedTotal() const {
+    return rejected_bad_length + rejected_bad_crc;
+  }
+};
+
+/// Incremental parser for the net frame format: bytes go in chunk by chunk
+/// with arbitrary split points, validated NetFrames come out. Designed for
+/// hostile input exactly like the tick parser — no byte sequence may crash
+/// it or desynchronize it past the next intact frame. After any malformed
+/// frame it resynchronizes by scanning forward one byte at a time for the
+/// next magic byte, so a single flipped byte costs at most one frame.
+///
+/// Single-threaded: one parser per connection, driven by that connection's
+/// event loop.
+class FrameParser {
+ public:
+  /// Consumes `size` bytes, appending every accepted frame to *out (not
+  /// cleared). Returns the number of frames appended. Partial trailing
+  /// frames are buffered until the next call; the pending buffer is
+  /// bounded by the maximum frame size.
+  size_t Consume(const uint8_t* data, size_t size, std::vector<NetFrame>* out);
+
+  const NetFrameStats& stats() const { return stats_; }
+
+  /// The most recent rejection, as a typed Status (OK if nothing was ever
+  /// rejected): InvalidArgument for framing, DataLoss for CRC corruption.
+  const Status& last_error() const { return last_error_; }
+
+  /// Bytes buffered waiting for the rest of a frame.
+  size_t PendingBytes() const { return pending_.size(); }
+
+ private:
+  std::vector<uint8_t> pending_;
+  NetFrameStats stats_;
+  Status last_error_;
+};
+
+/// Appends the encoded frame (header, body, CRC) to *out.
+void EncodeNetFrame(uint64_t request_id, NetOpcode opcode,
+                    const uint8_t* payload, size_t payload_size,
+                    std::vector<uint8_t>* out);
+
+// --- Opcode payloads ------------------------------------------------------
+
+/// kRouteQuery payload (32 bytes):
+///   i32 source | i32 target | i32 k | i32 snapshot_id |
+///   f64 depart_seconds | f64 arrival_deadline_seconds
+inline constexpr size_t kRouteQueryPayloadSize = 32;
+void EncodeRouteQueryPayload(const RouteQuery& query,
+                             std::vector<uint8_t>* out);
+Status DecodeRouteQueryPayload(const uint8_t* payload, size_t size,
+                               RouteQuery* out);
+
+/// kRouteAnswer payload:
+///   u8 status code | f64 cost_mean_seconds | f64 on_time_probability |
+///   i32 num_candidates | u32 edge count N | u32 edge id x N
+/// A non-OK status carries zeroed summary fields and N = 0.
+void EncodeRouteAnswerPayload(const RouteAnswer& answer,
+                              std::vector<uint8_t>* out);
+
+/// Client-side decoded answer: the wire image of RouteAnswer (the Path is
+/// flattened to edge ids — the client does not hold the RoadNetwork).
+struct WireRouteAnswer {
+  StatusCode status_code = StatusCode::kOk;
+  double cost_mean_seconds = 0.0;
+  double on_time_probability = 0.0;
+  int num_candidates = 0;
+  std::vector<uint32_t> edges;
+};
+Status DecodeRouteAnswerPayload(const uint8_t* payload, size_t size,
+                                WireRouteAnswer* out);
+
+/// kError payload: u8 status code | UTF-8 message (rest of payload).
+void EncodeErrorPayload(const Status& status, std::vector<uint8_t>* out);
+Status DecodeErrorPayload(const uint8_t* payload, size_t size);
+
+}  // namespace tsdm
+
+#endif  // TSDM_NET_WIRE_H_

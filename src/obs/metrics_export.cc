@@ -470,6 +470,200 @@ std::string MetricsExporter::TraceToPrometheus(const TraceRecorder& recorder,
   return os.str();
 }
 
+std::string MetricsExporter::NetToJson(const NetStatsSnapshot& s) {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"net\":{"
+     << "\"connections\":{"
+     << "\"accepted\":" << U64(s.connections_accepted)
+     << ",\"closed\":" << U64(s.connections_closed)
+     << ",\"active\":" << s.connections_active << "}"
+     << ",\"sheds\":{"
+     << "\"conn_cap\":" << U64(s.shed_conn_cap)
+     << ",\"queue_full\":" << U64(s.shed_queue_full)
+     << ",\"deadline\":" << U64(s.shed_deadline)
+     << ",\"total\":" << U64(s.ShedTotal()) << "}"
+     << ",\"frames\":{"
+     << "\"bytes_consumed\":" << U64(s.frames.bytes_consumed)
+     << ",\"accepted\":" << U64(s.frames.frames_accepted)
+     << ",\"rejected\":{"
+     << "\"bad_length\":" << U64(s.frames.rejected_bad_length)
+     << ",\"bad_crc\":" << U64(s.frames.rejected_bad_crc)
+     << ",\"bad_opcode\":" << U64(s.rejected_bad_opcode) << "}"
+     << ",\"resync_bytes\":" << U64(s.frames.resync_bytes) << "}"
+     << ",\"queries_answered\":" << U64(s.queries_answered)
+     << ",\"queries_failed\":" << U64(s.queries_failed)
+     << ",\"pings\":" << U64(s.pings)
+     << ",\"http\":{"
+     << "\"metrics\":" << U64(s.http_metrics)
+     << ",\"health\":" << U64(s.http_health)
+     << ",\"query\":" << U64(s.http_query)
+     << ",\"bad_request\":" << U64(s.http_bad_request)
+     << ",\"not_found\":" << U64(s.http_not_found)
+     << ",\"method_not_allowed\":" << U64(s.http_method_not_allowed)
+     << ",\"too_large\":" << U64(s.http_too_large)
+     << ",\"errors_total\":" << U64(s.HttpErrorsTotal()) << "}"
+     << ",\"completions_dropped\":" << U64(s.completions_dropped)
+     << ",\"bytes_read\":" << U64(s.bytes_read)
+     << ",\"bytes_written\":" << U64(s.bytes_written)
+     << ",\"wire_latency\":" << LatencyToJson(s.wire_latency) << "}}";
+  return os.str();
+}
+
+std::string MetricsExporter::NetToPrometheus(const NetStatsSnapshot& s,
+                                             const std::string& prefix) {
+  std::ostringstream os;
+  const std::string conns = prefix + "_net_connections_total";
+  Family(&os, conns, "counter", "Connections accepted since start.");
+  os << conns << " " << U64(s.connections_accepted) << "\n";
+  const std::string active = prefix + "_net_connections_active";
+  Family(&os, active, "gauge", "Currently open connections.");
+  os << active << " " << s.connections_active << "\n";
+  const std::string sheds = prefix + "_net_sheds_total";
+  Family(&os, sheds, "counter",
+         "Wire requests shed by socket-layer admission control BEFORE "
+         "payload deserialization, by reason.");
+  os << sheds << "{reason=\"conn_cap\"} " << U64(s.shed_conn_cap) << "\n";
+  os << sheds << "{reason=\"queue_full\"} " << U64(s.shed_queue_full) << "\n";
+  os << sheds << "{reason=\"deadline\"} " << U64(s.shed_deadline) << "\n";
+  const std::string faccept = prefix + "_net_frames_accepted_total";
+  Family(&os, faccept, "counter", "Binary frames accepted by the parser.");
+  os << faccept << " " << U64(s.frames.frames_accepted) << "\n";
+  const std::string frej = prefix + "_net_frames_rejected_total";
+  Family(&os, frej, "counter", "Binary frames rejected, by reason.");
+  os << frej << "{reason=\"bad_length\"} " << U64(s.frames.rejected_bad_length)
+     << "\n";
+  os << frej << "{reason=\"bad_crc\"} " << U64(s.frames.rejected_bad_crc)
+     << "\n";
+  os << frej << "{reason=\"bad_opcode\"} " << U64(s.rejected_bad_opcode)
+     << "\n";
+  const std::string resync = prefix + "_net_resync_bytes_total";
+  Family(&os, resync, "counter",
+         "Bytes skipped hunting for a frame boundary (corruption debris).");
+  os << resync << " " << U64(s.frames.resync_bytes) << "\n";
+  const std::string queries = prefix + "_net_queries_total";
+  Family(&os, queries, "counter",
+         "Binary route queries completed, by outcome.");
+  os << queries << "{outcome=\"answered\"} " << U64(s.queries_answered)
+     << "\n";
+  os << queries << "{outcome=\"failed\"} " << U64(s.queries_failed) << "\n";
+  const std::string pings = prefix + "_net_pings_total";
+  Family(&os, pings, "counter", "Ping frames answered.");
+  os << pings << " " << U64(s.pings) << "\n";
+  const std::string http = prefix + "_net_http_requests_total";
+  Family(&os, http, "counter", "HTTP requests served OK, by endpoint.");
+  os << http << "{endpoint=\"metrics\"} " << U64(s.http_metrics) << "\n";
+  os << http << "{endpoint=\"health\"} " << U64(s.http_health) << "\n";
+  os << http << "{endpoint=\"query\"} " << U64(s.http_query) << "\n";
+  const std::string herr = prefix + "_net_http_errors_total";
+  Family(&os, herr, "counter", "HTTP error responses, by status class.");
+  os << herr << "{status=\"400\"} " << U64(s.http_bad_request) << "\n";
+  os << herr << "{status=\"404\"} " << U64(s.http_not_found) << "\n";
+  os << herr << "{status=\"405\"} " << U64(s.http_method_not_allowed) << "\n";
+  os << herr << "{status=\"431\"} " << U64(s.http_too_large) << "\n";
+  const std::string dropped = prefix + "_net_completions_dropped_total";
+  Family(&os, dropped, "counter",
+         "Serve answers whose connection closed before the response was "
+         "written.");
+  os << dropped << " " << U64(s.completions_dropped) << "\n";
+  const std::string bytes = prefix + "_net_bytes_total";
+  Family(&os, bytes, "counter", "Socket bytes moved, by direction.");
+  os << bytes << "{direction=\"read\"} " << U64(s.bytes_read) << "\n";
+  os << bytes << "{direction=\"written\"} " << U64(s.bytes_written) << "\n";
+  const std::string lat = prefix + "_net_request_latency_seconds";
+  Family(&os, lat, "summary",
+         "Wire-level binary request latency in seconds (first byte read to "
+         "response handed to the kernel).");
+  LatencySummary(&os, lat, "", s.wire_latency);
+  return os.str();
+}
+
+namespace {
+
+/// The process-wide metrics source registry behind ExportPrometheus /
+/// ExportJson. Registration order is preserved so the aggregate documents
+/// are deterministic.
+struct SourceEntry {
+  std::string name;
+  MetricsExporter::PrometheusSourceFn prometheus;
+  MetricsExporter::JsonSourceFn json;
+};
+
+struct SourceRegistry {
+  std::mutex mu;
+  std::vector<SourceEntry> entries;
+};
+
+SourceRegistry& Sources() {
+  static SourceRegistry* registry = new SourceRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+void MetricsExporter::RegisterSource(const std::string& name,
+                                     PrometheusSourceFn prometheus,
+                                     JsonSourceFn json) {
+  SourceRegistry& reg = Sources();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (SourceEntry& entry : reg.entries) {
+    if (entry.name == name) {
+      entry.prometheus = std::move(prometheus);
+      entry.json = std::move(json);
+      return;
+    }
+  }
+  reg.entries.push_back({name, std::move(prometheus), std::move(json)});
+}
+
+void MetricsExporter::UnregisterSource(const std::string& name) {
+  SourceRegistry& reg = Sources();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto it = reg.entries.begin(); it != reg.entries.end(); ++it) {
+    if (it->name == name) {
+      reg.entries.erase(it);
+      return;
+    }
+  }
+}
+
+std::string MetricsExporter::ExportPrometheus(const std::string& prefix) {
+  // Snapshot the closures under the lock, run them outside it: a source's
+  // snapshot function may itself take subsystem locks, and holding the
+  // registry lock across user code invites ordering cycles.
+  std::vector<SourceEntry> entries;
+  {
+    SourceRegistry& reg = Sources();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    entries = reg.entries;
+  }
+  std::ostringstream os;
+  for (const SourceEntry& entry : entries) {
+    os << "# SOURCE " << entry.name << "\n";
+    if (entry.prometheus) os << entry.prometheus(prefix);
+  }
+  return os.str();
+}
+
+std::string MetricsExporter::ExportJson() {
+  std::vector<SourceEntry> entries;
+  {
+    SourceRegistry& reg = Sources();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    entries = reg.entries;
+  }
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"sources\":{";
+  bool first = true;
+  for (const SourceEntry& entry : entries) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscape(entry.name) << "\":";
+    os << (entry.json ? entry.json() : std::string("null"));
+  }
+  os << "}}";
+  return os.str();
+}
+
 std::string MetricsExporter::StreamToJson(const StreamPipeline& pipeline) {
   std::ostringstream os;
   os << "{\"schema_version\":" << kSchemaVersion << ",\"stream\":{"

@@ -1,11 +1,15 @@
 #ifndef TSDM_OBS_METRICS_EXPORT_H_
 #define TSDM_OBS_METRICS_EXPORT_H_
 
+#include <functional>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/common/histogram_ext.h"
 #include "src/core/executor.h"
 #include "src/ingest/ingest_service.h"
+#include "src/net/net_stats.h"
 #include "src/obs/health.h"
 #include "src/obs/trace.h"
 #include "src/serve/serve_stats.h"
@@ -85,9 +89,50 @@ class MetricsExporter {
   static std::string TraceToPrometheus(const TraceRecorder& recorder,
                                        const std::string& prefix = "tsdm");
 
+  /// Socket front-door snapshot: connection gauges, the typed shed
+  /// counters (`<prefix>_net_sheds_total{reason=...}` — each shed happened
+  /// BEFORE payload deserialization), frame accept/reject/resync counters
+  /// mirroring the ingest parser's families, per-endpoint HTTP counters,
+  /// byte counters by direction, and the wire-level request latency
+  /// summary.
+  static std::string NetToJson(const NetStatsSnapshot& snapshot);
+  static std::string NetToPrometheus(const NetStatsSnapshot& snapshot,
+                                     const std::string& prefix = "tsdm");
+
   /// {"count":..,"mean_s":..,"p50_s":..,"p95_s":..,"p99_s":..,"min_s":..,
   ///  "max_s":..} — NaN-free for any histogram state, including empty.
   static std::string LatencyToJson(const LatencyHistogram& h);
+
+  // --- Registration-based aggregate export ------------------------------
+  //
+  // Each live subsystem registers one snapshot closure pair at startup
+  // (and unregisters at shutdown); ExportPrometheus/ExportJson then serve
+  // the whole process as ONE document. This is what GET /metrics returns:
+  // the concatenation, in registration order, of every source's existing
+  // per-subsystem export — the per-subsystem methods above stay the
+  // single source of formatting truth and become the closures' bodies.
+
+  /// Produces this source's Prometheus text under the given family prefix.
+  using PrometheusSourceFn = std::function<std::string(const std::string&)>;
+  /// Produces this source's JSON document (a complete JSON object).
+  using JsonSourceFn = std::function<std::string()>;
+
+  /// Registers (or replaces, by name) a metrics source. Closures are
+  /// invoked on the exporting thread and must be internally synchronized,
+  /// like the Stats()/snapshot methods they wrap.
+  static void RegisterSource(const std::string& name,
+                             PrometheusSourceFn prometheus, JsonSourceFn json);
+  /// Removes a source; unknown names are a no-op. Call before the
+  /// underlying subsystem is destroyed — closures dangle otherwise.
+  static void UnregisterSource(const std::string& name);
+
+  /// Concatenates every registered source's Prometheus text in
+  /// registration order, separated by `# SOURCE <name>` comment lines.
+  static std::string ExportPrometheus(const std::string& prefix = "tsdm");
+
+  /// {"schema_version":1,"sources":{"<name>":<source json>,...}} in
+  /// registration order.
+  static std::string ExportJson();
 };
 
 }  // namespace tsdm

@@ -26,6 +26,7 @@ QueryServer::QueryServer(const RoadNetwork* network, PathCostModel base_model,
 QueryServer::~QueryServer() { Stop(); }
 
 Status QueryServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (started_) {
     return Status::FailedPrecondition("QueryServer: already started");
   }
@@ -37,33 +38,63 @@ Status QueryServer::Start() {
 }
 
 void QueryServer::Stop() {
-  if (!started_) return;
-  // Closing first makes Submit reject new work and sheds whatever is
-  // still queued; the dispatcher then flushes its pending batches to the
-  // workers on its way out.
-  queue_.Close();
-  running_.store(false, std::memory_order_release);
-  dispatcher_.join();
+  // Exactly one caller owns the shutdown: the lifecycle lock makes
+  // concurrent Stops (owner thread + destructor, health hooks, the wire
+  // front door) collapse to no-ops instead of a double join, and the
+  // dispatcher handle moves out so the join itself runs unlocked —
+  // Stats() and Submit() stay callable during the drain.
+  std::thread dispatcher;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    // Closing first makes Submit reject new work and sheds whatever is
+    // still queued; the dispatcher then flushes its pending batches to
+    // the workers on its way out. Submit admits before Start too, so the
+    // queue closes even when the server never started — the exactly-once
+    // callback contract holds for those requests as well.
+    queue_.Close();
+    if (!started_) return;
+    started_ = false;
+    running_.store(false, std::memory_order_release);
+    dispatcher = std::move(dispatcher_);
+  }
+  if (dispatcher.joinable()) dispatcher.join();
   pool_.Wait();
-  started_ = false;
+}
+
+Status QueryServer::Submit(RouteQuery query,
+                           std::function<void(const RouteAnswer&)> on_done,
+                           const SubmitOptions& options) {
+  ServeRequest req;
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // Root of this request's span tree; ids are 1-based because request_id 0
+  // means "no request". Every later span — queue wait, batch wait, exec,
+  // path-cost, shed — attaches under this root via req.trace. A caller
+  // with its own root (the wire front door's `net/request`) passes it as
+  // trace_parent and the submit span becomes a child in that tree instead.
+  const TraceContext root = options.trace_parent.ForRequest()
+                                ? options.trace_parent
+                                : TraceContext{req.id + 1, 0};
+  TraceSpan span("serve/submit", root, static_cast<int64_t>(req.id));
+  req.trace = span.ChildContext();
+  req.query = query;
+  req.enqueue_ns = TraceRecorder::NowNs();
+  req.queue_budget_seconds = options.queue_budget_seconds;
+  req.priority = options.priority;
+  req.client_request_id = options.client_request_id;
+  req.on_done = std::move(on_done);
+  return queue_.Push(std::move(req));
 }
 
 Status QueryServer::Submit(RouteQuery query,
                            std::function<void(const RouteAnswer&)> on_done,
                            double queue_budget_seconds) {
-  ServeRequest req;
-  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  // Root of this request's span tree; ids are 1-based because request_id 0
-  // means "no request". Every later span — queue wait, batch wait, exec,
-  // path-cost, shed — attaches under this root via req.trace.
-  TraceSpan span("serve/submit", TraceContext{req.id + 1, 0},
-                 static_cast<int64_t>(req.id));
-  req.trace = span.ChildContext();
-  req.query = query;
-  req.enqueue_ns = TraceRecorder::NowNs();
-  req.queue_budget_seconds = queue_budget_seconds;
-  req.on_done = std::move(on_done);
-  return queue_.Push(std::move(req));
+  SubmitOptions options;
+  options.queue_budget_seconds = queue_budget_seconds;
+  return Submit(std::move(query), std::move(on_done), options);
+}
+
+bool QueryServer::QueueFull() const {
+  return queue_.GetStats().depth >= options_.queue.capacity;
 }
 
 void QueryServer::WaitIdle() const {
@@ -188,6 +219,7 @@ void QueryServer::ServeOne(const ServeRequest& req) {
   TraceSpan span("serve/exec", req.trace, static_cast<int64_t>(req.id));
   const TraceContext exec_ctx = span.ChildContext();
   RouteAnswer answer;
+  answer.client_request_id = req.client_request_id;
   answer.queue_seconds =
       1e-9 * static_cast<double>(start_ns - req.enqueue_ns);
 

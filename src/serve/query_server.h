@@ -82,12 +82,47 @@ class QueryServer {
   /// in-flight work. Idempotent.
   void Stop();
 
+  /// Per-request submission knobs — the one submit surface shared by every
+  /// entry point (in-process callers and the wire front door construct the
+  /// same struct).
+  struct SubmitOptions {
+    /// Max queueing time before the request is shed at pop; <= 0 = none.
+    double queue_budget_seconds = 0.25;
+    /// Scheduling class placeholder: recorded on the request but not yet
+    /// acted on (weighted-fair queueing is a ROADMAP item). 0 = default.
+    int priority = 0;
+    /// Caller-assigned correlation id, echoed verbatim in
+    /// RouteAnswer::client_request_id (0 = unset).
+    uint64_t client_request_id = 0;
+    /// When set (ForRequest()), the request's `serve/submit` span attaches
+    /// under this context instead of rooting a new trace tree — how the
+    /// socket layer links `net/read -> serve/submit -> net/write` into one
+    /// tree per wire request.
+    TraceContext trace_parent;
+  };
+
   /// Admission control: OK means `on_done` will be called exactly once;
   /// a shed returns ResourceExhausted (queue full) or FailedPrecondition
   /// (stopped) immediately and `on_done` is NOT retained.
   Status Submit(RouteQuery query,
                 std::function<void(const RouteAnswer&)> on_done,
-                double queue_budget_seconds = 0.25);
+                const SubmitOptions& options);
+  Status Submit(RouteQuery query,
+                std::function<void(const RouteAnswer&)> on_done) {
+    return Submit(std::move(query), std::move(on_done), SubmitOptions());
+  }
+
+  /// Deprecated pre-SubmitOptions surface; delegates to the struct form.
+  /// Kept for one release so out-of-tree callers migrate on their own
+  /// schedule.
+  [[deprecated("pass QueryServer::SubmitOptions instead")]]
+  Status Submit(RouteQuery query,
+                std::function<void(const RouteAnswer&)> on_done,
+                double queue_budget_seconds);
+
+  /// True when the admission queue is at capacity — the cheap socket-layer
+  /// probe for shedding a wire request before its payload is even decoded.
+  bool QueueFull() const;
 
   /// Blocks until every admitted request has reached a terminal state
   /// (answered or shed) and no batch is in flight.
@@ -167,6 +202,10 @@ class QueryServer {
   std::atomic<uint64_t> next_id_{0};
   std::atomic<int> in_flight_batches_{0};
 
+  // Start/Stop lifecycle. The mutex serializes concurrent Stops (owner +
+  // destructor + monitoring hooks) so the dispatcher is joined exactly
+  // once; `started_` is only touched under it.
+  mutable std::mutex lifecycle_mu_;
   std::thread dispatcher_;
   std::atomic<bool> running_{false};
   bool started_ = false;

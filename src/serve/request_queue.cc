@@ -21,6 +21,7 @@ void AnswerShed(const ServeRequest& req, Status status) {
   if (!req.on_done) return;
   RouteAnswer answer;
   answer.status = std::move(status);
+  answer.client_request_id = req.client_request_id;
   answer.queue_seconds = 1e-9 * static_cast<double>(now_ns - req.enqueue_ns);
   answer.stages.queue_ns = now_ns >= req.enqueue_ns
                                ? now_ns - req.enqueue_ns

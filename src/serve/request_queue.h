@@ -55,6 +55,10 @@ struct RouteAnswer {
   double queue_seconds = 0.0;       ///< admission -> worker pickup
   double service_seconds = 0.0;     ///< worker pickup -> answer
   StageBreakdown stages;            ///< where the end-to-end time went
+  /// SubmitOptions::client_request_id, echoed verbatim (0 if unset) — the
+  /// correlation handle for callers multiplexing many requests, e.g. the
+  /// wire front door matching answers back to connections.
+  uint64_t client_request_id = 0;
 };
 
 /// A queued request: the query plus its admission timestamp, queueing
@@ -68,6 +72,8 @@ struct ServeRequest {
   uint64_t dequeue_ns = 0;        ///< set by PopBatch when the dispatcher pops
   uint64_t batch_id = 0;          ///< set by MicroBatcher at dispatch (0=none)
   double queue_budget_seconds = 0.25;  ///< max queueing time; <= 0 = none
+  int priority = 0;               ///< SubmitOptions::priority (recorded only)
+  uint64_t client_request_id = 0; ///< echoed into RouteAnswer
   /// Request-tree linkage: request_id identifies this request in the trace,
   /// parent_span_id is the submit (root) span every later span attaches to.
   TraceContext trace;

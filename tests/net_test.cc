@@ -1,0 +1,627 @@
+// Loopback end-to-end tests for the network front door: binary protocol
+// correctness (pipelining, request-id echo), HTTP endpoints (/metrics
+// equivalence with the in-process export, /health, POST /query and its
+// error statuses), typed socket-layer sheds that happen before payload
+// deserialization, hostile-byte resynchronization on a live connection,
+// trace-span linkage across net and serve, and concurrent clients (the
+// TSan target).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/net/net_client.h"
+#include "src/net/socket_server.h"
+#include "src/obs/metrics_export.h"
+#include "src/obs/trace.h"
+#include "src/serve/query_server.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+
+namespace tsdm {
+namespace {
+
+constexpr char kLoopback[] = "127.0.0.1";
+
+/// Same trained-grid fixture as serve_test.cc: a 5x5 grid with an
+/// edge-centric cost model trained on every edge, so any route query
+/// between grid nodes has coverage.
+struct NetFixture {
+  GridNetworkSpec spec;
+  RoadNetwork net;
+  EdgeCentricModel model;
+
+  NetFixture() : spec(MakeSpec()), net(MakeNet(spec)), model(0) {
+    model = EdgeCentricModel(static_cast<int>(net.NumEdges()));
+    TrafficSimulator sim(&net, TrafficSpec{});
+    Rng rng(11);
+    for (int e = 0; e < static_cast<int>(net.NumEdges()); ++e) {
+      for (int rep = 0; rep < 8; ++rep) {
+        TripObservation trip;
+        trip.edge_path = {e};
+        trip.depart_seconds = 8 * 3600.0;
+        trip.edge_times = {sim.SampleEdgeTime(e, trip.depart_seconds, &rng)};
+        model.AddTrip(trip);
+      }
+    }
+    Status built = model.Build();
+    EXPECT_TRUE(built.ok()) << built.ToString();
+  }
+
+  static GridNetworkSpec MakeSpec() {
+    GridNetworkSpec spec;
+    spec.rows = 5;
+    spec.cols = 5;
+    return spec;
+  }
+  static RoadNetwork MakeNet(const GridNetworkSpec& spec) {
+    Rng rng(3);
+    return GenerateGridNetwork(spec, &rng);
+  }
+
+  PathCostModel BaseModel() const {
+    const EdgeCentricModel* m = &model;
+    return [m](const std::vector<int>& edges, double depart) {
+      return m->PathCostDistribution(edges, depart, 32);
+    };
+  }
+
+  RouteQuery Query(int i = 0) const {
+    RouteQuery q;
+    q.source = GridNodeId(spec, 0, 0);
+    q.target = GridNodeId(spec, 4, (i % 2) ? 4 : 3);
+    q.k = 3;
+    q.depart_seconds = 8 * 3600.0;
+    q.arrival_deadline_seconds = q.depart_seconds + 1200.0;
+    return q;
+  }
+};
+
+TEST(SocketServerTest, BinaryLoopbackAnswersQueriesAndPings) {
+  NetFixture fx;
+  QueryServer::Options sopts;
+  sopts.autoscale_enabled = false;
+  QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+  ASSERT_TRUE(serve.Start().ok());
+
+  SocketServer server(&serve);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());  // double start rejected
+  ASSERT_GT(server.port(), 0);
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect(kLoopback, server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+
+  const int kQueries = 20;
+  for (int i = 0; i < kQueries; ++i) {
+    WireRouteAnswer answer;
+    Status s = client.Query(fx.Query(i), &answer);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(answer.status_code, StatusCode::kOk);
+    EXPECT_FALSE(answer.edges.empty());
+    EXPECT_GT(answer.cost_mean_seconds, 0.0);
+    EXPECT_GE(answer.on_time_probability, 0.0);
+    EXPECT_LE(answer.on_time_probability, 1.0);
+    EXPECT_GT(answer.num_candidates, 0);
+  }
+
+  // The wire answer must agree with the same query served in-process.
+  WireRouteAnswer wire;
+  ASSERT_TRUE(client.Query(fx.Query(0), &wire).ok());
+  RouteAnswer local;
+  std::atomic<bool> done{false};
+  ASSERT_TRUE(serve
+                  .Submit(fx.Query(0),
+                          [&](const RouteAnswer& a) {
+                            local = a;
+                            done.store(true);
+                          })
+                  .ok());
+  serve.WaitIdle();
+  ASSERT_TRUE(done.load());
+  ASSERT_TRUE(local.status.ok());
+  EXPECT_EQ(wire.edges.size(), local.route.edges.size());
+  for (size_t i = 0; i < wire.edges.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(wire.edges[i]), local.route.edges[i]);
+  }
+  EXPECT_DOUBLE_EQ(wire.cost_mean_seconds, local.cost_mean_seconds);
+
+  NetStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.pings, 1u);
+  EXPECT_EQ(stats.queries_answered, static_cast<uint64_t>(kQueries) + 1);
+  EXPECT_EQ(stats.queries_failed, 0u);
+  EXPECT_EQ(stats.frames.frames_accepted, static_cast<uint64_t>(kQueries) + 2);
+  EXPECT_EQ(stats.frames.RejectedTotal(), 0u);
+  EXPECT_EQ(stats.ShedTotal(), 0u);
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.connections_active, 1u);
+  EXPECT_GT(stats.bytes_read, 0u);
+  EXPECT_GT(stats.bytes_written, 0u);
+  EXPECT_EQ(stats.wire_latency.count(), static_cast<uint64_t>(kQueries) + 1);
+
+  client.Close();
+  server.Stop();
+  server.Stop();  // idempotent
+  serve.Stop();
+  EXPECT_EQ(server.Stats().connections_active, 0u);
+}
+
+TEST(SocketServerTest, PipelinedQueriesMatchAnswersById) {
+  NetFixture fx;
+  QueryServer::Options sopts;
+  sopts.autoscale_enabled = false;
+  QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+  ASSERT_TRUE(serve.Start().ok());
+  SocketServer server(&serve);
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect(kLoopback, server.port()).ok());
+
+  // Fire a burst without reading, then collect: every request id must be
+  // answered exactly once (order on the wire may interleave with serve
+  // completion order).
+  const int kBurst = 16;
+  std::vector<uint64_t> sent;
+  for (int i = 0; i < kBurst; ++i) {
+    uint64_t id = 0;
+    ASSERT_TRUE(client.SendQuery(fx.Query(i), &id).ok());
+    sent.push_back(id);
+  }
+  std::vector<uint64_t> got;
+  for (int i = 0; i < kBurst; ++i) {
+    uint64_t id = 0;
+    WireRouteAnswer answer;
+    ASSERT_TRUE(client.ReceiveAnswer(&id, &answer).ok());
+    EXPECT_EQ(answer.status_code, StatusCode::kOk);
+    got.push_back(id);
+  }
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, sent);  // ids were issued in increasing order
+
+  client.Close();
+  server.Stop();
+  serve.Stop();
+}
+
+TEST(SocketServerTest, HttpMetricsMatchesInProcessExport) {
+  NetFixture fx;
+  QueryServer::Options sopts;
+  sopts.autoscale_enabled = false;
+  QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+  ASSERT_TRUE(serve.Start().ok());
+  SocketServer server(&serve);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Drive some traffic so the exported counters are non-trivial.
+  NetClient client;
+  ASSERT_TRUE(client.Connect(kLoopback, server.port()).ok());
+  ASSERT_TRUE(client.Ping().ok());
+  for (int i = 0; i < 5; ++i) {
+    WireRouteAnswer answer;
+    ASSERT_TRUE(client.Query(fx.Query(i), &answer).ok());
+  }
+  serve.WaitIdle();
+
+  NetClient::HttpResponse res;
+  ASSERT_TRUE(
+      NetClient::HttpGet(kLoopback, server.port(), "/metrics", &res).ok());
+  EXPECT_EQ(res.status_code, 200);
+  bool typed = false;
+  for (const auto& h : res.headers) {
+    if (h.first == "content-type") {
+      EXPECT_EQ(h.second, "text/plain; version=0.0.4");
+      typed = true;
+    }
+  }
+  EXPECT_TRUE(typed);
+
+  // The scraped document is the source-registry aggregate: both live
+  // subsystems present, in registration order.
+  const size_t net_at = res.body.find("# SOURCE net\n");
+  const size_t serve_at = res.body.find("# SOURCE serve\n");
+  ASSERT_NE(net_at, std::string::npos);
+  ASSERT_NE(serve_at, std::string::npos);
+  EXPECT_LT(net_at, serve_at);
+
+  // Serve counters are quiescent (WaitIdle; the scrape itself does not
+  // touch them), so the serve section must be byte-identical to the
+  // in-process per-subsystem export — the registry adds routing, never
+  // reformatting.
+  const std::string serve_section =
+      res.body.substr(serve_at + std::string("# SOURCE serve\n").size());
+  EXPECT_EQ(serve_section, MetricsExporter::ServeToPrometheus(serve.Stats()));
+
+  // Net counters move with the scrape itself (its own connection, bytes),
+  // but the query/ping counters were frozen before the scrape: the scraped
+  // lines must carry the exact pre-scrape values.
+  const std::string net_section = res.body.substr(net_at, serve_at - net_at);
+  EXPECT_NE(
+      net_section.find("tsdm_net_queries_total{outcome=\"answered\"} 5\n"),
+      std::string::npos);
+  EXPECT_NE(net_section.find("tsdm_net_pings_total 1\n"), std::string::npos);
+  EXPECT_NE(net_section.find("tsdm_net_sheds_total{reason=\"queue_full\"} 0\n"),
+            std::string::npos);
+
+  // The JSON aggregate carries the same sources.
+  const std::string json = MetricsExporter::ExportJson();
+  EXPECT_NE(json.find("\"sources\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"net\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"serve\":{"), std::string::npos);
+
+  client.Close();
+  server.Stop();
+  serve.Stop();
+
+  // Stop unregisters both sources: the aggregate no longer mentions them.
+  const std::string after = MetricsExporter::ExportPrometheus();
+  EXPECT_EQ(after.find("# SOURCE net\n"), std::string::npos);
+  EXPECT_EQ(after.find("# SOURCE serve\n"), std::string::npos);
+}
+
+TEST(SocketServerTest, HttpHealthQueryAndErrorStatuses) {
+  NetFixture fx;
+  QueryServer::Options sopts;
+  sopts.autoscale_enabled = false;
+  QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+  ASSERT_TRUE(serve.Start().ok());
+
+  SocketServer::Options nopts;
+  nopts.health_source = [] {
+    HealthSnapshot snap;
+    snap.state = HealthState::kDegraded;
+    snap.samples = 7;
+    return snap;
+  };
+  SocketServer server(&serve, nopts);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  NetClient::HttpResponse res;
+  ASSERT_TRUE(NetClient::HttpGet(kLoopback, port, "/health", &res).ok());
+  EXPECT_EQ(res.status_code, 200);
+  EXPECT_NE(res.body.find("\"state\":\"degraded\""), std::string::npos)
+      << res.body;
+  EXPECT_NE(res.body.find("\"samples\":7"), std::string::npos);
+
+  const std::string body =
+      "{\"source\": " + std::to_string(fx.Query(0).source) +
+      ", \"target\": " + std::to_string(fx.Query(0).target) +
+      ", \"k\": 3, \"depart_seconds\": 28800.0, "
+      "\"arrival_deadline_seconds\": 30000.0, \"request_id\": 99}";
+  ASSERT_TRUE(NetClient::HttpPost(kLoopback, port, "/query",
+                                  "application/json", body, &res)
+                  .ok());
+  EXPECT_EQ(res.status_code, 200);
+  EXPECT_NE(res.body.find("\"status\":\"ok\""), std::string::npos) << res.body;
+  EXPECT_NE(res.body.find("\"request_id\":99"), std::string::npos);
+  EXPECT_NE(res.body.find("\"route_edges\":["), std::string::npos);
+
+  // Missing numeric source/target: 400, shed before any serve submit.
+  ASSERT_TRUE(NetClient::HttpPost(kLoopback, port, "/query",
+                                  "application/json", "{\"nope\": true}", &res)
+                  .ok());
+  EXPECT_EQ(res.status_code, 400);
+  // Unknown path: 404.
+  ASSERT_TRUE(NetClient::HttpGet(kLoopback, port, "/nothing", &res).ok());
+  EXPECT_EQ(res.status_code, 404);
+  // Wrong method on a known path: 405, both directions.
+  ASSERT_TRUE(NetClient::HttpGet(kLoopback, port, "/query", &res).ok());
+  EXPECT_EQ(res.status_code, 405);
+  ASSERT_TRUE(NetClient::HttpPost(kLoopback, port, "/metrics", "text/plain",
+                                  "x", &res)
+                  .ok());
+  EXPECT_EQ(res.status_code, 405);
+
+  NetStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.http_health, 1u);
+  EXPECT_EQ(stats.http_query, 1u);
+  EXPECT_EQ(stats.http_bad_request, 1u);
+  EXPECT_EQ(stats.http_not_found, 1u);
+  EXPECT_EQ(stats.http_method_not_allowed, 2u);
+  EXPECT_EQ(stats.HttpErrorsTotal(), 4u);
+
+  server.Stop();
+  serve.Stop();
+}
+
+TEST(SocketServerTest, TypedShedsHappenBeforePayloadDecode) {
+  NetFixture fx;
+
+  // queue_full: an unstarted QueryServer with capacity 1 and one queued
+  // request makes QueueFull() deterministically true — the wire query is
+  // answered with a typed ResourceExhausted error without decoding its
+  // payload.
+  {
+    QueryServer::Options sopts;
+    sopts.autoscale_enabled = false;
+    sopts.queue.capacity = 1;
+    QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+    std::atomic<int> drained{0};
+    ASSERT_TRUE(serve
+                    .Submit(fx.Query(0),
+                            [&](const RouteAnswer&) { drained.fetch_add(1); })
+                    .ok());
+    ASSERT_TRUE(serve.QueueFull());
+
+    SocketServer server(&serve);
+    ASSERT_TRUE(server.Start().ok());
+    NetClient client;
+    ASSERT_TRUE(client.Connect(kLoopback, server.port()).ok());
+    WireRouteAnswer answer;
+    ASSERT_TRUE(client.Query(fx.Query(1), &answer).ok());
+    EXPECT_EQ(answer.status_code, StatusCode::kResourceExhausted);
+
+    NetStatsSnapshot stats = server.Stats();
+    EXPECT_EQ(stats.shed_queue_full, 1u);
+    EXPECT_EQ(stats.queries_failed, 1u);
+    EXPECT_EQ(stats.queries_answered, 0u);
+
+    // The HTTP arm probes the same way, before parsing the body.
+    NetClient::HttpResponse res;
+    ASSERT_TRUE(NetClient::HttpPost(kLoopback, server.port(), "/query",
+                                    "application/json", "{\"source\": 1}",
+                                    &res)
+                    .ok());
+    EXPECT_EQ(res.status_code, 503);
+    EXPECT_EQ(server.Stats().shed_queue_full, 2u);
+
+    client.Close();
+    server.Stop();
+    serve.Stop();  // drains the queued request
+    EXPECT_EQ(drained.load(), 1);
+  }
+
+  // deadline: a frame whose last byte lands after the admission deadline
+  // is shed before parse — the client has likely given up already.
+  {
+    QueryServer::Options sopts;
+    sopts.autoscale_enabled = false;
+    QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+    ASSERT_TRUE(serve.Start().ok());
+    SocketServer::Options nopts;
+    nopts.admission_deadline_seconds = 0.05;
+    SocketServer server(&serve, nopts);
+    ASSERT_TRUE(server.Start().ok());
+
+    NetClient client;
+    ASSERT_TRUE(client.Connect(kLoopback, server.port()).ok());
+    std::vector<uint8_t> payload;
+    EncodeRouteQueryPayload(fx.Query(0), &payload);
+    std::vector<uint8_t> frame;
+    EncodeNetFrame(1, NetOpcode::kRouteQuery, payload.data(), payload.size(),
+                   &frame);
+    ASSERT_TRUE(client.SendRaw(frame.data(), 10).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    ASSERT_TRUE(client.SendRaw(frame.data() + 10, frame.size() - 10).ok());
+
+    uint64_t id = 0;
+    WireRouteAnswer answer;
+    ASSERT_TRUE(client.ReceiveAnswer(&id, &answer).ok());
+    EXPECT_EQ(id, 1u);
+    EXPECT_EQ(answer.status_code, StatusCode::kResourceExhausted);
+    EXPECT_EQ(server.Stats().shed_deadline, 1u);
+
+    // A prompt frame on the same connection is admitted normally.
+    ASSERT_TRUE(client.Query(fx.Query(0), &answer).ok());
+    EXPECT_EQ(answer.status_code, StatusCode::kOk);
+
+    client.Close();
+    server.Stop();
+    serve.Stop();
+  }
+
+  // conn_cap: above max_connections new sockets are closed at accept.
+  {
+    QueryServer::Options sopts;
+    sopts.autoscale_enabled = false;
+    QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+    ASSERT_TRUE(serve.Start().ok());
+    SocketServer::Options nopts;
+    nopts.max_connections = 1;
+    SocketServer server(&serve, nopts);
+    ASSERT_TRUE(server.Start().ok());
+
+    NetClient first;
+    ASSERT_TRUE(first.Connect(kLoopback, server.port()).ok());
+    ASSERT_TRUE(first.Ping().ok());  // registered with its loop
+
+    NetClient second;
+    ASSERT_TRUE(second.Connect(kLoopback, server.port()).ok());  // backlog
+    // The server accepts and immediately closes it: the ping never gets an
+    // answer, the client sees the connection drop.
+    Status dropped = second.Ping();
+    EXPECT_FALSE(dropped.ok());
+    EXPECT_EQ(server.Stats().shed_conn_cap, 1u);
+    EXPECT_EQ(server.Stats().connections_active, 1u);
+
+    // Capacity frees when the first connection leaves.
+    first.Close();
+    NetClient third;
+    ASSERT_TRUE(third.Connect(kLoopback, server.port()).ok());
+    Status alive = Status::Internal("never pinged");
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      alive = third.Ping();
+      if (alive.ok()) break;
+      third.Close();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      ASSERT_TRUE(third.Connect(kLoopback, server.port()).ok());
+    }
+    EXPECT_TRUE(alive.ok()) << alive.ToString();
+
+    third.Close();
+    second.Close();
+    server.Stop();
+    serve.Stop();
+  }
+}
+
+TEST(SocketServerTest, HostileBytesResyncAndBadOpcode) {
+  NetFixture fx;
+  QueryServer::Options sopts;
+  sopts.autoscale_enabled = false;
+  QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+  ASSERT_TRUE(serve.Start().ok());
+  SocketServer server(&serve);
+  ASSERT_TRUE(server.Start().ok());
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect(kLoopback, server.port()).ok());
+
+  // A corrupted frame (payload byte flipped after CRC) is dropped server-
+  // side; the connection survives and the next intact frame is answered.
+  std::vector<uint8_t> payload;
+  EncodeRouteQueryPayload(fx.Query(0), &payload);
+  std::vector<uint8_t> corrupt;
+  EncodeNetFrame(5, NetOpcode::kRouteQuery, payload.data(), payload.size(),
+                 &corrupt);
+  corrupt[20] ^= 0xFF;
+  ASSERT_TRUE(client.SendRaw(corrupt.data(), corrupt.size()).ok());
+  ASSERT_TRUE(client.Ping().ok());  // server resynced; nothing answered id 5
+
+  // An intact frame with an unknown opcode gets a typed InvalidArgument
+  // error, not a dropped connection.
+  std::vector<uint8_t> unknown;
+  EncodeNetFrame(6, static_cast<NetOpcode>(0x55), nullptr, 0, &unknown);
+  ASSERT_TRUE(client.SendRaw(unknown.data(), unknown.size()).ok());
+  NetFrame reply;
+  ASSERT_TRUE(client.ReceiveFrame(&reply).ok());
+  EXPECT_EQ(reply.request_id, 6u);
+  EXPECT_EQ(static_cast<NetOpcode>(reply.opcode), NetOpcode::kError);
+  EXPECT_EQ(DecodeErrorPayload(reply.payload.data(), reply.payload.size())
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  NetStatsSnapshot stats = server.Stats();
+  EXPECT_TRUE(stats.frames.rejected_bad_crc > 0 ||
+              stats.frames.resync_bytes > 0);
+  EXPECT_EQ(stats.rejected_bad_opcode, 1u);
+  EXPECT_EQ(stats.queries_answered, 0u);
+
+  client.Close();
+  server.Stop();
+  serve.Stop();
+}
+
+TEST(SocketServerTest, TraceSpansLinkNetReadServeSubmitNetWrite) {
+  TraceRecorder::Global().SetCapacity(1 << 16);
+  TraceRecorder::Global().Clear();
+  TraceRecorder::Global().Enable();
+
+  NetFixture fx;
+  {
+    QueryServer::Options sopts;
+    sopts.autoscale_enabled = false;
+    QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+    ASSERT_TRUE(serve.Start().ok());
+    SocketServer server(&serve);
+    ASSERT_TRUE(server.Start().ok());
+
+    NetClient client;
+    ASSERT_TRUE(client.Connect(kLoopback, server.port()).ok());
+    WireRouteAnswer answer;
+    ASSERT_TRUE(client.Query(fx.Query(0), &answer).ok());
+    EXPECT_EQ(answer.status_code, StatusCode::kOk);
+
+    client.Close();
+    server.Stop();  // loop threads exit -> their span buffers flush
+    serve.Stop();
+  }
+
+  const std::vector<TraceEvent> events = TraceRecorder::Global().Snapshot();
+  // The wire request's id is namespaced with the high bit so it can never
+  // collide with in-process request ids.
+  const uint64_t kNetBit = 1ull << 63;
+  uint64_t net_request_id = 0;
+  uint64_t root_span = 0;
+  for (const TraceEvent& e : events) {
+    if (e.name == "net/request") {
+      EXPECT_GE(e.request_id, kNetBit);
+      net_request_id = e.request_id;
+      root_span = e.span_id;
+    }
+  }
+  ASSERT_NE(net_request_id, 0u);
+  ASSERT_NE(root_span, 0u);
+
+  bool saw_read = false, saw_submit = false, saw_write = false;
+  for (const TraceEvent& e : events) {
+    if (e.request_id != net_request_id) continue;
+    if (e.name == "net/read") {
+      saw_read = true;
+      EXPECT_EQ(e.parent_span_id, root_span);
+    } else if (e.name == "serve/submit") {
+      saw_submit = true;
+      EXPECT_EQ(e.parent_span_id, root_span);
+    } else if (e.name == "net/write") {
+      saw_write = true;
+      EXPECT_EQ(e.parent_span_id, root_span);
+    }
+  }
+  EXPECT_TRUE(saw_read);
+  EXPECT_TRUE(saw_submit);  // the serve subtree joined the wire trace tree
+  EXPECT_TRUE(saw_write);
+
+  TraceRecorder::Global().Disable();
+  TraceRecorder::Global().Clear();
+}
+
+TEST(SocketServerTest, ConcurrentClientsAllAnswered) {
+  NetFixture fx;
+  QueryServer::Options sopts;
+  sopts.autoscale_enabled = false;
+  sopts.initial_workers = 2;
+  QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+  ASSERT_TRUE(serve.Start().ok());
+  SocketServer::Options nopts;
+  nopts.event_loops = 2;
+  SocketServer server(&serve, nopts);
+  ASSERT_TRUE(server.Start().ok());
+  const uint16_t port = server.port();
+
+  const int kThreads = 4;
+  const int kPerThread = 25;
+  std::atomic<int> answered{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      NetClient client;
+      if (!client.Connect(kLoopback, port).ok()) {
+        errors.fetch_add(kPerThread);
+        return;
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        WireRouteAnswer answer;
+        Status s = client.Query(fx.Query(t * kPerThread + i), &answer);
+        if (s.ok() && answer.status_code == StatusCode::kOk) {
+          answered.fetch_add(1);
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(answered.load(), kThreads * kPerThread);
+  EXPECT_EQ(errors.load(), 0);
+  NetStatsSnapshot stats = server.Stats();
+  EXPECT_EQ(stats.queries_answered,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.connections_accepted, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.completions_dropped, 0u);
+
+  server.Stop();
+  serve.Stop();
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -263,11 +264,16 @@ TEST(QueryServerTest, AnswersQueriesAndWarmsCaches) {
     query.k = 3;
     query.depart_seconds = 8 * 3600.0;
     query.arrival_deadline_seconds = query.depart_seconds + 1200.0;
+    QueryServer::SubmitOptions sopts;
+    sopts.queue_budget_seconds = 30.0;
+    sopts.client_request_id = static_cast<uint64_t>(i + 1);
     Status s = server.Submit(
         query,
         [&ok_answers, &bad_answers](const RouteAnswer& answer) {
           if (answer.status.ok()) {
             EXPECT_FALSE(answer.route.edges.empty());
+            // SubmitOptions::client_request_id is echoed verbatim.
+            EXPECT_GT(answer.client_request_id, 0u);
             EXPECT_GT(answer.cost_mean_seconds, 0.0);
             EXPECT_GE(answer.on_time_probability, 0.0);
             EXPECT_LE(answer.on_time_probability, 1.0);
@@ -277,7 +283,7 @@ TEST(QueryServerTest, AnswersQueriesAndWarmsCaches) {
             bad_answers.fetch_add(1);
           }
         },
-        /*queue_budget_seconds=*/30.0);
+        sopts);
     ASSERT_TRUE(s.ok());
   }
   server.WaitIdle();
@@ -315,13 +321,15 @@ TEST(QueryServerTest, UnreachableTargetFailsCleanly) {
   RouteQuery query;
   query.source = GridNodeId(fx.spec, 0, 0);
   query.target = 100000;  // no such node
+  QueryServer::SubmitOptions unreachable_opts;
+  unreachable_opts.queue_budget_seconds = 30.0;
   ASSERT_TRUE(server
                   .Submit(query,
                           [&failures](const RouteAnswer& answer) {
                             EXPECT_FALSE(answer.status.ok());
                             failures.fetch_add(1);
                           },
-                          30.0)
+                          unreachable_opts)
                   .ok());
   server.WaitIdle();
   EXPECT_EQ(failures.load(), 1);
@@ -359,9 +367,11 @@ TEST(QueryServerTest, MultiProducerOverloadShedsAndBalances) {
         query.target = GridNodeId(fx.spec, 4, (p + i) % 5);
         query.k = 2;
         query.depart_seconds = 8 * 3600.0;
+        QueryServer::SubmitOptions tight;
+        tight.queue_budget_seconds = 0.05;
         Status s = server.Submit(
             query, [&callbacks](const RouteAnswer&) { callbacks.fetch_add(1); },
-            /*queue_budget_seconds=*/0.05);
+            tight);
         if (s.ok()) {
           accepted.fetch_add(1);
         } else {
@@ -402,9 +412,11 @@ TEST(QueryServerTest, ServeMetricsAppearInExports) {
   RouteQuery query;
   query.source = GridNodeId(fx.spec, 0, 0);
   query.target = GridNodeId(fx.spec, 4, 4);
+  QueryServer::SubmitOptions export_opts;
+  export_opts.queue_budget_seconds = 30.0;
   ASSERT_TRUE(
       server.Submit(query, [&done](const RouteAnswer&) { done.fetch_add(1); },
-                    30.0)
+                    export_opts)
           .ok());
   server.WaitIdle();
   ServeStatsSnapshot stats = server.Stats();
@@ -424,6 +436,118 @@ TEST(QueryServerTest, ServeMetricsAppearInExports) {
   EXPECT_NE(json.find("\"serve\""), std::string::npos);
   EXPECT_NE(json.find("\"cache_hit_rate\""), std::string::npos);
   EXPECT_EQ(done.load(), 1);
+}
+
+// Regression (run under TSan by scripts/check.sh): Stats() must be safe to
+// call from any thread at any point of the Stop() drain, and concurrent
+// Stop() calls — owner + destructor + monitoring hooks — must collapse to
+// one shutdown instead of a double join. Before the lifecycle lock,
+// `started_` was a plain bool and two racing Stops both joined the
+// dispatcher.
+TEST(QueryServerTest, StatsDuringConcurrentStopIsSafe) {
+  ServeFixture fx;
+  QueryServer::Options opts;
+  opts.autoscale_enabled = false;
+  opts.queue.capacity = 64;
+  QueryServer server(&fx.net, fx.BaseModel(), opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Keep the queue busy so Stop() has a real drain to race against.
+  std::atomic<bool> submitting{true};
+  std::thread producer([&] {
+    QueryServer::SubmitOptions sopts;
+    sopts.queue_budget_seconds = 0.01;
+    int i = 0;
+    while (submitting.load(std::memory_order_acquire)) {
+      RouteQuery query;
+      query.source = GridNodeId(fx.spec, 0, 0);
+      query.target = GridNodeId(fx.spec, 4, (i++ % 2) ? 4 : 3);
+      query.k = 2;
+      query.depart_seconds = 8 * 3600.0;
+      (void)server.Submit(query, nullptr, sopts);
+    }
+  });
+
+  std::atomic<bool> hammering{true};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      // Mid-race snapshots are torn by design — Stats() reads each atomic
+      // at a different instant, so cross-counter inequalities do not hold
+      // while the producer races the readers. What does hold is that every
+      // counter is monotone within one reader's view.
+      ServeStatsSnapshot prev;
+      while (hammering.load(std::memory_order_acquire)) {
+        ServeStatsSnapshot snap = server.Stats();
+        EXPECT_GE(snap.submitted, prev.submitted);
+        EXPECT_GE(snap.admitted, prev.admitted);
+        EXPECT_GE(snap.completed, prev.completed);
+        EXPECT_GE(snap.failed, prev.failed);
+        EXPECT_GE(snap.shed_expired, prev.shed_expired);
+        EXPECT_GE(snap.shed_closed, prev.shed_closed);
+        prev = snap;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Two threads race the shutdown while Stats() is being hammered.
+  std::thread stopper_a([&] { server.Stop(); });
+  std::thread stopper_b([&] { server.Stop(); });
+  stopper_a.join();
+  stopper_b.join();
+  submitting.store(false, std::memory_order_release);
+  producer.join();
+  // Stats stays valid after shutdown too.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  hammering.store(false, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  ServeStatsSnapshot stats = server.Stats();
+  // Every admitted request reached a terminal state (served, expired, or
+  // drained at close — shed_closed additionally counts rejected post-close
+  // submits, hence >=), and nothing terminal was fabricated.
+  EXPECT_GE(stats.completed + stats.failed + stats.shed_expired +
+                stats.shed_closed,
+            stats.admitted);
+  EXPECT_LE(stats.completed + stats.failed + stats.shed_expired,
+            stats.admitted);
+  // Idempotent after the race, and restartable.
+  server.Stop();
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+}
+
+// The pre-SubmitOptions 3-arg overload must keep working for one release,
+// delegating to the struct form with the same queue budget.
+TEST(QueryServerTest, DeprecatedSubmitOverloadDelegates) {
+  ServeFixture fx;
+  QueryServer::Options opts;
+  opts.autoscale_enabled = false;
+  QueryServer server(&fx.net, fx.BaseModel(), opts);
+  ASSERT_TRUE(server.Start().ok());
+  std::atomic<int> done{0};
+  std::atomic<uint64_t> echoed{1};
+  RouteQuery query;
+  query.source = GridNodeId(fx.spec, 0, 0);
+  query.target = GridNodeId(fx.spec, 4, 4);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ASSERT_TRUE(server
+                  .Submit(query,
+                          [&](const RouteAnswer& answer) {
+                            EXPECT_TRUE(answer.status.ok());
+                            echoed.store(answer.client_request_id);
+                            done.fetch_add(1);
+                          },
+                          /*queue_budget_seconds=*/30.0)
+                  .ok());
+#pragma GCC diagnostic pop
+  server.WaitIdle();
+  EXPECT_EQ(done.load(), 1);
+  // The legacy surface has no client_request_id: it stays unset.
+  EXPECT_EQ(echoed.load(), 0u);
+  EXPECT_EQ(server.Stats().completed, 1u);
 }
 
 }  // namespace

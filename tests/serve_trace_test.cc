@@ -139,13 +139,15 @@ TEST_F(ServeTraceTest, EveryServedRequestYieldsOneLinkedSpanTree) {
                                     (p + i) % fx.spec.cols);
           query.k = 2;
           query.depart_seconds = 8 * 3600.0;
+          QueryServer::SubmitOptions sopts;
+          sopts.queue_budget_seconds = 30.0;
           Status s = server.Submit(
               query,
               [&](const RouteAnswer& answer) {
                 std::unique_lock<std::mutex> lock(answers_mu);
                 answers.push_back(answer);
               },
-              /*queue_budget_seconds=*/30.0);
+              sopts);
           ASSERT_TRUE(s.ok());
         }
       });
@@ -245,13 +247,15 @@ TEST_F(ServeTraceTest, StageAttributionTelescopesToEndToEndLatency) {
     query.target = GridNodeId(fx.spec, fx.spec.rows - 1, i % fx.spec.cols);
     query.k = 2;
     query.depart_seconds = 8 * 3600.0;
+    QueryServer::SubmitOptions sopts;
+    sopts.queue_budget_seconds = 30.0;
     ASSERT_TRUE(server
                     .Submit(query,
                             [&](const RouteAnswer& answer) {
                               std::unique_lock<std::mutex> lock(answers_mu);
                               answers.push_back(answer);
                             },
-                            /*queue_budget_seconds=*/30.0)
+                            sopts)
                     .ok());
   }
   server.WaitIdle();
@@ -300,6 +304,8 @@ TEST_F(ServeTraceTest, ShedRequestsEmitTerminalShedSpanOnly) {
     // Submit BEFORE Start with a microscopic queueing budget: by the time
     // the dispatcher first pops, every request has expired in queue and
     // must be shed with a terminal span, never executed.
+    QueryServer::SubmitOptions tiny_budget;
+    tiny_budget.queue_budget_seconds = 1e-6;
     for (int i = 0; i < 6; ++i) {
       RouteQuery query;
       query.source = GridNodeId(fx.spec, 0, 0);
@@ -316,7 +322,7 @@ TEST_F(ServeTraceTest, ShedRequestsEmitTerminalShedSpanOnly) {
             shed_queue_ns.push_back(answer.stages.queue_ns);
             shed_answers.fetch_add(1);
           },
-          /*queue_budget_seconds=*/1e-6);
+          tiny_budget);
       ASSERT_TRUE(s.ok());
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
