@@ -19,6 +19,7 @@ enum class StatusCode {
   kInternal = 6,
   kResourceExhausted = 7,
   kDataLoss = 8,
+  kUnavailable = 9,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -66,6 +67,14 @@ class Status {
   /// The ingest tier uses this to separate corruption from protocol errors.
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  /// A dependency (shard, replica, remote backend) is down or unreachable
+  /// right now; the operation may succeed against a live instance or after
+  /// the dependency recovers. The shard router uses this for typed
+  /// partial-result errors — a cross-shard answer is never degraded
+  /// silently when one of its probes landed on a stopped shard.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

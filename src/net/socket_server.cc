@@ -87,7 +87,7 @@ struct SocketServer::EventLoop {
   std::unordered_map<int, uint64_t> fd_to_conn;
 };
 
-SocketServer::SocketServer(QueryServer* serve, Options options)
+SocketServer::SocketServer(QueryService* serve, Options options)
     : serve_(serve), options_(std::move(options)) {
   if (options_.event_loops < 1) options_.event_loops = 1;
   if (options_.max_connections < 1) options_.max_connections = 1;
@@ -567,7 +567,7 @@ void SocketServer::SubmitWireQuery(Connection* conn, const NetFrame& frame) {
         static_cast<int64_t>(frame.request_id));
   }
 
-  QueryServer::SubmitOptions submit;
+  SubmitOptions submit;
   submit.queue_budget_seconds = options_.queue_budget_seconds;
   submit.client_request_id = frame.request_id;
   submit.trace_parent = TraceContext{net_request_id, root_span_id};
@@ -794,7 +794,7 @@ Status SocketServer::SubmitHttpQuery(Connection* conn,
     client_request_id = static_cast<uint64_t>(v);
   }
 
-  QueryServer::SubmitOptions submit;
+  SubmitOptions submit;
   submit.queue_budget_seconds = options_.queue_budget_seconds;
   submit.client_request_id = client_request_id;
 
@@ -910,7 +910,7 @@ void SocketServer::RegisterMetricsSources() {
       },
       [this] { return MetricsExporter::NetToJson(Stats()); });
   if (serve_ != nullptr) {
-    QueryServer* serve = serve_;
+    QueryService* serve = serve_;
     MetricsExporter::RegisterSource(
         "serve",
         [serve](const std::string& prefix) {

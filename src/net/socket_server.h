@@ -17,7 +17,7 @@
 #include "src/net/net_stats.h"
 #include "src/net/wire.h"
 #include "src/obs/health.h"
-#include "src/serve/query_server.h"
+#include "src/serve/query_service.h"
 
 namespace tsdm {
 
@@ -45,7 +45,7 @@ namespace tsdm {
 /// Admission control extends to the socket layer, and every shed happens
 /// BEFORE the query payload is deserialized:
 ///   conn_cap    accept-time: at max_connections the new socket is closed;
-///   queue_full  frame-time: QueryServer::QueueFull() probe fails — a typed
+///   queue_full  frame-time: QueryService::QueueFull() probe fails — a typed
 ///               kError(ResourceExhausted) frame answers the request id
 ///               without decoding its payload;
 ///   deadline    frame-time: the frame completed more than
@@ -69,7 +69,7 @@ class SocketServer {
     /// Accept-time connection cap; above it new sockets are closed
     /// immediately (shed_conn_cap).
     size_t max_connections = 256;
-    /// Queue budget handed to QueryServer::SubmitOptions for wire queries.
+    /// Queue budget handed to SubmitOptions for wire queries.
     double queue_budget_seconds = 0.25;
     /// Frame-time admission deadline: a route-query frame whose last byte
     /// arrives more than this after its first byte is shed before its
@@ -86,8 +86,11 @@ class SocketServer {
 
   /// `serve` handles route queries and must outlive Stop(); nullptr makes
   /// query opcodes answer FailedPrecondition (metrics/health still work).
-  explicit SocketServer(QueryServer* serve) : SocketServer(serve, Options()) {}
-  SocketServer(QueryServer* serve, Options options);
+  /// Any QueryService works — a single QueryServer or a ShardRouter
+  /// fronting a fleet — so wire clients are shard-oblivious by
+  /// construction.
+  explicit SocketServer(QueryService* serve) : SocketServer(serve, Options()) {}
+  SocketServer(QueryService* serve, Options options);
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
@@ -157,7 +160,7 @@ class SocketServer {
   void RegisterMetricsSources();
   void UnregisterMetricsSources();
 
-  QueryServer* serve_;
+  QueryService* serve_;
   Options options_;
 
   int listen_fd_ = -1;

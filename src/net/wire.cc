@@ -191,6 +191,8 @@ Status DecodeErrorPayload(const uint8_t* payload, size_t size) {
       return Status::ResourceExhausted(std::move(msg));
     case StatusCode::kDataLoss:
       return Status::DataLoss(std::move(msg));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(msg));
     case StatusCode::kInternal:
       return Status::Internal(std::move(msg));
   }

@@ -291,6 +291,99 @@ std::string MetricsExporter::ServeToPrometheus(const ServeStatsSnapshot& s,
   return os.str();
 }
 
+std::string MetricsExporter::ShardToJson(const ShardStatsSnapshot& s) {
+  std::ostringstream os;
+  const ShardRouterStats& r = s.router;
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"shard\":{"
+     << "\"num_shards\":" << r.num_shards
+     << ",\"generation\":" << U64(r.generation)
+     << ",\"forwarded\":" << U64(r.forwarded)
+     << ",\"scattered\":" << U64(r.scattered)
+     << ",\"probes_sent\":" << U64(r.probes_sent)
+     << ",\"probe_transport_failures\":" << U64(r.probe_transport_failures)
+     << ",\"merges\":" << U64(r.merges)
+     << ",\"partial_errors\":" << U64(r.partial_errors)
+     << ",\"replicated\":" << U64(r.replicated)
+     << ",\"enumeration_failures\":" << U64(r.enumeration_failures)
+     << ",\"per_shard\":[";
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    if (i > 0) os << ",";
+    const uint64_t fwd = i < r.forwarded_per_shard.size()
+                             ? r.forwarded_per_shard[i]
+                             : 0;
+    const uint64_t probes =
+        i < r.probes_per_shard.size() ? r.probes_per_shard[i] : 0;
+    os << "{\"forwarded\":" << U64(fwd) << ",\"probes\":" << U64(probes)
+       << ",\"completed\":" << U64(s.shards[i].completed)
+       << ",\"failed\":" << U64(s.shards[i].failed)
+       << ",\"queue_depth\":" << s.shards[i].queue_depth
+       << ",\"cache_hit_rate\":" << JsonNumber(s.shards[i].CacheHitRate())
+       << "}";
+  }
+  os << "],\"aggregate\":" << ServeToJson(s.Aggregate()) << "}}";
+  return os.str();
+}
+
+std::string MetricsExporter::ShardToPrometheus(const ShardStatsSnapshot& s,
+                                               const std::string& prefix) {
+  std::ostringstream os;
+  const ShardRouterStats& r = s.router;
+  const std::string shards = prefix + "_shard_count";
+  Family(&os, shards, "gauge", "Member shards fronted by the router.");
+  os << shards << " " << r.num_shards << "\n";
+  const std::string generation = prefix + "_shard_map_generation";
+  Family(&os, generation, "gauge",
+         "ShardMap placement epoch the routing counters belong to.");
+  os << generation << " " << U64(r.generation) << "\n";
+  const std::string routed = prefix + "_shard_routed_total";
+  Family(&os, routed, "counter",
+         "Queries routed, by mode (forward = single-shard pinned, scatter = "
+         "cross-shard probe fan-out).");
+  os << routed << "{mode=\"forward\"} " << U64(r.forwarded) << "\n";
+  os << routed << "{mode=\"scatter\"} " << U64(r.scattered) << "\n";
+  const std::string probes = prefix + "_shard_probes_total";
+  Family(&os, probes, "counter", "Segment cost probes issued by scatters.");
+  os << probes << " " << U64(r.probes_sent) << "\n";
+  const std::string lost = prefix + "_shard_probe_transport_failures_total";
+  Family(&os, lost, "counter",
+         "Probes lost to a stopped or overloaded shard (each one turns its "
+         "scatter into a typed partial-result error).");
+  os << lost << " " << U64(r.probe_transport_failures) << "\n";
+  const std::string merges = prefix + "_shard_merges_total";
+  Family(&os, merges, "counter", "Scatter answers assembled.");
+  os << merges << " " << U64(r.merges) << "\n";
+  const std::string partial = prefix + "_shard_partial_errors_total";
+  Family(&os, partial, "counter",
+         "Scatters answered Status::Unavailable because probes were lost — "
+         "degraded capacity surfaces as typed errors, never wrong routes.");
+  os << partial << " " << U64(r.partial_errors) << "\n";
+  const std::string replicated = prefix + "_shard_cache_replications_total";
+  Family(&os, replicated, "counter",
+         "Boundary sub-path cache entries replicated into endpoint-owner "
+         "shards.");
+  os << replicated << " " << U64(r.replicated) << "\n";
+  const std::string enumf = prefix + "_shard_enumeration_failures_total";
+  Family(&os, enumf, "counter",
+         "Scatters that died at candidate enumeration, before any probe.");
+  os << enumf << " " << U64(r.enumeration_failures) << "\n";
+  const std::string routed_by = prefix + "_shard_routed_by_shard_total";
+  Family(&os, routed_by, "counter",
+         "Per-shard routing attribution, by kind (forwarded queries / "
+         "scatter probes served).");
+  for (size_t i = 0; i < r.forwarded_per_shard.size(); ++i) {
+    os << routed_by << "{shard=\"" << i << "\",kind=\"forward\"} "
+       << U64(r.forwarded_per_shard[i]) << "\n";
+  }
+  for (size_t i = 0; i < r.probes_per_shard.size(); ++i) {
+    os << routed_by << "{shard=\"" << i << "\",kind=\"probe\"} "
+       << U64(r.probes_per_shard[i]) << "\n";
+  }
+  // Fleet-aggregate serve families: one coherent serve view of the whole
+  // fleet, same families a single node exports.
+  os << ServeToPrometheus(s.Aggregate(), prefix);
+  return os.str();
+}
+
 std::string MetricsExporter::HealthToJson(const HealthSnapshot& s) {
   std::ostringstream os;
   os << "{\"schema_version\":" << kSchemaVersion << ",\"health\":{"

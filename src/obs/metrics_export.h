@@ -13,6 +13,7 @@
 #include "src/obs/health.h"
 #include "src/obs/trace.h"
 #include "src/serve/serve_stats.h"
+#include "src/shard/shard_stats.h"
 #include "src/stream/stream_pipeline.h"
 
 namespace tsdm {
@@ -98,6 +99,16 @@ class MetricsExporter {
   static std::string NetToJson(const NetStatsSnapshot& snapshot);
   static std::string NetToPrometheus(const NetStatsSnapshot& snapshot,
                                      const std::string& prefix = "tsdm");
+
+  /// Sharded-fleet snapshot: routing counters (`<prefix>_shard_routed_total
+  /// {mode="forward|scatter"}`, probe/merge/replication/partial-error
+  /// counters), the map generation and shard-count gauges, per-shard
+  /// routing attribution (`{shard="<i>"}` labels), and the fleet-aggregate
+  /// serve families (the per-shard ServeStatsSnapshots collapsed through
+  /// ShardStatsSnapshot::Aggregate, emitted via ServeTo*).
+  static std::string ShardToJson(const ShardStatsSnapshot& snapshot);
+  static std::string ShardToPrometheus(const ShardStatsSnapshot& snapshot,
+                                       const std::string& prefix = "tsdm");
 
   /// {"count":..,"mean_s":..,"p50_s":..,"p95_s":..,"p99_s":..,"min_s":..,
   ///  "max_s":..} — NaN-free for any histogram state, including empty.

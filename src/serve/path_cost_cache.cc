@@ -106,36 +106,64 @@ Result<Histogram> CachedPathCostModel::Query(const std::vector<int>& edge_path,
     }
   };
   const int bucket = cache_->BucketFor(depart_seconds);
-  const double bucket_time = cache_->BucketTime(bucket);
   const size_t seg = static_cast<size_t>(options_.segment_edges);
 
-  Histogram total;
-  bool have_total = false;
+  std::vector<Histogram> parts;
+  parts.reserve((edge_path.size() + seg - 1) / seg);
   std::vector<int> piece;
   piece.reserve(seg);
   for (size_t start = 0; start < edge_path.size(); start += seg) {
     const size_t end = std::min(edge_path.size(), start + seg);
     piece.assign(edge_path.begin() + static_cast<long>(start),
                  edge_path.begin() + static_cast<long>(end));
-    Histogram piece_dist;
-    if (!cache_->Lookup(piece, bucket, &piece_dist)) {
-      ++misses;
-      Result<Histogram> computed = base_(piece, bucket_time);
-      if (!computed.ok()) {
-        record();
-        return computed.status();
-      }
-      piece_dist = std::move(computed).value();
-      cache_->Insert(piece, bucket, piece_dist);
+    bool from_cache = false;
+    Result<Histogram> piece_dist = SegmentCost(piece, bucket, &from_cache);
+    if (!from_cache) ++misses;
+    if (!piece_dist.ok()) {
+      record();
+      return piece_dist.status();
     }
-    if (!have_total) {
-      total = std::move(piece_dist);
-      have_total = true;
-    } else {
-      total = total.Convolve(piece_dist, options_.result_bins);
-    }
+    parts.push_back(std::move(piece_dist).value());
   }
+  Histogram total = ComposeSegments(std::move(parts), options_.result_bins);
   record();
+  return total;
+}
+
+std::vector<std::vector<int>> CachedPathCostModel::SplitSegments(
+    const std::vector<int>& edge_path, int segment_edges) {
+  const size_t seg = static_cast<size_t>(std::max(1, segment_edges));
+  std::vector<std::vector<int>> segments;
+  segments.reserve((edge_path.size() + seg - 1) / seg);
+  for (size_t start = 0; start < edge_path.size(); start += seg) {
+    const size_t end = std::min(edge_path.size(), start + seg);
+    segments.emplace_back(edge_path.begin() + static_cast<long>(start),
+                          edge_path.begin() + static_cast<long>(end));
+  }
+  return segments;
+}
+
+Result<Histogram> CachedPathCostModel::SegmentCost(
+    const std::vector<int>& segment, int bucket, bool* from_cache) const {
+  Histogram dist;
+  if (cache_->Lookup(segment, bucket, &dist)) {
+    if (from_cache != nullptr) *from_cache = true;
+    return dist;
+  }
+  if (from_cache != nullptr) *from_cache = false;
+  Result<Histogram> computed = base_(segment, cache_->BucketTime(bucket));
+  if (!computed.ok()) return computed.status();
+  Histogram d = std::move(computed).value();
+  cache_->Insert(segment, bucket, d);
+  return d;
+}
+
+Histogram CachedPathCostModel::ComposeSegments(std::vector<Histogram> segments,
+                                               int result_bins) {
+  Histogram total = std::move(segments.front());
+  for (size_t i = 1; i < segments.size(); ++i) {
+    total = total.Convolve(segments[i], result_bins);
+  }
   return total;
 }
 

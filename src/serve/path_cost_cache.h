@@ -147,9 +147,38 @@ class CachedPathCostModel {
   /// traced request, the lookup emits a `serve/path_cost` span under it
   /// whose arg is the number of segment *misses* (0 = answered entirely
   /// from cache), so cache effectiveness is visible per request.
+  ///
+  /// Query is exactly SplitSegments -> SegmentCost per segment ->
+  /// ComposeSegments. The three steps are public so a distributed caller
+  /// (the shard router) can run them with the segment costs computed on
+  /// different shards and still produce a bitwise-identical answer — the
+  /// equivalence suite leans on this decomposition.
   Result<Histogram> Query(const std::vector<int>& edge_path,
                           double depart_seconds,
                           const TraceContext& ctx = TraceContext{}) const;
+
+  /// Splits `edge_path` into consecutive sub-paths of `segment_edges`
+  /// edges (the final segment may be shorter). The split depends only on
+  /// path length and granularity, so every tier that agrees on
+  /// `segment_edges` produces the same segments — the unit of cache keys,
+  /// shard ownership, and scatter probes alike.
+  static std::vector<std::vector<int>> SplitSegments(
+      const std::vector<int>& edge_path, int segment_edges);
+
+  /// Cost distribution of one segment for a departure-time bucket: served
+  /// from the cache when resident, computed through the base model at the
+  /// bucket's representative time (and inserted) on a miss. Sets
+  /// *from_cache accordingly when non-null.
+  Result<Histogram> SegmentCost(const std::vector<int>& segment, int bucket,
+                                bool* from_cache = nullptr) const;
+
+  /// Folds segment distributions into the path answer, in segment order:
+  /// the first segment seeds the total, every later one is convolved in at
+  /// `result_bins` resolution. Keying compositions by segment *index*
+  /// (never completion order) is what makes the shard router's merge
+  /// permutation-invariant. Precondition: `segments` non-empty.
+  static Histogram ComposeSegments(std::vector<Histogram> segments,
+                                   int result_bins);
 
   /// Adapter so a StochasticRouter can use this as its PathCostModel.
   PathCostModel AsModel() const {
@@ -157,6 +186,8 @@ class CachedPathCostModel {
       return Query(edges, depart);
     };
   }
+
+  const Options& options() const { return options_; }
 
  private:
   PathCostModel base_;

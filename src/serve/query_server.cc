@@ -16,6 +16,7 @@ QueryServer::QueryServer(const RoadNetwork* network, PathCostModel base_model,
       options_(options),
       cache_(options.cache),
       cost_model_(std::move(base_model), &cache_, options.cost),
+      routes_(network, options.route_cache_entries),
       queue_(options.queue),
       pool_(std::max(1, options.initial_workers)),
       batcher_(options.batch),
@@ -61,16 +62,17 @@ void QueryServer::Stop() {
   pool_.Wait();
 }
 
-Status QueryServer::Submit(RouteQuery query,
-                           std::function<void(const RouteAnswer&)> on_done,
-                           const SubmitOptions& options) {
+ServeRequest QueryServer::MakeRequest(
+    RouteQuery query, std::function<void(const RouteAnswer&)> on_done,
+    const SubmitOptions& options) {
   ServeRequest req;
   req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   // Root of this request's span tree; ids are 1-based because request_id 0
   // means "no request". Every later span — queue wait, batch wait, exec,
   // path-cost, shed — attaches under this root via req.trace. A caller
-  // with its own root (the wire front door's `net/request`) passes it as
-  // trace_parent and the submit span becomes a child in that tree instead.
+  // with its own root (the wire front door's `net/request`, the shard
+  // router's `shard/scatter`) passes it as trace_parent and the submit
+  // span becomes a child in that tree instead.
   const TraceContext root = options.trace_parent.ForRequest()
                                 ? options.trace_parent
                                 : TraceContext{req.id + 1, 0};
@@ -82,15 +84,26 @@ Status QueryServer::Submit(RouteQuery query,
   req.priority = options.priority;
   req.client_request_id = options.client_request_id;
   req.on_done = std::move(on_done);
-  return queue_.Push(std::move(req));
+  return req;
 }
 
 Status QueryServer::Submit(RouteQuery query,
                            std::function<void(const RouteAnswer&)> on_done,
-                           double queue_budget_seconds) {
-  SubmitOptions options;
-  options.queue_budget_seconds = queue_budget_seconds;
-  return Submit(std::move(query), std::move(on_done), options);
+                           const SubmitOptions& options) {
+  return queue_.Push(
+      MakeRequest(std::move(query), std::move(on_done), options));
+}
+
+Status QueryServer::SubmitProbe(std::vector<int> segment, int bucket,
+                                std::function<void(const RouteAnswer&)> on_done,
+                                const SubmitOptions& options) {
+  if (segment.empty()) {
+    return Status::InvalidArgument("serve: probe segment is empty");
+  }
+  ServeRequest req = MakeRequest(RouteQuery{}, std::move(on_done), options);
+  req.probe_edges = std::move(segment);
+  req.probe_bucket = bucket;
+  return queue_.Push(std::move(req));
 }
 
 bool QueryServer::QueueFull() const {
@@ -228,47 +241,41 @@ void QueryServer::ServeOne(const ServeRequest& req) {
   uint64_t cache_ns = 0;
 
   const RouteQuery& q = req.query;
-  Result<std::vector<Path>> routes =
-      CandidateRoutes(RouteKey{q.source, q.target, q.k}, exec_ctx);
-  if (!routes.ok()) {
-    answer.status = routes.status();
-  } else {
-    // Attach cost distributions through the sub-path cache (one clocked
-    // section for all candidates — scoring below is exec time), then pick
-    // by on-time probability when a deadline is set, by mean cost
-    // otherwise.
-    std::vector<Result<Histogram>> costs;
-    costs.reserve(routes->size());
+  if (!req.probe_edges.empty()) {
+    // Scatter probe: the shard router asked for one segment's cost
+    // distribution, not a route decision. Same cache + base-model path a
+    // local query's segment would take, so a probed segment is
+    // bitwise-identical to a locally computed one.
     const uint64_t cost_start_ns = TraceRecorder::NowNs();
-    for (const Path& route : *routes) {
-      costs.push_back(
-          cost_model_.Query(route.edges, q.depart_seconds, exec_ctx));
-    }
+    bool from_cache = false;
+    Result<Histogram> seg =
+        cost_model_.SegmentCost(req.probe_edges, req.probe_bucket, &from_cache);
     cache_ns = TraceRecorder::NowNs() - cost_start_ns;
-    int best = -1;
-    double best_score = 0.0;
-    for (size_t i = 0; i < costs.size(); ++i) {
-      if (!costs[i].ok()) continue;  // model has no coverage for this path
-      ++answer.num_candidates;
-      double score = q.arrival_deadline_seconds > 0.0
-                         ? costs[i].value().Cdf(q.arrival_deadline_seconds)
-                         : -costs[i].value().Mean();
-      if (best < 0 || score > best_score) {
-        best = static_cast<int>(i);
-        best_score = score;
-      }
-    }
-    if (best < 0) {
-      answer.status = Status::NotFound(
-          "serve: no candidate route has a cost distribution");
+    if (seg.ok()) {
+      answer.probe_cost = std::move(seg).value();
+      answer.probe_from_cache = from_cache;
     } else {
-      const Histogram& best_cost = costs[static_cast<size_t>(best)].value();
-      answer.route = (*routes)[static_cast<size_t>(best)];
-      answer.cost_mean_seconds = best_cost.Mean();
-      answer.on_time_probability =
-          q.arrival_deadline_seconds > 0.0
-              ? best_cost.Cdf(q.arrival_deadline_seconds)
-              : 0.0;
+      answer.status = seg.status();
+    }
+  } else {
+    Result<std::vector<Path>> routes =
+        routes_.Get(q.source, q.target, q.k, exec_ctx);
+    if (!routes.ok()) {
+      answer.status = routes.status();
+    } else {
+      // Attach cost distributions through the sub-path cache (one clocked
+      // section for all candidates — scoring below is exec time), then
+      // pick via the shared scoring rule: on-time probability when a
+      // deadline is set, mean cost otherwise.
+      std::vector<Result<Histogram>> costs;
+      costs.reserve(routes->size());
+      const uint64_t cost_start_ns = TraceRecorder::NowNs();
+      for (const Path& route : *routes) {
+        costs.push_back(
+            cost_model_.Query(route.edges, q.depart_seconds, exec_ctx));
+      }
+      cache_ns = TraceRecorder::NowNs() - cost_start_ns;
+      ScoreCandidates(q, *routes, costs, &answer);
     }
   }
 
@@ -317,39 +324,6 @@ void QueryServer::MaybeAutoscale(uint64_t now_ns) {
   last_submitted_ = submitted;
   std::unique_lock<std::mutex> lock(control_mu_);
   controller_.OnInterval(arrivals);
-}
-
-Result<std::vector<Path>> QueryServer::CandidateRoutes(
-    const RouteKey& key, const TraceContext& ctx) {
-  {
-    std::unique_lock<std::mutex> lock(route_mu_);
-    auto it = route_index_.find(key);
-    if (it != route_index_.end()) {
-      route_lru_.splice(route_lru_.begin(), route_lru_, it->second);
-      return it->second->second;
-    }
-  }
-  // Only a route-LRU miss shows up in the trace: warm requests skip Yen's
-  // algorithm entirely, and their exec span shrinking is the visible proof.
-  TraceSpan span("serve/enumerate_routes", ctx);
-  Result<std::vector<Path>> paths = KShortestPaths(
-      *network_, key.source, key.target, key.k, FreeFlowTimeCost(*network_));
-  if (!paths.ok()) return paths.status();
-  {
-    std::unique_lock<std::mutex> lock(route_mu_);
-    // A racing worker may have inserted the same key; refresh it instead
-    // of duplicating.
-    auto it = route_index_.find(key);
-    if (it == route_index_.end()) {
-      route_lru_.emplace_front(key, *paths);
-      route_index_.emplace(key, route_lru_.begin());
-      while (route_lru_.size() > options_.route_cache_entries) {
-        route_index_.erase(route_lru_.back().first);
-        route_lru_.pop_back();
-      }
-    }
-  }
-  return paths;
 }
 
 }  // namespace tsdm

@@ -4,11 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -17,7 +15,9 @@
 #include "src/serve/autoscale_controller.h"
 #include "src/serve/micro_batcher.h"
 #include "src/serve/path_cost_cache.h"
+#include "src/serve/query_service.h"
 #include "src/serve/request_queue.h"
+#include "src/serve/route_cache.h"
 #include "src/serve/serve_stats.h"
 #include "src/spatial/road_network.h"
 
@@ -45,7 +45,7 @@ namespace tsdm {
 /// Start/Stop/WaitIdle are for the owning (control) thread. Callbacks run
 /// on worker threads (served), the dispatcher (expired in queue), or the
 /// Stop caller (drained at shutdown) — exactly once per admitted request.
-class QueryServer {
+class QueryServer : public QueryService {
  public:
   struct Options {
     RequestQueue::Options queue;
@@ -62,6 +62,11 @@ class QueryServer {
     size_t route_cache_entries = 512;
   };
 
+  /// The shared submit surface lives at namespace scope (query_service.h)
+  /// so routers and servers construct the same struct; this alias keeps
+  /// the established `QueryServer::SubmitOptions` spelling valid.
+  using SubmitOptions = tsdm::SubmitOptions;
+
   /// The network must outlive the server. `base_model` computes sub-path
   /// cost distributions (EdgeCentricModel / PathCentricModel adapter) and
   /// must be deterministic and thread-safe for reads.
@@ -69,7 +74,7 @@ class QueryServer {
       : QueryServer(network, std::move(base_model), Options()) {}
   QueryServer(const RoadNetwork* network, PathCostModel base_model,
               Options options);
-  ~QueryServer();
+  ~QueryServer() override;
 
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
@@ -82,95 +87,57 @@ class QueryServer {
   /// in-flight work. Idempotent.
   void Stop();
 
-  /// Per-request submission knobs — the one submit surface shared by every
-  /// entry point (in-process callers and the wire front door construct the
-  /// same struct).
-  struct SubmitOptions {
-    /// Max queueing time before the request is shed at pop; <= 0 = none.
-    double queue_budget_seconds = 0.25;
-    /// Scheduling class placeholder: recorded on the request but not yet
-    /// acted on (weighted-fair queueing is a ROADMAP item). 0 = default.
-    int priority = 0;
-    /// Caller-assigned correlation id, echoed verbatim in
-    /// RouteAnswer::client_request_id (0 = unset).
-    uint64_t client_request_id = 0;
-    /// When set (ForRequest()), the request's `serve/submit` span attaches
-    /// under this context instead of rooting a new trace tree — how the
-    /// socket layer links `net/read -> serve/submit -> net/write` into one
-    /// tree per wire request.
-    TraceContext trace_parent;
-  };
-
   /// Admission control: OK means `on_done` will be called exactly once;
   /// a shed returns ResourceExhausted (queue full) or FailedPrecondition
   /// (stopped) immediately and `on_done` is NOT retained.
+  using QueryService::Submit;
   Status Submit(RouteQuery query,
                 std::function<void(const RouteAnswer&)> on_done,
-                const SubmitOptions& options);
-  Status Submit(RouteQuery query,
-                std::function<void(const RouteAnswer&)> on_done) {
-    return Submit(std::move(query), std::move(on_done), SubmitOptions());
-  }
+                const SubmitOptions& options) override;
 
-  /// Deprecated pre-SubmitOptions surface; delegates to the struct form.
-  /// Kept for one release so out-of-tree callers migrate on their own
-  /// schedule.
-  [[deprecated("pass QueryServer::SubmitOptions instead")]]
-  Status Submit(RouteQuery query,
-                std::function<void(const RouteAnswer&)> on_done,
-                double queue_budget_seconds);
+  /// Submits a scatter probe: answer the cost distribution of exactly
+  /// `segment` at departure-time bucket `bucket` (RouteAnswer::probe_cost /
+  /// probe_from_cache), through the same cache + base-model path a local
+  /// query would take. Probes ride the ordinary queue/batch/worker
+  /// pipeline, so admission control and the exactly-once callback contract
+  /// apply unchanged. This is the shard router's remote-segment primitive.
+  Status SubmitProbe(std::vector<int> segment, int bucket,
+                     std::function<void(const RouteAnswer&)> on_done,
+                     const SubmitOptions& options);
 
   /// True when the admission queue is at capacity — the cheap socket-layer
   /// probe for shedding a wire request before its payload is even decoded.
-  bool QueueFull() const;
+  bool QueueFull() const override;
 
   /// Blocks until every admitted request has reached a terminal state
   /// (answered or shed) and no batch is in flight.
-  void WaitIdle() const;
+  void WaitIdle() const override;
 
-  ServeStatsSnapshot Stats() const;
+  ServeStatsSnapshot Stats() const override;
   int workers() const { return pool_.NumThreads(); }
   PathCostCache& cache() { return cache_; }
   const PathCostCache& cache() const { return cache_; }
+  const Options& options() const { return options_; }
 
  private:
-  struct RouteKey {
-    int source = 0;
-    int target = 0;
-    int k = 0;
-    bool operator==(const RouteKey& o) const {
-      return source == o.source && target == o.target && k == o.k;
-    }
-  };
-  struct RouteKeyHash {
-    size_t operator()(const RouteKey& key) const {
-      uint64_t h = static_cast<uint64_t>(key.source) * 0x9e3779b97f4a7c15ull;
-      h ^= static_cast<uint64_t>(key.target) + 0x9e3779b97f4a7c15ull +
-           (h << 6) + (h >> 2);
-      h ^= static_cast<uint64_t>(key.k) + 0x9e3779b97f4a7c15ull + (h << 6) +
-           (h >> 2);
-      return static_cast<size_t>(h);
-    }
-  };
-
   void DispatcherLoop();
   void DispatchReady(std::vector<std::vector<ServeRequest>>* ready);
   void ServeBatch(std::vector<ServeRequest>* batch);
   void ServeOne(const ServeRequest& req);
   void MaybeAutoscale(uint64_t now_ns);
 
-  /// Candidate routes for (source, target, k) — LRU-cached Yen enumeration
-  /// under its own lock (departure-time independent, so shareable across
-  /// every query of an OD pair). An LRU miss emits a
-  /// `serve/enumerate_routes` span under `ctx`.
-  Result<std::vector<Path>> CandidateRoutes(const RouteKey& key,
-                                            const TraceContext& ctx);
+  /// Builds the queued request shared by Submit and SubmitProbe: assigns
+  /// the id, roots (or adopts) the trace tree, and stamps admission state.
+  ServeRequest MakeRequest(RouteQuery query,
+                           std::function<void(const RouteAnswer&)> on_done,
+                           const SubmitOptions& options);
 
   const RoadNetwork* network_;
   Options options_;
 
   PathCostCache cache_;
   CachedPathCostModel cost_model_;
+  RouteCache routes_;
   RequestQueue queue_;
   ThreadPool pool_;
 
@@ -180,14 +147,6 @@ class QueryServer {
   AutoscaleController controller_;
   uint64_t last_autoscale_ns_ = 0;
   uint64_t last_submitted_ = 0;
-
-  // Candidate-route LRU.
-  mutable std::mutex route_mu_;
-  std::list<std::pair<RouteKey, std::vector<Path>>> route_lru_;
-  std::unordered_map<RouteKey,
-                     std::list<std::pair<RouteKey, std::vector<Path>>>::iterator,
-                     RouteKeyHash>
-      route_index_;
 
   // Worker-side accounting.
   mutable std::mutex metrics_mu_;

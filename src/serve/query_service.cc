@@ -1,0 +1,35 @@
+#include "src/serve/query_service.h"
+
+namespace tsdm {
+
+void ScoreCandidates(const RouteQuery& query, const std::vector<Path>& routes,
+                     const std::vector<Result<Histogram>>& costs,
+                     RouteAnswer* answer) {
+  int best = -1;
+  double best_score = 0.0;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    if (!costs[i].ok()) continue;  // model has no coverage for this path
+    ++answer->num_candidates;
+    double score = query.arrival_deadline_seconds > 0.0
+                       ? costs[i].value().Cdf(query.arrival_deadline_seconds)
+                       : -costs[i].value().Mean();
+    if (best < 0 || score > best_score) {
+      best = static_cast<int>(i);
+      best_score = score;
+    }
+  }
+  if (best < 0) {
+    answer->status =
+        Status::NotFound("serve: no candidate route has a cost distribution");
+    return;
+  }
+  const Histogram& best_cost = costs[static_cast<size_t>(best)].value();
+  answer->route = routes[static_cast<size_t>(best)];
+  answer->cost_mean_seconds = best_cost.Mean();
+  answer->on_time_probability =
+      query.arrival_deadline_seconds > 0.0
+          ? best_cost.Cdf(query.arrival_deadline_seconds)
+          : 0.0;
+}
+
+}  // namespace tsdm

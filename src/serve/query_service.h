@@ -1,0 +1,91 @@
+#ifndef TSDM_SERVE_QUERY_SERVICE_H_
+#define TSDM_SERVE_QUERY_SERVICE_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/governance/uncertainty/histogram.h"
+#include "src/obs/trace.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/serve_stats.h"
+#include "src/spatial/shortest_path.h"
+
+namespace tsdm {
+
+/// Per-request submission knobs — the one submit surface shared by every
+/// serving front door (a single QueryServer, the sharded ShardRouter, and
+/// the wire front door all construct the same struct). Lives at namespace
+/// scope so routers and servers share it; `QueryServer::SubmitOptions`
+/// remains a valid spelling via a member alias.
+struct SubmitOptions {
+  /// Max queueing time before the request is shed at pop; <= 0 = none.
+  double queue_budget_seconds = 0.25;
+  /// Scheduling class placeholder: recorded on the request but not yet
+  /// acted on (weighted-fair queueing is a ROADMAP item). 0 = default.
+  int priority = 0;
+  /// Caller-assigned correlation id, echoed verbatim in
+  /// RouteAnswer::client_request_id (0 = unset).
+  uint64_t client_request_id = 0;
+  /// Shard the routing tier pinned this request to (-1 = not routed).
+  /// Set by ShardRouter when it forwards or probes so per-shard
+  /// attribution survives into the serve layer; direct callers leave it.
+  int shard = -1;
+  /// When set (ForRequest()), the request's `serve/submit` span attaches
+  /// under this context instead of rooting a new trace tree — how the
+  /// socket layer links `net/read -> serve/submit -> net/write` and the
+  /// shard router links `shard/scatter -> serve/submit` into one tree.
+  TraceContext trace_parent;
+};
+
+/// The abstract serving front door: what a network layer (or any other
+/// client) needs from "something that answers route queries" — admission-
+/// controlled submission, a cheap overload probe, aggregate stats, and a
+/// drain barrier. QueryServer implements it directly; ShardRouter
+/// implements it by routing over N QueryServers, which is what makes the
+/// socket server (and therefore NetClient) shard-oblivious.
+class QueryService {
+ public:
+  virtual ~QueryService() = default;
+
+  /// Admission control: OK means `on_done` will be called exactly once;
+  /// a shed returns ResourceExhausted (queue full) or FailedPrecondition
+  /// (stopped) immediately and `on_done` is NOT retained.
+  virtual Status Submit(RouteQuery query,
+                        std::function<void(const RouteAnswer&)> on_done,
+                        const SubmitOptions& options) = 0;
+  Status Submit(RouteQuery query,
+                std::function<void(const RouteAnswer&)> on_done) {
+    return Submit(std::move(query), std::move(on_done), SubmitOptions());
+  }
+
+  /// True when the admission path is at capacity — the cheap socket-layer
+  /// probe for shedding a wire request before its payload is even decoded.
+  virtual bool QueueFull() const = 0;
+
+  /// One coherent stats snapshot. For a router this is the fleet
+  /// aggregate: counters summed, latency histograms merged bin-wise.
+  virtual ServeStatsSnapshot Stats() const = 0;
+
+  /// Blocks until every admitted request has reached a terminal state.
+  virtual void WaitIdle() const = 0;
+};
+
+/// The one candidate-scoring rule of the serving tier, shared by the
+/// single-node worker path and the shard router's scatter merge so both
+/// produce bitwise-identical decisions. Fills the decision fields of
+/// *answer (status, route, cost_mean_seconds, on_time_probability,
+/// num_candidates) from candidate routes and their cost results:
+/// score = P(arrival <= deadline) when a deadline is set, -mean cost
+/// otherwise; candidates without a cost distribution are skipped;
+/// NotFound when none scored. Tie-break is stable — strict `>` scanning
+/// in candidate order, so the lowest-indexed best candidate wins and
+/// no completion/merge order can change the answer.
+void ScoreCandidates(const RouteQuery& query, const std::vector<Path>& routes,
+                     const std::vector<Result<Histogram>>& costs,
+                     RouteAnswer* answer);
+
+}  // namespace tsdm
+
+#endif  // TSDM_SERVE_QUERY_SERVICE_H_

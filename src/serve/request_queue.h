@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/governance/uncertainty/histogram.h"
 #include "src/obs/trace.h"
 #include "src/spatial/shortest_path.h"
 
@@ -59,6 +60,12 @@ struct RouteAnswer {
   /// correlation handle for callers multiplexing many requests, e.g. the
   /// wire front door matching answers back to connections.
   uint64_t client_request_id = 0;
+  /// Scatter-probe reply (shard tier): the requested segment's cost
+  /// distribution and whether the serving shard answered it from cache.
+  /// Meaningful only when the request was a probe (ServeRequest::
+  /// probe_edges non-empty); plain route answers leave them defaulted.
+  Histogram probe_cost;
+  bool probe_from_cache = false;
 };
 
 /// A queued request: the query plus its admission timestamp, queueing
@@ -77,6 +84,14 @@ struct ServeRequest {
   /// Request-tree linkage: request_id identifies this request in the trace,
   /// parent_span_id is the submit (root) span every later span attaches to.
   TraceContext trace;
+  /// Non-empty marks this request as a shard-router scatter probe: instead
+  /// of enumerating routes, the worker answers the cost distribution of
+  /// exactly this edge sub-path at `probe_bucket`, through the same cache +
+  /// base-model path a local query would take. Probes ride the ordinary
+  /// queue/batch/worker pipeline so admission control, the exactly-once
+  /// callback contract, and stage accounting all apply unchanged.
+  std::vector<int> probe_edges;
+  int probe_bucket = 0;  ///< departure-time bucket of the probe
   std::function<void(const RouteAnswer&)> on_done;
 };
 

@@ -1,0 +1,64 @@
+#include "src/shard/shard_map.h"
+
+#include <algorithm>
+
+namespace tsdm {
+
+namespace {
+
+// Distinct odd multipliers keep shard and vnode contributions from
+// cancelling before the finalizer avalanches them.
+constexpr uint64_t kShardSalt = 0x9e3779b97f4a7c15ull;
+constexpr uint64_t kVnodeSalt = 0xbf58476d1ce4e5b9ull;
+
+}  // namespace
+
+uint64_t ShardMap::Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t ShardMap::HashSubpath(const std::vector<int>& edges) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (int e : edges) {
+    h ^= static_cast<uint64_t>(e) + 1;
+    h *= 1099511628211ull;  // FNV-1a prime
+  }
+  return Mix64(h);
+}
+
+ShardMap::ShardMap(Options options) : options_(options) {
+  options_.num_shards = std::max(1, options_.num_shards);
+  options_.vnodes = std::max(1, options_.vnodes);
+  ring_.reserve(static_cast<size_t>(options_.num_shards) *
+                static_cast<size_t>(options_.vnodes));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    for (int v = 0; v < options_.vnodes; ++v) {
+      Point p;
+      p.position = Mix64(static_cast<uint64_t>(s) * kShardSalt ^
+                         static_cast<uint64_t>(v) * kVnodeSalt);
+      p.shard = s;
+      ring_.push_back(p);
+    }
+  }
+  // Sort by position; break the (astronomically unlikely) position tie by
+  // shard so the ring order — and therefore ownership — is fully
+  // deterministic, never dependent on sort stability.
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    if (a.position != b.position) return a.position < b.position;
+    return a.shard < b.shard;
+  });
+}
+
+int ShardMap::OwnerOfHash(uint64_t hash) const {
+  // First ring point at or clockwise of the key; wrap to the first point.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), hash,
+      [](const Point& p, uint64_t h) { return p.position < h; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+}  // namespace tsdm

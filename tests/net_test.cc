@@ -8,6 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <string>
@@ -621,6 +627,105 @@ TEST(SocketServerTest, ConcurrentClientsAllAnswered) {
 
   server.Stop();
   serve.Stop();
+}
+
+TEST(NetClientTest, PipelinedAnswersMatchByIdUnderOutOfOrderDelivery) {
+  // An in-test wire server that holds a pipelined burst and answers it in
+  // REVERSE order, each answer carrying a cost derived from its query's
+  // source node. The client must attribute every answer to the request id
+  // that earned it — receive order is explicitly not submission order on
+  // a pipelined connection (a shard fleet makes this the common case).
+  constexpr int kBurst = 8;
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t addr_len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &addr_len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  std::thread server([listen_fd] {
+    int conn = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    FrameParser parser;
+    std::vector<NetFrame> frames;
+    uint8_t buf[4096];
+    while (frames.size() < kBurst) {
+      ssize_t n = ::read(conn, buf, sizeof(buf));
+      if (n <= 0) break;
+      parser.Consume(buf, static_cast<size_t>(n), &frames);
+    }
+    ASSERT_EQ(frames.size(), static_cast<size_t>(kBurst));
+    std::vector<uint8_t> out;
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+      RouteQuery q;
+      ASSERT_TRUE(
+          DecodeRouteQueryPayload(it->payload.data(), it->payload.size(), &q)
+              .ok());
+      RouteAnswer answer;
+      answer.cost_mean_seconds = 1000.0 + q.source;  // provenance marker
+      answer.on_time_probability = 0.5;
+      answer.num_candidates = 1;
+      std::vector<uint8_t> payload;
+      EncodeRouteAnswerPayload(answer, &payload);
+      EncodeNetFrame(it->request_id, NetOpcode::kRouteAnswer, payload.data(),
+                     payload.size(), &out);
+    }
+    size_t off = 0;
+    while (off < out.size()) {
+      ssize_t n = ::write(conn, out.data() + off, out.size() - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    ::close(conn);
+  });
+
+  NetClient client;
+  ASSERT_TRUE(client.Connect(kLoopback, port).ok());
+  std::vector<uint64_t> sent_ids;
+  std::vector<int> sent_sources;
+  for (int i = 0; i < kBurst; ++i) {
+    RouteQuery q;
+    q.source = 100 + i;  // distinct per request — the provenance key
+    q.target = 1;
+    uint64_t id = 0;
+    ASSERT_TRUE(client.SendQuery(q, &id).ok());
+    sent_ids.push_back(id);
+    sent_sources.push_back(q.source);
+  }
+
+  for (int i = 0; i < kBurst; ++i) {
+    uint64_t id = 0;
+    WireRouteAnswer answer;
+    Status st = client.ReceiveAnswer(&id, &answer);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    // The server answered newest-first: the very first received answer
+    // must carry the LAST request's id — out-of-order delivery really
+    // happened on this connection.
+    if (i == 0) {
+      EXPECT_EQ(id, sent_ids.back());
+    }
+    auto pos = std::find(sent_ids.begin(), sent_ids.end(), id);
+    ASSERT_NE(pos, sent_ids.end()) << "unknown request id " << id;
+    size_t index = static_cast<size_t>(pos - sent_ids.begin());
+    // Matching by id recovers exactly the answer this request earned.
+    EXPECT_EQ(answer.status_code, StatusCode::kOk);
+    EXPECT_EQ(answer.cost_mean_seconds, 1000.0 + sent_sources[index]);
+    sent_ids[index] = 0;  // each id answered exactly once
+  }
+  for (uint64_t id : sent_ids) EXPECT_EQ(id, 0u);
+
+  client.Close();
+  server.join();
+  ::close(listen_fd);
 }
 
 }  // namespace

@@ -162,6 +162,59 @@ TEST(MicroBatcherTest, FlushExpiredUsesOldestMember) {
   EXPECT_EQ(batcher.pending(), 0u);
 }
 
+TEST(MicroBatcherTest, FlushExpiredFiresAtExactDeadline) {
+  // The age trigger is `now - oldest >= budget`: a batch whose age equals
+  // the budget EXACTLY is flushed — the boundary belongs to the flush, so
+  // a dispatcher polling on whole budget multiples never strands a batch
+  // for an extra tick.
+  MicroBatcher::Options opts;
+  opts.max_batch = 100;
+  opts.max_wait_seconds = 0.002;
+  MicroBatcher batcher(opts);
+  std::vector<std::vector<ServeRequest>> ready;
+
+  const uint64_t t0 = 1000000000ull;  // controlled clock, no NowNs jitter
+  ServeRequest req = MakeRequest(1);
+  req.enqueue_ns = t0;
+  batcher.Add(std::move(req), &ready);
+
+  const uint64_t deadline = t0 + 2000000ull;  // t0 + max_wait exactly
+  batcher.FlushExpired(deadline - 1, &ready);
+  EXPECT_TRUE(ready.empty());  // one ns early: still batching
+  EXPECT_EQ(batcher.pending(), 1u);
+
+  batcher.FlushExpired(deadline, &ready);  // exact equality flushes
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+TEST(MicroBatcherTest, SingleRequestBatchIsFlushedByAgeAlone) {
+  // A lone request must never wait for company: with max_batch far away,
+  // the age trigger alone dispatches a size-1 batch, and the batch
+  // bookkeeping records it as a real (if minimal) batch.
+  MicroBatcher::Options opts;
+  opts.max_batch = 100;
+  opts.max_wait_seconds = 0.001;
+  MicroBatcher batcher(opts);
+  std::vector<std::vector<ServeRequest>> ready;
+
+  const uint64_t t0 = 5000000000ull;
+  ServeRequest req = MakeRequest(7, /*snapshot=*/3);
+  req.enqueue_ns = t0;
+  batcher.Add(std::move(req), &ready);
+  ASSERT_TRUE(ready.empty());
+
+  batcher.FlushExpired(t0 + 1000000ull, &ready);
+  ASSERT_EQ(ready.size(), 1u);
+  ASSERT_EQ(ready[0].size(), 1u);
+  EXPECT_EQ(ready[0][0].id, 7u);
+  EXPECT_EQ(ready[0][0].query.snapshot_id, 3);
+  EXPECT_EQ(batcher.pending(), 0u);
+  EXPECT_EQ(batcher.stats().batches, 1u);
+  EXPECT_EQ(batcher.stats().batched_requests, 1u);
+  EXPECT_EQ(batcher.stats().max_batch_seen, 1u);
+}
+
 // --- AutoscaleController -------------------------------------------------
 
 TEST(AutoscaleControllerTest, ClampsToWorkerBounds) {
@@ -518,9 +571,11 @@ TEST(QueryServerTest, StatsDuringConcurrentStopIsSafe) {
   server.Stop();
 }
 
-// The pre-SubmitOptions 3-arg overload must keep working for one release,
-// delegating to the struct form with the same queue budget.
-TEST(QueryServerTest, DeprecatedSubmitOverloadDelegates) {
+// The deprecated pre-SubmitOptions 3-arg (trailing double) overload was
+// removed after its one-release grace period; the 2-arg convenience now
+// comes from the QueryService base and must default every option — in
+// particular the 0.25 s queue budget and an unset client_request_id.
+TEST(QueryServerTest, BaseSubmitConvenienceUsesDefaultOptions) {
   ServeFixture fx;
   QueryServer::Options opts;
   opts.autoscale_enabled = false;
@@ -531,21 +586,20 @@ TEST(QueryServerTest, DeprecatedSubmitOverloadDelegates) {
   RouteQuery query;
   query.source = GridNodeId(fx.spec, 0, 0);
   query.target = GridNodeId(fx.spec, 4, 4);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ASSERT_TRUE(server
+  // Through the base-class surface: what a shard-oblivious caller holding
+  // only a QueryService* can express.
+  QueryService& service = server;
+  ASSERT_TRUE(service
                   .Submit(query,
                           [&](const RouteAnswer& answer) {
                             EXPECT_TRUE(answer.status.ok());
                             echoed.store(answer.client_request_id);
                             done.fetch_add(1);
-                          },
-                          /*queue_budget_seconds=*/30.0)
+                          })
                   .ok());
-#pragma GCC diagnostic pop
   server.WaitIdle();
   EXPECT_EQ(done.load(), 1);
-  // The legacy surface has no client_request_id: it stays unset.
+  // The convenience surface has no client_request_id: it stays unset.
   EXPECT_EQ(echoed.load(), 0u);
   EXPECT_EQ(server.Stats().completed, 1u);
 }

@@ -1,0 +1,311 @@
+/// The shard tier's centerpiece proof: a sharded fleet must be an
+/// *implementation detail*, never a semantic change. Three properties,
+/// each checked over 1000 seeded random route queries:
+///
+///   (a) sharded == single-node, bitwise, at every fleet size — the
+///       decision fields of every answer (status, chosen route, cost
+///       mean, on-time probability, candidate count) are EXACTLY the
+///       single QueryServer's answers at 1, 2, 4, and 8 shards;
+///   (b) the scatter merge is permutation-invariant — adversarially
+///       reordering probe completions (ShardRouter::Options::
+///       reorder_seed) cannot change any answer;
+///   (c) a stopped shard yields typed partial-result errors
+///       (kUnavailable), never a wrong answer.
+///
+/// The query workload is seeded (TSDM_SHARD_SEED, printed at startup) so
+/// any failure replays exactly. Timing fields are excluded by design —
+/// they measure the machine, not the decision.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/serve/query_server.h"
+#include "src/shard/shard_router.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+
+namespace tsdm {
+namespace {
+
+constexpr int kNumQueries = 1000;
+constexpr uint64_t kDefaultSeed = 0x51AB5EEDull;
+
+uint64_t WorkloadSeed() {
+  const char* env = std::getenv("TSDM_SHARD_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return kDefaultSeed;
+}
+
+/// The shared fixture: one network + trained model, a seeded query
+/// workload, and a reference answer set from a plain single-node
+/// QueryServer. Built once — every equivalence run compares against the
+/// same reference.
+class EquivalenceFixture {
+ public:
+  static EquivalenceFixture& Get() {
+    static EquivalenceFixture* fx = new EquivalenceFixture();
+    return *fx;
+  }
+
+  const RoadNetwork& net() const { return net_; }
+  const std::vector<RouteQuery>& queries() const { return queries_; }
+  const std::vector<RouteAnswer>& reference() const { return reference_; }
+  uint64_t seed() const { return seed_; }
+
+  PathCostModel BaseModel() const {
+    const EdgeCentricModel* m = &model_;
+    return [m](const std::vector<int>& edges, double depart) {
+      return m->PathCostDistribution(edges, depart, 32);
+    };
+  }
+
+  /// Per-shard (and reference) server options: single worker, autoscale
+  /// off, queue big enough that nothing sheds, no age-based expiry risk.
+  QueryServer::Options ServerOptions() const {
+    QueryServer::Options opts;
+    opts.initial_workers = 1;
+    opts.autoscale_enabled = false;
+    opts.queue.capacity = 8192;
+    return opts;
+  }
+
+  ShardRouter::Options RouterOptions(int num_shards) const {
+    ShardRouter::Options opts;
+    opts.map.num_shards = num_shards;
+    opts.server = ServerOptions();
+    // Small cells relative to the 500 m grid spacing: plenty of distinct
+    // region buckets, so every fleet size gets a real cross-shard mix.
+    opts.region_cell_meters = 800.0;
+    return opts;
+  }
+
+  /// Drives `service` through the full workload; answers land by request
+  /// index. A Submit-time rejection becomes the answer (that is what a
+  /// caller observes), preserving one answer slot per query.
+  std::vector<RouteAnswer> RunWorkload(QueryService* service) const {
+    std::vector<RouteAnswer> answers(queries_.size());
+    std::atomic<int> done{0};
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      SubmitOptions submit;
+      submit.queue_budget_seconds = 0.0;  // never expire under slow CI
+      submit.client_request_id = static_cast<uint64_t>(i) + 1;
+      RouteAnswer* slot = &answers[i];
+      Status st = service->Submit(
+          queries_[i],
+          [slot, &done](const RouteAnswer& answer) {
+            *slot = answer;
+            done.fetch_add(1, std::memory_order_release);
+          },
+          submit);
+      if (!st.ok()) {
+        slot->status = st;
+        done.fetch_add(1, std::memory_order_release);
+      }
+    }
+    service->WaitIdle();
+    while (done.load(std::memory_order_acquire) <
+           static_cast<int>(queries_.size())) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return answers;
+  }
+
+ private:
+  EquivalenceFixture() : seed_(WorkloadSeed()) {
+    std::cerr << "[shard-equivalence] workload seed = " << seed_
+              << "  (replay with TSDM_SHARD_SEED=" << seed_ << ")\n";
+    GridNetworkSpec spec;
+    spec.rows = 6;
+    spec.cols = 6;
+    Rng net_rng(3);
+    net_ = GenerateGridNetwork(spec, &net_rng);
+
+    model_ = EdgeCentricModel(static_cast<int>(net_.NumEdges()));
+    TrafficSimulator sim(&net_, TrafficSpec{});
+    Rng rng(11);
+    for (int e = 0; e < static_cast<int>(net_.NumEdges()); ++e) {
+      for (int rep = 0; rep < 8; ++rep) {
+        TripObservation trip;
+        trip.edge_path = {e};
+        trip.depart_seconds = 8 * 3600.0;
+        trip.edge_times = {sim.SampleEdgeTime(e, trip.depart_seconds, &rng)};
+        model_.AddTrip(trip);
+      }
+    }
+    Status built = model_.Build();
+    EXPECT_TRUE(built.ok()) << built.ToString();
+
+    queries_ = MakeWorkload(seed_);
+    reference_ = MakeReference();
+  }
+
+  std::vector<RouteQuery> MakeWorkload(uint64_t seed) const {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> node(0,
+                                            static_cast<int>(net_.NumNodes()) -
+                                                1);
+    std::uniform_int_distribution<int> k_dist(1, 4);
+    std::uniform_real_distribution<double> depart_hour(7.0, 9.0);
+    std::uniform_real_distribution<double> slack(60.0, 1200.0);
+    std::vector<RouteQuery> queries;
+    queries.reserve(kNumQueries);
+    for (int i = 0; i < kNumQueries; ++i) {
+      RouteQuery q;
+      q.source = node(rng);
+      do {
+        q.target = node(rng);
+      } while (q.target == q.source);
+      q.k = k_dist(rng);
+      q.depart_seconds = 3600.0 * depart_hour(rng);
+      // A third of the workload has an arrival deadline, exercising the
+      // on-time-probability scoring rule; the rest minimizes mean cost.
+      if (i % 3 == 0) {
+        q.arrival_deadline_seconds = q.depart_seconds + slack(rng);
+      }
+      queries.push_back(q);
+    }
+    return queries;
+  }
+
+  std::vector<RouteAnswer> MakeReference() {
+    QueryServer single(&net_, BaseModel(), ServerOptions());
+    EXPECT_TRUE(single.Start().ok());
+    std::vector<RouteAnswer> answers = RunWorkload(&single);
+    single.Stop();
+    return answers;
+  }
+
+  uint64_t seed_;
+  RoadNetwork net_;
+  EdgeCentricModel model_{0};
+  std::vector<RouteQuery> queries_;
+  std::vector<RouteAnswer> reference_;
+};
+
+/// Bitwise comparison of the DECISION fields. EXPECT_EQ on the doubles is
+/// deliberate: the sharded path must run the exact same arithmetic in the
+/// exact same order, so the bits must match — no tolerance.
+void ExpectSameDecision(const RouteAnswer& got, const RouteAnswer& want,
+                        size_t index, const RouteQuery& query,
+                        uint64_t seed) {
+  SCOPED_TRACE(::testing::Message()
+               << "query #" << index << " (" << query.source << " -> "
+               << query.target << ", k=" << query.k
+               << ", depart=" << query.depart_seconds
+               << ", deadline=" << query.arrival_deadline_seconds
+               << ") seed=" << seed);
+  ASSERT_EQ(got.status.code(), want.status.code())
+      << "got: " << got.status.ToString()
+      << "  want: " << want.status.ToString();
+  EXPECT_EQ(got.status.message(), want.status.message());
+  EXPECT_EQ(got.route.nodes, want.route.nodes);
+  EXPECT_EQ(got.route.edges, want.route.edges);
+  EXPECT_EQ(got.cost_mean_seconds, want.cost_mean_seconds);
+  EXPECT_EQ(got.on_time_probability, want.on_time_probability);
+  EXPECT_EQ(got.num_candidates, want.num_candidates);
+}
+
+// --- (a) sharded == single-node at every fleet size ----------------------
+
+class ShardCountEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardCountEquivalenceTest, AnswersMatchSingleNodeBitwise) {
+  EquivalenceFixture& fx = EquivalenceFixture::Get();
+  const int num_shards = GetParam();
+  ShardRouter router(&fx.net(), fx.BaseModel(),
+                     fx.RouterOptions(num_shards));
+  ASSERT_TRUE(router.Start().ok());
+  std::vector<RouteAnswer> answers = fx.RunWorkload(&router);
+  router.Stop();
+
+  ASSERT_EQ(answers.size(), fx.reference().size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    ExpectSameDecision(answers[i], fx.reference()[i], i, fx.queries()[i],
+                       fx.seed());
+  }
+  // The run must actually have exercised the scatter path (except at one
+  // shard, where everything forwards).
+  ShardStatsSnapshot snap = router.ShardStats();
+  EXPECT_EQ(snap.router.forwarded + snap.router.scattered,
+            static_cast<uint64_t>(kNumQueries));
+  if (num_shards == 1) {
+    EXPECT_EQ(snap.router.scattered, 0u);
+  } else {
+    EXPECT_GT(snap.router.scattered, 0u);
+    EXPECT_GT(snap.router.forwarded, 0u) << "no same-owner traffic at "
+                                         << num_shards << " shards";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FleetSizes, ShardCountEquivalenceTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+// --- (b) merge is permutation-invariant ----------------------------------
+
+class ReorderInvarianceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReorderInvarianceTest, AdversarialCompletionOrderCannotChangeAnswers) {
+  EquivalenceFixture& fx = EquivalenceFixture::Get();
+  ShardRouter::Options opts = fx.RouterOptions(4);
+  // Buffer every probe completion, then apply them in a seeded shuffle
+  // before merging — the answers must still be bitwise the reference.
+  opts.reorder_seed = GetParam();
+  ShardRouter router(&fx.net(), fx.BaseModel(), opts);
+  ASSERT_TRUE(router.Start().ok());
+  std::vector<RouteAnswer> answers = fx.RunWorkload(&router);
+  router.Stop();
+
+  ASSERT_EQ(answers.size(), fx.reference().size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    ExpectSameDecision(answers[i], fx.reference()[i], i, fx.queries()[i],
+                       fx.seed());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shuffles, ReorderInvarianceTest,
+                         ::testing::Values(0xDEADBEEFull, 42ull));
+
+// --- (c) a stopped shard degrades typed, never wrong ---------------------
+
+TEST(ShardFailureEquivalenceTest, StoppedShardIsTypedPartialNeverWrong) {
+  EquivalenceFixture& fx = EquivalenceFixture::Get();
+  ShardRouter router(&fx.net(), fx.BaseModel(), fx.RouterOptions(4));
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_TRUE(router.StopShard(2).ok());
+  std::vector<RouteAnswer> answers = fx.RunWorkload(&router);
+  router.Stop();
+
+  ASSERT_EQ(answers.size(), fx.reference().size());
+  int unavailable = 0;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    if (answers[i].status.code() == StatusCode::kUnavailable) {
+      // Typed partial-result error: the caller knows this answer is
+      // missing, not wrong.
+      ++unavailable;
+      continue;
+    }
+    // Everything the degraded fleet DOES answer must still be exactly the
+    // single-node answer.
+    ExpectSameDecision(answers[i], fx.reference()[i], i, fx.queries()[i],
+                       fx.seed());
+  }
+  // The workload is dense enough that shard 2 owned some of it — and the
+  // rest of the fleet kept answering correctly around the hole.
+  EXPECT_GT(unavailable, 0);
+  EXPECT_LT(unavailable, kNumQueries);
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -1,0 +1,479 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/obs/metrics_export.h"
+#include "src/obs/trace.h"
+#include "src/shard/shard_map.h"
+#include "src/shard/shard_router.h"
+#include "src/shard/shard_stats.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+
+namespace tsdm {
+namespace {
+
+// --- ShardMap conformance ------------------------------------------------
+
+TEST(ShardMapTest, ClampsDegenerateOptions) {
+  ShardMap::Options opts;
+  opts.num_shards = 0;
+  opts.vnodes = -3;
+  ShardMap map(opts);
+  EXPECT_EQ(map.num_shards(), 1);
+  EXPECT_EQ(map.vnodes(), 1);
+  EXPECT_EQ(map.OwnerOfBucket(12345), 0);
+}
+
+TEST(ShardMapTest, PlacementIsDeterministicAcrossInstances) {
+  ShardMap::Options opts;
+  opts.num_shards = 5;
+  ShardMap a(opts);
+  ShardMap b(opts);
+  for (int64_t bucket = -500; bucket < 500; ++bucket) {
+    EXPECT_EQ(a.OwnerOfBucket(bucket), b.OwnerOfBucket(bucket)) << bucket;
+  }
+  std::vector<int> edges;
+  for (int e = 0; e < 64; ++e) {
+    edges.push_back(e * 7);
+    EXPECT_EQ(a.OwnerOfSubpath(edges), b.OwnerOfSubpath(edges));
+  }
+}
+
+TEST(ShardMapTest, GenerationIsStampedButNeverMovesKeys) {
+  ShardMap::Options g1;
+  g1.num_shards = 4;
+  g1.generation = 1;
+  ShardMap::Options g9 = g1;
+  g9.generation = 9;
+  ShardMap a(g1);
+  ShardMap b(g9);
+  EXPECT_EQ(a.generation(), 1u);
+  EXPECT_EQ(b.generation(), 9u);
+  // The epoch names the placement; it must not change it.
+  for (int64_t bucket = 0; bucket < 2000; ++bucket) {
+    ASSERT_EQ(a.OwnerOfBucket(bucket), b.OwnerOfBucket(bucket));
+  }
+}
+
+TEST(ShardMapTest, EveryKeyHasExactlyOneOwnerAndLoadIsBalanced) {
+  const int kShards = 4;
+  const int kKeys = 20000;
+  ShardMap::Options opts;
+  opts.num_shards = kShards;
+  ShardMap map(opts);
+  std::vector<int> counts(kShards, 0);
+  for (int64_t bucket = 0; bucket < kKeys; ++bucket) {
+    int owner = map.OwnerOfBucket(bucket);
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, kShards);
+    ++counts[owner];
+  }
+  // 32 vnodes/shard keeps the ring arcs reasonably even: every shard must
+  // own a substantial share (the bound is loose on purpose — this guards
+  // against a broken ring, not against hash-variance).
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_GT(counts[s], kKeys / 10) << "shard " << s << " starved";
+    EXPECT_LT(counts[s], kKeys / 2) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(ShardMapTest, GrowthOnlyMovesKeysToTheNewShard) {
+  // The consistent-hashing contract: going N -> N+1 shards, a key either
+  // keeps its owner or moves to the NEW shard — pre-existing shards never
+  // trade keys among themselves. This is what makes future resharding an
+  // append-only hand-off.
+  const int kKeys = 8000;
+  for (int n = 1; n <= 7; ++n) {
+    ShardMap::Options small;
+    small.num_shards = n;
+    ShardMap::Options big;
+    big.num_shards = n + 1;
+    ShardMap before(small);
+    ShardMap after(big);
+    int moved = 0;
+    for (int64_t bucket = 0; bucket < kKeys; ++bucket) {
+      const int was = before.OwnerOfBucket(bucket);
+      const int now = after.OwnerOfBucket(bucket);
+      if (was != now) {
+        EXPECT_EQ(now, n) << "bucket " << bucket << " moved between "
+                          << "pre-existing shards " << was << " -> " << now
+                          << " when growing " << n << " -> " << n + 1;
+        ++moved;
+      }
+    }
+    // Expected churn is ~kKeys/(n+1); allow generous slack both ways.
+    EXPECT_GT(moved, kKeys / (4 * (n + 1))) << n;
+    EXPECT_LT(moved, (3 * kKeys) / (n + 1)) << n;
+  }
+}
+
+TEST(ShardMapTest, SubpathHashIsOrderSensitive) {
+  // A sub-path and its reverse are different cache keys and may live on
+  // different shards; the hash must see order, not just membership.
+  std::vector<int> forward{1, 2, 3, 4};
+  std::vector<int> backward{4, 3, 2, 1};
+  EXPECT_NE(ShardMap::HashSubpath(forward), ShardMap::HashSubpath(backward));
+}
+
+// --- Fleet stats / health aggregation ------------------------------------
+
+TEST(ShardStatsTest, AggregateSumsCountersAndMergesHistograms) {
+  ShardStatsSnapshot snap;
+  ServeStatsSnapshot a;
+  a.submitted = 10;
+  a.completed = 8;
+  a.cache_hits = 4;
+  a.max_batch = 3;
+  a.workers = 2;
+  a.e2e_latency.Add(0.010);
+  a.e2e_latency.Add(0.020);
+  ServeStatsSnapshot b;
+  b.submitted = 5;
+  b.completed = 5;
+  b.cache_hits = 1;
+  b.max_batch = 7;
+  b.workers = 2;
+  b.e2e_latency.Add(0.030);
+  snap.shards = {a, b};
+  ServeStatsSnapshot total = snap.Aggregate();
+  EXPECT_EQ(total.submitted, 15u);
+  EXPECT_EQ(total.completed, 13u);
+  EXPECT_EQ(total.cache_hits, 5u);
+  EXPECT_EQ(total.max_batch, 7u);  // fleet max, not sum
+  EXPECT_EQ(total.workers, 4);
+  EXPECT_EQ(total.e2e_latency.count(), 3u);
+}
+
+TEST(ShardStatsTest, FleetHealthTakesWorstStateAndPrefixesMetrics) {
+  HealthSnapshot healthy;
+  healthy.state = HealthState::kHealthy;
+  healthy.samples = 10;
+  healthy.burn_rate = 0.1;
+  MetricVerdict v;
+  v.name = "queue_depth";
+  v.anomalous = false;
+  healthy.metrics.push_back(v);
+
+  HealthSnapshot degraded;
+  degraded.state = HealthState::kDegraded;
+  degraded.samples = 12;
+  degraded.burn_rate = 1.5;
+  degraded.anomalies_total = 3;
+  degraded.top_offender = "cache";
+  degraded.top_offender_share = 0.7;
+  v.name = "shed_rate";
+  v.anomalous = true;
+  degraded.metrics.push_back(v);
+
+  HealthSnapshot fleet = AggregateFleetHealth({healthy, degraded});
+  EXPECT_EQ(fleet.state, HealthState::kDegraded);
+  EXPECT_EQ(fleet.samples, 22u);
+  EXPECT_EQ(fleet.anomalies_total, 3u);
+  EXPECT_DOUBLE_EQ(fleet.burn_rate, 1.5);
+  EXPECT_EQ(fleet.top_offender, "s1/cache");
+  ASSERT_EQ(fleet.metrics.size(), 2u);
+  EXPECT_EQ(fleet.metrics[0].name, "s0/queue_depth");
+  EXPECT_EQ(fleet.metrics[1].name, "s1/shed_rate");
+}
+
+// --- ShardRouter ---------------------------------------------------------
+
+struct ShardFixture {
+  GridNetworkSpec spec;
+  RoadNetwork net;
+  EdgeCentricModel model;
+
+  ShardFixture() : spec(MakeSpec()), net(MakeNet(spec)), model(0) {
+    model = EdgeCentricModel(static_cast<int>(net.NumEdges()));
+    TrafficSimulator sim(&net, TrafficSpec{});
+    Rng rng(11);
+    for (int e = 0; e < static_cast<int>(net.NumEdges()); ++e) {
+      for (int rep = 0; rep < 8; ++rep) {
+        TripObservation trip;
+        trip.edge_path = {e};
+        trip.depart_seconds = 8 * 3600.0;
+        trip.edge_times = {sim.SampleEdgeTime(e, trip.depart_seconds, &rng)};
+        model.AddTrip(trip);
+      }
+    }
+    Status built = model.Build();
+    EXPECT_TRUE(built.ok()) << built.ToString();
+  }
+
+  static GridNetworkSpec MakeSpec() {
+    GridNetworkSpec spec;
+    spec.rows = 6;
+    spec.cols = 6;
+    return spec;
+  }
+  static RoadNetwork MakeNet(const GridNetworkSpec& spec) {
+    Rng rng(3);
+    return GenerateGridNetwork(spec, &rng);
+  }
+
+  PathCostModel BaseModel() const {
+    const EdgeCentricModel* m = &model;
+    return [m](const std::vector<int>& edges, double depart) {
+      return m->PathCostDistribution(edges, depart, 32);
+    };
+  }
+
+  ShardRouter::Options RouterOptions(int num_shards) const {
+    ShardRouter::Options opts;
+    opts.map.num_shards = num_shards;
+    opts.server.autoscale_enabled = false;
+    opts.server.initial_workers = 1;
+    opts.region_cell_meters = 800.0;
+    return opts;
+  }
+
+  /// A (source, target) pair whose region owners differ at this fleet
+  /// size — guaranteed to scatter.
+  std::pair<int, int> CrossShardPair(const ShardRouter& router) const {
+    for (int a = 0; a < static_cast<int>(net.NumNodes()); ++a) {
+      for (int b = 0; b < static_cast<int>(net.NumNodes()); ++b) {
+        if (a != b && router.OwnerOfNode(a) != router.OwnerOfNode(b)) {
+          return {a, b};
+        }
+      }
+    }
+    ADD_FAILURE() << "no cross-shard pair in fixture";
+    return {0, 1};
+  }
+
+  /// A pair owned by one shard — guaranteed to forward.
+  std::pair<int, int> SameShardPair(const ShardRouter& router) const {
+    for (int a = 0; a < static_cast<int>(net.NumNodes()); ++a) {
+      for (int b = 0; b < static_cast<int>(net.NumNodes()); ++b) {
+        if (a != b && router.OwnerOfNode(a) == router.OwnerOfNode(b)) {
+          return {a, b};
+        }
+      }
+    }
+    ADD_FAILURE() << "no same-shard pair in fixture";
+    return {0, 1};
+  }
+};
+
+RouteQuery MakeQuery(int source, int target, double depart = 8 * 3600.0) {
+  RouteQuery q;
+  q.source = source;
+  q.target = target;
+  q.k = 4;
+  q.depart_seconds = depart;
+  return q;
+}
+
+TEST(ShardRouterTest, RejectsWhenNotRunning) {
+  ShardFixture fx;
+  ShardRouter router(&fx.net, fx.BaseModel(), fx.RouterOptions(2));
+  Status st = router.Submit(MakeQuery(0, 5), [](const RouteAnswer&) {});
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardRouterTest, ForwardsSameOwnerAndScattersCrossOwner) {
+  ShardFixture fx;
+  ShardRouter router(&fx.net, fx.BaseModel(), fx.RouterOptions(4));
+  ASSERT_TRUE(router.Start().ok());
+  auto same = fx.SameShardPair(router);
+  auto cross = fx.CrossShardPair(router);
+
+  std::atomic<int> answered{0};
+  auto count_ok = [&answered](const RouteAnswer& answer) {
+    EXPECT_TRUE(answer.status.ok()) << answer.status.ToString();
+    answered.fetch_add(1);
+  };
+  ASSERT_TRUE(
+      router.Submit(MakeQuery(same.first, same.second), count_ok).ok());
+  ASSERT_TRUE(
+      router.Submit(MakeQuery(cross.first, cross.second), count_ok).ok());
+  router.WaitIdle();
+  EXPECT_EQ(answered.load(), 2);
+
+  ShardStatsSnapshot snap = router.ShardStats();
+  EXPECT_EQ(snap.router.forwarded, 1u);
+  EXPECT_EQ(snap.router.scattered, 1u);
+  EXPECT_EQ(snap.router.merges, 1u);
+  EXPECT_GE(snap.router.probes_sent, 1u);
+  EXPECT_EQ(snap.router.partial_errors, 0u);
+  // Per-shard attribution sums to the totals.
+  uint64_t fwd_sum = 0, probe_sum = 0;
+  for (uint64_t f : snap.router.forwarded_per_shard) fwd_sum += f;
+  for (uint64_t p : snap.router.probes_per_shard) probe_sum += p;
+  EXPECT_EQ(fwd_sum, snap.router.forwarded);
+  EXPECT_EQ(probe_sum, snap.router.probes_sent);
+  // The fleet aggregate sees the probe + forwarded traffic as completions.
+  EXPECT_GE(router.Stats().completed, 2u);
+  router.Stop();
+}
+
+TEST(ShardRouterTest, ScatterReplicatesBoundaryCacheEntries) {
+  ShardFixture fx;
+  ShardRouter::Options opts = fx.RouterOptions(4);
+  opts.replicate_boundary = true;
+  ShardRouter router(&fx.net, fx.BaseModel(), opts);
+  ASSERT_TRUE(router.Start().ok());
+  auto cross = fx.CrossShardPair(router);
+  std::atomic<int> done{0};
+  ASSERT_TRUE(router
+                  .Submit(MakeQuery(cross.first, cross.second),
+                          [&done](const RouteAnswer& answer) {
+                            EXPECT_TRUE(answer.status.ok());
+                            done.fetch_add(1);
+                          })
+                  .ok());
+  router.WaitIdle();
+  ASSERT_EQ(done.load(), 1);
+  ShardStatsSnapshot snap = router.ShardStats();
+  // A cold scatter computes at least one segment on a non-endpoint-owner
+  // shard, so at least one entry crossed a boundary.
+  EXPECT_GT(snap.router.replicated, 0u);
+  router.Stop();
+}
+
+TEST(ShardRouterTest, StoppedShardYieldsTypedUnavailable) {
+  ShardFixture fx;
+  ShardRouter router(&fx.net, fx.BaseModel(), fx.RouterOptions(2));
+  ASSERT_TRUE(router.Start().ok());
+  auto cross = fx.CrossShardPair(router);
+  const int owner = router.OwnerOfNode(cross.second);
+  ASSERT_TRUE(router.StopShard(owner).ok());
+  EXPECT_TRUE(router.ShardStopped(owner));
+
+  // Forward to the stopped owner: typed error at submit, callback unused.
+  int fwd_source = -1, fwd_target = -1;
+  for (int a = 0; a < static_cast<int>(fx.net.NumNodes()) && fwd_source < 0;
+       ++a) {
+    if (router.OwnerOfNode(a) != owner) continue;
+    for (int b = 0; b < static_cast<int>(fx.net.NumNodes()); ++b) {
+      if (a != b && router.OwnerOfNode(b) == owner) {
+        fwd_source = a;
+        fwd_target = b;
+        break;
+      }
+    }
+  }
+  if (fwd_source >= 0) {
+    Status fwd = router.Submit(MakeQuery(fwd_source, fwd_target),
+                               [](const RouteAnswer&) { FAIL(); });
+    EXPECT_EQ(fwd.code(), StatusCode::kUnavailable);
+  }
+
+  // Scatter across the stopped owner: admitted, answered with a typed
+  // partial-result error — never a wrong answer.
+  std::atomic<int> partial{0};
+  ASSERT_TRUE(router
+                  .Submit(MakeQuery(cross.first, cross.second),
+                          [&partial](const RouteAnswer& answer) {
+                            EXPECT_EQ(answer.status.code(),
+                                      StatusCode::kUnavailable)
+                                << answer.status.ToString();
+                            partial.fetch_add(1);
+                          })
+                  .ok());
+  router.WaitIdle();
+  EXPECT_EQ(partial.load(), 1);
+  ShardStatsSnapshot snap = router.ShardStats();
+  EXPECT_GE(snap.router.partial_errors, 1u);
+  EXPECT_GE(snap.router.probe_transport_failures, 1u);
+  router.Stop();
+}
+
+TEST(ShardRouterTest, RegistersShardMetricsSource) {
+  ShardFixture fx;
+  ShardRouter router(&fx.net, fx.BaseModel(), fx.RouterOptions(2));
+  ASSERT_TRUE(router.Start().ok());
+  std::string prom = MetricsExporter::ExportPrometheus();
+  EXPECT_NE(prom.find("tsdm_shard_count 2"), std::string::npos);
+  EXPECT_NE(prom.find("tsdm_shard_routed_total{mode=\"forward\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tsdm_shard_map_generation"), std::string::npos);
+  std::string json = MetricsExporter::ShardToJson(router.ShardStats());
+  EXPECT_NE(json.find("\"num_shards\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate\":"), std::string::npos);
+  router.Stop();
+  // Unregistered after Stop.
+  EXPECT_EQ(MetricsExporter::ExportPrometheus().find("tsdm_shard_count"),
+            std::string::npos);
+}
+
+TEST(ShardRouterTest, ScatterSpansLinkUnderSubmitRoot) {
+  ShardFixture fx;
+  TraceRecorder::Global().Clear();
+  TraceRecorder::Global().Enable();
+  {
+    // Scoped: worker-side spans (the merge runs on the last-completing
+    // probe's worker thread) flush when the shards' pools wind down at
+    // destruction, before the snapshot below.
+    ShardRouter router(&fx.net, fx.BaseModel(), fx.RouterOptions(4));
+    ASSERT_TRUE(router.Start().ok());
+    auto cross = fx.CrossShardPair(router);
+
+    std::atomic<int> done{0};
+    ASSERT_TRUE(
+        router
+            .Submit(MakeQuery(cross.first, cross.second),
+                    [&done](const RouteAnswer&) { done.fetch_add(1); })
+            .ok());
+    router.WaitIdle();
+    ASSERT_EQ(done.load(), 1);
+    router.Stop();
+  }
+  TraceRecorder::Global().Disable();
+
+  std::vector<TraceEvent> events = TraceRecorder::Global().Snapshot();
+  bool saw_submit = false, saw_scatter = false, saw_merge = false,
+       saw_serve_submit = false;
+  uint64_t request_id = 0;
+  for (const TraceEvent& e : events) {
+    if (e.name == "shard/submit") {
+      saw_submit = true;
+      request_id = e.request_id;
+    }
+  }
+  ASSERT_TRUE(saw_submit);
+  for (const TraceEvent& e : events) {
+    if (e.request_id != request_id) continue;
+    if (e.name == "shard/scatter") saw_scatter = true;
+    if (e.name == "shard/merge") saw_merge = true;
+    if (e.name == "serve/submit") saw_serve_submit = true;
+  }
+  // The probes' serve/submit subtrees hang inside the same request tree as
+  // the scatter + merge spans — one tree per routed query.
+  EXPECT_TRUE(saw_scatter);
+  EXPECT_TRUE(saw_merge);
+  EXPECT_TRUE(saw_serve_submit);
+}
+
+TEST(ShardRouterTest, SocketServerFrontsRouterUnchanged) {
+  // The shard tier behind the existing wire front door: SocketServer takes
+  // any QueryService, so NetClient cannot tell a fleet from a node.
+  ShardFixture fx;
+  ShardRouter router(&fx.net, fx.BaseModel(), fx.RouterOptions(2));
+  ASSERT_TRUE(router.Start().ok());
+  QueryService* service = &router;
+  EXPECT_FALSE(service->QueueFull());
+  std::atomic<int> done{0};
+  auto cross = fx.CrossShardPair(router);
+  ASSERT_TRUE(service
+                  ->Submit(MakeQuery(cross.first, cross.second),
+                           [&done](const RouteAnswer& answer) {
+                             EXPECT_TRUE(answer.status.ok());
+                             done.fetch_add(1);
+                           })
+                  .ok());
+  router.WaitIdle();
+  EXPECT_EQ(done.load(), 1);
+  EXPECT_GE(service->Stats().completed, 1u);
+  router.Stop();
+}
+
+}  // namespace
+}  // namespace tsdm
