@@ -1,0 +1,406 @@
+// E-MT — Multi-tenant trace replay: a recorded mixed-tenant storm replayed
+// open-loop against the weighted-fair serving tier. Three phases:
+//
+//  1. Capacity probe: the merged trace replayed as-fast-as-possible on one
+//     worker measures the machine's per-worker service rate; the storm's
+//     replay speed is derived from it, so the overload factor is stable
+//     across machines instead of depending on absolute hardware speed.
+//
+//  2. Storm: three tenants offer simultaneously — premium (priority 2,
+//     ride-hail surge), standard (priority 1, diurnal), and best-effort
+//     batch (priority 0, sensor-outage storm) — at ~2x the two-worker capacity
+//     with forecast-fed autoscaling enabled. Expected shape: the premium
+//     p95 stays within its SLO while best-effort absorbs the large
+//     majority (>= 80%) of the sheds, and the forecast policy's first
+//     scale-up lands *before* the aggregate arrival peak (positive
+//     pre-scale lead; the hard assertion lives in load_test).
+//
+//  3. Determinism: the same seeded trace replayed twice as-fast-as-possible
+//     must produce identical answer decision sets — the property that makes
+//     recorded workloads regression artifacts rather than noise generators.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/load/load_trace.h"
+#include "src/load/replayer.h"
+#include "src/load/scenario.h"
+#include "src/obs/trace.h"
+#include "src/serve/query_server.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+
+namespace {
+
+using namespace tsdm;
+using tsdm_bench::BenchReporter;
+using tsdm_bench::Fmt;
+using tsdm_bench::FmtInt;
+using tsdm_bench::Stopwatch;
+using tsdm_bench::Table;
+
+constexpr double kPremiumSloSeconds = 0.10;  ///< premium p95 SLO (100 ms)
+
+struct Workload {
+  GridNetworkSpec spec;
+  RoadNetwork net;
+  EdgeCentricModel model{0};
+
+  PathCostModel BaseModel() const {
+    const EdgeCentricModel* m = &model;
+    return [m](const std::vector<int>& edges, double depart) {
+      return m->PathCostDistribution(edges, depart, 32);
+    };
+  }
+};
+
+Workload BuildWorkload() {
+  Workload w;
+  w.spec.rows = 6;
+  w.spec.cols = 6;
+  Rng rng(1234);
+  w.net = GenerateGridNetwork(w.spec, &rng);
+  w.model = EdgeCentricModel(static_cast<int>(w.net.NumEdges()));
+  TrafficSimulator sim(&w.net, TrafficSpec{});
+  for (int e = 0; e < static_cast<int>(w.net.NumEdges()); ++e) {
+    for (int rep = 0; rep < 8; ++rep) {
+      TripObservation trip;
+      trip.edge_path = {e};
+      trip.depart_seconds = 8 * 3600.0;
+      trip.edge_times = {sim.SampleEdgeTime(e, trip.depart_seconds, &rng)};
+      w.model.AddTrip(trip);
+    }
+  }
+  Status built = w.model.Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "model build failed: %s\n", built.ToString().c_str());
+    std::exit(1);
+  }
+  return w;
+}
+
+std::vector<TenantScenario> StormSpecs(int num_nodes) {
+  TenantScenario premium;
+  premium.tenant = "premium";
+  premium.shape = ScenarioShape::kRideHailSurge;
+  premium.priority = 2;
+  premium.base_rate_hz = 40.0;
+  premium.peak_multiplier = 5.0;
+  premium.duration_seconds = 10.0;
+  premium.seed = 41;
+  premium.num_nodes = num_nodes;
+  premium.k = 6;
+
+  TenantScenario standard = premium;
+  standard.tenant = "standard";
+  standard.shape = ScenarioShape::kDiurnalCommute;
+  standard.priority = 1;
+  standard.base_rate_hz = 40.0;
+  standard.peak_multiplier = 3.0;
+  standard.seed = 42;
+
+  // Square-wave outage bursts keep best-effort pressure on the queue for
+  // the whole run — including during the premium surge peak, where the
+  // scheduler's shed-lowest-first choice actually gets exercised. (A flash
+  // crowd would be gone by mid-trace, leaving nobody below premium to
+  // displace.)
+  TenantScenario batch = premium;
+  batch.tenant = "batch";
+  batch.shape = ScenarioShape::kSensorOutageStorm;
+  batch.priority = 0;
+  batch.base_rate_hz = 80.0;
+  batch.peak_multiplier = 6.0;
+  batch.seed = 43;
+  return {premium, standard, batch};
+}
+
+std::vector<TimedQuery> BuildTrace(const std::vector<TenantScenario>& specs) {
+  std::vector<std::vector<TimedQuery>> streams;
+  for (const TenantScenario& spec : specs) {
+    Result<std::vector<TimedQuery>> s = GenerateScenario(spec);
+    if (!s.ok()) {
+      std::fprintf(stderr, "scenario failed: %s\n",
+                   s.status().ToString().c_str());
+      std::exit(1);
+    }
+    streams.push_back(std::move(*s));
+  }
+  return MergeStreams(streams);
+}
+
+/// Trace-time offset of one tenant's arrival peak. The pre-scale claim is
+/// measured against the *premium surge* peak: the surge ramps up over
+/// trace time, which is exactly the trend the Holt forecast can get ahead
+/// of (a flash crowd is a step — nothing can scale before its onset).
+double TenantPeakOffset(const TenantScenario& spec) {
+  const double d = spec.duration_seconds;
+  double best_t = 0.0, best_rate = -1.0;
+  for (int i = 0; i < 400; ++i) {
+    const double t = d * i / 400.0;
+    const double rate = ScenarioRateAt(spec, t);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best_t = t;
+    }
+  }
+  return best_t;
+}
+
+const TenantServeStats* FindTenant(const ServeStatsSnapshot& snap,
+                                   const std::string& name) {
+  for (const TenantServeStats& t : snap.tenants) {
+    if (t.tenant == name) return &t;
+  }
+  return nullptr;
+}
+
+/// Decision fields of an answer as a comparable fingerprint (doubles as bit
+/// patterns; wall-clock timing fields excluded).
+std::string Fingerprint(const RouteAnswer& a) {
+  std::string fp = std::to_string(static_cast<int>(a.status.code())) + "|" +
+                   a.tenant_id + "|" + std::to_string(a.num_candidates) + "|";
+  uint64_t bits = 0;
+  std::memcpy(&bits, &a.cost_mean_seconds, sizeof(bits));
+  fp += std::to_string(bits) + "|";
+  for (int e : a.route.edges) fp += std::to_string(e) + ",";
+  return fp;
+}
+
+QueryServer::Options StormOptions(size_t trace_size) {
+  QueryServer::Options opts;
+  opts.initial_workers = 2;
+  opts.autoscale_enabled = true;
+  opts.autoscale_policy = QueryServer::AutoscalePolicyKind::kForecast;
+  opts.autoscale_interval_seconds = 0.02;
+  opts.autoscale.min_workers = 2;
+  opts.autoscale.max_workers = 4;
+  opts.queue.capacity = 128;
+  opts.queue.tenants["premium"].weight = 4.0;
+  opts.queue.tenants["standard"].weight = 2.0;
+  opts.queue.tenants["batch"].weight = 1.0;
+  // Best-effort work may use at most half the queue: batch arrivals past
+  // the quota shed immediately instead of crowding out paying tenants.
+  opts.queue.tenants["batch"].quota = 64;
+  opts.cost.segment_edges = 8;
+  // Every query pays the k-shortest-path enumeration: with the route-level
+  // LRU effectively disabled, per-query cost is dominated by real work, so
+  // the capacity probe lands in a range where the derived replay speed
+  // produces genuine overload instead of being eaten by cache hits.
+  opts.route_cache_entries = 1;
+  (void)trace_size;
+  return opts;
+}
+
+}  // namespace
+
+int main() {
+  BenchReporter reporter("replay");
+  Workload w = BuildWorkload();
+  const int num_nodes = static_cast<int>(w.net.NumNodes());
+  std::vector<TenantScenario> specs = StormSpecs(num_nodes);
+  std::vector<TimedQuery> trace = BuildTrace(specs);
+  reporter.Info("network", "6x6 grid");
+  reporter.Info("workload",
+                "premium surge (prio 2, weight 4) + standard diurnal (prio 1, "
+                "weight 2) + batch outage storm (prio 0, weight 1, quota 64)");
+  reporter.Metric("trace_queries", static_cast<double>(trace.size()));
+
+  // --- Phase 1: per-worker capacity probe -------------------------------
+  // Same cost profile as the storm (route LRU disabled, k = 6), one
+  // worker, no autoscale — the service rate the storm speed is derived
+  // from must reflect what a storm worker actually pays per query.
+  double capacity_per_s = 0.0;
+  {
+    QueryServer::Options opts = StormOptions(trace.size());
+    opts.initial_workers = 1;
+    opts.autoscale_enabled = false;
+    opts.queue.capacity = trace.size() + 1;
+    opts.submit_observer = nullptr;
+    QueryServer probe(&w.net, w.BaseModel(), opts);
+    if (!probe.Start().ok()) return 1;
+    TraceReplayer::Options ropts;
+    ropts.speed = 0.0;  // as fast as possible
+    ropts.queue_budget_seconds = 0.0;
+    TraceReplayer replayer(ropts);
+    Result<TraceReplayer::Report> warm = replayer.Replay(trace, &probe);
+    probe.Stop();
+    if (!warm.ok()) return 1;
+    capacity_per_s = warm->wall_seconds > 0.0
+                         ? static_cast<double>(warm->answered_ok +
+                                               warm->answered_error) /
+                               warm->wall_seconds
+                         : 0.0;
+  }
+  reporter.Metric("probe_capacity_per_s", capacity_per_s);
+
+  // --- Phase 2: mixed-tenant storm at ~2x two-worker capacity -----------
+  // The trace's aggregate peak rate maps to 2x the two-worker service rate
+  // via the replay speed, so the storm genuinely overloads the fleet on
+  // any machine — sheds are guaranteed, and the scheduler (not hardware
+  // luck) decides who eats them.
+  double trace_peak_hz = 0.0;
+  {
+    const double d = specs.front().duration_seconds;
+    for (int i = 0; i < 400; ++i) {
+      double rate = 0.0;
+      for (const TenantScenario& spec : specs) {
+        rate += ScenarioRateAt(spec, d * i / 400.0);
+      }
+      trace_peak_hz = std::max(trace_peak_hz, rate);
+    }
+  }
+  const double target_peak = 2.0 * 2.0 * capacity_per_s;
+  double speed = trace_peak_hz > 0.0 ? target_peak / trace_peak_hz : 1.0;
+  speed = std::clamp(speed, 2.0, 64.0);
+  reporter.Metric("storm_speed", speed);
+
+  LoadTraceRecorder recorder;
+  QueryServer::Options storm_opts = StormOptions(trace.size());
+  storm_opts.submit_observer = recorder.Observer();
+  QueryServer server(&w.net, w.BaseModel(), storm_opts);
+  TraceRecorder::Global().Clear();
+  TraceRecorder::Global().Enable();
+  if (!server.Start().ok()) return 1;
+  TraceReplayer::Options storm_ropts;
+  storm_ropts.speed = speed;
+  storm_ropts.queue_budget_seconds = 0.25;
+  TraceReplayer storm(storm_ropts);
+  Result<TraceReplayer::Report> report = storm.Replay(trace, &server);
+  if (!report.ok()) return 1;
+  ServeStatsSnapshot snap = server.Stats();
+  server.Stop();
+  TraceRecorder::Global().Disable();
+
+  const double offered_per_s =
+      report->wall_seconds > 0.0
+          ? static_cast<double>(report->offered) / report->wall_seconds
+          : 0.0;
+  const double served_per_s =
+      report->wall_seconds > 0.0
+          ? static_cast<double>(report->answered_ok + report->answered_error) /
+                report->wall_seconds
+          : 0.0;
+
+  // Who ate the sheds, and did premium hold its SLO?
+  const TenantServeStats* premium = FindTenant(snap, "premium");
+  const TenantServeStats* batch = FindTenant(snap, "batch");
+  const uint64_t total_shed = snap.TotalShed();
+  const double batch_shed_share =
+      total_shed > 0 && batch != nullptr
+          ? static_cast<double>(batch->TotalShed()) /
+                static_cast<double>(total_shed)
+          : 0.0;
+  const double premium_p95_s =
+      premium != nullptr ? premium->e2e_latency.QuantileSeconds(0.95) : 0.0;
+  const double premium_shed_rate =
+      premium != nullptr && premium->submitted > 0
+          ? static_cast<double>(premium->TotalShed()) /
+                static_cast<double>(premium->submitted)
+          : 0.0;
+
+  // Pre-scale lead: premium-surge-peak arrival instant vs the first
+  // scale-up.
+  double prescale_lead_ms = 0.0;
+  {
+    const double peak_t = TenantPeakOffset(specs[0]);
+    std::vector<TimedQuery> offered = recorder.Snapshot();
+    double peak_offset_s = -1.0;
+    for (size_t i = 0; i < trace.size() && i < offered.size(); ++i) {
+      if (trace[i].at_seconds >= peak_t) {
+        peak_offset_s = offered[i].at_seconds;
+        break;
+      }
+    }
+    std::vector<TraceEvent> events = TraceRecorder::Global().Snapshot();
+    uint64_t first_enqueue_ns = 0;
+    for (const TraceEvent& ev : events) {
+      if (ev.name == "serve/submit" &&
+          (first_enqueue_ns == 0 || ev.start_ns < first_enqueue_ns)) {
+        first_enqueue_ns = ev.start_ns;
+      }
+    }
+    double first_up_s = -1.0;
+    for (const TraceEvent& ev : events) {
+      if (ev.name == "serve/resize" && ev.arg > storm_opts.initial_workers &&
+          ev.start_ns >= first_enqueue_ns) {
+        const double at =
+            1e-9 * static_cast<double>(ev.start_ns - first_enqueue_ns);
+        if (first_up_s < 0.0 || at < first_up_s) first_up_s = at;
+      }
+    }
+    if (peak_offset_s > 0.0 && first_up_s > 0.0) {
+      prescale_lead_ms = 1000.0 * (peak_offset_s - first_up_s);
+    }
+  }
+
+  Table storm_table("E-MT mixed-tenant storm",
+                    {"tenant", "offered", "answered", "shed", "p95_ms"});
+  for (const TenantServeStats& t : snap.tenants) {
+    storm_table.Row({t.tenant, FmtInt(static_cast<long>(t.submitted)),
+                     FmtInt(static_cast<long>(t.completed + t.failed)),
+                     FmtInt(static_cast<long>(t.TotalShed())),
+                     Fmt(1e3 * t.e2e_latency.QuantileSeconds(0.95), 2)});
+  }
+  std::printf(
+      "premium p95 %.1f ms (SLO %.0f ms) | batch shed share %.2f "
+      "(expected >= 0.80) | pre-scale lead %.1f ms (positive = scaled "
+      "before the premium surge peak) | workers %d, scale events %d\n",
+      1e3 * premium_p95_s, 1e3 * kPremiumSloSeconds, batch_shed_share,
+      prescale_lead_ms, snap.workers, snap.scale_events);
+
+  reporter.Metric("replay_offered_per_s", offered_per_s);
+  reporter.Metric("replay_served_per_s", served_per_s);
+  reporter.Metric("storm_shed_total", static_cast<double>(total_shed));
+  reporter.Metric("batch_shed_share", batch_shed_share);
+  reporter.Metric("premium_p95_us", 1e6 * premium_p95_s);
+  reporter.Metric("premium_shed_rate", premium_shed_rate);
+  reporter.Metric("premium_slo_met",
+                  premium_p95_s <= kPremiumSloSeconds ? 1.0 : 0.0);
+  reporter.Metric("prescale_lead_ms", prescale_lead_ms);
+  reporter.Metric("scale_events", static_cast<double>(snap.scale_events));
+
+  // --- Phase 3: replay determinism --------------------------------------
+  std::vector<TimedQuery> small(trace.begin(),
+                                trace.begin() +
+                                    std::min<size_t>(trace.size(), 500));
+  auto run_once = [&w, &small]() {
+    QueryServer::Options opts;
+    opts.initial_workers = 2;
+    opts.autoscale_enabled = false;
+    opts.queue.capacity = small.size() + 1;
+    opts.cost.segment_edges = 8;
+    QueryServer det(&w.net, w.BaseModel(), opts);
+    (void)det.Start();
+    TraceReplayer::Options ropts;
+    ropts.speed = 0.0;
+    ropts.queue_budget_seconds = 0.0;
+    ropts.collect_answers = true;
+    TraceReplayer replayer(ropts);
+    Result<TraceReplayer::Report> r = replayer.Replay(small, &det);
+    det.Stop();
+    std::string fp;
+    if (r.ok()) {
+      for (const RouteAnswer& a : r->answers) fp += Fingerprint(a) + "\n";
+    }
+    return fp;
+  };
+  const bool deterministic = run_once() == run_once();
+  std::printf("replay determinism (500-query prefix, 2 runs): %s\n",
+              deterministic ? "identical" : "DIVERGED");
+  reporter.Metric("replay_deterministic", deterministic ? 1.0 : 0.0);
+
+  std::printf(
+      "\nexpected shape: the storm overloads the fleet by construction "
+      "(speed derived from the measured capacity), best-effort batch "
+      "absorbs >= 80%% of the sheds while the premium p95 holds its SLO, "
+      "the forecast policy scales up before the aggregate peak, and "
+      "replaying the same seeded trace is decision-deterministic.\n");
+  reporter.Write();
+  return 0;
+}

@@ -20,7 +20,7 @@ OUT="$BUILD/bench-smoke"
 # autoscale) stay out of the smoke path.
 SMOKE_BENCHES=(bench_pipeline bench_executor bench_stream bench_imputation
                bench_drift bench_qcore bench_serve bench_health bench_ingest
-               bench_net bench_shard)
+               bench_net bench_shard bench_replay)
 
 cmake -B "$BUILD" -S "$ROOT" > /dev/null
 cmake --build "$BUILD" -j"$(nproc)" --target "${SMOKE_BENCHES[@]}"

@@ -167,12 +167,16 @@ def main():
                 continue
             ratio = cur_val / base_val
             floor = 1.0 - args.threshold
+            delta_pct = 100.0 * (ratio - 1.0)
             verdict = "ok" if ratio >= floor else "REGRESSION"
             print(f"{verdict:>10}  {base_doc['name']:<14} {key:<24} "
                   f"base={base_val:.6g} cur={cur_val:.6g} "
-                  f"ratio={ratio:.3f} (floor {floor:.2f})")
+                  f"delta={delta_pct:+.1f}% (floor {floor:.2f})")
             if ratio < floor:
-                failures += 1
+                failures += fail(
+                    f"{name}: {key} dropped {-delta_pct:.1f}% "
+                    f"(base {base_val:.6g} -> cur {cur_val:.6g}, "
+                    f"allowed drop {100.0 * args.threshold:.0f}%)")
 
         if args.list_all:
             for key in sorted(set(base_metrics) | set(cur_metrics)):

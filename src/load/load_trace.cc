@@ -1,0 +1,206 @@
+#include "src/load/load_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/ingest/crc32.h"
+
+namespace tsdm {
+
+namespace {
+
+/// Payload length field of a buffered record start (requires >= 5 bytes).
+uint32_t PeekPayloadLen(const uint8_t* p) { return GetU32(p + 1); }
+
+bool PayloadLenValid(uint32_t len) {
+  return len >= kLoadTraceMinPayload && len <= kLoadTraceMaxPayload;
+}
+
+/// Strict payload decode; the CRC already passed, so a failure here means
+/// the record was *written* malformed (or forged), not corrupted.
+bool DecodePayload(const uint8_t* p, size_t size, TimedQuery* out) {
+  if (size < kLoadTraceFixedPayload) return false;
+  const size_t tenant_len = p[9];
+  if (size != kLoadTraceFixedPayload + tenant_len) return false;
+  out->at_seconds = GetF64(p);
+  out->priority = p[8];
+  out->tenant.assign(reinterpret_cast<const char*>(p + 10), tenant_len);
+  const uint8_t* q = p + 10 + tenant_len;
+  out->query.source = static_cast<int>(GetU32(q));
+  out->query.target = static_cast<int>(GetU32(q + 4));
+  out->query.k = static_cast<int>(GetU32(q + 8));
+  out->query.snapshot_id = static_cast<int>(GetU32(q + 12));
+  out->query.depart_seconds = GetF64(q + 16);
+  out->query.arrival_deadline_seconds = GetF64(q + 24);
+  return true;
+}
+
+}  // namespace
+
+void EncodeLoadTraceHeader(std::vector<uint8_t>* out) {
+  out->insert(out->end(), kLoadTraceFileMagic, kLoadTraceFileMagic + 4);
+  PutU32(out, kLoadTraceVersion);
+}
+
+void EncodeLoadTraceRecord(const TimedQuery& q, std::vector<uint8_t>* out) {
+  const size_t tenant_len = std::min<size_t>(q.tenant.size(), 255);
+  const size_t start = out->size();
+  PutU8(out, kLoadTraceRecordMagic);
+  PutU32(out, static_cast<uint32_t>(kLoadTraceFixedPayload + tenant_len));
+  PutF64(out, q.at_seconds);
+  PutU8(out, static_cast<uint8_t>(std::clamp(q.priority, 0, 255)));
+  PutU8(out, static_cast<uint8_t>(tenant_len));
+  out->insert(out->end(), q.tenant.begin(),
+              q.tenant.begin() + static_cast<long>(tenant_len));
+  PutU32(out, static_cast<uint32_t>(q.query.source));
+  PutU32(out, static_cast<uint32_t>(q.query.target));
+  PutU32(out, static_cast<uint32_t>(q.query.k));
+  PutU32(out, static_cast<uint32_t>(q.query.snapshot_id));
+  PutF64(out, q.query.depart_seconds);
+  PutF64(out, q.query.arrival_deadline_seconds);
+  PutU32(out, Crc32(out->data() + start, out->size() - start));
+}
+
+size_t LoadTraceParser::Consume(const uint8_t* data, size_t size,
+                                std::vector<TimedQuery>* out) {
+  stats_.bytes_consumed += size;
+  pending_.insert(pending_.end(), data, data + size);
+  size_t accepted = 0;
+  size_t pos = 0;
+  while (pos < pending_.size()) {
+    // Resynchronize: hunt for the next magic byte.
+    if (pending_[pos] != kLoadTraceRecordMagic) {
+      ++pos;
+      ++stats_.resync_bytes;
+      continue;
+    }
+    if (pending_.size() - pos < 5) break;  // need magic + length
+    const uint32_t len = PeekPayloadLen(pending_.data() + pos);
+    if (!PayloadLenValid(len)) {
+      ++stats_.rejected_bad_length;
+      last_error_ = Status::InvalidArgument(
+          "load trace: payload length " + std::to_string(len) +
+          " outside [" + std::to_string(kLoadTraceMinPayload) + ", " +
+          std::to_string(kLoadTraceMaxPayload) + "]");
+      ++pos;  // the magic byte itself becomes resync debris
+      ++stats_.resync_bytes;
+      continue;
+    }
+    const size_t frame_size = 5 + static_cast<size_t>(len) + 4;
+    if (pending_.size() - pos < frame_size) break;  // wait for the rest
+    const uint8_t* frame = pending_.data() + pos;
+    const uint32_t want_crc = GetU32(frame + 5 + len);
+    const uint32_t got_crc = Crc32(frame, 5 + len);
+    if (want_crc != got_crc) {
+      ++stats_.rejected_bad_crc;
+      last_error_ = Status::DataLoss("load trace: record CRC mismatch");
+      ++pos;
+      ++stats_.resync_bytes;
+      continue;
+    }
+    TimedQuery q;
+    if (!DecodePayload(frame + 5, len, &q)) {
+      ++stats_.rejected_bad_payload;
+      last_error_ =
+          Status::InvalidArgument("load trace: malformed record payload");
+      ++pos;
+      ++stats_.resync_bytes;
+      continue;
+    }
+    out->push_back(std::move(q));
+    ++accepted;
+    ++stats_.records_accepted;
+    pos += frame_size;
+  }
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<long>(pos));
+  return accepted;
+}
+
+Status WriteTraceFile(const std::string& path,
+                      const std::vector<TimedQuery>& queries) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(kLoadTraceHeaderSize + queries.size() * 64);
+  EncodeLoadTraceHeader(&bytes);
+  for (const TimedQuery& q : queries) EncodeLoadTraceRecord(q, &bytes);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("load trace: cannot open " + path +
+                            " for writing");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    return Status::Internal("load trace: short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TimedQuery>> ReadTraceFile(const std::string& path,
+                                              LoadTraceParserStats* stats) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("load trace: cannot open " + path);
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  if (bytes.size() < kLoadTraceHeaderSize ||
+      std::memcmp(bytes.data(), kLoadTraceFileMagic, 4) != 0) {
+    return Status::InvalidArgument("load trace: " + path +
+                                   " is not a TSWT trace file");
+  }
+  const uint32_t version = GetU32(bytes.data() + 4);
+  if (version != kLoadTraceVersion) {
+    return Status::InvalidArgument("load trace: unsupported version " +
+                                   std::to_string(version));
+  }
+  LoadTraceParser parser;
+  std::vector<TimedQuery> out;
+  parser.Consume(bytes.data() + kLoadTraceHeaderSize,
+                 bytes.size() - kLoadTraceHeaderSize, &out);
+  if (stats != nullptr) *stats = parser.stats();
+  return out;
+}
+
+std::function<void(const RouteQuery&, const SubmitOptions&, uint64_t)>
+LoadTraceRecorder::Observer() {
+  return [this](const RouteQuery& query, const SubmitOptions& options,
+                uint64_t enqueue_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!have_first_) {
+      first_ns_ = enqueue_ns;
+      have_first_ = true;
+    }
+    TimedQuery q;
+    q.at_seconds = enqueue_ns >= first_ns_
+                       ? 1e-9 * static_cast<double>(enqueue_ns - first_ns_)
+                       : 0.0;
+    q.tenant = options.tenant_id;
+    q.priority = options.priority;
+    q.query = query;
+    recorded_.push_back(std::move(q));
+  };
+}
+
+std::vector<TimedQuery> LoadTraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+size_t LoadTraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_.size();
+}
+
+Status LoadTraceRecorder::WriteTo(const std::string& path) const {
+  return WriteTraceFile(path, Snapshot());
+}
+
+}  // namespace tsdm

@@ -1,0 +1,140 @@
+#include "src/load/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/rng.h"
+
+namespace tsdm {
+
+namespace {
+
+double GaussianBump(double t, double center, double width) {
+  const double z = (t - center) / width;
+  return std::exp(-0.5 * z * z);
+}
+
+}  // namespace
+
+const char* ScenarioShapeName(ScenarioShape shape) {
+  switch (shape) {
+    case ScenarioShape::kDiurnalCommute:
+      return "diurnal";
+    case ScenarioShape::kRideHailSurge:
+      return "surge";
+    case ScenarioShape::kFlashCrowd:
+      return "flash-crowd";
+    case ScenarioShape::kSensorOutageStorm:
+      return "outage-storm";
+    case ScenarioShape::kSlowDrift:
+      return "slow-drift";
+  }
+  return "unknown";
+}
+
+double ScenarioRateAt(const TenantScenario& spec, double t) {
+  const double base = spec.base_rate_hz;
+  const double peak = spec.base_rate_hz * spec.peak_multiplier;
+  const double d = spec.duration_seconds;
+  if (d <= 0.0) return 0.0;
+  const double x = std::clamp(t / d, 0.0, 1.0);  // normalized time in [0, 1]
+  switch (spec.shape) {
+    case ScenarioShape::kDiurnalCommute: {
+      // Morning and evening rush: two Gaussian humps over a 20% base.
+      const double rush = GaussianBump(x, 0.25, 0.07) +
+                          GaussianBump(x, 0.75, 0.07);
+      return 0.2 * base + (peak - 0.2 * base) * std::min(1.0, rush);
+    }
+    case ScenarioShape::kRideHailSurge: {
+      // Flat base, linear ramp to peak over [0.6, 0.8], fast linear decay
+      // back to base over [0.8, 0.9].
+      if (x < 0.6) return base;
+      if (x < 0.8) return base + (peak - base) * (x - 0.6) / 0.2;
+      if (x < 0.9) return peak - (peak - base) * (x - 0.8) / 0.1;
+      return base;
+    }
+    case ScenarioShape::kFlashCrowd: {
+      // Near-silent until the event, then a step with exponential
+      // relaxation (time constant = 10% of the horizon).
+      if (x < 0.5) return 0.05 * base;
+      return 0.05 * base + (peak - 0.05 * base) *
+                               std::exp(-(x - 0.5) / 0.1);
+    }
+    case ScenarioShape::kSensorOutageStorm: {
+      // Five on/off retry bursts riding the base load: a square wave with
+      // a 20%-of-horizon period, high for the first half of each period.
+      const double phase = x * 5.0 - std::floor(x * 5.0);
+      return phase < 0.5 ? peak : base;
+    }
+    case ScenarioShape::kSlowDrift:
+      return base + (peak - base) * x;
+  }
+  return base;
+}
+
+Result<std::vector<TimedQuery>> GenerateScenario(const TenantScenario& spec) {
+  if (spec.duration_seconds <= 0.0) {
+    return Status::InvalidArgument("scenario: duration must be positive");
+  }
+  if (spec.base_rate_hz <= 0.0 || spec.peak_multiplier <= 0.0) {
+    return Status::InvalidArgument("scenario: rates must be positive");
+  }
+  if (spec.num_nodes < 2) {
+    return Status::InvalidArgument(
+        "scenario: need at least 2 nodes for OD pairs");
+  }
+  // The thinning envelope must dominate rate(t) everywhere; every shape
+  // above is bounded by base * max(1, peak_multiplier).
+  const double max_rate =
+      spec.base_rate_hz * std::max(1.0, spec.peak_multiplier);
+  Rng rng(spec.seed);
+  std::vector<TimedQuery> out;
+  out.reserve(static_cast<size_t>(max_rate * spec.duration_seconds * 0.5));
+  double t = 0.0;
+  for (;;) {
+    t += rng.Exponential(max_rate);
+    if (t >= spec.duration_seconds) break;
+    // Thinning: always draw the acceptance variate so the arrival process
+    // and the per-query fields consume the RNG identically regardless of
+    // accept/reject history length.
+    const double keep = rng.Uniform();
+    if (keep * max_rate > ScenarioRateAt(spec, t)) continue;
+    TimedQuery q;
+    q.at_seconds = t;
+    q.tenant = spec.tenant;
+    q.priority = spec.priority;
+    q.query.source = rng.Index(spec.num_nodes);
+    q.query.target = rng.Index(spec.num_nodes - 1);
+    if (q.query.target >= q.query.source) ++q.query.target;  // distinct OD
+    q.query.k = spec.k;
+    // Departure times cycle through a synthetic day so queries hit
+    // different cost-model buckets, not one hot bucket.
+    q.query.depart_seconds = 3600.0 * rng.Uniform(0.0, 24.0);
+    const bool deadline = rng.Bernoulli(spec.deadline_fraction);
+    if (deadline) {
+      q.query.arrival_deadline_seconds =
+          q.query.depart_seconds + rng.Uniform(300.0, 3600.0);
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<TimedQuery> MergeStreams(
+    const std::vector<std::vector<TimedQuery>>& streams) {
+  std::vector<TimedQuery> merged;
+  size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  merged.reserve(total);
+  for (const auto& s : streams) {
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TimedQuery& a, const TimedQuery& b) {
+                     return a.at_seconds < b.at_seconds;
+                   });
+  return merged;
+}
+
+}  // namespace tsdm

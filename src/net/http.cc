@@ -189,4 +189,30 @@ bool ExtractJsonNumber(const std::string& json, const std::string& key,
   return true;
 }
 
+bool ExtractJsonString(const std::string& json, const std::string& key,
+                       std::string* out) {
+  const std::string quoted = "\"" + key + "\"";
+  size_t pos = json.find(quoted);
+  if (pos == std::string::npos) return false;
+  pos += quoted.size();
+  while (pos < json.size() && (json[pos] == ' ' || json[pos] == '\t')) ++pos;
+  if (pos >= json.size() || json[pos] != ':') return false;
+  ++pos;
+  while (pos < json.size() && (json[pos] == ' ' || json[pos] == '\t')) ++pos;
+  if (pos >= json.size() || json[pos] != '"') return false;
+  ++pos;
+  std::string value;
+  while (pos < json.size() && json[pos] != '"') {
+    if (json[pos] == '\\' && pos + 1 < json.size() &&
+        (json[pos + 1] == '"' || json[pos + 1] == '\\')) {
+      ++pos;  // unescape \" and \\ — the two escapes JsonEscape produces
+    }
+    value += json[pos];
+    ++pos;
+  }
+  if (pos >= json.size()) return false;  // unterminated string
+  *out = std::move(value);
+  return true;
+}
+
 }  // namespace tsdm

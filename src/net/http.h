@@ -88,6 +88,13 @@ const char* HttpReasonPhrase(int status_code);
 bool ExtractJsonNumber(const std::string& json, const std::string& key,
                        double* out);
 
+/// String sibling of ExtractJsonNumber: extracts a top-level string field
+/// ("tenant" in the POST /query body). Handles \" and \\ escapes inside
+/// the value; same flat-object scope. Returns false when the key is absent
+/// or its value is not a string.
+bool ExtractJsonString(const std::string& json, const std::string& key,
+                       std::string* out);
+
 }  // namespace tsdm
 
 #endif  // TSDM_NET_HTTP_H_

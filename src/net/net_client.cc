@@ -121,10 +121,17 @@ Status NetClient::Ping() {
 }
 
 Status NetClient::SendQuery(const RouteQuery& query, uint64_t* request_id) {
+  return SendQuery(query, QueryOptions(), request_id);
+}
+
+Status NetClient::SendQuery(const RouteQuery& query,
+                            const QueryOptions& options,
+                            uint64_t* request_id) {
   if (fd_ < 0) return Status::FailedPrecondition("net client: not connected");
   const uint64_t id = next_request_id_++;
   std::vector<uint8_t> payload;
-  EncodeRouteQueryPayload(query, &payload);
+  EncodeRouteQueryPayloadEx(query, options.priority, options.tenant_id,
+                            &payload);
   std::vector<uint8_t> frame;
   EncodeNetFrame(id, NetOpcode::kRouteQuery, payload.data(), payload.size(),
                  &frame);
@@ -154,8 +161,13 @@ Status NetClient::ReceiveAnswer(uint64_t* request_id, WireRouteAnswer* out) {
 }
 
 Status NetClient::Query(const RouteQuery& query, WireRouteAnswer* out) {
+  return Query(query, QueryOptions(), out);
+}
+
+Status NetClient::Query(const RouteQuery& query, const QueryOptions& options,
+                        WireRouteAnswer* out) {
   uint64_t sent_id = 0;
-  TSDM_RETURN_IF_ERROR(SendQuery(query, &sent_id));
+  TSDM_RETURN_IF_ERROR(SendQuery(query, options, &sent_id));
   uint64_t got_id = 0;
   TSDM_RETURN_IF_ERROR(ReceiveAnswer(&got_id, out));
   if (got_id != sent_id) {

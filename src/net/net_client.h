@@ -35,14 +35,26 @@ class NetClient {
   /// Round-trips a ping frame.
   Status Ping();
 
+  /// Per-query scheduling fields carried in the extended kRouteQuery
+  /// payload. Defaults encode the legacy 32-byte form, byte-identical to
+  /// the pre-tenant protocol.
+  struct QueryOptions {
+    int priority = 0;        ///< scheduling class, see SubmitOptions
+    std::string tenant_id;   ///< workload tenant ("" = "default")
+  };
+
   /// Synchronous route query: sends one frame, blocks for its answer.
   /// Non-OK Status is a transport/protocol failure; an application-level
   /// rejection arrives as out->status_code != kOk.
   Status Query(const RouteQuery& query, WireRouteAnswer* out);
+  Status Query(const RouteQuery& query, const QueryOptions& options,
+               WireRouteAnswer* out);
 
   /// Pipelining surface: sends a query frame without waiting. The assigned
   /// request id comes back in *request_id for matching the answer.
   Status SendQuery(const RouteQuery& query, uint64_t* request_id);
+  Status SendQuery(const RouteQuery& query, const QueryOptions& options,
+                   uint64_t* request_id);
 
   /// Blocks for the next frame from the server (any opcode).
   Status ReceiveFrame(NetFrame* out);

@@ -543,8 +543,10 @@ void SocketServer::SubmitWireQuery(Connection* conn, const NetFrame& frame) {
   }
 
   RouteQuery query;
-  Status parsed = DecodeRouteQueryPayload(frame.payload.data(),
-                                          frame.payload.size(), &query);
+  int priority = 0;
+  std::string tenant;
+  Status parsed = DecodeRouteQueryPayload(
+      frame.payload.data(), frame.payload.size(), &query, &priority, &tenant);
   if (!parsed.ok()) {
     reject(std::move(parsed), nullptr);
     return;
@@ -569,6 +571,8 @@ void SocketServer::SubmitWireQuery(Connection* conn, const NetFrame& frame) {
 
   SubmitOptions submit;
   submit.queue_budget_seconds = options_.queue_budget_seconds;
+  submit.priority = priority;
+  submit.tenant_id = std::move(tenant);
   submit.client_request_id = frame.request_id;
   submit.trace_parent = TraceContext{net_request_id, root_span_id};
 
@@ -796,6 +800,10 @@ Status SocketServer::SubmitHttpQuery(Connection* conn,
 
   SubmitOptions submit;
   submit.queue_budget_seconds = options_.queue_budget_seconds;
+  if (ExtractJsonNumber(req.body, "priority", &v)) {
+    submit.priority = static_cast<int>(v);
+  }
+  ExtractJsonString(req.body, "tenant", &submit.tenant_id);
   submit.client_request_id = client_request_id;
 
   std::shared_ptr<CompletionRouter> router = router_;

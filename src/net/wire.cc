@@ -97,11 +97,26 @@ void EncodeRouteQueryPayload(const RouteQuery& query,
   PutF64(out, query.arrival_deadline_seconds);
 }
 
+void EncodeRouteQueryPayloadEx(const RouteQuery& query, int priority,
+                               const std::string& tenant,
+                               std::vector<uint8_t>* out) {
+  EncodeRouteQueryPayload(query, out);
+  if (priority == 0 && tenant.empty()) return;  // legacy form, byte-identical
+  const size_t tenant_len = std::min(tenant.size(), kRouteQueryMaxTenantLen);
+  PutU8(out, static_cast<uint8_t>(std::clamp(priority, 0, 255)));
+  PutU8(out, static_cast<uint8_t>(tenant_len));
+  out->insert(out->end(), tenant.begin(),
+              tenant.begin() + static_cast<long>(tenant_len));
+}
+
 Status DecodeRouteQueryPayload(const uint8_t* payload, size_t size,
-                               RouteQuery* out) {
-  if (size != kRouteQueryPayloadSize) {
+                               RouteQuery* out, int* priority,
+                               std::string* tenant) {
+  if (priority != nullptr) *priority = 0;
+  if (tenant != nullptr) tenant->clear();
+  if (size < kRouteQueryPayloadSize) {
     return Status::InvalidArgument("net: route query payload is " +
-                                   std::to_string(size) + " bytes, want " +
+                                   std::to_string(size) + " bytes, want >= " +
                                    std::to_string(kRouteQueryPayloadSize));
   }
   out->source = static_cast<int>(GetU32(payload));
@@ -110,6 +125,27 @@ Status DecodeRouteQueryPayload(const uint8_t* payload, size_t size,
   out->snapshot_id = static_cast<int>(GetU32(payload + 12));
   out->depart_seconds = GetF64(payload + 16);
   out->arrival_deadline_seconds = GetF64(payload + 24);
+  if (size == kRouteQueryPayloadSize) return Status::OK();  // legacy form
+  // Extended form: u8 priority | u8 tenant_len | tenant bytes, nothing
+  // after — a trailing-length mismatch is a framing error, not padding.
+  if (size < kRouteQueryPayloadSize + 2) {
+    return Status::InvalidArgument(
+        "net: truncated route query scheduling fields");
+  }
+  const uint8_t prio = payload[kRouteQueryPayloadSize];
+  const size_t tenant_len = payload[kRouteQueryPayloadSize + 1];
+  if (size != kRouteQueryPayloadSize + 2 + tenant_len) {
+    return Status::InvalidArgument(
+        "net: route query tenant length mismatch: payload " +
+        std::to_string(size) + " bytes, tenant_len " +
+        std::to_string(tenant_len));
+  }
+  if (priority != nullptr) *priority = prio;
+  if (tenant != nullptr) {
+    tenant->assign(
+        reinterpret_cast<const char*>(payload + kRouteQueryPayloadSize + 2),
+        tenant_len);
+  }
   return Status::OK();
 }
 

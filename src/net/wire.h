@@ -109,14 +109,30 @@ void EncodeNetFrame(uint64_t request_id, NetOpcode opcode,
 
 // --- Opcode payloads ------------------------------------------------------
 
-/// kRouteQuery payload (32 bytes):
+/// kRouteQuery payload. Legacy form (32 bytes):
 ///   i32 source | i32 target | i32 k | i32 snapshot_id |
 ///   f64 depart_seconds | f64 arrival_deadline_seconds
+/// Extended form (34 + tenant_len bytes) appends the scheduling fields:
+///   ... | u8 priority | u8 tenant_len | tenant_len bytes of tenant id
+/// Decoders accept both — a legacy frame means priority 0 and an empty
+/// tenant (the reserved "default"), so old clients keep working against a
+/// tenant-aware server and vice versa.
 inline constexpr size_t kRouteQueryPayloadSize = 32;
+inline constexpr size_t kRouteQueryMaxTenantLen = 255;
 void EncodeRouteQueryPayload(const RouteQuery& query,
                              std::vector<uint8_t>* out);
+/// Extended encoder: emits the legacy 32-byte form when priority == 0 and
+/// the tenant is empty (so default-configured clients stay byte-identical
+/// to the old protocol), the extended form otherwise. Tenants longer than
+/// kRouteQueryMaxTenantLen are truncated.
+void EncodeRouteQueryPayloadEx(const RouteQuery& query, int priority,
+                               const std::string& tenant,
+                               std::vector<uint8_t>* out);
+/// Decodes either form. `priority` / `tenant` (when non-null) receive the
+/// extended fields, or 0 / "" for a legacy frame.
 Status DecodeRouteQueryPayload(const uint8_t* payload, size_t size,
-                               RouteQuery* out);
+                               RouteQuery* out, int* priority = nullptr,
+                               std::string* tenant = nullptr);
 
 /// kRouteAnswer payload:
 ///   u8 status code | f64 cost_mean_seconds | f64 on_time_probability |

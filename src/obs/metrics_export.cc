@@ -201,6 +201,7 @@ std::string MetricsExporter::ServeToJson(const ServeStatsSnapshot& s) {
      << ",\"shed_capacity\":" << U64(s.shed_capacity)
      << ",\"shed_expired\":" << U64(s.shed_expired)
      << ",\"shed_closed\":" << U64(s.shed_closed)
+     << ",\"shed_evicted\":" << U64(s.shed_evicted)
      << ",\"shed_rate\":" << JsonNumber(s.ShedRate())
      << ",\"queue_depth\":" << s.queue_depth
      << ",\"batches\":" << U64(s.batches)
@@ -222,7 +223,24 @@ std::string MetricsExporter::ServeToJson(const ServeStatsSnapshot& s) {
      << ",\"batch\":" << LatencyToJson(s.stage_batch)
      << ",\"cache\":" << LatencyToJson(s.stage_cache)
      << ",\"exec\":" << LatencyToJson(s.stage_exec) << "}"
-     << ",\"slowest_stage\":\"" << JsonEscape(s.SlowestStage()) << "\"}}";
+     << ",\"slowest_stage\":\"" << JsonEscape(s.SlowestStage()) << "\""
+     << ",\"tenants\":[";
+  for (size_t i = 0; i < s.tenants.size(); ++i) {
+    const TenantServeStats& t = s.tenants[i];
+    if (i > 0) os << ",";
+    os << "{\"tenant\":\"" << JsonEscape(t.tenant) << "\""
+       << ",\"submitted\":" << U64(t.submitted)
+       << ",\"admitted\":" << U64(t.admitted)
+       << ",\"shed_capacity\":" << U64(t.shed_capacity)
+       << ",\"shed_expired\":" << U64(t.shed_expired)
+       << ",\"shed_closed\":" << U64(t.shed_closed)
+       << ",\"shed_evicted\":" << U64(t.shed_evicted)
+       << ",\"completed\":" << U64(t.completed)
+       << ",\"failed\":" << U64(t.failed)
+       << ",\"queue_depth\":" << t.queue_depth
+       << ",\"e2e_latency\":" << LatencyToJson(t.e2e_latency) << "}";
+  }
+  os << "]}}";
   return os.str();
 }
 
@@ -237,10 +255,11 @@ std::string MetricsExporter::ServeToPrometheus(const ServeStatsSnapshot& s,
   os << admitted << " " << U64(s.admitted) << "\n";
   const std::string shed = prefix + "_serve_shed_total";
   Family(&os, shed, "counter",
-         "Requests shed, by reason (capacity/deadline/closed).");
+         "Requests shed, by reason (capacity/deadline/closed/evicted).");
   os << shed << "{reason=\"capacity\"} " << U64(s.shed_capacity) << "\n";
   os << shed << "{reason=\"deadline\"} " << U64(s.shed_expired) << "\n";
   os << shed << "{reason=\"closed\"} " << U64(s.shed_closed) << "\n";
+  os << shed << "{reason=\"evicted\"} " << U64(s.shed_evicted) << "\n";
   const std::string batched = prefix + "_serve_batched_requests_total";
   Family(&os, batched, "counter", "Requests dispatched inside micro-batches.");
   os << batched << " " << U64(s.batched_requests) << "\n";
@@ -288,6 +307,63 @@ std::string MetricsExporter::ServeToPrometheus(const ServeStatsSnapshot& s,
   LatencySummary(&os, slat, "stage=\"batch\"", s.stage_batch);
   LatencySummary(&os, slat, "stage=\"cache\"", s.stage_cache);
   LatencySummary(&os, slat, "stage=\"exec\"", s.stage_exec);
+  if (!s.tenants.empty()) {
+    const auto tlabel = [](const TenantServeStats& t) {
+      return "{tenant=\"" + JsonEscape(t.tenant) + "\"}";
+    };
+    const std::string tsub = prefix + "_serve_tenant_submitted_total";
+    Family(&os, tsub, "counter", "Requests offered, by tenant.");
+    for (const auto& t : s.tenants) {
+      os << tsub << tlabel(t) << " " << U64(t.submitted) << "\n";
+    }
+    const std::string tadm = prefix + "_serve_tenant_admitted_total";
+    Family(&os, tadm, "counter", "Requests admitted, by tenant.");
+    for (const auto& t : s.tenants) {
+      os << tadm << tlabel(t) << " " << U64(t.admitted) << "\n";
+    }
+    const std::string tshed = prefix + "_serve_tenant_shed_total";
+    Family(&os, tshed, "counter",
+           "Requests shed, by tenant and reason "
+           "(capacity/deadline/closed/evicted). Summed over tenants each "
+           "reason equals the matching global shed counter.");
+    for (const auto& t : s.tenants) {
+      const std::string name = "tenant=\"" + JsonEscape(t.tenant) + "\"";
+      os << tshed << "{" << name << ",reason=\"capacity\"} "
+         << U64(t.shed_capacity) << "\n";
+      os << tshed << "{" << name << ",reason=\"deadline\"} "
+         << U64(t.shed_expired) << "\n";
+      os << tshed << "{" << name << ",reason=\"closed\"} "
+         << U64(t.shed_closed) << "\n";
+      os << tshed << "{" << name << ",reason=\"evicted\"} "
+         << U64(t.shed_evicted) << "\n";
+    }
+    const std::string tdone = prefix + "_serve_tenant_completed_total";
+    Family(&os, tdone, "counter", "Requests answered OK, by tenant.");
+    for (const auto& t : s.tenants) {
+      os << tdone << tlabel(t) << " " << U64(t.completed) << "\n";
+    }
+    const std::string tfail = prefix + "_serve_tenant_failed_total";
+    Family(&os, tfail, "counter",
+           "Requests answered with an error, by tenant.");
+    for (const auto& t : s.tenants) {
+      os << tfail << tlabel(t) << " " << U64(t.failed) << "\n";
+    }
+    const std::string tdepth = prefix + "_serve_tenant_queue_depth";
+    Family(&os, tdepth, "gauge",
+           "Requests currently queued in the tenant's weighted-fair "
+           "sub-queue.");
+    for (const auto& t : s.tenants) {
+      os << tdepth << tlabel(t) << " " << t.queue_depth << "\n";
+    }
+    const std::string tlat = prefix + "_serve_tenant_latency_seconds";
+    Family(&os, tlat, "summary",
+           "Admission-to-answer latency by tenant — the series per-tenant "
+           "SLOs (premium p95) alert on.");
+    for (const auto& t : s.tenants) {
+      LatencySummary(&os, tlat, "tenant=\"" + JsonEscape(t.tenant) + "\"",
+                     t.e2e_latency);
+    }
+  }
   return os.str();
 }
 

@@ -85,7 +85,8 @@ void TraceRecorder::Clear() {
 
 void TraceRecorder::Record(std::string name, uint64_t start_ns,
                            uint64_t end_ns, int64_t arg, uint64_t span_id,
-                           uint64_t parent_span_id, uint64_t request_id) {
+                           uint64_t parent_span_id, uint64_t request_id,
+                           std::string tenant) {
   ThreadTraceBuffer& buffer = CurrentBuffer();
   if (buffer.events.empty()) {
     // Tag the batch with the generation at its first event so a Clear
@@ -102,6 +103,7 @@ void TraceRecorder::Record(std::string name, uint64_t start_ns,
   ev.span_id = span_id;
   ev.parent_span_id = parent_span_id;
   ev.request_id = request_id;
+  ev.tenant = std::move(tenant);
   buffer.events.push_back(std::move(ev));
   if (buffer.events.size() >= kFlushBatch) {
     FlushBuffer(&buffer.events, buffer.generation);
@@ -110,11 +112,11 @@ void TraceRecorder::Record(std::string name, uint64_t start_ns,
 
 uint64_t TraceRecorder::RecordSpan(std::string_view name, uint64_t start_ns,
                                    uint64_t end_ns, const TraceContext& ctx,
-                                   int64_t arg) {
+                                   int64_t arg, std::string_view tenant) {
   if (!Enabled()) return 0;
   uint64_t span_id = NextSpanId();
   Record(std::string(name), start_ns, end_ns, arg, span_id,
-         ctx.parent_span_id, ctx.request_id);
+         ctx.parent_span_id, ctx.request_id, std::string(tenant));
   return span_id;
 }
 
@@ -181,7 +183,8 @@ std::string TraceRecorder::ToChromeTraceJson() {
     // args carries the integer tag plus the request-tree linkage; Chrome's
     // viewer shows them in the span detail pane and downstream tooling can
     // rebuild the per-request tree from (req, span, parent).
-    bool has_args = ev.arg != TraceEvent::kNoArg || ev.span_id != 0;
+    bool has_args = ev.arg != TraceEvent::kNoArg || ev.span_id != 0 ||
+                    !ev.tenant.empty();
     if (has_args) {
       out += ",\"args\":{";
       bool first_arg = true;
@@ -189,6 +192,16 @@ std::string TraceRecorder::ToChromeTraceJson() {
         std::snprintf(buf, sizeof(buf), "\"arg\":%lld",
                       static_cast<long long>(ev.arg));
         out += buf;
+        first_arg = false;
+      }
+      if (!ev.tenant.empty()) {
+        if (!first_arg) out += ",";
+        out += "\"tenant\":\"";
+        for (char c : ev.tenant) {
+          if (c == '"' || c == '\\') out += '\\';
+          out += c;
+        }
+        out += "\"";
         first_arg = false;
       }
       if (ev.span_id != 0) {

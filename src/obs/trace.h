@@ -40,6 +40,10 @@ struct TraceEvent {
   uint64_t span_id = 0;         ///< process-unique (0 for unlinked spans)
   uint64_t parent_span_id = 0;  ///< 0 = root
   uint64_t request_id = 0;      ///< 0 = not part of a request
+  /// Workload tenant the span's request belongs to ("" = unattributed).
+  /// Exported as an "args" attribute so a Chrome-trace view can be
+  /// filtered per tenant — the tracing arm of multi-tenant attribution.
+  std::string tenant;
 };
 
 /// Process-wide trace sink. Threads accumulate closed spans into private
@@ -107,15 +111,17 @@ class TraceRecorder {
   /// it, not part of the user API.
   void Record(std::string name, uint64_t start_ns, uint64_t end_ns,
               int64_t arg, uint64_t span_id = 0, uint64_t parent_span_id = 0,
-              uint64_t request_id = 0);
+              uint64_t request_id = 0, std::string tenant = {});
 
   /// Records a retrospective span — an interval that already elapsed, e.g.
   /// the queue wait between a request's admission and its dequeue, where no
   /// RAII scope existed. Returns the allocated span id (0 when recording is
-  /// disabled, in which case nothing is recorded).
+  /// disabled, in which case nothing is recorded). `tenant` attaches the
+  /// multi-tenant attribute ("" = none).
   uint64_t RecordSpan(std::string_view name, uint64_t start_ns,
                       uint64_t end_ns, const TraceContext& ctx,
-                      int64_t arg = TraceEvent::kNoArg);
+                      int64_t arg = TraceEvent::kNoArg,
+                      std::string_view tenant = {});
 
   /// Monotonic ns since the process-wide trace origin.
   static uint64_t NowNs();
@@ -164,12 +170,19 @@ class TraceSpan {
     if (active_) {
       TraceRecorder::Global().Record(std::move(name_), start_ns_,
                                      TraceRecorder::NowNs(), arg_, span_id_,
-                                     parent_span_id_, request_id_);
+                                     parent_span_id_, request_id_,
+                                     std::move(tenant_));
     }
   }
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches the multi-tenant attribute to this span (no-op while the
+  /// recorder is disabled). Call once, before the scope closes.
+  void SetTenant(std::string_view tenant) {
+    if (active_) tenant_ = tenant;
+  }
 
   /// Context for spans that should hang under this one (same request, this
   /// span as parent). Null when recording was disabled at construction —
@@ -180,6 +193,7 @@ class TraceSpan {
 
  private:
   std::string name_;
+  std::string tenant_;
   uint64_t start_ns_ = 0;
   int64_t arg_ = TraceEvent::kNoArg;
   uint64_t span_id_ = 0;

@@ -8,6 +8,44 @@
 
 namespace tsdm {
 
+StreamForecastPolicy::StreamForecastPolicy(Options options)
+    : options_(options),
+      forecaster_(std::clamp(options.alpha, 1e-3, 1.0),
+                  std::clamp(options.beta, 1e-3, 1.0)) {
+  options_.headroom = std::max(1.0, options_.headroom);
+  // One "sensor": the aggregate arrival rate. Reset cannot fail for a
+  // nonzero sensor count.
+  (void)forecaster_.Reset(1);
+}
+
+Result<ScalingDecision> StreamForecastPolicy::Decide(
+    const std::vector<double>& demand_history, int horizon) {
+  if (demand_history.empty()) {
+    return Status::InvalidArgument("stream-forecast: empty demand history");
+  }
+  // Absorb the unseen suffix. The controller normally appends one sample
+  // per interval, but a truncated history (max_history eviction) restarts
+  // absorbed_ bookkeeping from the shrunk length rather than replaying.
+  if (absorbed_ > demand_history.size()) absorbed_ = demand_history.size() - 1;
+  for (; absorbed_ < demand_history.size(); ++absorbed_) {
+    TickRecord rec;
+    rec.tick.sensor = 0;
+    rec.tick.timestamp = static_cast<int64_t>(absorbed_);
+    rec.tick.value = demand_history[absorbed_];
+    (void)forecaster_.OnTick(&rec);
+  }
+  const double projected = forecaster_.ForecastAhead(0, std::max(1, horizon));
+  const double latest = demand_history.back();
+  // Provision for the worse of "what we just saw" and "where the trend is
+  // heading" — the floor keeps a flat-but-high load provisioned while the
+  // projection handles the rising edge.
+  ScalingDecision decision;
+  decision.capacity =
+      options_.headroom * std::max(latest, std::isnan(projected) ? latest
+                                                                 : projected);
+  return decision;
+}
+
 AutoscaleController::AutoscaleController(
     ThreadPool* pool, std::unique_ptr<AutoscalePolicy> policy,
     Options options)

@@ -10,6 +10,19 @@
 
 namespace tsdm {
 
+namespace {
+
+std::unique_ptr<AutoscalePolicy> MakeAutoscalePolicy(
+    const QueryServer::Options& options) {
+  if (options.autoscale_policy == QueryServer::AutoscalePolicyKind::kForecast) {
+    return std::make_unique<StreamForecastPolicy>(options.forecast);
+  }
+  // nullptr lets the controller fall back to its ReactivePolicy default.
+  return nullptr;
+}
+
+}  // namespace
+
 QueryServer::QueryServer(const RoadNetwork* network, PathCostModel base_model,
                          Options options)
     : network_(network),
@@ -20,7 +33,7 @@ QueryServer::QueryServer(const RoadNetwork* network, PathCostModel base_model,
       queue_(options.queue),
       pool_(std::max(1, options.initial_workers)),
       batcher_(options.batch),
-      controller_(&pool_, nullptr, options.autoscale) {
+      controller_(&pool_, MakeAutoscalePolicy(options), options.autoscale) {
   options_.route_cache_entries = std::max<size_t>(1, options_.route_cache_entries);
 }
 
@@ -77,6 +90,10 @@ ServeRequest QueryServer::MakeRequest(
                                 ? options.trace_parent
                                 : TraceContext{req.id + 1, 0};
   TraceSpan span("serve/submit", root, static_cast<int64_t>(req.id));
+  // Normalize here (not just in the queue) so the submit span, the shed
+  // answer, and the worker-side accounting all see the same tenant name.
+  req.tenant = options.tenant_id.empty() ? "default" : options.tenant_id;
+  span.SetTenant(req.tenant);
   req.trace = span.ChildContext();
   req.query = query;
   req.enqueue_ns = TraceRecorder::NowNs();
@@ -90,8 +107,11 @@ ServeRequest QueryServer::MakeRequest(
 Status QueryServer::Submit(RouteQuery query,
                            std::function<void(const RouteAnswer&)> on_done,
                            const SubmitOptions& options) {
-  return queue_.Push(
-      MakeRequest(std::move(query), std::move(on_done), options));
+  ServeRequest req = MakeRequest(std::move(query), std::move(on_done), options);
+  if (options_.submit_observer) {
+    options_.submit_observer(req.query, options, req.enqueue_ns);
+  }
+  return queue_.Push(std::move(req));
 }
 
 Status QueryServer::SubmitProbe(std::vector<int> segment, int bucket,
@@ -113,9 +133,13 @@ bool QueryServer::QueueFull() const {
 void QueryServer::WaitIdle() const {
   for (;;) {
     RequestQueue::Stats qs = queue_.GetStats();
+    // Every terminal fate of an *admitted* request: answered (completed /
+    // failed), expired in queue, drained at close, or displaced by a
+    // higher-priority arrival. Eviction must be counted — the victim was
+    // admitted, so omitting shed_evicted would make this barrier hang.
     uint64_t terminal = completed_.load(std::memory_order_acquire) +
                         failed_.load(std::memory_order_acquire) +
-                        qs.shed_expired + qs.shed_closed;
+                        qs.shed_expired + qs.shed_closed + qs.shed_evicted;
     if (terminal >= qs.admitted &&
         in_flight_batches_.load(std::memory_order_acquire) == 0) {
       return;
@@ -132,7 +156,43 @@ ServeStatsSnapshot QueryServer::Stats() const {
   snap.shed_capacity = qs.shed_capacity;
   snap.shed_expired = qs.shed_expired;
   snap.shed_closed = qs.shed_closed;
+  snap.shed_evicted = qs.shed_evicted;
   snap.queue_depth = qs.depth;
+  // Per-tenant view: admission/shed accounting from the queue, completion
+  // counts and latency from the worker side, matched by tenant name. The
+  // queue's list is already sorted (it iterates a std::map), so feeding it
+  // through MergeTenantStats keeps snap.tenants sorted too.
+  {
+    std::vector<TenantServeStats> queue_side;
+    queue_side.reserve(qs.tenants.size());
+    for (const auto& [name, ts] : qs.tenants) {
+      TenantServeStats t;
+      t.tenant = name;
+      t.submitted = ts.submitted;
+      t.admitted = ts.admitted;
+      t.shed_capacity = ts.shed_capacity;
+      t.shed_expired = ts.shed_expired;
+      t.shed_closed = ts.shed_closed;
+      t.shed_evicted = ts.shed_evicted;
+      t.queue_depth = ts.depth;
+      queue_side.push_back(std::move(t));
+    }
+    MergeTenantStats(&snap.tenants, queue_side);
+    std::vector<TenantServeStats> worker_side;
+    {
+      std::unique_lock<std::mutex> lock(metrics_mu_);
+      worker_side.reserve(tenant_metrics_.size());
+      for (const auto& [name, tm] : tenant_metrics_) {
+        TenantServeStats t;
+        t.tenant = name;
+        t.completed = tm.completed;
+        t.failed = tm.failed;
+        t.e2e_latency = tm.e2e_latency;
+        worker_side.push_back(std::move(t));
+      }
+    }
+    MergeTenantStats(&snap.tenants, worker_side);
+  }
   {
     std::unique_lock<std::mutex> lock(control_mu_);
     snap.batches = batcher_.stats().batches;
@@ -169,6 +229,28 @@ void QueryServer::DispatcherLoop() {
     popped.clear();
     ready.clear();
     uint64_t now = TraceRecorder::NowNs();
+    if (WorkersSaturated()) {
+      // Workers are fully buffered: leave the backlog in the weighted-fair
+      // queue, where deadlines expire, quotas bind, and higher-priority
+      // arrivals can still displace it. Batches whose linger expired are
+      // flushed regardless (their requests are already popped), and the
+      // autoscale loop keeps observing arrivals — saturation is exactly
+      // when it has something to say.
+      {
+        std::unique_lock<std::mutex> lock(control_mu_);
+        batcher_.FlushExpired(now, &ready);
+      }
+      DispatchReady(&ready);
+      MaybeAutoscale(now);
+      std::unique_lock<std::mutex> lock(batch_done_mu_);
+      batch_done_cv_.wait_for(
+          lock, std::chrono::duration<double>(options_.idle_poll_seconds),
+          [this] {
+            return !WorkersSaturated() ||
+                   !running_.load(std::memory_order_acquire);
+          });
+      continue;
+    }
     size_t n = queue_.PopBatch(now, pop_chunk, &popped);
     {
       std::unique_lock<std::mutex> lock(control_mu_);
@@ -195,6 +277,13 @@ void QueryServer::DispatcherLoop() {
   DispatchReady(&ready);
 }
 
+bool QueryServer::WorkersSaturated() const {
+  const int limit = options_.max_batches_per_worker;
+  if (limit <= 0) return false;
+  return in_flight_batches_.load(std::memory_order_acquire) >=
+         limit * pool_.NumThreads();
+}
+
 void QueryServer::DispatchReady(
     std::vector<std::vector<ServeRequest>>* ready) {
   for (auto& batch : *ready) {
@@ -204,6 +293,7 @@ void QueryServer::DispatchReady(
     pool_.Submit([this, shared] {
       ServeBatch(shared.get());
       in_flight_batches_.fetch_sub(1, std::memory_order_acq_rel);
+      batch_done_cv_.notify_one();
     });
   }
   ready->clear();
@@ -230,9 +320,11 @@ void QueryServer::ServeOne(const ServeRequest& req) {
                                        static_cast<int64_t>(req.batch_id));
   }
   TraceSpan span("serve/exec", req.trace, static_cast<int64_t>(req.id));
+  span.SetTenant(req.tenant);
   const TraceContext exec_ctx = span.ChildContext();
   RouteAnswer answer;
   answer.client_request_id = req.client_request_id;
+  answer.tenant_id = req.tenant;
   answer.queue_seconds =
       1e-9 * static_cast<double>(start_ns - req.enqueue_ns);
 
@@ -301,12 +393,21 @@ void QueryServer::ServeOne(const ServeRequest& req) {
   }
   {
     std::unique_lock<std::mutex> lock(metrics_mu_);
+    const double e2e = 1e-9 * static_cast<double>(end_ns - req.enqueue_ns);
     queue_latency_.Add(answer.queue_seconds);
-    e2e_latency_.Add(1e-9 * static_cast<double>(end_ns - req.enqueue_ns));
+    e2e_latency_.Add(e2e);
     stage_queue_.Add(1e-9 * static_cast<double>(answer.stages.queue_ns));
     stage_batch_.Add(1e-9 * static_cast<double>(answer.stages.batch_ns));
     stage_cache_.Add(1e-9 * static_cast<double>(answer.stages.cache_ns));
     stage_exec_.Add(1e-9 * static_cast<double>(answer.stages.exec_ns));
+    TenantWorkerStats& tm =
+        tenant_metrics_[req.tenant.empty() ? "default" : req.tenant];
+    if (answer.status.ok()) {
+      ++tm.completed;
+    } else {
+      ++tm.failed;
+    }
+    tm.e2e_latency.Add(e2e);
   }
   if (req.on_done) req.on_done(answer);
 }

@@ -2,10 +2,13 @@
 #define TSDM_SERVE_QUERY_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -47,19 +50,49 @@ namespace tsdm {
 /// Stop caller (drained at shutdown) — exactly once per admitted request.
 class QueryServer : public QueryService {
  public:
+  /// Which AutoscalePolicy the dispatcher's control loop runs. Options
+  /// must stay copyable, so the server owns policy construction from this
+  /// tag instead of holding a unique_ptr in Options.
+  enum class AutoscalePolicyKind {
+    kReactive,  ///< provision the recent peak + headroom (chases surges)
+    kForecast,  ///< StreamForecastPolicy: Holt trend projection (pre-scales)
+  };
+
   struct Options {
     RequestQueue::Options queue;
     MicroBatcher::Options batch;
     PathCostCache::Options cache;
     CachedPathCostModel::Options cost;
     AutoscaleController::Options autoscale;
+    AutoscalePolicyKind autoscale_policy = AutoscalePolicyKind::kReactive;
+    /// Knobs for autoscale_policy == kForecast; ignored otherwise.
+    StreamForecastPolicy::Options forecast;
     int initial_workers = 2;
     bool autoscale_enabled = true;
     double autoscale_interval_seconds = 0.05;
     /// Dispatcher block time while idle; bounds shutdown latency.
     double idle_poll_seconds = 0.001;
+    /// Backpressure bound: the dispatcher stops popping the admission
+    /// queue while `max_batches_per_worker * workers` batches are already
+    /// in flight. Under overload this keeps the backlog *in* the
+    /// weighted-fair queue — where deadlines expire, quotas bind, and
+    /// higher-priority arrivals can displace it — instead of silently
+    /// spilling into the worker pool's unbounded FIFO, which would undo
+    /// every scheduling decision exactly when scheduling matters. The
+    /// default keeps a few batches of slack per worker so the dispatcher's
+    /// wake-up latency never starves a worker between refills.
+    /// <= 0 disables backpressure (pre-multi-tenant behavior).
+    int max_batches_per_worker = 4;
     /// Candidate-route LRU entries ((source, target, k) keys).
     size_t route_cache_entries = 512;
+    /// Called synchronously inside Submit for every route query, before
+    /// admission control — the tap the workload LoadTraceRecorder hangs
+    /// off to capture live traffic (sheds included, so a replay reproduces
+    /// the offered load, not just the served part). Must be thread-safe;
+    /// keep it cheap, it runs on the submitter's thread.
+    std::function<void(const RouteQuery&, const SubmitOptions&,
+                       uint64_t enqueue_ns)>
+        submit_observer;
   };
 
   /// The shared submit surface lives at namespace scope (query_service.h)
@@ -121,6 +154,8 @@ class QueryServer : public QueryService {
 
  private:
   void DispatcherLoop();
+  /// True while the in-flight batch count is at the backpressure bound.
+  bool WorkersSaturated() const;
   void DispatchReady(std::vector<std::vector<ServeRequest>>* ready);
   void ServeBatch(std::vector<ServeRequest>* batch);
   void ServeOne(const ServeRequest& req);
@@ -149,6 +184,11 @@ class QueryServer : public QueryService {
   uint64_t last_submitted_ = 0;
 
   // Worker-side accounting.
+  struct TenantWorkerStats {
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    LatencyHistogram e2e_latency;
+  };
   mutable std::mutex metrics_mu_;
   LatencyHistogram queue_latency_;
   LatencyHistogram e2e_latency_;
@@ -156,10 +196,17 @@ class QueryServer : public QueryService {
   LatencyHistogram stage_batch_;
   LatencyHistogram stage_cache_;
   LatencyHistogram stage_exec_;
+  std::map<std::string, TenantWorkerStats> tenant_metrics_;
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> next_id_{0};
   std::atomic<int> in_flight_batches_{0};
+
+  // Wakes the dispatcher out of its backpressure wait when a batch
+  // completes (paired with in_flight_batches_; the wait also times out at
+  // idle_poll_seconds, so a missed notify only costs one poll interval).
+  mutable std::mutex batch_done_mu_;
+  std::condition_variable batch_done_cv_;
 
   // Start/Stop lifecycle. The mutex serializes concurrent Stops (owner +
   // destructor + monitoring hooks) so the dispatcher is joined exactly

@@ -22,9 +22,17 @@ namespace tsdm {
 struct SubmitOptions {
   /// Max queueing time before the request is shed at pop; <= 0 = none.
   double queue_budget_seconds = 0.25;
-  /// Scheduling class placeholder: recorded on the request but not yet
-  /// acted on (weighted-fair queueing is a ROADMAP item). 0 = default.
+  /// Scheduling class, clamped to [0, RequestQueue::kPriorityClasses).
+  /// Higher is more important: under overload the queue sheds the lowest
+  /// occupied class first, and a higher-priority arrival may displace a
+  /// queued lower-priority request. 0 = best-effort.
   int priority = 0;
+  /// Workload tenant this request is accounted to ("" = the reserved
+  /// "default" tenant). Tenants get their own weighted-fair sub-queue,
+  /// quota, shed counters, latency histogram, `tsdm_serve_tenant_*`
+  /// metric families, and span attribute; the id is echoed on every
+  /// terminal answer as RouteAnswer::tenant_id.
+  std::string tenant_id;
   /// Caller-assigned correlation id, echoed verbatim in
   /// RouteAnswer::client_request_id (0 = unset).
   uint64_t client_request_id = 0;

@@ -1,11 +1,67 @@
 #ifndef TSDM_SERVE_SERVE_STATS_H_
 #define TSDM_SERVE_SERVE_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/common/histogram_ext.h"
 
 namespace tsdm {
+
+/// One tenant's slice of the serving counters: admission and shed
+/// accounting from the weighted-fair queue plus worker-side completion
+/// counts and the tenant's own end-to-end latency distribution — the
+/// numbers per-tenant SLOs (premium p95) are checked against. Each global
+/// counter in ServeStatsSnapshot equals the sum of the matching field
+/// here across tenants (property-tested).
+struct TenantServeStats {
+  std::string tenant;
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_capacity = 0;  ///< rejected at Push: queue or quota full
+  uint64_t shed_expired = 0;   ///< dropped at pop: queue budget exceeded
+  uint64_t shed_closed = 0;    ///< rejected at Push or drained: closed
+  uint64_t shed_evicted = 0;   ///< displaced by a higher-priority arrival
+  uint64_t completed = 0;      ///< answered OK
+  uint64_t failed = 0;         ///< answered non-OK
+  size_t queue_depth = 0;
+  LatencyHistogram e2e_latency;  ///< admission -> answer, this tenant only
+
+  uint64_t TotalShed() const {
+    return shed_capacity + shed_expired + shed_closed + shed_evicted;
+  }
+};
+
+/// Accumulates `from` into the tenant list `into`, matching entries by
+/// tenant name (creating missing ones) — the merge rule the shard tier
+/// uses to collapse per-shard tenant slices into one fleet view. Keeps
+/// `into` sorted by tenant name.
+inline void MergeTenantStats(std::vector<TenantServeStats>* into,
+                             const std::vector<TenantServeStats>& from) {
+  for (const TenantServeStats& t : from) {
+    auto it = std::lower_bound(
+        into->begin(), into->end(), t,
+        [](const TenantServeStats& a, const TenantServeStats& b) {
+          return a.tenant < b.tenant;
+        });
+    if (it == into->end() || it->tenant != t.tenant) {
+      it = into->insert(it, TenantServeStats{});
+      it->tenant = t.tenant;
+    }
+    it->submitted += t.submitted;
+    it->admitted += t.admitted;
+    it->shed_capacity += t.shed_capacity;
+    it->shed_expired += t.shed_expired;
+    it->shed_closed += t.shed_closed;
+    it->shed_evicted += t.shed_evicted;
+    it->completed += t.completed;
+    it->failed += t.failed;
+    it->queue_depth += t.queue_depth;
+    it->e2e_latency.Merge(t.e2e_latency);
+  }
+}
 
 /// One coherent snapshot of the serving layer's counters — the shape the
 /// MetricsExporter serializes to JSON / Prometheus and the benches report.
@@ -17,6 +73,7 @@ struct ServeStatsSnapshot {
   uint64_t shed_capacity = 0;  ///< rejected at the front door: queue full
   uint64_t shed_expired = 0;   ///< dropped after admission: waited too long
   uint64_t shed_closed = 0;    ///< rejected/drained at shutdown
+  uint64_t shed_evicted = 0;   ///< displaced by higher-priority arrivals
   size_t queue_depth = 0;
 
   // Batching (MicroBatcher).
@@ -49,8 +106,13 @@ struct ServeStatsSnapshot {
   LatencyHistogram stage_cache;  ///< inside the path-cost layer
   LatencyHistogram stage_exec;   ///< remaining worker execution
 
+  /// Per-tenant breakdown, sorted by tenant name. Requests submitted
+  /// without a tenant id land under the reserved name "default", so the
+  /// per-tenant counters always sum to the globals.
+  std::vector<TenantServeStats> tenants;
+
   uint64_t TotalShed() const {
-    return shed_capacity + shed_expired + shed_closed;
+    return shed_capacity + shed_expired + shed_closed + shed_evicted;
   }
   /// Shed fraction over everything submitted (0 when idle).
   double ShedRate() const {

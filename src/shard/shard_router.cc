@@ -242,6 +242,8 @@ void ShardRouter::Scatter(RouteQuery query,
     RouteAnswer answer;
     answer.status = routes.status();
     answer.client_request_id = options.client_request_id;
+    answer.tenant_id =
+        options.tenant_id.empty() ? "default" : options.tenant_id;
     answer.service_seconds =
         1e-9 * static_cast<double>(TraceRecorder::NowNs() - submit_ns);
     cb(answer);
@@ -315,6 +317,7 @@ void ShardRouter::Scatter(RouteQuery query,
     SubmitOptions probe_options;
     probe_options.queue_budget_seconds = options.queue_budget_seconds;
     probe_options.priority = options.priority;
+    probe_options.tenant_id = options.tenant_id;
     probe_options.shard = owner;
     probe_options.trace_parent = state->scatter_ctx;
     auto self = this;
@@ -384,6 +387,10 @@ void ShardRouter::Merge(const std::shared_ptr<ScatterState>& state) {
   const size_t n = state->segments.size();
   RouteAnswer answer;
   answer.client_request_id = state->caller.client_request_id;
+  // Same normalization the serve tier applies, so a scatter-merged answer
+  // carries the tenant exactly like a forwarded one would.
+  answer.tenant_id = state->caller.tenant_id.empty() ? "default"
+                                                     : state->caller.tenant_id;
 
   size_t lost = 0;
   std::string first_loss;

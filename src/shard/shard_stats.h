@@ -51,6 +51,7 @@ struct ShardStatsSnapshot {
       total.shed_capacity += s.shed_capacity;
       total.shed_expired += s.shed_expired;
       total.shed_closed += s.shed_closed;
+      total.shed_evicted += s.shed_evicted;
       total.queue_depth += s.queue_depth;
       total.batches += s.batches;
       total.batched_requests += s.batched_requests;
@@ -69,6 +70,7 @@ struct ShardStatsSnapshot {
       total.stage_batch.Merge(s.stage_batch);
       total.stage_cache.Merge(s.stage_cache);
       total.stage_exec.Merge(s.stage_exec);
+      MergeTenantStats(&total.tenants, s.tenants);
     }
     return total;
   }

@@ -248,4 +248,12 @@ double OnlineForecastStage::ForecastNext(size_t s) const {
   return state_[s].level + state_[s].trend;
 }
 
+double OnlineForecastStage::ForecastAhead(size_t s, int h) const {
+  if (s >= state_.size() || state_[s].n == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double steps = static_cast<double>(std::max(1, h));
+  return state_[s].level + steps * state_[s].trend;
+}
+
 }  // namespace tsdm

@@ -154,6 +154,13 @@ class OnlineForecastStage : public StreamStage {
   /// NaN before the sensor's first tick.
   double ForecastNext(size_t s) const;
 
+  /// h-step-ahead forecast: the Holt linear extrapolation level + h *
+  /// trend (ForecastAhead(s, 1) == ForecastNext(s)). NaN before the
+  /// sensor's first tick; h < 1 is treated as 1. This is the projection
+  /// the predictive autoscaler provisions against — the trend term is
+  /// what lets capacity move *ahead* of a rising surge.
+  double ForecastAhead(size_t s, int h) const;
+
  private:
   struct HoltState {
     double level = 0.0;

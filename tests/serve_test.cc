@@ -604,5 +604,402 @@ TEST(QueryServerTest, BaseSubmitConvenienceUsesDefaultOptions) {
   EXPECT_EQ(server.Stats().completed, 1u);
 }
 
+// --- Multi-tenant scheduling ---------------------------------------------
+
+ServeRequest MakeTenantRequest(uint64_t id, const std::string& tenant,
+                               int priority, double budget_seconds = 60.0) {
+  ServeRequest req = MakeRequest(id, 0, budget_seconds);
+  req.tenant = tenant;
+  req.priority = priority;
+  return req;
+}
+
+const RequestQueue::TenantStats* FindTenant(const RequestQueue::Stats& stats,
+                                            const std::string& name) {
+  for (const auto& [n, ts] : stats.tenants) {
+    if (n == name) return &ts;
+  }
+  return nullptr;
+}
+
+const TenantServeStats* FindTenant(const ServeStatsSnapshot& snap,
+                                   const std::string& name) {
+  for (const TenantServeStats& t : snap.tenants) {
+    if (t.tenant == name) return &t;
+  }
+  return nullptr;
+}
+
+TEST(RequestQueueTenantTest, DeficitRoundRobinTracksWeights) {
+  RequestQueue::Options opts;
+  opts.capacity = 1024;
+  opts.drr_quantum = 8.0;
+  opts.tenants["heavy"].weight = 3.0;
+  opts.tenants["light"].weight = 1.0;
+  RequestQueue queue(opts);
+
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(queue.Push(MakeTenantRequest(i, "heavy", 0)).ok());
+    ASSERT_TRUE(queue.Push(MakeTenantRequest(1000 + i, "light", 0)).ok());
+  }
+
+  // Drain a saturated prefix: while both tenants stay backlogged, the
+  // dispatch ratio must track the 3:1 weight ratio, not the 1:1 arrival
+  // ratio.
+  const uint64_t now = TraceRecorder::NowNs();
+  std::vector<ServeRequest> out;
+  size_t popped_total = 0;
+  while (popped_total < 160) {
+    size_t n = queue.PopBatch(now, 32, &out);
+    ASSERT_GT(n, 0u);
+    popped_total += n;
+  }
+
+  RequestQueue::Stats stats = queue.GetStats();
+  const RequestQueue::TenantStats* heavy = FindTenant(stats, "heavy");
+  const RequestQueue::TenantStats* light = FindTenant(stats, "light");
+  ASSERT_NE(heavy, nullptr);
+  ASSERT_NE(light, nullptr);
+  EXPECT_EQ(heavy->popped + light->popped, popped_total);
+  ASSERT_GT(light->popped, 0u);
+  const double ratio = static_cast<double>(heavy->popped) /
+                       static_cast<double>(light->popped);
+  EXPECT_GE(ratio, 2.5) << heavy->popped << ":" << light->popped;
+  EXPECT_LE(ratio, 3.5) << heavy->popped << ":" << light->popped;
+}
+
+TEST(RequestQueueTenantTest, QuotaCapsOneTenantWithoutStarvingOthers) {
+  RequestQueue::Options opts;
+  opts.capacity = 64;
+  opts.tenants["greedy"].quota = 4;
+  RequestQueue queue(opts);
+
+  int greedy_ok = 0;
+  for (uint64_t i = 0; i < 10; ++i) {
+    if (queue.Push(MakeTenantRequest(i, "greedy", 0)).ok()) ++greedy_ok;
+  }
+  EXPECT_EQ(greedy_ok, 4);  // quota, not capacity, is the binding limit
+
+  // Another tenant is untouched by the flooder's quota sheds.
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.Push(MakeTenantRequest(100 + i, "polite", 0)).ok());
+  }
+
+  RequestQueue::Stats stats = queue.GetStats();
+  const RequestQueue::TenantStats* greedy = FindTenant(stats, "greedy");
+  const RequestQueue::TenantStats* polite = FindTenant(stats, "polite");
+  ASSERT_NE(greedy, nullptr);
+  ASSERT_NE(polite, nullptr);
+  EXPECT_EQ(greedy->admitted, 4u);
+  EXPECT_EQ(greedy->shed_capacity, 6u);
+  EXPECT_EQ(greedy->depth, 4u);
+  EXPECT_EQ(polite->admitted, 5u);
+  EXPECT_EQ(polite->shed_capacity, 0u);
+  EXPECT_EQ(stats.shed_capacity, 6u);
+  EXPECT_EQ(stats.depth, 9u);
+}
+
+TEST(RequestQueueTenantTest, OverloadEvictsLowestClassNewestFirst) {
+  RequestQueue::Options opts;
+  opts.capacity = 3;
+  RequestQueue queue(opts);
+
+  std::vector<uint64_t> evicted;
+  auto tracked = [&evicted](uint64_t id, int priority) {
+    ServeRequest req = MakeTenantRequest(id, "", priority);
+    req.on_done = [&evicted, id](const RouteAnswer& answer) {
+      EXPECT_EQ(answer.status.code(), StatusCode::kResourceExhausted);
+      // Satellite invariant: every typed shed carries the tenant id.
+      EXPECT_EQ(answer.tenant_id, "default");
+      evicted.push_back(id);
+    };
+    return req;
+  };
+
+  ASSERT_TRUE(queue.Push(tracked(1, 0)).ok());
+  ASSERT_TRUE(queue.Push(tracked(2, 0)).ok());
+  ASSERT_TRUE(queue.Push(tracked(3, 1)).ok());
+
+  // Full queue, premium arrival: the newest request of the lowest occupied
+  // class below it (id 2, class 0) is displaced — its callback fires with
+  // a typed shed before Push returns.
+  EXPECT_TRUE(queue.Push(tracked(10, 2)).ok());
+  ASSERT_EQ(evicted, (std::vector<uint64_t>{2}));
+
+  // Full queue, best-effort arrival: nothing below class 0 exists, so the
+  // arrival itself is shed and nothing already queued is touched.
+  EXPECT_EQ(queue.Push(tracked(11, 0)).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(evicted.size(), 1u);
+
+  // Standard arrival displaces the remaining best-effort request (id 1),
+  // not the equal-or-higher classes.
+  EXPECT_TRUE(queue.Push(tracked(12, 1)).ok());
+  ASSERT_EQ(evicted, (std::vector<uint64_t>{2, 1}));
+
+  RequestQueue::Stats stats = queue.GetStats();
+  EXPECT_EQ(stats.shed_evicted, 2u);
+  EXPECT_EQ(stats.shed_capacity, 1u);
+  EXPECT_EQ(stats.depth, 3u);
+
+  // The survivors are exactly {3, 10, 12}, highest class first.
+  std::vector<ServeRequest> out;
+  EXPECT_EQ(queue.PopBatch(TraceRecorder::NowNs(), 10, &out), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 10u);
+}
+
+// Regression for the shed-attribution invariant (property-tested here,
+// relied on by the Prometheus export and the shard aggregation): after any
+// mix of quota sheds, capacity sheds, evictions, expiries, and a close
+// drain, every global counter equals the sum of the per-tenant counters.
+TEST(RequestQueueTenantTest, PerTenantCountersSumToGlobals) {
+  RequestQueue::Options opts;
+  opts.capacity = 6;
+  opts.tenants["a"].quota = 2;
+  RequestQueue queue(opts);
+
+  uint64_t id = 0;
+  // Quota sheds for "a" (only 2 admitted).
+  for (int i = 0; i < 5; ++i) (void)queue.Push(MakeTenantRequest(++id, "a", 0));
+  // One doomed request whose budget expires before the pop below — shed
+  // while the queue is still uncontended, so nothing can evict it first.
+  (void)queue.Push(MakeTenantRequest(++id, "b", 0, /*budget_seconds=*/1e-9));
+  std::vector<ServeRequest> out;
+  queue.PopBatch(TraceRecorder::NowNs() + 1000000ull, 3, &out);
+
+  // Refill to capacity, then overload: capacity sheds for same-class
+  // arrivals, evictions for higher-class ones.
+  for (int i = 0; i < 4; ++i) (void)queue.Push(MakeTenantRequest(++id, "b", 1));
+  for (int i = 0; i < 4; ++i) (void)queue.Push(MakeTenantRequest(++id, "c", 0));
+  for (int i = 0; i < 3; ++i) (void)queue.Push(MakeTenantRequest(++id, "c", 3));
+  // Anonymous tenant lands under the reserved "default" name.
+  (void)queue.Push(MakeTenantRequest(++id, "", 0));
+  queue.Close();
+
+  RequestQueue::Stats stats = queue.GetStats();
+  RequestQueue::TenantStats sum;
+  for (const auto& [name, ts] : stats.tenants) {
+    EXPECT_FALSE(name.empty());  // "" was normalized to "default"
+    sum.submitted += ts.submitted;
+    sum.admitted += ts.admitted;
+    sum.shed_capacity += ts.shed_capacity;
+    sum.shed_expired += ts.shed_expired;
+    sum.shed_closed += ts.shed_closed;
+    sum.shed_evicted += ts.shed_evicted;
+    sum.depth += ts.depth;
+  }
+  EXPECT_EQ(sum.submitted, stats.submitted);
+  EXPECT_EQ(sum.admitted, stats.admitted);
+  EXPECT_EQ(sum.shed_capacity, stats.shed_capacity);
+  EXPECT_EQ(sum.shed_expired, stats.shed_expired);
+  EXPECT_EQ(sum.shed_closed, stats.shed_closed);
+  EXPECT_EQ(sum.shed_evicted, stats.shed_evicted);
+  EXPECT_EQ(sum.depth, stats.depth);
+  // The mix actually exercised every shed path.
+  EXPECT_GT(stats.shed_capacity, 0u);
+  EXPECT_GT(stats.shed_expired, 0u);
+  EXPECT_GT(stats.shed_closed, 0u);
+  EXPECT_GT(stats.shed_evicted, 0u);
+  EXPECT_NE(FindTenant(stats, "default"), nullptr);
+}
+
+TEST(QueryServerTest, TenantBreakdownSumsToGlobalsAndExports) {
+  ServeFixture fx;
+  QueryServer::Options opts;
+  opts.initial_workers = 2;
+  opts.autoscale_enabled = false;
+  QueryServer server(&fx.net, fx.BaseModel(), opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto submit = [&](const std::string& tenant, int priority, int count) {
+    for (int i = 0; i < count; ++i) {
+      RouteQuery query;
+      query.source = GridNodeId(fx.spec, 0, i % 5);
+      query.target = GridNodeId(fx.spec, 4, (i + 1) % 5);
+      query.k = 2;
+      query.depart_seconds = 8 * 3600.0;
+      QueryServer::SubmitOptions sopts;
+      sopts.queue_budget_seconds = 30.0;
+      sopts.tenant_id = tenant;
+      sopts.priority = priority;
+      ASSERT_TRUE(server.Submit(query, nullptr, sopts).ok());
+    }
+  };
+  submit("premium", 2, 20);
+  submit("batch", 0, 20);
+  submit("", 0, 10);  // anonymous -> "default"
+  server.WaitIdle();
+
+  ServeStatsSnapshot snap = server.Stats();
+  ASSERT_EQ(snap.tenants.size(), 3u);
+  // Sorted by tenant name.
+  EXPECT_EQ(snap.tenants[0].tenant, "batch");
+  EXPECT_EQ(snap.tenants[1].tenant, "default");
+  EXPECT_EQ(snap.tenants[2].tenant, "premium");
+
+  uint64_t submitted = 0, admitted = 0, completed = 0, failed = 0;
+  uint64_t latency_count = 0;
+  for (const TenantServeStats& t : snap.tenants) {
+    submitted += t.submitted;
+    admitted += t.admitted;
+    completed += t.completed;
+    failed += t.failed;
+    latency_count += t.e2e_latency.count();
+  }
+  EXPECT_EQ(submitted, snap.submitted);
+  EXPECT_EQ(admitted, snap.admitted);
+  EXPECT_EQ(completed, snap.completed);
+  EXPECT_EQ(failed, snap.failed);
+  EXPECT_EQ(latency_count, snap.e2e_latency.count());
+  EXPECT_EQ(FindTenant(snap, "premium")->completed, 20u);
+  EXPECT_EQ(FindTenant(snap, "default")->completed, 10u);
+
+  std::string prom = MetricsExporter::ServeToPrometheus(snap);
+  EXPECT_NE(prom.find("tsdm_serve_tenant_submitted_total{tenant=\"premium\"} 20"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tsdm_serve_tenant_completed_total{tenant=\"batch\"} 20"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("tsdm_serve_tenant_shed_total{tenant=\"default\",reason=\"evicted\"} 0"),
+      std::string::npos);
+  EXPECT_NE(prom.find("tsdm_serve_tenant_latency_seconds_count{tenant=\"premium\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tsdm_serve_shed_total{reason=\"evicted\"}"),
+            std::string::npos);
+
+  std::string json = MetricsExporter::ServeToJson(snap);
+  EXPECT_NE(json.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(json.find("\"premium\""), std::string::npos);
+  EXPECT_NE(json.find("\"shed_evicted\""), std::string::npos);
+
+  server.Stop();
+}
+
+// --- AutoscaleController satellites --------------------------------------
+
+TEST(AutoscaleControllerTest, ZeroArrivalIntervalsHoldTheFloorQuietly) {
+  ThreadPool pool(3);
+  AutoscaleController::Options opts;
+  opts.min_workers = 2;
+  opts.max_workers = 6;
+  opts.per_worker_capacity = 10.0;
+  AutoscaleController controller(&pool, nullptr, opts);
+
+  // An idle server: every review interval observes zero arrivals. The
+  // controller must neither crash nor thrash — one shrink to the floor,
+  // then steady state.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(controller.OnInterval(0.0), 2);
+  }
+  EXPECT_EQ(pool.NumThreads(), 2);
+  EXPECT_EQ(controller.scale_events(), 1);
+  // Negative arrivals (clock skew artifacts) are clamped to zero demand.
+  EXPECT_EQ(controller.OnInterval(-5.0), 2);
+  EXPECT_EQ(controller.history().back(), 0.0);
+}
+
+TEST(AutoscaleControllerTest, HistoryIsBoundedByMaxHistory) {
+  ThreadPool pool(1);
+  AutoscaleController::Options opts;
+  opts.max_history = 4;
+  opts.per_worker_capacity = 10.0;
+  AutoscaleController controller(&pool, nullptr, opts);
+  for (int i = 1; i <= 10; ++i) {
+    controller.OnInterval(static_cast<double>(i));
+  }
+  // Only the newest max_history samples survive, oldest evicted first.
+  ASSERT_EQ(controller.history().size(), 4u);
+  EXPECT_EQ(controller.history().front(), 7.0);
+  EXPECT_EQ(controller.history().back(), 10.0);
+}
+
+TEST(AutoscaleControllerTest, ClampBoundariesAreExactAndQuiet) {
+  ThreadPool pool(1);
+  AutoscaleController::Options opts;
+  opts.min_workers = 2;
+  opts.max_workers = 4;
+  opts.per_worker_capacity = 10.0;
+  AutoscaleController controller(&pool, nullptr, opts);
+
+  // Below the floor's demand: clamps *up* to min_workers, never below.
+  EXPECT_EQ(controller.OnInterval(1.0), 2);
+  // Far beyond the ceiling: clamps to max_workers exactly.
+  EXPECT_EQ(controller.OnInterval(10000.0), 4);
+  const int events_at_max = controller.scale_events();
+  // Still beyond the ceiling: the clamped size is unchanged, so no resize
+  // and no scale event — the controller does not thrash at the boundary.
+  EXPECT_EQ(controller.OnInterval(20000.0), 4);
+  EXPECT_EQ(controller.scale_events(), events_at_max);
+}
+
+// --- StreamForecastPolicy ------------------------------------------------
+
+TEST(StreamForecastPolicyTest, RejectsEmptyHistoryAndIsIdempotent) {
+  StreamForecastPolicy policy;
+  EXPECT_FALSE(policy.Decide({}, 1).ok());
+
+  std::vector<double> history = {10.0, 12.0, 14.0, 16.0};
+  Result<ScalingDecision> first = policy.Decide(history, 1);
+  ASSERT_TRUE(first.ok());
+  // Same history again: the incremental absorber has nothing new to eat
+  // and must return the identical capacity (no double counting).
+  Result<ScalingDecision> second = policy.Decide(history, 1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->capacity, second->capacity);
+}
+
+TEST(StreamForecastPolicyTest, CapacityNeverDropsBelowHeadroomTimesLatest) {
+  StreamForecastPolicy::Options popts;
+  popts.headroom = 1.5;
+  StreamForecastPolicy policy(popts);
+  // Falling demand: the trend points down, but the latest-observation
+  // floor keeps the fleet provisioned for what is actually arriving.
+  std::vector<double> history;
+  for (double v : {100.0, 80.0, 60.0, 40.0, 30.0}) {
+    history.push_back(v);
+    Result<ScalingDecision> d = policy.Decide(history, 1);
+    ASSERT_TRUE(d.ok());
+    EXPECT_GE(d->capacity, 1.5 * history.back() - 1e-9);
+  }
+}
+
+TEST(StreamForecastPolicyTest, SurvivesTruncatedHistory) {
+  StreamForecastPolicy policy;
+  std::vector<double> history = {5.0, 10.0, 15.0, 20.0, 25.0};
+  ASSERT_TRUE(policy.Decide(history, 1).ok());
+  // A shrunk history (the controller's max_history eviction) must not trip
+  // the incremental-absorption bookkeeping.
+  history.assign({30.0, 35.0});
+  Result<ScalingDecision> d = policy.Decide(history, 1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GE(d->capacity, history.back());
+}
+
+TEST(AutoscaleControllerTest, ForecastPolicyLeadsAReactiveOneOnARamp) {
+  // The pre-scaling claim in miniature: on a steady linear ramp, the Holt
+  // trend projects next interval's demand, so the forecast controller
+  // requests capacity above the reactive controller's recent-peak view.
+  ThreadPool reactive_pool(1);
+  ThreadPool forecast_pool(1);
+  AutoscaleController::Options opts;
+  opts.min_workers = 1;
+  opts.max_workers = 16;
+  opts.per_worker_capacity = 10.0;
+  AutoscaleController reactive(&reactive_pool, nullptr, opts);
+  AutoscaleController forecast(
+      &forecast_pool, std::make_unique<StreamForecastPolicy>(), opts);
+
+  for (int i = 1; i <= 20; ++i) {
+    const double demand = 10.0 * i;  // +10 per interval, forever upward
+    reactive.OnInterval(demand);
+    forecast.OnInterval(demand);
+  }
+  // Both saw the same history; the trend-follower provisions further ahead
+  // of the latest observation than the peak-chaser on the rising edge.
+  EXPECT_GT(forecast.last_capacity(), 200.0);  // above the latest demand
+  EXPECT_GE(forecast_pool.NumThreads(), reactive_pool.NumThreads());
+}
+
 }  // namespace
 }  // namespace tsdm
