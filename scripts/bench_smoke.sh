@@ -1,46 +1,59 @@
 #!/usr/bin/env bash
 # Machine-readable bench smoke run: builds a fast subset of benches, runs
-# them with BENCH JSON export pointed at a scratch directory, then validates
-# the schema and gates `*_per_s` throughputs against the committed baselines
-# in bench/baselines/ (>20% drop fails; see scripts/compare_bench.py).
+# them TSDM_BENCH_REPEAT times (default 2) with BENCH JSON export pointed at
+# per-run scratch subdirectories, then validates the schema and gates
+# `*_per_s` throughputs against the committed baselines in bench/baselines/
+# (>20% drop fails; see scripts/compare_bench.py). The repeat exists to tame
+# host noise: a gated throughput takes its best value across the runs —
+# noise on a shared box only ever subtracts — so one preempted run cannot
+# fail the gate or force a hand-floored baseline.
 #
 #   scripts/bench_smoke.sh                 # gate against bench/baselines/
 #   TSDM_BENCH_THRESHOLD=0.5 scripts/bench_smoke.sh   # looser gate
+#   TSDM_BENCH_REPEAT=3 scripts/bench_smoke.sh        # more noise samples
 #   scripts/bench_smoke.sh --rebaseline    # overwrite committed baselines
-#                                          # with this run (then commit them)
+#                                          # with the merged best-of-N of
+#                                          # this run (then commit them)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="$ROOT/build"
 BASELINES="$ROOT/bench/baselines"
 OUT="$BUILD/bench-smoke"
+REPEAT="${TSDM_BENCH_REPEAT:-2}"
 
 # Fast, deterministic-workload benches covering batch, streaming, and the
 # governance kernels; the slow statistical sweeps (forecast, uncertainty,
 # autoscale) stay out of the smoke path.
 SMOKE_BENCHES=(bench_pipeline bench_executor bench_stream bench_imputation
                bench_drift bench_qcore bench_serve bench_health bench_ingest
-               bench_net bench_shard bench_replay)
+               bench_net bench_shard bench_replay bench_flight)
 
 cmake -B "$BUILD" -S "$ROOT" > /dev/null
 cmake --build "$BUILD" -j"$(nproc)" --target "${SMOKE_BENCHES[@]}"
 
-mkdir -p "$OUT"
-rm -f "$OUT"/BENCH_*.json
 GIT_REV="$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
-for BENCH in "${SMOKE_BENCHES[@]}"; do
-  echo "---- $BENCH ----"
-  (cd "$OUT" && TSDM_BENCH_JSON_DIR="$OUT" TSDM_GIT_REV="$GIT_REV" \
-      "$BUILD/bench/$BENCH" > "$OUT/$BENCH.log")
-  tail -n 1 "$OUT/$BENCH.log"
+RUN_DIRS=()
+for ((R = 1; R <= REPEAT; R++)); do
+  RUN="$OUT/run$R"
+  mkdir -p "$RUN"
+  rm -f "$RUN"/BENCH_*.json
+  RUN_DIRS+=("$RUN")
+  for BENCH in "${SMOKE_BENCHES[@]}"; do
+    echo "---- $BENCH (run $R/$REPEAT) ----"
+    (cd "$RUN" && TSDM_BENCH_JSON_DIR="$RUN" TSDM_GIT_REV="$GIT_REV" \
+        "$BUILD/bench/$BENCH" > "$RUN/$BENCH.log")
+    tail -n 1 "$RUN/$BENCH.log"
+  done
 done
 
 if [[ "${1:-}" == "--rebaseline" ]]; then
   mkdir -p "$BASELINES"
-  cp "$OUT"/BENCH_*.json "$BASELINES/"
+  python3 "$ROOT/scripts/compare_bench.py" "$BASELINES" "${RUN_DIRS[@]}" \
+      --rebaseline
   echo "rebaselined: $(ls "$BASELINES")"
   exit 0
 fi
 
-python3 "$ROOT/scripts/compare_bench.py" "$BASELINES" "$OUT"
+python3 "$ROOT/scripts/compare_bench.py" "$BASELINES" "${RUN_DIRS[@]}"
 echo "==== bench smoke passed ===="

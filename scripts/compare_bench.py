@@ -2,13 +2,22 @@
 """Schema validation + throughput regression gate for BENCH_<name>.json.
 
 Usage:
-  compare_bench.py BASELINE_DIR CURRENT_DIR [--threshold FRACTION] [--list]
+  compare_bench.py BASELINE_DIR CURRENT_DIR... [--threshold F] [--list]
+  compare_bench.py BASELINE_DIR CURRENT_DIR... --rebaseline
 
 Every BENCH_*.json under BASELINE_DIR must itself be schema-valid (a
 corrupted committed baseline fails the run with a message naming the
 baseline file — silently gating against garbage would hide regressions)
-and must have a schema-valid counterpart in CURRENT_DIR (a bench that
-stopped emitting its JSON is itself a regression).
+and must have a schema-valid counterpart in at least one CURRENT_DIR (a
+bench that stopped emitting its JSON is itself a regression).
+
+Multiple CURRENT_DIRs are repeated runs of the same build (bench_smoke.sh's
+TSDM_BENCH_REPEAT writes one subdirectory per run). Each gated metric is
+compared at its *best* value across the runs — the noise-minimal run —
+because host noise (preemption, neighbors, thermal) only ever subtracts
+from a throughput: a regression must show in every run to fail the gate,
+so one preempted run cannot fail a healthy build. Non-gated metrics are
+reported at their mean across runs.
 
 --list prints every metric shared by baseline and current with its delta,
 including non-gated keys and gated keys within tolerance — for eyeballing
@@ -18,9 +27,14 @@ the current value must be at least (1 - threshold) * baseline. All other
 keys (latencies, error metrics, byte counts) are reported but never gated —
 on shared hardware they are too noisy to fail a build over.
 
+--rebaseline skips the gate and instead writes the merged best-of-N view of
+the current runs into BASELINE_DIR, one BENCH_<name>.json per bench — the
+same statistic the gate compares against, so a freshly committed baseline
+is reproducible by the very next smoke run.
+
 The threshold defaults to 0.20 (fail on a >20% throughput drop) and can be
 overridden by --threshold or the TSDM_BENCH_THRESHOLD environment variable.
-Benches present only in CURRENT_DIR are new and warn; commit their JSON to
+Benches present only in CURRENT_DIRs are new and warn; commit their JSON to
 the baseline directory to start gating them.
 
 Exit status: 0 clean, 1 on any schema violation or gated regression.
@@ -90,6 +104,40 @@ def validate(path, role):
     return doc, problems
 
 
+def merge_runs(docs):
+    """One metrics view over N validated runs of the same bench: gated
+    throughput keys take their max across runs (noise only subtracts, so
+    the best run is the least-noisy estimate), everything else its mean."""
+    merged = {}
+    keys = set()
+    for doc in docs:
+        keys |= set(doc["metrics"])
+    for key in keys:
+        vals = [d["metrics"][key] for d in docs if key in d["metrics"]]
+        merged[key] = max(vals) if GATED_TAG in key else sum(vals) / len(vals)
+    return merged
+
+
+def load_runs(name, current_dirs, role="current"):
+    """Validates every copy of BENCH json `name` across the run dirs.
+
+    Returns (docs, problems, found): schema-valid docs, the problems of any
+    invalid copy, and whether any dir had the file at all.
+    """
+    docs, problems, found = [], [], False
+    for d in current_dirs:
+        path = os.path.join(d, name)
+        if not os.path.exists(path):
+            continue
+        found = True
+        doc, doc_problems = validate(path, role)
+        if doc_problems:
+            problems.extend(doc_problems)
+        else:
+            docs.append(doc)
+    return docs, problems, found
+
+
 def wire_overhead(metrics):
     """Derived wire-vs-in-process overhead for the net bench: how many
     closed-loop in-process round-trips one single-connection wire
@@ -105,10 +153,46 @@ def fmt_ratio(ratio):
     return f"{ratio:.2f}x" if ratio is not None else "n/a"
 
 
+def current_names(current_dirs):
+    """Every BENCH_*.json file name appearing in any of the run dirs."""
+    names = set()
+    for d in current_dirs:
+        names |= {os.path.basename(p)
+                  for p in glob.glob(os.path.join(d, "BENCH_*.json"))}
+    return names
+
+
+def rebaseline(baseline_dir, current_dirs):
+    """Writes the merged best-of-N of the current runs into baseline_dir —
+    the exact statistic the gate compares against. Fails (writing nothing
+    for that bench) on any schema-invalid run copy."""
+    failures = 0
+    written = []
+    for name in sorted(current_names(current_dirs)):
+        docs, problems, _ = load_runs(name, current_dirs)
+        for p in problems:
+            failures += fail(p)
+        if problems or not docs:
+            continue
+        out = dict(docs[0])
+        out["metrics"] = {k: v for k, v in
+                          sorted(merge_runs(docs).items())}
+        path = os.path.join(baseline_dir, name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(out, f, indent=1, sort_keys=True)
+            f.write("\n")
+        written.append(name)
+        print(f"rebaselined {name} from {len(docs)} run(s)")
+    if not written:
+        failures += fail(f"no BENCH_*.json found under "
+                         f"{' '.join(current_dirs)}")
+    return 1 if failures else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline_dir")
-    ap.add_argument("current_dir")
+    ap.add_argument("current_dirs", nargs="+")
     ap.add_argument("--threshold", type=float,
                     default=float(os.environ.get("TSDM_BENCH_THRESHOLD",
                                                  "0.20")),
@@ -116,7 +200,13 @@ def main():
     ap.add_argument("--list", action="store_true", dest="list_all",
                     help="print baseline vs. current deltas for every "
                          "shared metric, even within tolerance")
+    ap.add_argument("--rebaseline", action="store_true",
+                    help="write the merged best-of-N of the current runs "
+                         "into BASELINE_DIR instead of gating")
     args = ap.parse_args()
+
+    if args.rebaseline:
+        return rebaseline(args.baseline_dir, args.current_dirs)
 
     baselines = sorted(glob.glob(os.path.join(args.baseline_dir,
                                               "BENCH_*.json")))
@@ -126,7 +216,6 @@ def main():
     failures = 0
     for base_path in baselines:
         name = os.path.basename(base_path)
-        cur_path = os.path.join(args.current_dir, name)
         base_doc, base_problems = validate(base_path, "baseline")
         for p in base_problems:
             failures += fail(p)
@@ -134,27 +223,30 @@ def main():
             # A broken committed baseline cannot gate anything; name it and
             # keep scanning so one run surfaces every bad file.
             continue
-        if not os.path.exists(cur_path):
+        cur_docs, cur_problems, cur_found = load_runs(name, args.current_dirs)
+        if not cur_found:
             if args.list_all:
                 # --list is the eyeballing mode: a partial current run
                 # (one bench re-run into an otherwise empty directory) is
                 # normal there, so a missing counterpart is worth a
                 # warning, not a verdict — the gating mode still fails.
                 print(f"warn: {name}: no current-run JSON under "
-                      f"{args.current_dir} — skipped (gating runs treat "
-                      f"this as a regression)")
+                      f"{' '.join(args.current_dirs)} — skipped (gating "
+                      f"runs treat this as a regression)")
                 continue
-            failures += fail(f"{name}: baseline exists but the current run "
-                             f"produced no {cur_path}")
+            failures += fail(f"{name}: baseline exists but no current run "
+                             f"produced it under "
+                             f"{' '.join(args.current_dirs)}")
             continue
-        cur_doc, cur_problems = validate(cur_path, "current")
         for p in cur_problems:
             failures += fail(p)
-        if cur_problems:
+        if cur_problems or not cur_docs:
             continue
 
         base_metrics = base_doc["metrics"]
-        cur_metrics = cur_doc["metrics"]
+        cur_metrics = merge_runs(cur_docs)
+        runs_tag = (f" [best of {len(cur_docs)} runs]"
+                    if len(cur_docs) > 1 else "")
         for key, base_val in sorted(base_metrics.items()):
             if GATED_TAG not in key:
                 continue
@@ -171,7 +263,7 @@ def main():
             verdict = "ok" if ratio >= floor else "REGRESSION"
             print(f"{verdict:>10}  {base_doc['name']:<14} {key:<24} "
                   f"base={base_val:.6g} cur={cur_val:.6g} "
-                  f"delta={delta_pct:+.1f}% (floor {floor:.2f})")
+                  f"delta={delta_pct:+.1f}% (floor {floor:.2f}){runs_tag}")
             if ratio < floor:
                 failures += fail(
                     f"{name}: {key} dropped {-delta_pct:.1f}% "
@@ -205,15 +297,12 @@ def main():
     # schema (malformed JSON is always a failure) but skip the throughput
     # gate with a warning instead of failing the build.
     known = {os.path.basename(p) for p in baselines}
-    for cur_path in sorted(glob.glob(os.path.join(args.current_dir,
-                                                  "BENCH_*.json"))):
-        if os.path.basename(cur_path) in known:
-            continue
-        _, problems = validate(cur_path, "current")
+    for name in sorted(current_names(args.current_dirs) - known):
+        _, problems, _ = load_runs(name, args.current_dirs)
         for p in problems:
             failures += fail(p)
         if not problems:
-            print(f"warn: {os.path.basename(cur_path)} has no baseline — "
+            print(f"warn: {name} has no baseline — "
                   f"schema ok, gates skipped; commit it to "
                   f"{args.baseline_dir} to gate it")
 

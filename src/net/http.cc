@@ -215,4 +215,48 @@ bool ExtractJsonString(const std::string& json, const std::string& key,
   return true;
 }
 
+void SplitTarget(const std::string& target, std::string* path,
+                 std::string* query) {
+  const size_t q = target.find('?');
+  if (q == std::string::npos) {
+    *path = target;
+    query->clear();
+    return;
+  }
+  *path = target.substr(0, q);
+  *query = target.substr(q + 1);
+}
+
+QueryParamResult ParseQueryParamU64(const std::string& query,
+                                    const std::string& key, uint64_t* out) {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const size_t eq = pair.find('=');
+    const std::string name = eq == std::string::npos ? pair : pair.substr(0, eq);
+    if (name == key) {
+      // "n" (no '=') and "n=" (empty value) are both missing-value shapes.
+      if (eq == std::string::npos || eq + 1 >= pair.size()) {
+        return QueryParamResult::kBad;
+      }
+      uint64_t value = 0;
+      for (size_t i = eq + 1; i < pair.size(); ++i) {
+        const char c = pair[i];
+        if (c < '0' || c > '9') return QueryParamResult::kBad;
+        const uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (value > (UINT64_MAX - digit) / 10) {
+          return QueryParamResult::kBad;  // overflow
+        }
+        value = value * 10 + digit;
+      }
+      *out = value;
+      return QueryParamResult::kOk;
+    }
+    pos = amp + 1;
+  }
+  return QueryParamResult::kAbsent;
+}
+
 }  // namespace tsdm

@@ -95,6 +95,28 @@ bool ExtractJsonNumber(const std::string& json, const std::string& key,
 bool ExtractJsonString(const std::string& json, const std::string& key,
                        std::string* out);
 
+/// Splits a request target at the first '?' into the path and the query
+/// string ("/debug/traces?n=5" -> path "/debug/traces", query "n=5"; no
+/// '?' leaves query empty). The path is what endpoint routing matches on.
+void SplitTarget(const std::string& target, std::string* path,
+                 std::string* query);
+
+/// Outcome of looking one key up in a URL query string. kBad covers every
+/// hostile shape — missing value ("n"/"n="), non-numeric ("n=abc"),
+/// trailing junk ("n=5x"), overflow — so an endpoint maps it straight to a
+/// typed 400 instead of guessing.
+enum class QueryParamResult {
+  kOk,      ///< key present and parsed; *out is set
+  kAbsent,  ///< key not in the query string (apply the endpoint default)
+  kBad,     ///< key present but its value is not a valid uint64
+};
+
+/// Looks `key` up in a query string of the form "a=1&b=2" and parses its
+/// value as an unsigned decimal integer. First occurrence wins. No
+/// percent-decoding — the front door's parameters are plain integers.
+QueryParamResult ParseQueryParamU64(const std::string& query,
+                                    const std::string& key, uint64_t* out);
+
 }  // namespace tsdm
 
 #endif  // TSDM_NET_HTTP_H_

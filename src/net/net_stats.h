@@ -38,6 +38,8 @@ struct NetStatsSnapshot {
   uint64_t http_metrics = 0;             ///< GET /metrics served
   uint64_t http_health = 0;              ///< GET /health served
   uint64_t http_query = 0;               ///< POST /query served OK
+  uint64_t http_debug_traces = 0;        ///< GET /debug/traces served
+  uint64_t http_debug_flight = 0;        ///< GET /debug/flight served
   uint64_t http_bad_request = 0;         ///< 400
   uint64_t http_not_found = 0;           ///< 404
   uint64_t http_method_not_allowed = 0;  ///< 405

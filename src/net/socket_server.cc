@@ -17,6 +17,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics_export.h"
 #include "src/obs/trace.h"
 
@@ -28,6 +29,13 @@ constexpr size_t kReadChunk = 64 * 1024;
 /// Wire request ids live in their own namespace (high bit set) so they can
 /// never collide with in-process serve request ids in one trace.
 constexpr uint64_t kNetRequestBit = 1ull << 63;
+
+// GET /debug/traces: default and maximum trace count, and the bound on the
+// query string an introspection endpoint will even look at — anything
+// longer is hostile and answered with a typed 400 before parsing.
+constexpr uint64_t kDefaultDebugTraces = 32;
+constexpr uint64_t kMaxDebugTraces = 4096;
+constexpr size_t kMaxDebugQueryBytes = 256;
 
 Status Errno(const char* what) {
   return Status::Internal(std::string("net: ") + what + ": " +
@@ -714,7 +722,12 @@ void SocketServer::ServeHttpRequest(Connection* conn, const HttpRequest& req) {
                                std::memory_order_relaxed);
   };
 
-  if (req.target == "/metrics") {
+  // Endpoints route on the path; the query string (everything after '?')
+  // only matters to the /debug endpoints and is bounded before parsing.
+  std::string path, query;
+  SplitTarget(req.target, &path, &query);
+
+  if (path == "/metrics") {
     if (req.method != "GET") {
       http_method_not_allowed_.fetch_add(1, std::memory_order_relaxed);
       respond(405, "text/plain", "method not allowed\n");
@@ -725,7 +738,7 @@ void SocketServer::ServeHttpRequest(Connection* conn, const HttpRequest& req) {
             MetricsExporter::ExportPrometheus());
     return;
   }
-  if (req.target == "/health") {
+  if (path == "/health") {
     if (req.method != "GET") {
       http_method_not_allowed_.fetch_add(1, std::memory_order_relaxed);
       respond(405, "text/plain", "method not allowed\n");
@@ -737,7 +750,58 @@ void SocketServer::ServeHttpRequest(Connection* conn, const HttpRequest& req) {
     respond(200, "application/json", MetricsExporter::HealthToJson(snapshot));
     return;
   }
-  if (req.target == "/query") {
+  if (path == "/debug/traces") {
+    if (req.method != "GET") {
+      http_method_not_allowed_.fetch_add(1, std::memory_order_relaxed);
+      respond(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    if (query.size() > kMaxDebugQueryBytes) {
+      http_bad_request_.fetch_add(1, std::memory_order_relaxed);
+      respond(400, "text/plain", "query string too long\n");
+      return;
+    }
+    uint64_t n = kDefaultDebugTraces;
+    switch (ParseQueryParamU64(query, "n", &n)) {
+      case QueryParamResult::kBad:
+        http_bad_request_.fetch_add(1, std::memory_order_relaxed);
+        respond(400, "text/plain", "bad query parameter: n\n");
+        return;
+      case QueryParamResult::kOk:
+        if (n == 0 || n > kMaxDebugTraces) {
+          http_bad_request_.fetch_add(1, std::memory_order_relaxed);
+          respond(400, "text/plain",
+                  "bad query parameter: n must be in [1, " +
+                      std::to_string(kMaxDebugTraces) + "]\n");
+          return;
+        }
+        break;
+      case QueryParamResult::kAbsent:
+        break;
+    }
+    http_debug_traces_.fetch_add(1, std::memory_order_relaxed);
+    respond(200, "application/json",
+            FlightRecorder::Global().ToChromeTraceJson(
+                static_cast<size_t>(n)));
+    return;
+  }
+  if (path == "/debug/flight") {
+    if (req.method != "GET") {
+      http_method_not_allowed_.fetch_add(1, std::memory_order_relaxed);
+      respond(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    std::string dump = FlightRecorder::Global().LatestDumpJson();
+    if (dump.empty()) {
+      http_not_found_.fetch_add(1, std::memory_order_relaxed);
+      respond(404, "text/plain", "no flight dump\n");
+      return;
+    }
+    http_debug_flight_.fetch_add(1, std::memory_order_relaxed);
+    respond(200, "application/json", dump);
+    return;
+  }
+  if (path == "/query") {
     if (req.method != "POST") {
       http_method_not_allowed_.fetch_add(1, std::memory_order_relaxed);
       respond(405, "text/plain", "method not allowed\n");
@@ -894,6 +958,8 @@ NetStatsSnapshot SocketServer::Stats() const {
   s.http_metrics = http_metrics_.load(std::memory_order_relaxed);
   s.http_health = http_health_.load(std::memory_order_relaxed);
   s.http_query = http_query_.load(std::memory_order_relaxed);
+  s.http_debug_traces = http_debug_traces_.load(std::memory_order_relaxed);
+  s.http_debug_flight = http_debug_flight_.load(std::memory_order_relaxed);
   s.http_bad_request = http_bad_request_.load(std::memory_order_relaxed);
   s.http_not_found = http_not_found_.load(std::memory_order_relaxed);
   s.http_method_not_allowed =
@@ -926,11 +992,33 @@ void SocketServer::RegisterMetricsSources() {
         },
         [serve] { return MetricsExporter::ServeToJson(serve->Stats()); });
   }
+  // Observability self-metrics ride the same registry, so GET /metrics
+  // carries tsdm_trace_dropped_total and the tsdm_flight_* families
+  // whenever the front door is up. Both wrap process-global singletons —
+  // no lifetime hazard, but unregistered symmetrically anyway.
+  MetricsExporter::RegisterSource(
+      "trace",
+      [](const std::string& prefix) {
+        return MetricsExporter::TraceToPrometheus(TraceRecorder::Global(),
+                                                  prefix);
+      },
+      [] { return MetricsExporter::TraceToJson(TraceRecorder::Global()); });
+  MetricsExporter::RegisterSource(
+      "flight",
+      [](const std::string& prefix) {
+        return MetricsExporter::FlightToPrometheus(
+            FlightRecorder::Global().Stats(), prefix);
+      },
+      [] {
+        return MetricsExporter::FlightToJson(FlightRecorder::Global().Stats());
+      });
 }
 
 void SocketServer::UnregisterMetricsSources() {
   MetricsExporter::UnregisterSource("net");
   if (serve_ != nullptr) MetricsExporter::UnregisterSource("serve");
+  MetricsExporter::UnregisterSource("trace");
+  MetricsExporter::UnregisterSource("flight");
 }
 
 }  // namespace tsdm

@@ -192,6 +192,8 @@ class SocketServer {
   std::atomic<uint64_t> http_metrics_{0};
   std::atomic<uint64_t> http_health_{0};
   std::atomic<uint64_t> http_query_{0};
+  std::atomic<uint64_t> http_debug_traces_{0};
+  std::atomic<uint64_t> http_debug_flight_{0};
   std::atomic<uint64_t> http_bad_request_{0};
   std::atomic<uint64_t> http_not_found_{0};
   std::atomic<uint64_t> http_method_not_allowed_{0};

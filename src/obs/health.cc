@@ -4,6 +4,9 @@
 #include <chrono>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
+#include "src/obs/trace.h"
+
 namespace tsdm {
 
 namespace {
@@ -195,6 +198,13 @@ void HealthMonitor::SampleOnce() {
   int hot = 0;
   for (size_t i = 0; i < kNumMetrics; ++i) hot += anomalous[i] ? 1 : 0;
 
+  // Transition bookkeeping happens under the snapshot lock, but the
+  // notifications run unlocked: the flight recorder freezes a dump and the
+  // embedder's hook is arbitrary user code — neither may hold mu_ while a
+  // Snapshot() reader waits.
+  bool transitioned = false;
+  HealthTransition transition;
+  HealthSnapshot at_transition;
   {
     std::unique_lock<std::mutex> lock(mu_);
     snapshot_.samples = samples_ + 1;
@@ -215,12 +225,36 @@ void HealthMonitor::SampleOnce() {
         offender < 0 || stage_sum <= 0.0
             ? 0.0
             : (stage_now[offender] - stage_prev[offender]) / stage_sum;
-    snapshot_.state = Judge(hot, burn);
+    const HealthState next = Judge(hot, burn);
+    if (next != snapshot_.state) {
+      transition.sample = samples_ + 1;
+      transition.at_ns = TraceRecorder::NowNs();
+      transition.from = snapshot_.state;
+      transition.to = next;
+      transition.top_offender = snapshot_.top_offender;
+      transition.burn_rate = burn;
+      snapshot_.transitions.push_back(transition);
+      const size_t keep = std::max<size_t>(1, options_.transition_history);
+      while (snapshot_.transitions.size() > keep) {
+        snapshot_.transitions.erase(snapshot_.transitions.begin());
+      }
+      ++snapshot_.transitions_total;
+      transitioned = true;
+    }
+    snapshot_.state = next;
+    if (transitioned) at_transition = snapshot_;
   }
 
   prev_ = std::move(now);
   have_prev_ = true;
   ++samples_;
+
+  if (transitioned) {
+    FlightRecorder::Global().OnHealthTransition(transition, at_transition);
+    if (options_.on_transition) {
+      options_.on_transition(transition, at_transition);
+    }
+  }
 }
 
 HealthSnapshot HealthMonitor::Snapshot() const {

@@ -25,6 +25,21 @@ enum class HealthState {
 
 const char* HealthStateName(HealthState state);
 
+/// One state change of the self-monitor: when it happened (sampling round
+/// + trace-origin clock), what it went from/to, and the evidence of the
+/// moment — the stage whose time grew the most and the SLO burn rate. A
+/// bounded ring of these rides in every HealthSnapshot, so /health and the
+/// flight recorder's black-box dump can show *when* a degradation started,
+/// not just the current state.
+struct HealthTransition {
+  uint64_t sample = 0;  ///< sampling round the transition was judged on
+  uint64_t at_ns = 0;   ///< TraceRecorder::NowNs at the transition
+  HealthState from = HealthState::kHealthy;
+  HealthState to = HealthState::kHealthy;
+  std::string top_offender;  ///< stage attribution at the transition
+  double burn_rate = 0.0;    ///< SLO burn at the transition
+};
+
 /// Latest judgment of one watched operational metric.
 struct MetricVerdict {
   std::string name;
@@ -52,6 +67,12 @@ struct HealthSnapshot {
   double top_offender_share = 0.0;  ///< its share of interval stage time
 
   uint64_t anomalies_total = 0;  ///< flagged samples across all metrics
+
+  /// The most recent state transitions, oldest first, bounded by
+  /// Options::transition_history. transitions_total keeps counting past
+  /// the window, so "has anything flapped since?" survives the trim.
+  std::vector<HealthTransition> transitions;
+  uint64_t transitions_total = 0;
 };
 
 /// Watches a QueryServer (or anything that can produce ServeStatsSnapshots)
@@ -101,6 +122,15 @@ class HealthMonitor {
     /// Anomalous-metric counts tripping each state.
     int degraded_anomalous_metrics = 1;
     int unhealthy_anomalous_metrics = 2;
+
+    /// Transitions kept in HealthSnapshot::transitions (oldest trimmed).
+    size_t transition_history = 16;
+    /// Called (unlocked, on the sampling thread) after every state
+    /// transition, with the transition and the snapshot that produced it.
+    /// The flight recorder is notified regardless — this hook is for
+    /// embedders (alerting, tests).
+    std::function<void(const HealthTransition&, const HealthSnapshot&)>
+        on_transition;
   };
 
   using Sampler = std::function<ServeStatsSnapshot()>;

@@ -483,7 +483,23 @@ std::string MetricsExporter::HealthToJson(const HealthSnapshot& s) {
        << ",\"anomalous\":" << (v.anomalous ? "true" : "false")
        << ",\"anomalies\":" << U64(v.anomalies) << "}";
   }
-  os << "}}}";
+  os << "}";
+  // The transition ring: when the monitor's verdict changed, oldest first,
+  // with the evidence of each moment — so /health answers *when* a
+  // degradation started, not just what the state is now.
+  os << ",\"transitions_total\":" << U64(s.transitions_total)
+     << ",\"transitions\":[";
+  first = true;
+  for (const HealthTransition& t : s.transitions) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"sample\":" << U64(t.sample) << ",\"at_ns\":" << U64(t.at_ns)
+       << ",\"from\":\"" << HealthStateName(t.from) << "\""
+       << ",\"to\":\"" << HealthStateName(t.to) << "\""
+       << ",\"top_offender\":\"" << JsonEscape(t.top_offender) << "\""
+       << ",\"burn_rate\":" << JsonNumber(t.burn_rate) << "}";
+  }
+  os << "]}}";
   return os.str();
 }
 
@@ -522,6 +538,11 @@ std::string MetricsExporter::HealthToPrometheus(const HealthSnapshot& s,
     os << anom << "{metric=\"" << JsonEscape(v.name) << "\"} "
        << U64(v.anomalies) << "\n";
   }
+  const std::string trans = prefix + "_health_transitions_total";
+  Family(&os, trans, "counter",
+         "Health-state transitions since Start (flapping shows up here "
+         "even after the snapshot's transition ring trims).");
+  os << trans << " " << U64(s.transitions_total) << "\n";
   return os.str();
 }
 
@@ -639,6 +660,88 @@ std::string MetricsExporter::TraceToPrometheus(const TraceRecorder& recorder,
   return os.str();
 }
 
+std::string MetricsExporter::TraceToJson(const TraceRecorder& recorder) {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"trace\":{"
+     << "\"enabled\":" << (TraceRecorder::Enabled() ? "true" : "false")
+     << ",\"dropped\":" << U64(recorder.DroppedSpans()) << "}}";
+  return os.str();
+}
+
+std::string MetricsExporter::FlightToJson(const FlightStatsSnapshot& s) {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"flight\":{"
+     << "\"enabled\":" << (s.enabled ? "true" : "false")
+     << ",\"observed\":" << U64(s.observed)
+     << ",\"retained\":{"
+     << "\"slo_breach\":" << U64(s.retained_slo)
+     << ",\"shed\":" << U64(s.retained_shed)
+     << ",\"error\":" << U64(s.retained_error)
+     << ",\"head_sample\":" << U64(s.retained_sample)
+     << ",\"total\":" << U64(s.RetainedTotal()) << "}"
+     << ",\"discarded\":" << U64(s.discarded)
+     << ",\"evicted\":" << U64(s.evicted)
+     << ",\"open_overflow\":" << U64(s.open_overflow)
+     << ",\"spans_captured\":" << U64(s.spans_captured)
+     << ",\"spans_dropped\":" << U64(s.spans_dropped)
+     << ",\"open_requests\":" << U64(s.open_requests)
+     << ",\"retained_records\":" << U64(s.retained_records)
+     << ",\"dumps\":" << U64(s.dumps) << "}}";
+  return os.str();
+}
+
+std::string MetricsExporter::FlightToPrometheus(const FlightStatsSnapshot& s,
+                                                const std::string& prefix) {
+  std::ostringstream os;
+  const std::string enabled = prefix + "_flight_enabled";
+  Family(&os, enabled, "gauge", "Flight recorder enabled (1) or not (0).");
+  os << enabled << " " << (s.enabled ? 1 : 0) << "\n";
+  const std::string observed = prefix + "_flight_observed_total";
+  Family(&os, observed, "counter",
+         "Request completions observed by the flight recorder.");
+  os << observed << " " << U64(s.observed) << "\n";
+  const std::string retained = prefix + "_flight_retained_total";
+  Family(&os, retained, "counter",
+         "Completed requests retained by the retroactive tail policy, by "
+         "reason.");
+  os << retained << "{reason=\"slo_breach\"} " << U64(s.retained_slo) << "\n";
+  os << retained << "{reason=\"shed\"} " << U64(s.retained_shed) << "\n";
+  os << retained << "{reason=\"error\"} " << U64(s.retained_error) << "\n";
+  os << retained << "{reason=\"head_sample\"} " << U64(s.retained_sample)
+     << "\n";
+  const std::string discarded = prefix + "_flight_discarded_total";
+  Family(&os, discarded, "counter",
+         "Completions judged unremarkable; their records were dropped.");
+  os << discarded << " " << U64(s.discarded) << "\n";
+  const std::string evicted = prefix + "_flight_evicted_total";
+  Family(&os, evicted, "counter",
+         "Retained records displaced from the ring by the per-tenant "
+         "reservoir policy.");
+  os << evicted << " " << U64(s.evicted) << "\n";
+  const std::string overflow = prefix + "_flight_open_overflow_total";
+  Family(&os, overflow, "counter",
+         "Spans dropped because the open-request table was at capacity.");
+  os << overflow << " " << U64(s.open_overflow) << "\n";
+  const std::string spans = prefix + "_flight_spans_total";
+  Family(&os, spans, "counter",
+         "Spans offered to open records, by fate (over-cap spans are "
+         "counted per record too).");
+  os << spans << "{fate=\"captured\"} " << U64(s.spans_captured) << "\n";
+  os << spans << "{fate=\"dropped\"} " << U64(s.spans_dropped) << "\n";
+  const std::string open = prefix + "_flight_open_requests";
+  Family(&os, open, "gauge",
+         "Records live in the open table (in-flight + retained).");
+  os << open << " " << U64(s.open_requests) << "\n";
+  const std::string ring = prefix + "_flight_retained_records";
+  Family(&os, ring, "gauge", "Records currently in the retained ring.");
+  os << ring << " " << U64(s.retained_records) << "\n";
+  const std::string dumps = prefix + "_flight_dumps_total";
+  Family(&os, dumps, "counter",
+         "Black-box dumps frozen on worsening health transitions.");
+  os << dumps << " " << U64(s.dumps) << "\n";
+  return os.str();
+}
+
 std::string MetricsExporter::NetToJson(const NetStatsSnapshot& s) {
   std::ostringstream os;
   os << "{\"schema_version\":" << kSchemaVersion << ",\"net\":{"
@@ -666,6 +769,8 @@ std::string MetricsExporter::NetToJson(const NetStatsSnapshot& s) {
      << "\"metrics\":" << U64(s.http_metrics)
      << ",\"health\":" << U64(s.http_health)
      << ",\"query\":" << U64(s.http_query)
+     << ",\"debug_traces\":" << U64(s.http_debug_traces)
+     << ",\"debug_flight\":" << U64(s.http_debug_flight)
      << ",\"bad_request\":" << U64(s.http_bad_request)
      << ",\"not_found\":" << U64(s.http_not_found)
      << ",\"method_not_allowed\":" << U64(s.http_method_not_allowed)
@@ -723,6 +828,10 @@ std::string MetricsExporter::NetToPrometheus(const NetStatsSnapshot& s,
   os << http << "{endpoint=\"metrics\"} " << U64(s.http_metrics) << "\n";
   os << http << "{endpoint=\"health\"} " << U64(s.http_health) << "\n";
   os << http << "{endpoint=\"query\"} " << U64(s.http_query) << "\n";
+  os << http << "{endpoint=\"debug_traces\"} " << U64(s.http_debug_traces)
+     << "\n";
+  os << http << "{endpoint=\"debug_flight\"} " << U64(s.http_debug_flight)
+     << "\n";
   const std::string herr = prefix + "_net_http_errors_total";
   Family(&os, herr, "counter", "HTTP error responses, by status class.");
   os << herr << "{status=\"400\"} " << U64(s.http_bad_request) << "\n";

@@ -10,6 +10,7 @@
 #include "src/core/executor.h"
 #include "src/ingest/ingest_service.h"
 #include "src/net/net_stats.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/health.h"
 #include "src/obs/trace.h"
 #include "src/serve/serve_stats.h"
@@ -89,6 +90,17 @@ class MetricsExporter {
   /// incomplete and SetCapacity should be raised.
   static std::string TraceToPrometheus(const TraceRecorder& recorder,
                                        const std::string& prefix = "tsdm");
+  /// JSON twin of TraceToPrometheus, for the "trace" source's ExportJson
+  /// entry: {"schema_version":1,"trace":{"enabled":..,"dropped":..}}.
+  static std::string TraceToJson(const TraceRecorder& recorder);
+
+  /// Flight-recorder self-metrics (`tsdm_flight_*`): completions observed,
+  /// retained by reason (`{reason="slo_breach|shed|error|head_sample"}`),
+  /// discarded/evicted counts, span capture/drop counters, open-table and
+  /// retained-ring gauges, and black-box dumps frozen.
+  static std::string FlightToJson(const FlightStatsSnapshot& snapshot);
+  static std::string FlightToPrometheus(const FlightStatsSnapshot& snapshot,
+                                        const std::string& prefix = "tsdm");
 
   /// Socket front-door snapshot: connection gauges, the typed shed
   /// counters (`<prefix>_net_sheds_total{reason=...}` — each shed happened

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "src/obs/flight_recorder.h"
+
 namespace tsdm {
 
 std::atomic<bool> TraceRecorder::enabled_{false};
@@ -24,7 +26,11 @@ std::chrono::steady_clock::time_point TraceOrigin() {
 
 /// Per-thread span buffer; flushes to the global ring when full and from
 /// its destructor at thread exit, so joined threads never lose events.
+/// Registered with the recorder so CollectRequest can sweep unflushed
+/// events cross-thread; `mu` guards `events`/`generation` against that
+/// sweep (uncontended for the owning thread otherwise).
 struct ThreadTraceBuffer {
+  std::mutex mu;
   std::vector<TraceEvent> events;
   uint32_t tid;
   uint64_t generation = 0;
@@ -33,11 +39,21 @@ struct ThreadTraceBuffer {
       : tid(TraceRecorder::Global().next_tid_.fetch_add(
             1, std::memory_order_relaxed)) {
     events.reserve(kFlushBatch);
+    TraceRecorder::Global().RegisterBuffer(this);
   }
 
   ~ThreadTraceBuffer() {
-    if (!events.empty()) {
-      TraceRecorder::Global().FlushBuffer(&events, generation);
+    // Deregister first: once off the list, no sweep can take `mu` again.
+    TraceRecorder::Global().DeregisterBuffer(this);
+    std::vector<TraceEvent> rest;
+    uint64_t gen;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      rest.swap(events);
+      gen = generation;
+    }
+    if (!rest.empty()) {
+      TraceRecorder::Global().FlushBuffer(&rest, gen);
     }
   }
 };
@@ -70,17 +86,34 @@ void TraceRecorder::SetCapacity(size_t max_events) {
   std::lock_guard<std::mutex> lock(mu_);
   capacity_ = max_events;
   ring_.clear();
+  ring_batches_.clear();
   ring_.reserve(capacity_);
   ++generation_;
   dropped_.store(0, std::memory_order_relaxed);
 }
 
 void TraceRecorder::Clear() {
-  CurrentBuffer().events.clear();
+  {
+    ThreadTraceBuffer& buffer = CurrentBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    buffer.events.clear();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
+  ring_batches_.clear();
   ++generation_;
   dropped_.store(0, std::memory_order_relaxed);
+}
+
+void TraceRecorder::RegisterBuffer(ThreadTraceBuffer* buffer) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  buffers_.push_back(buffer);
+}
+
+void TraceRecorder::DeregisterBuffer(ThreadTraceBuffer* buffer) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  buffers_.erase(std::remove(buffers_.begin(), buffers_.end(), buffer),
+                 buffers_.end());
 }
 
 void TraceRecorder::Record(std::string name, uint64_t start_ns,
@@ -88,12 +121,6 @@ void TraceRecorder::Record(std::string name, uint64_t start_ns,
                            uint64_t parent_span_id, uint64_t request_id,
                            std::string tenant) {
   ThreadTraceBuffer& buffer = CurrentBuffer();
-  if (buffer.events.empty()) {
-    // Tag the batch with the generation at its first event so a Clear
-    // issued on another thread discards it wholesale on flush.
-    std::lock_guard<std::mutex> lock(mu_);
-    buffer.generation = generation_;
-  }
   TraceEvent ev;
   ev.name = std::move(name);
   ev.start_ns = start_ns;
@@ -104,10 +131,24 @@ void TraceRecorder::Record(std::string name, uint64_t start_ns,
   ev.parent_span_id = parent_span_id;
   ev.request_id = request_id;
   ev.tenant = std::move(tenant);
-  buffer.events.push_back(std::move(ev));
-  if (buffer.events.size() >= kFlushBatch) {
-    FlushBuffer(&buffer.events, buffer.generation);
+  // Flight-recorder tap, outside every trace lock (the recorder's late-
+  // span path takes its own locks, and its retention sweep takes ours).
+  FlightRecorder::MaybeRecordSpan(ev);
+  std::vector<TraceEvent> full;
+  uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    if (buffer.events.empty()) {
+      // Tag the batch with the generation at its first event so a Clear
+      // issued on another thread discards it wholesale on flush.
+      std::lock_guard<std::mutex> glock(mu_);
+      buffer.generation = generation_;
+    }
+    gen = buffer.generation;
+    buffer.events.push_back(std::move(ev));
+    if (buffer.events.size() >= kFlushBatch) full.swap(buffer.events);
   }
+  if (!full.empty()) FlushBuffer(&full, gen);
 }
 
 uint64_t TraceRecorder::RecordSpan(std::string_view name, uint64_t start_ns,
@@ -124,6 +165,7 @@ void TraceRecorder::FlushBuffer(std::vector<TraceEvent>* events,
                                 uint64_t generation) {
   std::lock_guard<std::mutex> lock(mu_);
   if (generation == generation_) {
+    const size_t before = ring_.size();
     for (auto& ev : *events) {
       if (ring_.size() < capacity_) {
         ring_.push_back(std::move(ev));
@@ -131,15 +173,71 @@ void TraceRecorder::FlushBuffer(std::vector<TraceEvent>* events,
         dropped_.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    if (ring_.size() > before) {
+      ring_batches_.emplace_back(ring_.size(), NowNs());
+    }
   }
   events->clear();
 }
 
 void TraceRecorder::FlushCurrentThread() {
   ThreadTraceBuffer& buffer = CurrentBuffer();
-  if (!buffer.events.empty()) {
-    FlushBuffer(&buffer.events, buffer.generation);
+  std::vector<TraceEvent> pending;
+  uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    pending.swap(buffer.events);
+    gen = buffer.generation;
   }
+  if (!pending.empty()) {
+    FlushBuffer(&pending, gen);
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::CollectRequest(uint64_t request_id,
+                                                      uint64_t min_start_ns) {
+  std::vector<TraceEvent> out;
+  uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    gen = generation_;
+  }
+  // Buffers before the ring: an event flushed between the two scans is
+  // found in the ring; the reverse order could miss it entirely. The cost
+  // of the chosen order is an occasional duplicate, which callers dedup.
+  {
+    std::lock_guard<std::mutex> rlock(registry_mu_);
+    for (ThreadTraceBuffer* buffer : buffers_) {
+      std::lock_guard<std::mutex> block(buffer->mu);
+      if (!buffer->events.empty() && buffer->generation != gen) continue;
+      for (const TraceEvent& ev : buffer->events) {
+        if (ev.request_id == request_id) out.push_back(ev);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A batch flushed before min_start_ns closed all its events before
+    // min_start_ns, so none of them *started* at/after it: skip to the
+    // first batch that could match instead of scanning the whole ring.
+    size_t begin = 0;
+    if (min_start_ns > 0) {
+      size_t lo = 0, hi = ring_batches_.size();
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo) / 2;
+        if (ring_batches_[mid].second < min_start_ns) {
+          begin = ring_batches_[mid].first;
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+    }
+    for (size_t i = begin; i < ring_.size(); ++i) {
+      if (ring_[i].request_id == request_id) out.push_back(ring_[i]);
+    }
+  }
+  return out;
 }
 
 std::vector<TraceEvent> TraceRecorder::Snapshot() {
@@ -149,76 +247,86 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() {
     std::lock_guard<std::mutex> lock(mu_);
     out = ring_;
   }
-  std::sort(out.begin(), out.end(),
-            [](const TraceEvent& a, const TraceEvent& b) {
-              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
-              if (a.tid != b.tid) return a.tid < b.tid;
-              return a.dur_ns > b.dur_ns;  // parents before children
-            });
+  std::sort(out.begin(), out.end(), ChromeTraceEventBefore);
   return out;
 }
 
-std::string TraceRecorder::ToChromeTraceJson() {
-  std::vector<TraceEvent> events = Snapshot();
+bool ChromeTraceEventBefore(const TraceEvent& a, const TraceEvent& b) {
+  if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+  if (a.tid != b.tid) return a.tid < b.tid;
+  if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;  // parents first
+  return a.span_id < b.span_id;
+}
+
+void AppendChromeTraceEvent(const TraceEvent& ev, std::string* out) {
+  char buf[128];
+  *out += "{\"name\":\"";
+  for (char c : ev.name) {
+    if (c == '"' || c == '\\') *out += '\\';
+    *out += c;
+  }
+  // ts/dur are microseconds with ns precision kept in the fraction.
+  std::snprintf(buf, sizeof(buf),
+                "\",\"cat\":\"tsdm\",\"ph\":\"X\",\"pid\":0,\"tid\":%u,"
+                "\"ts\":%.3f,\"dur\":%.3f",
+                ev.tid, static_cast<double>(ev.start_ns) / 1000.0,
+                static_cast<double>(ev.dur_ns) / 1000.0);
+  *out += buf;
+  // args carries the integer tag plus the request-tree linkage; Chrome's
+  // viewer shows them in the span detail pane and downstream tooling can
+  // rebuild the per-request tree from (req, span, parent).
+  bool has_args = ev.arg != TraceEvent::kNoArg || ev.span_id != 0 ||
+                  !ev.tenant.empty();
+  if (has_args) {
+    *out += ",\"args\":{";
+    bool first_arg = true;
+    if (ev.arg != TraceEvent::kNoArg) {
+      std::snprintf(buf, sizeof(buf), "\"arg\":%lld",
+                    static_cast<long long>(ev.arg));
+      *out += buf;
+      first_arg = false;
+    }
+    if (!ev.tenant.empty()) {
+      if (!first_arg) *out += ",";
+      *out += "\"tenant\":\"";
+      for (char c : ev.tenant) {
+        if (c == '"' || c == '\\') *out += '\\';
+        *out += c;
+      }
+      *out += "\"";
+      first_arg = false;
+    }
+    if (ev.span_id != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s\"req\":%llu,\"span\":%llu,\"parent\":%llu",
+                    first_arg ? "" : ",",
+                    static_cast<unsigned long long>(ev.request_id),
+                    static_cast<unsigned long long>(ev.span_id),
+                    static_cast<unsigned long long>(ev.parent_span_id));
+      *out += buf;
+    }
+    *out += "}";
+  }
+  *out += "}";
+}
+
+std::string ChromeTraceJsonFromEvents(std::vector<TraceEvent> events) {
+  std::sort(events.begin(), events.end(), ChromeTraceEventBefore);
   std::string out;
   out.reserve(events.size() * 96 + 64);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  char buf[128];
   bool first = true;
   for (const TraceEvent& ev : events) {
     if (!first) out += ",";
     first = false;
-    out += "{\"name\":\"";
-    for (char c : ev.name) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    // ts/dur are microseconds with ns precision kept in the fraction.
-    std::snprintf(buf, sizeof(buf),
-                  "\",\"cat\":\"tsdm\",\"ph\":\"X\",\"pid\":0,\"tid\":%u,"
-                  "\"ts\":%.3f,\"dur\":%.3f",
-                  ev.tid, static_cast<double>(ev.start_ns) / 1000.0,
-                  static_cast<double>(ev.dur_ns) / 1000.0);
-    out += buf;
-    // args carries the integer tag plus the request-tree linkage; Chrome's
-    // viewer shows them in the span detail pane and downstream tooling can
-    // rebuild the per-request tree from (req, span, parent).
-    bool has_args = ev.arg != TraceEvent::kNoArg || ev.span_id != 0 ||
-                    !ev.tenant.empty();
-    if (has_args) {
-      out += ",\"args\":{";
-      bool first_arg = true;
-      if (ev.arg != TraceEvent::kNoArg) {
-        std::snprintf(buf, sizeof(buf), "\"arg\":%lld",
-                      static_cast<long long>(ev.arg));
-        out += buf;
-        first_arg = false;
-      }
-      if (!ev.tenant.empty()) {
-        if (!first_arg) out += ",";
-        out += "\"tenant\":\"";
-        for (char c : ev.tenant) {
-          if (c == '"' || c == '\\') out += '\\';
-          out += c;
-        }
-        out += "\"";
-        first_arg = false;
-      }
-      if (ev.span_id != 0) {
-        std::snprintf(buf, sizeof(buf),
-                      "%s\"req\":%llu,\"span\":%llu,\"parent\":%llu",
-                      first_arg ? "" : ",",
-                      static_cast<unsigned long long>(ev.request_id),
-                      static_cast<unsigned long long>(ev.span_id),
-                      static_cast<unsigned long long>(ev.parent_span_id));
-        out += buf;
-      }
-      out += "}";
-    }
-    out += "}";
+    AppendChromeTraceEvent(ev, &out);
   }
   out += "]}";
   return out;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() {
+  return ChromeTraceJsonFromEvents(Snapshot());
 }
 
 }  // namespace tsdm

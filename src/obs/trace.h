@@ -6,9 +6,12 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace tsdm {
+
+struct ThreadTraceBuffer;
 
 /// Links a span into a per-request trace tree. A request acquires a
 /// context at its root span (request_id identifies the request across
@@ -46,9 +49,27 @@ struct TraceEvent {
   std::string tenant;
 };
 
+/// Total deterministic export order: (start_ns, tid, dur_ns desc — parents
+/// before children, span_id). The span-id tiebreak makes the order unique,
+/// so two exports of the same event set serialize identically.
+bool ChromeTraceEventBefore(const TraceEvent& a, const TraceEvent& b);
+
+/// Serializes one closed span as a Chrome trace-event object ("X" phase,
+/// ts/dur in microseconds, request/span/parent linkage under "args"),
+/// appending to *out. THE single source of event-formatting truth: the
+/// TraceRecorder export and the flight recorder's /debug/traces export
+/// both call this, which is what makes their events byte-identical.
+void AppendChromeTraceEvent(const TraceEvent& ev, std::string* out);
+
+/// Sorts `events` into export order and wraps them in the Chrome
+/// trace-event envelope ("catapult" JSON; load from chrome://tracing or
+/// https://ui.perfetto.dev).
+std::string ChromeTraceJsonFromEvents(std::vector<TraceEvent> events);
+
 /// Process-wide trace sink. Threads accumulate closed spans into private
-/// thread-local buffers (no synchronization on the hot path); buffers are
-/// batch-flushed into a bounded global ring under a mutex when they fill,
+/// thread-local buffers (one uncontended per-buffer mutex hold on the hot
+/// path — contended only while a CollectRequest sweep is reading); buffers
+/// are batch-flushed into a bounded global ring under a mutex when they fill,
 /// when a thread exits, or on Snapshot/FlushCurrentThread. The ring never
 /// grows past its capacity — overflow drops the newest events and counts
 /// them (DroppedSpans, exported as `tsdm_trace_dropped_total`), so tracing
@@ -87,6 +108,22 @@ class TraceRecorder {
   /// (start_ns, tid). Events buffered by other still-live threads are not
   /// visible until those threads flush or exit.
   std::vector<TraceEvent> Snapshot();
+
+  /// Copies every buffered event linked to `request_id` — from *all* live
+  /// threads' buffers (under their per-buffer locks) and from the global
+  /// ring — without flushing anything. This is the flight recorder's
+  /// retention sweep: it runs once per *retained* request, off the span
+  /// hot path, and sees spans other threads have not flushed yet. An event
+  /// flushed mid-sweep can be returned twice (buffer copy + ring copy);
+  /// callers dedup by span id.
+  ///
+  /// `min_start_ns` bounds the ring scan: batches flushed before it cannot
+  /// contain a span that *started* at/after it (spans close before they
+  /// flush), so the scan skips straight to the first batch flushed at or
+  /// after `min_start_ns`. Pass the request's start time (minus slack);
+  /// 0 scans the whole ring.
+  std::vector<TraceEvent> CollectRequest(uint64_t request_id,
+                                         uint64_t min_start_ns = 0);
 
   /// Events lost to ring overflow since the last Clear.
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
@@ -130,9 +167,21 @@ class TraceRecorder {
   friend struct ThreadTraceBuffer;
 
   void FlushBuffer(std::vector<TraceEvent>* events, uint64_t generation);
+  void RegisterBuffer(ThreadTraceBuffer* buffer);
+  void DeregisterBuffer(ThreadTraceBuffer* buffer);
+
+  /// Live thread buffers, so CollectRequest can sweep events other threads
+  /// have not flushed. Lock order: registry_mu_ -> buffer mu; and a buffer
+  /// mu may be held when taking mu_ (flush) — never the reverse.
+  std::mutex registry_mu_;
+  std::vector<ThreadTraceBuffer*> buffers_;
 
   mutable std::mutex mu_;
   std::vector<TraceEvent> ring_;
+  /// Flush watermarks: (ring size after the flush, flush time). Lets
+  /// CollectRequest binary-search for the first batch that could contain a
+  /// span starting at/after a given time instead of scanning the ring.
+  std::vector<std::pair<size_t, uint64_t>> ring_batches_;
   size_t capacity_ = 1 << 16;
   uint64_t generation_ = 0;
   std::atomic<uint64_t> dropped_{0};

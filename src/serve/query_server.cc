@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
 #include "src/spatial/shortest_path.h"
 
@@ -99,6 +100,7 @@ ServeRequest QueryServer::MakeRequest(
   req.enqueue_ns = TraceRecorder::NowNs();
   req.queue_budget_seconds = options.queue_budget_seconds;
   req.priority = options.priority;
+  req.shard = options.shard;
   req.client_request_id = options.client_request_id;
   req.on_done = std::move(on_done);
   return req;
@@ -111,7 +113,27 @@ Status QueryServer::Submit(RouteQuery query,
   if (options_.submit_observer) {
     options_.submit_observer(req.query, options, req.enqueue_ns);
   }
-  return queue_.Push(std::move(req));
+  // A push-shed returns non-OK *without* invoking on_done, so its terminal
+  // answer exists nowhere — synthesize one for the flight recorder. The
+  // identity must be captured before the move into Push.
+  uint64_t flight_rid = 0;
+  uint64_t flight_client_id = 0;
+  std::string flight_tenant;
+  const bool flight = FlightRecorder::Enabled();
+  if (flight) {
+    flight_rid = req.trace.request_id;
+    flight_client_id = req.client_request_id;
+    flight_tenant = req.tenant;
+  }
+  Status st = queue_.Push(std::move(req));
+  if (flight && !st.ok()) {
+    RouteAnswer shed;
+    shed.status = st;
+    shed.client_request_id = flight_client_id;
+    shed.tenant_id = std::move(flight_tenant);
+    FlightRecorder::MaybeComplete(flight_rid, options.shard, shed);
+  }
+  return st;
 }
 
 Status QueryServer::SubmitProbe(std::vector<int> segment, int bucket,
@@ -408,6 +430,13 @@ void QueryServer::ServeOne(const ServeRequest& req) {
       ++tm.failed;
     }
     tm.e2e_latency.Add(e2e);
+  }
+  // Flight-recorder completion: the terminal answer of every served
+  // request, with its stage breakdown. Scatter probes are excluded — a
+  // probe is a sub-operation of its caller's request, whose canonical
+  // completion is the shard router's merge.
+  if (req.probe_edges.empty()) {
+    FlightRecorder::MaybeComplete(req.trace.request_id, req.shard, answer);
   }
   if (req.on_done) req.on_done(answer);
 }

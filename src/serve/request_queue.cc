@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
 
 namespace tsdm {
@@ -21,7 +22,6 @@ void AnswerShed(const ServeRequest& req, Status status) {
                                      req.trace,
                                      static_cast<int64_t>(status.code()),
                                      req.tenant);
-  if (!req.on_done) return;
   RouteAnswer answer;
   answer.status = std::move(status);
   answer.client_request_id = req.client_request_id;
@@ -30,7 +30,13 @@ void AnswerShed(const ServeRequest& req, Status status) {
   answer.stages.queue_ns = now_ns >= req.enqueue_ns
                                ? now_ns - req.enqueue_ns
                                : 0;  // all of a shed request's time is queue
-  req.on_done(answer);
+  // Flight-recorder completion: expired/drained/displaced requests are
+  // exactly the tail evidence retroactive retention exists for. Probes are
+  // excluded — their caller's completion is the shard router's merge.
+  if (req.probe_edges.empty()) {
+    FlightRecorder::MaybeComplete(req.trace.request_id, req.shard, answer);
+  }
+  if (req.on_done) req.on_done(answer);
 }
 
 bool Expired(const ServeRequest& req, uint64_t now_ns) {

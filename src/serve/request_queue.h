@@ -90,6 +90,7 @@ struct ServeRequest {
   uint64_t batch_id = 0;          ///< set by MicroBatcher at dispatch (0=none)
   double queue_budget_seconds = 0.25;  ///< max queueing time; <= 0 = none
   int priority = 0;               ///< scheduling class, clamped to [0, 3]
+  int shard = -1;                 ///< SubmitOptions::shard (-1 = unsharded)
   std::string tenant;             ///< SubmitOptions::tenant_id ("" = default)
   uint64_t client_request_id = 0; ///< echoed into RouteAnswer
   /// Request-tree linkage: request_id identifies this request in the trace,

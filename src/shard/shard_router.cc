@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics_export.h"
 #include "src/serve/path_cost_cache.h"
 
@@ -196,8 +197,19 @@ Status ShardRouter::Submit(RouteQuery query,
   if (source_owner == target_owner) {
     const int s = source_owner;
     if (shard_stopped_[s].load(std::memory_order_acquire)) {
-      return Status::Unavailable("shard: shard " + std::to_string(s) +
-                                 " is stopped");
+      Status st = Status::Unavailable("shard: shard " + std::to_string(s) +
+                                      " is stopped");
+      // Rejected before any shard saw it: on_done is not retained, so this
+      // synthesized answer is the request's only terminal record.
+      if (FlightRecorder::Enabled()) {
+        RouteAnswer dead;
+        dead.status = st;
+        dead.client_request_id = options.client_request_id;
+        dead.tenant_id =
+            options.tenant_id.empty() ? "default" : options.tenant_id;
+        FlightRecorder::MaybeComplete(ctx.request_id, s, dead);
+      }
+      return st;
     }
     TraceSpan forward("shard/forward", ctx, s);
     SubmitOptions inner = options;
@@ -246,6 +258,7 @@ void ShardRouter::Scatter(RouteQuery query,
         options.tenant_id.empty() ? "default" : options.tenant_id;
     answer.service_seconds =
         1e-9 * static_cast<double>(TraceRecorder::NowNs() - submit_ns);
+    FlightRecorder::MaybeComplete(root_ctx.request_id, -1, answer);
     cb(answer);
     outstanding_scatters_.fetch_sub(1, std::memory_order_acq_rel);
     return;
@@ -479,6 +492,11 @@ void ShardRouter::Merge(const std::shared_ptr<ScatterState>& state) {
                                      TraceRecorder::NowNs(),
                                      state->scatter_ctx,
                                      static_cast<int64_t>(n));
+  // The scatter's canonical flight-recorder completion: sub-probe serve
+  // completions were skipped (they are sub-operations of this request), so
+  // a retained cross-shard request shows its whole tree — scatter, per-
+  // shard probes, merge — under one request id, completed exactly once.
+  FlightRecorder::MaybeComplete(state->scatter_ctx.request_id, -1, answer);
   state->on_done(answer);
   outstanding_scatters_.fetch_sub(1, std::memory_order_acq_rel);
 }

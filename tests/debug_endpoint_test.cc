@@ -1,0 +1,335 @@
+// End-to-end forensics surface: GET /debug/traces must serve the flight
+// recorder's retained traces byte-compatibly with the TraceRecorder's own
+// Chrome-trace exporter; GET /debug/flight must serve exactly one black-box
+// dump per forced degradation; hostile query strings must answer typed 400s
+// and never crash the front door.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/governance/uncertainty/travel_cost_models.h"
+#include "src/net/net_client.h"
+#include "src/net/socket_server.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/health.h"
+#include "src/obs/trace.h"
+#include "src/serve/query_server.h"
+#include "src/sim/road_gen.h"
+#include "src/sim/traffic_sim.h"
+
+namespace tsdm {
+namespace {
+
+constexpr char kLoopback[] = "127.0.0.1";
+
+/// Same trained-grid fixture as net_test.cc.
+struct DebugFixture {
+  GridNetworkSpec spec;
+  RoadNetwork net;
+  EdgeCentricModel model;
+
+  DebugFixture() : spec(MakeSpec()), net(MakeNet(spec)), model(0) {
+    model = EdgeCentricModel(static_cast<int>(net.NumEdges()));
+    TrafficSimulator sim(&net, TrafficSpec{});
+    Rng rng(11);
+    for (int e = 0; e < static_cast<int>(net.NumEdges()); ++e) {
+      for (int rep = 0; rep < 8; ++rep) {
+        TripObservation trip;
+        trip.edge_path = {e};
+        trip.depart_seconds = 8 * 3600.0;
+        trip.edge_times = {sim.SampleEdgeTime(e, trip.depart_seconds, &rng)};
+        model.AddTrip(trip);
+      }
+    }
+    Status built = model.Build();
+    EXPECT_TRUE(built.ok()) << built.ToString();
+  }
+
+  static GridNetworkSpec MakeSpec() {
+    GridNetworkSpec spec;
+    spec.rows = 5;
+    spec.cols = 5;
+    return spec;
+  }
+  static RoadNetwork MakeNet(const GridNetworkSpec& spec) {
+    Rng rng(3);
+    return GenerateGridNetwork(spec, &rng);
+  }
+
+  PathCostModel BaseModel() const {
+    const EdgeCentricModel* m = &model;
+    return [m](const std::vector<int>& edges, double depart) {
+      return m->PathCostDistribution(edges, depart, 32);
+    };
+  }
+
+  RouteQuery Query(int i = 0) const {
+    RouteQuery q;
+    q.source = GridNodeId(spec, 0, 0);
+    q.target = GridNodeId(spec, 4, (i % 2) ? 4 : 3);
+    q.k = 3;
+    q.depart_seconds = 8 * 3600.0;
+    q.arrival_deadline_seconds = q.depart_seconds + 1200.0;
+    return q;
+  }
+};
+
+/// Both process-global recorders reset around each test.
+class DebugEndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().SetCapacity(1 << 16);
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().Enable();
+    FlightRecorder::Global().Disable();
+    FlightRecorder::Global().Configure(FlightRecorder::Options{});
+  }
+  void TearDown() override {
+    TraceRecorder::Global().Disable();
+    TraceRecorder::Global().Clear();
+    FlightRecorder::Global().Disable();
+    FlightRecorder::Global().Configure(FlightRecorder::Options{});
+    FlightRecorder::Global().SetStatsSource(nullptr);
+  }
+};
+
+// The tentpole acceptance: an over-SLO request served by a real QueryServer
+// is retroactively retained, and GET /debug/traces serves it byte-identical
+// to the TraceRecorder's direct Chrome-trace export — same events, same
+// deterministic order, same serializer.
+TEST_F(DebugEndpointTest, DebugTracesMatchesTraceRecorderExportByteForByte) {
+  DebugFixture fx;
+  FlightRecorder::Options fopts;
+  fopts.slo_threshold_seconds = 1e-9;  // every request breaches: tail mode
+  FlightRecorder::Global().Configure(fopts);
+  FlightRecorder::Global().Enable();
+
+  std::atomic<int> answered{0};
+  {
+    QueryServer::Options sopts;
+    sopts.initial_workers = 1;
+    sopts.autoscale_enabled = false;
+    QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+    ASSERT_TRUE(serve.Start().ok());
+    ASSERT_TRUE(serve
+                    .Submit(fx.Query(0),
+                            [&](const RouteAnswer& a) {
+                              EXPECT_TRUE(a.status.ok());
+                              answered.fetch_add(1);
+                            })
+                    .ok());
+    serve.WaitIdle();
+    // The server (and its worker threads, whose trace buffers flush into
+    // the global ring on thread exit) destructs here, so the recorder-side
+    // export below sees the full span set. The flight recorder needs no
+    // such flush — its tap captures spans at close time.
+  }
+  ASSERT_EQ(answered.load(), 1);
+  ASSERT_EQ(TraceRecorder::Global().dropped(), 0u);
+
+  FlightStatsSnapshot fs = FlightRecorder::Global().Stats();
+  EXPECT_EQ(fs.observed, 1u);
+  EXPECT_EQ(fs.retained_slo, 1u);
+  EXPECT_EQ(fs.retained_records, 1u);
+
+  // The debug endpoints read the process-global recorders, so they work
+  // even on a front door with no serve layer behind it.
+  SocketServer server(nullptr);
+  ASSERT_TRUE(server.Start().ok());
+  NetClient::HttpResponse res;
+  ASSERT_TRUE(NetClient::HttpGet(kLoopback, server.port(), "/debug/traces?n=8",
+                                 &res)
+                  .ok());
+  EXPECT_EQ(res.status_code, 200);
+  for (const auto& h : res.headers) {
+    if (h.first == "content-type") EXPECT_EQ(h.second, "application/json");
+  }
+
+  // One request in flight, one request retained: the wire body, the flight
+  // recorder's export, and the trace recorder's export restricted to
+  // request-linked spans (the flight recorder ignores request-less spans
+  // like the worker's batch span by design) are the same event set through
+  // the same serializer — byte-identical documents.
+  EXPECT_EQ(res.body, FlightRecorder::Global().ToChromeTraceJson(8));
+  std::vector<TraceEvent> linked;
+  for (const TraceEvent& ev : TraceRecorder::Global().Snapshot()) {
+    if (ev.request_id != 0) linked.push_back(ev);
+  }
+  EXPECT_EQ(res.body, ChromeTraceJsonFromEvents(std::move(linked)));
+  EXPECT_NE(res.body.find("serve/submit"), std::string::npos);
+  EXPECT_NE(res.body.find("serve/exec"), std::string::npos);
+  EXPECT_NE(res.body.find("\"req\":"), std::string::npos);
+
+  // Default n: omitted query string serves up to 32 traces.
+  NetClient::HttpResponse dflt;
+  ASSERT_TRUE(
+      NetClient::HttpGet(kLoopback, server.port(), "/debug/traces", &dflt)
+          .ok());
+  EXPECT_EQ(dflt.status_code, 200);
+  EXPECT_EQ(dflt.body, res.body);
+
+  NetStatsSnapshot ns = server.Stats();
+  EXPECT_EQ(ns.http_debug_traces, 2u);
+  server.Stop();
+}
+
+TEST_F(DebugEndpointTest, HostileQueryStringsAnswerTyped400AndNeverCrash) {
+  DebugFixture fx;
+  QueryServer::Options sopts;
+  sopts.autoscale_enabled = false;
+  QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+  ASSERT_TRUE(serve.Start().ok());
+  SocketServer server(&serve);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<std::pair<std::string, std::string>> bad = {
+      {"/debug/traces?n=", "missing value"},
+      {"/debug/traces?n", "missing value, no '='"},
+      {"/debug/traces?n=abc", "non-numeric"},
+      {"/debug/traces?n=5x", "trailing junk"},
+      {"/debug/traces?n=-1", "negative"},
+      {"/debug/traces?n=18446744073709551616", "uint64 overflow"},
+      {"/debug/traces?n=0", "below range"},
+      {"/debug/traces?n=99999", "above kMaxDebugTraces"},
+      {"/debug/traces?" + std::string(300, 'a'), "oversized query string"},
+  };
+  for (const auto& [target, why] : bad) {
+    SCOPED_TRACE(why);
+    NetClient::HttpResponse res;
+    ASSERT_TRUE(NetClient::HttpGet(kLoopback, server.port(), target, &res)
+                    .ok());
+    EXPECT_EQ(res.status_code, 400);
+  }
+  EXPECT_EQ(server.Stats().http_bad_request, bad.size());
+  EXPECT_EQ(server.Stats().http_debug_traces, 0u);
+
+  // Method and absence errors are typed too.
+  NetClient::HttpResponse res;
+  ASSERT_TRUE(NetClient::HttpPost(kLoopback, server.port(), "/debug/traces",
+                                  "application/json", "{}", &res)
+                  .ok());
+  EXPECT_EQ(res.status_code, 405);
+  ASSERT_TRUE(
+      NetClient::HttpGet(kLoopback, server.port(), "/debug/flight", &res)
+          .ok());
+  EXPECT_EQ(res.status_code, 404);  // no dump frozen yet
+
+  // A query string on a non-debug endpoint routes by path, not raw target.
+  ASSERT_TRUE(
+      NetClient::HttpGet(kLoopback, server.port(), "/metrics?x=1", &res).ok());
+  EXPECT_EQ(res.status_code, 200);
+
+  // The front door survived all of it.
+  ASSERT_TRUE(NetClient::HttpGet(kLoopback, server.port(), "/health", &res)
+                  .ok());
+  EXPECT_EQ(res.status_code, 200);
+  server.Stop();
+  serve.Stop();
+}
+
+// A forced health degradation must freeze exactly one black-box dump —
+// retrievable over the wire — and the transition ring must show when the
+// degradation started.
+TEST_F(DebugEndpointTest, ForcedDegradationFreezesExactlyOneDump) {
+  FlightRecorder::Options fopts;
+  fopts.slo_threshold_seconds = 0.0;  // retain everything
+  FlightRecorder::Global().Configure(fopts);
+  FlightRecorder::Global().Enable();
+  FlightRecorder& fr = FlightRecorder::Global();
+
+  // Scripted serve stats: steady, then an SLO-burning incident.
+  ServeStatsSnapshot snap;
+  Rng rng(3);
+  auto advance = [&](int requests, double latency_seconds) {
+    snap.submitted += static_cast<uint64_t>(requests);
+    snap.admitted += static_cast<uint64_t>(requests);
+    for (int i = 0; i < requests; ++i) {
+      const double l = latency_seconds * rng.Uniform(0.9, 1.1);
+      snap.e2e_latency.Add(l);
+      snap.stage_queue.Add(l * 0.2);
+      snap.stage_exec.Add(l * 0.8);
+      ++snap.completed;
+    }
+    snap.cache_hits += static_cast<uint64_t>(requests * 4);
+  };
+  fr.SetStatsSource([&snap] { return snap; });
+
+  // Tail evidence the dump should carry.
+  RouteAnswer failed;
+  failed.status = Status::Internal("incident evidence");
+  failed.service_seconds = 0.3;
+  fr.OnComplete(0, -1, failed);
+
+  HealthMonitor::Options hopts;
+  hopts.warmup_samples = 10;
+  hopts.slo_p95_objective_seconds = 0.05;
+  hopts.slo_error_budget = 0.05;
+  HealthMonitor monitor([&snap] { return snap; }, hopts);
+  for (int round = 0; round < 40; ++round) {
+    advance(100, 0.010);
+    monitor.SampleOnce();
+  }
+  ASSERT_EQ(monitor.Snapshot().state, HealthState::kHealthy);
+  ASSERT_EQ(fr.Stats().dumps, 0u);
+
+  // The incident: every request 10x over the objective, sustained. The
+  // worsening transition fires once; staying unhealthy must not re-dump.
+  for (int round = 0; round < 6; ++round) {
+    advance(100, 0.5);
+    monitor.SampleOnce();
+  }
+  HealthSnapshot unhealthy = monitor.Snapshot();
+  EXPECT_NE(unhealthy.state, HealthState::kHealthy);
+  EXPECT_EQ(fr.Stats().dumps, 1u);
+
+  // The transition ring shows when the degradation started.
+  ASSERT_EQ(unhealthy.transitions_total, 1u);
+  ASSERT_EQ(unhealthy.transitions.size(), 1u);
+  EXPECT_EQ(unhealthy.transitions[0].from, HealthState::kHealthy);
+  EXPECT_EQ(unhealthy.transitions[0].to, unhealthy.state);
+  EXPECT_EQ(unhealthy.transitions[0].sample, 41u);
+  EXPECT_GT(unhealthy.transitions[0].burn_rate, 1.0);
+
+  // The dump is the full artifact: trigger, health, serve delta, traces.
+  std::string dump = fr.LatestDumpJson();
+  EXPECT_NE(dump.find("\"kind\":\"flight_dump\""), std::string::npos);
+  EXPECT_NE(dump.find("\"from\":\"healthy\""), std::string::npos);
+  EXPECT_NE(dump.find("incident evidence"), std::string::npos);
+
+  // Served over the wire, verbatim.
+  DebugFixture fx;
+  QueryServer::Options sopts;
+  sopts.autoscale_enabled = false;
+  QueryServer serve(&fx.net, fx.BaseModel(), sopts);
+  ASSERT_TRUE(serve.Start().ok());
+  SocketServer server(&serve);
+  ASSERT_TRUE(server.Start().ok());
+  NetClient::HttpResponse res;
+  ASSERT_TRUE(
+      NetClient::HttpGet(kLoopback, server.port(), "/debug/flight", &res)
+          .ok());
+  EXPECT_EQ(res.status_code, 200);
+  EXPECT_EQ(res.body, dump);
+  EXPECT_EQ(server.Stats().http_debug_flight, 1u);
+  server.Stop();
+  serve.Stop();
+
+  // Recovery is a transition (ring + counter) but never a dump.
+  for (int round = 0; round < 30; ++round) {
+    advance(100, 0.010);
+    monitor.SampleOnce();
+  }
+  HealthSnapshot recovered = monitor.Snapshot();
+  EXPECT_EQ(recovered.state, HealthState::kHealthy);
+  EXPECT_GE(recovered.transitions_total, 2u);
+  EXPECT_EQ(recovered.transitions.back().to, HealthState::kHealthy);
+  EXPECT_EQ(fr.Stats().dumps, 1u);
+}
+
+}  // namespace
+}  // namespace tsdm

@@ -170,6 +170,29 @@ TEST(HealthMonitorTest, SloBurnDrivesUnhealthy) {
   for (const MetricVerdict& v : snap.metrics) {
     if (v.name == "latency_mean") EXPECT_TRUE(v.anomalous);
   }
+
+  // The transition ring recorded when the degradation started, with the
+  // evidence of the moment.
+  ASSERT_EQ(snap.transitions_total, 1u);
+  ASSERT_EQ(snap.transitions.size(), 1u);
+  const HealthTransition& t = snap.transitions[0];
+  EXPECT_EQ(t.from, HealthState::kHealthy);
+  EXPECT_EQ(t.to, HealthState::kUnhealthy);
+  EXPECT_EQ(t.sample, 41u);
+  EXPECT_GT(t.at_ns, 0u);
+  EXPECT_GE(t.burn_rate, opts.burn_unhealthy);
+
+  // Recovery lands in the same ring; the ring is bounded by
+  // transition_history while the total keeps counting.
+  for (int round = 0; round < 40; ++round) {
+    SteadyRound(&server, &rng, round);
+    monitor.SampleOnce();
+  }
+  HealthSnapshot after = monitor.Snapshot();
+  EXPECT_EQ(after.state, HealthState::kHealthy);
+  EXPECT_GE(after.transitions_total, 2u);
+  EXPECT_LE(after.transitions.size(), monitor.options().transition_history);
+  EXPECT_EQ(after.transitions.back().to, HealthState::kHealthy);
 }
 
 TEST(HealthMonitorTest, WarmupNeverAlarmsEvenOnWildFirstSamples) {
@@ -201,6 +224,9 @@ TEST(HealthMonitorTest, ExportsJsonAndPrometheus) {
   EXPECT_NE(json.find("\"queue_depth\""), std::string::npos);
   EXPECT_NE(json.find("\"burn_rate\""), std::string::npos);
   EXPECT_NE(json.find("\"top_offender\":\"exec\""), std::string::npos);
+  // The transition ring rides in the JSON (empty here: never degraded).
+  EXPECT_NE(json.find("\"transitions_total\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"transitions\":[]"), std::string::npos);
 
   std::string prom = MetricsExporter::HealthToPrometheus(snap);
   EXPECT_NE(prom.find("tsdm_health_state 0"), std::string::npos);
@@ -208,6 +234,7 @@ TEST(HealthMonitorTest, ExportsJsonAndPrometheus) {
   EXPECT_NE(prom.find("tsdm_health_metric_value{metric=\"cache_hit_rate\"}"),
             std::string::npos);
   EXPECT_NE(prom.find("tsdm_health_slo_burn_rate"), std::string::npos);
+  EXPECT_NE(prom.find("tsdm_health_transitions_total 0"), std::string::npos);
 }
 
 TEST(HealthMonitorTest, BackgroundThreadSamplesAndSnapshotsConcurrently) {

@@ -233,16 +233,25 @@ TEST(SocketServerTest, HttpMetricsMatchesInProcessExport) {
   // subsystems present, in registration order.
   const size_t net_at = res.body.find("# SOURCE net\n");
   const size_t serve_at = res.body.find("# SOURCE serve\n");
+  const size_t trace_at = res.body.find("# SOURCE trace\n");
+  const size_t flight_at = res.body.find("# SOURCE flight\n");
   ASSERT_NE(net_at, std::string::npos);
   ASSERT_NE(serve_at, std::string::npos);
+  ASSERT_NE(trace_at, std::string::npos);
+  ASSERT_NE(flight_at, std::string::npos);
   EXPECT_LT(net_at, serve_at);
+  EXPECT_LT(serve_at, trace_at);
+  EXPECT_LT(trace_at, flight_at);
+  EXPECT_NE(res.body.find("tsdm_trace_dropped_total"), std::string::npos);
+  EXPECT_NE(res.body.find("tsdm_flight_observed_total"), std::string::npos);
 
   // Serve counters are quiescent (WaitIdle; the scrape itself does not
   // touch them), so the serve section must be byte-identical to the
   // in-process per-subsystem export — the registry adds routing, never
   // reformatting.
+  const size_t serve_body = serve_at + std::string("# SOURCE serve\n").size();
   const std::string serve_section =
-      res.body.substr(serve_at + std::string("# SOURCE serve\n").size());
+      res.body.substr(serve_body, trace_at - serve_body);
   EXPECT_EQ(serve_section, MetricsExporter::ServeToPrometheus(serve.Stats()));
 
   // Net counters move with the scrape itself (its own connection, bytes),
@@ -270,6 +279,8 @@ TEST(SocketServerTest, HttpMetricsMatchesInProcessExport) {
   const std::string after = MetricsExporter::ExportPrometheus();
   EXPECT_EQ(after.find("# SOURCE net\n"), std::string::npos);
   EXPECT_EQ(after.find("# SOURCE serve\n"), std::string::npos);
+  EXPECT_EQ(after.find("# SOURCE trace\n"), std::string::npos);
+  EXPECT_EQ(after.find("# SOURCE flight\n"), std::string::npos);
 }
 
 TEST(SocketServerTest, HttpHealthQueryAndErrorStatuses) {

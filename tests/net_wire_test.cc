@@ -330,6 +330,56 @@ TEST(NetHttpTest, ExtractJsonNumberHandlesFlatBodies) {
   EXPECT_FALSE(ExtractJsonNumber("{\"source\": \"three\"}", "source", &v));
 }
 
+TEST(NetHttpTest, SplitTargetSeparatesPathAndQuery) {
+  std::string path, query;
+  SplitTarget("/debug/traces?n=5", &path, &query);
+  EXPECT_EQ(path, "/debug/traces");
+  EXPECT_EQ(query, "n=5");
+  SplitTarget("/metrics", &path, &query);
+  EXPECT_EQ(path, "/metrics");
+  EXPECT_EQ(query, "");
+  // Only the first '?' splits; the rest belongs to the query string.
+  SplitTarget("/a?b=1?c=2", &path, &query);
+  EXPECT_EQ(path, "/a");
+  EXPECT_EQ(query, "b=1?c=2");
+  // A bare trailing '?' leaves an empty query, not a missing one.
+  SplitTarget("/a?", &path, &query);
+  EXPECT_EQ(path, "/a");
+  EXPECT_EQ(query, "");
+}
+
+TEST(NetHttpTest, ParseQueryParamU64AcceptsOnlyCleanIntegers) {
+  uint64_t v = 0;
+  EXPECT_EQ(ParseQueryParamU64("n=5", "n", &v), QueryParamResult::kOk);
+  EXPECT_EQ(v, 5u);
+  EXPECT_EQ(ParseQueryParamU64("a=1&n=42&b=2", "n", &v),
+            QueryParamResult::kOk);
+  EXPECT_EQ(v, 42u);
+  // First occurrence wins.
+  EXPECT_EQ(ParseQueryParamU64("n=7&n=9", "n", &v), QueryParamResult::kOk);
+  EXPECT_EQ(v, 7u);
+  // The full uint64 range round-trips.
+  EXPECT_EQ(ParseQueryParamU64("n=18446744073709551615", "n", &v),
+            QueryParamResult::kOk);
+  EXPECT_EQ(v, UINT64_MAX);
+
+  // Absent: the key simply is not there (a prefix match is not a match).
+  EXPECT_EQ(ParseQueryParamU64("", "n", &v), QueryParamResult::kAbsent);
+  EXPECT_EQ(ParseQueryParamU64("m=3", "n", &v), QueryParamResult::kAbsent);
+  EXPECT_EQ(ParseQueryParamU64("nn=3", "n", &v), QueryParamResult::kAbsent);
+
+  // Every hostile shape is kBad — the typed-400 bucket.
+  EXPECT_EQ(ParseQueryParamU64("n", "n", &v), QueryParamResult::kBad);
+  EXPECT_EQ(ParseQueryParamU64("n=", "n", &v), QueryParamResult::kBad);
+  EXPECT_EQ(ParseQueryParamU64("n=abc", "n", &v), QueryParamResult::kBad);
+  EXPECT_EQ(ParseQueryParamU64("n=5x", "n", &v), QueryParamResult::kBad);
+  EXPECT_EQ(ParseQueryParamU64("n=-1", "n", &v), QueryParamResult::kBad);
+  EXPECT_EQ(ParseQueryParamU64("n=+1", "n", &v), QueryParamResult::kBad);
+  EXPECT_EQ(ParseQueryParamU64("n=1.5", "n", &v), QueryParamResult::kBad);
+  EXPECT_EQ(ParseQueryParamU64("n=18446744073709551616", "n", &v),
+            QueryParamResult::kBad);  // UINT64_MAX + 1 overflows
+}
+
 TEST(NetHttpTest, WriteHttpResponseFramesBody) {
   std::vector<uint8_t> out;
   WriteHttpResponse(200, "application/json", "{\"a\":1}", &out);
